@@ -1,0 +1,149 @@
+// Micro-benchmarks (google-benchmark) of the kernels the two stages spend
+// their time in: CSR matvec, sparse Cholesky factor+solve, CG iterations,
+// hex8 element integration, FEM assembly, and the local-stage / global-stage
+// building blocks at unit-block scale.
+
+#include <benchmark/benchmark.h>
+
+#include "fem/assembler.hpp"
+#include "fem/dirichlet.hpp"
+#include "fem/hex8.hpp"
+#include "la/cg.hpp"
+#include "la/cholesky.hpp"
+#include "mesh/tsv_block.hpp"
+#include "rom/local_stage.hpp"
+
+namespace {
+
+using namespace ms;
+
+const mesh::TsvGeometry kGeometry{15.0, 5.0, 0.5, 50.0};
+const mesh::BlockMeshSpec kSpec{8, 6};
+
+const fem::MaterialTable& materials() {
+  static const fem::MaterialTable table = fem::MaterialTable::standard();
+  return table;
+}
+
+const fem::AssembledSystem& block_system() {
+  static const fem::AssembledSystem sys = [] {
+    const mesh::HexMesh block = mesh::build_tsv_block_mesh(kGeometry, kSpec);
+    return fem::assemble_system(block, materials());
+  }();
+  return sys;
+}
+
+void BM_Hex8Stiffness(benchmark::State& state) {
+  const fem::Material mat = fem::silicon();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fem::hex8_stiffness(mat, 1.2, 1.4, 5.0));
+  }
+}
+BENCHMARK(BM_Hex8Stiffness);
+
+void BM_Hex8ThermalLoad(benchmark::State& state) {
+  const fem::Material mat = fem::copper();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fem::hex8_thermal_load(mat, 1.2, 1.4, 5.0));
+  }
+}
+BENCHMARK(BM_Hex8ThermalLoad);
+
+void BM_AssembleTsvBlock(benchmark::State& state) {
+  const mesh::HexMesh block = mesh::build_tsv_block_mesh(kGeometry, kSpec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fem::assemble_system(block, materials()));
+  }
+  state.SetItemsProcessed(state.iterations() * block.num_elems());
+}
+BENCHMARK(BM_AssembleTsvBlock);
+
+void BM_CsrMatvec(benchmark::State& state) {
+  const auto& sys = block_system();
+  la::Vec x(sys.num_dofs, 1.0), y;
+  for (auto _ : state) {
+    sys.stiffness.mul(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sys.stiffness.nnz()) *
+                          (sizeof(double) + sizeof(la::idx_t)));
+}
+BENCHMARK(BM_CsrMatvec);
+
+void BM_SparseCholeskyFactor(benchmark::State& state) {
+  // Factor the interior block of the unit-block system (the local stage's
+  // one-time cost).
+  const auto& sys = block_system();
+  const mesh::HexMesh block = mesh::build_tsv_block_mesh(kGeometry, kSpec);
+  std::vector<la::idx_t> bc_dofs;
+  for (la::idx_t node : block.boundary_nodes()) {
+    for (int c = 0; c < 3; ++c) bc_dofs.push_back(3 * node + c);
+  }
+  const fem::DofPartition part = fem::partition_dofs(sys.num_dofs, bc_dofs);
+  const la::CsrMatrix a_ff =
+      sys.stiffness.submatrix(part.free_map, part.num_free, part.free_map, part.num_free);
+  for (auto _ : state) {
+    la::SparseCholesky chol(a_ff);
+    benchmark::DoNotOptimize(chol.factor_nnz());
+  }
+}
+BENCHMARK(BM_SparseCholeskyFactor);
+
+void BM_SparseCholeskySolve(benchmark::State& state) {
+  const auto& sys = block_system();
+  const mesh::HexMesh block = mesh::build_tsv_block_mesh(kGeometry, kSpec);
+  std::vector<la::idx_t> bc_dofs;
+  for (la::idx_t node : block.boundary_nodes()) {
+    for (int c = 0; c < 3; ++c) bc_dofs.push_back(3 * node + c);
+  }
+  const fem::DofPartition part = fem::partition_dofs(sys.num_dofs, bc_dofs);
+  const la::CsrMatrix a_ff =
+      sys.stiffness.submatrix(part.free_map, part.num_free, part.free_map, part.num_free);
+  const la::SparseCholesky chol(a_ff);
+  la::Vec b(part.num_free, 1.0), x;
+  for (auto _ : state) {
+    chol.solve_inplace(b, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_SparseCholeskySolve);
+
+void BM_CgUnitBlock(benchmark::State& state) {
+  // CG with SSOR on the clamped unit block (reference-solver inner loop).
+  fem::AssembledSystem sys = [] {
+    const mesh::HexMesh block = mesh::build_tsv_block_mesh(kGeometry, kSpec);
+    return fem::assemble_system(block, materials());
+  }();
+  const mesh::HexMesh block = mesh::build_tsv_block_mesh(kGeometry, kSpec);
+  la::Vec rhs = sys.thermal_load;
+  la::scale(rhs, -250.0);
+  fem::apply_dirichlet(sys.stiffness, rhs,
+                       fem::DirichletBc::clamp_nodes(block.top_bottom_nodes()));
+  const la::SsorPreconditioner precond(sys.stiffness);
+  la::IterativeOptions options;
+  options.rel_tol = 1e-7;
+  for (auto _ : state) {
+    la::Vec x;
+    const auto result = la::conjugate_gradient(sys.stiffness, rhs, x, &precond, options);
+    benchmark::DoNotOptimize(result.iterations);
+  }
+}
+BENCHMARK(BM_CgUnitBlock);
+
+void BM_LocalStage(benchmark::State& state) {
+  // The full one-shot local stage at (n,n,n) nodes; arg is n.
+  rom::LocalStageOptions options;
+  options.nodes_x = options.nodes_y = options.nodes_z = static_cast<int>(state.range(0));
+  options.samples_per_block = 20;
+  options.sample_displacements = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rom::run_local_stage(kGeometry, kSpec, materials(), rom::BlockKind::Tsv, options));
+  }
+}
+BENCHMARK(BM_LocalStage)->Arg(2)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

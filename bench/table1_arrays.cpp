@@ -1,0 +1,55 @@
+// Reproduces Table 1 of the paper: standalone TSV arrays (scenario 1,
+// Fig. 5(a)) at p = 15 um and p = 10 um, comparing the full fine-mesh FEM
+// reference (ANSYS substitute), the linear superposition baseline, and
+// MORE-Stress in computational time, memory, and normalized von Mises MAE.
+//
+// Defaults are bench-scale (sizes 6/10/14, coarser fine mesh) so the whole
+// suite finishes in minutes on one core; --sizes and --paper-scale restore
+// larger sweeps. Absolute numbers differ from the paper (different machine,
+// mesh, and substrate); the comparison *shape* is the reproduction target.
+
+#include <cstdio>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  ms::util::CliParser cli("table1_arrays", "Paper Table 1: standalone TSV array sweep");
+  ms::bench::add_common_flags(cli);
+  cli.add_string("sizes", "8,12,16", "comma-separated array edge lengths");
+  cli.add_string("pitches", "15,10", "comma-separated pitches in um");
+  cli.parse(argc, argv);
+
+  const std::vector<int> sizes = ms::bench::parse_int_list(cli.get_string("sizes"));
+  const std::vector<int> pitches = ms::bench::parse_int_list(cli.get_string("pitches"));
+
+  std::printf("=== Table 1: thermal stress of standalone TSV arrays ===\n");
+  std::printf("geometry: d=5 um, t=0.5 um, h=50 um, DT=-250 C, (4,4,4) nodes unless --nodes\n\n");
+
+  for (int pitch : pitches) {
+    ms::bench::BenchSetup setup = ms::bench::default_setup(pitch);
+    ms::bench::apply_common_flags(cli, setup);
+
+    ms::core::MoreStressSimulator simulator(setup.config);
+    const double local_seconds = simulator.prepare_local_stage(false);
+
+    ms::baseline::SuperpositionModel::BuildOptions sp_options;
+    sp_options.window_blocks = setup.superposition_window;
+    sp_options.samples_per_block = setup.config.local.samples_per_block;
+    sp_options.thermal_load = setup.config.thermal_load;
+    sp_options.fem = setup.reference_fem;
+    const auto superposition = ms::baseline::SuperpositionModel::build(
+        setup.config.geometry, setup.config.mesh_spec, setup.config.materials, sp_options);
+
+    std::printf("one-shot costs at p=%d um: local stage %.1f s, superposition build %.1f s\n\n",
+                pitch, local_seconds, superposition.build_seconds());
+
+    std::vector<ms::bench::ArrayCaseResult> results;
+    for (int size : sizes) {
+      results.push_back(ms::bench::run_array_case(setup, simulator, superposition, size));
+      std::fflush(stdout);
+    }
+    ms::bench::print_table1_block(pitch, results, setup.run_reference);
+  }
+  std::printf("peak RSS: %s\n", ms::util::format_bytes(ms::util::peak_rss_bytes()).c_str());
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Scenario-2 walkthrough (paper Fig. 5(b) / Table 2): solve a coarse chiplet
+// package once, then drop a TSV array at the five standard locations and
+// compute its stress through the sub-modeling path — coarse displacement
+// boundary conditions + dummy-block padding + the ROM global stage.
+//
+//   ./chiplet_submodel [--array 5] [--rings 2] [--pitch 15]
+
+#include <cstdio>
+
+#include "chiplet/package_model.hpp"
+#include "chiplet/submodel.hpp"
+#include "core/simulator.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  ms::util::CliParser cli("chiplet_submodel", "TSV array embedded in a chiplet (sub-modeling)");
+  cli.add_int("array", 5, "TSV array edge length");
+  cli.add_int("rings", 2, "dummy-block padding rings");
+  cli.add_double("pitch", 15.0, "TSV pitch in micrometres");
+  cli.add_int("samples", 40, "plane samples per block");
+  cli.parse(argc, argv);
+
+  const int array = static_cast<int>(cli.get_int("array"));
+  const int rings = static_cast<int>(cli.get_int("rings"));
+  const int padded = array + 2 * rings;
+
+  ms::core::SimulationConfig config = ms::core::SimulationConfig::paper_default();
+  config.geometry.pitch = cli.get_double("pitch");
+  config.mesh_spec = {8, 6};
+  config.local.samples_per_block = static_cast<int>(cli.get_int("samples"));
+
+  // Package: substrate + interposer + die, interposer hosting the TSVs.
+  ms::chiplet::PackageGeometry geom;
+  geom.interposer_x = geom.interposer_y = std::max(600.0, 2.5 * padded * config.geometry.pitch);
+  geom.interposer_z = config.geometry.height;
+  geom.substrate_x = geom.substrate_y = geom.interposer_x + 400.0;
+  geom.substrate_z = 150.0;
+  geom.die_x = geom.die_y = 0.5 * geom.interposer_x;
+  geom.die_z = 80.0;
+
+  std::printf("solving coarse package model (%gx%g um substrate)...\n", geom.substrate_x,
+              geom.substrate_y);
+  ms::util::WallTimer timer;
+  const ms::chiplet::PackageModel package(geom, {20, 20, 3, 2, 2}, config.thermal_load);
+  std::printf("coarse solve: %.1f s (%d dofs)\n\n", timer.seconds(),
+              static_cast<int>(package.stats().num_dofs));
+
+  ms::core::MoreStressSimulator sim(config);
+  const double local_seconds = sim.prepare_local_stage(/*with_dummy=*/rings > 0);
+  std::printf("one-shot local stages (TSV + dummy): %.1f s\n\n", local_seconds);
+
+  const auto locations =
+      ms::chiplet::standard_locations(geom, config.geometry.pitch, padded, padded);
+
+  ms::util::TextTable table(
+      {"location", "origin (um)", "global time", "iters", "peak vM [MPa]", "mean vM [MPa]"});
+  for (const auto& loc : locations) {
+    const auto displacement = [&](const ms::mesh::Point3& p) {
+      return package.displacement_at(
+          {p.x + loc.origin.x, p.y + loc.origin.y, p.z + loc.origin.z});
+    };
+    const ms::core::ArrayResult result = sim.simulate_submodel(array, array, rings, displacement);
+    double peak = 0.0, mean = 0.0;
+    for (double v : result.von_mises) {
+      peak = std::max(peak, v);
+      mean += v;
+    }
+    mean /= static_cast<double>(result.von_mises.size());
+    table.add_row({loc.label, ms::util::strf("(%.0f, %.0f)", loc.origin.x, loc.origin.y),
+                   ms::util::format_seconds(result.stats.global_seconds()),
+                   ms::util::strf("%d", static_cast<int>(result.stats.iterations)),
+                   ms::util::strf("%.0f", peak), ms::util::strf("%.0f", mean)});
+    std::fflush(stdout);
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nNote how peak stress varies with location: the array couples with the\n"
+      "package warpage field, which is what the sub-modeling path captures.\n");
+  return 0;
+}

@@ -1,0 +1,152 @@
+#include "baseline/superposition.hpp"
+
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace ms::baseline {
+
+SuperpositionModel SuperpositionModel::build(const mesh::TsvGeometry& geometry,
+                                             const mesh::BlockMeshSpec& spec,
+                                             const fem::MaterialTable& materials,
+                                             const BuildOptions& options) {
+  if (options.window_blocks < 3 || options.window_blocks % 2 == 0) {
+    throw std::invalid_argument("SuperpositionModel: window_blocks must be odd and >= 3");
+  }
+  util::WallTimer timer;
+  const int k = options.window_blocks;
+  const int s = options.samples_per_block;
+
+  SuperpositionModel model;
+  model.geometry_ = geometry;
+  model.window_ = k;
+  model.s_ = s;
+  model.thermal_load_ = options.thermal_load;
+
+  // One-shot FEM solves: single centred via, and pure silicon.
+  const mesh::HexMesh single_mesh =
+      mesh::build_array_mesh(geometry, spec, k, k, mesh::single_tsv_mask(k, k));
+  const mesh::HexMesh plain_mesh =
+      mesh::build_array_mesh(geometry, spec, k, k,
+                             std::vector<std::uint8_t>(static_cast<std::size_t>(k) * k, 0));
+
+  const fem::PlaneGrid grid =
+      fem::make_block_plane_grid(geometry.pitch, k, k, s, 0.5 * geometry.height);
+
+  const fem::DirichletBc bc_single =
+      fem::DirichletBc::clamp_nodes(single_mesh.top_bottom_nodes());
+  const Vec u_single = fem::solve_thermal_stress(single_mesh, materials, options.thermal_load,
+                                                 bc_single, options.fem);
+  const std::vector<Stress6> f_single =
+      fem::sample_plane_stress(single_mesh, materials, u_single, options.thermal_load, grid);
+
+  const fem::DirichletBc bc_plain = fem::DirichletBc::clamp_nodes(plain_mesh.top_bottom_nodes());
+  const Vec u_plain = fem::solve_thermal_stress(plain_mesh, materials, options.thermal_load,
+                                                bc_plain, options.fem);
+  const std::vector<Stress6> f_plain =
+      fem::sample_plane_stress(plain_mesh, materials, u_plain, options.thermal_load, grid);
+
+  // Delta field over the whole window; background from the window centre
+  // block of the pure-silicon solve (far from the lateral free faces).
+  model.delta_.resize(f_single.size());
+  for (std::size_t i = 0; i < f_single.size(); ++i) {
+    for (int r = 0; r < fem::kVoigt; ++r) model.delta_[i][r] = f_single[i][r] - f_plain[i][r];
+  }
+  model.background_.resize(static_cast<std::size_t>(s) * s);
+  const int cb = k / 2;
+  const std::size_t row_len = static_cast<std::size_t>(k) * s;
+  for (int my = 0; my < s; ++my) {
+    for (int mx = 0; mx < s; ++mx) {
+      const std::size_t src =
+          (static_cast<std::size_t>(cb) * s + my) * row_len + static_cast<std::size_t>(cb) * s + mx;
+      model.background_[static_cast<std::size_t>(my) * s + mx] = f_plain[src];
+    }
+  }
+  model.build_seconds_ = timer.seconds();
+  return model;
+}
+
+std::vector<Stress6> SuperpositionModel::estimate_array(int nx, int ny) const {
+  return estimate(nx, ny, {}, nullptr);
+}
+
+std::vector<Stress6> SuperpositionModel::estimate(
+    int nx, int ny, const std::vector<std::uint8_t>& tsv_mask,
+    const std::function<Stress6(const mesh::Point3&)>* background) const {
+  if (nx < 1 || ny < 1) throw std::invalid_argument("SuperpositionModel: need nx, ny >= 1");
+  if (!tsv_mask.empty() && tsv_mask.size() != static_cast<std::size_t>(nx) * ny) {
+    throw std::invalid_argument("SuperpositionModel: mask size must be nx*ny");
+  }
+  const int s = s_;
+  const int radius = window_ / 2;
+  const std::size_t width = static_cast<std::size_t>(nx) * s;
+  std::vector<Stress6> out(width * static_cast<std::size_t>(ny) * s);
+
+  // Background first.
+  if (background == nullptr) {
+    for (int by = 0; by < ny; ++by) {
+      for (int bx = 0; bx < nx; ++bx) {
+        for (int my = 0; my < s; ++my) {
+          for (int mx = 0; mx < s; ++mx) {
+            out[(static_cast<std::size_t>(by) * s + my) * width +
+                static_cast<std::size_t>(bx) * s + mx] =
+                background_[static_cast<std::size_t>(my) * s + mx];
+          }
+        }
+      }
+    }
+  } else {
+    const double p = geometry_.pitch;
+    const double z = 0.5 * geometry_.height;
+    for (int by = 0; by < ny; ++by) {
+      for (int my = 0; my < s; ++my) {
+        const double y = (by + (my + 0.5) / s) * p;
+        for (int bx = 0; bx < nx; ++bx) {
+          for (int mx = 0; mx < s; ++mx) {
+            const double x = (bx + (mx + 0.5) / s) * p;
+            out[(static_cast<std::size_t>(by) * s + my) * width +
+                static_cast<std::size_t>(bx) * s + mx] = (*background)({x, y, z});
+          }
+        }
+      }
+    }
+  }
+
+  // Add each via's delta contribution to every sample within the window.
+  const std::size_t delta_row = static_cast<std::size_t>(window_) * s;
+  for (int ty = 0; ty < ny; ++ty) {
+    for (int tx = 0; tx < nx; ++tx) {
+      const bool has_tsv =
+          tsv_mask.empty() || tsv_mask[static_cast<std::size_t>(ty) * nx + tx] != 0;
+      if (!has_tsv) continue;
+      const int by_lo = std::max(0, ty - radius);
+      const int by_hi = std::min(ny - 1, ty + radius);
+      const int bx_lo = std::max(0, tx - radius);
+      const int bx_hi = std::min(nx - 1, tx + radius);
+      for (int by = by_lo; by <= by_hi; ++by) {
+        const int wy = by - ty + radius;  // window block row
+        for (int bx = bx_lo; bx <= bx_hi; ++bx) {
+          const int wx = bx - tx + radius;
+          for (int my = 0; my < s; ++my) {
+            const std::size_t src_row = (static_cast<std::size_t>(wy) * s + my) * delta_row +
+                                        static_cast<std::size_t>(wx) * s;
+            const std::size_t dst_row = (static_cast<std::size_t>(by) * s + my) * width +
+                                        static_cast<std::size_t>(bx) * s;
+            for (int mx = 0; mx < s; ++mx) {
+              const Stress6& d = delta_[src_row + mx];
+              Stress6& o = out[dst_row + mx];
+              for (int r = 0; r < fem::kVoigt; ++r) o[r] += d[r];
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t SuperpositionModel::memory_bytes() const {
+  return (delta_.size() + background_.size()) * sizeof(Stress6);
+}
+
+}  // namespace ms::baseline

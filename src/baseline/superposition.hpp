@@ -1,0 +1,72 @@
+#pragma once
+// The linear superposition baseline (paper Sec. 2, [Jung 2012/2014]).
+//
+// One-shot part: two fine FEM solves on a K x K block window — one with a
+// single TSV at the centre and one pure silicon — give the per-via *delta*
+// stress field on the mid-height plane (their difference). Run-time part:
+// the array estimate at a sample point is the tiled background plus the sum
+// of delta contributions of every via within the window.
+//
+// The method ignores (a) elastic coupling between neighbouring vias and
+// (b) coupling between vias and gradients of the background field; these are
+// exactly the error mechanisms the paper measures against MORE-Stress.
+
+#include <functional>
+#include <vector>
+
+#include "fem/solver.hpp"
+#include "fem/stress.hpp"
+#include "mesh/tsv_block.hpp"
+
+namespace ms::baseline {
+
+using fem::Stress6;
+using la::idx_t;
+using la::Vec;
+
+class SuperpositionModel {
+ public:
+  struct BuildOptions {
+    int window_blocks = 7;       ///< K: odd window edge for the one-shot solves
+    int samples_per_block = 100; ///< s: must match the comparison grid
+    double thermal_load = -250.0;
+    fem::FemSolveOptions fem;    ///< solver for the two one-shot FEM runs
+  };
+
+  /// Run the one-shot stage (two K x K fine FEM solves).
+  static SuperpositionModel build(const mesh::TsvGeometry& geometry,
+                                  const mesh::BlockMeshSpec& spec,
+                                  const fem::MaterialTable& materials,
+                                  const BuildOptions& options);
+
+  /// Scenario-1 estimate: all-TSV nx x ny array, background tiled from the
+  /// pure-silicon window centre. Returns the mid-plane stress field, y-major,
+  /// s samples per block (same layout as the ROM/reference fields).
+  [[nodiscard]] std::vector<Stress6> estimate_array(int nx, int ny) const;
+
+  /// General estimate: `tsv_mask` marks via-carrying blocks (empty = all),
+  /// `background` supplies the ambient stress per sample point (e.g. coarse
+  /// chiplet stress for sub-modeling); pass nullptr to tile the built-in
+  /// silicon background.
+  [[nodiscard]] std::vector<Stress6> estimate(
+      int nx, int ny, const std::vector<std::uint8_t>& tsv_mask,
+      const std::function<Stress6(const mesh::Point3&)>* background) const;
+
+  [[nodiscard]] int window_blocks() const { return window_; }
+  [[nodiscard]] int samples_per_block() const { return s_; }
+  [[nodiscard]] double build_seconds() const { return build_seconds_; }
+
+  /// Bytes of the stored delta/background fields.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  mesh::TsvGeometry geometry_;
+  int window_ = 0;
+  int s_ = 0;
+  double thermal_load_ = 0.0;
+  double build_seconds_ = 0.0;
+  std::vector<Stress6> delta_;       ///< (K s)^2 field around the centre via
+  std::vector<Stress6> background_;  ///< s^2 centre-block silicon background
+};
+
+}  // namespace ms::baseline

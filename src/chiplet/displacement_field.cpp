@@ -1,0 +1,29 @@
+#include "chiplet/displacement_field.hpp"
+
+#include "fem/assembler.hpp"
+#include "fem/hex8.hpp"
+
+namespace ms::chiplet {
+
+DisplacementField::DisplacementField(const mesh::HexMesh& mesh, const la::Vec& u)
+    : mesh_(&mesh), u_(&u) {}
+
+std::array<double, 3> DisplacementField::operator()(const mesh::Point3& p) const {
+  const mesh::Point3 q{p.x + offset_.x, p.y + offset_.y, p.z + offset_.z};
+  const auto loc = mesh_->locate(q);
+  const auto shapes = fem::hex8_shape(loc.xi, loc.eta, loc.zeta);
+  const auto nodes = mesh_->elem_nodes(loc.elem);
+  std::array<double, 3> u{};
+  for (int a = 0; a < fem::kHexNodes; ++a) {
+    for (int c = 0; c < 3; ++c) u[c] += shapes[a] * (*u_)[fem::dof_of(nodes[a], c)];
+  }
+  return u;
+}
+
+DisplacementField DisplacementField::shifted(const mesh::Point3& offset) const {
+  DisplacementField f(*mesh_, *u_);
+  f.offset_ = {offset_.x + offset.x, offset_.y + offset.y, offset_.z + offset.z};
+  return f;
+}
+
+}  // namespace ms::chiplet

@@ -1,0 +1,33 @@
+#pragma once
+// A displacement field probe over any solved FEM model: wraps (mesh, u) and
+// interpolates trilinearly at arbitrary points. Used to transfer the coarse
+// package solution onto sub-model boundaries (paper Sec. 4.4) and in tests
+// to compare fields between solvers.
+
+#include <array>
+
+#include "la/vec.hpp"
+#include "mesh/hex_mesh.hpp"
+
+namespace ms::chiplet {
+
+class DisplacementField {
+ public:
+  /// References are kept; mesh and u must outlive the field.
+  DisplacementField(const mesh::HexMesh& mesh, const la::Vec& u);
+
+  /// Trilinear interpolation of the displacement vector at p (points outside
+  /// the mesh are clamped to the nearest element, like HexMesh::locate).
+  [[nodiscard]] std::array<double, 3> operator()(const mesh::Point3& p) const;
+
+  /// Same field expressed in a coordinate frame shifted by `offset` (the
+  /// sub-model's local frame): query(p_local) = field(p_local + offset).
+  [[nodiscard]] DisplacementField shifted(const mesh::Point3& offset) const;
+
+ private:
+  const mesh::HexMesh* mesh_;
+  const la::Vec* u_;
+  mesh::Point3 offset_{};
+};
+
+}  // namespace ms::chiplet

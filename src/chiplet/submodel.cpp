@@ -1,0 +1,63 @@
+#include "chiplet/submodel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ms::chiplet {
+
+std::vector<SubmodelPlacement> standard_locations(const PackageGeometry& geometry, double pitch,
+                                                  int blocks_x, int blocks_y) {
+  geometry.validate();
+  const double wx = blocks_x * pitch;
+  const double wy = blocks_y * pitch;
+  const double z0 = geometry.interposer_z0();
+
+  const double ix0 = geometry.interposer_x0();
+  const double iy0 = geometry.interposer_y0();
+  const double ix1 = ix0 + geometry.interposer_x;
+  const double iy1 = iy0 + geometry.interposer_y;
+  if (wx > geometry.interposer_x || wy > geometry.interposer_y) {
+    throw std::invalid_argument("standard_locations: sub-model larger than the interposer");
+  }
+  const auto clamp_x = [&](double x) { return std::clamp(x, ix0, ix1 - wx); };
+  const auto clamp_y = [&](double y) { return std::clamp(y, iy0, iy1 - wy); };
+
+  const double die_cx = geometry.die_x0() + 0.5 * geometry.die_x;
+  const double die_cy = geometry.die_y0() + 0.5 * geometry.die_y;
+  const double die_x1 = geometry.die_x0() + geometry.die_x;
+  const double die_y1 = geometry.die_y0() + geometry.die_y;
+
+  std::vector<SubmodelPlacement> locs(5);
+  // loc1: centre of the die shadow (smooth background).
+  locs[0] = {{clamp_x(die_cx - 0.5 * wx), clamp_y(die_cy - 0.5 * wy), z0}, blocks_x, blocks_y,
+             "loc1"};
+  // loc2: straddling the die edge mid-side (moderate gradient).
+  locs[1] = {{clamp_x(die_x1 - 0.5 * wx), clamp_y(die_cy - 0.5 * wy), z0}, blocks_x, blocks_y,
+             "loc2"};
+  // loc3: die corner (sharp background variation).
+  locs[2] = {{clamp_x(die_x1 - 0.5 * wx), clamp_y(die_y1 - 0.5 * wy), z0}, blocks_x, blocks_y,
+             "loc3"};
+  // loc4: between die edge and interposer edge.
+  locs[3] = {{clamp_x(0.5 * (die_x1 + ix1) - 0.5 * wx), clamp_y(die_cy - 0.5 * wy), z0}, blocks_x,
+             blocks_y, "loc4"};
+  // loc5: interposer corner (sharpest background variation).
+  locs[4] = {{clamp_x(ix1 - wx), clamp_y(iy1 - wy), z0}, blocks_x, blocks_y, "loc5"};
+  return locs;
+}
+
+fem::DirichletBc fine_submodel_bc(const mesh::HexMesh& fine_mesh, const PackageModel& package,
+                                  const SubmodelPlacement& placement) {
+  const std::vector<la::idx_t> nodes = fine_mesh.boundary_nodes();
+  la::Vec values;
+  values.reserve(3 * nodes.size());
+  for (la::idx_t node : nodes) {
+    const mesh::Point3 local = fine_mesh.node_pos(node);
+    const mesh::Point3 global{local.x + placement.origin.x, local.y + placement.origin.y,
+                              local.z + placement.origin.z};
+    const auto u = package.displacement_at(global);
+    values.insert(values.end(), u.begin(), u.end());
+  }
+  return fem::DirichletBc::clamp_nodes(nodes, values);
+}
+
+}  // namespace ms::chiplet

@@ -1,0 +1,39 @@
+#pragma once
+// Sub-model placement in the package (paper Fig. 5(b)): the five standard
+// locations loc1..loc5 of the embedded TSV array, and the extraction of
+// Dirichlet data for both the ROM global stage and the reference fine FEM.
+
+#include <string>
+#include <vector>
+
+#include "chiplet/package_model.hpp"
+#include "fem/dirichlet.hpp"
+#include "mesh/tsv_block.hpp"
+
+namespace ms::chiplet {
+
+/// Placement of a blocks_x x blocks_y sub-model (including dummy rings) in
+/// package coordinates; `origin` is the lower-left-bottom corner.
+struct SubmodelPlacement {
+  mesh::Point3 origin;
+  int blocks_x = 0;
+  int blocks_y = 0;
+  std::string label;
+};
+
+/// The paper's five locations for an array embedded in the interposer:
+///   loc1 centre of the die shadow, loc2 die-edge middle, loc3 die corner,
+///   loc4 between die edge and interposer edge, loc5 interposer corner.
+/// The sub-model spans the interposer thickness; the footprint is
+/// blocks_x*p x blocks_y*p. Locations are clamped to keep the sub-model
+/// inside the interposer.
+std::vector<SubmodelPlacement> standard_locations(const PackageGeometry& geometry, double pitch,
+                                                  int blocks_x, int blocks_y);
+
+/// Dirichlet data for a *fine mesh* of the sub-model (all outer-boundary
+/// nodes take the coarse package displacement). The fine mesh lives in the
+/// sub-model local frame with origin at placement.origin.
+fem::DirichletBc fine_submodel_bc(const mesh::HexMesh& fine_mesh, const PackageModel& package,
+                                  const SubmodelPlacement& placement);
+
+}  // namespace ms::chiplet

@@ -1,0 +1,68 @@
+#include "core/report.hpp"
+
+#include "fem/stress.hpp"
+#include "mesh/tsv_block.hpp"
+
+namespace ms::core {
+namespace {
+
+ReferenceResult sample_reference(const mesh::HexMesh& mesh, const SimulationConfig& config,
+                                 const la::Vec& u, const fem::FemSolveStats& stats,
+                                 double x0_blocks, double y0_blocks, int region_x, int region_y) {
+  ReferenceResult result;
+  result.stats = stats;
+  fem::PlaneGrid grid = fem::make_block_plane_grid(config.geometry.pitch, region_x, region_y,
+                                                   config.local.samples_per_block,
+                                                   0.5 * config.geometry.height);
+  // Shift the grid into the mesh frame when the region excludes dummy rings.
+  for (double& x : grid.xs) x += x0_blocks * config.geometry.pitch;
+  for (double& y : grid.ys) y += y0_blocks * config.geometry.pitch;
+  const auto stress =
+      fem::sample_plane_stress(mesh, config.materials, u, config.thermal_load, grid);
+  result.von_mises = fem::to_von_mises(stress);
+  result.field_bytes = result.von_mises.size() * sizeof(double);
+  return result;
+}
+
+}  // namespace
+
+ReferenceResult reference_array(const SimulationConfig& config, int blocks_x, int blocks_y,
+                                const fem::FemSolveOptions& options) {
+  const mesh::HexMesh mesh =
+      mesh::build_array_mesh(config.geometry, config.mesh_spec, blocks_x, blocks_y);
+  const fem::DirichletBc bc = fem::DirichletBc::clamp_nodes(mesh.top_bottom_nodes());
+  fem::FemSolveStats stats;
+  const la::Vec u =
+      fem::solve_thermal_stress(mesh, config.materials, config.thermal_load, bc, options, &stats);
+  return sample_reference(mesh, config, u, stats, 0.0, 0.0, blocks_x, blocks_y);
+}
+
+ReferenceResult reference_submodel(
+    const SimulationConfig& config, int tsv_blocks_x, int tsv_blocks_y, int dummy_rings,
+    const std::function<std::array<double, 3>(const mesh::Point3&)>& displacement,
+    const fem::FemSolveOptions& options) {
+  const int bx = tsv_blocks_x + 2 * dummy_rings;
+  const int by = tsv_blocks_y + 2 * dummy_rings;
+  const mesh::HexMesh mesh = mesh::build_array_mesh(config.geometry, config.mesh_spec, bx, by,
+                                                    mesh::padded_tsv_mask(bx, by, dummy_rings));
+  // Prescribe the coarse displacement on every outer-boundary node.
+  const std::vector<la::idx_t> bnodes = mesh.boundary_nodes();
+  la::Vec values;
+  values.reserve(3 * bnodes.size());
+  for (la::idx_t node : bnodes) {
+    const auto u = displacement(mesh.node_pos(node));
+    values.insert(values.end(), u.begin(), u.end());
+  }
+  const fem::DirichletBc bc = fem::DirichletBc::clamp_nodes(bnodes, values);
+  fem::FemSolveStats stats;
+  const la::Vec u =
+      fem::solve_thermal_stress(mesh, config.materials, config.thermal_load, bc, options, &stats);
+  return sample_reference(mesh, config, u, stats, dummy_rings, dummy_rings, tsv_blocks_x,
+                          tsv_blocks_y);
+}
+
+double field_error(const ReferenceResult& reference, const std::vector<double>& field) {
+  return fem::normalized_mae(reference.von_mises, field);
+}
+
+}  // namespace ms::core

@@ -1,0 +1,36 @@
+#pragma once
+// Reference-comparison helpers shared by the benches and EXPERIMENTS.md:
+// run the full fine-mesh FEM (ANSYS substitute) on the matching array or
+// sub-model and package times, memory, and normalized MAE.
+
+#include <optional>
+
+#include "core/simulator.hpp"
+#include "fem/solver.hpp"
+
+namespace ms::core {
+
+/// Result of a reference (full FEM) run on the comparison plane.
+struct ReferenceResult {
+  std::vector<double> von_mises;      ///< same grid/layout as ArrayResult
+  fem::FemSolveStats stats;
+  std::size_t field_bytes = 0;
+};
+
+/// Full fine FEM of a standalone array (scenario 1), sampled on the same
+/// mid-plane grid the ROM uses.
+ReferenceResult reference_array(const SimulationConfig& config, int blocks_x, int blocks_y,
+                                const fem::FemSolveOptions& options);
+
+/// Full fine FEM of a padded sub-model with prescribed boundary
+/// displacements (scenario 2); the field covers the inner TSV region only.
+ReferenceResult reference_submodel(
+    const SimulationConfig& config, int tsv_blocks_x, int tsv_blocks_y, int dummy_rings,
+    const std::function<std::array<double, 3>(const mesh::Point3&)>& displacement,
+    const fem::FemSolveOptions& options);
+
+/// Normalized MAE (paper Sec. 5.2) between a reference field and any other
+/// field on the same grid.
+double field_error(const ReferenceResult& reference, const std::vector<double>& field);
+
+}  // namespace ms::core

@@ -1,0 +1,152 @@
+#include "core/simulator.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+
+#include "rom/local_stage.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace ms::core {
+
+SimulationConfig SimulationConfig::paper_default() {
+  SimulationConfig config;
+  config.geometry = {15.0, 5.0, 0.5, 50.0};
+  config.mesh_spec = {12, 9};
+  config.local.nodes_x = 4;
+  config.local.nodes_y = 4;
+  config.local.nodes_z = 4;
+  config.local.samples_per_block = 100;
+  config.thermal_load = -250.0;
+  return config;
+}
+
+MoreStressSimulator::MoreStressSimulator(SimulationConfig config) : config_(std::move(config)) {
+  config_.geometry.validate();
+  config_.mesh_spec.validate();
+}
+
+std::string MoreStressSimulator::cache_path(rom::BlockKind kind) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "rom_%s_p%.3g_d%.3g_t%.3g_h%.3g_m%dx%d_n%d%d%d_s%d.bin",
+                kind == rom::BlockKind::Tsv ? "tsv" : "dummy", config_.geometry.pitch,
+                config_.geometry.diameter, config_.geometry.liner_thickness,
+                config_.geometry.height, config_.mesh_spec.elems_xy, config_.mesh_spec.elems_z,
+                config_.local.nodes_x, config_.local.nodes_y, config_.local.nodes_z,
+                config_.local.samples_per_block);
+  return (std::filesystem::path(cache_dir_) / buf).string();
+}
+
+const rom::RomModel& MoreStressSimulator::model_for(rom::BlockKind kind) {
+  auto& slot = (kind == rom::BlockKind::Tsv) ? tsv_model_ : dummy_model_;
+  if (slot.has_value()) return *slot;
+
+  if (!cache_dir_.empty()) {
+    const std::string path = cache_path(kind);
+    if (std::filesystem::exists(path)) {
+      slot = rom::RomModel::load(path);
+      MS_LOG_INFO("loaded cached ROM model from %s", path.c_str());
+      return *slot;
+    }
+  }
+  slot = rom::run_local_stage(config_.geometry, config_.mesh_spec, config_.materials, kind,
+                              config_.local);
+  if (!cache_dir_.empty()) {
+    std::filesystem::create_directories(cache_dir_);
+    slot->save(cache_path(kind));
+  }
+  return *slot;
+}
+
+const rom::RomModel& MoreStressSimulator::tsv_model() { return model_for(rom::BlockKind::Tsv); }
+
+const rom::RomModel& MoreStressSimulator::dummy_model() {
+  return model_for(rom::BlockKind::Dummy);
+}
+
+double MoreStressSimulator::prepare_local_stage(bool with_dummy) {
+  util::WallTimer timer;
+  const bool tsv_cached = tsv_model_.has_value();
+  (void)tsv_model();
+  if (with_dummy && !dummy_model_.has_value()) (void)dummy_model();
+  return tsv_cached && (!with_dummy || dummy_model_.has_value()) ? 0.0 : timer.seconds();
+}
+
+ArrayResult MoreStressSimulator::run_global(int blocks_x, int blocks_y,
+                                            const rom::BlockMask& mask,
+                                            const fem::DirichletBc& bc,
+                                            const rom::BlockRange& report_range,
+                                            bool uses_dummy) {
+  const rom::RomModel& tsv = tsv_model();
+  const rom::RomModel* dummy = uses_dummy ? &dummy_model() : nullptr;
+
+  ArrayResult result;
+  result.stats.local_stage_seconds =
+      tsv.local_stage_seconds + (dummy != nullptr ? dummy->local_stage_seconds : 0.0);
+
+  util::WallTimer timer;
+  const rom::BlockGrid grid(blocks_x, blocks_y, config_.local.nodes_x, config_.local.nodes_y,
+                            config_.local.nodes_z, config_.geometry.pitch,
+                            config_.geometry.height);
+  rom::GlobalProblem problem =
+      rom::assemble_global(grid, tsv, dummy, mask, config_.thermal_load);
+  result.stats.assemble_seconds = timer.seconds();
+
+  timer.reset();
+  rom::GlobalSolveStats solve_stats;
+  result.solution = rom::solve_global(problem, bc, config_.global, &solve_stats);
+  result.stats.solve_seconds = solve_stats.solve_seconds;
+  result.stats.global_dofs = solve_stats.num_dofs;
+  result.stats.iterations = solve_stats.iterations;
+  result.stats.converged = solve_stats.converged;
+
+  timer.reset();
+  result.stress = rom::reconstruct_plane_stress(grid, tsv, dummy, mask, result.solution,
+                                                config_.thermal_load, report_range);
+  result.von_mises = fem::to_von_mises(result.stress);
+  result.stats.reconstruct_seconds = timer.seconds();
+
+  result.region_blocks_x = report_range.width();
+  result.region_blocks_y = report_range.height();
+  result.samples_per_block = tsv.samples_per_block;
+  result.stats.memory_bytes = solve_stats.matrix_bytes + solve_stats.solver_bytes +
+                              tsv.memory_bytes() +
+                              (dummy != nullptr ? dummy->memory_bytes() : 0) +
+                              result.stress.size() * sizeof(fem::Stress6) +
+                              result.solution.size() * sizeof(double);
+  return result;
+}
+
+ArrayResult MoreStressSimulator::simulate_array(int blocks_x, int blocks_y) {
+  const rom::BlockGrid grid(blocks_x, blocks_y, config_.local.nodes_x, config_.local.nodes_y,
+                            config_.local.nodes_z, config_.geometry.pitch,
+                            config_.geometry.height);
+  const fem::DirichletBc bc = rom::clamp_top_bottom(grid);
+  rom::BlockRange range;
+  range.bx0 = 0;
+  range.bx1 = blocks_x;
+  range.by0 = 0;
+  range.by1 = blocks_y;
+  return run_global(blocks_x, blocks_y, {}, bc, range, /*uses_dummy=*/false);
+}
+
+ArrayResult MoreStressSimulator::simulate_submodel(
+    int tsv_blocks_x, int tsv_blocks_y, int dummy_rings,
+    const std::function<std::array<double, 3>(const mesh::Point3&)>& displacement) {
+  if (dummy_rings < 0) throw std::invalid_argument("simulate_submodel: dummy_rings >= 0");
+  const int bx = tsv_blocks_x + 2 * dummy_rings;
+  const int by = tsv_blocks_y + 2 * dummy_rings;
+  const rom::BlockGrid grid(bx, by, config_.local.nodes_x, config_.local.nodes_y,
+                            config_.local.nodes_z, config_.geometry.pitch,
+                            config_.geometry.height);
+  const rom::BlockMask mask = mesh::padded_tsv_mask(bx, by, dummy_rings);
+  const fem::DirichletBc bc = rom::submodel_boundary(grid, displacement);
+  rom::BlockRange range;
+  range.bx0 = dummy_rings;
+  range.bx1 = dummy_rings + tsv_blocks_x;
+  range.by0 = dummy_rings;
+  range.by1 = dummy_rings + tsv_blocks_y;
+  return run_global(bx, by, mask, bc, range, /*uses_dummy=*/dummy_rings > 0);
+}
+
+}  // namespace ms::core

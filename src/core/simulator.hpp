@@ -1,0 +1,94 @@
+#pragma once
+// MoreStressSimulator — the public entry point of the library.
+//
+//   ms::core::SimulationConfig config = ms::core::SimulationConfig::paper_default();
+//   ms::core::MoreStressSimulator sim(config);
+//   auto result = sim.simulate_array(20, 20);             // scenario 1
+//   // result.von_mises is the mid-plane field; result.stats has cost data.
+//
+// The one-shot local stage runs lazily on first use and is cached for the
+// lifetime of the simulator (and optionally on disk), exactly mirroring the
+// paper's "perform once, reuse for arbitrary array sizes/loads/locations".
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "core/config.hpp"
+#include "rom/block_grid.hpp"
+#include "rom/global_assembler.hpp"
+#include "rom/global_solver.hpp"
+#include "rom/reconstruct.hpp"
+
+namespace ms::core {
+
+using la::idx_t;
+using la::Vec;
+
+/// Cost/quality record of one global-stage run.
+struct RunStats {
+  double local_stage_seconds = 0.0;   ///< one-shot cost (amortized)
+  double assemble_seconds = 0.0;
+  double solve_seconds = 0.0;
+  double reconstruct_seconds = 0.0;
+  idx_t global_dofs = 0;
+  idx_t iterations = 0;
+  bool converged = false;
+  std::size_t memory_bytes = 0;       ///< models + matrix + solver workspace
+
+  /// Paper's "computational time of our algorithm": the global stage only.
+  [[nodiscard]] double global_seconds() const {
+    return assemble_seconds + solve_seconds + reconstruct_seconds;
+  }
+};
+
+struct ArrayResult {
+  std::vector<double> von_mises;      ///< mid-plane field over the region
+  std::vector<fem::Stress6> stress;   ///< full tensors, same layout
+  int region_blocks_x = 0;
+  int region_blocks_y = 0;
+  int samples_per_block = 0;
+  Vec solution;                       ///< global nodal displacement
+  RunStats stats;
+};
+
+class MoreStressSimulator {
+ public:
+  explicit MoreStressSimulator(SimulationConfig config);
+
+  /// Scenario 1: standalone nx x ny TSV array, top/bottom clamped.
+  [[nodiscard]] ArrayResult simulate_array(int blocks_x, int blocks_y);
+
+  /// Scenario 2: TSV array embedded in a package. `displacement` supplies
+  /// the coarse-solution boundary data (in the sub-model local frame);
+  /// `dummy_rings` pads the array per Sec. 4.4. The reported field covers
+  /// only the inner TSV region (the region of interest).
+  [[nodiscard]] ArrayResult simulate_submodel(
+      int tsv_blocks_x, int tsv_blocks_y, int dummy_rings,
+      const std::function<std::array<double, 3>(const mesh::Point3&)>& displacement);
+
+  /// Force the local stage now (otherwise lazy). Returns its wall time,
+  /// 0 when already cached.
+  double prepare_local_stage(bool with_dummy);
+
+  /// Optional on-disk cache for the one-shot models.
+  void set_cache_directory(const std::string& dir) { cache_dir_ = dir; }
+
+  [[nodiscard]] const SimulationConfig& config() const { return config_; }
+  [[nodiscard]] const rom::RomModel& tsv_model();
+  [[nodiscard]] const rom::RomModel& dummy_model();
+
+ private:
+  ArrayResult run_global(int blocks_x, int blocks_y, const rom::BlockMask& mask,
+                         const fem::DirichletBc& bc, const rom::BlockRange& report_range,
+                         bool uses_dummy);
+  const rom::RomModel& model_for(rom::BlockKind kind);
+  [[nodiscard]] std::string cache_path(rom::BlockKind kind) const;
+
+  SimulationConfig config_;
+  std::optional<rom::RomModel> tsv_model_;
+  std::optional<rom::RomModel> dummy_model_;
+  std::string cache_dir_;
+};
+
+}  // namespace ms::core

@@ -1,0 +1,149 @@
+#include "fem/assembler.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace ms::fem {
+namespace {
+
+using ShapeKey = std::tuple<double, double, double, std::uint8_t>;
+
+ShapeKey make_key(const mesh::HexMesh& mesh, idx_t elem) {
+  const mesh::Point3 lo = mesh.elem_min(elem);
+  const mesh::Point3 hi = mesh.elem_max(elem);
+  return {hi.x - lo.x, hi.y - lo.y, hi.z - lo.z,
+          static_cast<std::uint8_t>(mesh.material(elem))};
+}
+
+/// Build the exact CSR sparsity of the trilinear stencil: node (i,j,k)
+/// couples to the 3x3x3 neighborhood (clipped at the boundary), three dofs
+/// per node, rows and columns in ascending dof order. Values start at zero.
+CsrMatrix build_structured_pattern(const mesh::HexMesh& mesh) {
+  const idx_t nx = mesh.nodes_x();
+  const idx_t ny = mesh.nodes_y();
+  const idx_t nz = mesh.nodes_z();
+  const idx_t num_nodes = mesh.num_nodes();
+  const idx_t num_dofs = 3 * num_nodes;
+
+  std::vector<la::offset_t> row_ptr(static_cast<std::size_t>(num_dofs) + 1, 0);
+  // First pass: count columns per node row.
+  for (idx_t k = 0; k < nz; ++k) {
+    const idx_t span_k = std::min<idx_t>(k + 1, nz - 1) - std::max<idx_t>(k - 1, 0) + 1;
+    for (idx_t j = 0; j < ny; ++j) {
+      const idx_t span_j = std::min<idx_t>(j + 1, ny - 1) - std::max<idx_t>(j - 1, 0) + 1;
+      for (idx_t i = 0; i < nx; ++i) {
+        const idx_t span_i = std::min<idx_t>(i + 1, nx - 1) - std::max<idx_t>(i - 1, 0) + 1;
+        const la::offset_t cols = static_cast<la::offset_t>(span_i) * span_j * span_k * 3;
+        const idx_t node = mesh.node_id(i, j, k);
+        for (int c = 0; c < 3; ++c) row_ptr[static_cast<std::size_t>(dof_of(node, c)) + 1] = cols;
+      }
+    }
+  }
+  for (std::size_t r = 0; r < static_cast<std::size_t>(num_dofs); ++r) row_ptr[r + 1] += row_ptr[r];
+
+  std::vector<idx_t> col_idx(static_cast<std::size_t>(row_ptr[num_dofs]));
+  // Second pass: fill columns (neighbor loop order k,j,i yields ascending ids).
+  for (idx_t k = 0; k < nz; ++k) {
+    for (idx_t j = 0; j < ny; ++j) {
+      for (idx_t i = 0; i < nx; ++i) {
+        const idx_t node = mesh.node_id(i, j, k);
+        la::offset_t pos = row_ptr[dof_of(node, 0)];
+        const la::offset_t row_len = row_ptr[dof_of(node, 0) + 1] - pos;
+        for (idx_t kk = std::max<idx_t>(k - 1, 0); kk <= std::min<idx_t>(k + 1, nz - 1); ++kk) {
+          for (idx_t jj = std::max<idx_t>(j - 1, 0); jj <= std::min<idx_t>(j + 1, ny - 1); ++jj) {
+            for (idx_t ii = std::max<idx_t>(i - 1, 0); ii <= std::min<idx_t>(i + 1, nx - 1); ++ii) {
+              const idx_t nbr = mesh.node_id(ii, jj, kk);
+              for (int c = 0; c < 3; ++c) col_idx[pos++] = dof_of(nbr, c);
+            }
+          }
+        }
+        // Rows for components 1 and 2 share the same column pattern.
+        const la::offset_t begin = row_ptr[dof_of(node, 0)];
+        std::copy_n(col_idx.begin() + begin, row_len, col_idx.begin() + row_ptr[dof_of(node, 1)]);
+        std::copy_n(col_idx.begin() + begin, row_len, col_idx.begin() + row_ptr[dof_of(node, 2)]);
+      }
+    }
+  }
+  std::vector<double> values(col_idx.size(), 0.0);
+  return CsrMatrix::from_raw(num_dofs, num_dofs, std::move(row_ptr), std::move(col_idx),
+                             std::move(values));
+}
+
+/// Index of column `col` within CSR row `row` (must exist).
+inline la::offset_t find_entry(const CsrMatrix& a, idx_t row, idx_t col) {
+  const la::offset_t begin = a.row_ptr()[row];
+  const la::offset_t end = a.row_ptr()[static_cast<std::size_t>(row) + 1];
+  const auto first = a.col_idx().begin() + begin;
+  const auto last = a.col_idx().begin() + end;
+  const auto it = std::lower_bound(first, last, col);
+  return begin + (it - first);
+}
+
+}  // namespace
+
+AssembledSystem assemble_system(const mesh::HexMesh& mesh, const MaterialTable& materials) {
+  AssembledSystem sys;
+  sys.num_dofs = 3 * mesh.num_nodes();
+  sys.thermal_load.assign(sys.num_dofs, 0.0);
+  sys.stiffness = build_structured_pattern(mesh);
+  auto& values = sys.stiffness.values();
+
+  struct CachedElem {
+    std::array<double, kHexDofs * kHexDofs> ke;
+    std::array<double, kHexDofs> fe;
+  };
+  std::map<ShapeKey, CachedElem> cache;
+
+  const idx_t ne = mesh.num_elems();
+  for (idx_t e = 0; e < ne; ++e) {
+    const ShapeKey key = make_key(mesh, e);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+      const auto [hx, hy, hz, mat_id] = key;
+      const Material& mat = materials.at(static_cast<mesh::MaterialId>(mat_id));
+      CachedElem cached{hex8_stiffness(mat, hx, hy, hz), hex8_thermal_load(mat, hx, hy, hz)};
+      it = cache.emplace(key, cached).first;
+    }
+    const CachedElem& ce = it->second;
+
+    const auto nodes = mesh.elem_nodes(e);
+    std::array<idx_t, kHexDofs> dofs;
+    for (int a = 0; a < kHexNodes; ++a) {
+      for (int c = 0; c < 3; ++c) dofs[3 * a + c] = dof_of(nodes[a], c);
+    }
+    for (int i = 0; i < kHexDofs; ++i) {
+      sys.thermal_load[dofs[i]] += ce.fe[i];
+      // Columns within a row group by neighbor node; find each node group
+      // once and scatter its three components contiguously.
+      for (int aj = 0; aj < kHexNodes; ++aj) {
+        const la::offset_t slot = find_entry(sys.stiffness, dofs[i], dofs[3 * aj]);
+        for (int c = 0; c < 3; ++c) values[slot + c] += ce.ke[i * kHexDofs + 3 * aj + c];
+      }
+    }
+  }
+  return sys;
+}
+
+Vec assemble_thermal_load(const mesh::HexMesh& mesh, const MaterialTable& materials) {
+  const idx_t num_dofs = 3 * mesh.num_nodes();
+  Vec load(num_dofs, 0.0);
+  std::map<ShapeKey, std::array<double, kHexDofs>> cache;
+  const idx_t ne = mesh.num_elems();
+  for (idx_t e = 0; e < ne; ++e) {
+    const ShapeKey key = make_key(mesh, e);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+      const auto [hx, hy, hz, mat_id] = key;
+      const Material& mat = materials.at(static_cast<mesh::MaterialId>(mat_id));
+      it = cache.emplace(key, hex8_thermal_load(mat, hx, hy, hz)).first;
+    }
+    const auto nodes = mesh.elem_nodes(e);
+    for (int a = 0; a < kHexNodes; ++a) {
+      for (int c = 0; c < 3; ++c) load[dof_of(nodes[a], c)] += it->second[3 * a + c];
+    }
+  }
+  return load;
+}
+
+}  // namespace ms::fem

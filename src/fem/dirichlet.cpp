@@ -1,0 +1,75 @@
+#include "fem/dirichlet.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ms::fem {
+
+DirichletBc DirichletBc::clamp_nodes(const std::vector<idx_t>& nodes, const Vec& vals) {
+  if (!vals.empty() && vals.size() != 3 * nodes.size()) {
+    throw std::invalid_argument("DirichletBc::clamp_nodes: need 3 values per node");
+  }
+  DirichletBc bc;
+  bc.dofs.reserve(3 * nodes.size());
+  bc.values.reserve(3 * nodes.size());
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    for (int c = 0; c < 3; ++c) {
+      bc.add(3 * nodes[n] + c, vals.empty() ? 0.0 : vals[3 * n + c]);
+    }
+  }
+  return bc;
+}
+
+void apply_dirichlet(CsrMatrix& a, Vec& rhs, const DirichletBc& bc) {
+  assert(a.rows() == a.cols());
+  assert(static_cast<idx_t>(rhs.size()) == a.rows());
+  const idx_t n = a.rows();
+
+  std::vector<char> constrained(n, 0);
+  Vec value(n, 0.0);
+  for (std::size_t k = 0; k < bc.dofs.size(); ++k) {
+    const idx_t d = bc.dofs[k];
+    assert(d >= 0 && d < n);
+    constrained[d] = 1;
+    value[d] = bc.values[k];
+  }
+
+  auto& vals = a.values();
+  const auto& row_ptr = a.row_ptr();
+  const auto& col = a.col_idx();
+  for (idx_t r = 0; r < n; ++r) {
+    const la::offset_t end = row_ptr[static_cast<std::size_t>(r) + 1];
+    if (constrained[r]) {
+      for (la::offset_t k = row_ptr[r]; k < end; ++k) vals[k] = (col[k] == r) ? 1.0 : 0.0;
+      rhs[r] = value[r];
+      continue;
+    }
+    for (la::offset_t k = row_ptr[r]; k < end; ++k) {
+      if (constrained[col[k]]) {
+        rhs[r] -= vals[k] * value[col[k]];
+        vals[k] = 0.0;
+      }
+    }
+  }
+}
+
+DofPartition partition_dofs(idx_t num_dofs, const std::vector<idx_t>& bc_dofs) {
+  std::vector<char> constrained(num_dofs, 0);
+  for (idx_t d : bc_dofs) {
+    assert(d >= 0 && d < num_dofs);
+    constrained[d] = 1;
+  }
+  DofPartition part;
+  part.free_map.assign(num_dofs, -1);
+  part.bc_map.assign(num_dofs, -1);
+  for (idx_t d = 0; d < num_dofs; ++d) {
+    if (constrained[d]) {
+      part.bc_map[d] = part.num_bc++;
+    } else {
+      part.free_map[d] = part.num_free++;
+    }
+  }
+  return part;
+}
+
+}  // namespace ms::fem

@@ -1,0 +1,48 @@
+#pragma once
+// Dirichlet boundary conditions via the "lifting" procedure the paper uses
+// (Sec. 4.2): constrained rows become identity rows with the prescribed
+// value on the right-hand side, and the coupling columns are moved to the
+// RHS of the free rows so the operator stays symmetric (and SPD).
+
+#include <vector>
+
+#include "la/sparse.hpp"
+
+namespace ms::fem {
+
+using la::CsrMatrix;
+using la::idx_t;
+using la::Vec;
+
+/// A set of prescribed dofs with values (parallel arrays).
+struct DirichletBc {
+  std::vector<idx_t> dofs;
+  Vec values;
+
+  void add(idx_t dof, double value) {
+    dofs.push_back(dof);
+    values.push_back(value);
+  }
+  [[nodiscard]] std::size_t size() const { return dofs.size(); }
+
+  /// Constrain all three components of each node to the given vector value
+  /// (vals has 3 entries per node, or empty for homogeneous clamping).
+  static DirichletBc clamp_nodes(const std::vector<idx_t>& nodes, const Vec& vals = {});
+};
+
+/// Modify A and rhs in place so that A x = rhs enforces x[dof] = value for
+/// every constrained dof while keeping A symmetric. Duplicate constraints
+/// must agree (last one wins).
+void apply_dirichlet(CsrMatrix& a, Vec& rhs, const DirichletBc& bc);
+
+/// Partition dofs into free/constrained maps for reduced-system extraction:
+/// free_map[dof] = free index or -1; bc_map[dof] = constrained index or -1.
+struct DofPartition {
+  std::vector<idx_t> free_map;
+  std::vector<idx_t> bc_map;
+  idx_t num_free = 0;
+  idx_t num_bc = 0;
+};
+DofPartition partition_dofs(idx_t num_dofs, const std::vector<idx_t>& bc_dofs);
+
+}  // namespace ms::fem

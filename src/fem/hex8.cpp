@@ -1,0 +1,113 @@
+#include "fem/hex8.hpp"
+
+namespace ms::fem {
+
+std::array<double, kHexNodes> hex8_shape(double xi, double eta, double zeta) {
+  std::array<double, kHexNodes> n{};
+  for (int a = 0; a < kHexNodes; ++a) {
+    n[a] = 0.125 * (1.0 + kHexCorners[a][0] * xi) * (1.0 + kHexCorners[a][1] * eta) *
+           (1.0 + kHexCorners[a][2] * zeta);
+  }
+  return n;
+}
+
+std::array<std::array<double, 3>, kHexNodes> hex8_shape_grad(double xi, double eta, double zeta) {
+  std::array<std::array<double, 3>, kHexNodes> g{};
+  for (int a = 0; a < kHexNodes; ++a) {
+    const double sx = kHexCorners[a][0];
+    const double sy = kHexCorners[a][1];
+    const double sz = kHexCorners[a][2];
+    g[a][0] = 0.125 * sx * (1.0 + sy * eta) * (1.0 + sz * zeta);
+    g[a][1] = 0.125 * sy * (1.0 + sx * xi) * (1.0 + sz * zeta);
+    g[a][2] = 0.125 * sz * (1.0 + sx * xi) * (1.0 + sy * eta);
+  }
+  return g;
+}
+
+BMatrix hex8_b_matrix(double xi, double eta, double zeta, double hx, double hy, double hz) {
+  const auto grad = hex8_shape_grad(xi, eta, zeta);
+  // Box element: d(xi)/dx = 2/hx etc., Jacobian constant diagonal.
+  const double jx = 2.0 / hx;
+  const double jy = 2.0 / hy;
+  const double jz = 2.0 / hz;
+  BMatrix b{};
+  for (int a = 0; a < kHexNodes; ++a) {
+    const double dndx = grad[a][0] * jx;
+    const double dndy = grad[a][1] * jy;
+    const double dndz = grad[a][2] * jz;
+    const int cx = 3 * a;
+    const int cy = 3 * a + 1;
+    const int cz = 3 * a + 2;
+    b[0][cx] = dndx;  // eps_xx
+    b[1][cy] = dndy;  // eps_yy
+    b[2][cz] = dndz;  // eps_zz
+    b[3][cy] = dndz;  // gamma_yz
+    b[3][cz] = dndy;
+    b[4][cx] = dndz;  // gamma_xz
+    b[4][cz] = dndx;
+    b[5][cx] = dndy;  // gamma_xy
+    b[5][cy] = dndx;
+  }
+  return b;
+}
+
+std::array<double, kHexDofs * kHexDofs> hex8_stiffness(const Material& mat, double hx, double hy,
+                                                       double hz) {
+  const auto d = mat.d_matrix();
+  std::array<double, kHexDofs * kHexDofs> ke{};
+  const double detj_w = (hx * hy * hz) / 8.0;  // |J| times unit Gauss weight
+  for (int gx = 0; gx < 2; ++gx) {
+    for (int gy = 0; gy < 2; ++gy) {
+      for (int gz = 0; gz < 2; ++gz) {
+        const double xi = (gx == 0 ? -kGauss2 : kGauss2);
+        const double eta = (gy == 0 ? -kGauss2 : kGauss2);
+        const double zeta = (gz == 0 ? -kGauss2 : kGauss2);
+        const BMatrix b = hex8_b_matrix(xi, eta, zeta, hx, hy, hz);
+        // db = D * B (6 x 24)
+        std::array<std::array<double, kHexDofs>, kVoigt> db{};
+        for (int r = 0; r < kVoigt; ++r) {
+          for (int s = 0; s < kVoigt; ++s) {
+            const double drs = d[r * kVoigt + s];
+            if (drs == 0.0) continue;
+            for (int c = 0; c < kHexDofs; ++c) db[r][c] += drs * b[s][c];
+          }
+        }
+        // ke += B^T * db * detj_w
+        for (int i = 0; i < kHexDofs; ++i) {
+          for (int r = 0; r < kVoigt; ++r) {
+            const double bri = b[r][i];
+            if (bri == 0.0) continue;
+            const double w = bri * detj_w;
+            for (int j = 0; j < kHexDofs; ++j) ke[i * kHexDofs + j] += w * db[r][j];
+          }
+        }
+      }
+    }
+  }
+  return ke;
+}
+
+std::array<double, kHexDofs> hex8_thermal_load(const Material& mat, double hx, double hy,
+                                               double hz) {
+  const auto sigma_th = mat.thermal_stress_unit();
+  std::array<double, kHexDofs> fe{};
+  const double detj_w = (hx * hy * hz) / 8.0;
+  for (int gx = 0; gx < 2; ++gx) {
+    for (int gy = 0; gy < 2; ++gy) {
+      for (int gz = 0; gz < 2; ++gz) {
+        const double xi = (gx == 0 ? -kGauss2 : kGauss2);
+        const double eta = (gy == 0 ? -kGauss2 : kGauss2);
+        const double zeta = (gz == 0 ? -kGauss2 : kGauss2);
+        const BMatrix b = hex8_b_matrix(xi, eta, zeta, hx, hy, hz);
+        for (int i = 0; i < kHexDofs; ++i) {
+          double sum = 0.0;
+          for (int r = 0; r < kVoigt; ++r) sum += b[r][i] * sigma_th[r];
+          fe[i] += sum * detj_w;
+        }
+      }
+    }
+  }
+  return fe;
+}
+
+}  // namespace ms::fem

@@ -1,0 +1,46 @@
+#pragma once
+// 8-node trilinear hexahedral element: shape functions, strain-displacement
+// matrix, and the element stiffness / thermal-load integrals with 2x2x2
+// Gauss quadrature. All meshes here are axis-aligned boxes, so the Jacobian
+// is constant diagonal and the integrals specialize accordingly.
+
+#include <array>
+
+#include "fem/material.hpp"
+
+namespace ms::fem {
+
+inline constexpr int kHexNodes = 8;
+inline constexpr int kHexDofs = 3 * kHexNodes;  // 24
+
+/// Reference-corner signs matching mesh::HexMesh::elem_nodes order.
+inline constexpr std::array<std::array<double, 3>, kHexNodes> kHexCorners{{
+    {-1.0, -1.0, -1.0}, {1.0, -1.0, -1.0}, {1.0, 1.0, -1.0}, {-1.0, 1.0, -1.0},
+    {-1.0, -1.0, 1.0},  {1.0, -1.0, 1.0},  {1.0, 1.0, 1.0},  {-1.0, 1.0, 1.0},
+}};
+
+/// N_a(xi,eta,zeta) for all 8 corners.
+std::array<double, kHexNodes> hex8_shape(double xi, double eta, double zeta);
+
+/// dN_a/d(xi,eta,zeta) for all 8 corners, row a = (d/dxi, d/deta, d/dzeta).
+std::array<std::array<double, 3>, kHexNodes> hex8_shape_grad(double xi, double eta, double zeta);
+
+/// Strain-displacement matrix B (6 x 24, Voigt xx,yy,zz,yz,xz,xy with
+/// engineering shears) at a reference point, for a box element with edge
+/// lengths (hx, hy, hz). Layout: b[row][3*a + component].
+using BMatrix = std::array<std::array<double, kHexDofs>, kVoigt>;
+BMatrix hex8_b_matrix(double xi, double eta, double zeta, double hx, double hy, double hz);
+
+/// Element stiffness Ke (24 x 24, row-major) = integral B^T D B dV for a box
+/// element of edges (hx,hy,hz) with material `mat`.
+std::array<double, kHexDofs * kHexDofs> hex8_stiffness(const Material& mat, double hx, double hy,
+                                                       double hz);
+
+/// Element thermal load for unit thermal load: integral B^T (D eps_th) dV.
+std::array<double, kHexDofs> hex8_thermal_load(const Material& mat, double hx, double hy,
+                                               double hz);
+
+/// Two-point Gauss abscissa (weight 1).
+inline constexpr double kGauss2 = 0.577350269189625764509148780502;
+
+}  // namespace ms::fem

@@ -1,0 +1,61 @@
+#include "fem/material.hpp"
+
+#include <stdexcept>
+
+namespace ms::fem {
+
+double Material::lame_lambda() const {
+  return youngs_modulus * poisson_ratio / (1.0 + poisson_ratio) / (1.0 - 2.0 * poisson_ratio);
+}
+
+double Material::lame_mu() const { return youngs_modulus / 2.0 / (1.0 + poisson_ratio); }
+
+double Material::thermal_modulus() const { return cte * (3.0 * lame_lambda() + 2.0 * lame_mu()); }
+
+std::array<double, kVoigt * kVoigt> Material::d_matrix() const {
+  const double lambda = lame_lambda();
+  const double mu = lame_mu();
+  std::array<double, kVoigt * kVoigt> d{};
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) d[i * kVoigt + j] = lambda;
+    d[i * kVoigt + i] = lambda + 2.0 * mu;
+    d[(i + 3) * kVoigt + (i + 3)] = mu;  // engineering shear strains
+  }
+  return d;
+}
+
+std::array<double, kVoigt> Material::thermal_stress_unit() const {
+  const double beta = thermal_modulus();
+  return {beta, beta, beta, 0.0, 0.0, 0.0};
+}
+
+void Material::validate() const {
+  if (youngs_modulus <= 0.0) throw std::invalid_argument("Material: E must be positive");
+  if (poisson_ratio <= -1.0 || poisson_ratio >= 0.5) {
+    throw std::invalid_argument("Material: nu must lie in (-1, 0.5)");
+  }
+}
+
+MaterialTable::MaterialTable(std::vector<Material> materials) : materials_(std::move(materials)) {
+  for (const auto& m : materials_) m.validate();
+}
+
+const Material& MaterialTable::at(mesh::MaterialId id) const {
+  const auto index = static_cast<std::size_t>(id);
+  if (index >= materials_.size()) throw std::out_of_range("MaterialTable: unknown material id");
+  return materials_[index];
+}
+
+MaterialTable MaterialTable::standard() {
+  return MaterialTable({silicon(), copper(), sio2_liner(), organic_substrate()});
+}
+
+Material silicon() { return {"Si", 130.0e3, 0.28, 2.8e-6}; }
+
+Material copper() { return {"Cu", 110.0e3, 0.35, 17.7e-6}; }
+
+Material sio2_liner() { return {"SiO2", 71.7e3, 0.16, 0.51e-6}; }
+
+Material organic_substrate() { return {"organic", 20.0e3, 0.30, 15.0e-6}; }
+
+}  // namespace ms::fem

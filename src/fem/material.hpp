@@ -1,0 +1,62 @@
+#pragma once
+// Isotropic thermoelastic materials (paper Sec. 3.1). Units: MPa for moduli
+// and stress, 1/K for CTE, micrometres for length, degrees C for ΔT.
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "mesh/hex_mesh.hpp"
+
+namespace ms::fem {
+
+/// Voigt component order used throughout: xx, yy, zz, yz, xz, xy.
+inline constexpr int kVoigt = 6;
+
+struct Material {
+  std::string name;
+  double youngs_modulus = 0.0;  ///< E [MPa]
+  double poisson_ratio = 0.0;   ///< nu [-]
+  double cte = 0.0;             ///< alpha [1/K]
+
+  /// First Lame parameter lambda = E nu / ((1+nu)(1-2nu))  (Eq. 2).
+  [[nodiscard]] double lame_lambda() const;
+  /// Shear modulus mu = E / (2(1+nu))  (Eq. 2).
+  [[nodiscard]] double lame_mu() const;
+  /// Thermal stress coefficient alpha (3 lambda + 2 mu)  (Eq. 1).
+  [[nodiscard]] double thermal_modulus() const;
+
+  /// 6x6 isotropic elasticity matrix D in Voigt order, engineering shear.
+  [[nodiscard]] std::array<double, kVoigt * kVoigt> d_matrix() const;
+
+  /// D * eps_th for unit thermal load (alpha (3 lambda + 2 mu) on the three
+  /// normal components).
+  [[nodiscard]] std::array<double, kVoigt> thermal_stress_unit() const;
+
+  void validate() const;
+};
+
+/// Maps mesh::MaterialId -> Material. Index = static_cast<size_t>(id).
+class MaterialTable {
+ public:
+  MaterialTable() = default;
+  explicit MaterialTable(std::vector<Material> materials);
+
+  [[nodiscard]] const Material& at(mesh::MaterialId id) const;
+  [[nodiscard]] std::size_t size() const { return materials_.size(); }
+
+  /// The material set used by all paper experiments:
+  /// Si / Cu / SiO2 liner / organic substrate.
+  static MaterialTable standard();
+
+ private:
+  std::vector<Material> materials_;
+};
+
+/// Classic literature values (see DESIGN.md Sec. 5).
+Material silicon();
+Material copper();
+Material sio2_liner();
+Material organic_substrate();
+
+}  // namespace ms::fem

@@ -1,0 +1,67 @@
+#include "fem/solver.hpp"
+
+#include <stdexcept>
+
+#include "la/cg.hpp"
+#include "la/cholesky.hpp"
+#include "la/precond.hpp"
+#include "util/log.hpp"
+#include "util/memory.hpp"
+
+namespace ms::fem {
+
+Vec solve_thermal_stress(const mesh::HexMesh& mesh, const MaterialTable& materials,
+                         double thermal_load, const DirichletBc& bc,
+                         const FemSolveOptions& options, FemSolveStats* stats) {
+  util::WallTimer timer;
+  AssembledSystem sys = assemble_system(mesh, materials);
+  Vec rhs = sys.thermal_load;
+  la::scale(rhs, thermal_load);
+  apply_dirichlet(sys.stiffness, rhs, bc);
+  const double assemble_seconds = timer.seconds();
+
+  util::ScopedLedgerBytes matrix_mem(sys.stiffness.memory_bytes() + 2 * rhs.size() * sizeof(double));
+
+  timer.reset();
+  Vec u;
+  idx_t iterations = 0;
+  bool converged = false;
+  std::size_t solver_bytes = 0;
+  if (options.method == "direct") {
+    la::SparseCholesky chol(sys.stiffness);
+    u = chol.solve(rhs);
+    converged = true;
+    solver_bytes = chol.memory_bytes();
+  } else if (options.method == "cg") {
+    auto precond = la::make_preconditioner(options.precond, sys.stiffness);
+    la::IterativeOptions iter_options;
+    iter_options.rel_tol = options.rel_tol;
+    iter_options.max_iterations = options.max_iterations;
+    const la::IterativeResult result =
+        la::conjugate_gradient(sys.stiffness, rhs, u, precond.get(), iter_options);
+    iterations = result.iterations;
+    converged = result.converged;
+    // Krylov workspace: x, r, z, p, Ap + preconditioner state.
+    solver_bytes = 5 * rhs.size() * sizeof(double) + precond->memory_bytes();
+    if (!converged) {
+      MS_LOG_WARN("full FEM CG did not converge in %d iterations (residual %.3e)",
+                  static_cast<int>(result.iterations), result.residual_norm);
+    }
+  } else {
+    throw std::invalid_argument("solve_thermal_stress: unknown method '" + options.method + "'");
+  }
+  util::ScopedLedgerBytes solver_mem(solver_bytes);
+
+  if (stats != nullptr) {
+    stats->num_dofs = sys.num_dofs;
+    stats->assemble_seconds = assemble_seconds;
+    stats->solve_seconds = timer.seconds();
+    stats->iterations = iterations;
+    stats->converged = converged;
+    stats->matrix_bytes = sys.stiffness.memory_bytes();
+    stats->solver_bytes = solver_bytes;
+  }
+  return u;
+}
+
+}  // namespace ms::fem

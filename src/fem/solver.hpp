@@ -1,0 +1,40 @@
+#pragma once
+// Full fine-mesh FEM solver — the ANSYS stand-in (see DESIGN.md Sec. 2).
+// Assembles the thermoelastic system on the given mesh, applies Dirichlet
+// data by lifting, and solves with preconditioned CG (like the paper's
+// "iterative" ANSYS setting) or sparse Cholesky for small problems.
+
+#include <string>
+
+#include "fem/assembler.hpp"
+#include "fem/dirichlet.hpp"
+#include "util/timer.hpp"
+
+namespace ms::fem {
+
+struct FemSolveOptions {
+  std::string method = "cg";      ///< "cg" or "direct"
+  std::string precond = "ssor";   ///< for cg: "none", "jacobi", "ssor"
+  double rel_tol = 1e-7;
+  idx_t max_iterations = 30000;
+};
+
+struct FemSolveStats {
+  idx_t num_dofs = 0;
+  double assemble_seconds = 0.0;
+  double solve_seconds = 0.0;
+  idx_t iterations = 0;           ///< 0 for the direct path
+  bool converged = false;
+  std::size_t matrix_bytes = 0;   ///< CSR storage
+  std::size_t solver_bytes = 0;   ///< factor / Krylov workspace estimate
+  [[nodiscard]] double total_seconds() const { return assemble_seconds + solve_seconds; }
+  [[nodiscard]] std::size_t total_bytes() const { return matrix_bytes + solver_bytes; }
+};
+
+/// One-call convenience: assemble, lift, solve; returns the full displacement
+/// vector (prescribed dofs carry their boundary values).
+Vec solve_thermal_stress(const mesh::HexMesh& mesh, const MaterialTable& materials,
+                         double thermal_load, const DirichletBc& bc,
+                         const FemSolveOptions& options = {}, FemSolveStats* stats = nullptr);
+
+}  // namespace ms::fem

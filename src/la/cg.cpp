@@ -1,0 +1,69 @@
+#include "la/cg.hpp"
+
+#include <cmath>
+
+namespace ms::la {
+
+IterativeResult conjugate_gradient(const std::function<void(const Vec&, Vec&)>& apply_a, const Vec& b,
+                                   Vec& x, const Preconditioner* precond,
+                                   const IterativeOptions& options) {
+  const std::size_t n = b.size();
+  IterativeResult result;
+  result.rhs_norm = norm2(b);
+  const double target = std::max(options.rel_tol * result.rhs_norm, options.abs_tol);
+
+  if (!options.use_initial_guess || x.size() != n) x.assign(n, 0.0);
+
+  Vec r(n), z(n), p(n), ap(n);
+  apply_a(x, ap);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+
+  double rnorm = norm2(r);
+  if (rnorm <= target || result.rhs_norm == 0.0) {
+    result.converged = true;
+    result.residual_norm = rnorm;
+    return result;
+  }
+
+  auto apply_m = [&](const Vec& rr, Vec& zz) {
+    if (precond != nullptr) {
+      precond->apply(rr, zz);
+    } else {
+      zz = rr;
+    }
+  };
+
+  apply_m(r, z);
+  p = z;
+  double rz = dot(r, z);
+
+  for (idx_t it = 1; it <= options.max_iterations; ++it) {
+    apply_a(p, ap);
+    const double pap = dot(p, ap);
+    if (pap <= 0.0) break;  // loss of positive definiteness; bail to caller
+    const double alpha = rz / pap;
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, r);
+    rnorm = norm2(r);
+    result.iterations = it;
+    if (rnorm <= target) {
+      result.converged = true;
+      break;
+    }
+    apply_m(r, z);
+    const double rz_new = dot(r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  result.residual_norm = rnorm;
+  return result;
+}
+
+IterativeResult conjugate_gradient(const CsrMatrix& a, const Vec& b, Vec& x,
+                                   const Preconditioner* precond, const IterativeOptions& options) {
+  return conjugate_gradient([&a](const Vec& in, Vec& out) { a.mul(in, out); }, b, x, precond,
+                            options);
+}
+
+}  // namespace ms::la

@@ -1,0 +1,36 @@
+#pragma once
+// Preconditioned conjugate gradients for SPD systems. Used for the reduced
+// global problem (paper Sec. 4.3 solves it iteratively) and for the fine-mesh
+// reference FEM solves that stand in for ANSYS.
+
+#include <functional>
+
+#include "la/precond.hpp"
+#include "la/sparse.hpp"
+
+namespace ms::la {
+
+struct IterativeOptions {
+  double rel_tol = 1e-9;       ///< stop when |r| <= rel_tol * |b|
+  double abs_tol = 0.0;        ///< additional absolute floor on |r|
+  idx_t max_iterations = 10000;
+  bool use_initial_guess = false;  ///< if set, x is used as the starting point
+};
+
+struct IterativeResult {
+  bool converged = false;
+  idx_t iterations = 0;
+  double residual_norm = 0.0;  ///< final true-residual proxy |r|
+  double rhs_norm = 0.0;
+};
+
+/// Solve A x = b with PCG. `precond` may be null (identity).
+IterativeResult conjugate_gradient(const CsrMatrix& a, const Vec& b, Vec& x,
+                                   const Preconditioner* precond, const IterativeOptions& options);
+
+/// Matrix-free variant: `apply_a` computes y = A x.
+IterativeResult conjugate_gradient(const std::function<void(const Vec&, Vec&)>& apply_a, const Vec& b,
+                                   Vec& x, const Preconditioner* precond,
+                                   const IterativeOptions& options);
+
+}  // namespace ms::la

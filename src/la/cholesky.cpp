@@ -1,0 +1,151 @@
+#include "la/cholesky.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ms::la {
+namespace {
+
+/// Pattern of row k of L: nodes on etree paths from the below-diagonal
+/// entries of (permuted) row k up to k. Returns entries in s[top..n-1] in
+/// topological order. `mark` uses stamp values to avoid clearing.
+idx_t ereach(const CsrMatrix& a, idx_t k, const std::vector<idx_t>& parent, std::vector<idx_t>& s,
+             std::vector<idx_t>& mark, idx_t stamp) {
+  const idx_t n = a.rows();
+  idx_t top = n;
+  mark[k] = stamp;
+  const offset_t end = a.row_ptr()[static_cast<std::size_t>(k) + 1];
+  for (offset_t p = a.row_ptr()[k]; p < end; ++p) {
+    idx_t i = a.col_idx()[p];
+    if (i >= k) break;  // columns are sorted; only strictly-lower entries seed
+    idx_t len = 0;
+    // Walk up the elimination tree until hitting an already-marked node.
+    for (; mark[i] != stamp; i = parent[i]) {
+      s[len++] = i;
+      mark[i] = stamp;
+    }
+    while (len > 0) s[--top] = s[--len];
+  }
+  return top;
+}
+
+}  // namespace
+
+SparseCholesky::SparseCholesky(const CsrMatrix& a) : SparseCholesky(a, Options{}) {}
+
+SparseCholesky::SparseCholesky(const CsrMatrix& a, Options options) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("SparseCholesky: matrix must be square");
+  n_ = a.rows();
+  perm_ = options.use_rcm ? reverse_cuthill_mckee(a) : Permutation::identity(n_);
+  const CsrMatrix pa = options.use_rcm ? permute_symmetric(a, perm_) : a;
+  analyze(pa);
+  factorize(pa);
+  work_.assign(n_, 0.0);
+}
+
+void SparseCholesky::analyze(const CsrMatrix& a) {
+  // Elimination tree with path compression (cs_etree).
+  parent_.assign(n_, -1);
+  std::vector<idx_t> ancestor(n_, -1);
+  for (idx_t k = 0; k < n_; ++k) {
+    const offset_t end = a.row_ptr()[static_cast<std::size_t>(k) + 1];
+    for (offset_t p = a.row_ptr()[k]; p < end; ++p) {
+      idx_t i = a.col_idx()[p];
+      if (i >= k) break;
+      while (i != -1 && i != k) {
+        const idx_t next = ancestor[i];
+        ancestor[i] = k;
+        if (next == -1) parent_[i] = k;
+        i = next;
+      }
+    }
+  }
+
+  // Column counts of L via a symbolic ereach sweep (diagonal included).
+  std::vector<idx_t> counts(n_, 1);
+  std::vector<idx_t> s(n_), mark(n_, -1);
+  for (idx_t k = 0; k < n_; ++k) {
+    const idx_t top = ereach(a, k, parent_, s, mark, k);
+    for (idx_t t = top; t < n_; ++t) ++counts[s[t]];
+  }
+  lp_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (idx_t j = 0; j < n_; ++j) lp_[static_cast<std::size_t>(j) + 1] = lp_[j] + counts[j];
+  li_.assign(static_cast<std::size_t>(lp_[n_]), 0);
+  lx_.assign(static_cast<std::size_t>(lp_[n_]), 0.0);
+}
+
+void SparseCholesky::factorize(const CsrMatrix& a) {
+  std::vector<offset_t> fill(lp_.begin(), lp_.end() - 1);  // next free slot per column
+  std::vector<idx_t> s(n_), mark(n_, -1);
+  Vec x(n_, 0.0);
+
+  for (idx_t k = 0; k < n_; ++k) {
+    // Scatter the lower part of (permuted) row k of A into x.
+    const idx_t top = ereach(a, k, parent_, s, mark, k);
+    double d = 0.0;
+    {
+      const offset_t end = a.row_ptr()[static_cast<std::size_t>(k) + 1];
+      for (offset_t p = a.row_ptr()[k]; p < end; ++p) {
+        const idx_t i = a.col_idx()[p];
+        if (i < k) {
+          x[i] = a.values()[p];
+        } else if (i == k) {
+          d = a.values()[p];
+        }
+      }
+    }
+    // Up-looking triangular solve over the pattern (topological order).
+    for (idx_t t = top; t < n_; ++t) {
+      const idx_t j = s[t];
+      const double lkj = x[j] / lx_[lp_[j]];  // divide by L(j,j)
+      x[j] = 0.0;
+      for (offset_t p = lp_[j] + 1; p < fill[j]; ++p) x[li_[p]] -= lx_[p] * lkj;
+      d -= lkj * lkj;
+      li_[fill[j]] = k;
+      lx_[fill[j]] = lkj;
+      ++fill[j];
+    }
+    if (d <= 0.0) throw std::runtime_error("SparseCholesky: matrix not positive definite");
+    li_[fill[k]] = k;
+    lx_[fill[k]] = std::sqrt(d);
+    ++fill[k];
+  }
+}
+
+void SparseCholesky::solve_inplace(const Vec& b, Vec& x) const {
+  assert(static_cast<idx_t>(b.size()) == n_);
+  x.resize(n_);
+  Vec& y = work_;
+  for (idx_t i = 0; i < n_; ++i) y[i] = b[perm_.perm[i]];
+
+  // Forward solve L y = Pb (L is CSC; first entry of column j is diagonal).
+  for (idx_t j = 0; j < n_; ++j) {
+    const double yj = y[j] / lx_[lp_[j]];
+    y[j] = yj;
+    const offset_t end = lp_[static_cast<std::size_t>(j) + 1];
+    for (offset_t p = lp_[j] + 1; p < end; ++p) y[li_[p]] -= lx_[p] * yj;
+  }
+  // Backward solve L^T z = y.
+  for (idx_t j = n_ - 1; j >= 0; --j) {
+    double sum = y[j];
+    const offset_t end = lp_[static_cast<std::size_t>(j) + 1];
+    for (offset_t p = lp_[j] + 1; p < end; ++p) sum -= lx_[p] * y[li_[p]];
+    y[j] = sum / lx_[lp_[j]];
+  }
+  for (idx_t i = 0; i < n_; ++i) x[perm_.perm[i]] = y[i];
+}
+
+Vec SparseCholesky::solve(const Vec& b) const {
+  Vec x;
+  solve_inplace(b, x);
+  return x;
+}
+
+std::size_t SparseCholesky::memory_bytes() const {
+  return lx_.size() * sizeof(double) + li_.size() * sizeof(idx_t) +
+         lp_.size() * sizeof(offset_t) + 2 * perm_.perm.size() * sizeof(idx_t) +
+         work_.size() * sizeof(double);
+}
+
+}  // namespace ms::la

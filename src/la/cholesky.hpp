@@ -1,0 +1,56 @@
+#pragma once
+// Sparse simplicial Cholesky (L L^T) for SPD systems, in the style of
+// CSparse: elimination tree + row-pattern reach for the symbolic phase and an
+// up-looking numeric factorization. A reverse Cuthill-McKee pre-ordering
+// (default on) keeps fill low on the structured FEM matrices.
+//
+// This is the workhorse of the one-shot local stage, where one factorization
+// is reused for the n+1 local basis solves.
+
+#include <cstddef>
+#include <vector>
+
+#include "la/ordering.hpp"
+#include "la/sparse.hpp"
+
+namespace ms::la {
+
+class SparseCholesky {
+ public:
+  struct Options {
+    bool use_rcm = true;  ///< apply reverse Cuthill-McKee before factoring
+  };
+
+  /// Factor a symmetric positive definite matrix (full symmetric storage).
+  /// Throws std::runtime_error if a non-positive pivot is hit.
+  explicit SparseCholesky(const CsrMatrix& a);
+  SparseCholesky(const CsrMatrix& a, Options options);
+
+  /// Solve A x = b.
+  [[nodiscard]] Vec solve(const Vec& b) const;
+
+  /// Solve in permuted space with preallocated workspace (hot path for the
+  /// n+1 local solves): x and b are in original ordering.
+  void solve_inplace(const Vec& b, Vec& x) const;
+
+  [[nodiscard]] idx_t order() const { return n_; }
+  [[nodiscard]] offset_t factor_nnz() const { return static_cast<offset_t>(lx_.size()); }
+
+  /// Bytes held by the factor + permutation (for the memory ledger).
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  void analyze(const CsrMatrix& a);   // etree + column counts
+  void factorize(const CsrMatrix& a); // up-looking numeric phase
+
+  idx_t n_ = 0;
+  Permutation perm_;
+  std::vector<idx_t> parent_;  // elimination tree
+  // L stored column-major (CSC); first entry of each column is the diagonal.
+  std::vector<offset_t> lp_;
+  std::vector<idx_t> li_;
+  std::vector<double> lx_;
+  mutable Vec work_;  // permuted rhs/solution scratch
+};
+
+}  // namespace ms::la

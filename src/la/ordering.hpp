@@ -1,0 +1,39 @@
+#pragma once
+// Fill-reducing / bandwidth-reducing orderings for the sparse Cholesky
+// factorization. Reverse Cuthill-McKee is simple, deterministic, and works
+// well for the structured meshes this repository produces.
+
+#include <vector>
+
+#include "la/sparse.hpp"
+
+namespace ms::la {
+
+/// Permutation pair: perm[new] = old, inv_perm[old] = new.
+struct Permutation {
+  std::vector<idx_t> perm;
+  std::vector<idx_t> inv_perm;
+
+  [[nodiscard]] idx_t size() const { return static_cast<idx_t>(perm.size()); }
+
+  /// Identity permutation of order n.
+  static Permutation identity(idx_t n);
+};
+
+/// Reverse Cuthill-McKee ordering of a structurally symmetric matrix.
+/// Components are seeded from minimum-degree pseudo-peripheral nodes.
+Permutation reverse_cuthill_mckee(const CsrMatrix& a);
+
+/// B = P A P^T for a symmetric permutation (perm[new] = old).
+CsrMatrix permute_symmetric(const CsrMatrix& a, const Permutation& p);
+
+/// Apply: out[new] = in[perm[new]] (gather into permuted ordering).
+Vec permute_vector(const Vec& x, const Permutation& p);
+
+/// Inverse apply: out[perm[new]] = in[new].
+Vec unpermute_vector(const Vec& x, const Permutation& p);
+
+/// Bandwidth max |i - j| over stored entries (diagnostic for tests).
+idx_t bandwidth(const CsrMatrix& a);
+
+}  // namespace ms::la

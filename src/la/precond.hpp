@@ -1,0 +1,60 @@
+#pragma once
+// Preconditioners for the Krylov solvers. Jacobi (diagonal) is the default
+// for the small, well-conditioned reduced global systems; symmetric
+// Gauss-Seidel (SSOR with omega=1) accelerates the fine-mesh reference FEM
+// solves where the elasticity operator is much stiffer.
+
+#include <memory>
+
+#include "la/sparse.hpp"
+
+namespace ms::la {
+
+/// Interface: z = M^{-1} r for a fixed matrix A provided at construction.
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+
+  /// Apply the preconditioner: z = M^{-1} r.
+  virtual void apply(const Vec& r, Vec& z) const = 0;
+
+  /// Resident bytes for the memory ledger.
+  [[nodiscard]] virtual std::size_t memory_bytes() const = 0;
+};
+
+/// Identity (no preconditioning).
+class IdentityPreconditioner final : public Preconditioner {
+ public:
+  void apply(const Vec& r, Vec& z) const override { z = r; }
+  [[nodiscard]] std::size_t memory_bytes() const override { return 0; }
+};
+
+/// Diagonal scaling; zero diagonals are treated as 1 so the apply stays safe.
+class JacobiPreconditioner final : public Preconditioner {
+ public:
+  explicit JacobiPreconditioner(const CsrMatrix& a);
+  void apply(const Vec& r, Vec& z) const override;
+  [[nodiscard]] std::size_t memory_bytes() const override;
+
+ private:
+  Vec inv_diag_;
+};
+
+/// Symmetric successive over-relaxation (forward + backward Gauss-Seidel
+/// sweep). Keeps a reference to A; A must outlive the preconditioner.
+class SsorPreconditioner final : public Preconditioner {
+ public:
+  explicit SsorPreconditioner(const CsrMatrix& a, double omega = 1.0);
+  void apply(const Vec& r, Vec& z) const override;
+  [[nodiscard]] std::size_t memory_bytes() const override;
+
+ private:
+  const CsrMatrix& a_;
+  double omega_;
+  Vec inv_diag_;
+};
+
+/// Factory helper keyed by name: "none", "jacobi", "ssor".
+std::unique_ptr<Preconditioner> make_preconditioner(const std::string& name, const CsrMatrix& a);
+
+}  // namespace ms::la

@@ -1,0 +1,17 @@
+#pragma once
+// Shared index/scalar typedefs for the linear-algebra layer.
+//
+// Index type: the largest systems this repository assembles (a 50x50 TSV
+// array at fine-mesh resolution) stay well under 2^31 rows and nonzeros per
+// row pointer entry, but row-pointer *offsets* (total nnz) can approach the
+// int32 limit on the paper-scale reference solves, so row pointers are 64-bit
+// while column indices stay 32-bit for cache friendliness.
+
+#include <cstdint>
+
+namespace ms::la {
+
+using idx_t = std::int32_t;    ///< row/column indices and dimensions
+using offset_t = std::int64_t; ///< CSR row-pointer offsets (total nnz)
+
+}  // namespace ms::la

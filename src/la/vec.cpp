@@ -1,0 +1,48 @@
+#include "la/vec.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace ms::la {
+
+double dot(const Vec& x, const Vec& y) {
+  assert(x.size() == y.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+double norm2(const Vec& x) { return std::sqrt(dot(x, x)); }
+
+double norm_inf(const Vec& x) {
+  double m = 0.0;
+  for (double v : x) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+void axpy(double a, const Vec& x, Vec& y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+void axpby(double a, const Vec& x, double b, Vec& y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = a * x[i] + b * y[i];
+}
+
+void scale(Vec& x, double a) {
+  for (double& v : x) v *= a;
+}
+
+void assign(const Vec& x, Vec& y) { y = x; }
+
+Vec zeros(std::size_t n) { return Vec(n, 0.0); }
+
+double max_abs_diff(const Vec& x, const Vec& y) {
+  assert(x.size() == y.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) m = std::max(m, std::fabs(x[i] - y[i]));
+  return m;
+}
+
+}  // namespace ms::la

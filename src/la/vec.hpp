@@ -1,0 +1,42 @@
+#pragma once
+// Free-function kernels over std::vector<double>. Vectors stay plain
+// std::vector so callers can interoperate with mesh/FEM code without wrapper
+// types; only the hot kernels live here.
+
+#include <cstddef>
+#include <vector>
+
+#include "la/types.hpp"
+
+namespace ms::la {
+
+using Vec = std::vector<double>;
+
+/// Euclidean inner product; sizes must match.
+double dot(const Vec& x, const Vec& y);
+
+/// Euclidean norm.
+double norm2(const Vec& x);
+
+/// Max-abs (infinity) norm.
+double norm_inf(const Vec& x);
+
+/// y += a * x.
+void axpy(double a, const Vec& x, Vec& y);
+
+/// y = a * x + b * y.
+void axpby(double a, const Vec& x, double b, Vec& y);
+
+/// x *= a.
+void scale(Vec& x, double a);
+
+/// Elementwise y = x (resizes y).
+void assign(const Vec& x, Vec& y);
+
+/// All-zero vector of length n.
+Vec zeros(std::size_t n);
+
+/// Maximum |x[i] - y[i]|; sizes must match.
+double max_abs_diff(const Vec& x, const Vec& y);
+
+}  // namespace ms::la

@@ -1,0 +1,60 @@
+#include "mesh/grading.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ms::mesh {
+
+std::vector<double> uniform_coords(double a, double b, int n) {
+  if (n < 1 || b <= a) throw std::invalid_argument("uniform_coords: need n >= 1 and b > a");
+  std::vector<double> out(static_cast<std::size_t>(n) + 1);
+  for (int i = 0; i <= n; ++i) out[i] = a + (b - a) * i / n;
+  out.front() = a;
+  out.back() = b;
+  return out;
+}
+
+std::vector<double> graded_coords(double a, double b, int target_elems,
+                                  const std::vector<double>& interfaces, double merge_tol) {
+  if (target_elems < 1 || b <= a) {
+    throw std::invalid_argument("graded_coords: need target_elems >= 1 and b > a");
+  }
+  std::vector<double> anchors{a, b};
+  for (double v : interfaces) {
+    if (v > a + merge_tol && v < b - merge_tol) anchors.push_back(v);
+  }
+  std::sort(anchors.begin(), anchors.end());
+  anchors.erase(std::unique(anchors.begin(), anchors.end(),
+                            [&](double x, double y) { return std::fabs(x - y) <= merge_tol; }),
+                anchors.end());
+
+  const double max_h = (b - a) / target_elems;
+  std::vector<double> out;
+  out.push_back(anchors.front());
+  for (std::size_t s = 0; s + 1 < anchors.size(); ++s) {
+    const double lo = anchors[s];
+    const double hi = anchors[s + 1];
+    const int pieces = std::max(1, static_cast<int>(std::ceil((hi - lo) / max_h - 1e-12)));
+    for (int i = 1; i <= pieces; ++i) out.push_back(lo + (hi - lo) * i / pieces);
+    out.back() = hi;  // kill accumulation error at the anchor
+  }
+  return out;
+}
+
+std::vector<double> tile_coords(const std::vector<double>& block, int count) {
+  if (block.size() < 2 || count < 1) {
+    throw std::invalid_argument("tile_coords: need >= 2 coordinates and count >= 1");
+  }
+  const double length = block.back() - block.front();
+  std::vector<double> out;
+  out.reserve((block.size() - 1) * static_cast<std::size_t>(count) + 1);
+  out.push_back(block.front());
+  for (int rep = 0; rep < count; ++rep) {
+    const double shift = rep * length;
+    for (std::size_t i = 1; i < block.size(); ++i) out.push_back(block[i] + shift);
+  }
+  return out;
+}
+
+}  // namespace ms::mesh

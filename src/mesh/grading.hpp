@@ -1,0 +1,27 @@
+#pragma once
+// 1-D grid-line generators. The TSV unit block needs grid lines that pass
+// exactly through the copper/liner/silicon interface radii so the voxel
+// approximation of the cylindrical via converges quickly; these helpers
+// build such interface-conforming, near-uniform spacings.
+
+#include <vector>
+
+namespace ms::mesh {
+
+/// n+1 equally spaced coordinates on [a, b].
+std::vector<double> uniform_coords(double a, double b, int n);
+
+/// Coordinates on [a, b] that (1) contain every interior interface in
+/// `interfaces` exactly and (2) subdivide each gap so no interval exceeds
+/// (b-a)/target_elems. Interfaces outside (a, b) are ignored; duplicates and
+/// near-coincident values (within `merge_tol`) are merged.
+std::vector<double> graded_coords(double a, double b, int target_elems,
+                                  const std::vector<double>& interfaces,
+                                  double merge_tol = 1e-9);
+
+/// Tile a per-block coordinate pattern `block` (covering [block.front(),
+/// block.back()]) `count` times, shifting by the block length each repeat.
+/// Shared block-boundary lines appear once.
+std::vector<double> tile_coords(const std::vector<double>& block, int count);
+
+}  // namespace ms::mesh

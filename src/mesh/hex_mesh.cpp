@@ -1,0 +1,125 @@
+#include "mesh/hex_mesh.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace ms::mesh {
+
+HexMesh::HexMesh(std::vector<double> xs, std::vector<double> ys, std::vector<double> zs)
+    : xs_(std::move(xs)), ys_(std::move(ys)), zs_(std::move(zs)) {
+  for (const auto* coords : {&xs_, &ys_, &zs_}) {
+    if (coords->size() < 2) throw std::invalid_argument("HexMesh: need >= 2 grid lines per axis");
+    for (std::size_t i = 1; i < coords->size(); ++i) {
+      if ((*coords)[i] <= (*coords)[i - 1]) {
+        throw std::invalid_argument("HexMesh: grid lines must be strictly increasing");
+      }
+    }
+  }
+  materials_.assign(static_cast<std::size_t>(num_elems()), 0);
+}
+
+std::array<idx_t, 3> HexMesh::node_ijk(idx_t id) const {
+  const idx_t nx = nodes_x();
+  const idx_t ny = nodes_y();
+  const idx_t i = id % nx;
+  const idx_t j = (id / nx) % ny;
+  const idx_t k = id / (nx * ny);
+  return {i, j, k};
+}
+
+Point3 HexMesh::node_pos(idx_t id) const {
+  const auto [i, j, k] = node_ijk(id);
+  return {xs_[i], ys_[j], zs_[k]};
+}
+
+std::array<idx_t, 3> HexMesh::elem_ijk(idx_t id) const {
+  const idx_t ex = elems_x();
+  const idx_t ey = elems_y();
+  const idx_t i = id % ex;
+  const idx_t j = (id / ex) % ey;
+  const idx_t k = id / (ex * ey);
+  return {i, j, k};
+}
+
+std::array<idx_t, 8> HexMesh::elem_nodes(idx_t elem) const {
+  const auto [i, j, k] = elem_ijk(elem);
+  return {
+      node_id(i, j, k),         node_id(i + 1, j, k),         node_id(i + 1, j + 1, k),
+      node_id(i, j + 1, k),     node_id(i, j, k + 1),         node_id(i + 1, j, k + 1),
+      node_id(i + 1, j + 1, k + 1), node_id(i, j + 1, k + 1),
+  };
+}
+
+Point3 HexMesh::elem_min(idx_t elem) const {
+  const auto [i, j, k] = elem_ijk(elem);
+  return {xs_[i], ys_[j], zs_[k]};
+}
+
+Point3 HexMesh::elem_max(idx_t elem) const {
+  const auto [i, j, k] = elem_ijk(elem);
+  return {xs_[i + 1], ys_[j + 1], zs_[k + 1]};
+}
+
+Point3 HexMesh::elem_centroid(idx_t elem) const {
+  const Point3 lo = elem_min(elem);
+  const Point3 hi = elem_max(elem);
+  return {0.5 * (lo.x + hi.x), 0.5 * (lo.y + hi.y), 0.5 * (lo.z + hi.z)};
+}
+
+double HexMesh::elem_volume(idx_t elem) const {
+  const Point3 lo = elem_min(elem);
+  const Point3 hi = elem_max(elem);
+  return (hi.x - lo.x) * (hi.y - lo.y) * (hi.z - lo.z);
+}
+
+bool HexMesh::is_boundary_node(idx_t id) const {
+  const auto [i, j, k] = node_ijk(id);
+  return i == 0 || i == nodes_x() - 1 || j == 0 || j == nodes_y() - 1 || k == 0 ||
+         k == nodes_z() - 1;
+}
+
+std::vector<idx_t> HexMesh::boundary_nodes() const {
+  std::vector<idx_t> out;
+  const idx_t n = num_nodes();
+  for (idx_t id = 0; id < n; ++id) {
+    if (is_boundary_node(id)) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<idx_t> HexMesh::top_bottom_nodes() const {
+  std::vector<idx_t> out;
+  const idx_t layer = nodes_x() * nodes_y();
+  out.reserve(static_cast<std::size_t>(2 * layer));
+  for (idx_t id = 0; id < layer; ++id) out.push_back(id);
+  const idx_t top_start = (nodes_z() - 1) * layer;
+  for (idx_t id = 0; id < layer; ++id) out.push_back(top_start + id);
+  return out;
+}
+
+idx_t HexMesh::find_interval(const std::vector<double>& coords, double v) {
+  // Clamp outside points to the first/last interval so sampling never fails.
+  if (v <= coords.front()) return 0;
+  if (v >= coords.back()) return static_cast<idx_t>(coords.size()) - 2;
+  const auto it = std::upper_bound(coords.begin(), coords.end(), v);
+  return static_cast<idx_t>(it - coords.begin()) - 1;
+}
+
+HexMesh::Location HexMesh::locate(const Point3& p) const {
+  const idx_t i = find_interval(xs_, p.x);
+  const idx_t j = find_interval(ys_, p.y);
+  const idx_t k = find_interval(zs_, p.z);
+  Location loc;
+  loc.elem = elem_id(i, j, k);
+  loc.xi = 2.0 * (p.x - xs_[i]) / (xs_[i + 1] - xs_[i]) - 1.0;
+  loc.eta = 2.0 * (p.y - ys_[j]) / (ys_[j + 1] - ys_[j]) - 1.0;
+  loc.zeta = 2.0 * (p.z - zs_[k]) / (zs_[k + 1] - zs_[k]) - 1.0;
+  return loc;
+}
+
+std::size_t HexMesh::memory_bytes() const {
+  return (xs_.size() + ys_.size() + zs_.size()) * sizeof(double) + materials_.size();
+}
+
+}  // namespace ms::mesh

@@ -1,0 +1,118 @@
+#pragma once
+// Structured hexahedral mesh. Every mesh in this repository (unit block,
+// tiled array, chiplet coarse model) is a tensor-product grid, so nodes and
+// elements are implicit in three 1-D coordinate arrays; only the per-element
+// material id is stored. This keeps a 50x50-block fine mesh addressable
+// without per-node storage.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "la/types.hpp"
+
+namespace ms::mesh {
+
+using la::idx_t;
+
+/// Point in R^3 (units: micrometres).
+struct Point3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+};
+
+/// Semantic material ids used by the TSV meshes; the FEM layer maps them to
+/// elastic constants. Values are indices into a MaterialTable.
+enum class MaterialId : std::uint8_t {
+  Silicon = 0,
+  Copper = 1,
+  Liner = 2,
+  Organic = 3,
+};
+
+class HexMesh {
+ public:
+  HexMesh() = default;
+
+  /// Construct from grid-line coordinates (strictly increasing, >= 2 each).
+  /// All elements start as Silicon.
+  HexMesh(std::vector<double> xs, std::vector<double> ys, std::vector<double> zs);
+
+  // --- sizes -------------------------------------------------------------
+  [[nodiscard]] idx_t nodes_x() const { return static_cast<idx_t>(xs_.size()); }
+  [[nodiscard]] idx_t nodes_y() const { return static_cast<idx_t>(ys_.size()); }
+  [[nodiscard]] idx_t nodes_z() const { return static_cast<idx_t>(zs_.size()); }
+  [[nodiscard]] idx_t elems_x() const { return nodes_x() - 1; }
+  [[nodiscard]] idx_t elems_y() const { return nodes_y() - 1; }
+  [[nodiscard]] idx_t elems_z() const { return nodes_z() - 1; }
+  [[nodiscard]] idx_t num_nodes() const { return nodes_x() * nodes_y() * nodes_z(); }
+  [[nodiscard]] idx_t num_elems() const { return elems_x() * elems_y() * elems_z(); }
+
+  [[nodiscard]] const std::vector<double>& xs() const { return xs_; }
+  [[nodiscard]] const std::vector<double>& ys() const { return ys_; }
+  [[nodiscard]] const std::vector<double>& zs() const { return zs_; }
+
+  // --- node addressing (i fastest, then j, then k) -------------------------
+  [[nodiscard]] idx_t node_id(idx_t i, idx_t j, idx_t k) const {
+    return (k * nodes_y() + j) * nodes_x() + i;
+  }
+  [[nodiscard]] std::array<idx_t, 3> node_ijk(idx_t id) const;
+  [[nodiscard]] Point3 node_pos(idx_t id) const;
+  [[nodiscard]] Point3 node_pos(idx_t i, idx_t j, idx_t k) const {
+    return {xs_[i], ys_[j], zs_[k]};
+  }
+
+  // --- element addressing ---------------------------------------------------
+  [[nodiscard]] idx_t elem_id(idx_t i, idx_t j, idx_t k) const {
+    return (k * elems_y() + j) * elems_x() + i;
+  }
+  [[nodiscard]] std::array<idx_t, 3> elem_ijk(idx_t id) const;
+
+  /// The 8 node ids in standard hex8 corner order
+  /// (xi,eta,zeta) = 000,100,110,010,001,101,111,011.
+  [[nodiscard]] std::array<idx_t, 8> elem_nodes(idx_t elem) const;
+
+  /// Axis-aligned bounds of an element.
+  [[nodiscard]] Point3 elem_min(idx_t elem) const;
+  [[nodiscard]] Point3 elem_max(idx_t elem) const;
+  [[nodiscard]] Point3 elem_centroid(idx_t elem) const;
+  [[nodiscard]] double elem_volume(idx_t elem) const;
+
+  // --- materials -------------------------------------------------------------
+  [[nodiscard]] MaterialId material(idx_t elem) const {
+    return static_cast<MaterialId>(materials_[elem]);
+  }
+  void set_material(idx_t elem, MaterialId m) {
+    materials_[elem] = static_cast<std::uint8_t>(m);
+  }
+
+  // --- boundary queries -------------------------------------------------------
+  [[nodiscard]] bool is_boundary_node(idx_t id) const;
+  [[nodiscard]] bool on_face_zmin(idx_t id) const { return node_ijk(id)[2] == 0; }
+  [[nodiscard]] bool on_face_zmax(idx_t id) const { return node_ijk(id)[2] == nodes_z() - 1; }
+
+  /// Node ids on any face of the bounding box, ascending.
+  [[nodiscard]] std::vector<idx_t> boundary_nodes() const;
+
+  /// Node ids with k == 0 or k == nz-1 (clamped-surface sets), ascending.
+  [[nodiscard]] std::vector<idx_t> top_bottom_nodes() const;
+
+  /// Locate the element containing point p (clamped to the grid), plus the
+  /// local (xi,eta,zeta) in [-1,1]^3. Used by field sampling and sub-model
+  /// boundary interpolation.
+  struct Location {
+    idx_t elem = 0;
+    double xi = 0.0, eta = 0.0, zeta = 0.0;
+  };
+  [[nodiscard]] Location locate(const Point3& p) const;
+
+  /// Approximate resident bytes (coordinates + material ids).
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  static idx_t find_interval(const std::vector<double>& coords, double v);
+
+  std::vector<double> xs_, ys_, zs_;
+  std::vector<std::uint8_t> materials_;
+};
+
+}  // namespace ms::mesh

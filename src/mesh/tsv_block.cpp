@@ -1,0 +1,129 @@
+#include "mesh/tsv_block.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ms::mesh {
+
+void TsvGeometry::validate() const {
+  if (pitch <= 0.0 || diameter <= 0.0 || height <= 0.0 || liner_thickness < 0.0) {
+    throw std::invalid_argument("TsvGeometry: dimensions must be positive");
+  }
+  if (2.0 * liner_radius() >= pitch) {
+    throw std::invalid_argument("TsvGeometry: via + liner must fit inside the pitch");
+  }
+}
+
+void BlockMeshSpec::validate() const {
+  if (elems_xy < 4 || elems_z < 2) {
+    throw std::invalid_argument("BlockMeshSpec: need elems_xy >= 4 and elems_z >= 2");
+  }
+}
+
+BlockGridLines block_grid_lines(const TsvGeometry& geom, const BlockMeshSpec& spec) {
+  geom.validate();
+  spec.validate();
+  const double p = geom.pitch;
+  const double c = 0.5 * p;
+  // Grid lines tangent to the copper and liner cylinders on both sides, so
+  // voxel material assignment resolves the thin liner even on coarse grids.
+  const std::vector<double> interfaces{
+      c - geom.liner_radius(), c - geom.copper_radius(),
+      c + geom.copper_radius(), c + geom.liner_radius(),
+  };
+  BlockGridLines lines;
+  lines.xy = graded_coords(0.0, p, spec.elems_xy, interfaces);
+  lines.z = uniform_coords(0.0, geom.height, spec.elems_z);
+  return lines;
+}
+
+namespace {
+
+/// Assign via materials for the block whose lower corner in plan is
+/// (x0, y0); element centroids inside the copper/liner radii get tagged.
+void assign_block_materials(HexMesh& mesh, const TsvGeometry& geom, double x0, double y0,
+                            idx_t ex_begin, idx_t ex_end, idx_t ey_begin, idx_t ey_end) {
+  const double cx = x0 + 0.5 * geom.pitch;
+  const double cy = y0 + 0.5 * geom.pitch;
+  const double r_cu = geom.copper_radius();
+  const double r_liner = geom.liner_radius();
+  for (idx_t j = ey_begin; j < ey_end; ++j) {
+    for (idx_t i = ex_begin; i < ex_end; ++i) {
+      // Material is constant through the height; classify once per column.
+      const idx_t e0 = mesh.elem_id(i, j, 0);
+      const Point3 c = mesh.elem_centroid(e0);
+      const double r = std::hypot(c.x - cx, c.y - cy);
+      MaterialId m = MaterialId::Silicon;
+      if (r <= r_cu) {
+        m = MaterialId::Copper;
+      } else if (r <= r_liner) {
+        m = MaterialId::Liner;
+      }
+      if (m == MaterialId::Silicon) continue;
+      for (idx_t k = 0; k < mesh.elems_z(); ++k) mesh.set_material(mesh.elem_id(i, j, k), m);
+    }
+  }
+}
+
+}  // namespace
+
+HexMesh build_tsv_block_mesh(const TsvGeometry& geom, const BlockMeshSpec& spec) {
+  const BlockGridLines lines = block_grid_lines(geom, spec);
+  HexMesh mesh(lines.xy, lines.xy, lines.z);
+  assign_block_materials(mesh, geom, 0.0, 0.0, 0, mesh.elems_x(), 0, mesh.elems_y());
+  return mesh;
+}
+
+HexMesh build_dummy_block_mesh(const TsvGeometry& geom, const BlockMeshSpec& spec) {
+  const BlockGridLines lines = block_grid_lines(geom, spec);
+  return HexMesh(lines.xy, lines.xy, lines.z);
+}
+
+HexMesh build_array_mesh(const TsvGeometry& geom, const BlockMeshSpec& spec, int nx, int ny,
+                         const std::vector<std::uint8_t>& tsv_mask) {
+  if (nx < 1 || ny < 1) throw std::invalid_argument("build_array_mesh: need nx, ny >= 1");
+  std::vector<std::uint8_t> mask = tsv_mask.empty() ? full_tsv_mask(nx, ny) : tsv_mask;
+  if (mask.size() != static_cast<std::size_t>(nx) * ny) {
+    throw std::invalid_argument("build_array_mesh: mask size must be nx*ny");
+  }
+  const BlockGridLines lines = block_grid_lines(geom, spec);
+  HexMesh mesh(tile_coords(lines.xy, nx), tile_coords(lines.xy, ny), lines.z);
+
+  const idx_t epb = static_cast<idx_t>(lines.xy.size()) - 1;  // elements per block edge
+  for (int by = 0; by < ny; ++by) {
+    for (int bx = 0; bx < nx; ++bx) {
+      if (mask[static_cast<std::size_t>(by) * nx + bx] == 0) continue;
+      assign_block_materials(mesh, geom, bx * geom.pitch, by * geom.pitch, bx * epb,
+                             (bx + 1) * epb, by * epb, (by + 1) * epb);
+    }
+  }
+  return mesh;
+}
+
+std::vector<std::uint8_t> full_tsv_mask(int nx, int ny) {
+  return std::vector<std::uint8_t>(static_cast<std::size_t>(nx) * ny, 1);
+}
+
+std::vector<std::uint8_t> padded_tsv_mask(int nx, int ny, int rings) {
+  if (2 * rings >= nx || 2 * rings >= ny) {
+    throw std::invalid_argument("padded_tsv_mask: rings too large for the array");
+  }
+  std::vector<std::uint8_t> mask(static_cast<std::size_t>(nx) * ny, 0);
+  for (int by = rings; by < ny - rings; ++by) {
+    for (int bx = rings; bx < nx - rings; ++bx) {
+      mask[static_cast<std::size_t>(by) * nx + bx] = 1;
+    }
+  }
+  return mask;
+}
+
+std::vector<std::uint8_t> single_tsv_mask(int nx, int ny) {
+  if (nx % 2 == 0 || ny % 2 == 0) {
+    throw std::invalid_argument("single_tsv_mask: nx and ny must be odd");
+  }
+  std::vector<std::uint8_t> mask(static_cast<std::size_t>(nx) * ny, 0);
+  mask[static_cast<std::size_t>(ny / 2) * nx + nx / 2] = 1;
+  return mask;
+}
+
+}  // namespace ms::mesh

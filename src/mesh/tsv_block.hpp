@@ -1,0 +1,72 @@
+#pragma once
+// TSV geometry and the meshers deriving from it (paper Fig. 2 / Fig. 3):
+//  * the unit block — one TSV centred in a p x p x h silicon cuboid,
+//  * the dummy block — same cuboid, pure silicon (Sec. 4.4),
+//  * tiled array meshes for the full-FEM reference and superposition solves.
+//
+// All meshes are voxel (structured hex) approximations of the cylindrical
+// via with grid lines placed exactly at the copper and liner interface
+// radii; elements take the material of the region containing their centroid.
+// The reference FEM uses the *identical* per-block mesh, so ROM error is
+// exactly the paper's single error source (boundary interpolation).
+
+#include <vector>
+
+#include "mesh/grading.hpp"
+#include "mesh/hex_mesh.hpp"
+
+namespace ms::mesh {
+
+/// Geometry of the simplified TSV structure (units: micrometres).
+struct TsvGeometry {
+  double pitch = 15.0;           ///< p: unit-block edge in x and y
+  double diameter = 5.0;         ///< d: copper body diameter
+  double liner_thickness = 0.5;  ///< t: dielectric liner thickness
+  double height = 50.0;          ///< h: block height (z)
+
+  [[nodiscard]] double copper_radius() const { return 0.5 * diameter; }
+  [[nodiscard]] double liner_radius() const { return 0.5 * diameter + liner_thickness; }
+
+  /// Validate physical consistency (throws std::invalid_argument).
+  void validate() const;
+};
+
+/// Mesh density for one unit block.
+struct BlockMeshSpec {
+  int elems_xy = 12;  ///< target element count across the pitch (x and y)
+  int elems_z = 10;   ///< element count through the height
+
+  void validate() const;
+};
+
+/// Grid-line patterns for a single block, interface-conforming in x/y.
+struct BlockGridLines {
+  std::vector<double> xy;  ///< shared by x and y (block is square in plan)
+  std::vector<double> z;
+};
+
+/// The 1-D grid-line pattern used by every block-derived mesh.
+BlockGridLines block_grid_lines(const TsvGeometry& geom, const BlockMeshSpec& spec);
+
+/// Unit TSV block mesh: one via centred at (p/2, p/2).
+HexMesh build_tsv_block_mesh(const TsvGeometry& geom, const BlockMeshSpec& spec);
+
+/// Dummy block mesh: same grid, all silicon.
+HexMesh build_dummy_block_mesh(const TsvGeometry& geom, const BlockMeshSpec& spec);
+
+/// Tiled nx x ny block array. `tsv_mask` (size nx*ny, row-major, x fastest)
+/// selects which blocks contain a via; empty mask means all blocks do.
+HexMesh build_array_mesh(const TsvGeometry& geom, const BlockMeshSpec& spec, int nx, int ny,
+                         const std::vector<std::uint8_t>& tsv_mask = {});
+
+/// Mask helpers for build_array_mesh.
+std::vector<std::uint8_t> full_tsv_mask(int nx, int ny);
+
+/// Mask with `rings` dummy rings around an inner (nx-2*rings)^2 TSV core.
+std::vector<std::uint8_t> padded_tsv_mask(int nx, int ny, int rings);
+
+/// Mask with only the centre block carrying a via (isolated-TSV domain for
+/// the linear-superposition basis solve); nx and ny must be odd.
+std::vector<std::uint8_t> single_tsv_mask(int nx, int ny);
+
+}  // namespace ms::mesh

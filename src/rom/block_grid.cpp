@@ -1,0 +1,77 @@
+#include "rom/block_grid.hpp"
+
+#include <stdexcept>
+
+namespace ms::rom {
+
+BlockGrid::BlockGrid(int blocks_x, int blocks_y, int nodes_x, int nodes_y, int nodes_z,
+                     double pitch, double height)
+    : blocks_x_(blocks_x),
+      blocks_y_(blocks_y),
+      nx_(nodes_x),
+      ny_(nodes_y),
+      nz_(nodes_z),
+      pitch_(pitch),
+      height_(height),
+      gx_(blocks_x * (nodes_x - 1) + 1),
+      gy_(blocks_y * (nodes_y - 1) + 1),
+      gz_(nodes_z),
+      sns_(nodes_x, nodes_y, nodes_z, pitch, pitch, height) {
+  if (blocks_x < 1 || blocks_y < 1) throw std::invalid_argument("BlockGrid: need >= 1 block");
+
+  index_of_.assign(static_cast<std::size_t>(gx_) * gy_ * gz_, -1);
+  for (int gk = 0; gk < gz_; ++gk) {
+    const bool k_surface = (gk == 0 || gk == gz_ - 1);
+    for (int gj = 0; gj < gy_; ++gj) {
+      const bool j_face = (gj % (ny_ - 1) == 0);
+      for (int gi = 0; gi < gx_; ++gi) {
+        const bool i_face = (gi % (nx_ - 1) == 0);
+        // A lattice point is a DoF iff it lies on some block's surface.
+        if (!(k_surface || j_face || i_face)) continue;
+        index_of_[(static_cast<std::size_t>(gk) * gy_ + gj) * gx_ + gi] = num_nodes_++;
+        ijk_.push_back({gi, gj, gk});
+      }
+    }
+  }
+}
+
+mesh::Point3 BlockGrid::node_position(idx_t node) const {
+  const auto& [gi, gj, gk] = ijk_[node];
+  return {pitch_ * gi / (nx_ - 1), pitch_ * gj / (ny_ - 1), height_ * gk / (nz_ - 1)};
+}
+
+std::vector<idx_t> BlockGrid::block_dofs(int bx, int by) const {
+  if (bx < 0 || bx >= blocks_x_ || by < 0 || by >= blocks_y_) {
+    throw std::out_of_range("BlockGrid::block_dofs: block out of range");
+  }
+  std::vector<idx_t> dofs;
+  dofs.reserve(static_cast<std::size_t>(sns_.num_dofs()));
+  for (idx_t m = 0; m < sns_.count(); ++m) {
+    const auto& [i, j, k] = sns_.node_ijk(m);
+    const idx_t gnode = node_at(bx * (nx_ - 1) + i, by * (ny_ - 1) + j, k);
+    for (int c = 0; c < 3; ++c) dofs.push_back(3 * gnode + c);
+  }
+  return dofs;
+}
+
+std::vector<idx_t> BlockGrid::nodes_top_bottom() const {
+  std::vector<idx_t> out;
+  for (idx_t node = 0; node < num_nodes_; ++node) {
+    const int gk = ijk_[node][2];
+    if (gk == 0 || gk == gz_ - 1) out.push_back(node);
+  }
+  return out;
+}
+
+std::vector<idx_t> BlockGrid::nodes_outer_boundary() const {
+  std::vector<idx_t> out;
+  for (idx_t node = 0; node < num_nodes_; ++node) {
+    const auto& [gi, gj, gk] = ijk_[node];
+    if (gi == 0 || gi == gx_ - 1 || gj == 0 || gj == gy_ - 1 || gk == 0 || gk == gz_ - 1) {
+      out.push_back(node);
+    }
+  }
+  return out;
+}
+
+}  // namespace ms::rom

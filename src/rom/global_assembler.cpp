@@ -1,0 +1,66 @@
+#include "rom/global_assembler.hpp"
+
+#include <stdexcept>
+
+namespace ms::rom {
+
+GlobalProblem assemble_global(const BlockGrid& grid, const RomModel& tsv_model,
+                              const RomModel* dummy_model, const BlockMask& mask,
+                              double thermal_load) {
+  const idx_t n = tsv_model.num_element_dofs();
+  if (tsv_model.element_stiffness.rows() != n) {
+    throw std::invalid_argument("assemble_global: model element matrices missing");
+  }
+  if (!mask.empty() && mask.size() != static_cast<std::size_t>(grid.num_blocks())) {
+    throw std::invalid_argument("assemble_global: mask size must be blocks_x*blocks_y");
+  }
+  if (dummy_model != nullptr && !tsv_model.compatible_with(*dummy_model)) {
+    throw std::invalid_argument("assemble_global: dummy model incompatible with TSV model");
+  }
+
+  GlobalProblem problem;
+  problem.num_dofs = grid.num_dofs();
+  problem.rhs.assign(problem.num_dofs, 0.0);
+
+  la::TripletList triplets(problem.num_dofs, problem.num_dofs);
+  triplets.reserve(static_cast<std::size_t>(grid.num_blocks()) * n * n);
+
+  for (int by = 0; by < grid.blocks_y(); ++by) {
+    for (int bx = 0; bx < grid.blocks_x(); ++bx) {
+      const bool is_tsv =
+          mask.empty() || mask[static_cast<std::size_t>(by) * grid.blocks_x() + bx] != 0;
+      const RomModel* model = is_tsv ? &tsv_model : dummy_model;
+      if (model == nullptr) {
+        throw std::invalid_argument("assemble_global: mask selects dummy blocks but no model");
+      }
+      const std::vector<idx_t> dofs = grid.block_dofs(bx, by);
+      for (idx_t i = 0; i < n; ++i) {
+        problem.rhs[dofs[i]] += thermal_load * model->element_load[i];
+        for (idx_t j = 0; j < n; ++j) {
+          triplets.add(dofs[i], dofs[j], model->element_stiffness(i, j));
+        }
+      }
+    }
+  }
+  problem.stiffness = CsrMatrix::from_triplets(triplets);
+  return problem;
+}
+
+DirichletBc clamp_top_bottom(const BlockGrid& grid) {
+  return DirichletBc::clamp_nodes(grid.nodes_top_bottom());
+}
+
+DirichletBc submodel_boundary(const BlockGrid& grid,
+                              const std::function<std::array<double, 3>(const mesh::Point3&)>&
+                                  displacement) {
+  const std::vector<idx_t> nodes = grid.nodes_outer_boundary();
+  Vec values;
+  values.reserve(3 * nodes.size());
+  for (idx_t node : nodes) {
+    const auto u = displacement(grid.node_position(node));
+    values.insert(values.end(), u.begin(), u.end());
+  }
+  return DirichletBc::clamp_nodes(nodes, values);
+}
+
+}  // namespace ms::rom

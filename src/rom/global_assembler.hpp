@@ -1,0 +1,44 @@
+#pragma once
+// Global-stage assembly (paper Sec. 4.3): scatter each block's reduced
+// element stiffness/load into the global sparse system with the standard FEM
+// assembly procedure, then lift Dirichlet data (clamped surfaces for
+// standalone arrays; interpolated coarse displacements for sub-modeling).
+
+#include <functional>
+#include <vector>
+
+#include "fem/dirichlet.hpp"
+#include "rom/block_grid.hpp"
+#include "rom/rom_model.hpp"
+
+namespace ms::rom {
+
+using fem::DirichletBc;
+using la::CsrMatrix;
+
+/// Per-block model selection for hybrid arrays: mask[by * blocks_x + bx] is
+/// 1 for a TSV block, 0 for a dummy block. Empty mask = all TSV.
+using BlockMask = std::vector<std::uint8_t>;
+
+struct GlobalProblem {
+  CsrMatrix stiffness;
+  Vec rhs;
+  idx_t num_dofs = 0;
+};
+
+/// Assemble the unconstrained global system for thermal load `thermal_load`.
+/// `dummy_model` may be null when the mask selects no dummy blocks.
+GlobalProblem assemble_global(const BlockGrid& grid, const RomModel& tsv_model,
+                              const RomModel* dummy_model, const BlockMask& mask,
+                              double thermal_load);
+
+/// Clamped top/bottom condition of scenario 1 (all components zero).
+DirichletBc clamp_top_bottom(const BlockGrid& grid);
+
+/// Sub-modeling condition: prescribe every outer-boundary node to the value
+/// of `displacement(p)` (e.g. interpolated from a coarse package solution).
+DirichletBc submodel_boundary(const BlockGrid& grid,
+                              const std::function<std::array<double, 3>(const mesh::Point3&)>&
+                                  displacement);
+
+}  // namespace ms::rom

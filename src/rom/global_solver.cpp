@@ -1,0 +1,70 @@
+#include "rom/global_solver.hpp"
+
+#include <stdexcept>
+
+#include "la/cg.hpp"
+#include "la/cholesky.hpp"
+#include "la/gmres.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace ms::rom {
+
+Vec solve_global(GlobalProblem& problem, const DirichletBc& bc, const GlobalSolveOptions& options,
+                 GlobalSolveStats* stats) {
+  fem::apply_dirichlet(problem.stiffness, problem.rhs, bc);
+
+  util::WallTimer timer;
+  Vec u;
+  idx_t iterations = 0;
+  bool converged = false;
+  std::size_t solver_bytes = 0;
+
+  if (options.method == "direct") {
+    la::SparseCholesky chol(problem.stiffness);
+    u = chol.solve(problem.rhs);
+    converged = true;
+    solver_bytes = chol.memory_bytes();
+  } else if (options.method == "cg") {
+    auto precond = la::make_preconditioner(options.precond, problem.stiffness);
+    la::IterativeOptions iter;
+    iter.rel_tol = options.rel_tol;
+    iter.max_iterations = options.max_iterations;
+    const la::IterativeResult result =
+        la::conjugate_gradient(problem.stiffness, problem.rhs, u, precond.get(), iter);
+    iterations = result.iterations;
+    converged = result.converged;
+    solver_bytes = 5 * problem.rhs.size() * sizeof(double) + precond->memory_bytes();
+  } else if (options.method == "gmres") {
+    auto precond = la::make_preconditioner(options.precond, problem.stiffness);
+    la::GmresOptions gopts;
+    gopts.rel_tol = options.rel_tol;
+    gopts.max_iterations = options.max_iterations;
+    gopts.restart = options.gmres_restart;
+    const la::IterativeResult result =
+        la::gmres(problem.stiffness, problem.rhs, u, precond.get(), gopts);
+    iterations = result.iterations;
+    converged = result.converged;
+    solver_bytes = (static_cast<std::size_t>(options.gmres_restart) + 4) * problem.rhs.size() *
+                       sizeof(double) +
+                   precond->memory_bytes();
+  } else {
+    throw std::invalid_argument("solve_global: unknown method '" + options.method + "'");
+  }
+  if (!converged) {
+    MS_LOG_WARN("global solve (%s) did not converge in %d iterations", options.method.c_str(),
+                static_cast<int>(iterations));
+  }
+
+  if (stats != nullptr) {
+    stats->num_dofs = problem.num_dofs;
+    stats->solve_seconds = timer.seconds();
+    stats->iterations = iterations;
+    stats->converged = converged;
+    stats->matrix_bytes = problem.stiffness.memory_bytes();
+    stats->solver_bytes = solver_bytes;
+  }
+  return u;
+}
+
+}  // namespace ms::rom

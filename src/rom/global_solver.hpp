@@ -1,0 +1,33 @@
+#pragma once
+// Solve the reduced global system (paper Eq. 20). The lifted system is SPD,
+// so preconditioned CG is the default; GMRES (the paper's choice) and a
+// sparse direct path are available for the solver ablation.
+
+#include <string>
+
+#include "rom/global_assembler.hpp"
+
+namespace ms::rom {
+
+struct GlobalSolveOptions {
+  std::string method = "cg";      ///< "cg", "gmres", or "direct"
+  std::string precond = "jacobi"; ///< for the iterative paths
+  double rel_tol = 1e-9;
+  idx_t max_iterations = 20000;
+  idx_t gmres_restart = 80;
+};
+
+struct GlobalSolveStats {
+  idx_t num_dofs = 0;
+  double solve_seconds = 0.0;
+  idx_t iterations = 0;
+  bool converged = false;
+  std::size_t matrix_bytes = 0;
+  std::size_t solver_bytes = 0;
+};
+
+/// Apply `bc` by lifting, then solve. Returns the nodal displacement vector.
+Vec solve_global(GlobalProblem& problem, const DirichletBc& bc,
+                 const GlobalSolveOptions& options = {}, GlobalSolveStats* stats = nullptr);
+
+}  // namespace ms::rom

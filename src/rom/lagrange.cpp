@@ -1,0 +1,44 @@
+#include "rom/lagrange.hpp"
+
+#include <stdexcept>
+
+namespace ms::rom {
+
+std::vector<double> equispaced_nodes(double a, double b, int n) {
+  if (n < 2 || b <= a) throw std::invalid_argument("equispaced_nodes: need n >= 2 and b > a");
+  std::vector<double> nodes(n);
+  for (int i = 0; i < n; ++i) nodes[i] = a + (b - a) * i / (n - 1);
+  return nodes;
+}
+
+std::vector<double> lagrange_values(const std::vector<double>& nodes, double x) {
+  const int n = static_cast<int>(nodes.size());
+  std::vector<double> values(n, 1.0);
+  for (int i = 0; i < n; ++i) {
+    for (int m = 0; m < n; ++m) {
+      if (m == i) continue;
+      values[i] *= (x - nodes[m]) / (nodes[i] - nodes[m]);
+    }
+  }
+  return values;
+}
+
+Lagrange3d::Lagrange3d(std::vector<double> xs, std::vector<double> ys, std::vector<double> zs)
+    : xs_(std::move(xs)), ys_(std::move(ys)), zs_(std::move(zs)) {
+  if (xs_.size() < 2 || ys_.size() < 2 || zs_.size() < 2) {
+    throw std::invalid_argument("Lagrange3d: need >= 2 nodes per axis");
+  }
+}
+
+double Lagrange3d::weight(const mesh::Point3& p, int i, int j, int k) const {
+  const auto wx = lagrange_values(xs_, p.x);
+  const auto wy = lagrange_values(ys_, p.y);
+  const auto wz = lagrange_values(zs_, p.z);
+  return wx[i] * wy[j] * wz[k];
+}
+
+Lagrange3d::Factors Lagrange3d::factors(const mesh::Point3& p) const {
+  return {lagrange_values(xs_, p.x), lagrange_values(ys_, p.y), lagrange_values(zs_, p.z)};
+}
+
+}  // namespace ms::rom

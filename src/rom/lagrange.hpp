@@ -1,0 +1,46 @@
+#pragma once
+// 1-D and tensor-product Lagrange interpolation on equally spaced nodes
+// (paper Eq. 8-9). The node counts used here are small (2..8 per axis), so
+// direct evaluation of the product formula is accurate and cheap.
+
+#include <vector>
+
+#include "mesh/hex_mesh.hpp"
+
+namespace ms::rom {
+
+/// n equally spaced nodes on [a, b] including both endpoints (n >= 2).
+std::vector<double> equispaced_nodes(double a, double b, int n);
+
+/// Values of all n 1-D Lagrange basis polynomials at x (Eq. 9).
+/// nodes must be pairwise distinct.
+std::vector<double> lagrange_values(const std::vector<double>& nodes, double x);
+
+/// Tensor-product evaluation grid for one block: the 1-D node sets along
+/// each axis plus a weight evaluator (Eq. 8).
+class Lagrange3d {
+ public:
+  Lagrange3d(std::vector<double> xs, std::vector<double> ys, std::vector<double> zs);
+
+  [[nodiscard]] int nx() const { return static_cast<int>(xs_.size()); }
+  [[nodiscard]] int ny() const { return static_cast<int>(ys_.size()); }
+  [[nodiscard]] int nz() const { return static_cast<int>(zs_.size()); }
+
+  [[nodiscard]] const std::vector<double>& xs() const { return xs_; }
+  [[nodiscard]] const std::vector<double>& ys() const { return ys_; }
+  [[nodiscard]] const std::vector<double>& zs() const { return zs_; }
+
+  /// L3D(p; i,j,k) = L1D(x;i) L1D(y;j) L1D(z;k).
+  [[nodiscard]] double weight(const mesh::Point3& p, int i, int j, int k) const;
+
+  /// All three 1-D factor vectors at p, for batched tensor evaluation.
+  struct Factors {
+    std::vector<double> wx, wy, wz;
+  };
+  [[nodiscard]] Factors factors(const mesh::Point3& p) const;
+
+ private:
+  std::vector<double> xs_, ys_, zs_;
+};
+
+}  // namespace ms::rom

@@ -1,0 +1,217 @@
+#include "rom/local_stage.hpp"
+
+#include <stdexcept>
+
+#include "fem/assembler.hpp"
+#include "fem/dirichlet.hpp"
+#include "fem/hex8.hpp"
+#include "fem/stress.hpp"
+#include "la/cholesky.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace ms::rom {
+namespace {
+
+using fem::kHexDofs;
+using fem::kHexNodes;
+using fem::kVoigt;
+using la::CsrMatrix;
+using la::SparseCholesky;
+
+/// Node-level interpolation weights: W(b, m) = L3D(position of boundary mesh
+/// node b; surface node m). Stored dense — both dimensions are small.
+DenseMatrix boundary_weights(const mesh::HexMesh& mesh, const std::vector<idx_t>& bnodes,
+                             const SurfaceNodeSet& sns) {
+  DenseMatrix w(static_cast<idx_t>(bnodes.size()), sns.count());
+  for (idx_t b = 0; b < static_cast<idx_t>(bnodes.size()); ++b) {
+    const mesh::Point3 p = mesh.node_pos(bnodes[b]);
+    const Lagrange3d::Factors f = sns.lagrange().factors(p);
+    for (idx_t m = 0; m < sns.count(); ++m) {
+      const auto& [i, j, k] = sns.node_ijk(m);
+      w(b, m) = f.wx[i] * f.wy[j] * f.wz[k];
+    }
+  }
+  return w;
+}
+
+}  // namespace
+
+RomModel run_local_stage(const mesh::TsvGeometry& geometry, const mesh::BlockMeshSpec& spec,
+                         const fem::MaterialTable& materials, BlockKind kind,
+                         const LocalStageOptions& options) {
+  util::WallTimer timer;
+  if (options.nodes_x < 2 || options.nodes_y < 2 || options.nodes_z < 2) {
+    throw std::invalid_argument("run_local_stage: need >= 2 interpolation nodes per axis");
+  }
+
+  const mesh::HexMesh block = (kind == BlockKind::Tsv)
+                                  ? mesh::build_tsv_block_mesh(geometry, spec)
+                                  : mesh::build_dummy_block_mesh(geometry, spec);
+  const fem::AssembledSystem sys = fem::assemble_system(block, materials);
+  const idx_t num_dofs = sys.num_dofs;
+
+  // Partition fine-mesh dofs into boundary (prescribed) and free sets.
+  const std::vector<idx_t> bnodes = block.boundary_nodes();
+  std::vector<idx_t> bc_dofs;
+  bc_dofs.reserve(3 * bnodes.size());
+  for (idx_t node : bnodes) {
+    for (int c = 0; c < 3; ++c) bc_dofs.push_back(fem::dof_of(node, c));
+  }
+  const fem::DofPartition part = fem::partition_dofs(num_dofs, bc_dofs);
+
+  const SurfaceNodeSet sns(options.nodes_x, options.nodes_y, options.nodes_z, geometry.pitch,
+                           geometry.pitch, geometry.height);
+  const idx_t n = sns.num_dofs();
+
+  const DenseMatrix weights = boundary_weights(block, bnodes, sns);
+
+  const CsrMatrix a_ff =
+      sys.stiffness.submatrix(part.free_map, part.num_free, part.free_map, part.num_free);
+  const CsrMatrix a_fb =
+      sys.stiffness.submatrix(part.free_map, part.num_free, part.bc_map, part.num_bc);
+
+  // One factorization, n+1 solves (paper Sec. 4.2).
+  const SparseCholesky chol(a_ff);
+
+  // Basis fields F = [f_0 ... f_{n-1}, f_T] as full fine-mesh vectors.
+  std::vector<Vec> basis(static_cast<std::size_t>(n) + 1);
+  Vec u_bc(part.num_bc), rhs_f(part.num_free), alpha_f;
+  for (idx_t i = 0; i < n; ++i) {
+    const idx_t m = i / 3;
+    const int c = static_cast<int>(i % 3);
+    // Boundary data: the i-th surface-node unit displacement interpolated to
+    // every boundary mesh node (component c only).
+    std::fill(u_bc.begin(), u_bc.end(), 0.0);
+    for (idx_t b = 0; b < static_cast<idx_t>(bnodes.size()); ++b) {
+      const double w = weights(b, m);
+      if (w != 0.0) u_bc[part.bc_map[fem::dof_of(bnodes[b], c)]] = w;
+    }
+    a_fb.mul(u_bc, rhs_f);
+    la::scale(rhs_f, -1.0);
+    chol.solve_inplace(rhs_f, alpha_f);
+
+    Vec f(num_dofs, 0.0);
+    for (idx_t d = 0; d < num_dofs; ++d) {
+      if (part.free_map[d] >= 0) {
+        f[d] = alpha_f[part.free_map[d]];
+      } else {
+        f[d] = u_bc[part.bc_map[d]];
+      }
+    }
+    basis[i] = std::move(f);
+  }
+  {
+    // Thermal basis: unit thermal load, zero boundary motion (Eq. 15).
+    for (idx_t d = 0; d < num_dofs; ++d) {
+      if (part.free_map[d] >= 0) rhs_f[part.free_map[d]] = sys.thermal_load[d];
+    }
+    chol.solve_inplace(rhs_f, alpha_f);
+    Vec f(num_dofs, 0.0);
+    for (idx_t d = 0; d < num_dofs; ++d) {
+      if (part.free_map[d] >= 0) f[d] = alpha_f[part.free_map[d]];
+    }
+    basis[n] = std::move(f);
+  }
+
+  RomModel model;
+  model.kind = kind;
+  model.geometry = geometry;
+  model.mesh_spec = spec;
+  model.nodes_x = options.nodes_x;
+  model.nodes_y = options.nodes_y;
+  model.nodes_z = options.nodes_z;
+  model.samples_per_block = options.samples_per_block;
+  model.fine_mesh_dofs = num_dofs;
+
+  // Reduced element stiffness A_elem(i,j) = f_i^T A_local f_j (Eq. 18).
+  model.element_stiffness = DenseMatrix(n, n);
+  {
+    Vec af(num_dofs);
+    for (idx_t j = 0; j < n; ++j) {
+      sys.stiffness.mul(basis[j], af);
+      for (idx_t i = 0; i <= j; ++i) {
+        const double v = la::dot(basis[i], af);
+        model.element_stiffness(i, j) = v;
+        model.element_stiffness(j, i) = v;
+      }
+    }
+    // Reaction-corrected element load b_i = f_i^T (b_local - A_local f_T)
+    // per unit thermal load (see DESIGN.md note on Eq. 19). The uncorrected
+    // variant (paper's literal Eq. 19) is kept as an ablation switch.
+    sys.stiffness.mul(basis[n], af);
+    model.element_load.resize(n);
+    Vec g(num_dofs);
+    for (idx_t d = 0; d < num_dofs; ++d) {
+      g[d] = sys.thermal_load[d] - (options.uncorrected_eq19_load ? 0.0 : af[d]);
+    }
+    for (idx_t i = 0; i < n; ++i) model.element_load[i] = la::dot(basis[i], g);
+  }
+
+  // Per-basis field samples on the mid-height cut plane (Eq. 15 applied at
+  // reconstruction time). Thermal column includes the eigenstrain term.
+  {
+    const int s = options.samples_per_block;
+    const fem::PlaneGrid grid =
+        fem::make_block_plane_grid(geometry.pitch, 1, 1, s, 0.5 * geometry.height);
+    const idx_t npts = static_cast<idx_t>(grid.size());
+    model.stress_samples = DenseMatrix(6 * npts, n + 1);
+    if (options.sample_displacements) {
+      model.displacement_samples = DenseMatrix(3 * npts, n + 1);
+    }
+
+    idx_t pt = 0;
+    for (double y : grid.ys) {
+      for (double x : grid.xs) {
+        const mesh::Point3 p{x, y, grid.z};
+        const auto loc = block.locate(p);
+        const mesh::Point3 lo = block.elem_min(loc.elem);
+        const mesh::Point3 hi = block.elem_max(loc.elem);
+        const fem::BMatrix b = fem::hex8_b_matrix(loc.xi, loc.eta, loc.zeta, hi.x - lo.x,
+                                                  hi.y - lo.y, hi.z - lo.z);
+        const fem::Material& mat = materials.at(block.material(loc.elem));
+        const auto d = mat.d_matrix();
+        const auto sigma_th = mat.thermal_stress_unit();
+        // db = D * B (6 x 24), shared across all bases at this point.
+        std::array<std::array<double, kHexDofs>, kVoigt> db{};
+        for (int r = 0; r < kVoigt; ++r) {
+          for (int q = 0; q < kVoigt; ++q) {
+            const double drq = d[r * kVoigt + q];
+            if (drq == 0.0) continue;
+            for (int cdof = 0; cdof < kHexDofs; ++cdof) db[r][cdof] += drq * b[q][cdof];
+          }
+        }
+        const auto nodes = block.elem_nodes(loc.elem);
+        const auto shapes = fem::hex8_shape(loc.xi, loc.eta, loc.zeta);
+        for (idx_t col = 0; col <= n; ++col) {
+          std::array<double, kHexDofs> fe;
+          for (int a = 0; a < kHexNodes; ++a) {
+            for (int c = 0; c < 3; ++c) fe[3 * a + c] = basis[col][fem::dof_of(nodes[a], c)];
+          }
+          for (int r = 0; r < kVoigt; ++r) {
+            double sum = 0.0;
+            for (int cdof = 0; cdof < kHexDofs; ++cdof) sum += db[r][cdof] * fe[cdof];
+            if (col == n) sum -= sigma_th[r];  // thermal basis, unit load
+            model.stress_samples(6 * pt + r, col) = sum;
+          }
+          if (options.sample_displacements) {
+            for (int c = 0; c < 3; ++c) {
+              double sum = 0.0;
+              for (int a = 0; a < kHexNodes; ++a) sum += shapes[a] * fe[3 * a + c];
+              model.displacement_samples(3 * pt + c, col) = sum;
+            }
+          }
+        }
+        ++pt;
+      }
+    }
+  }
+
+  model.local_stage_seconds = timer.seconds();
+  MS_LOG_DEBUG("local stage (%s): %d fine dofs -> %d element dofs in %.2fs",
+               kind == BlockKind::Tsv ? "tsv" : "dummy", static_cast<int>(num_dofs),
+               static_cast<int>(n), model.local_stage_seconds);
+  return model;
+}
+
+}  // namespace ms::rom

@@ -1,0 +1,116 @@
+#include "rom/reconstruct.hpp"
+
+#include <stdexcept>
+
+namespace ms::rom {
+namespace {
+
+/// Shared driver: for each block in range, form the coefficient vector
+/// [u_block; thermal_load] and emit rows_per_pt values per sample point into
+/// the region-wide y-major output array.
+template <typename Emit>
+void for_each_block_samples(const BlockGrid& grid, const RomModel& tsv_model,
+                            const RomModel* dummy_model, const BlockMask& mask, const Vec& u,
+                            double thermal_load, const BlockRange& range, const Emit& emit) {
+  if (range.bx0 < 0 || range.bx1 > grid.blocks_x() || range.by0 < 0 ||
+      range.by1 > grid.blocks_y() || range.width() <= 0 || range.height() <= 0) {
+    throw std::invalid_argument("reconstruct: block range out of bounds");
+  }
+  if (!mask.empty() && mask.size() != static_cast<std::size_t>(grid.num_blocks())) {
+    throw std::invalid_argument("reconstruct: mask size must be blocks_x*blocks_y");
+  }
+  const idx_t n = tsv_model.num_element_dofs();
+  Vec coef(static_cast<std::size_t>(n) + 1);
+  for (int by = range.by0; by < range.by1; ++by) {
+    for (int bx = range.bx0; bx < range.bx1; ++bx) {
+      const bool is_tsv =
+          mask.empty() || mask[static_cast<std::size_t>(by) * grid.blocks_x() + bx] != 0;
+      const RomModel* model = is_tsv ? &tsv_model : dummy_model;
+      if (model == nullptr) {
+        throw std::invalid_argument("reconstruct: mask selects dummy blocks but no model");
+      }
+      const std::vector<idx_t> dofs = grid.block_dofs(bx, by);
+      for (idx_t i = 0; i < n; ++i) coef[i] = u[dofs[i]];
+      coef[n] = thermal_load;
+      emit(*model, bx, by, coef);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<fem::Stress6> reconstruct_plane_stress(const BlockGrid& grid,
+                                                   const RomModel& tsv_model,
+                                                   const RomModel* dummy_model,
+                                                   const BlockMask& mask, const Vec& u,
+                                                   double thermal_load, const BlockRange& range) {
+  const int s = tsv_model.samples_per_block;
+  const std::size_t width = static_cast<std::size_t>(range.width()) * s;
+  std::vector<fem::Stress6> out(width * static_cast<std::size_t>(range.height()) * s);
+
+  for_each_block_samples(
+      grid, tsv_model, dummy_model, mask, u, thermal_load, range,
+      [&](const RomModel& model, int bx, int by, const Vec& coef) {
+        const la::DenseMatrix& sm = model.stress_samples;
+        for (int my = 0; my < s; ++my) {
+          for (int mx = 0; mx < s; ++mx) {
+            const idx_t pt = static_cast<idx_t>(my) * s + mx;
+            const std::size_t gidx =
+                (static_cast<std::size_t>(by - range.by0) * s + my) * width +
+                static_cast<std::size_t>(bx - range.bx0) * s + mx;
+            fem::Stress6& sigma = out[gidx];
+            for (int r = 0; r < fem::kVoigt; ++r) {
+              const idx_t row = 6 * pt + r;
+              double sum = 0.0;
+              for (idx_t col = 0; col < sm.cols(); ++col) sum += sm(row, col) * coef[col];
+              sigma[r] = sum;
+            }
+          }
+        }
+      });
+  return out;
+}
+
+std::vector<double> reconstruct_plane_von_mises(const BlockGrid& grid, const RomModel& tsv_model,
+                                                const RomModel* dummy_model, const BlockMask& mask,
+                                                const Vec& u, double thermal_load,
+                                                const BlockRange& range) {
+  const std::vector<fem::Stress6> stress =
+      reconstruct_plane_stress(grid, tsv_model, dummy_model, mask, u, thermal_load, range);
+  return fem::to_von_mises(stress);
+}
+
+std::vector<std::array<double, 3>> reconstruct_plane_displacement(
+    const BlockGrid& grid, const RomModel& tsv_model, const RomModel* dummy_model,
+    const BlockMask& mask, const Vec& u, double thermal_load, const BlockRange& range) {
+  if (tsv_model.displacement_samples.rows() == 0) {
+    throw std::logic_error(
+        "reconstruct_plane_displacement: displacement sampling disabled in the local stage");
+  }
+  const int s = tsv_model.samples_per_block;
+  const std::size_t width = static_cast<std::size_t>(range.width()) * s;
+  std::vector<std::array<double, 3>> out(width * static_cast<std::size_t>(range.height()) * s);
+
+  for_each_block_samples(
+      grid, tsv_model, dummy_model, mask, u, thermal_load, range,
+      [&](const RomModel& model, int bx, int by, const Vec& coef) {
+        const la::DenseMatrix& dm = model.displacement_samples;
+        for (int my = 0; my < s; ++my) {
+          for (int mx = 0; mx < s; ++mx) {
+            const idx_t pt = static_cast<idx_t>(my) * s + mx;
+            const std::size_t gidx =
+                (static_cast<std::size_t>(by - range.by0) * s + my) * width +
+                static_cast<std::size_t>(bx - range.bx0) * s + mx;
+            for (int c = 0; c < 3; ++c) {
+              const idx_t row = 3 * pt + c;
+              double sum = 0.0;
+              for (idx_t col = 0; col < dm.cols(); ++col) sum += dm(row, col) * coef[col];
+              out[gidx][c] = sum;
+            }
+          }
+        }
+      });
+  return out;
+}
+
+}  // namespace ms::rom

@@ -1,0 +1,47 @@
+#pragma once
+// Field reconstruction (paper Eq. 15): within each block, displacement and
+// stress are linear combinations of the precomputed per-basis samples with
+// the block's nodal solution values plus the thermal column scaled by ΔT.
+// Sample positions coincide exactly with fem::make_block_plane_grid, so ROM
+// and reference fields compare point-for-point.
+
+#include "fem/stress.hpp"
+#include "rom/block_grid.hpp"
+#include "rom/global_assembler.hpp"
+#include "rom/rom_model.hpp"
+
+namespace ms::rom {
+
+/// Rectangular sub-region of blocks [bx0, bx1) x [by0, by1).
+struct BlockRange {
+  int bx0 = 0, bx1 = 0, by0 = 0, by1 = 0;
+
+  [[nodiscard]] int width() const { return bx1 - bx0; }
+  [[nodiscard]] int height() const { return by1 - by0; }
+
+  static BlockRange all(const BlockGrid& grid) {
+    return {0, grid.blocks_x(), 0, grid.blocks_y()};
+  }
+};
+
+/// Mid-plane von Mises field over `range`, y-major with s samples per block
+/// (same ordering as fem::sample_plane_stress on the region's plane grid).
+std::vector<double> reconstruct_plane_von_mises(const BlockGrid& grid, const RomModel& tsv_model,
+                                                const RomModel* dummy_model, const BlockMask& mask,
+                                                const Vec& u, double thermal_load,
+                                                const BlockRange& range);
+
+/// Full Voigt stress tensors on the same grid.
+std::vector<fem::Stress6> reconstruct_plane_stress(const BlockGrid& grid,
+                                                   const RomModel& tsv_model,
+                                                   const RomModel* dummy_model,
+                                                   const BlockMask& mask, const Vec& u,
+                                                   double thermal_load, const BlockRange& range);
+
+/// Mid-plane displacement vectors (requires displacement sampling enabled in
+/// the local stage); layout matches the stress variants, 3 values per point.
+std::vector<std::array<double, 3>> reconstruct_plane_displacement(
+    const BlockGrid& grid, const RomModel& tsv_model, const RomModel* dummy_model,
+    const BlockMask& mask, const Vec& u, double thermal_load, const BlockRange& range);
+
+}  // namespace ms::rom

@@ -1,0 +1,39 @@
+#include "rom/surface_nodes.hpp"
+
+#include <stdexcept>
+
+namespace ms::rom {
+
+SurfaceNodeSet::SurfaceNodeSet(int nx, int ny, int nz, double lx, double ly, double lz)
+    : nx_(nx),
+      ny_(ny),
+      nz_(nz),
+      lagrange_(equispaced_nodes(0.0, lx, nx), equispaced_nodes(0.0, ly, ny),
+                equispaced_nodes(0.0, lz, nz)) {
+  if (nx < 2 || ny < 2 || nz < 2) {
+    throw std::invalid_argument("SurfaceNodeSet: need >= 2 nodes per axis");
+  }
+  index_of_.assign(static_cast<std::size_t>(nx) * ny * nz, -1);
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        if (!is_surface(i, j, k)) continue;
+        index_of_[(static_cast<std::size_t>(k) * ny + j) * nx + i] =
+            static_cast<idx_t>(nodes_.size());
+        nodes_.push_back({i, j, k});
+      }
+    }
+  }
+}
+
+mesh::Point3 SurfaceNodeSet::position(idx_t m) const {
+  const auto& [i, j, k] = nodes_[m];
+  return {lagrange_.xs()[i], lagrange_.ys()[j], lagrange_.zs()[k]};
+}
+
+double SurfaceNodeSet::weight(const mesh::Point3& p, idx_t m) const {
+  const auto& [i, j, k] = nodes_[m];
+  return lagrange_.weight(p, i, j, k);
+}
+
+}  // namespace ms::rom

@@ -1,0 +1,69 @@
+#pragma once
+// Enumeration of the Lagrange interpolation nodes on the surface of the unit
+// block (paper Fig. 3(c) and Eq. 16). Nodes form an (nx, ny, nz) tensor grid
+// over the block; only nodes on the block surface become element DoFs:
+//   count = nx ny nz - (nx-2)(ny-2)(nz-2),   n = 3 * count.
+//
+// The ordering defined here (lexicographic, i fastest, then j, then k) is
+// the single source of truth shared by the local stage (basis/DoF order) and
+// the global stage (block -> global scatter), so the two can never drift.
+
+#include <array>
+#include <vector>
+
+#include "la/types.hpp"
+#include "mesh/hex_mesh.hpp"
+#include "rom/lagrange.hpp"
+
+namespace ms::rom {
+
+using la::idx_t;
+
+class SurfaceNodeSet {
+ public:
+  /// Grid of nx*ny*nz equispaced nodes over [0,lx]x[0,ly]x[0,lz]; all axes
+  /// need >= 2 nodes (endpoints are always nodes).
+  SurfaceNodeSet(int nx, int ny, int nz, double lx, double ly, double lz);
+
+  [[nodiscard]] int nx() const { return nx_; }
+  [[nodiscard]] int ny() const { return ny_; }
+  [[nodiscard]] int nz() const { return nz_; }
+
+  /// Number of surface nodes (Eq. 16 without the factor 3).
+  [[nodiscard]] idx_t count() const { return static_cast<idx_t>(nodes_.size()); }
+
+  /// Number of element DoFs n = 3 * count() (Eq. 16).
+  [[nodiscard]] idx_t num_dofs() const { return 3 * count(); }
+
+  /// Grid coordinates (i, j, k) of surface node m.
+  [[nodiscard]] const std::array<int, 3>& node_ijk(idx_t m) const { return nodes_[m]; }
+
+  /// Physical position of surface node m within the block.
+  [[nodiscard]] mesh::Point3 position(idx_t m) const;
+
+  /// Surface-node index of grid node (i,j,k), or -1 for interior nodes.
+  [[nodiscard]] idx_t index_of(int i, int j, int k) const {
+    return index_of_[(static_cast<std::size_t>(k) * ny_ + j) * nx_ + i];
+  }
+
+  /// True if the grid node lies on the block surface.
+  [[nodiscard]] bool is_surface(int i, int j, int k) const {
+    return i == 0 || i == nx_ - 1 || j == 0 || j == ny_ - 1 || k == 0 || k == nz_ - 1;
+  }
+
+  /// The tensor-product Lagrange evaluator over the full grid.
+  [[nodiscard]] const Lagrange3d& lagrange() const { return lagrange_; }
+
+  /// Interpolation weight of surface node m at point p. Evaluating on the
+  /// block surface involves only same-face nodes, so restricting the tensor
+  /// basis to surface nodes is exact there.
+  [[nodiscard]] double weight(const mesh::Point3& p, idx_t m) const;
+
+ private:
+  int nx_, ny_, nz_;
+  Lagrange3d lagrange_;
+  std::vector<std::array<int, 3>> nodes_;
+  std::vector<idx_t> index_of_;
+};
+
+}  // namespace ms::rom

@@ -1,0 +1,178 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace ms::util {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  Option opt;
+  opt.name = name;
+  opt.kind = Kind::Flag;
+  opt.help = help;
+  options_.push_back(std::move(opt));
+}
+
+void CliParser::add_int(const std::string& name, std::int64_t default_value, const std::string& help) {
+  Option opt;
+  opt.name = name;
+  opt.kind = Kind::Int;
+  opt.help = help;
+  opt.int_value = default_value;
+  options_.push_back(std::move(opt));
+}
+
+void CliParser::add_double(const std::string& name, double default_value, const std::string& help) {
+  Option opt;
+  opt.name = name;
+  opt.kind = Kind::Double;
+  opt.help = help;
+  opt.double_value = default_value;
+  options_.push_back(std::move(opt));
+}
+
+void CliParser::add_string(const std::string& name, std::string default_value, const std::string& help) {
+  Option opt;
+  opt.name = name;
+  opt.kind = Kind::String;
+  opt.help = help;
+  opt.string_value = std::move(default_value);
+  options_.push_back(std::move(opt));
+}
+
+CliParser::Option* CliParser::find(const std::string& name) {
+  for (auto& opt : options_) {
+    if (opt.name == name) return &opt;
+  }
+  return nullptr;
+}
+
+const CliParser::Option* CliParser::find(const std::string& name) const {
+  for (const auto& opt : options_) {
+    if (opt.name == name) return &opt;
+  }
+  return nullptr;
+}
+
+void CliParser::parse(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  for (const auto& arg : args) {
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      std::exit(0);
+    }
+  }
+  if (!parse(args)) {
+    std::fprintf(stderr, "%s: %s\n%s", program_.c_str(), error_.c_str(), usage().c_str());
+    std::exit(2);
+  }
+}
+
+bool CliParser::parse(const std::vector<std::string>& args) {
+  error_.clear();
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      error_ = "unexpected positional argument '" + arg + "'";
+      return false;
+    }
+    std::string name = arg.substr(2);
+    std::string inline_value;
+    bool has_inline = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_inline = true;
+    }
+    Option* opt = find(name);
+    if (opt == nullptr) {
+      error_ = "unknown option '--" + name + "'";
+      return false;
+    }
+    if (opt->kind == Kind::Flag) {
+      if (has_inline) {
+        error_ = "flag '--" + name + "' does not take a value";
+        return false;
+      }
+      opt->flag_value = true;
+      continue;
+    }
+    std::string value;
+    if (has_inline) {
+      value = inline_value;
+    } else {
+      if (i + 1 >= args.size()) {
+        error_ = "option '--" + name + "' expects a value";
+        return false;
+      }
+      value = args[++i];
+    }
+    try {
+      switch (opt->kind) {
+        case Kind::Int: opt->int_value = std::stoll(value); break;
+        case Kind::Double: opt->double_value = std::stod(value); break;
+        case Kind::String: opt->string_value = value; break;
+        case Kind::Flag: break;  // handled above
+      }
+    } catch (const std::exception&) {
+      error_ = "invalid value '" + value + "' for option '--" + name + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CliParser::flag(const std::string& name) const {
+  const Option* opt = find(name);
+  if (opt == nullptr || opt->kind != Kind::Flag) throw std::logic_error("unknown flag: " + name);
+  return opt->flag_value;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  const Option* opt = find(name);
+  if (opt == nullptr || opt->kind != Kind::Int) throw std::logic_error("unknown int option: " + name);
+  return opt->int_value;
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const Option* opt = find(name);
+  if (opt == nullptr || opt->kind != Kind::Double) throw std::logic_error("unknown double option: " + name);
+  return opt->double_value;
+}
+
+const std::string& CliParser::get_string(const std::string& name) const {
+  const Option* opt = find(name);
+  if (opt == nullptr || opt->kind != Kind::String) throw std::logic_error("unknown string option: " + name);
+  return opt->string_value;
+}
+
+std::string CliParser::usage() const {
+  std::string out = program_ + " - " + description_ + "\n\noptions:\n";
+  for (const auto& opt : options_) {
+    std::string line = "  --" + opt.name;
+    char buf[256];
+    switch (opt.kind) {
+      case Kind::Flag: break;
+      case Kind::Int:
+        std::snprintf(buf, sizeof(buf), " <int=%lld>", static_cast<long long>(opt.int_value));
+        line += buf;
+        break;
+      case Kind::Double:
+        std::snprintf(buf, sizeof(buf), " <float=%g>", opt.double_value);
+        line += buf;
+        break;
+      case Kind::String: line += " <str=" + opt.string_value + ">"; break;
+    }
+    while (line.size() < 34) line += ' ';
+    out += line + opt.help + "\n";
+  }
+  out += "  --help                          show this message\n";
+  return out;
+}
+
+}  // namespace ms::util

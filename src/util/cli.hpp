@@ -1,0 +1,60 @@
+#pragma once
+// Tiny declarative command-line flag parser shared by examples and benches.
+//
+//   ms::util::CliParser cli("table1_arrays", "Reproduces Table 1");
+//   cli.add_flag("full", "run the paper-scale sweep");
+//   cli.add_int("max-size", 20, "largest array edge");
+//   cli.parse(argc, argv);          // exits with usage on error / --help
+//   if (cli.flag("full")) ...
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ms::util {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description);
+
+  void add_flag(const std::string& name, const std::string& help);
+  void add_int(const std::string& name, std::int64_t default_value, const std::string& help);
+  void add_double(const std::string& name, double default_value, const std::string& help);
+  void add_string(const std::string& name, std::string default_value, const std::string& help);
+
+  /// Parse argv; on --help or malformed input prints usage and exits.
+  void parse(int argc, char** argv);
+
+  /// Parse from a vector (no exit; returns false and sets error on failure).
+  bool parse(const std::vector<std::string>& args);
+
+  [[nodiscard]] bool flag(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind { Flag, Int, Double, String };
+  struct Option {
+    std::string name;
+    Kind kind = Kind::Flag;
+    std::string help;
+    bool flag_value = false;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+  };
+
+  Option* find(const std::string& name);
+  const Option* find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<Option> options_;
+  std::string error_;
+};
+
+}  // namespace ms::util

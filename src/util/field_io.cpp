@@ -1,0 +1,118 @@
+#include "util/field_io.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+namespace ms::util {
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+FilePtr open_for_write(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (f == nullptr) throw std::runtime_error("field_io: cannot open " + path);
+  return f;
+}
+
+void check_size(const PlaneField& field, const std::vector<double>& values) {
+  if (values.size() != field.size()) {
+    throw std::runtime_error("field_io: value count does not match the grid");
+  }
+}
+
+}  // namespace
+
+PlaneField PlaneField::block_grid(double pitch, int blocks_x, int blocks_y, int samples_per_block,
+                                  double z) {
+  if (blocks_x < 1 || blocks_y < 1 || samples_per_block < 1 || pitch <= 0.0) {
+    throw std::invalid_argument("PlaneField::block_grid: positive sizes required");
+  }
+  PlaneField field;
+  field.width = static_cast<std::size_t>(blocks_x) * samples_per_block;
+  field.height = static_cast<std::size_t>(blocks_y) * samples_per_block;
+  field.spacing_x = pitch / samples_per_block;
+  field.spacing_y = pitch / samples_per_block;
+  field.origin_x = 0.5 * field.spacing_x;
+  field.origin_y = 0.5 * field.spacing_y;
+  field.z = z;
+  return field;
+}
+
+void write_csv(const std::string& path, const PlaneField& field,
+               const std::vector<double>& values, const std::string& value_name) {
+  write_csv_multi(path, field, {{value_name, &values}});
+}
+
+void write_csv_multi(const std::string& path, const PlaneField& field,
+                     const std::vector<std::pair<std::string, const std::vector<double>*>>& columns) {
+  for (const auto& [name, column] : columns) {
+    (void)name;
+    check_size(field, *column);
+  }
+  FilePtr f = open_for_write(path);
+  std::fprintf(f.get(), "x,y");
+  for (const auto& [name, column] : columns) {
+    (void)column;
+    std::fprintf(f.get(), ",%s", name.c_str());
+  }
+  std::fprintf(f.get(), "\n");
+  for (std::size_t iy = 0; iy < field.height; ++iy) {
+    for (std::size_t ix = 0; ix < field.width; ++ix) {
+      std::fprintf(f.get(), "%.9g,%.9g", field.x_of(ix), field.y_of(iy));
+      for (const auto& [name, column] : columns) {
+        (void)name;
+        std::fprintf(f.get(), ",%.9g", (*column)[iy * field.width + ix]);
+      }
+      std::fprintf(f.get(), "\n");
+    }
+  }
+}
+
+void write_vtk(const std::string& path, const PlaneField& field,
+               const std::vector<double>& values, const std::string& value_name) {
+  check_size(field, values);
+  FilePtr f = open_for_write(path);
+  std::fprintf(f.get(),
+               "# vtk DataFile Version 3.0\n"
+               "MORE-Stress plane field (z = %.6g um)\n"
+               "ASCII\n"
+               "DATASET STRUCTURED_POINTS\n"
+               "DIMENSIONS %zu %zu 1\n"
+               "ORIGIN %.9g %.9g %.9g\n"
+               "SPACING %.9g %.9g 1\n"
+               "POINT_DATA %zu\n"
+               "SCALARS %s double 1\n"
+               "LOOKUP_TABLE default\n",
+               field.z, field.width, field.height, field.origin_x, field.origin_y, field.z,
+               field.spacing_x, field.spacing_y, field.size(), value_name.c_str());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::fprintf(f.get(), "%.9g\n", values[i]);
+  }
+}
+
+FieldStats field_stats(const std::vector<double>& values) {
+  if (values.empty()) throw std::invalid_argument("field_stats: empty field");
+  FieldStats stats;
+  stats.min = values[0];
+  stats.max = values[0];
+  double sum = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    sum += values[i];
+    if (values[i] > stats.max) {
+      stats.max = values[i];
+      stats.argmax = i;
+    }
+    stats.min = std::min(stats.min, values[i]);
+  }
+  stats.mean = sum / static_cast<double>(values.size());
+  return stats;
+}
+
+}  // namespace ms::util

@@ -1,0 +1,57 @@
+#pragma once
+// Export of sampled plane fields for visualization and post-processing.
+// The benches and examples compute y-major s-samples-per-block grids of von
+// Mises stress (and full Voigt tensors); these helpers write them as CSV
+// (x, y, value...) or as legacy-VTK structured grids that ParaView opens
+// directly.
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace ms::util {
+
+/// A regular 2-D sample grid: values[iy * width + ix] at cell-centred
+/// coordinates derived from (origin, spacing).
+struct PlaneField {
+  std::size_t width = 0;
+  std::size_t height = 0;
+  double origin_x = 0.0;   ///< x of the first sample
+  double origin_y = 0.0;
+  double spacing_x = 1.0;  ///< distance between samples
+  double spacing_y = 1.0;
+  double z = 0.0;          ///< plane height (metadata)
+
+  [[nodiscard]] std::size_t size() const { return width * height; }
+  [[nodiscard]] double x_of(std::size_t ix) const { return origin_x + spacing_x * ix; }
+  [[nodiscard]] double y_of(std::size_t iy) const { return origin_y + spacing_y * iy; }
+
+  /// Grid covering `blocks` x `blocks` unit blocks of `pitch` with s
+  /// cell-centred samples per block (matches fem::make_block_plane_grid).
+  static PlaneField block_grid(double pitch, int blocks_x, int blocks_y, int samples_per_block,
+                               double z);
+};
+
+/// Write "x,y,<name>" rows; `values` must have field.size() entries.
+/// Throws std::runtime_error on I/O failure or size mismatch.
+void write_csv(const std::string& path, const PlaneField& field,
+               const std::vector<double>& values, const std::string& value_name = "von_mises");
+
+/// Write several aligned scalar columns ("x,y,a,b,...").
+void write_csv_multi(const std::string& path, const PlaneField& field,
+                     const std::vector<std::pair<std::string, const std::vector<double>*>>& columns);
+
+/// Legacy-VTK STRUCTURED_POINTS file with one scalar field (ParaView-ready).
+void write_vtk(const std::string& path, const PlaneField& field,
+               const std::vector<double>& values, const std::string& value_name = "von_mises");
+
+/// Summary statistics of a field (used by examples and EXPERIMENTS.md).
+struct FieldStats {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  std::size_t argmax = 0;  ///< index of the peak sample
+};
+FieldStats field_stats(const std::vector<double>& values);
+
+}  // namespace ms::util

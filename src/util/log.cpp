@@ -1,0 +1,54 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace ms::util {
+namespace {
+
+LogLevel g_level = LogLevel::Info;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+const char* basename_of(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+void log_message(LogLevel level, const char* file, int line, const char* fmt, ...) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "[%s %s:%d] ", level_tag(level), basename_of(file), line);
+  std::va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "trace") return LogLevel::Trace;
+  if (name == "debug") return LogLevel::Debug;
+  if (name == "info") return LogLevel::Info;
+  if (name == "warn") return LogLevel::Warn;
+  if (name == "error") return LogLevel::Error;
+  if (name == "off") return LogLevel::Off;
+  return LogLevel::Info;
+}
+
+}  // namespace ms::util

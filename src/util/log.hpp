@@ -1,0 +1,35 @@
+#pragma once
+// Minimal severity-filtered logging for library and tool code.
+//
+// Usage:
+//   MS_LOG_INFO("assembled %zu dofs in %.2f s", n, t);
+// The default level is Info; benches lower it to Warn to keep tables clean.
+
+#include <cstdarg>
+#include <string>
+
+namespace ms::util {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Set the global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging entry point. Prefer the MS_LOG_* macros.
+void log_message(LogLevel level, const char* file, int line, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 4, 5)))
+#endif
+    ;
+
+/// Parse "trace"/"debug"/"info"/"warn"/"error"/"off"; returns Info on unknown input.
+LogLevel parse_log_level(const std::string& name);
+
+}  // namespace ms::util
+
+#define MS_LOG_TRACE(...) ::ms::util::log_message(::ms::util::LogLevel::Trace, __FILE__, __LINE__, __VA_ARGS__)
+#define MS_LOG_DEBUG(...) ::ms::util::log_message(::ms::util::LogLevel::Debug, __FILE__, __LINE__, __VA_ARGS__)
+#define MS_LOG_INFO(...) ::ms::util::log_message(::ms::util::LogLevel::Info, __FILE__, __LINE__, __VA_ARGS__)
+#define MS_LOG_WARN(...) ::ms::util::log_message(::ms::util::LogLevel::Warn, __FILE__, __LINE__, __VA_ARGS__)
+#define MS_LOG_ERROR(...) ::ms::util::log_message(::ms::util::LogLevel::Error, __FILE__, __LINE__, __VA_ARGS__)

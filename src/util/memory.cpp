@@ -1,0 +1,99 @@
+#include "util/memory.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace ms::util {
+
+MemoryLedger& MemoryLedger::instance() {
+  static MemoryLedger ledger;
+  return ledger;
+}
+
+void MemoryLedger::allocate(std::size_t bytes) {
+  current_ += bytes;
+  peak_ = std::max(peak_, current_);
+}
+
+void MemoryLedger::release(std::size_t bytes) {
+  current_ = bytes > current_ ? 0 : current_ - bytes;
+}
+
+void MemoryLedger::reset_peak() { peak_ = current_; }
+
+void MemoryLedger::reset_all() {
+  current_ = 0;
+  peak_ = 0;
+}
+
+ScopedLedgerBytes::ScopedLedgerBytes(std::size_t bytes) : bytes_(bytes) {
+  MemoryLedger::instance().allocate(bytes_);
+}
+
+ScopedLedgerBytes::ScopedLedgerBytes(ScopedLedgerBytes&& other) noexcept : bytes_(other.bytes_) {
+  other.bytes_ = 0;
+}
+
+ScopedLedgerBytes& ScopedLedgerBytes::operator=(ScopedLedgerBytes&& other) noexcept {
+  if (this != &other) {
+    if (bytes_ != 0) MemoryLedger::instance().release(bytes_);
+    bytes_ = other.bytes_;
+    other.bytes_ = 0;
+  }
+  return *this;
+}
+
+ScopedLedgerBytes::~ScopedLedgerBytes() {
+  if (bytes_ != 0) MemoryLedger::instance().release(bytes_);
+}
+
+void ScopedLedgerBytes::resize(std::size_t bytes) {
+  auto& ledger = MemoryLedger::instance();
+  if (bytes_ != 0) ledger.release(bytes_);
+  bytes_ = bytes;
+  if (bytes_ != 0) ledger.allocate(bytes_);
+}
+
+namespace {
+
+std::size_t read_status_kb(const char* key) {
+  std::ifstream status("/proc/self/status");
+  if (!status) return 0;
+  std::string line;
+  const std::size_t key_len = std::strlen(key);
+  while (std::getline(status, line)) {
+    if (line.compare(0, key_len, key) == 0) {
+      std::istringstream iss(line.substr(key_len));
+      std::size_t kb = 0;
+      iss >> kb;
+      return kb * 1024;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::size_t peak_rss_bytes() { return read_status_kb("VmHWM:"); }
+
+std::size_t current_rss_bytes() { return read_status_kb("VmRSS:"); }
+
+std::string format_bytes(std::size_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (b >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", b / 1e9);
+  } else if (b >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1f MB", b / 1e6);
+  } else if (b >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1f kB", b / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zu B", bytes);
+  }
+  return buf;
+}
+
+}  // namespace ms::util

@@ -1,0 +1,46 @@
+#pragma once
+// Plain-text table rendering for the benchmark harnesses. Each bench binary
+// prints tables shaped like the ones in the paper (rows = method/metric,
+// columns = array size or location), so renders are column-major friendly.
+
+#include <string>
+#include <vector>
+
+namespace ms::util {
+
+/// A text table with a header row; cells are preformatted strings.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; missing cells render empty, extra cells are an error.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows.
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Render with aligned columns, a rule under the header, "| " separators.
+  [[nodiscard]] std::string render() const;
+
+  /// Render as comma-separated values (for EXPERIMENTS.md extraction).
+  [[nodiscard]] std::string render_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style convenience for building cells.
+std::string strf(const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 1, 2)))
+#endif
+    ;
+
+/// "153x" style improvement-ratio cell; "-" when the reference is zero.
+std::string ratio_cell(double reference, double ours);
+
+/// "0.93%" style percentage cell.
+std::string percent_cell(double fraction);
+
+}  // namespace ms::util

@@ -1,0 +1,55 @@
+#include "util/timer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+namespace ms::util {
+
+void PhaseTimer::add(const std::string& name, double seconds) {
+  for (auto& [phase, total] : phases_) {
+    if (phase == name) {
+      total += seconds;
+      return;
+    }
+  }
+  phases_.emplace_back(name, seconds);
+}
+
+double PhaseTimer::total(const std::string& name) const {
+  for (const auto& [phase, total] : phases_) {
+    if (phase == name) return total;
+  }
+  return 0.0;
+}
+
+double PhaseTimer::grand_total() const {
+  double sum = 0.0;
+  for (const auto& [phase, total] : phases_) sum += total;
+  return sum;
+}
+
+std::string PhaseTimer::summary() const {
+  std::string out;
+  char buf[128];
+  for (const auto& [phase, total] : phases_) {
+    std::snprintf(buf, sizeof(buf), "%s%s=%.3fs", out.empty() ? "" : " ", phase.c_str(), total);
+    out += buf;
+  }
+  return out;
+}
+
+std::string format_seconds(double seconds) {
+  char buf[64];
+  if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f ms", seconds * 1e3);
+  } else if (seconds < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f s", seconds);
+  } else {
+    const int minutes = static_cast<int>(seconds / 60.0);
+    std::snprintf(buf, sizeof(buf), "%dm%04.1fs", minutes, seconds - 60.0 * minutes);
+  }
+  return buf;
+}
+
+}  // namespace ms::util

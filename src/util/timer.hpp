@@ -1,0 +1,54 @@
+#pragma once
+// Wall-clock timing helpers used by the benchmark harnesses and the
+// run-statistics reported alongside every solve.
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ms::util {
+
+/// Simple monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock_t::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = clock_t::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock_t::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock_t = std::chrono::steady_clock;
+  clock_t::time_point start_;
+};
+
+/// Accumulates named phase durations (local stage, assembly, solve, ...).
+class PhaseTimer {
+ public:
+  /// Add `seconds` to the phase `name` (created on first use).
+  void add(const std::string& name, double seconds);
+
+  /// Total seconds recorded for `name` (0 if never recorded).
+  [[nodiscard]] double total(const std::string& name) const;
+
+  /// Sum over all phases.
+  [[nodiscard]] double grand_total() const;
+
+  /// One-line "name=1.23s name2=0.45s" summary for logs.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<std::pair<std::string, double>> phases_;
+};
+
+/// Human-friendly duration string ("431 ms", "12.8 s", "5m02s").
+std::string format_seconds(double seconds);
+
+}  // namespace ms::util

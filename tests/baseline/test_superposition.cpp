@@ -1,0 +1,101 @@
+#include "baseline/superposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ms::baseline {
+namespace {
+
+mesh::TsvGeometry geometry() { return {15.0, 5.0, 0.5, 50.0}; }
+mesh::BlockMeshSpec spec() { return {6, 3}; }
+
+const fem::MaterialTable& table() {
+  static const fem::MaterialTable t = fem::MaterialTable::standard();
+  return t;
+}
+
+const SuperpositionModel& model() {
+  static const SuperpositionModel m = [] {
+    SuperpositionModel::BuildOptions options;
+    options.window_blocks = 3;
+    options.samples_per_block = 8;
+    options.fem.method = "direct";
+    return SuperpositionModel::build(geometry(), spec(), table(), options);
+  }();
+  return m;
+}
+
+TEST(Superposition, BuildRecordsCostAndShape) {
+  EXPECT_EQ(model().window_blocks(), 3);
+  EXPECT_EQ(model().samples_per_block(), 8);
+  EXPECT_GT(model().build_seconds(), 0.0);
+  EXPECT_GT(model().memory_bytes(), 0u);
+}
+
+TEST(Superposition, EstimateShape) {
+  const auto field = model().estimate_array(4, 3);
+  EXPECT_EQ(field.size(), static_cast<std::size_t>(4 * 8) * (3 * 8));
+}
+
+TEST(Superposition, SingleViaReproducesOneShotCentre) {
+  // Estimating a 1x1 "array" = background + centre delta = the single-TSV
+  // field at the window centre, by construction.
+  const auto field = model().estimate_array(1, 1);
+  EXPECT_EQ(field.size(), 64u);
+  double peak = 0.0;
+  for (const auto& s : field) peak = std::max(peak, fem::von_mises(s));
+  EXPECT_GT(peak, 100.0);  // hundreds of MPa near the via
+}
+
+TEST(Superposition, FieldHasArrayPeriodicityFarFromEdges) {
+  // Away from array edges every block sees the same neighbor pattern, so the
+  // estimate repeats block-to-block (exact by construction for the method).
+  const int s = 8;
+  const auto field = model().estimate_array(5, 5);
+  const std::size_t width = 5 * s;
+  // Compare block (2,2) with block (2,1) sample-for-sample: with a 3-block
+  // window both see identical neighborhoods.
+  for (int my = 0; my < s; ++my) {
+    for (int mx = 0; mx < s; ++mx) {
+      const std::size_t a = (static_cast<std::size_t>(2 * s + my)) * width + 2 * s + mx;
+      const std::size_t b = (static_cast<std::size_t>(1 * s + my)) * width + 2 * s + mx;
+      EXPECT_NEAR(fem::von_mises(field[a]), fem::von_mises(field[b]), 1e-9);
+    }
+  }
+}
+
+TEST(Superposition, MaskSuppressesViaContributions) {
+  const std::vector<std::uint8_t> none(9, 0);
+  const auto field = model().estimate(3, 3, none, nullptr);
+  // Pure background: nearly hydrostatic silicon -> small von Mises.
+  double peak_bg = 0.0;
+  for (const auto& s : field) peak_bg = std::max(peak_bg, fem::von_mises(s));
+  const auto with_vias = model().estimate_array(3, 3);
+  double peak_vias = 0.0;
+  for (const auto& s : with_vias) peak_vias = std::max(peak_vias, fem::von_mises(s));
+  EXPECT_LT(peak_bg, 0.3 * peak_vias);
+}
+
+TEST(Superposition, ExternalBackgroundIsUsed) {
+  const fem::Stress6 uniform{100.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  const std::function<fem::Stress6(const mesh::Point3&)> bg =
+      [&](const mesh::Point3&) { return uniform; };
+  const std::vector<std::uint8_t> none(4, 0);
+  const auto field = model().estimate(2, 2, none, &bg);
+  for (const auto& s : field) {
+    EXPECT_DOUBLE_EQ(s[0], 100.0);
+    EXPECT_DOUBLE_EQ(s[1], 0.0);
+  }
+}
+
+TEST(Superposition, RejectsBadArguments) {
+  SuperpositionModel::BuildOptions options;
+  options.window_blocks = 4;  // must be odd
+  EXPECT_THROW(SuperpositionModel::build(geometry(), spec(), table(), options),
+               std::invalid_argument);
+  EXPECT_THROW(model().estimate(2, 2, {1, 0, 0}, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ms::baseline

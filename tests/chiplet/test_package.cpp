@@ -1,0 +1,112 @@
+#include "chiplet/package_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ms::chiplet {
+namespace {
+
+PackageGeometry small_geometry() {
+  PackageGeometry g;
+  g.substrate_x = g.substrate_y = 600.0;
+  g.substrate_z = 60.0;
+  g.interposer_x = g.interposer_y = 400.0;
+  g.interposer_z = 50.0;
+  g.die_x = g.die_y = 200.0;
+  g.die_z = 40.0;
+  return g;
+}
+
+CoarseMeshSpec small_spec() { return {10, 10, 2, 2, 2}; }
+
+const PackageModel& package() {
+  static const PackageModel model(small_geometry(), small_spec(), -250.0);
+  return model;
+}
+
+TEST(PackageGeometry, DerivedQuantities) {
+  const PackageGeometry g = small_geometry();
+  EXPECT_DOUBLE_EQ(g.total_z(), 150.0);
+  EXPECT_DOUBLE_EQ(g.interposer_z0(), 60.0);
+  EXPECT_DOUBLE_EQ(g.interposer_z1(), 110.0);
+  EXPECT_DOUBLE_EQ(g.interposer_x0(), 100.0);
+  EXPECT_DOUBLE_EQ(g.die_x0(), 200.0);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(PackageGeometry, ValidationCatchesNonNesting) {
+  PackageGeometry g = small_geometry();
+  g.die_x = 900.0;
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+TEST(PackageMaterials, FillerIsSoftButValid) {
+  const fem::MaterialTable table = package_materials();
+  const fem::Material& filler = table.at(kFillerMaterial);
+  EXPECT_LT(filler.youngs_modulus, 1e-3 * fem::silicon().youngs_modulus);
+  EXPECT_NO_THROW(filler.validate());
+}
+
+TEST(PackageModel, SolvesAndClampsBottom) {
+  const PackageModel& m = package();
+  EXPECT_TRUE(m.stats().converged);
+  // Bottom face has zero displacement.
+  const auto u0 = m.displacement_at({300.0, 300.0, 0.0});
+  EXPECT_NEAR(u0[0], 0.0, 1e-10);
+  EXPECT_NEAR(u0[2], 0.0, 1e-10);
+}
+
+TEST(PackageModel, CoolingShrinksTheStack) {
+  // Under DT = -250 the organic substrate contracts more than silicon; the
+  // top of the stack must move downward (negative z displacement).
+  const PackageModel& m = package();
+  const auto u_top = m.displacement_at({300.0, 300.0, 149.0});
+  EXPECT_LT(u_top[2], 0.0);
+  EXPECT_GT(std::fabs(u_top[2]), 1e-3);  // micrometres of motion
+}
+
+TEST(PackageModel, WarpageGradientAcrossInterposer) {
+  // Displacement varies across the interposer plane: the essence of the
+  // location-dependent background the sub-modeling scenario probes.
+  const PackageModel& m = package();
+  const double z = 0.5 * (m.geometry().interposer_z0() + m.geometry().interposer_z1());
+  const auto u_centre = m.displacement_at({300.0, 300.0, z});
+  const auto u_corner = m.displacement_at({110.0, 110.0, z});
+  const double diff = std::fabs(u_centre[2] - u_corner[2]) +
+                      std::fabs(u_centre[0] - u_corner[0]);
+  EXPECT_GT(diff, 1e-3);
+}
+
+TEST(PackageModel, BackgroundVariesSharplyAtDieCorner) {
+  // What makes loc3/loc5 hard for linear superposition (paper Table 2) is
+  // the sharp *variation* of the background near the die corner versus the
+  // smooth field under the die-shadow centre. Compare local stress variation
+  // over the same 40 um span at both places.
+  const PackageModel& m = package();
+  const PackageGeometry& g = m.geometry();
+  const double z = 0.5 * (g.interposer_z0() + g.interposer_z1());
+  const auto variation = [&](double x, double y) {
+    const double a = fem::von_mises(m.stress_at({x - 20.0, y - 20.0, z}));
+    const double b = fem::von_mises(m.stress_at({x + 20.0, y + 20.0, z}));
+    return std::fabs(a - b);
+  };
+  const double centre_var = variation(300.0, 300.0);
+  const double corner_var = variation(g.die_x0() + g.die_x, g.die_y0() + g.die_y);
+  EXPECT_GT(corner_var, 2.0 * centre_var);
+}
+
+TEST(PackageModel, DisplacementProbeMatchesNodalValues) {
+  const PackageModel& m = package();
+  // Probing exactly at a node reproduces the nodal solution.
+  const auto& mesh = m.mesh();
+  const la::idx_t node = mesh.node_id(3, 4, 2);
+  const mesh::Point3 p = mesh.node_pos(node);
+  const auto u = m.displacement_at(p);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_NEAR(u[c], m.displacement()[3 * node + c], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace ms::chiplet

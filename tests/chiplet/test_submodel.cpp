@@ -1,0 +1,103 @@
+#include "chiplet/submodel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chiplet/displacement_field.hpp"
+#include "mesh/grading.hpp"
+
+namespace ms::chiplet {
+namespace {
+
+PackageGeometry small_geometry() {
+  PackageGeometry g;
+  g.substrate_x = g.substrate_y = 600.0;
+  g.substrate_z = 60.0;
+  g.interposer_x = g.interposer_y = 400.0;
+  g.interposer_z = 50.0;
+  g.die_x = g.die_y = 200.0;
+  g.die_z = 40.0;
+  return g;
+}
+
+const PackageModel& package() {
+  static const PackageModel model(small_geometry(), {10, 10, 2, 2, 2}, -250.0);
+  return model;
+}
+
+TEST(StandardLocations, FiveDistinctInBoundsPlacements) {
+  const PackageGeometry g = small_geometry();
+  const auto locs = standard_locations(g, 15.0, 5, 5);
+  ASSERT_EQ(locs.size(), 5u);
+  for (const auto& loc : locs) {
+    EXPECT_EQ(loc.blocks_x, 5);
+    // Fully inside the interposer footprint.
+    EXPECT_GE(loc.origin.x, g.interposer_x0() - 1e-9);
+    EXPECT_LE(loc.origin.x + 5 * 15.0, g.interposer_x0() + g.interposer_x + 1e-9);
+    EXPECT_GE(loc.origin.y, g.interposer_y0() - 1e-9);
+    EXPECT_DOUBLE_EQ(loc.origin.z, g.interposer_z0());
+  }
+  // Labels are loc1..loc5 and origins differ pairwise.
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(locs[i].label, "loc" + std::to_string(i + 1));
+    for (std::size_t j = i + 1; j < 5; ++j) {
+      const bool same = locs[i].origin.x == locs[j].origin.x &&
+                        locs[i].origin.y == locs[j].origin.y;
+      EXPECT_FALSE(same) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(StandardLocations, Loc1CentredOnDie) {
+  const PackageGeometry g = small_geometry();
+  const auto locs = standard_locations(g, 15.0, 4, 4);
+  const double cx = locs[0].origin.x + 2 * 15.0;
+  EXPECT_NEAR(cx, g.die_x0() + 0.5 * g.die_x, 1e-9);
+}
+
+TEST(StandardLocations, Loc5AtInterposerCorner) {
+  const PackageGeometry g = small_geometry();
+  const auto locs = standard_locations(g, 15.0, 4, 4);
+  EXPECT_NEAR(locs[4].origin.x + 4 * 15.0, g.interposer_x0() + g.interposer_x, 1e-9);
+  EXPECT_NEAR(locs[4].origin.y + 4 * 15.0, g.interposer_y0() + g.interposer_y, 1e-9);
+}
+
+TEST(StandardLocations, RejectsOversizedSubmodel) {
+  EXPECT_THROW(standard_locations(small_geometry(), 15.0, 100, 100), std::invalid_argument);
+}
+
+TEST(FineSubmodelBc, PrescribesCoarseDisplacementOnBoundary) {
+  const PackageGeometry g = small_geometry();
+  const auto locs = standard_locations(g, 15.0, 3, 3);
+  const mesh::TsvGeometry tsv{15.0, 5.0, 0.5, 50.0};
+  const mesh::HexMesh fine = mesh::build_array_mesh(tsv, {6, 3}, 3, 3);
+
+  const fem::DirichletBc bc = fine_submodel_bc(fine, package(), locs[0]);
+  EXPECT_EQ(bc.size(), 3 * fine.boundary_nodes().size());
+
+  // Spot check: values equal the package displacement at the shifted point.
+  const auto bnodes = fine.boundary_nodes();
+  for (std::size_t i = 0; i < bnodes.size(); i += 53) {
+    const mesh::Point3 local = fine.node_pos(bnodes[i]);
+    const auto expected = package().displacement_at(
+        {local.x + locs[0].origin.x, local.y + locs[0].origin.y, local.z + locs[0].origin.z});
+    for (int c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(bc.values[3 * i + c], expected[c]);
+  }
+}
+
+TEST(DisplacementField, WrapsAndShifts) {
+  const PackageModel& m = package();
+  const DisplacementField field(m.mesh(), m.displacement());
+  const mesh::Point3 p{300.0, 300.0, 100.0};
+  const auto direct = m.displacement_at(p);
+  const auto wrapped = field(p);
+  for (int c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(wrapped[c], direct[c]);
+
+  const DisplacementField shifted = field.shifted({100.0, 50.0, 0.0});
+  const auto via_shift = shifted({200.0, 250.0, 100.0});
+  for (int c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(via_shift[c], direct[c]);
+}
+
+}  // namespace
+}  // namespace ms::chiplet

@@ -1,0 +1,119 @@
+#include "core/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <filesystem>
+
+#include "core/report.hpp"
+
+namespace ms::core {
+namespace {
+
+SimulationConfig small_config(int nodes = 3) {
+  SimulationConfig config = SimulationConfig::paper_default();
+  config.mesh_spec = {6, 3};
+  config.local.nodes_x = config.local.nodes_y = config.local.nodes_z = nodes;
+  config.local.samples_per_block = 10;
+  return config;
+}
+
+TEST(Config, PaperDefaultMatchesSec52) {
+  const SimulationConfig c = SimulationConfig::paper_default();
+  EXPECT_DOUBLE_EQ(c.geometry.pitch, 15.0);
+  EXPECT_DOUBLE_EQ(c.geometry.diameter, 5.0);
+  EXPECT_DOUBLE_EQ(c.geometry.liner_thickness, 0.5);
+  EXPECT_DOUBLE_EQ(c.geometry.height, 50.0);
+  EXPECT_DOUBLE_EQ(c.thermal_load, -250.0);
+  EXPECT_EQ(c.local.nodes_x, 4);
+  EXPECT_EQ(c.local.samples_per_block, 100);
+}
+
+TEST(Simulator, LocalStageIsLazyAndCached) {
+  MoreStressSimulator sim(small_config());
+  const double first = sim.prepare_local_stage(false);
+  EXPECT_GT(first, 0.0);
+  const double second = sim.prepare_local_stage(false);
+  EXPECT_DOUBLE_EQ(second, 0.0);
+}
+
+TEST(Simulator, ArrayResultShapesAndStats) {
+  MoreStressSimulator sim(small_config());
+  const ArrayResult result = sim.simulate_array(3, 2);
+  EXPECT_EQ(result.region_blocks_x, 3);
+  EXPECT_EQ(result.region_blocks_y, 2);
+  EXPECT_EQ(result.samples_per_block, 10);
+  EXPECT_EQ(result.von_mises.size(), static_cast<std::size_t>(3 * 10) * (2 * 10));
+  EXPECT_EQ(result.stress.size(), result.von_mises.size());
+  EXPECT_TRUE(result.stats.converged);
+  EXPECT_GT(result.stats.global_dofs, 0);
+  EXPECT_GT(result.stats.memory_bytes, 0u);
+  EXPECT_GT(result.stats.global_seconds(), 0.0);
+}
+
+TEST(Simulator, DiskCacheRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path() / "ms_rom_cache_test";
+  std::filesystem::remove_all(dir);
+
+  SimulationConfig config = small_config();
+  MoreStressSimulator sim1(config);
+  sim1.set_cache_directory(dir.string());
+  (void)sim1.tsv_model();
+  EXPECT_FALSE(std::filesystem::is_empty(dir));
+
+  MoreStressSimulator sim2(config);
+  sim2.set_cache_directory(dir.string());
+  const rom::RomModel& loaded = sim2.tsv_model();
+  EXPECT_LT(loaded.element_stiffness.frobenius_diff(sim1.tsv_model().element_stiffness), 1e-12);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Simulator, SubmodelUsesDummyRingsAndReportsInnerRegion) {
+  MoreStressSimulator sim(small_config());
+  const auto linear = [](const mesh::Point3& p) {
+    return std::array<double, 3>{1e-4 * p.x, 1e-4 * p.y, -2e-4 * p.z};
+  };
+  const ArrayResult result = sim.simulate_submodel(2, 2, 1, linear);
+  EXPECT_EQ(result.region_blocks_x, 2);
+  EXPECT_EQ(result.von_mises.size(), static_cast<std::size_t>(2 * 10) * (2 * 10));
+  EXPECT_TRUE(result.stats.converged);
+}
+
+TEST(Simulator, SubmodelRejectsNegativeRings) {
+  MoreStressSimulator sim(small_config());
+  const auto zero = [](const mesh::Point3&) { return std::array<double, 3>{0, 0, 0}; };
+  EXPECT_THROW(sim.simulate_submodel(2, 2, -1, zero), std::invalid_argument);
+}
+
+TEST(Simulator, StressScalesLinearlyWithThermalLoad) {
+  SimulationConfig c1 = small_config();
+  SimulationConfig c2 = small_config();
+  c2.thermal_load = 2.0 * c1.thermal_load;
+  MoreStressSimulator sim1(c1), sim2(c2);
+  const auto r1 = sim1.simulate_array(2, 2);
+  const auto r2 = sim2.simulate_array(2, 2);
+  double max_vm = 0.0;
+  for (double v : r1.von_mises) max_vm = std::max(max_vm, v);
+  for (std::size_t i = 0; i < r1.von_mises.size(); ++i) {
+    EXPECT_NEAR(r2.von_mises[i], 2.0 * r1.von_mises[i], 1e-5 * max_vm);
+  }
+}
+
+TEST(ReferenceHelpers, ArrayReferenceMatchesShapes) {
+  const SimulationConfig config = small_config();
+  fem::FemSolveOptions options;
+  options.method = "direct";
+  const ReferenceResult ref = reference_array(config, 2, 2, options);
+  EXPECT_EQ(ref.von_mises.size(), static_cast<std::size_t>(2 * 10) * (2 * 10));
+  EXPECT_GT(ref.stats.num_dofs, 0);
+
+  MoreStressSimulator sim(config);
+  const ArrayResult rom = sim.simulate_array(2, 2);
+  const double err = field_error(ref, rom.von_mises);
+  EXPECT_GT(err, 0.0);
+  EXPECT_LT(err, 0.10);  // (3,3,3) nodes on a 2x2 array: coarse but sane
+}
+
+}  // namespace
+}  // namespace ms::core

@@ -1,0 +1,101 @@
+#include "fem/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mesh/grading.hpp"
+#include "mesh/tsv_block.hpp"
+
+namespace ms::fem {
+namespace {
+
+mesh::HexMesh box_mesh(int nx, int ny, int nz, double lx = 1.0, double ly = 1.0, double lz = 1.0) {
+  return mesh::HexMesh(mesh::uniform_coords(0.0, lx, nx), mesh::uniform_coords(0.0, ly, ny),
+                       mesh::uniform_coords(0.0, lz, nz));
+}
+
+TEST(Assembler, SystemShape) {
+  const mesh::HexMesh m = box_mesh(2, 2, 2);
+  const AssembledSystem sys = assemble_system(m, MaterialTable::standard());
+  EXPECT_EQ(sys.num_dofs, 3 * m.num_nodes());
+  EXPECT_EQ(sys.stiffness.rows(), sys.num_dofs);
+  EXPECT_EQ(static_cast<idx_t>(sys.thermal_load.size()), sys.num_dofs);
+}
+
+TEST(Assembler, StiffnessIsSymmetric) {
+  const mesh::HexMesh m = box_mesh(3, 2, 2);
+  const AssembledSystem sys = assemble_system(m, MaterialTable::standard());
+  EXPECT_LT(sys.stiffness.symmetry_error(), 1e-8);
+}
+
+TEST(Assembler, RigidTranslationInKernel) {
+  const mesh::HexMesh m = box_mesh(3, 3, 2);
+  const AssembledSystem sys = assemble_system(m, MaterialTable::standard());
+  for (int c = 0; c < 3; ++c) {
+    Vec t(sys.num_dofs, 0.0);
+    for (idx_t node = 0; node < m.num_nodes(); ++node) t[dof_of(node, c)] = 1.0;
+    Vec kt;
+    sys.stiffness.mul(t, kt);
+    EXPECT_LT(la::norm_inf(kt), 1e-7) << "component " << c;
+  }
+}
+
+TEST(Assembler, ThermalLoadIsSelfEquilibrated) {
+  const mesh::HexMesh m = box_mesh(3, 2, 4, 2.0, 1.0, 3.0);
+  const AssembledSystem sys = assemble_system(m, MaterialTable::standard());
+  for (int c = 0; c < 3; ++c) {
+    double net = 0.0;
+    for (idx_t node = 0; node < m.num_nodes(); ++node) net += sys.thermal_load[dof_of(node, c)];
+    EXPECT_NEAR(net, 0.0, 1e-8);
+  }
+}
+
+TEST(Assembler, ThermalLoadOnlyPathMatchesFullAssembly) {
+  mesh::HexMesh m = box_mesh(3, 3, 2);
+  m.set_material(0, mesh::MaterialId::Copper);
+  m.set_material(3, mesh::MaterialId::Liner);
+  const MaterialTable table = MaterialTable::standard();
+  const AssembledSystem sys = assemble_system(m, table);
+  const Vec load = assemble_thermal_load(m, table);
+  EXPECT_LT(la::max_abs_diff(sys.thermal_load, load), 1e-12);
+}
+
+TEST(Assembler, MixedMaterialsChangeStiffness) {
+  mesh::HexMesh soft = box_mesh(2, 2, 2);
+  mesh::HexMesh hard = box_mesh(2, 2, 2);
+  hard.set_material(0, mesh::MaterialId::Copper);
+  const MaterialTable table = MaterialTable::standard();
+  const AssembledSystem a = assemble_system(soft, table);
+  const AssembledSystem b = assemble_system(hard, table);
+  // Same sparsity, different values.
+  EXPECT_EQ(a.stiffness.nnz(), b.stiffness.nnz());
+  double diff = 0.0;
+  for (std::size_t k = 0; k < a.stiffness.values().size(); ++k) {
+    diff = std::max(diff, std::fabs(a.stiffness.values()[k] - b.stiffness.values()[k]));
+  }
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(Assembler, StencilPatternHas81ColumnsInterior) {
+  const mesh::HexMesh m = box_mesh(4, 4, 4);
+  const AssembledSystem sys = assemble_system(m, MaterialTable::standard());
+  // An interior node couples with its full 3x3x3 neighborhood x 3 components.
+  const idx_t interior = m.node_id(2, 2, 2);
+  const idx_t row = dof_of(interior, 0);
+  EXPECT_EQ(sys.stiffness.row_ptr()[row + 1] - sys.stiffness.row_ptr()[row], 81);
+  // A corner node couples with 2x2x2 x 3 = 24 columns.
+  const idx_t corner_row = dof_of(m.node_id(0, 0, 0), 1);
+  EXPECT_EQ(sys.stiffness.row_ptr()[corner_row + 1] - sys.stiffness.row_ptr()[corner_row], 24);
+}
+
+TEST(Assembler, TsvBlockAssembles) {
+  const mesh::TsvGeometry g{15.0, 5.0, 0.5, 50.0};
+  const mesh::HexMesh m = mesh::build_tsv_block_mesh(g, {8, 4});
+  const AssembledSystem sys = assemble_system(m, MaterialTable::standard());
+  EXPECT_LT(sys.stiffness.symmetry_error(), 1e-7);
+  EXPECT_GT(la::norm_inf(sys.thermal_load), 0.0);
+}
+
+}  // namespace
+}  // namespace ms::fem

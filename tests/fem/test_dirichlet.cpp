@@ -1,0 +1,102 @@
+#include "fem/dirichlet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fem/assembler.hpp"
+#include "la/cholesky.hpp"
+#include "mesh/grading.hpp"
+
+namespace ms::fem {
+namespace {
+
+mesh::HexMesh box_mesh(int n) {
+  const auto c = mesh::uniform_coords(0.0, 1.0, n);
+  return mesh::HexMesh(c, c, c);
+}
+
+TEST(DirichletBc, ClampNodesExpandsComponents) {
+  const DirichletBc bc = DirichletBc::clamp_nodes({3, 7});
+  ASSERT_EQ(bc.size(), 6u);
+  EXPECT_EQ(bc.dofs[0], 9);
+  EXPECT_EQ(bc.dofs[5], 23);
+  for (double v : bc.values) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(DirichletBc, ClampNodesWithValues) {
+  const DirichletBc bc = DirichletBc::clamp_nodes({2}, {0.1, 0.2, 0.3});
+  EXPECT_DOUBLE_EQ(bc.values[2], 0.3);
+  EXPECT_THROW(DirichletBc::clamp_nodes({1, 2}, {0.1}), std::invalid_argument);
+}
+
+TEST(ApplyDirichlet, ConstrainedRowsBecomeIdentity) {
+  const mesh::HexMesh m = box_mesh(2);
+  AssembledSystem sys = assemble_system(m, MaterialTable::standard());
+  Vec rhs = sys.thermal_load;
+  DirichletBc bc;
+  bc.add(0, 0.25);
+  bc.add(5, -1.0);
+  apply_dirichlet(sys.stiffness, rhs, bc);
+
+  EXPECT_DOUBLE_EQ(sys.stiffness.coeff(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(rhs[0], 0.25);
+  EXPECT_DOUBLE_EQ(rhs[5], -1.0);
+  // Row 0 is zero except the diagonal; column 0 also zeroed (symmetry kept).
+  for (idx_t j = 1; j < sys.stiffness.cols(); ++j) {
+    EXPECT_DOUBLE_EQ(sys.stiffness.coeff(0, j), 0.0);
+  }
+  for (idx_t i = 1; i < sys.stiffness.rows(); ++i) {
+    EXPECT_DOUBLE_EQ(sys.stiffness.coeff(i, 0), 0.0);
+  }
+  EXPECT_LT(sys.stiffness.symmetry_error(), 1e-9);
+}
+
+TEST(ApplyDirichlet, SolutionHonorsPrescribedValues) {
+  const mesh::HexMesh m = box_mesh(3);
+  AssembledSystem sys = assemble_system(m, MaterialTable::standard());
+  Vec rhs = sys.thermal_load;
+  la::scale(rhs, -100.0);  // some thermal load
+
+  const DirichletBc bc = DirichletBc::clamp_nodes(m.top_bottom_nodes());
+  apply_dirichlet(sys.stiffness, rhs, bc);
+  const Vec u = la::SparseCholesky(sys.stiffness).solve(rhs);
+  for (std::size_t k = 0; k < bc.dofs.size(); ++k) {
+    EXPECT_NEAR(u[bc.dofs[k]], bc.values[k], 1e-12);
+  }
+}
+
+TEST(ApplyDirichlet, LiftingMovesLoadToRhs) {
+  // Prescribe a nonzero value and check the free equations see -A_fb * u_bc.
+  const mesh::HexMesh m = box_mesh(2);
+  AssembledSystem sys = assemble_system(m, MaterialTable::standard());
+  const la::CsrMatrix original = sys.stiffness;
+  Vec rhs(sys.num_dofs, 0.0);
+  DirichletBc bc;
+  const idx_t constrained = 4;
+  const double value = 2.5;
+  bc.add(constrained, value);
+  apply_dirichlet(sys.stiffness, rhs, bc);
+  for (idx_t r = 0; r < sys.num_dofs; ++r) {
+    if (r == constrained) continue;
+    EXPECT_NEAR(rhs[r], -original.coeff(r, constrained) * value, 1e-12);
+  }
+}
+
+TEST(PartitionDofs, SplitsAndNumbersConsistently) {
+  const DofPartition part = partition_dofs(6, {1, 4});
+  EXPECT_EQ(part.num_free, 4);
+  EXPECT_EQ(part.num_bc, 2);
+  EXPECT_EQ(part.free_map[0], 0);
+  EXPECT_EQ(part.free_map[1], -1);
+  EXPECT_EQ(part.bc_map[1], 0);
+  EXPECT_EQ(part.bc_map[4], 1);
+  EXPECT_EQ(part.free_map[5], 3);
+}
+
+TEST(PartitionDofs, DuplicateConstraintsAreIdempotent) {
+  const DofPartition part = partition_dofs(4, {2, 2, 2});
+  EXPECT_EQ(part.num_bc, 1);
+  EXPECT_EQ(part.num_free, 3);
+}
+
+}  // namespace
+}  // namespace ms::fem

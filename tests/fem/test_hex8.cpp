@@ -1,0 +1,142 @@
+#include "fem/hex8.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ms::fem {
+namespace {
+
+TEST(Hex8Shape, PartitionOfUnity) {
+  for (double xi : {-0.7, 0.0, 0.3}) {
+    for (double eta : {-0.2, 0.8}) {
+      for (double zeta : {-1.0, 0.5}) {
+        const auto n = hex8_shape(xi, eta, zeta);
+        double sum = 0.0;
+        for (double v : n) sum += v;
+        EXPECT_NEAR(sum, 1.0, 1e-14);
+      }
+    }
+  }
+}
+
+TEST(Hex8Shape, KroneckerAtCorners) {
+  for (int a = 0; a < kHexNodes; ++a) {
+    const auto n = hex8_shape(kHexCorners[a][0], kHexCorners[a][1], kHexCorners[a][2]);
+    for (int b = 0; b < kHexNodes; ++b) {
+      EXPECT_NEAR(n[b], a == b ? 1.0 : 0.0, 1e-14);
+    }
+  }
+}
+
+TEST(Hex8Shape, GradientsSumToZero) {
+  const auto g = hex8_shape_grad(0.2, -0.4, 0.9);
+  for (int c = 0; c < 3; ++c) {
+    double sum = 0.0;
+    for (int a = 0; a < kHexNodes; ++a) sum += g[a][c];
+    EXPECT_NEAR(sum, 0.0, 1e-14);
+  }
+}
+
+TEST(Hex8Shape, GradientMatchesFiniteDifference) {
+  const double h = 1e-6;
+  const auto g = hex8_shape_grad(0.1, 0.2, -0.3);
+  const auto np = hex8_shape(0.1 + h, 0.2, -0.3);
+  const auto nm = hex8_shape(0.1 - h, 0.2, -0.3);
+  for (int a = 0; a < kHexNodes; ++a) {
+    EXPECT_NEAR(g[a][0], (np[a] - nm[a]) / (2 * h), 1e-8);
+  }
+}
+
+TEST(Hex8BMatrix, LinearFieldGivesConstantStrain) {
+  // u = (x, 0, 0) on an hx x hy x hz box => eps_xx = 1, everything else 0.
+  const double hx = 2.0, hy = 3.0, hz = 4.0;
+  std::array<double, kHexDofs> ue{};
+  for (int a = 0; a < kHexNodes; ++a) {
+    const double x = 0.5 * hx * (1.0 + kHexCorners[a][0]);
+    ue[3 * a] = x;
+  }
+  const BMatrix b = hex8_b_matrix(0.3, -0.2, 0.7, hx, hy, hz);
+  double eps[kVoigt] = {};
+  for (int r = 0; r < kVoigt; ++r) {
+    for (int c = 0; c < kHexDofs; ++c) eps[r] += b[r][c] * ue[c];
+  }
+  EXPECT_NEAR(eps[0], 1.0, 1e-13);
+  for (int r = 1; r < kVoigt; ++r) EXPECT_NEAR(eps[r], 0.0, 1e-13);
+}
+
+TEST(Hex8BMatrix, ShearFieldGivesEngineeringShear) {
+  // u = (y, 0, 0) => gamma_xy = 1; all other components 0.
+  const double hx = 1.0, hy = 2.0, hz = 1.0;
+  std::array<double, kHexDofs> ue{};
+  for (int a = 0; a < kHexNodes; ++a) {
+    const double y = 0.5 * hy * (1.0 + kHexCorners[a][1]);
+    ue[3 * a] = y;
+  }
+  const BMatrix b = hex8_b_matrix(-0.1, 0.4, 0.2, hx, hy, hz);
+  double eps[kVoigt] = {};
+  for (int r = 0; r < kVoigt; ++r) {
+    for (int c = 0; c < kHexDofs; ++c) eps[r] += b[r][c] * ue[c];
+  }
+  EXPECT_NEAR(eps[5], 1.0, 1e-13);  // gamma_xy
+  EXPECT_NEAR(eps[0], 0.0, 1e-13);
+  EXPECT_NEAR(eps[3], 0.0, 1e-13);
+}
+
+TEST(Hex8Stiffness, SymmetricPositiveSemiDefinite) {
+  const Material mat{"m", 100.0, 0.3, 1e-6};
+  const auto ke = hex8_stiffness(mat, 1.0, 2.0, 0.5);
+  for (int i = 0; i < kHexDofs; ++i) {
+    for (int j = 0; j < kHexDofs; ++j) {
+      EXPECT_NEAR(ke[i * kHexDofs + j], ke[j * kHexDofs + i], 1e-9);
+    }
+    EXPECT_GT(ke[i * kHexDofs + i], 0.0);
+  }
+}
+
+TEST(Hex8Stiffness, RigidTranslationInKernel) {
+  const Material mat{"m", 70.0, 0.2, 1e-6};
+  const auto ke = hex8_stiffness(mat, 1.5, 1.0, 2.0);
+  for (int c = 0; c < 3; ++c) {
+    std::array<double, kHexDofs> t{};
+    for (int a = 0; a < kHexNodes; ++a) t[3 * a + c] = 1.0;
+    for (int i = 0; i < kHexDofs; ++i) {
+      double sum = 0.0;
+      for (int j = 0; j < kHexDofs; ++j) sum += ke[i * kHexDofs + j] * t[j];
+      EXPECT_NEAR(sum, 0.0, 1e-8) << "component " << c << " row " << i;
+    }
+  }
+}
+
+TEST(Hex8Stiffness, ScalesLinearlyWithYoungsModulus) {
+  const Material m1{"m1", 100.0, 0.3, 0.0};
+  const Material m2{"m2", 200.0, 0.3, 0.0};
+  const auto k1 = hex8_stiffness(m1, 1.0, 1.0, 1.0);
+  const auto k2 = hex8_stiffness(m2, 1.0, 1.0, 1.0);
+  for (int i = 0; i < kHexDofs * kHexDofs; ++i) EXPECT_NEAR(k2[i], 2.0 * k1[i], 1e-8);
+}
+
+TEST(Hex8ThermalLoad, BalancedAndScalesWithVolume) {
+  const Material mat{"m", 100.0, 0.3, 2e-6};
+  const auto f1 = hex8_thermal_load(mat, 1.0, 1.0, 1.0);
+  const auto f2 = hex8_thermal_load(mat, 2.0, 1.0, 1.0);
+  // Net force in each component is zero (self-equilibrated eigenstrain load).
+  for (int c = 0; c < 3; ++c) {
+    double net1 = 0.0;
+    for (int a = 0; a < kHexNodes; ++a) net1 += f1[3 * a + c];
+    EXPECT_NEAR(net1, 0.0, 1e-10);
+  }
+  // x-faces double when the element is twice as wide in x: the x-load on a
+  // corner is proportional to the face area normal to x (hy*hz), unchanged,
+  // while y/z loads double. Verify the y component doubles.
+  EXPECT_NEAR(f2[1], 2.0 * f1[1], 1e-10);
+}
+
+TEST(Hex8ThermalLoad, ZeroCteGivesZeroLoad) {
+  const Material mat{"m", 100.0, 0.3, 0.0};
+  const auto fe = hex8_thermal_load(mat, 1.0, 2.0, 3.0);
+  for (double v : fe) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace ms::fem

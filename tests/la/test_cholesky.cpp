@@ -1,0 +1,119 @@
+#include "la/cholesky.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/dense.hpp"
+
+namespace ms::la {
+namespace {
+
+/// 2-D 5-point Laplacian on an m x m grid (SPD, sparse, realistic fill).
+CsrMatrix laplacian_2d(idx_t m) {
+  const idx_t n = m * m;
+  TripletList t(n, n);
+  for (idx_t j = 0; j < m; ++j) {
+    for (idx_t i = 0; i < m; ++i) {
+      const idx_t u = j * m + i;
+      t.add(u, u, 4.0);
+      if (i > 0) t.add(u, u - 1, -1.0);
+      if (i + 1 < m) t.add(u, u + 1, -1.0);
+      if (j > 0) t.add(u, u - m, -1.0);
+      if (j + 1 < m) t.add(u, u + m, -1.0);
+    }
+  }
+  return CsrMatrix::from_triplets(t);
+}
+
+Vec smooth_rhs(idx_t n) {
+  Vec b(n);
+  for (idx_t i = 0; i < n; ++i) b[i] = std::sin(0.1 * i) + 0.3 * std::cos(0.05 * i);
+  return b;
+}
+
+class CholeskyGridSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskyGridSizes, ResidualIsTiny) {
+  const idx_t m = GetParam();
+  const CsrMatrix a = laplacian_2d(m);
+  const Vec b = smooth_rhs(a.rows());
+  const SparseCholesky chol(a);
+  const Vec x = chol.solve(b);
+  Vec ax;
+  a.mul(x, ax);
+  EXPECT_LT(max_abs_diff(ax, b), 1e-10) << "grid " << m << "x" << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, CholeskyGridSizes, ::testing::Values(2, 3, 5, 8, 13, 21));
+
+TEST(SparseCholesky, MatchesDenseCholesky) {
+  const CsrMatrix a = laplacian_2d(4);
+  DenseMatrix ad(a.rows(), a.cols());
+  for (idx_t i = 0; i < a.rows(); ++i) {
+    for (idx_t j = 0; j < a.cols(); ++j) ad(i, j) = a.coeff(i, j);
+  }
+  const Vec b = smooth_rhs(a.rows());
+  const Vec sparse_x = SparseCholesky(a).solve(b);
+  const Vec dense_x = DenseCholesky(ad).solve(b);
+  EXPECT_LT(max_abs_diff(sparse_x, dense_x), 1e-11);
+}
+
+TEST(SparseCholesky, WithAndWithoutRcmAgree) {
+  const CsrMatrix a = laplacian_2d(7);
+  const Vec b = smooth_rhs(a.rows());
+  SparseCholesky::Options no_rcm;
+  no_rcm.use_rcm = false;
+  const Vec x1 = SparseCholesky(a).solve(b);
+  const Vec x2 = SparseCholesky(a, no_rcm).solve(b);
+  EXPECT_LT(max_abs_diff(x1, x2), 1e-11);
+}
+
+TEST(SparseCholesky, RcmReducesFill) {
+  // On a banded-after-reordering problem RCM should not increase fill.
+  const CsrMatrix a = laplacian_2d(15);
+  SparseCholesky::Options no_rcm;
+  no_rcm.use_rcm = false;
+  const SparseCholesky with(a);
+  const SparseCholesky without(a, no_rcm);
+  EXPECT_LE(with.factor_nnz(), without.factor_nnz() * 2);
+  EXPECT_GT(with.factor_nnz(), a.nnz() / 2);  // sanity: factor holds the matrix
+}
+
+TEST(SparseCholesky, RejectsIndefinite) {
+  TripletList t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(1, 1, -1.0);
+  const CsrMatrix a = CsrMatrix::from_triplets(t);
+  EXPECT_THROW(SparseCholesky{a}, std::runtime_error);
+}
+
+TEST(SparseCholesky, RejectsRectangular) {
+  TripletList t(2, 3);
+  t.add(0, 0, 1.0);
+  const CsrMatrix a = CsrMatrix::from_triplets(t);
+  EXPECT_THROW(SparseCholesky{a}, std::invalid_argument);
+}
+
+TEST(SparseCholesky, MultipleSolvesReuseFactor) {
+  const CsrMatrix a = laplacian_2d(6);
+  const SparseCholesky chol(a);
+  Vec x;
+  for (int rhs = 0; rhs < 5; ++rhs) {
+    Vec b(a.rows());
+    for (idx_t i = 0; i < a.rows(); ++i) b[i] = std::sin(0.2 * i + rhs);
+    chol.solve_inplace(b, x);
+    Vec ax;
+    a.mul(x, ax);
+    EXPECT_LT(max_abs_diff(ax, b), 1e-10);
+  }
+}
+
+TEST(SparseCholesky, MemoryBytesPositive) {
+  const SparseCholesky chol(laplacian_2d(5));
+  EXPECT_GT(chol.memory_bytes(), 0u);
+  EXPECT_EQ(chol.order(), 25);
+}
+
+}  // namespace
+}  // namespace ms::la

@@ -1,0 +1,107 @@
+#include "la/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ms::la {
+namespace {
+
+CsrMatrix small_matrix() {
+  // [1 0 2]
+  // [0 3 0]
+  // [4 0 5]
+  TripletList t(3, 3);
+  t.add(0, 0, 1.0);
+  t.add(0, 2, 2.0);
+  t.add(1, 1, 3.0);
+  t.add(2, 0, 4.0);
+  t.add(2, 2, 5.0);
+  return CsrMatrix::from_triplets(t);
+}
+
+TEST(CsrMatrix, FromTripletsSortsAndSums) {
+  TripletList t(2, 2);
+  t.add(0, 1, 1.0);
+  t.add(0, 0, 2.0);
+  t.add(0, 1, 3.0);  // duplicate, summed
+  t.add(1, 1, 4.0);
+  const CsrMatrix m = CsrMatrix::from_triplets(t);
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_DOUBLE_EQ(m.coeff(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.coeff(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(m.coeff(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.coeff(1, 1), 4.0);
+  // Columns sorted within the row.
+  EXPECT_LT(m.col_idx()[0], m.col_idx()[1]);
+}
+
+TEST(CsrMatrix, DropZerosControlsCancelledEntries) {
+  TripletList t(1, 2);
+  t.add(0, 0, 1.0);
+  t.add(0, 0, -1.0);
+  t.add(0, 1, 2.0);
+  EXPECT_EQ(CsrMatrix::from_triplets(t, false).nnz(), 2);
+  EXPECT_EQ(CsrMatrix::from_triplets(t, true).nnz(), 1);
+}
+
+TEST(CsrMatrix, MulMatchesDense) {
+  const CsrMatrix m = small_matrix();
+  Vec y;
+  m.mul({1.0, 2.0, 3.0}, y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+  EXPECT_DOUBLE_EQ(y[2], 19.0);
+  m.mul_add(2.0, {1.0, 2.0, 3.0}, y);
+  EXPECT_DOUBLE_EQ(y[0], 21.0);
+}
+
+TEST(CsrMatrix, DiagonalExtraction) {
+  const Vec d = small_matrix().diagonal();
+  EXPECT_DOUBLE_EQ(d[0], 1.0);
+  EXPECT_DOUBLE_EQ(d[1], 3.0);
+  EXPECT_DOUBLE_EQ(d[2], 5.0);
+}
+
+TEST(CsrMatrix, SymmetryError) {
+  EXPECT_DOUBLE_EQ(small_matrix().symmetry_error(), 2.0);  // |2 - 4|
+  TripletList t(2, 2);
+  t.add(0, 1, 7.0);
+  t.add(1, 0, 7.0);
+  EXPECT_DOUBLE_EQ(CsrMatrix::from_triplets(t).symmetry_error(), 0.0);
+}
+
+TEST(CsrMatrix, SubmatrixExtractsBlocks) {
+  const CsrMatrix m = small_matrix();
+  // Keep rows {0, 2} and columns {0, 2}.
+  const std::vector<idx_t> keep{0, -1, 1};
+  const CsrMatrix sub = m.submatrix(keep, 2, keep, 2);
+  EXPECT_EQ(sub.rows(), 2);
+  EXPECT_DOUBLE_EQ(sub.coeff(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(sub.coeff(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(sub.coeff(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(sub.coeff(1, 1), 5.0);
+}
+
+TEST(CsrMatrix, SubmatrixRectangular) {
+  const CsrMatrix m = small_matrix();
+  // Rows {1}, all columns.
+  const std::vector<idx_t> rows{-1, 0, -1};
+  const std::vector<idx_t> cols{0, 1, 2};
+  const CsrMatrix sub = m.submatrix(rows, 1, cols, 3);
+  EXPECT_EQ(sub.rows(), 1);
+  EXPECT_EQ(sub.cols(), 3);
+  EXPECT_DOUBLE_EQ(sub.coeff(0, 1), 3.0);
+}
+
+TEST(CsrMatrix, FromRawValidates) {
+  EXPECT_THROW(CsrMatrix::from_raw(2, 2, {0, 1}, {0}, {1.0}), std::invalid_argument);
+  const CsrMatrix m = CsrMatrix::from_raw(2, 2, {0, 1, 2}, {0, 1}, {1.0, 2.0});
+  EXPECT_EQ(m.nnz(), 2);
+}
+
+TEST(CsrMatrix, MemoryBytesScalesWithNnz) {
+  const CsrMatrix m = small_matrix();
+  EXPECT_GE(m.memory_bytes(), static_cast<std::size_t>(m.nnz()) * (sizeof(double) + sizeof(idx_t)));
+}
+
+}  // namespace
+}  // namespace ms::la

@@ -1,0 +1,55 @@
+#include "la/vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ms::la {
+namespace {
+
+TEST(Vec, DotAndNorm) {
+  const Vec x{1.0, 2.0, 3.0};
+  const Vec y{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(x, y), 4.0 - 10.0 + 18.0);
+  EXPECT_DOUBLE_EQ(norm2(x), std::sqrt(14.0));
+  EXPECT_DOUBLE_EQ(norm_inf(y), 6.0);
+}
+
+TEST(Vec, AxpyFamilies) {
+  Vec y{1.0, 1.0};
+  axpy(2.0, {3.0, 4.0}, y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 9.0);
+  axpby(1.0, {1.0, 1.0}, -1.0, y);
+  EXPECT_DOUBLE_EQ(y[0], -6.0);
+  EXPECT_DOUBLE_EQ(y[1], -8.0);
+  scale(y, 0.5);
+  EXPECT_DOUBLE_EQ(y[0], -3.0);
+}
+
+TEST(Vec, ZerosAndDiff) {
+  const Vec z = zeros(4);
+  EXPECT_EQ(z.size(), 4u);
+  EXPECT_DOUBLE_EQ(norm2(z), 0.0);
+  EXPECT_DOUBLE_EQ(max_abs_diff({1.0, 2.0}, {1.5, 1.0}), 1.0);
+}
+
+TEST(Vec, CauchySchwarzProperty) {
+  // |<x,y>| <= |x| |y| for a family of deterministic pseudo-random vectors.
+  for (int seed = 1; seed <= 8; ++seed) {
+    Vec x(50), y(50);
+    unsigned state = static_cast<unsigned>(seed);
+    auto next = [&state]() {
+      state = state * 1664525u + 1013904223u;
+      return static_cast<double>(state % 1000) / 500.0 - 1.0;
+    };
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = next();
+      y[i] = next();
+    }
+    EXPECT_LE(std::fabs(dot(x, y)), norm2(x) * norm2(y) + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace ms::la

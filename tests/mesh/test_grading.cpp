@@ -1,0 +1,85 @@
+#include "mesh/grading.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace ms::mesh {
+namespace {
+
+bool strictly_increasing(const std::vector<double>& v) {
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i] <= v[i - 1]) return false;
+  }
+  return true;
+}
+
+TEST(UniformCoords, EndpointsExactAndEvenSpacing) {
+  const auto c = uniform_coords(0.0, 10.0, 4);
+  ASSERT_EQ(c.size(), 5u);
+  EXPECT_DOUBLE_EQ(c.front(), 0.0);
+  EXPECT_DOUBLE_EQ(c.back(), 10.0);
+  for (std::size_t i = 1; i < c.size(); ++i) EXPECT_NEAR(c[i] - c[i - 1], 2.5, 1e-12);
+}
+
+TEST(UniformCoords, RejectsBadInput) {
+  EXPECT_THROW(uniform_coords(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(uniform_coords(1.0, 0.0, 3), std::invalid_argument);
+}
+
+TEST(GradedCoords, ContainsEveryInteriorInterface) {
+  const std::vector<double> interfaces{4.5, 5.0, 10.0, 10.5};
+  const auto c = graded_coords(0.0, 15.0, 8, interfaces);
+  EXPECT_TRUE(strictly_increasing(c));
+  for (double v : interfaces) {
+    EXPECT_TRUE(std::any_of(c.begin(), c.end(), [&](double x) { return std::fabs(x - v) < 1e-12; }))
+        << "missing interface " << v;
+  }
+}
+
+TEST(GradedCoords, RespectsMaxSpacing) {
+  const auto c = graded_coords(0.0, 15.0, 10, {4.5, 5.0, 10.0, 10.5});
+  const double max_h = 1.5;
+  for (std::size_t i = 1; i < c.size(); ++i) EXPECT_LE(c[i] - c[i - 1], max_h + 1e-12);
+}
+
+TEST(GradedCoords, IgnoresOutOfRangeInterfaces) {
+  const auto c = graded_coords(0.0, 1.0, 2, {-5.0, 0.0, 1.0, 7.0});
+  EXPECT_TRUE(strictly_increasing(c));
+  EXPECT_DOUBLE_EQ(c.front(), 0.0);
+  EXPECT_DOUBLE_EQ(c.back(), 1.0);
+}
+
+TEST(GradedCoords, MergesNearCoincidentInterfaces) {
+  const auto c = graded_coords(0.0, 1.0, 2, {0.5, 0.5 + 1e-12});
+  EXPECT_TRUE(strictly_increasing(c));
+}
+
+TEST(GradedCoords, NoInterfacesReducesToUniform) {
+  const auto graded = graded_coords(0.0, 6.0, 3, {});
+  const auto uniform = uniform_coords(0.0, 6.0, 3);
+  ASSERT_EQ(graded.size(), uniform.size());
+  for (std::size_t i = 0; i < graded.size(); ++i) EXPECT_NEAR(graded[i], uniform[i], 1e-12);
+}
+
+TEST(TileCoords, SharedBoundariesAppearOnce) {
+  const std::vector<double> block{0.0, 1.0, 3.0};
+  const auto tiled = tile_coords(block, 3);
+  const std::vector<double> expected{0.0, 1.0, 3.0, 4.0, 6.0, 7.0, 9.0};
+  ASSERT_EQ(tiled.size(), expected.size());
+  for (std::size_t i = 0; i < tiled.size(); ++i) EXPECT_NEAR(tiled[i], expected[i], 1e-12);
+}
+
+TEST(TileCoords, SingleTileIsIdentity) {
+  const std::vector<double> block{0.0, 0.5, 2.0};
+  EXPECT_EQ(tile_coords(block, 1), block);
+}
+
+TEST(TileCoords, RejectsBadInput) {
+  EXPECT_THROW(tile_coords({0.0}, 2), std::invalid_argument);
+  EXPECT_THROW(tile_coords({0.0, 1.0}, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ms::mesh

@@ -1,0 +1,117 @@
+#include "mesh/hex_mesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mesh/grading.hpp"
+
+namespace ms::mesh {
+namespace {
+
+HexMesh unit_cube(int n) {
+  const auto c = uniform_coords(0.0, 1.0, n);
+  return HexMesh(c, c, c);
+}
+
+TEST(HexMesh, SizesAndIds) {
+  const HexMesh m = unit_cube(3);
+  EXPECT_EQ(m.num_nodes(), 64);
+  EXPECT_EQ(m.num_elems(), 27);
+  EXPECT_EQ(m.node_id(0, 0, 0), 0);
+  EXPECT_EQ(m.node_id(3, 3, 3), 63);
+  const auto ijk = m.node_ijk(m.node_id(1, 2, 3));
+  EXPECT_EQ(ijk[0], 1);
+  EXPECT_EQ(ijk[1], 2);
+  EXPECT_EQ(ijk[2], 3);
+}
+
+TEST(HexMesh, NodePositions) {
+  const HexMesh m = unit_cube(2);
+  const Point3 p = m.node_pos(m.node_id(1, 2, 0));
+  EXPECT_DOUBLE_EQ(p.x, 0.5);
+  EXPECT_DOUBLE_EQ(p.y, 1.0);
+  EXPECT_DOUBLE_EQ(p.z, 0.0);
+}
+
+TEST(HexMesh, ElemNodesFollowHex8Convention) {
+  const HexMesh m = unit_cube(2);
+  const auto nodes = m.elem_nodes(m.elem_id(0, 0, 0));
+  // Corner 0 at (0,0,0); corner 6 diagonally opposite at (1,1,1).
+  EXPECT_EQ(nodes[0], m.node_id(0, 0, 0));
+  EXPECT_EQ(nodes[1], m.node_id(1, 0, 0));
+  EXPECT_EQ(nodes[2], m.node_id(1, 1, 0));
+  EXPECT_EQ(nodes[3], m.node_id(0, 1, 0));
+  EXPECT_EQ(nodes[6], m.node_id(1, 1, 1));
+}
+
+TEST(HexMesh, ElemGeometry) {
+  const HexMesh m(uniform_coords(0.0, 2.0, 2), uniform_coords(0.0, 3.0, 3),
+                  uniform_coords(0.0, 4.0, 4));
+  const idx_t e = m.elem_id(1, 2, 3);
+  const Point3 c = m.elem_centroid(e);
+  EXPECT_DOUBLE_EQ(c.x, 1.5);
+  EXPECT_DOUBLE_EQ(c.y, 2.5);
+  EXPECT_DOUBLE_EQ(c.z, 3.5);
+  EXPECT_DOUBLE_EQ(m.elem_volume(e), 1.0);
+  double total = 0.0;
+  for (idx_t i = 0; i < m.num_elems(); ++i) total += m.elem_volume(i);
+  EXPECT_NEAR(total, 24.0, 1e-12);
+}
+
+TEST(HexMesh, MaterialsDefaultSiliconAndSettable) {
+  HexMesh m = unit_cube(2);
+  EXPECT_EQ(m.material(0), MaterialId::Silicon);
+  m.set_material(3, MaterialId::Copper);
+  EXPECT_EQ(m.material(3), MaterialId::Copper);
+}
+
+TEST(HexMesh, BoundaryNodeDetection) {
+  const HexMesh m = unit_cube(4);
+  idx_t boundary_count = 0;
+  for (idx_t id = 0; id < m.num_nodes(); ++id) {
+    if (m.is_boundary_node(id)) ++boundary_count;
+  }
+  // 5^3 grid: surface nodes = 125 - 27 interior.
+  EXPECT_EQ(boundary_count, 98);
+  EXPECT_EQ(static_cast<idx_t>(m.boundary_nodes().size()), 98);
+}
+
+TEST(HexMesh, TopBottomNodes) {
+  const HexMesh m = unit_cube(3);
+  const auto tb = m.top_bottom_nodes();
+  EXPECT_EQ(tb.size(), 32u);  // two 4x4 layers
+  for (idx_t id : tb) {
+    EXPECT_TRUE(m.on_face_zmin(id) || m.on_face_zmax(id));
+  }
+}
+
+TEST(HexMesh, LocateReturnsContainingElement) {
+  const HexMesh m = unit_cube(4);
+  const auto loc = m.locate({0.3, 0.6, 0.9});
+  const Point3 lo = m.elem_min(loc.elem);
+  const Point3 hi = m.elem_max(loc.elem);
+  EXPECT_LE(lo.x, 0.3);
+  EXPECT_GE(hi.x, 0.3);
+  EXPECT_LE(lo.y, 0.6);
+  EXPECT_GE(hi.y, 0.6);
+  EXPECT_GE(loc.xi, -1.0);
+  EXPECT_LE(loc.xi, 1.0);
+  EXPECT_GE(loc.zeta, -1.0);
+  EXPECT_LE(loc.zeta, 1.0);
+}
+
+TEST(HexMesh, LocateClampsOutsidePoints) {
+  const HexMesh m = unit_cube(2);
+  const auto lo = m.locate({-5.0, 0.5, 0.5});
+  EXPECT_EQ(m.elem_ijk(lo.elem)[0], 0);
+  const auto hi = m.locate({5.0, 0.5, 0.5});
+  EXPECT_EQ(m.elem_ijk(hi.elem)[0], m.elems_x() - 1);
+}
+
+TEST(HexMesh, RejectsBadCoordinates) {
+  EXPECT_THROW(HexMesh({0.0}, {0.0, 1.0}, {0.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(HexMesh({0.0, 0.0}, {0.0, 1.0}, {0.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(HexMesh({1.0, 0.0}, {0.0, 1.0}, {0.0, 1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ms::mesh

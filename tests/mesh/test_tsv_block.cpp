@@ -1,0 +1,143 @@
+#include "mesh/tsv_block.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ms::mesh {
+namespace {
+
+TsvGeometry paper_geometry() { return {15.0, 5.0, 0.5, 50.0}; }
+
+TEST(TsvGeometry, DerivedRadii) {
+  const TsvGeometry g = paper_geometry();
+  EXPECT_DOUBLE_EQ(g.copper_radius(), 2.5);
+  EXPECT_DOUBLE_EQ(g.liner_radius(), 3.0);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(TsvGeometry, ValidationCatchesBadShapes) {
+  TsvGeometry g = paper_geometry();
+  g.pitch = 5.0;  // via + liner (6 um) no longer fits
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+  g = paper_geometry();
+  g.height = -1.0;
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+TEST(BlockGridLines, InterfaceConforming) {
+  const TsvGeometry g = paper_geometry();
+  const BlockGridLines lines = block_grid_lines(g, {8, 5});
+  const double c = 7.5;
+  for (double r : {g.copper_radius(), g.liner_radius()}) {
+    for (double sign : {-1.0, 1.0}) {
+      const double target = c + sign * r;
+      bool found = false;
+      for (double x : lines.xy) found = found || std::fabs(x - target) < 1e-9;
+      EXPECT_TRUE(found) << "missing grid line at " << target;
+    }
+  }
+  EXPECT_EQ(lines.z.size(), 6u);
+}
+
+TEST(TsvBlockMesh, MaterialVolumesApproximateCylinders) {
+  const TsvGeometry g = paper_geometry();
+  const HexMesh m = build_tsv_block_mesh(g, {16, 6});
+  double v_cu = 0.0, v_liner = 0.0, v_si = 0.0;
+  for (idx_t e = 0; e < m.num_elems(); ++e) {
+    const double v = m.elem_volume(e);
+    switch (m.material(e)) {
+      case MaterialId::Copper: v_cu += v; break;
+      case MaterialId::Liner: v_liner += v; break;
+      default: v_si += v; break;
+    }
+  }
+  const double pi = 3.14159265358979;
+  const double v_cu_exact = pi * 2.5 * 2.5 * 50.0;
+  const double v_liner_exact = pi * (3.0 * 3.0 - 2.5 * 2.5) * 50.0;
+  EXPECT_NEAR(v_cu / v_cu_exact, 1.0, 0.15);
+  EXPECT_NEAR(v_liner / v_liner_exact, 1.0, 0.35);  // thin annulus, coarser
+  EXPECT_NEAR(v_cu + v_liner + v_si, 15.0 * 15.0 * 50.0, 1e-9);
+}
+
+TEST(TsvBlockMesh, MaterialConstantThroughHeight) {
+  const HexMesh m = build_tsv_block_mesh(paper_geometry(), {10, 4});
+  for (idx_t j = 0; j < m.elems_y(); ++j) {
+    for (idx_t i = 0; i < m.elems_x(); ++i) {
+      const MaterialId top = m.material(m.elem_id(i, j, 0));
+      for (idx_t k = 1; k < m.elems_z(); ++k) {
+        EXPECT_EQ(m.material(m.elem_id(i, j, k)), top);
+      }
+    }
+  }
+}
+
+TEST(DummyBlockMesh, AllSiliconSameGrid) {
+  const TsvGeometry g = paper_geometry();
+  const HexMesh tsv = build_tsv_block_mesh(g, {10, 4});
+  const HexMesh dummy = build_dummy_block_mesh(g, {10, 4});
+  EXPECT_EQ(tsv.num_nodes(), dummy.num_nodes());
+  EXPECT_EQ(tsv.xs(), dummy.xs());
+  for (idx_t e = 0; e < dummy.num_elems(); ++e) {
+    EXPECT_EQ(dummy.material(e), MaterialId::Silicon);
+  }
+}
+
+TEST(ArrayMesh, TilesBlocksExactly) {
+  const TsvGeometry g = paper_geometry();
+  const HexMesh block = build_tsv_block_mesh(g, {8, 4});
+  const HexMesh array = build_array_mesh(g, {8, 4}, 3, 2);
+  EXPECT_EQ(array.elems_x(), 3 * block.elems_x());
+  EXPECT_EQ(array.elems_y(), 2 * block.elems_y());
+  EXPECT_EQ(array.elems_z(), block.elems_z());
+  EXPECT_NEAR(array.xs().back(), 45.0, 1e-9);
+  EXPECT_NEAR(array.ys().back(), 30.0, 1e-9);
+
+  // Per-block material pattern replicates the unit block.
+  const idx_t epb = block.elems_x();
+  for (int bx = 0; bx < 3; ++bx) {
+    for (idx_t j = 0; j < block.elems_y(); ++j) {
+      for (idx_t i = 0; i < epb; ++i) {
+        EXPECT_EQ(array.material(array.elem_id(bx * epb + i, j, 0)),
+                  block.material(block.elem_id(i, j, 0)));
+      }
+    }
+  }
+}
+
+TEST(ArrayMesh, MaskControlsViaPlacement) {
+  const TsvGeometry g = paper_geometry();
+  const HexMesh array = build_array_mesh(g, {8, 4}, 3, 3, single_tsv_mask(3, 3));
+  // Only the centre block may contain copper.
+  const idx_t epb = array.elems_x() / 3;
+  for (idx_t e = 0; e < array.num_elems(); ++e) {
+    if (array.material(e) != MaterialId::Copper) continue;
+    const auto [i, j, k] = array.elem_ijk(e);
+    EXPECT_GE(i, epb);
+    EXPECT_LT(i, 2 * epb);
+    EXPECT_GE(j, epb);
+    EXPECT_LT(j, 2 * epb);
+  }
+}
+
+TEST(Masks, FullPaddedSingleShapes) {
+  EXPECT_EQ(full_tsv_mask(3, 2), (std::vector<std::uint8_t>{1, 1, 1, 1, 1, 1}));
+  const auto padded = padded_tsv_mask(4, 4, 1);
+  int count = 0;
+  for (auto v : padded) count += v;
+  EXPECT_EQ(count, 4);  // inner 2x2
+  EXPECT_EQ(padded[0], 0);
+  EXPECT_EQ(padded[5], 1);
+  EXPECT_THROW(padded_tsv_mask(4, 4, 2), std::invalid_argument);
+  EXPECT_THROW(single_tsv_mask(4, 3), std::invalid_argument);
+  const auto single = single_tsv_mask(3, 3);
+  EXPECT_EQ(single[4], 1);
+}
+
+TEST(ArrayMesh, RejectsBadMaskSize) {
+  const TsvGeometry g = paper_geometry();
+  EXPECT_THROW(build_array_mesh(g, {8, 4}, 2, 2, {1, 1, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ms::mesh

@@ -1,0 +1,102 @@
+#include "rom/block_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ms::rom {
+namespace {
+
+TEST(BlockGrid, SingleBlockEqualsSurfaceNodeSet) {
+  const BlockGrid grid(1, 1, 4, 4, 4, 15.0, 50.0);
+  const SurfaceNodeSet sns(4, 4, 4, 15.0, 15.0, 50.0);
+  EXPECT_EQ(grid.num_nodes(), sns.count());
+  EXPECT_EQ(grid.num_dofs(), sns.num_dofs());
+  const auto dofs = grid.block_dofs(0, 0);
+  EXPECT_EQ(static_cast<idx_t>(dofs.size()), sns.num_dofs());
+  // For a single block the scatter is the identity in surface-node order.
+  for (idx_t m = 0; m < sns.count(); ++m) {
+    EXPECT_EQ(dofs[3 * m] % 3, 0);
+  }
+}
+
+TEST(BlockGrid, SharedFaceNodesAreShared) {
+  const BlockGrid grid(2, 1, 3, 3, 3, 10.0, 20.0);
+  const auto left = grid.block_dofs(0, 0);
+  const auto right = grid.block_dofs(1, 0);
+  // Count common dofs: the shared face has ny*nz nodes = 9 -> 27 dofs.
+  std::set<idx_t> l(left.begin(), left.end());
+  idx_t shared = 0;
+  for (idx_t d : right) shared += l.count(d);
+  EXPECT_EQ(shared, 27);
+}
+
+TEST(BlockGrid, NodeCountMatchesInclusionExclusion) {
+  // For a 2x2 grid of (3,3,3) blocks: lattice 5x5x3 minus interior nodes of
+  // each block (1 per block at (odd,odd,middle)).
+  const BlockGrid grid(2, 2, 3, 3, 3, 10.0, 20.0);
+  EXPECT_EQ(grid.grid_x(), 5);
+  EXPECT_EQ(grid.grid_y(), 5);
+  EXPECT_EQ(grid.grid_z(), 3);
+  EXPECT_EQ(grid.num_nodes(), 5 * 5 * 3 - 4);
+}
+
+TEST(BlockGrid, InteriorLatticePointsExcluded) {
+  const BlockGrid grid(2, 2, 4, 4, 4, 15.0, 50.0);
+  EXPECT_EQ(grid.node_at(1, 1, 1), -1);  // strictly inside block (0,0)
+  EXPECT_GE(grid.node_at(0, 1, 1), 0);   // on the x=0 face
+  EXPECT_GE(grid.node_at(3, 1, 1), 0);   // on the shared block face
+  EXPECT_GE(grid.node_at(1, 1, 0), 0);   // on the bottom face
+}
+
+TEST(BlockGrid, NodePositionsScaleWithPitchAndHeight) {
+  const BlockGrid grid(2, 1, 4, 4, 4, 15.0, 50.0);
+  const idx_t node = grid.node_at(3, 0, 3);  // block boundary in x, top face
+  ASSERT_GE(node, 0);
+  const mesh::Point3 p = grid.node_position(node);
+  EXPECT_DOUBLE_EQ(p.x, 15.0);
+  EXPECT_DOUBLE_EQ(p.y, 0.0);
+  EXPECT_DOUBLE_EQ(p.z, 50.0);
+}
+
+TEST(BlockGrid, BlockDofsMatchSurfaceOrdering) {
+  const BlockGrid grid(2, 2, 3, 3, 3, 10.0, 20.0);
+  const SurfaceNodeSet& sns = grid.surface_nodes();
+  const auto dofs = grid.block_dofs(1, 1);
+  for (idx_t m = 0; m < sns.count(); ++m) {
+    const auto& [i, j, k] = sns.node_ijk(m);
+    const idx_t gnode = grid.node_at(2 + i, 2 + j, k);
+    ASSERT_GE(gnode, 0);
+    EXPECT_EQ(dofs[3 * m], 3 * gnode);
+    EXPECT_EQ(dofs[3 * m + 2], 3 * gnode + 2);
+  }
+}
+
+TEST(BlockGrid, TopBottomNodeSet) {
+  const BlockGrid grid(2, 2, 3, 3, 3, 10.0, 20.0);
+  const auto tb = grid.nodes_top_bottom();
+  // Top and bottom faces are full 5x5 lattices.
+  EXPECT_EQ(tb.size(), 2u * 25u);
+  for (idx_t node : tb) {
+    const mesh::Point3 p = grid.node_position(node);
+    EXPECT_TRUE(p.z == 0.0 || p.z == 20.0);
+  }
+}
+
+TEST(BlockGrid, OuterBoundaryContainsTopBottom) {
+  const BlockGrid grid(3, 2, 3, 3, 4, 10.0, 30.0);
+  const auto outer = grid.nodes_outer_boundary();
+  const auto tb = grid.nodes_top_bottom();
+  std::set<idx_t> outer_set(outer.begin(), outer.end());
+  for (idx_t node : tb) EXPECT_TRUE(outer_set.count(node)) << node;
+  EXPECT_GT(outer.size(), tb.size());  // side faces add nodes
+}
+
+TEST(BlockGrid, RejectsBadArguments) {
+  EXPECT_THROW(BlockGrid(0, 1, 3, 3, 3, 1.0, 1.0), std::invalid_argument);
+  const BlockGrid grid(2, 2, 3, 3, 3, 10.0, 20.0);
+  EXPECT_THROW(grid.block_dofs(2, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ms::rom

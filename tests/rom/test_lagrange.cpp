@@ -1,0 +1,98 @@
+#include "rom/lagrange.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ms::rom {
+namespace {
+
+TEST(EquispacedNodes, EndpointsAndSpacing) {
+  const auto nodes = equispaced_nodes(0.0, 15.0, 4);
+  ASSERT_EQ(nodes.size(), 4u);
+  EXPECT_DOUBLE_EQ(nodes[0], 0.0);
+  EXPECT_DOUBLE_EQ(nodes[1], 5.0);
+  EXPECT_DOUBLE_EQ(nodes[3], 15.0);
+  EXPECT_THROW(equispaced_nodes(0.0, 1.0, 1), std::invalid_argument);
+}
+
+class Lagrange1dNodeCounts : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lagrange1dNodeCounts, KroneckerProperty) {
+  const auto nodes = equispaced_nodes(0.0, 1.0, GetParam());
+  for (std::size_t j = 0; j < nodes.size(); ++j) {
+    const auto values = lagrange_values(nodes, nodes[j]);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      EXPECT_NEAR(values[i], i == j ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST_P(Lagrange1dNodeCounts, PartitionOfUnity) {
+  const auto nodes = equispaced_nodes(0.0, 1.0, GetParam());
+  for (double x : {0.05, 0.33, 0.5, 0.71, 0.99}) {
+    const auto values = lagrange_values(nodes, x);
+    double sum = 0.0;
+    for (double v : values) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-11);
+  }
+}
+
+TEST_P(Lagrange1dNodeCounts, ReproducesPolynomialsUpToDegree) {
+  const int n = GetParam();
+  const auto nodes = equispaced_nodes(0.0, 2.0, n);
+  // Interpolation with n nodes reproduces polynomials of degree n-1 exactly.
+  for (int degree = 0; degree < n; ++degree) {
+    for (double x : {0.1, 0.9, 1.7}) {
+      const auto values = lagrange_values(nodes, x);
+      double interp = 0.0;
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        interp += values[i] * std::pow(nodes[i], degree);
+      }
+      EXPECT_NEAR(interp, std::pow(x, degree), 1e-10) << "n=" << n << " deg=" << degree;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeCounts, Lagrange1dNodeCounts, ::testing::Values(2, 3, 4, 5, 6, 8));
+
+TEST(Lagrange3d, TensorProductWeight) {
+  const Lagrange3d l(equispaced_nodes(0.0, 1.0, 3), equispaced_nodes(0.0, 1.0, 3),
+                     equispaced_nodes(0.0, 2.0, 2));
+  // Weight at an interpolation node is a Kronecker delta over (i,j,k).
+  EXPECT_NEAR(l.weight({0.5, 1.0, 2.0}, 1, 2, 1), 1.0, 1e-12);
+  EXPECT_NEAR(l.weight({0.5, 1.0, 2.0}, 0, 2, 1), 0.0, 1e-12);
+  EXPECT_NEAR(l.weight({0.5, 1.0, 2.0}, 1, 2, 0), 0.0, 1e-12);
+}
+
+TEST(Lagrange3d, FactorsMatchWeight) {
+  const Lagrange3d l(equispaced_nodes(0.0, 1.0, 4), equispaced_nodes(0.0, 1.0, 3),
+                     equispaced_nodes(0.0, 1.0, 2));
+  const mesh::Point3 p{0.37, 0.81, 0.25};
+  const auto f = l.factors(p);
+  for (int i = 0; i < l.nx(); ++i) {
+    for (int j = 0; j < l.ny(); ++j) {
+      for (int k = 0; k < l.nz(); ++k) {
+        EXPECT_NEAR(l.weight(p, i, j, k), f.wx[i] * f.wy[j] * f.wz[k], 1e-13);
+      }
+    }
+  }
+}
+
+TEST(Lagrange3d, SurfaceEvaluationKillsOppositeFace) {
+  // On the face z=0, only k=0 nodes contribute (paper Sec. 4.2: evaluating
+  // the tensor basis on a face involves only same-face nodes).
+  const Lagrange3d l(equispaced_nodes(0.0, 1.0, 4), equispaced_nodes(0.0, 1.0, 4),
+                     equispaced_nodes(0.0, 1.0, 4));
+  const mesh::Point3 on_bottom{0.3, 0.6, 0.0};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      for (int k = 1; k < 4; ++k) {
+        EXPECT_NEAR(l.weight(on_bottom, i, j, k), 0.0, 1e-12);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ms::rom

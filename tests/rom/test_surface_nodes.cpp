@@ -1,0 +1,86 @@
+#include "rom/surface_nodes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ms::rom {
+namespace {
+
+class SurfaceNodeCounts : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SurfaceNodeCounts, MatchesEq16) {
+  const auto [nx, ny, nz] = GetParam();
+  const SurfaceNodeSet sns(nx, ny, nz, 1.0, 1.0, 1.0);
+  const idx_t expected = nx * ny * nz - std::max(0, (nx - 2) * (ny - 2) * (nz - 2));
+  EXPECT_EQ(sns.count(), expected);
+  EXPECT_EQ(sns.num_dofs(), 3 * expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperTable3, SurfaceNodeCounts,
+                         ::testing::Values(std::make_tuple(2, 2, 2), std::make_tuple(3, 3, 3),
+                                           std::make_tuple(4, 4, 4), std::make_tuple(5, 5, 5),
+                                           std::make_tuple(6, 6, 6), std::make_tuple(4, 3, 5)));
+
+TEST(SurfaceNodes, PaperDofCounts) {
+  // Table 3 of the paper: n = 24, 78, 168, 294, 456 element DoFs.
+  EXPECT_EQ(SurfaceNodeSet(2, 2, 2, 1, 1, 1).num_dofs(), 24);
+  EXPECT_EQ(SurfaceNodeSet(3, 3, 3, 1, 1, 1).num_dofs(), 78);
+  EXPECT_EQ(SurfaceNodeSet(4, 4, 4, 1, 1, 1).num_dofs(), 168);
+  EXPECT_EQ(SurfaceNodeSet(5, 5, 5, 1, 1, 1).num_dofs(), 294);
+  EXPECT_EQ(SurfaceNodeSet(6, 6, 6, 1, 1, 1).num_dofs(), 456);
+}
+
+TEST(SurfaceNodes, IndexRoundTrip) {
+  const SurfaceNodeSet sns(4, 4, 4, 15.0, 15.0, 50.0);
+  for (idx_t m = 0; m < sns.count(); ++m) {
+    const auto& [i, j, k] = sns.node_ijk(m);
+    EXPECT_TRUE(sns.is_surface(i, j, k));
+    EXPECT_EQ(sns.index_of(i, j, k), m);
+  }
+  // An interior node has no surface index.
+  EXPECT_EQ(sns.index_of(1, 1, 1), -1);
+  EXPECT_EQ(sns.index_of(2, 2, 2), -1);
+}
+
+TEST(SurfaceNodes, OrderingIsLexicographic) {
+  const SurfaceNodeSet sns(3, 3, 3, 1.0, 1.0, 1.0);
+  // First node is (0,0,0); ordering increases i fastest.
+  EXPECT_EQ(sns.node_ijk(0)[0], 0);
+  EXPECT_EQ(sns.node_ijk(0)[1], 0);
+  EXPECT_EQ(sns.node_ijk(0)[2], 0);
+  for (idx_t m = 1; m < sns.count(); ++m) {
+    const auto& a = sns.node_ijk(m - 1);
+    const auto& b = sns.node_ijk(m);
+    const int key_a = (a[2] * 3 + a[1]) * 3 + a[0];
+    const int key_b = (b[2] * 3 + b[1]) * 3 + b[0];
+    EXPECT_LT(key_a, key_b);
+  }
+}
+
+TEST(SurfaceNodes, PositionsSpanTheBlock) {
+  const SurfaceNodeSet sns(4, 4, 4, 15.0, 15.0, 50.0);
+  const mesh::Point3 p0 = sns.position(0);
+  EXPECT_DOUBLE_EQ(p0.x, 0.0);
+  EXPECT_DOUBLE_EQ(p0.z, 0.0);
+  const mesh::Point3 plast = sns.position(sns.count() - 1);
+  EXPECT_DOUBLE_EQ(plast.x, 15.0);
+  EXPECT_DOUBLE_EQ(plast.y, 15.0);
+  EXPECT_DOUBLE_EQ(plast.z, 50.0);
+}
+
+TEST(SurfaceNodes, WeightIsKroneckerAtNodes) {
+  const SurfaceNodeSet sns(4, 4, 3, 2.0, 2.0, 1.0);
+  for (idx_t m = 0; m < sns.count(); ++m) {
+    for (idx_t l = 0; l < sns.count(); ++l) {
+      EXPECT_NEAR(sns.weight(sns.position(m), l), m == l ? 1.0 : 0.0, 1e-11);
+    }
+  }
+}
+
+TEST(SurfaceNodes, MinimumCaseAllCorners) {
+  const SurfaceNodeSet sns(2, 2, 2, 1.0, 1.0, 1.0);
+  EXPECT_EQ(sns.count(), 8);
+  EXPECT_THROW(SurfaceNodeSet(1, 2, 2, 1.0, 1.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ms::rom

@@ -1,0 +1,70 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ms::util {
+namespace {
+
+CliParser make_parser() {
+  CliParser cli("prog", "test program");
+  cli.add_flag("full", "run everything");
+  cli.add_int("size", 10, "array size");
+  cli.add_double("tol", 1e-6, "tolerance");
+  cli.add_string("method", "cg", "solver");
+  return cli;
+}
+
+TEST(Cli, DefaultsApply) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(cli.parse(std::vector<std::string>{}));
+  EXPECT_FALSE(cli.flag("full"));
+  EXPECT_EQ(cli.get_int("size"), 10);
+  EXPECT_DOUBLE_EQ(cli.get_double("tol"), 1e-6);
+  EXPECT_EQ(cli.get_string("method"), "cg");
+}
+
+TEST(Cli, ParsesSeparateAndInlineValues) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(cli.parse({"--full", "--size", "25", "--tol=1e-3", "--method=gmres"}));
+  EXPECT_TRUE(cli.flag("full"));
+  EXPECT_EQ(cli.get_int("size"), 25);
+  EXPECT_DOUBLE_EQ(cli.get_double("tol"), 1e-3);
+  EXPECT_EQ(cli.get_string("method"), "gmres");
+}
+
+TEST(Cli, RejectsUnknownOption) {
+  CliParser cli = make_parser();
+  EXPECT_FALSE(cli.parse({"--bogus"}));
+  EXPECT_NE(cli.error().find("unknown option"), std::string::npos);
+}
+
+TEST(Cli, RejectsMissingValue) {
+  CliParser cli = make_parser();
+  EXPECT_FALSE(cli.parse({"--size"}));
+}
+
+TEST(Cli, RejectsBadInteger) {
+  CliParser cli = make_parser();
+  EXPECT_FALSE(cli.parse({"--size", "abc"}));
+}
+
+TEST(Cli, RejectsValueOnFlag) {
+  CliParser cli = make_parser();
+  EXPECT_FALSE(cli.parse({"--full=yes"}));
+}
+
+TEST(Cli, RejectsPositionalArguments) {
+  CliParser cli = make_parser();
+  EXPECT_FALSE(cli.parse({"positional"}));
+}
+
+TEST(Cli, UsageMentionsEveryOption) {
+  CliParser cli = make_parser();
+  const std::string usage = cli.usage();
+  for (const char* name : {"--full", "--size", "--tol", "--method", "--help"}) {
+    EXPECT_NE(usage.find(name), std::string::npos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace ms::util

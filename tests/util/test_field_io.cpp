@@ -1,0 +1,99 @@
+#include "util/field_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace ms::util {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(PlaneField, BlockGridGeometryMatchesSampler) {
+  // Must match fem::make_block_plane_grid cell centres: (m + 0.5)/s * pitch.
+  const PlaneField f = PlaneField::block_grid(15.0, 3, 2, 10, 25.0);
+  EXPECT_EQ(f.width, 30u);
+  EXPECT_EQ(f.height, 20u);
+  EXPECT_DOUBLE_EQ(f.x_of(0), 0.75);
+  EXPECT_DOUBLE_EQ(f.x_of(1), 2.25);
+  EXPECT_DOUBLE_EQ(f.y_of(19), (19 + 0.5) * 1.5);
+  EXPECT_DOUBLE_EQ(f.z, 25.0);
+  EXPECT_EQ(f.size(), 600u);
+}
+
+TEST(PlaneField, BlockGridRejectsBadInput) {
+  EXPECT_THROW(PlaneField::block_grid(0.0, 1, 1, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(PlaneField::block_grid(1.0, 0, 1, 1, 0.0), std::invalid_argument);
+}
+
+TEST(FieldIo, CsvRoundTripValues) {
+  const PlaneField f = PlaneField::block_grid(2.0, 1, 1, 2, 1.0);
+  const std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  const std::string path = temp_path("ms_field.csv");
+  write_csv(path, f, values, "vm");
+  const std::string text = read_file(path);
+  std::remove(path.c_str());
+  EXPECT_NE(text.find("x,y,vm"), std::string::npos);
+  EXPECT_NE(text.find("0.5,0.5,1"), std::string::npos);
+  EXPECT_NE(text.find("1.5,1.5,4"), std::string::npos);
+}
+
+TEST(FieldIo, CsvMultiColumn) {
+  const PlaneField f = PlaneField::block_grid(2.0, 1, 1, 1, 0.0);
+  const std::vector<double> a{7.0};
+  const std::vector<double> b{9.0};
+  const std::string path = temp_path("ms_field_multi.csv");
+  write_csv_multi(path, f, {{"rom", &a}, {"ref", &b}});
+  const std::string text = read_file(path);
+  std::remove(path.c_str());
+  EXPECT_NE(text.find("x,y,rom,ref"), std::string::npos);
+  EXPECT_NE(text.find("1,1,7,9"), std::string::npos);
+}
+
+TEST(FieldIo, CsvRejectsSizeMismatch) {
+  const PlaneField f = PlaneField::block_grid(1.0, 1, 1, 2, 0.0);
+  const std::vector<double> wrong{1.0};
+  EXPECT_THROW(write_csv(temp_path("ms_bad.csv"), f, wrong), std::runtime_error);
+}
+
+TEST(FieldIo, VtkHeaderAndPayload) {
+  const PlaneField f = PlaneField::block_grid(4.0, 1, 1, 2, 25.0);
+  const std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  const std::string path = temp_path("ms_field.vtk");
+  write_vtk(path, f, values, "stress");
+  const std::string text = read_file(path);
+  std::remove(path.c_str());
+  EXPECT_NE(text.find("DATASET STRUCTURED_POINTS"), std::string::npos);
+  EXPECT_NE(text.find("DIMENSIONS 2 2 1"), std::string::npos);
+  EXPECT_NE(text.find("SCALARS stress double 1"), std::string::npos);
+  EXPECT_NE(text.find("ORIGIN 1 1 25"), std::string::npos);
+}
+
+TEST(FieldIo, WriteToUnwritablePathThrows) {
+  const PlaneField f = PlaneField::block_grid(1.0, 1, 1, 1, 0.0);
+  const std::vector<double> values{1.0};
+  EXPECT_THROW(write_csv("/nonexistent_dir/x.csv", f, values), std::runtime_error);
+}
+
+TEST(FieldStats, MinMaxMeanArgmax) {
+  const FieldStats stats = field_stats({3.0, -1.0, 7.0, 5.0});
+  EXPECT_DOUBLE_EQ(stats.min, -1.0);
+  EXPECT_DOUBLE_EQ(stats.max, 7.0);
+  EXPECT_DOUBLE_EQ(stats.mean, 3.5);
+  EXPECT_EQ(stats.argmax, 2u);
+  EXPECT_THROW(field_stats({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ms::util

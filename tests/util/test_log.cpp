@@ -1,0 +1,37 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ms::util {
+namespace {
+
+TEST(Log, LevelRoundTrip) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::Warn);
+  EXPECT_EQ(log_level(), LogLevel::Warn);
+  set_log_level(original);
+}
+
+TEST(Log, ParseKnownNames) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::Trace);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::Error);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::Off);
+}
+
+TEST(Log, ParseUnknownFallsBackToInfo) {
+  EXPECT_EQ(parse_log_level("verbose"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level(""), LogLevel::Info);
+}
+
+TEST(Log, SuppressedMessageDoesNotCrash) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::Off);
+  MS_LOG_ERROR("suppressed %d", 42);
+  set_log_level(original);
+}
+
+}  // namespace
+}  // namespace ms::util

@@ -1,0 +1,68 @@
+#include "util/memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ms::util {
+namespace {
+
+class MemoryLedgerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { MemoryLedger::instance().reset_all(); }
+  void TearDown() override { MemoryLedger::instance().reset_all(); }
+};
+
+TEST_F(MemoryLedgerTest, TracksCurrentAndPeak) {
+  auto& ledger = MemoryLedger::instance();
+  ledger.allocate(100);
+  ledger.allocate(50);
+  EXPECT_EQ(ledger.current_bytes(), 150u);
+  EXPECT_EQ(ledger.peak_bytes(), 150u);
+  ledger.release(100);
+  EXPECT_EQ(ledger.current_bytes(), 50u);
+  EXPECT_EQ(ledger.peak_bytes(), 150u);
+}
+
+TEST_F(MemoryLedgerTest, ReleaseClampsAtZero) {
+  auto& ledger = MemoryLedger::instance();
+  ledger.allocate(10);
+  ledger.release(25);
+  EXPECT_EQ(ledger.current_bytes(), 0u);
+}
+
+TEST_F(MemoryLedgerTest, ResetPeakKeepsCurrent) {
+  auto& ledger = MemoryLedger::instance();
+  ledger.allocate(100);
+  ledger.release(60);
+  ledger.reset_peak();
+  EXPECT_EQ(ledger.peak_bytes(), 40u);
+}
+
+TEST_F(MemoryLedgerTest, ScopedBytesRegisterAndUnregister) {
+  auto& ledger = MemoryLedger::instance();
+  {
+    ScopedLedgerBytes bytes(1000);
+    EXPECT_EQ(ledger.current_bytes(), 1000u);
+    ScopedLedgerBytes moved = std::move(bytes);
+    EXPECT_EQ(ledger.current_bytes(), 1000u);
+    moved.resize(500);
+    EXPECT_EQ(ledger.current_bytes(), 500u);
+  }
+  EXPECT_EQ(ledger.current_bytes(), 0u);
+}
+
+TEST(MemoryRss, ReportsPlausibleValues) {
+  const std::size_t rss = current_rss_bytes();
+  const std::size_t peak = peak_rss_bytes();
+  EXPECT_GT(rss, 1u << 20);  // more than 1 MB resident
+  EXPECT_GE(peak, rss / 2);  // peak cannot be wildly below current
+}
+
+TEST(FormatBytes, PicksUnits) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.0 kB");
+  EXPECT_EQ(format_bytes(3'500'000), "3.5 MB");
+  EXPECT_EQ(format_bytes(2'250'000'000ull), "2.25 GB");
+}
+
+}  // namespace
+}  // namespace ms::util

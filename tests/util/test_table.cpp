@@ -1,0 +1,52 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ms::util {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha | 1"), std::string::npos);
+  // The rule line under the header exists.
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable table({"a", "b", "c"});
+  table.add_row({"x"});
+  EXPECT_EQ(table.rows(), 1u);
+  EXPECT_NO_THROW(table.render());
+}
+
+TEST(TextTable, OverlongRowsThrow) {
+  TextTable table({"a"});
+  EXPECT_THROW(table.add_row({"1", "2"}), std::invalid_argument);
+}
+
+TEST(TextTable, CsvRendering) {
+  TextTable table({"a", "b"});
+  table.add_row({"1", "2"});
+  EXPECT_EQ(table.render_csv(), "a,b\n1,2\n");
+}
+
+TEST(Cells, RatioFormatting) {
+  EXPECT_EQ(ratio_cell(300.0, 2.0), "150x");
+  EXPECT_EQ(ratio_cell(30.0, 2.0), "15x");
+  EXPECT_EQ(ratio_cell(9.0, 2.0), "4.5x");
+  EXPECT_EQ(ratio_cell(1.0, 0.0), "-");
+}
+
+TEST(Cells, PercentFormatting) {
+  EXPECT_EQ(percent_cell(0.0093), "0.93%");
+  EXPECT_EQ(percent_cell(0.1443), "14.43%");
+}
+
+TEST(Cells, StrfFormats) { EXPECT_EQ(strf("%d-%s", 7, "x"), "7-x"); }
+
+}  // namespace
+}  // namespace ms::util
