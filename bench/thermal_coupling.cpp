@@ -1,0 +1,75 @@
+// Thermal-coupling bench: cost of the conduction -> ΔT -> ROM pipeline, and
+// the OpenMP speedup of the one-shot local stage (the n+1 basis solves share
+// one Cholesky factor and parallelize embarrassingly).
+//
+//   ./bench_thermal_coupling [--sizes 8,16] [--nodes 4] ...
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "common.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  ms::util::CliParser cli("thermal_coupling", "Power-map -> temperature -> ROM stress bench");
+  ms::bench::add_common_flags(cli);
+  cli.add_string("sizes", "8,16", "array edge lengths");
+  cli.add_double("background", 20.0, "background power density [W/mm^2]");
+  cli.add_double("peak", 400.0, "hotspot peak power density [W/mm^2]");
+  cli.parse(argc, argv);
+
+  ms::bench::BenchSetup setup = ms::bench::default_setup(15.0);
+  ms::bench::apply_common_flags(cli, setup);
+  const ms::core::SimulationConfig& config = setup.config;
+
+  // --- local-stage parallel speedup ---------------------------------------
+#ifdef _OPENMP
+  const int max_threads = omp_get_max_threads();
+  omp_set_num_threads(1);
+#else
+  const int max_threads = 1;
+#endif
+  ms::util::WallTimer timer;
+  (void)ms::rom::run_local_stage(config.geometry, config.mesh_spec, config.materials,
+                                 ms::rom::BlockKind::Tsv, config.local);
+  const double serial_seconds = timer.seconds();
+#ifdef _OPENMP
+  omp_set_num_threads(max_threads);
+#endif
+  timer.reset();
+  (void)ms::rom::run_local_stage(config.geometry, config.mesh_spec, config.materials,
+                                 ms::rom::BlockKind::Tsv, config.local);
+  const double parallel_seconds = timer.seconds();
+  std::printf("=== local stage OpenMP speedup ===\n");
+  std::printf("1 thread:   %.3f s\n", serial_seconds);
+  std::printf("%d thread%s: %.3f s  (speedup %.2fx)\n\n", max_threads,
+              max_threads == 1 ? " " : "s", parallel_seconds,
+              serial_seconds / std::max(parallel_seconds, 1e-12));
+
+  // --- coupled pipeline ----------------------------------------------------
+  ms::core::MoreStressSimulator sim(config);
+  (void)sim.prepare_local_stage(/*with_dummy=*/false);
+
+  std::printf("=== power map -> dT -> stress ===\n");
+  std::printf("%8s %12s %12s %12s %12s %10s\n", "array", "thermal[s]", "global[s]", "dT min[C]",
+              "dT max[C]", "peak[MPa]");
+  for (int edge : ms::bench::parse_int_list(cli.get_string("sizes"))) {
+    ms::thermal::PowerMap power = ms::thermal::PowerMap::per_block(
+        edge, edge, config.geometry.pitch, cli.get_double("background"));
+    const double mid = 0.5 * edge * config.geometry.pitch;
+    power.add_gaussian_hotspot(mid, mid, 1.5 * config.geometry.pitch, cli.get_double("peak"));
+
+    const ms::core::ThermalArrayResult result = sim.simulate_array_thermal(edge, edge, power);
+    double peak = 0.0;
+    for (double v : result.von_mises) peak = std::max(peak, v);
+    std::printf("%5dx%-3d %12.3f %12.3f %12.3f %12.3f %10.1f\n", edge, edge,
+                result.thermal_stats.total_seconds(), result.stats.global_seconds(),
+                result.load.min(), result.load.max(), peak);
+  }
+  return 0;
+}

@@ -8,8 +8,23 @@
 #include "mesh/tsv_block.hpp"
 #include "rom/global_solver.hpp"
 #include "rom/local_stage.hpp"
+#include "thermal/thermal_solver.hpp"
 
 namespace ms::core {
+
+/// Controls of the conduction -> ROM coupling (simulate_array_thermal):
+/// the coarse array thermal mesh, the conduction solve, and the reference
+/// temperature the per-block ΔT is measured from.
+struct ThermalCouplingOptions {
+  thermal::ThermalSolveOptions solve;  ///< sink/ambient + conduction solver
+  int elems_per_block_xy = 2;          ///< thermal-mesh elements across a pitch
+  int elems_z = 8;                     ///< thermal-mesh elements through height
+  /// Stress-free temperature [C]: ΔT_block = T_block - stress_free. The
+  /// default equals the ambient, so stresses are purely operational
+  /// (power-driven); set it to the reflow temperature to superpose the
+  /// paper's assembly load.
+  double stress_free_temperature = 25.0;
+};
 
 struct SimulationConfig {
   mesh::TsvGeometry geometry;
@@ -17,7 +32,8 @@ struct SimulationConfig {
   fem::MaterialTable materials = fem::MaterialTable::standard();
   rom::LocalStageOptions local;    ///< (nx, ny, nz), sample resolution
   rom::GlobalSolveOptions global;  ///< reduced-system solver
-  double thermal_load = -250.0;    ///< ΔT [°C]: reflow 275°C -> room 25°C
+  double thermal_load = -250.0;    ///< uniform ΔT [°C]: reflow 275°C -> room 25°C
+  ThermalCouplingOptions coupling; ///< power-map -> ΔT coupling (thermal runs)
 
   /// The paper's default configuration (Sec. 5.2): p=15, d=5, t=0.5, h=50,
   /// ΔT=-250, (4,4,4) nodes.

@@ -1,9 +1,11 @@
 #include "core/simulator.hpp"
 
+#include <cmath>
 #include <filesystem>
 #include <stdexcept>
 
 #include "rom/local_stage.hpp"
+#include "thermal/conduction_assembler.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
@@ -76,7 +78,7 @@ ArrayResult MoreStressSimulator::run_global(int blocks_x, int blocks_y,
                                             const rom::BlockMask& mask,
                                             const fem::DirichletBc& bc,
                                             const rom::BlockRange& report_range,
-                                            bool uses_dummy) {
+                                            bool uses_dummy, const rom::BlockLoadField& load) {
   const rom::RomModel& tsv = tsv_model();
   const rom::RomModel* dummy = uses_dummy ? &dummy_model() : nullptr;
 
@@ -88,8 +90,7 @@ ArrayResult MoreStressSimulator::run_global(int blocks_x, int blocks_y,
   const rom::BlockGrid grid(blocks_x, blocks_y, config_.local.nodes_x, config_.local.nodes_y,
                             config_.local.nodes_z, config_.geometry.pitch,
                             config_.geometry.height);
-  rom::GlobalProblem problem =
-      rom::assemble_global(grid, tsv, dummy, mask, config_.thermal_load);
+  rom::GlobalProblem problem = rom::assemble_global(grid, tsv, dummy, mask, load);
   result.stats.assemble_seconds = timer.seconds();
 
   timer.reset();
@@ -101,8 +102,8 @@ ArrayResult MoreStressSimulator::run_global(int blocks_x, int blocks_y,
   result.stats.converged = solve_stats.converged;
 
   timer.reset();
-  result.stress = rom::reconstruct_plane_stress(grid, tsv, dummy, mask, result.solution,
-                                                config_.thermal_load, report_range);
+  result.stress =
+      rom::reconstruct_plane_stress(grid, tsv, dummy, mask, result.solution, load, report_range);
   result.von_mises = fem::to_von_mises(result.stress);
   result.stats.reconstruct_seconds = timer.seconds();
 
@@ -118,6 +119,11 @@ ArrayResult MoreStressSimulator::run_global(int blocks_x, int blocks_y,
 }
 
 ArrayResult MoreStressSimulator::simulate_array(int blocks_x, int blocks_y) {
+  return simulate_array(blocks_x, blocks_y, rom::BlockLoadField::uniform(config_.thermal_load));
+}
+
+ArrayResult MoreStressSimulator::simulate_array(int blocks_x, int blocks_y,
+                                                const rom::BlockLoadField& load) {
   const rom::BlockGrid grid(blocks_x, blocks_y, config_.local.nodes_x, config_.local.nodes_y,
                             config_.local.nodes_z, config_.geometry.pitch,
                             config_.geometry.height);
@@ -127,7 +133,41 @@ ArrayResult MoreStressSimulator::simulate_array(int blocks_x, int blocks_y) {
   range.bx1 = blocks_x;
   range.by0 = 0;
   range.by1 = blocks_y;
-  return run_global(blocks_x, blocks_y, {}, bc, range, /*uses_dummy=*/false);
+  return run_global(blocks_x, blocks_y, {}, bc, range, /*uses_dummy=*/false, load);
+}
+
+ThermalArrayResult MoreStressSimulator::simulate_array_thermal(int blocks_x, int blocks_y,
+                                                               const thermal::PowerMap& power) {
+  const ThermalCouplingOptions& coupling = config_.coupling;
+  // density_at is 0 outside the map, so a mismatched footprint would
+  // silently drop heat; require the map to cover the array exactly.
+  const double extent_x = blocks_x * config_.geometry.pitch;
+  const double extent_y = blocks_y * config_.geometry.pitch;
+  if (std::abs(power.width() - extent_x) > 1e-9 * extent_x ||
+      std::abs(power.height() - extent_y) > 1e-9 * extent_y) {
+    throw std::invalid_argument(
+        "simulate_array_thermal: power map footprint must match the array extent "
+        "(use PowerMap::per_block or zero tiles for unpowered regions)");
+  }
+  const mesh::HexMesh thermal_mesh = thermal::build_array_thermal_mesh(
+      config_.geometry, blocks_x, blocks_y, coupling.elems_per_block_xy, coupling.elems_z);
+  const double k_eff =
+      thermal::effective_block_conductivity(config_.geometry, config_.materials);
+  const Vec conductivities(static_cast<std::size_t>(thermal_mesh.num_elems()), k_eff);
+
+  ThermalArrayResult result;
+  result.temperature = thermal::solve_power_map(thermal_mesh, conductivities, power,
+                                                coupling.solve, &result.thermal_stats);
+
+  std::vector<double> delta_t =
+      result.temperature.block_averages(blocks_x, blocks_y, config_.geometry.pitch);
+  for (double& dt : delta_t) dt -= coupling.stress_free_temperature;
+  result.load = rom::BlockLoadField(blocks_x, blocks_y, std::move(delta_t));
+
+  static_cast<ArrayResult&>(result) = simulate_array(blocks_x, blocks_y, result.load);
+  MS_LOG_DEBUG("thermal coupling: %d x %d blocks, dT in [%.3f, %.3f] C", blocks_x, blocks_y,
+               result.load.min(), result.load.max());
+  return result;
 }
 
 ArrayResult MoreStressSimulator::simulate_submodel(
@@ -146,7 +186,8 @@ ArrayResult MoreStressSimulator::simulate_submodel(
   range.bx1 = dummy_rings + tsv_blocks_x;
   range.by0 = dummy_rings;
   range.by1 = dummy_rings + tsv_blocks_y;
-  return run_global(bx, by, mask, bc, range, /*uses_dummy=*/dummy_rings > 0);
+  return run_global(bx, by, mask, bc, range, /*uses_dummy=*/dummy_rings > 0,
+                    rom::BlockLoadField::uniform(config_.thermal_load));
 }
 
 }  // namespace ms::core

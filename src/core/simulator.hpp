@@ -18,7 +18,10 @@
 #include "rom/block_grid.hpp"
 #include "rom/global_assembler.hpp"
 #include "rom/global_solver.hpp"
+#include "rom/load_field.hpp"
 #include "rom/reconstruct.hpp"
+#include "thermal/power_map.hpp"
+#include "thermal/temperature_field.hpp"
 
 namespace ms::core {
 
@@ -52,12 +55,35 @@ struct ArrayResult {
   RunStats stats;
 };
 
+/// Result of a coupled power-map run: the stress fields of ArrayResult plus
+/// the temperature solution and the per-block ΔT it induced (load.values()
+/// holds the raw y-major ΔT vector).
+struct ThermalArrayResult : ArrayResult {
+  thermal::TemperatureField temperature;  ///< nodal field on the thermal mesh
+  rom::BlockLoadField load;               ///< per-block ΔT fed to the ROM
+  thermal::ThermalSolveStats thermal_stats;
+};
+
 class MoreStressSimulator {
  public:
   explicit MoreStressSimulator(SimulationConfig config);
 
-  /// Scenario 1: standalone nx x ny TSV array, top/bottom clamped.
+  /// Scenario 1: standalone nx x ny TSV array, top/bottom clamped, uniform
+  /// ΔT = config.thermal_load.
   [[nodiscard]] ArrayResult simulate_array(int blocks_x, int blocks_y);
+
+  /// Scenario 1 with an explicit per-block ΔT field instead of the scalar.
+  [[nodiscard]] ArrayResult simulate_array(int blocks_x, int blocks_y,
+                                           const rom::BlockLoadField& load);
+
+  /// Scenario 3: operational hotspots. Solves steady-state conduction for
+  /// `power` on a coarse array thermal mesh (effective via-averaged
+  /// conductivity), reduces the temperature field to per-block ΔT relative
+  /// to config.coupling.stress_free_temperature, and runs the ROM stress
+  /// path with that non-uniform load. A uniform power map degenerates to the
+  /// scalar-ΔT path exactly (same assembly/reconstruction code).
+  [[nodiscard]] ThermalArrayResult simulate_array_thermal(int blocks_x, int blocks_y,
+                                                          const thermal::PowerMap& power);
 
   /// Scenario 2: TSV array embedded in a package. `displacement` supplies
   /// the coarse-solution boundary data (in the sub-model local frame);
@@ -81,7 +107,7 @@ class MoreStressSimulator {
  private:
   ArrayResult run_global(int blocks_x, int blocks_y, const rom::BlockMask& mask,
                          const fem::DirichletBc& bc, const rom::BlockRange& report_range,
-                         bool uses_dummy);
+                         bool uses_dummy, const rom::BlockLoadField& load);
   const rom::RomModel& model_for(rom::BlockKind kind);
   [[nodiscard]] std::string cache_path(rom::BlockKind kind) const;
 

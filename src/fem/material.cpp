@@ -50,12 +50,13 @@ MaterialTable MaterialTable::standard() {
   return MaterialTable({silicon(), copper(), sio2_liner(), organic_substrate()});
 }
 
-Material silicon() { return {"Si", 130.0e3, 0.28, 2.8e-6}; }
+// Conductivities are classic room-temperature literature values.
+Material silicon() { return {"Si", 130.0e3, 0.28, 2.8e-6, 149.0}; }
 
-Material copper() { return {"Cu", 110.0e3, 0.35, 17.7e-6}; }
+Material copper() { return {"Cu", 110.0e3, 0.35, 17.7e-6, 401.0}; }
 
-Material sio2_liner() { return {"SiO2", 71.7e3, 0.16, 0.51e-6}; }
+Material sio2_liner() { return {"SiO2", 71.7e3, 0.16, 0.51e-6, 1.4}; }
 
-Material organic_substrate() { return {"organic", 20.0e3, 0.30, 15.0e-6}; }
+Material organic_substrate() { return {"organic", 20.0e3, 0.30, 15.0e-6, 0.5}; }
 
 }  // namespace ms::fem

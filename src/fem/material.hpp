@@ -1,6 +1,7 @@
 #pragma once
 // Isotropic thermoelastic materials (paper Sec. 3.1). Units: MPa for moduli
-// and stress, 1/K for CTE, micrometres for length, degrees C for ΔT.
+// and stress, 1/K for CTE, micrometres for length, degrees C for ΔT, and
+// W/(m K) for the thermal conductivity the conduction subsystem consumes.
 
 #include <array>
 #include <string>
@@ -18,6 +19,7 @@ struct Material {
   double youngs_modulus = 0.0;  ///< E [MPa]
   double poisson_ratio = 0.0;   ///< nu [-]
   double cte = 0.0;             ///< alpha [1/K]
+  double conductivity = 0.0;    ///< k [W/(m K)]; 0 = not usable for conduction
 
   /// First Lame parameter lambda = E nu / ((1+nu)(1-2nu))  (Eq. 2).
   [[nodiscard]] double lame_lambda() const;

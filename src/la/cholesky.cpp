@@ -113,10 +113,13 @@ void SparseCholesky::factorize(const CsrMatrix& a) {
   }
 }
 
-void SparseCholesky::solve_inplace(const Vec& b, Vec& x) const {
+void SparseCholesky::solve_inplace(const Vec& b, Vec& x) const { solve_with(b, x, work_); }
+
+void SparseCholesky::solve_with(const Vec& b, Vec& x, Vec& work) const {
   assert(static_cast<idx_t>(b.size()) == n_);
   x.resize(n_);
-  Vec& y = work_;
+  work.resize(n_);
+  Vec& y = work;
   for (idx_t i = 0; i < n_; ++i) y[i] = b[perm_.perm[i]];
 
   // Forward solve L y = Pb (L is CSC; first entry of column j is diagonal).

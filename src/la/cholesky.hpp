@@ -33,6 +33,12 @@ class SparseCholesky {
   /// n+1 local solves): x and b are in original ordering.
   void solve_inplace(const Vec& b, Vec& x) const;
 
+  /// Same, but with caller-provided scratch instead of the shared member
+  /// workspace — safe to call concurrently from multiple threads on one
+  /// factor (the factor itself is immutable after construction). `work` is
+  /// resized to order() on first use.
+  void solve_with(const Vec& b, Vec& x, Vec& work) const;
+
   [[nodiscard]] idx_t order() const { return n_; }
   [[nodiscard]] offset_t factor_nnz() const { return static_cast<offset_t>(lx_.size()); }
 

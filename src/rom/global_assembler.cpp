@@ -6,8 +6,9 @@ namespace ms::rom {
 
 GlobalProblem assemble_global(const BlockGrid& grid, const RomModel& tsv_model,
                               const RomModel* dummy_model, const BlockMask& mask,
-                              double thermal_load) {
+                              const BlockLoadField& load) {
   const idx_t n = tsv_model.num_element_dofs();
+  load.validate_extent(grid.blocks_x(), grid.blocks_y());
   if (tsv_model.element_stiffness.rows() != n) {
     throw std::invalid_argument("assemble_global: model element matrices missing");
   }
@@ -34,6 +35,7 @@ GlobalProblem assemble_global(const BlockGrid& grid, const RomModel& tsv_model,
         throw std::invalid_argument("assemble_global: mask selects dummy blocks but no model");
       }
       const std::vector<idx_t> dofs = grid.block_dofs(bx, by);
+      const double thermal_load = load.at(bx, by);
       for (idx_t i = 0; i < n; ++i) {
         problem.rhs[dofs[i]] += thermal_load * model->element_load[i];
         for (idx_t j = 0; j < n; ++j) {

@@ -9,6 +9,7 @@
 
 #include "fem/dirichlet.hpp"
 #include "rom/block_grid.hpp"
+#include "rom/load_field.hpp"
 #include "rom/rom_model.hpp"
 
 namespace ms::rom {
@@ -26,11 +27,20 @@ struct GlobalProblem {
   idx_t num_dofs = 0;
 };
 
-/// Assemble the unconstrained global system for thermal load `thermal_load`.
-/// `dummy_model` may be null when the mask selects no dummy blocks.
+/// Assemble the unconstrained global system: each block's reduced load is
+/// scaled by its own ΔT from `load`. `dummy_model` may be null when the mask
+/// selects no dummy blocks.
 GlobalProblem assemble_global(const BlockGrid& grid, const RomModel& tsv_model,
                               const RomModel* dummy_model, const BlockMask& mask,
-                              double thermal_load);
+                              const BlockLoadField& load);
+
+/// Scalar-ΔT convenience (the paper's uniform reflow load).
+inline GlobalProblem assemble_global(const BlockGrid& grid, const RomModel& tsv_model,
+                                     const RomModel* dummy_model, const BlockMask& mask,
+                                     double thermal_load) {
+  return assemble_global(grid, tsv_model, dummy_model, mask,
+                         BlockLoadField::uniform(thermal_load));
+}
 
 /// Clamped top/bottom condition of scenario 1 (all components zero).
 DirichletBc clamp_top_bottom(const BlockGrid& grid);

@@ -1,0 +1,33 @@
+#include "rom/load_field.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ms::rom {
+
+BlockLoadField::BlockLoadField(int blocks_x, int blocks_y, Vec delta_t)
+    : blocks_x_(blocks_x), blocks_y_(blocks_y), values_(std::move(delta_t)) {
+  if (blocks_x < 1 || blocks_y < 1) {
+    throw std::invalid_argument("BlockLoadField: need >= 1 block per axis");
+  }
+  if (values_.size() != static_cast<std::size_t>(blocks_x_) * blocks_y_) {
+    throw std::invalid_argument("BlockLoadField: values size must be blocks_x*blocks_y");
+  }
+}
+
+double BlockLoadField::min() const {
+  return is_uniform() ? value_ : *std::min_element(values_.begin(), values_.end());
+}
+
+double BlockLoadField::max() const {
+  return is_uniform() ? value_ : *std::max_element(values_.begin(), values_.end());
+}
+
+void BlockLoadField::validate_extent(int blocks_x, int blocks_y) const {
+  if (is_uniform()) return;
+  if (blocks_x_ != blocks_x || blocks_y_ != blocks_y) {
+    throw std::invalid_argument("BlockLoadField: field extent does not match the block grid");
+  }
+}
+
+}  // namespace ms::rom

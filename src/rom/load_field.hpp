@@ -1,0 +1,55 @@
+#pragma once
+// Per-block thermal loads for the global stage. The paper drives every block
+// with one scalar ΔT (reflow); operational workloads have per-block ΔT from
+// a conduction solve. BlockLoadField is the common currency: a uniform field
+// reproduces the scalar path exactly (same code path, same numbers), a
+// non-uniform field scales each block's thermal basis by its own ΔT in both
+// assembly (Eq. 19 load term) and reconstruction (Eq. 15 thermal column).
+
+#include <vector>
+
+#include "la/vec.hpp"
+
+namespace ms::rom {
+
+using la::Vec;
+
+class BlockLoadField {
+ public:
+  /// Uniform zero load.
+  BlockLoadField() = default;
+
+  /// The degenerate scalar-ΔT case: every block sees `delta_t`.
+  static BlockLoadField uniform(double delta_t) {
+    BlockLoadField f;
+    f.value_ = delta_t;
+    return f;
+  }
+
+  /// Per-block ΔT, y-major (by * blocks_x + bx).
+  BlockLoadField(int blocks_x, int blocks_y, Vec delta_t);
+
+  [[nodiscard]] bool is_uniform() const { return values_.empty(); }
+
+  /// ΔT of block (bx, by). Uniform fields accept any index.
+  [[nodiscard]] double at(int bx, int by) const {
+    return is_uniform() ? value_ : values_[static_cast<std::size_t>(by) * blocks_x_ + bx];
+  }
+
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Raw per-block ΔT (y-major); empty for uniform fields.
+  [[nodiscard]] const Vec& values() const { return values_; }
+
+  /// Throws std::invalid_argument unless the field is uniform or matches the
+  /// given grid extent.
+  void validate_extent(int blocks_x, int blocks_y) const;
+
+ private:
+  double value_ = 0.0;         ///< uniform value when values_ is empty
+  int blocks_x_ = 0, blocks_y_ = 0;
+  Vec values_;                 ///< per-block ΔT, y-major; empty = uniform
+};
+
+}  // namespace ms::rom

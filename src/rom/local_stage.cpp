@@ -71,47 +71,61 @@ RomModel run_local_stage(const mesh::TsvGeometry& geometry, const mesh::BlockMes
   const CsrMatrix a_fb =
       sys.stiffness.submatrix(part.free_map, part.num_free, part.bc_map, part.num_bc);
 
-  // One factorization, n+1 solves (paper Sec. 4.2).
+  // One factorization, n+1 solves (paper Sec. 4.2). The solves only share
+  // the immutable factor, so they parallelize embarrassingly: each thread
+  // carries its own boundary/rhs/workspace vectors.
   const SparseCholesky chol(a_ff);
 
   // Basis fields F = [f_0 ... f_{n-1}, f_T] as full fine-mesh vectors.
   std::vector<Vec> basis(static_cast<std::size_t>(n) + 1);
-  Vec u_bc(part.num_bc), rhs_f(part.num_free), alpha_f;
-  for (idx_t i = 0; i < n; ++i) {
-    const idx_t m = i / 3;
-    const int c = static_cast<int>(i % 3);
-    // Boundary data: the i-th surface-node unit displacement interpolated to
-    // every boundary mesh node (component c only).
-    std::fill(u_bc.begin(), u_bc.end(), 0.0);
-    for (idx_t b = 0; b < static_cast<idx_t>(bnodes.size()); ++b) {
-      const double w = weights(b, m);
-      if (w != 0.0) u_bc[part.bc_map[fem::dof_of(bnodes[b], c)]] = w;
-    }
-    a_fb.mul(u_bc, rhs_f);
-    la::scale(rhs_f, -1.0);
-    chol.solve_inplace(rhs_f, alpha_f);
-
-    Vec f(num_dofs, 0.0);
-    for (idx_t d = 0; d < num_dofs; ++d) {
-      if (part.free_map[d] >= 0) {
-        f[d] = alpha_f[part.free_map[d]];
-      } else {
-        f[d] = u_bc[part.bc_map[d]];
-      }
-    }
-    basis[i] = std::move(f);
-  }
+#ifdef _OPENMP
+#pragma omp parallel
+#endif
   {
-    // Thermal basis: unit thermal load, zero boundary motion (Eq. 15).
-    for (idx_t d = 0; d < num_dofs; ++d) {
-      if (part.free_map[d] >= 0) rhs_f[part.free_map[d]] = sys.thermal_load[d];
+    Vec u_bc(part.num_bc), rhs_f(part.num_free), alpha_f, chol_work;
+#ifdef _OPENMP
+#pragma omp for schedule(dynamic)
+#endif
+    for (idx_t i = 0; i < n; ++i) {
+      const idx_t m = i / 3;
+      const int c = static_cast<int>(i % 3);
+      // Boundary data: the i-th surface-node unit displacement interpolated
+      // to every boundary mesh node (component c only).
+      std::fill(u_bc.begin(), u_bc.end(), 0.0);
+      for (idx_t b = 0; b < static_cast<idx_t>(bnodes.size()); ++b) {
+        const double w = weights(b, m);
+        if (w != 0.0) u_bc[part.bc_map[fem::dof_of(bnodes[b], c)]] = w;
+      }
+      a_fb.mul(u_bc, rhs_f);
+      la::scale(rhs_f, -1.0);
+      chol.solve_with(rhs_f, alpha_f, chol_work);
+
+      Vec f(num_dofs, 0.0);
+      for (idx_t d = 0; d < num_dofs; ++d) {
+        if (part.free_map[d] >= 0) {
+          f[d] = alpha_f[part.free_map[d]];
+        } else {
+          f[d] = u_bc[part.bc_map[d]];
+        }
+      }
+      basis[i] = std::move(f);
     }
-    chol.solve_inplace(rhs_f, alpha_f);
-    Vec f(num_dofs, 0.0);
-    for (idx_t d = 0; d < num_dofs; ++d) {
-      if (part.free_map[d] >= 0) f[d] = alpha_f[part.free_map[d]];
+#ifdef _OPENMP
+#pragma omp single
+#endif
+    {
+      // Thermal basis: unit thermal load, zero boundary motion (Eq. 15).
+      std::fill(rhs_f.begin(), rhs_f.end(), 0.0);
+      for (idx_t d = 0; d < num_dofs; ++d) {
+        if (part.free_map[d] >= 0) rhs_f[part.free_map[d]] = sys.thermal_load[d];
+      }
+      chol.solve_with(rhs_f, alpha_f, chol_work);
+      Vec f(num_dofs, 0.0);
+      for (idx_t d = 0; d < num_dofs; ++d) {
+        if (part.free_map[d] >= 0) f[d] = alpha_f[part.free_map[d]];
+      }
+      basis[n] = std::move(f);
     }
-    basis[n] = std::move(f);
   }
 
   RomModel model;
@@ -125,9 +139,17 @@ RomModel run_local_stage(const mesh::TsvGeometry& geometry, const mesh::BlockMes
   model.fine_mesh_dofs = num_dofs;
 
   // Reduced element stiffness A_elem(i,j) = f_i^T A_local f_j (Eq. 18).
+  // Column j touches only entries (i,j) with i <= j and their mirrors (j,i),
+  // which are disjoint across distinct j, so columns parallelize cleanly.
   model.element_stiffness = DenseMatrix(n, n);
+#ifdef _OPENMP
+#pragma omp parallel
+#endif
   {
     Vec af(num_dofs);
+#ifdef _OPENMP
+#pragma omp for schedule(dynamic)
+#endif
     for (idx_t j = 0; j < n; ++j) {
       sys.stiffness.mul(basis[j], af);
       for (idx_t i = 0; i <= j; ++i) {
@@ -136,9 +158,12 @@ RomModel run_local_stage(const mesh::TsvGeometry& geometry, const mesh::BlockMes
         model.element_stiffness(j, i) = v;
       }
     }
+  }
+  {
     // Reaction-corrected element load b_i = f_i^T (b_local - A_local f_T)
     // per unit thermal load (see DESIGN.md note on Eq. 19). The uncorrected
     // variant (paper's literal Eq. 19) is kept as an ablation switch.
+    Vec af(num_dofs);
     sys.stiffness.mul(basis[n], af);
     model.element_load.resize(n);
     Vec g(num_dofs);
@@ -160,49 +185,52 @@ RomModel run_local_stage(const mesh::TsvGeometry& geometry, const mesh::BlockMes
       model.displacement_samples = DenseMatrix(3 * npts, n + 1);
     }
 
-    idx_t pt = 0;
-    for (double y : grid.ys) {
-      for (double x : grid.xs) {
-        const mesh::Point3 p{x, y, grid.z};
-        const auto loc = block.locate(p);
-        const mesh::Point3 lo = block.elem_min(loc.elem);
-        const mesh::Point3 hi = block.elem_max(loc.elem);
-        const fem::BMatrix b = fem::hex8_b_matrix(loc.xi, loc.eta, loc.zeta, hi.x - lo.x,
-                                                  hi.y - lo.y, hi.z - lo.z);
-        const fem::Material& mat = materials.at(block.material(loc.elem));
-        const auto d = mat.d_matrix();
-        const auto sigma_th = mat.thermal_stress_unit();
-        // db = D * B (6 x 24), shared across all bases at this point.
-        std::array<std::array<double, kHexDofs>, kVoigt> db{};
+    const idx_t nxs = static_cast<idx_t>(grid.xs.size());
+    // Each sample point writes its own disjoint rows, so points parallelize.
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+    for (idx_t pt = 0; pt < npts; ++pt) {
+      const double x = grid.xs[pt % nxs];
+      const double y = grid.ys[pt / nxs];
+      const mesh::Point3 p{x, y, grid.z};
+      const auto loc = block.locate(p);
+      const mesh::Point3 lo = block.elem_min(loc.elem);
+      const mesh::Point3 hi = block.elem_max(loc.elem);
+      const fem::BMatrix b = fem::hex8_b_matrix(loc.xi, loc.eta, loc.zeta, hi.x - lo.x,
+                                                hi.y - lo.y, hi.z - lo.z);
+      const fem::Material& mat = materials.at(block.material(loc.elem));
+      const auto d = mat.d_matrix();
+      const auto sigma_th = mat.thermal_stress_unit();
+      // db = D * B (6 x 24), shared across all bases at this point.
+      std::array<std::array<double, kHexDofs>, kVoigt> db{};
+      for (int r = 0; r < kVoigt; ++r) {
+        for (int q = 0; q < kVoigt; ++q) {
+          const double drq = d[r * kVoigt + q];
+          if (drq == 0.0) continue;
+          for (int cdof = 0; cdof < kHexDofs; ++cdof) db[r][cdof] += drq * b[q][cdof];
+        }
+      }
+      const auto nodes = block.elem_nodes(loc.elem);
+      const auto shapes = fem::hex8_shape(loc.xi, loc.eta, loc.zeta);
+      for (idx_t col = 0; col <= n; ++col) {
+        std::array<double, kHexDofs> fe;
+        for (int a = 0; a < kHexNodes; ++a) {
+          for (int c = 0; c < 3; ++c) fe[3 * a + c] = basis[col][fem::dof_of(nodes[a], c)];
+        }
         for (int r = 0; r < kVoigt; ++r) {
-          for (int q = 0; q < kVoigt; ++q) {
-            const double drq = d[r * kVoigt + q];
-            if (drq == 0.0) continue;
-            for (int cdof = 0; cdof < kHexDofs; ++cdof) db[r][cdof] += drq * b[q][cdof];
-          }
+          double sum = 0.0;
+          for (int cdof = 0; cdof < kHexDofs; ++cdof) sum += db[r][cdof] * fe[cdof];
+          if (col == n) sum -= sigma_th[r];  // thermal basis, unit load
+          model.stress_samples(6 * pt + r, col) = sum;
         }
-        const auto nodes = block.elem_nodes(loc.elem);
-        const auto shapes = fem::hex8_shape(loc.xi, loc.eta, loc.zeta);
-        for (idx_t col = 0; col <= n; ++col) {
-          std::array<double, kHexDofs> fe;
-          for (int a = 0; a < kHexNodes; ++a) {
-            for (int c = 0; c < 3; ++c) fe[3 * a + c] = basis[col][fem::dof_of(nodes[a], c)];
-          }
-          for (int r = 0; r < kVoigt; ++r) {
+        if (options.sample_displacements) {
+          for (int c = 0; c < 3; ++c) {
             double sum = 0.0;
-            for (int cdof = 0; cdof < kHexDofs; ++cdof) sum += db[r][cdof] * fe[cdof];
-            if (col == n) sum -= sigma_th[r];  // thermal basis, unit load
-            model.stress_samples(6 * pt + r, col) = sum;
-          }
-          if (options.sample_displacements) {
-            for (int c = 0; c < 3; ++c) {
-              double sum = 0.0;
-              for (int a = 0; a < kHexNodes; ++a) sum += shapes[a] * fe[3 * a + c];
-              model.displacement_samples(3 * pt + c, col) = sum;
-            }
+            for (int a = 0; a < kHexNodes; ++a) sum += shapes[a] * fe[3 * a + c];
+            model.displacement_samples(3 * pt + c, col) = sum;
           }
         }
-        ++pt;
       }
     }
   }

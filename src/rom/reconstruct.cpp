@@ -11,7 +11,8 @@ namespace {
 template <typename Emit>
 void for_each_block_samples(const BlockGrid& grid, const RomModel& tsv_model,
                             const RomModel* dummy_model, const BlockMask& mask, const Vec& u,
-                            double thermal_load, const BlockRange& range, const Emit& emit) {
+                            const BlockLoadField& load, const BlockRange& range,
+                            const Emit& emit) {
   if (range.bx0 < 0 || range.bx1 > grid.blocks_x() || range.by0 < 0 ||
       range.by1 > grid.blocks_y() || range.width() <= 0 || range.height() <= 0) {
     throw std::invalid_argument("reconstruct: block range out of bounds");
@@ -19,6 +20,7 @@ void for_each_block_samples(const BlockGrid& grid, const RomModel& tsv_model,
   if (!mask.empty() && mask.size() != static_cast<std::size_t>(grid.num_blocks())) {
     throw std::invalid_argument("reconstruct: mask size must be blocks_x*blocks_y");
   }
+  load.validate_extent(grid.blocks_x(), grid.blocks_y());
   const idx_t n = tsv_model.num_element_dofs();
   Vec coef(static_cast<std::size_t>(n) + 1);
   for (int by = range.by0; by < range.by1; ++by) {
@@ -31,7 +33,7 @@ void for_each_block_samples(const BlockGrid& grid, const RomModel& tsv_model,
       }
       const std::vector<idx_t> dofs = grid.block_dofs(bx, by);
       for (idx_t i = 0; i < n; ++i) coef[i] = u[dofs[i]];
-      coef[n] = thermal_load;
+      coef[n] = load.at(bx, by);
       emit(*model, bx, by, coef);
     }
   }
@@ -43,13 +45,14 @@ std::vector<fem::Stress6> reconstruct_plane_stress(const BlockGrid& grid,
                                                    const RomModel& tsv_model,
                                                    const RomModel* dummy_model,
                                                    const BlockMask& mask, const Vec& u,
-                                                   double thermal_load, const BlockRange& range) {
+                                                   const BlockLoadField& load,
+                                                   const BlockRange& range) {
   const int s = tsv_model.samples_per_block;
   const std::size_t width = static_cast<std::size_t>(range.width()) * s;
   std::vector<fem::Stress6> out(width * static_cast<std::size_t>(range.height()) * s);
 
   for_each_block_samples(
-      grid, tsv_model, dummy_model, mask, u, thermal_load, range,
+      grid, tsv_model, dummy_model, mask, u, load, range,
       [&](const RomModel& model, int bx, int by, const Vec& coef) {
         const la::DenseMatrix& sm = model.stress_samples;
         for (int my = 0; my < s; ++my) {
@@ -73,16 +76,16 @@ std::vector<fem::Stress6> reconstruct_plane_stress(const BlockGrid& grid,
 
 std::vector<double> reconstruct_plane_von_mises(const BlockGrid& grid, const RomModel& tsv_model,
                                                 const RomModel* dummy_model, const BlockMask& mask,
-                                                const Vec& u, double thermal_load,
+                                                const Vec& u, const BlockLoadField& load,
                                                 const BlockRange& range) {
   const std::vector<fem::Stress6> stress =
-      reconstruct_plane_stress(grid, tsv_model, dummy_model, mask, u, thermal_load, range);
+      reconstruct_plane_stress(grid, tsv_model, dummy_model, mask, u, load, range);
   return fem::to_von_mises(stress);
 }
 
 std::vector<std::array<double, 3>> reconstruct_plane_displacement(
     const BlockGrid& grid, const RomModel& tsv_model, const RomModel* dummy_model,
-    const BlockMask& mask, const Vec& u, double thermal_load, const BlockRange& range) {
+    const BlockMask& mask, const Vec& u, const BlockLoadField& load, const BlockRange& range) {
   if (tsv_model.displacement_samples.rows() == 0) {
     throw std::logic_error(
         "reconstruct_plane_displacement: displacement sampling disabled in the local stage");
@@ -92,7 +95,7 @@ std::vector<std::array<double, 3>> reconstruct_plane_displacement(
   std::vector<std::array<double, 3>> out(width * static_cast<std::size_t>(range.height()) * s);
 
   for_each_block_samples(
-      grid, tsv_model, dummy_model, mask, u, thermal_load, range,
+      grid, tsv_model, dummy_model, mask, u, load, range,
       [&](const RomModel& model, int bx, int by, const Vec& coef) {
         const la::DenseMatrix& dm = model.displacement_samples;
         for (int my = 0; my < s; ++my) {

@@ -26,9 +26,10 @@ struct BlockRange {
 
 /// Mid-plane von Mises field over `range`, y-major with s samples per block
 /// (same ordering as fem::sample_plane_stress on the region's plane grid).
+/// Each block's thermal column is scaled by its own ΔT from `load`.
 std::vector<double> reconstruct_plane_von_mises(const BlockGrid& grid, const RomModel& tsv_model,
                                                 const RomModel* dummy_model, const BlockMask& mask,
-                                                const Vec& u, double thermal_load,
+                                                const Vec& u, const BlockLoadField& load,
                                                 const BlockRange& range);
 
 /// Full Voigt stress tensors on the same grid.
@@ -36,12 +37,33 @@ std::vector<fem::Stress6> reconstruct_plane_stress(const BlockGrid& grid,
                                                    const RomModel& tsv_model,
                                                    const RomModel* dummy_model,
                                                    const BlockMask& mask, const Vec& u,
-                                                   double thermal_load, const BlockRange& range);
+                                                   const BlockLoadField& load,
+                                                   const BlockRange& range);
 
 /// Mid-plane displacement vectors (requires displacement sampling enabled in
 /// the local stage); layout matches the stress variants, 3 values per point.
 std::vector<std::array<double, 3>> reconstruct_plane_displacement(
     const BlockGrid& grid, const RomModel& tsv_model, const RomModel* dummy_model,
-    const BlockMask& mask, const Vec& u, double thermal_load, const BlockRange& range);
+    const BlockMask& mask, const Vec& u, const BlockLoadField& load, const BlockRange& range);
+
+// Scalar-ΔT conveniences (the paper's uniform reflow load).
+inline std::vector<double> reconstruct_plane_von_mises(
+    const BlockGrid& grid, const RomModel& tsv_model, const RomModel* dummy_model,
+    const BlockMask& mask, const Vec& u, double thermal_load, const BlockRange& range) {
+  return reconstruct_plane_von_mises(grid, tsv_model, dummy_model, mask, u,
+                                     BlockLoadField::uniform(thermal_load), range);
+}
+inline std::vector<fem::Stress6> reconstruct_plane_stress(
+    const BlockGrid& grid, const RomModel& tsv_model, const RomModel* dummy_model,
+    const BlockMask& mask, const Vec& u, double thermal_load, const BlockRange& range) {
+  return reconstruct_plane_stress(grid, tsv_model, dummy_model, mask, u,
+                                  BlockLoadField::uniform(thermal_load), range);
+}
+inline std::vector<std::array<double, 3>> reconstruct_plane_displacement(
+    const BlockGrid& grid, const RomModel& tsv_model, const RomModel* dummy_model,
+    const BlockMask& mask, const Vec& u, double thermal_load, const BlockRange& range) {
+  return reconstruct_plane_displacement(grid, tsv_model, dummy_model, mask, u,
+                                        BlockLoadField::uniform(thermal_load), range);
+}
 
 }  // namespace ms::rom

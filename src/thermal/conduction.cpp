@@ -1,0 +1,73 @@
+#include "thermal/conduction.hpp"
+
+#include <stdexcept>
+
+namespace ms::thermal {
+
+using fem::kGauss2;
+using fem::kHexNodes;
+
+std::array<double, kCondDofs * kCondDofs> hex8_conduction_stiffness(double conductivity, double hx,
+                                                                    double hy, double hz) {
+  if (conductivity <= 0.0) {
+    throw std::invalid_argument("hex8_conduction_stiffness: conductivity must be positive");
+  }
+  // One power of length survives in k grad N . grad N dV, so a single kMicro
+  // converts the micrometre mesh to the SI conductivity.
+  const double detj_w = (hx * hy * hz) / 8.0;
+  const double jac[3] = {2.0 / hx, 2.0 / hy, 2.0 / hz};
+  std::array<double, kCondDofs * kCondDofs> ke{};
+  for (int gx = 0; gx < 2; ++gx) {
+    for (int gy = 0; gy < 2; ++gy) {
+      for (int gz = 0; gz < 2; ++gz) {
+        const double xi = (gx == 0 ? -kGauss2 : kGauss2);
+        const double eta = (gy == 0 ? -kGauss2 : kGauss2);
+        const double zeta = (gz == 0 ? -kGauss2 : kGauss2);
+        const auto grad = fem::hex8_shape_grad(xi, eta, zeta);
+        std::array<std::array<double, 3>, kHexNodes> g{};
+        for (int a = 0; a < kHexNodes; ++a) {
+          for (int c = 0; c < 3; ++c) g[a][c] = grad[a][c] * jac[c];
+        }
+        for (int a = 0; a < kHexNodes; ++a) {
+          for (int b = 0; b < kHexNodes; ++b) {
+            ke[a * kCondDofs + b] += detj_w * (g[a][0] * g[b][0] + g[a][1] * g[b][1] +
+                                               g[a][2] * g[b][2]);
+          }
+        }
+      }
+    }
+  }
+  const double scale = conductivity * kMicro;
+  for (double& v : ke) v *= scale;
+  return ke;
+}
+
+std::array<double, kCondDofs> hex8_top_flux_load(double q, double hx, double hy) {
+  std::array<double, kCondDofs> fe{};
+  const double share = q * hx * hy / 4.0;
+  for (int a = 4; a < 8; ++a) fe[a] = share;
+  return fe;
+}
+
+std::array<double, kCondDofs * kCondDofs> hex8_face_film_matrix(double film_coefficient, double hx,
+                                                               double hy, int face) {
+  if (face != 0 && face != 1) {
+    throw std::invalid_argument("hex8_face_film_matrix: face must be 0 (z-min) or 1 (z-max)");
+  }
+  // Bilinear quad mass matrix on the face, cyclic corner order (00,10,11,01):
+  // (A/36) * [4 2 1 2; 2 4 2 1; 1 2 4 2; 2 1 2 4]. Two powers of length, so
+  // kMicro^2 converts um^2 areas against the SI film coefficient.
+  static constexpr int kPattern[4][4] = {{4, 2, 1, 2}, {2, 4, 2, 1}, {1, 2, 4, 2}, {2, 1, 2, 4}};
+  // Hex corner order is (00,10,11,01) on both z faces: nodes 0..3 and 4..7.
+  const int base = (face == 0) ? 0 : 4;
+  const double scale = film_coefficient * kMicro * kMicro * hx * hy / 36.0;
+  std::array<double, kCondDofs * kCondDofs> me{};
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      me[(base + a) * kCondDofs + (base + b)] = scale * kPattern[a][b];
+    }
+  }
+  return me;
+}
+
+}  // namespace ms::thermal

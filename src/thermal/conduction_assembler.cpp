@@ -1,0 +1,118 @@
+#include "thermal/conduction_assembler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "thermal/conduction.hpp"
+
+namespace ms::thermal {
+
+la::TripletList conduction_triplets(const mesh::HexMesh& mesh, const Vec& conductivity_per_elem) {
+  if (conductivity_per_elem.size() != static_cast<std::size_t>(mesh.num_elems())) {
+    throw std::invalid_argument("conduction_triplets: one conductivity per element required");
+  }
+  const idx_t num_dofs = mesh.num_nodes();
+  la::TripletList triplets(num_dofs, num_dofs);
+  triplets.reserve(static_cast<std::size_t>(mesh.num_elems()) * kCondDofs * kCondDofs);
+  for (idx_t e = 0; e < mesh.num_elems(); ++e) {
+    const mesh::Point3 lo = mesh.elem_min(e);
+    const mesh::Point3 hi = mesh.elem_max(e);
+    const auto ke = hex8_conduction_stiffness(conductivity_per_elem[e], hi.x - lo.x, hi.y - lo.y,
+                                              hi.z - lo.z);
+    const auto nodes = mesh.elem_nodes(e);
+    for (int a = 0; a < kCondDofs; ++a) {
+      for (int b = 0; b < kCondDofs; ++b) {
+        triplets.add(nodes[a], nodes[b], ke[a * kCondDofs + b]);
+      }
+    }
+  }
+  return triplets;
+}
+
+CsrMatrix assemble_conduction(const mesh::HexMesh& mesh, const Vec& conductivity_per_elem) {
+  return CsrMatrix::from_triplets(conduction_triplets(mesh, conductivity_per_elem));
+}
+
+Vec conductivities_from_materials(const mesh::HexMesh& mesh, const fem::MaterialTable& materials) {
+  Vec k(static_cast<std::size_t>(mesh.num_elems()));
+  for (idx_t e = 0; e < mesh.num_elems(); ++e) {
+    const fem::Material& mat = materials.at(mesh.material(e));
+    if (mat.conductivity <= 0.0) {
+      throw std::invalid_argument("conduction: material '" + mat.name +
+                                  "' has no positive conductivity");
+    }
+    k[e] = mat.conductivity;
+  }
+  return k;
+}
+
+CsrMatrix assemble_conduction(const mesh::HexMesh& mesh, const fem::MaterialTable& materials) {
+  return assemble_conduction(mesh, conductivities_from_materials(mesh, materials));
+}
+
+Vec assemble_power_load(const mesh::HexMesh& mesh, const PowerMap& power) {
+  Vec rhs(static_cast<std::size_t>(mesh.num_nodes()), 0.0);
+  const idx_t kz = mesh.elems_z() - 1;  // top element layer
+  for (idx_t j = 0; j < mesh.elems_y(); ++j) {
+    for (idx_t i = 0; i < mesh.elems_x(); ++i) {
+      const idx_t e = mesh.elem_id(i, j, kz);
+      const mesh::Point3 c = mesh.elem_centroid(e);
+      const double q = power.density_at(c.x, c.y) * kPerMm2ToPerUm2;
+      if (q == 0.0) continue;
+      const mesh::Point3 lo = mesh.elem_min(e);
+      const mesh::Point3 hi = mesh.elem_max(e);
+      const auto fe = hex8_top_flux_load(q, hi.x - lo.x, hi.y - lo.y);
+      const auto nodes = mesh.elem_nodes(e);
+      for (int a = 0; a < kCondDofs; ++a) rhs[nodes[a]] += fe[a];
+    }
+  }
+  return rhs;
+}
+
+void add_convective_face(const mesh::HexMesh& mesh, double film_coefficient, double ambient,
+                         int face, la::TripletList& triplets, Vec& rhs) {
+  if (film_coefficient <= 0.0) {
+    throw std::invalid_argument("add_convective_face: film coefficient must be positive");
+  }
+  const idx_t kz = (face == 0) ? 0 : mesh.elems_z() - 1;
+  for (idx_t j = 0; j < mesh.elems_y(); ++j) {
+    for (idx_t i = 0; i < mesh.elems_x(); ++i) {
+      const idx_t e = mesh.elem_id(i, j, kz);
+      const mesh::Point3 lo = mesh.elem_min(e);
+      const mesh::Point3 hi = mesh.elem_max(e);
+      const double hx = hi.x - lo.x;
+      const double hy = hi.y - lo.y;
+      const auto me = hex8_face_film_matrix(film_coefficient, hx, hy, face);
+      const auto nodes = mesh.elem_nodes(e);
+      const int base = (face == 0) ? 0 : 4;
+      for (int a = base; a < base + 4; ++a) {
+        double row_sum = 0.0;
+        for (int b = base; b < base + 4; ++b) {
+          triplets.add(nodes[a], nodes[b], me[a * kCondDofs + b]);
+          row_sum += me[a * kCondDofs + b];
+        }
+        // The Robin rhs term is the film matrix applied to the constant
+        // ambient field, i.e. the row sum times T_amb.
+        rhs[nodes[a]] += row_sum * ambient;
+      }
+    }
+  }
+}
+
+double effective_block_conductivity(const mesh::TsvGeometry& geometry,
+                                    const fem::MaterialTable& materials) {
+  const double block_area = geometry.pitch * geometry.pitch;
+  const double cu_area = M_PI * geometry.copper_radius() * geometry.copper_radius();
+  const double liner_area =
+      M_PI * geometry.liner_radius() * geometry.liner_radius() - cu_area;
+  const double si_area = block_area - cu_area - liner_area;
+  const double k_si = materials.at(mesh::MaterialId::Silicon).conductivity;
+  const double k_cu = materials.at(mesh::MaterialId::Copper).conductivity;
+  const double k_liner = materials.at(mesh::MaterialId::Liner).conductivity;
+  if (k_si <= 0.0 || k_cu <= 0.0 || k_liner <= 0.0) {
+    throw std::invalid_argument("effective_block_conductivity: conductivities must be positive");
+  }
+  return (si_area * k_si + cu_area * k_cu + liner_area * k_liner) / block_area;
+}
+
+}  // namespace ms::thermal

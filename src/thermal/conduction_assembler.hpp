@@ -1,0 +1,54 @@
+#pragma once
+// Assembly of the steady-state conduction system K T = f over a HexMesh.
+// One DoF per node (dof = node id), so the fem Dirichlet lifting machinery
+// applies unchanged. Heat enters through a PowerMap sampled on the z-max
+// face (the active-layer convention for dies); it leaves through a Dirichlet
+// or convective ambient boundary installed by the thermal solver.
+//
+// Units: mesh in um, conductivity in W/(m K), power maps in W/mm^2, film
+// coefficients in W/(m^2 K); assembled entries are W/K and W, temperatures
+// in degrees C.
+
+#include "fem/material.hpp"
+#include "la/sparse.hpp"
+#include "mesh/tsv_block.hpp"
+#include "thermal/power_map.hpp"
+
+namespace ms::thermal {
+
+using la::CsrMatrix;
+using la::idx_t;
+using la::Vec;
+
+/// Conduction triplets with per-element conductivities (size num_elems);
+/// compose with boundary terms before compressing to CSR.
+la::TripletList conduction_triplets(const mesh::HexMesh& mesh, const Vec& conductivity_per_elem);
+
+/// Conduction matrix with per-element conductivities, compressed.
+CsrMatrix assemble_conduction(const mesh::HexMesh& mesh, const Vec& conductivity_per_elem);
+
+/// Conduction matrix with conductivities from the material table (throws if
+/// any referenced material has no positive conductivity).
+CsrMatrix assemble_conduction(const mesh::HexMesh& mesh, const fem::MaterialTable& materials);
+
+/// Per-element conductivities looked up from the material table.
+Vec conductivities_from_materials(const mesh::HexMesh& mesh, const fem::MaterialTable& materials);
+
+/// Load vector of `power` applied as a surface flux on the z-max face; the
+/// map is sampled at each top-face centroid (elements finer than tiles see
+/// exact tile values, coarser elements see the centroid tile).
+Vec assemble_power_load(const mesh::HexMesh& mesh, const PowerMap& power);
+
+/// Add a convective (Robin) ambient boundary on a z face: the stiffness
+/// gains the film matrix, the rhs gains film * ambient on the face nodes.
+/// `face` is 0 for z-min, 1 for z-max.
+void add_convective_face(const mesh::HexMesh& mesh, double film_coefficient, double ambient,
+                         int face, la::TripletList& triplets, Vec& rhs);
+
+/// Area-weighted vertical effective conductivity of a TSV unit block
+/// (parallel Cu / liner / Si paths): the coarse array thermal mesh uses one
+/// isotropic value per block instead of resolving the via.
+double effective_block_conductivity(const mesh::TsvGeometry& geometry,
+                                    const fem::MaterialTable& materials);
+
+}  // namespace ms::thermal

@@ -1,0 +1,104 @@
+#include "thermal/power_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ms::thermal {
+
+PowerMap::PowerMap(int tiles_x, int tiles_y, double width, double height, double background)
+    : PowerMap(tiles_x, tiles_y, width, height,
+               std::vector<double>(static_cast<std::size_t>(tiles_x) *
+                                       static_cast<std::size_t>(tiles_y),
+                                   background)) {}
+
+PowerMap::PowerMap(int tiles_x, int tiles_y, double width, double height,
+                   std::vector<double> densities)
+    : tiles_x_(tiles_x),
+      tiles_y_(tiles_y),
+      width_(width),
+      height_(height),
+      densities_(std::move(densities)) {
+  if (tiles_x < 1 || tiles_y < 1) throw std::invalid_argument("PowerMap: need >= 1 tile per axis");
+  if (width <= 0.0 || height <= 0.0) throw std::invalid_argument("PowerMap: extent must be > 0");
+  if (densities_.size() != static_cast<std::size_t>(tiles_x_) * tiles_y_) {
+    throw std::invalid_argument("PowerMap: densities size must be tiles_x*tiles_y");
+  }
+}
+
+PowerMap PowerMap::per_block(int blocks_x, int blocks_y, double pitch, double background) {
+  return PowerMap(blocks_x, blocks_y, blocks_x * pitch, blocks_y * pitch, background);
+}
+
+double PowerMap::tile(int tx, int ty) const {
+  if (tx < 0 || tx >= tiles_x_ || ty < 0 || ty >= tiles_y_) {
+    throw std::out_of_range("PowerMap::tile: index out of range");
+  }
+  return densities_[static_cast<std::size_t>(ty) * tiles_x_ + tx];
+}
+
+void PowerMap::set_tile(int tx, int ty, double density) {
+  if (tx < 0 || tx >= tiles_x_ || ty < 0 || ty >= tiles_y_) {
+    throw std::out_of_range("PowerMap::set_tile: index out of range");
+  }
+  densities_[static_cast<std::size_t>(ty) * tiles_x_ + tx] = density;
+}
+
+double PowerMap::density_at(double x, double y) const {
+  if (x < 0.0 || x > width_ || y < 0.0 || y > height_) return 0.0;
+  const int tx = std::min(tiles_x_ - 1, static_cast<int>(x / width_ * tiles_x_));
+  const int ty = std::min(tiles_y_ - 1, static_cast<int>(y / height_ * tiles_y_));
+  return densities_[static_cast<std::size_t>(ty) * tiles_x_ + tx];
+}
+
+double PowerMap::tile_center_x(int tx) const { return (tx + 0.5) * width_ / tiles_x_; }
+
+double PowerMap::tile_center_y(int ty) const { return (ty + 0.5) * height_ / tiles_y_; }
+
+void PowerMap::add_gaussian_hotspot(double cx, double cy, double sigma, double peak) {
+  if (sigma <= 0.0) throw std::invalid_argument("PowerMap::add_gaussian_hotspot: sigma > 0");
+  const double inv = 1.0 / (2.0 * sigma * sigma);
+  for (int ty = 0; ty < tiles_y_; ++ty) {
+    for (int tx = 0; tx < tiles_x_; ++tx) {
+      const double dx = tile_center_x(tx) - cx;
+      const double dy = tile_center_y(ty) - cy;
+      densities_[static_cast<std::size_t>(ty) * tiles_x_ + tx] +=
+          peak * std::exp(-(dx * dx + dy * dy) * inv);
+    }
+  }
+}
+
+void PowerMap::add_rect(double x0, double y0, double x1, double y1, double density) {
+  for (int ty = 0; ty < tiles_y_; ++ty) {
+    for (int tx = 0; tx < tiles_x_; ++tx) {
+      const double cx = tile_center_x(tx);
+      const double cy = tile_center_y(ty);
+      if (cx >= x0 && cx <= x1 && cy >= y0 && cy <= y1) {
+        densities_[static_cast<std::size_t>(ty) * tiles_x_ + tx] += density;
+      }
+    }
+  }
+}
+
+double PowerMap::total_power() const {
+  // Tile area in um^2 times W/mm^2 -> W needs the 1e-6 um^2/mm^2 factor.
+  const double tile_area = (width_ / tiles_x_) * (height_ / tiles_y_) * 1e-6;
+  double sum = 0.0;
+  for (double q : densities_) sum += q;
+  return sum * tile_area;
+}
+
+double PowerMap::peak_density() const {
+  double peak = 0.0;
+  for (double q : densities_) peak = std::max(peak, q);
+  return peak;
+}
+
+bool PowerMap::is_uniform() const {
+  for (double q : densities_) {
+    if (q != densities_.front()) return false;
+  }
+  return true;
+}
+
+}  // namespace ms::thermal

@@ -1,0 +1,69 @@
+#pragma once
+// Workload power maps: the heat input of the thermal stage. A map is a
+// rectangular grid of tiles over the die footprint, each carrying a surface
+// power density in W/mm^2 (the usual floorplan-level unit). Tiles typically
+// coincide with unit blocks but any resolution works — the conduction
+// assembler samples the map at element-face centroids. Analytic generators
+// (uniform background, Gaussian hotspots, rectangular power islands) cover
+// the common chiplet workload shapes without file I/O.
+
+#include <vector>
+
+#include "mesh/hex_mesh.hpp"
+
+namespace ms::thermal {
+
+class PowerMap {
+ public:
+  PowerMap() = default;
+
+  /// tiles_x x tiles_y tiles over [0, width] x [0, height] (um), all at
+  /// density `background` W/mm^2.
+  PowerMap(int tiles_x, int tiles_y, double width, double height, double background = 0.0);
+
+  /// Construct from explicit per-tile densities, y-major (ty * tiles_x + tx).
+  PowerMap(int tiles_x, int tiles_y, double width, double height, std::vector<double> densities);
+
+  /// One tile per block of a blocks_x x blocks_y array with pitch p: the
+  /// natural per-block map for the ROM coupling.
+  static PowerMap per_block(int blocks_x, int blocks_y, double pitch, double background = 0.0);
+
+  [[nodiscard]] int tiles_x() const { return tiles_x_; }
+  [[nodiscard]] int tiles_y() const { return tiles_y_; }
+  [[nodiscard]] double width() const { return width_; }
+  [[nodiscard]] double height() const { return height_; }
+
+  [[nodiscard]] double tile(int tx, int ty) const;
+  void set_tile(int tx, int ty, double density);
+
+  /// Density at a point [W/mm^2]; 0 outside the footprint. Points exactly on
+  /// the outer edge belong to the last tile.
+  [[nodiscard]] double density_at(double x, double y) const;
+
+  /// Add a Gaussian hotspot: density += peak * exp(-r^2 / (2 sigma^2)) with r
+  /// the tile-centre distance to (cx, cy); sigma in um, peak in W/mm^2.
+  void add_gaussian_hotspot(double cx, double cy, double sigma, double peak);
+
+  /// Add a constant density over the rectangle [x0,x1] x [y0,y1] to every
+  /// tile whose centre lies inside (a power island / active chiplet).
+  void add_rect(double x0, double y0, double x1, double y1, double density);
+
+  /// Total dissipated power [W].
+  [[nodiscard]] double total_power() const;
+
+  /// Max tile density [W/mm^2].
+  [[nodiscard]] double peak_density() const;
+
+  /// True when every tile carries the same density (degenerate uniform case).
+  [[nodiscard]] bool is_uniform() const;
+
+ private:
+  [[nodiscard]] double tile_center_x(int tx) const;
+  [[nodiscard]] double tile_center_y(int ty) const;
+
+  int tiles_x_ = 0, tiles_y_ = 0;
+  double width_ = 0.0, height_ = 0.0;  ///< footprint extent [um]
+  std::vector<double> densities_;      ///< y-major, W/mm^2
+};
+
+}  // namespace ms::thermal

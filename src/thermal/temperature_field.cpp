@@ -1,0 +1,57 @@
+#include "thermal/temperature_field.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fem/hex8.hpp"
+
+namespace ms::thermal {
+
+TemperatureField::TemperatureField(mesh::HexMesh mesh, Vec nodal_temperature)
+    : mesh_(std::move(mesh)), t_(std::move(nodal_temperature)) {
+  if (t_.size() != static_cast<std::size_t>(mesh_.num_nodes())) {
+    throw std::invalid_argument("TemperatureField: one temperature per node required");
+  }
+}
+
+double TemperatureField::at(const mesh::Point3& p) const {
+  const auto loc = mesh_.locate(p);
+  const auto shapes = fem::hex8_shape(loc.xi, loc.eta, loc.zeta);
+  const auto nodes = mesh_.elem_nodes(loc.elem);
+  double sum = 0.0;
+  for (int a = 0; a < fem::kHexNodes; ++a) sum += shapes[a] * t_[nodes[a]];
+  return sum;
+}
+
+double TemperatureField::min() const { return *std::min_element(t_.begin(), t_.end()); }
+
+double TemperatureField::max() const { return *std::max_element(t_.begin(), t_.end()); }
+
+std::vector<double> TemperatureField::block_averages(int blocks_x, int blocks_y,
+                                                     double pitch) const {
+  if (blocks_x < 1 || blocks_y < 1) {
+    throw std::invalid_argument("block_averages: need >= 1 block per axis");
+  }
+  std::vector<double> sum(static_cast<std::size_t>(blocks_x) * blocks_y, 0.0);
+  std::vector<double> vol(sum.size(), 0.0);
+  for (idx_t e = 0; e < mesh_.num_elems(); ++e) {
+    const mesh::Point3 c = mesh_.elem_centroid(e);
+    const int bx = std::clamp(static_cast<int>(c.x / pitch), 0, blocks_x - 1);
+    const int by = std::clamp(static_cast<int>(c.y / pitch), 0, blocks_y - 1);
+    const auto nodes = mesh_.elem_nodes(e);
+    double mean = 0.0;
+    for (idx_t node : nodes) mean += t_[node];
+    mean /= 8.0;
+    const double v = mesh_.elem_volume(e);
+    const std::size_t b = static_cast<std::size_t>(by) * blocks_x + bx;
+    sum[b] += mean * v;
+    vol[b] += v;
+  }
+  for (std::size_t b = 0; b < sum.size(); ++b) {
+    if (vol[b] <= 0.0) throw std::logic_error("block_averages: block not covered by the mesh");
+    sum[b] /= vol[b];
+  }
+  return sum;
+}
+
+}  // namespace ms::thermal

@@ -1,0 +1,43 @@
+#pragma once
+// A solved temperature field: the mesh it lives on plus one value per node.
+// Provides point evaluation (trilinear interpolation through HexMesh::locate)
+// and the block-averaged ΔT reductions the ROM coupling consumes.
+
+#include <utility>
+#include <vector>
+
+#include "la/vec.hpp"
+#include "mesh/hex_mesh.hpp"
+
+namespace ms::thermal {
+
+using la::idx_t;
+using la::Vec;
+
+class TemperatureField {
+ public:
+  TemperatureField() = default;
+  TemperatureField(mesh::HexMesh mesh, Vec nodal_temperature);
+
+  [[nodiscard]] const mesh::HexMesh& mesh() const { return mesh_; }
+  [[nodiscard]] const Vec& nodal() const { return t_; }
+
+  /// Trilinear interpolation at a point (clamped to the mesh box).
+  [[nodiscard]] double at(const mesh::Point3& p) const;
+
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Volume-averaged temperature of each block footprint of a blocks_x x
+  /// blocks_y array with pitch p (y-major). Exact when block boundaries
+  /// coincide with mesh grid lines: the average of a trilinear function over
+  /// a box is the mean of its corner values, accumulated element-wise.
+  [[nodiscard]] std::vector<double> block_averages(int blocks_x, int blocks_y,
+                                                   double pitch) const;
+
+ private:
+  mesh::HexMesh mesh_;
+  Vec t_;
+};
+
+}  // namespace ms::thermal

@@ -1,0 +1,101 @@
+#include "thermal/thermal_solver.hpp"
+
+#include <stdexcept>
+
+#include "fem/dirichlet.hpp"
+#include "la/cg.hpp"
+#include "la/cholesky.hpp"
+#include "la/precond.hpp"
+#include "thermal/conduction_assembler.hpp"
+#include "util/timer.hpp"
+
+namespace ms::thermal {
+
+TemperatureField solve_power_map(const mesh::HexMesh& mesh, const Vec& conductivity_per_elem,
+                                 const PowerMap& power, const ThermalSolveOptions& options,
+                                 ThermalSolveStats* stats) {
+  if (options.sink_film_coefficient < 0.0) {
+    throw std::invalid_argument(
+        "solve_power_map: sink film coefficient must be >= 0 (0 = ideal sink)");
+  }
+  util::WallTimer timer;
+  la::TripletList triplets = conduction_triplets(mesh, conductivity_per_elem);
+  Vec rhs = assemble_power_load(mesh, power);
+
+  fem::DirichletBc bc;
+  if (options.sink_film_coefficient > 0.0) {
+    add_convective_face(mesh, options.sink_film_coefficient, options.ambient, /*face=*/0,
+                        triplets, rhs);
+  } else {
+    // Ideal sink: the whole z-min face held at ambient.
+    for (idx_t j = 0; j < mesh.nodes_y(); ++j) {
+      for (idx_t i = 0; i < mesh.nodes_x(); ++i) {
+        bc.add(mesh.node_id(i, j, 0), options.ambient);
+      }
+    }
+  }
+
+  CsrMatrix k = CsrMatrix::from_triplets(triplets);
+  fem::apply_dirichlet(k, rhs, bc);
+  if (stats != nullptr) {
+    stats->num_dofs = k.rows();
+    stats->assemble_seconds = timer.seconds();
+  }
+
+  timer.reset();
+  Vec t;
+  if (options.method == "direct") {
+    const la::SparseCholesky chol(k);
+    t = chol.solve(rhs);
+    if (stats != nullptr) {
+      stats->iterations = 0;
+      stats->converged = true;
+    }
+  } else if (options.method == "cg") {
+    t.assign(rhs.size(), options.ambient);  // warm start at the sink value
+    const la::JacobiPreconditioner precond(k);
+    la::IterativeOptions iter;
+    iter.rel_tol = options.rel_tol;
+    iter.max_iterations = options.max_iterations;
+    iter.use_initial_guess = true;
+    const la::IterativeResult result = la::conjugate_gradient(k, rhs, t, &precond, iter);
+    if (!result.converged) {
+      throw std::runtime_error("solve_power_map: CG did not converge");
+    }
+    if (stats != nullptr) {
+      stats->iterations = result.iterations;
+      stats->converged = result.converged;
+    }
+  } else {
+    throw std::invalid_argument("solve_power_map: method must be 'cg' or 'direct'");
+  }
+  if (stats != nullptr) stats->solve_seconds = timer.seconds();
+  return TemperatureField(mesh, std::move(t));
+}
+
+TemperatureField solve_power_map(const mesh::HexMesh& mesh, const fem::MaterialTable& materials,
+                                 const PowerMap& power, const ThermalSolveOptions& options,
+                                 ThermalSolveStats* stats) {
+  return solve_power_map(mesh, conductivities_from_materials(mesh, materials), power, options,
+                         stats);
+}
+
+mesh::HexMesh build_array_thermal_mesh(const mesh::TsvGeometry& geometry, int blocks_x,
+                                       int blocks_y, int elems_per_block_xy, int elems_z) {
+  if (blocks_x < 1 || blocks_y < 1) {
+    throw std::invalid_argument("build_array_thermal_mesh: need >= 1 block per axis");
+  }
+  if (elems_per_block_xy < 1 || elems_z < 1) {
+    throw std::invalid_argument("build_array_thermal_mesh: need >= 1 element per axis");
+  }
+  const auto lines = [](int n, double length) {
+    std::vector<double> v(static_cast<std::size_t>(n) + 1);
+    for (int i = 0; i <= n; ++i) v[i] = length * i / n;
+    return v;
+  };
+  return mesh::HexMesh(lines(blocks_x * elems_per_block_xy, blocks_x * geometry.pitch),
+                       lines(blocks_y * elems_per_block_xy, blocks_y * geometry.pitch),
+                       lines(elems_z, geometry.height));
+}
+
+}  // namespace ms::thermal

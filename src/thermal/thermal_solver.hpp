@@ -1,0 +1,55 @@
+#pragma once
+// Steady-state thermal solves: power map in, nodal temperature field out.
+// The standard die stack-up is assumed: heat enters at the z-max face (the
+// active layer), leaves at the z-min face into the heat sink / substrate —
+// either an ideal (Dirichlet) sink at ambient or a convective film — and
+// the lateral faces are adiabatic. Solved with the same la:: CG / sparse
+// Cholesky stack as the mechanical problems.
+
+#include <string>
+
+#include "fem/material.hpp"
+#include "mesh/tsv_block.hpp"
+#include "thermal/power_map.hpp"
+#include "thermal/temperature_field.hpp"
+
+namespace ms::thermal {
+
+struct ThermalSolveOptions {
+  std::string method = "cg";     ///< "cg" or "direct"
+  double rel_tol = 1e-10;
+  idx_t max_iterations = 20000;
+  double ambient = 25.0;         ///< sink / ambient temperature [C]
+  /// Film coefficient of the z-min sink [W/(m^2 K)]; 0 means an ideal sink
+  /// (Dirichlet T = ambient on the whole z-min face).
+  double sink_film_coefficient = 0.0;
+};
+
+struct ThermalSolveStats {
+  idx_t num_dofs = 0;
+  double assemble_seconds = 0.0;
+  double solve_seconds = 0.0;
+  idx_t iterations = 0;          ///< 0 on the direct path
+  bool converged = false;
+  [[nodiscard]] double total_seconds() const { return assemble_seconds + solve_seconds; }
+};
+
+/// Solve conduction on `mesh` with per-element conductivities and the power
+/// map applied on the z-max face. Returns the nodal temperature field [C].
+TemperatureField solve_power_map(const mesh::HexMesh& mesh, const Vec& conductivity_per_elem,
+                                 const PowerMap& power, const ThermalSolveOptions& options = {},
+                                 ThermalSolveStats* stats = nullptr);
+
+/// Same, with conductivities from the material table.
+TemperatureField solve_power_map(const mesh::HexMesh& mesh, const fem::MaterialTable& materials,
+                                 const PowerMap& power, const ThermalSolveOptions& options = {},
+                                 ThermalSolveStats* stats = nullptr);
+
+/// Coarse thermal mesh of a blocks_x x blocks_y TSV array: a uniform grid
+/// with `elems_per_block_xy` elements across each pitch and `elems_z`
+/// through the height. All elements are Silicon; pair with
+/// effective_block_conductivity for the via-averaged value.
+mesh::HexMesh build_array_thermal_mesh(const mesh::TsvGeometry& geometry, int blocks_x,
+                                       int blocks_y, int elems_per_block_xy, int elems_z);
+
+}  // namespace ms::thermal

@@ -1,0 +1,68 @@
+#include "thermal/power_map.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ms::thermal {
+namespace {
+
+TEST(PowerMap, UniformMapReportsTotalPowerAndDensity) {
+  // 4 tiles of 1 W/mm^2 over 2mm x 2mm -> 4 W.
+  const PowerMap map(2, 2, 2000.0, 2000.0, 1.0);
+  EXPECT_TRUE(map.is_uniform());
+  EXPECT_NEAR(map.total_power(), 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(map.peak_density(), 1.0);
+  EXPECT_DOUBLE_EQ(map.density_at(500.0, 500.0), 1.0);
+}
+
+TEST(PowerMap, DensityOutsideFootprintIsZero) {
+  const PowerMap map(2, 2, 100.0, 100.0, 3.0);
+  EXPECT_DOUBLE_EQ(map.density_at(-1.0, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(map.density_at(50.0, 101.0), 0.0);
+  // Outer edge belongs to the last tile.
+  EXPECT_DOUBLE_EQ(map.density_at(100.0, 100.0), 3.0);
+  EXPECT_DOUBLE_EQ(map.density_at(0.0, 0.0), 3.0);
+}
+
+TEST(PowerMap, SetTileChangesOnlyThatTile) {
+  PowerMap map = PowerMap::per_block(3, 3, 15.0);
+  map.set_tile(1, 2, 7.0);
+  EXPECT_FALSE(map.is_uniform());
+  EXPECT_DOUBLE_EQ(map.tile(1, 2), 7.0);
+  EXPECT_DOUBLE_EQ(map.tile(2, 1), 0.0);
+  // Tile (1, 2) covers x in [15,30), y in [30,45).
+  EXPECT_DOUBLE_EQ(map.density_at(20.0, 40.0), 7.0);
+  EXPECT_DOUBLE_EQ(map.density_at(40.0, 20.0), 0.0);
+}
+
+TEST(PowerMap, GaussianHotspotPeaksAtCentreAndDecays) {
+  PowerMap map = PowerMap::per_block(5, 5, 10.0);
+  map.add_gaussian_hotspot(25.0, 25.0, 10.0, 100.0);
+  const double centre = map.tile(2, 2);
+  EXPECT_NEAR(centre, 100.0, 1e-9);  // tile centre coincides with the peak
+  EXPECT_LT(map.tile(1, 2), centre);
+  EXPECT_LT(map.tile(0, 2), map.tile(1, 2));
+  EXPECT_LT(map.tile(0, 0), map.tile(1, 1));
+  EXPECT_GT(map.tile(0, 0), 0.0);
+}
+
+TEST(PowerMap, RectIslandAddsInsideOnly) {
+  PowerMap map = PowerMap::per_block(4, 4, 10.0, 1.0);
+  map.add_rect(0.0, 0.0, 20.0, 20.0, 5.0);  // the lower-left 2x2 tiles
+  EXPECT_DOUBLE_EQ(map.tile(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(map.tile(1, 1), 6.0);
+  EXPECT_DOUBLE_EQ(map.tile(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(map.tile(3, 0), 1.0);
+}
+
+TEST(PowerMap, RejectsBadArguments) {
+  EXPECT_THROW(PowerMap(0, 1, 10.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(PowerMap(1, 1, 0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(PowerMap(2, 2, 10.0, 10.0, std::vector<double>(3)), std::invalid_argument);
+  PowerMap map(2, 2, 10.0, 10.0);
+  EXPECT_THROW((void)map.tile(2, 0), std::out_of_range);
+  EXPECT_THROW(map.set_tile(0, -1, 1.0), std::out_of_range);
+  EXPECT_THROW(map.add_gaussian_hotspot(5.0, 5.0, 0.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ms::thermal
