@@ -1,8 +1,11 @@
-// Thermal-coupling bench: cost of the conduction -> ΔT -> ROM pipeline, and
-// the OpenMP speedup of the one-shot local stage (the n+1 basis solves share
-// one Cholesky factor and parallelize embarrassingly).
+// Thermal-coupling bench: cost of the conduction -> ΔT -> ROM pipeline for
+// both thermally coupled scenarios — standalone arrays (scenario 3) and the
+// package sub-model (scenario 2) — plus the OpenMP speedup of the one-shot
+// local stage. Emits a machine-readable BENCH_thermal.json so the perf
+// trajectory of the coupling path is tracked run over run.
 //
-//   ./bench_thermal_coupling [--sizes 8,16] [--nodes 4] ...
+//   ./bench_thermal_coupling [--sizes 8,16] [--submodel 5] [--rings 2]
+//                            [--json BENCH_thermal.json] ...
 
 #include <algorithm>
 #include <cmath>
@@ -12,20 +15,40 @@
 #include <omp.h>
 #endif
 
+#include "chiplet/package_model.hpp"
+#include "chiplet/submodel.hpp"
 #include "common.hpp"
+#include "util/json.hpp"
 #include "util/timer.hpp"
+
+namespace {
+
+double peak_of(const std::vector<double>& field) {
+  double peak = 0.0;
+  for (double v : field) peak = std::max(peak, v);
+  return peak;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   ms::util::CliParser cli("thermal_coupling", "Power-map -> temperature -> ROM stress bench");
   ms::bench::add_common_flags(cli);
   cli.add_string("sizes", "8,16", "array edge lengths");
-  cli.add_double("background", 20.0, "background power density [W/mm^2]");
-  cli.add_double("peak", 400.0, "hotspot peak power density [W/mm^2]");
+  cli.add_int("submodel", 5, "sub-model TSV array edge (0 skips the case)");
+  cli.add_int("rings", 2, "sub-model dummy-block padding rings");
+  cli.add_double("background", 20.0, "array background power density [W/mm^2]");
+  cli.add_double("peak", 400.0, "array hotspot peak power density [W/mm^2]");
+  // The package sinks through a thick low-k organic substrate, so a few
+  // W/mm^2 already produce reflow-scale dT; the array flags would melt it.
+  cli.add_double("submodel-power", 2.0, "sub-model die power density [W/mm^2]");
+  cli.add_string("json", "BENCH_thermal.json", "machine-readable output path (empty skips)");
   cli.parse(argc, argv);
 
   ms::bench::BenchSetup setup = ms::bench::default_setup(15.0);
   ms::bench::apply_common_flags(cli, setup);
   const ms::core::SimulationConfig& config = setup.config;
+  std::vector<ms::util::JsonObject> records;
 
   // --- local-stage parallel speedup ---------------------------------------
 #ifdef _OPENMP
@@ -50,12 +73,17 @@ int main(int argc, char** argv) {
   std::printf("%d thread%s: %.3f s  (speedup %.2fx)\n\n", max_threads,
               max_threads == 1 ? " " : "s", parallel_seconds,
               serial_seconds / std::max(parallel_seconds, 1e-12));
+  records.push_back(ms::util::JsonObject()
+                        .set("scenario", "local_stage_speedup")
+                        .set("threads", max_threads)
+                        .set("serial_seconds", serial_seconds)
+                        .set("parallel_seconds", parallel_seconds));
 
-  // --- coupled pipeline ----------------------------------------------------
+  // --- scenario 3: array power map -> dT -> stress -------------------------
   ms::core::MoreStressSimulator sim(config);
   (void)sim.prepare_local_stage(/*with_dummy=*/false);
 
-  std::printf("=== power map -> dT -> stress ===\n");
+  std::printf("=== array: power map -> dT -> stress ===\n");
   std::printf("%8s %12s %12s %12s %12s %10s\n", "array", "thermal[s]", "global[s]", "dT min[C]",
               "dT max[C]", "peak[MPa]");
   for (int edge : ms::bench::parse_int_list(cli.get_string("sizes"))) {
@@ -65,11 +93,77 @@ int main(int argc, char** argv) {
     power.add_gaussian_hotspot(mid, mid, 1.5 * config.geometry.pitch, cli.get_double("peak"));
 
     const ms::core::ThermalArrayResult result = sim.simulate_array_thermal(edge, edge, power);
-    double peak = 0.0;
-    for (double v : result.von_mises) peak = std::max(peak, v);
+    const double peak = peak_of(result.von_mises);
     std::printf("%5dx%-3d %12.3f %12.3f %12.3f %12.3f %10.1f\n", edge, edge,
                 result.thermal_stats.total_seconds(), result.stats.global_seconds(),
                 result.load.min(), result.load.max(), peak);
+    records.push_back(ms::util::JsonObject()
+                          .set("scenario", "array")
+                          .set("edge", edge)
+                          .set("thermal_seconds", result.thermal_stats.total_seconds())
+                          .set("thermal_dofs", static_cast<std::int64_t>(result.thermal_stats.num_dofs))
+                          .set("global_seconds", result.stats.global_seconds())
+                          .set("global_dofs", static_cast<std::int64_t>(result.stats.global_dofs))
+                          .set("dt_min", result.load.min())
+                          .set("dt_max", result.load.max())
+                          .set("peak_von_mises", peak)
+                          .set("memory_bytes", result.stats.memory_bytes));
+  }
+
+  // --- scenario 2: package sub-model under the same hotspot ----------------
+  const int submodel_edge = static_cast<int>(cli.get_int("submodel"));
+  if (submodel_edge > 0) {
+    const int rings = static_cast<int>(cli.get_int("rings"));
+    const int padded = submodel_edge + 2 * rings;
+
+    const ms::chiplet::PackageGeometry geom = ms::chiplet::demo_package_geometry(
+        config.geometry.pitch, padded, config.geometry.height);
+
+    std::printf("\n=== sub-model: package power map -> dT -> stress ===\n");
+    timer.reset();
+    const ms::chiplet::PackageModel package(geom, ms::chiplet::demo_coarse_spec(),
+                                            config.thermal_load);
+    const double package_seconds = timer.seconds();
+    std::printf("coarse package solve: %.2f s (%d dofs)\n", package_seconds,
+                static_cast<int>(package.stats().num_dofs));
+    (void)sim.prepare_local_stage(/*with_dummy=*/rings > 0);
+
+    const auto locations =
+        ms::chiplet::standard_locations(geom, config.geometry.pitch, padded, padded);
+    const ms::chiplet::SubmodelPlacement& loc = locations[0];
+
+    const double die_power = cli.get_double("submodel-power");
+    const ms::thermal::PowerMap power = ms::chiplet::demo_power_map(
+        geom, loc, config.geometry.pitch, die_power, 10.0 * die_power);
+
+    const ms::core::ThermalSubmodelResult result = sim.simulate_submodel_thermal(
+        submodel_edge, submodel_edge, rings, package, loc, power);
+    const double peak = peak_of(result.von_mises);
+    std::printf("%8s %12s %12s %12s %12s %10s\n", "submodel", "thermal[s]", "global[s]",
+                "dT min[C]", "dT max[C]", "peak[MPa]");
+    std::printf("%5dx%-3d %12.3f %12.3f %12.3f %12.3f %10.1f\n", submodel_edge, submodel_edge,
+                result.thermal_stats.total_seconds(), result.stats.global_seconds(),
+                result.load.min(), result.load.max(), peak);
+    records.push_back(ms::util::JsonObject()
+                          .set("scenario", "submodel")
+                          .set("edge", submodel_edge)
+                          .set("rings", rings)
+                          .set("location", loc.label)
+                          .set("package_solve_seconds", package_seconds)
+                          .set("thermal_seconds", result.thermal_stats.total_seconds())
+                          .set("thermal_dofs", static_cast<std::int64_t>(result.thermal_stats.num_dofs))
+                          .set("global_seconds", result.stats.global_seconds())
+                          .set("global_dofs", static_cast<std::int64_t>(result.stats.global_dofs))
+                          .set("dt_min", result.load.min())
+                          .set("dt_max", result.load.max())
+                          .set("peak_von_mises", peak)
+                          .set("memory_bytes", result.stats.memory_bytes));
+  }
+
+  const std::string json_path = cli.get_string("json");
+  if (!json_path.empty()) {
+    ms::util::write_bench_json(json_path, "thermal_coupling", records);
+    std::printf("\nwrote %s (%d cases)\n", json_path.c_str(), static_cast<int>(records.size()));
   }
   return 0;
 }

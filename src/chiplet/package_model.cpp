@@ -1,5 +1,6 @@
 #include "chiplet/package_model.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "fem/hex8.hpp"
@@ -18,6 +19,19 @@ void PackageGeometry::validate() const {
     throw std::invalid_argument("PackageGeometry: layers must nest (die <= interposer <= substrate)");
   }
 }
+
+PackageGeometry demo_package_geometry(double pitch, int padded_blocks, double tsv_height) {
+  PackageGeometry g;
+  g.interposer_x = g.interposer_y = std::max(600.0, 2.5 * padded_blocks * pitch);
+  g.interposer_z = tsv_height;
+  g.substrate_x = g.substrate_y = g.interposer_x + 400.0;
+  g.substrate_z = 150.0;
+  g.die_x = g.die_y = 0.5 * g.interposer_x;
+  g.die_z = 80.0;
+  return g;
+}
+
+CoarseMeshSpec demo_coarse_spec() { return {20, 20, 3, 2, 2}; }
 
 fem::MaterialTable package_materials() {
   // Near-zero stiffness filler for cells outside the stack. Kept positive

@@ -52,6 +52,15 @@ struct CoarseMeshSpec {
   int elems_z_die = 2;
 };
 
+/// Demo package sized to host a padded_blocks x padded_blocks sub-model
+/// window with comfortable margin (interposer thickness = TSV height, die
+/// shadowing half the interposer). Shared by the walkthrough example and the
+/// thermal bench so their measurements describe the same package.
+PackageGeometry demo_package_geometry(double pitch, int padded_blocks, double tsv_height);
+
+/// The coarse mechanical mesh density paired with demo_package_geometry.
+CoarseMeshSpec demo_coarse_spec();
+
 /// The solved coarse package model.
 class PackageModel {
  public:

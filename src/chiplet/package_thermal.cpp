@@ -1,0 +1,157 @@
+#include "chiplet/package_thermal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "mesh/grading.hpp"
+
+namespace ms::chiplet {
+
+void PackageThermalSpec::validate() const {
+  if (elems_per_block_xy < 1 || coarse_elems_xy < 1 || elems_z_substrate < 1 ||
+      elems_z_interposer < 1 || elems_z_die < 1) {
+    throw std::invalid_argument("PackageThermalSpec: element counts must be >= 1");
+  }
+  if (filler_conductivity <= 0.0) {
+    throw std::invalid_argument(
+        "PackageThermalSpec: filler conductivity must be positive (operator must stay SPD)");
+  }
+}
+
+namespace {
+
+/// Plan grid lines over [0, extent]: window block boundaries and every layer
+/// edge appear exactly; window intervals are cut to elems_per_block_xy per
+/// pitch, everything else to the coarse target spacing.
+std::vector<double> plan_lines(double extent, double w0, int window_blocks, double pitch,
+                               const std::vector<double>& layer_edges,
+                               const PackageThermalSpec& spec) {
+  std::vector<double> breaks = {0.0, extent};
+  for (int b = 0; b <= window_blocks; ++b) breaks.push_back(w0 + b * pitch);
+  for (double edge : layer_edges) {
+    if (edge > 1e-9 && edge < extent - 1e-9) breaks.push_back(edge);
+  }
+  std::sort(breaks.begin(), breaks.end());
+  breaks.erase(std::unique(breaks.begin(), breaks.end(),
+                           [](double a, double b) { return std::abs(a - b) < 1e-9; }),
+               breaks.end());
+
+  const double w1 = w0 + window_blocks * pitch;
+  const double h_window = pitch / spec.elems_per_block_xy;
+  const double h_coarse = extent / spec.coarse_elems_xy;
+  std::vector<double> lines = {breaks.front()};
+  for (std::size_t s = 0; s + 1 < breaks.size(); ++s) {
+    const double a = breaks[s];
+    const double b = breaks[s + 1];
+    const double mid = 0.5 * (a + b);
+    const double h = (mid > w0 && mid < w1) ? h_window : h_coarse;
+    const int n = std::max(1, static_cast<int>(std::ceil((b - a) / h - 1e-9)));
+    for (int i = 1; i <= n; ++i) lines.push_back(a + (b - a) * i / n);
+  }
+  return lines;
+}
+
+}  // namespace
+
+PackageThermalModel build_package_thermal_model(const PackageGeometry& geometry,
+                                                const mesh::TsvGeometry& tsv,
+                                                const SubmodelPlacement& placement,
+                                                const std::vector<std::uint8_t>& tsv_mask,
+                                                const fem::MaterialTable& materials,
+                                                const PackageThermalSpec& spec) {
+  geometry.validate();
+  tsv.validate();
+  spec.validate();
+  const int wbx = placement.blocks_x;
+  const int wby = placement.blocks_y;
+  if (wbx < 1 || wby < 1) {
+    throw std::invalid_argument("build_package_thermal_model: placement needs >= 1 block");
+  }
+  if (!tsv_mask.empty() && tsv_mask.size() != static_cast<std::size_t>(wbx) * wby) {
+    throw std::invalid_argument("build_package_thermal_model: mask size must be blocks_x*blocks_y");
+  }
+  const double wx0 = placement.origin.x;
+  const double wy0 = placement.origin.y;
+  const double wx1 = wx0 + wbx * tsv.pitch;
+  const double wy1 = wy0 + wby * tsv.pitch;
+  const double tol = 1e-6 * geometry.substrate_x;
+  if (wx0 < geometry.interposer_x0() - tol ||
+      wx1 > geometry.interposer_x0() + geometry.interposer_x + tol ||
+      wy0 < geometry.interposer_y0() - tol ||
+      wy1 > geometry.interposer_y0() + geometry.interposer_y + tol) {
+    throw std::invalid_argument(
+        "build_package_thermal_model: sub-model window must lie inside the interposer");
+  }
+
+  // --- mesh: plan lines conform to layers + window blocks, z to layers -----
+  const std::vector<double> xs = plan_lines(
+      geometry.substrate_x, wx0, wbx, tsv.pitch,
+      {geometry.interposer_x0(), geometry.interposer_x0() + geometry.interposer_x,
+       geometry.die_x0(), geometry.die_x0() + geometry.die_x},
+      spec);
+  const std::vector<double> ys = plan_lines(
+      geometry.substrate_y, wy0, wby, tsv.pitch,
+      {geometry.interposer_y0(), geometry.interposer_y0() + geometry.interposer_y,
+       geometry.die_y0(), geometry.die_y0() + geometry.die_y},
+      spec);
+  std::vector<double> zs =
+      mesh::uniform_coords(0.0, geometry.substrate_z, spec.elems_z_substrate);
+  {
+    const auto zi = mesh::uniform_coords(geometry.interposer_z0(), geometry.interposer_z1(),
+                                         spec.elems_z_interposer);
+    zs.insert(zs.end(), zi.begin() + 1, zi.end());
+    const auto zd =
+        mesh::uniform_coords(geometry.interposer_z1(), geometry.total_z(), spec.elems_z_die);
+    zs.insert(zs.end(), zd.begin() + 1, zd.end());
+  }
+
+  PackageThermalModel model;
+  model.mesh = mesh::HexMesh(xs, ys, zs);
+
+  // --- per-element conductivities (centroid rule, like the voxel mesher) ---
+  const double k_si = materials.at(mesh::MaterialId::Silicon).conductivity;
+  const double k_organic = materials.at(mesh::MaterialId::Organic).conductivity;
+  if (k_si <= 0.0 || k_organic <= 0.0) {
+    throw std::invalid_argument(
+        "build_package_thermal_model: Si and substrate conductivities must be positive");
+  }
+  const thermal::BlockConductivityMap window_blocks(tsv, materials, wbx, wby, tsv_mask,
+                                                    spec.conductivity_model);
+
+  const mesh::HexMesh& m = model.mesh;
+  model.conductivity.in_plane.resize(static_cast<std::size_t>(m.num_elems()));
+  model.conductivity.through_plane.resize(static_cast<std::size_t>(m.num_elems()));
+  for (la::idx_t e = 0; e < m.num_elems(); ++e) {
+    const mesh::Point3 c = m.elem_centroid(e);
+    double k_in = spec.filler_conductivity;
+    double k_through = spec.filler_conductivity;
+    if (c.z < geometry.substrate_z) {
+      k_in = k_through = k_organic;
+    } else if (c.z < geometry.interposer_z1()) {
+      const bool in_interposer =
+          c.x >= geometry.interposer_x0() &&
+          c.x <= geometry.interposer_x0() + geometry.interposer_x &&
+          c.y >= geometry.interposer_y0() &&
+          c.y <= geometry.interposer_y0() + geometry.interposer_y;
+      if (in_interposer) {
+        if (c.x > wx0 && c.x < wx1 && c.y > wy0 && c.y < wy1) {
+          const thermal::BlockConductivity& k = window_blocks.at(c.x - wx0, c.y - wy0);
+          k_in = k.in_plane;
+          k_through = k.through_plane;
+        } else {
+          k_in = k_through = k_si;
+        }
+      }
+    } else {
+      const bool in_die = c.x >= geometry.die_x0() && c.x <= geometry.die_x0() + geometry.die_x &&
+                          c.y >= geometry.die_y0() && c.y <= geometry.die_y0() + geometry.die_y;
+      if (in_die) k_in = k_through = k_si;
+    }
+    model.conductivity.in_plane[e] = k_in;
+    model.conductivity.through_plane[e] = k_through;
+  }
+  return model;
+}
+
+}  // namespace ms::chiplet

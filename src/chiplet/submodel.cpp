@@ -60,4 +60,16 @@ fem::DirichletBc fine_submodel_bc(const mesh::HexMesh& fine_mesh, const PackageM
   return fem::DirichletBc::clamp_nodes(nodes, values);
 }
 
+thermal::PowerMap demo_power_map(const PackageGeometry& geometry,
+                                 const SubmodelPlacement& placement, double pitch,
+                                 double background, double peak) {
+  thermal::PowerMap power(32, 32, geometry.substrate_x, geometry.substrate_y, 0.0);
+  power.add_rect(geometry.die_x0(), geometry.die_y0(), geometry.die_x0() + geometry.die_x,
+                 geometry.die_y0() + geometry.die_y, background);
+  power.add_gaussian_hotspot(placement.origin.x + 0.5 * placement.blocks_x * pitch,
+                             placement.origin.y + 0.5 * placement.blocks_y * pitch, 1.5 * pitch,
+                             peak);
+  return power;
+}
+
 }  // namespace ms::chiplet

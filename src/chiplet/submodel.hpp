@@ -9,6 +9,7 @@
 #include "chiplet/package_model.hpp"
 #include "fem/dirichlet.hpp"
 #include "mesh/tsv_block.hpp"
+#include "thermal/power_map.hpp"
 
 namespace ms::chiplet {
 
@@ -35,5 +36,13 @@ std::vector<SubmodelPlacement> standard_locations(const PackageGeometry& geometr
 /// sub-model local frame with origin at placement.origin.
 fem::DirichletBc fine_submodel_bc(const mesh::HexMesh& fine_mesh, const PackageModel& package,
                                   const SubmodelPlacement& placement);
+
+/// The demo workload paired with demo_package_geometry: `background` W/mm^2
+/// over the die shadow plus a Gaussian hotspot (sigma 1.5 pitch, `peak`
+/// W/mm^2) over the centre of the sub-model window. Shared by the
+/// walkthrough example and the thermal bench so both measure the same case.
+thermal::PowerMap demo_power_map(const PackageGeometry& geometry,
+                                 const SubmodelPlacement& placement, double pitch,
+                                 double background, double peak);
 
 }  // namespace ms::chiplet

@@ -12,18 +12,28 @@
 
 namespace ms::core {
 
-/// Controls of the conduction -> ROM coupling (simulate_array_thermal):
-/// the coarse array thermal mesh, the conduction solve, and the reference
-/// temperature the per-block ΔT is measured from.
+/// Controls of the conduction -> ROM coupling (simulate_array_thermal and
+/// simulate_submodel_thermal): the coarse thermal meshes, the conduction
+/// solve, and the reference temperature the per-block ΔT is measured from.
 struct ThermalCouplingOptions {
   thermal::ThermalSolveOptions solve;  ///< sink/ambient + conduction solver
   int elems_per_block_xy = 2;          ///< thermal-mesh elements across a pitch
-  int elems_z = 8;                     ///< thermal-mesh elements through height
+  int elems_z = 8;                     ///< elements through the block height
+                                       ///< (array mesh / interposer layer)
   /// Stress-free temperature [C]: ΔT_block = T_block - stress_free. The
   /// default equals the ambient, so stresses are purely operational
   /// (power-driven); set it to the reflow temperature to superpose the
   /// paper's assembly load.
   double stress_free_temperature = 25.0;
+  /// How per-block effective conductivities are derived. kTsvAware resolves
+  /// dummy blocks (bulk Si) vs active blocks (anisotropic in-plane /
+  /// through-plane); kViaAveraged keeps the PR-1 single isotropic average.
+  thermal::ConductivityModel conductivity_model = thermal::ConductivityModel::kTsvAware;
+  // Package conduction mesh (simulate_submodel_thermal only):
+  int package_coarse_elems_xy = 24;      ///< plan resolution outside the window
+  int package_elems_z_substrate = 3;
+  int package_elems_z_die = 3;
+  double package_filler_conductivity = 0.5;  ///< mold/underfill [W/(m K)]
 };
 
 struct SimulationConfig {

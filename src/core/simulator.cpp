@@ -4,6 +4,8 @@
 #include <filesystem>
 #include <stdexcept>
 
+#include "chiplet/displacement_field.hpp"
+#include "chiplet/package_thermal.hpp"
 #include "rom/local_stage.hpp"
 #include "thermal/conduction_assembler.hpp"
 #include "util/log.hpp"
@@ -151,9 +153,9 @@ ThermalArrayResult MoreStressSimulator::simulate_array_thermal(int blocks_x, int
   }
   const mesh::HexMesh thermal_mesh = thermal::build_array_thermal_mesh(
       config_.geometry, blocks_x, blocks_y, coupling.elems_per_block_xy, coupling.elems_z);
-  const double k_eff =
-      thermal::effective_block_conductivity(config_.geometry, config_.materials);
-  const Vec conductivities(static_cast<std::size_t>(thermal_mesh.num_elems()), k_eff);
+  const thermal::ConductivityField conductivities = thermal::array_block_conductivities(
+      thermal_mesh, config_.geometry, config_.materials, blocks_x, blocks_y, /*tsv_mask=*/{},
+      coupling.conductivity_model);
 
   ThermalArrayResult result;
   result.temperature = thermal::solve_power_map(thermal_mesh, conductivities, power,
@@ -170,24 +172,94 @@ ThermalArrayResult MoreStressSimulator::simulate_array_thermal(int blocks_x, int
   return result;
 }
 
-ArrayResult MoreStressSimulator::simulate_submodel(
-    int tsv_blocks_x, int tsv_blocks_y, int dummy_rings,
-    const std::function<std::array<double, 3>(const mesh::Point3&)>& displacement) {
-  if (dummy_rings < 0) throw std::invalid_argument("simulate_submodel: dummy_rings >= 0");
+ArrayResult MoreStressSimulator::run_submodel(
+    int tsv_blocks_x, int tsv_blocks_y, int dummy_rings, const rom::BlockMask& mask,
+    const std::function<std::array<double, 3>(const mesh::Point3&)>& displacement,
+    const rom::BlockLoadField& load) {
+  // dummy_rings is validated by both public entry points.
   const int bx = tsv_blocks_x + 2 * dummy_rings;
   const int by = tsv_blocks_y + 2 * dummy_rings;
   const rom::BlockGrid grid(bx, by, config_.local.nodes_x, config_.local.nodes_y,
                             config_.local.nodes_z, config_.geometry.pitch,
                             config_.geometry.height);
-  const rom::BlockMask mask = mesh::padded_tsv_mask(bx, by, dummy_rings);
   const fem::DirichletBc bc = rom::submodel_boundary(grid, displacement);
   rom::BlockRange range;
   range.bx0 = dummy_rings;
   range.bx1 = dummy_rings + tsv_blocks_x;
   range.by0 = dummy_rings;
   range.by1 = dummy_rings + tsv_blocks_y;
-  return run_global(bx, by, mask, bc, range, /*uses_dummy=*/dummy_rings > 0,
-                    rom::BlockLoadField::uniform(config_.thermal_load));
+  return run_global(bx, by, mask, bc, range, /*uses_dummy=*/dummy_rings > 0, load);
+}
+
+ArrayResult MoreStressSimulator::simulate_submodel(
+    int tsv_blocks_x, int tsv_blocks_y, int dummy_rings,
+    const std::function<std::array<double, 3>(const mesh::Point3&)>& displacement) {
+  if (dummy_rings < 0) throw std::invalid_argument("simulate_submodel: dummy_rings >= 0");
+  const int bx = tsv_blocks_x + 2 * dummy_rings;
+  const int by = tsv_blocks_y + 2 * dummy_rings;
+  return run_submodel(tsv_blocks_x, tsv_blocks_y, dummy_rings,
+                      mesh::padded_tsv_mask(bx, by, dummy_rings), displacement,
+                      rom::BlockLoadField::uniform(config_.thermal_load));
+}
+
+ThermalSubmodelResult MoreStressSimulator::simulate_submodel_thermal(
+    int tsv_blocks_x, int tsv_blocks_y, int dummy_rings, const chiplet::PackageModel& package,
+    const chiplet::SubmodelPlacement& placement, const thermal::PowerMap& power) {
+  if (dummy_rings < 0) {
+    throw std::invalid_argument("simulate_submodel_thermal: dummy_rings >= 0");
+  }
+  const int bx = tsv_blocks_x + 2 * dummy_rings;
+  const int by = tsv_blocks_y + 2 * dummy_rings;
+  if (placement.blocks_x != bx || placement.blocks_y != by) {
+    throw std::invalid_argument(
+        "simulate_submodel_thermal: placement must cover the padded window "
+        "(tsv_blocks + 2*dummy_rings per axis)");
+  }
+  const chiplet::PackageGeometry& geometry = package.geometry();
+  // Like the array path: a power map that does not cover the package plan
+  // would silently drop heat at the top face.
+  if (std::abs(power.width() - geometry.substrate_x) > 1e-9 * geometry.substrate_x ||
+      std::abs(power.height() - geometry.substrate_y) > 1e-9 * geometry.substrate_y) {
+    throw std::invalid_argument(
+        "simulate_submodel_thermal: power map footprint must match the package plan "
+        "(zero tiles outside the die are fine)");
+  }
+  const ThermalCouplingOptions& coupling = config_.coupling;
+  const rom::BlockMask mask = mesh::padded_tsv_mask(bx, by, dummy_rings);
+
+  chiplet::PackageThermalSpec spec;
+  spec.elems_per_block_xy = coupling.elems_per_block_xy;
+  spec.coarse_elems_xy = coupling.package_coarse_elems_xy;
+  spec.elems_z_substrate = coupling.package_elems_z_substrate;
+  spec.elems_z_interposer = coupling.elems_z;
+  spec.elems_z_die = coupling.package_elems_z_die;
+  spec.filler_conductivity = coupling.package_filler_conductivity;
+  spec.conductivity_model = coupling.conductivity_model;
+  const chiplet::PackageThermalModel thermal_model = chiplet::build_package_thermal_model(
+      geometry, config_.geometry, placement, mask, config_.materials, spec);
+
+  ThermalSubmodelResult result;
+  result.temperature = thermal::solve_power_map(thermal_model.mesh, thermal_model.conductivity,
+                                                power, coupling.solve, &result.thermal_stats);
+
+  std::vector<double> delta_t = result.temperature.block_averages(
+      bx, by, config_.geometry.pitch, placement.origin, geometry.interposer_z0(),
+      geometry.interposer_z1());
+  for (double& dt : delta_t) dt -= coupling.stress_free_temperature;
+  result.load = rom::BlockLoadField(bx, by, std::move(delta_t));
+
+  // The sub-model boundary data is the package's own coarse displacement,
+  // expressed in the window's local frame.
+  const chiplet::DisplacementField field(package.mesh(), package.displacement());
+  const chiplet::DisplacementField local = field.shifted(placement.origin);
+  static_cast<ArrayResult&>(result) =
+      run_submodel(tsv_blocks_x, tsv_blocks_y, dummy_rings, mask,
+                   [&local](const mesh::Point3& p) { return local(p); }, result.load);
+  MS_LOG_DEBUG("submodel thermal coupling: %d x %d padded blocks at (%.0f, %.0f), dT in "
+               "[%.3f, %.3f] C",
+               bx, by, placement.origin.x, placement.origin.y, result.load.min(),
+               result.load.max());
+  return result;
 }
 
 }  // namespace ms::core

@@ -14,6 +14,8 @@
 #include <optional>
 #include <string>
 
+#include "chiplet/package_model.hpp"
+#include "chiplet/submodel.hpp"
 #include "core/config.hpp"
 #include "rom/block_grid.hpp"
 #include "rom/global_assembler.hpp"
@@ -64,6 +66,15 @@ struct ThermalArrayResult : ArrayResult {
   thermal::ThermalSolveStats thermal_stats;
 };
 
+/// Result of a coupled sub-model run: stress fields over the inner TSV
+/// region plus the package-wide temperature solution and the per-block ΔT
+/// of the padded window (dummy rings included, y-major).
+struct ThermalSubmodelResult : ArrayResult {
+  thermal::TemperatureField temperature;  ///< nodal field on the package mesh
+  rom::BlockLoadField load;               ///< padded-window per-block ΔT
+  thermal::ThermalSolveStats thermal_stats;
+};
+
 class MoreStressSimulator {
  public:
   explicit MoreStressSimulator(SimulationConfig config);
@@ -93,6 +104,21 @@ class MoreStressSimulator {
       int tsv_blocks_x, int tsv_blocks_y, int dummy_rings,
       const std::function<std::array<double, 3>(const mesh::Point3&)>& displacement);
 
+  /// Scenario 2 with operational heat: solves steady-state conduction for
+  /// `power` (a map over the full package plan, heat entering at the die
+  /// top) on a package conduction mesh with per-block TSV-aware effective
+  /// conductivity in the sub-model window, reduces the interposer-layer
+  /// temperature to per-block ΔT of the padded window, and runs the
+  /// sub-modeling ROM path with that non-uniform load and the package's own
+  /// displacement field as boundary data. `placement` must cover the padded
+  /// window (tsv_blocks + 2*dummy_rings per axis, from standard_locations or
+  /// hand-built). A plan-uniform package + uniform power degenerates to the
+  /// scalar-ΔT simulate_submodel path exactly.
+  [[nodiscard]] ThermalSubmodelResult simulate_submodel_thermal(
+      int tsv_blocks_x, int tsv_blocks_y, int dummy_rings,
+      const chiplet::PackageModel& package, const chiplet::SubmodelPlacement& placement,
+      const thermal::PowerMap& power);
+
   /// Force the local stage now (otherwise lazy). Returns its wall time,
   /// 0 when already cached.
   double prepare_local_stage(bool with_dummy);
@@ -108,6 +134,10 @@ class MoreStressSimulator {
   ArrayResult run_global(int blocks_x, int blocks_y, const rom::BlockMask& mask,
                          const fem::DirichletBc& bc, const rom::BlockRange& report_range,
                          bool uses_dummy, const rom::BlockLoadField& load);
+  ArrayResult run_submodel(
+      int tsv_blocks_x, int tsv_blocks_y, int dummy_rings, const rom::BlockMask& mask,
+      const std::function<std::array<double, 3>(const mesh::Point3&)>& displacement,
+      const rom::BlockLoadField& load);
   const rom::RomModel& model_for(rom::BlockKind kind);
   [[nodiscard]] std::string cache_path(rom::BlockKind kind) const;
 

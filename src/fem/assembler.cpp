@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <stdexcept>
 #include <tuple>
 
 namespace ms::fem {
@@ -82,7 +83,12 @@ inline la::offset_t find_entry(const CsrMatrix& a, idx_t row, idx_t col) {
 
 }  // namespace
 
-AssembledSystem assemble_system(const mesh::HexMesh& mesh, const MaterialTable& materials) {
+AssembledSystem assemble_system(const mesh::HexMesh& mesh, const MaterialTable& materials,
+                                const Vec* delta_t_per_elem) {
+  if (delta_t_per_elem != nullptr &&
+      delta_t_per_elem->size() != static_cast<std::size_t>(mesh.num_elems())) {
+    throw std::invalid_argument("assemble_system: one ΔT per element required");
+  }
   AssembledSystem sys;
   sys.num_dofs = 3 * mesh.num_nodes();
   sys.thermal_load.assign(sys.num_dofs, 0.0);
@@ -106,6 +112,7 @@ AssembledSystem assemble_system(const mesh::HexMesh& mesh, const MaterialTable& 
       it = cache.emplace(key, cached).first;
     }
     const CachedElem& ce = it->second;
+    const double load_scale = delta_t_per_elem != nullptr ? (*delta_t_per_elem)[e] : 1.0;
 
     const auto nodes = mesh.elem_nodes(e);
     std::array<idx_t, kHexDofs> dofs;
@@ -113,7 +120,7 @@ AssembledSystem assemble_system(const mesh::HexMesh& mesh, const MaterialTable& 
       for (int c = 0; c < 3; ++c) dofs[3 * a + c] = dof_of(nodes[a], c);
     }
     for (int i = 0; i < kHexDofs; ++i) {
-      sys.thermal_load[dofs[i]] += ce.fe[i];
+      sys.thermal_load[dofs[i]] += load_scale * ce.fe[i];
       // Columns within a row group by neighbor node; find each node group
       // once and scatter its three components contiguously.
       for (int aj = 0; aj < kHexNodes; ++aj) {
@@ -125,7 +132,13 @@ AssembledSystem assemble_system(const mesh::HexMesh& mesh, const MaterialTable& 
   return sys;
 }
 
-Vec assemble_thermal_load(const mesh::HexMesh& mesh, const MaterialTable& materials) {
+namespace {
+
+/// Shared driver of the two thermal-load assemblers: `scale_of(e)` gives the
+/// factor each element's unit load is multiplied by before scattering.
+template <typename ScaleOf>
+Vec assemble_scaled_thermal_load(const mesh::HexMesh& mesh, const MaterialTable& materials,
+                                 const ScaleOf& scale_of) {
   const idx_t num_dofs = 3 * mesh.num_nodes();
   Vec load(num_dofs, 0.0);
   std::map<ShapeKey, std::array<double, kHexDofs>> cache;
@@ -138,12 +151,29 @@ Vec assemble_thermal_load(const mesh::HexMesh& mesh, const MaterialTable& materi
       const Material& mat = materials.at(static_cast<mesh::MaterialId>(mat_id));
       it = cache.emplace(key, hex8_thermal_load(mat, hx, hy, hz)).first;
     }
+    const double scale = scale_of(e);
+    if (scale == 0.0) continue;
     const auto nodes = mesh.elem_nodes(e);
     for (int a = 0; a < kHexNodes; ++a) {
-      for (int c = 0; c < 3; ++c) load[dof_of(nodes[a], c)] += it->second[3 * a + c];
+      for (int c = 0; c < 3; ++c) load[dof_of(nodes[a], c)] += scale * it->second[3 * a + c];
     }
   }
   return load;
+}
+
+}  // namespace
+
+Vec assemble_thermal_load(const mesh::HexMesh& mesh, const MaterialTable& materials) {
+  return assemble_scaled_thermal_load(mesh, materials, [](idx_t) { return 1.0; });
+}
+
+Vec assemble_thermal_load(const mesh::HexMesh& mesh, const MaterialTable& materials,
+                          const Vec& delta_t_per_elem) {
+  if (delta_t_per_elem.size() != static_cast<std::size_t>(mesh.num_elems())) {
+    throw std::invalid_argument("assemble_thermal_load: one ΔT per element required");
+  }
+  return assemble_scaled_thermal_load(mesh, materials,
+                                      [&](idx_t e) { return delta_t_per_elem[e]; });
 }
 
 }  // namespace ms::fem

@@ -27,10 +27,20 @@ struct AssembledSystem {
   idx_t num_dofs = 0;
 };
 
-/// Assemble stiffness and unit-thermal-load vector for the whole mesh.
-AssembledSystem assemble_system(const mesh::HexMesh& mesh, const MaterialTable& materials);
+/// Assemble stiffness and thermal-load vector for the whole mesh in one
+/// element pass. With the default null `delta_t_per_elem` the load is the
+/// unit-ΔT vector (scale by ΔT); otherwise each element's contribution is
+/// scaled by its own ΔT and the load is ready to use as the rhs.
+AssembledSystem assemble_system(const mesh::HexMesh& mesh, const MaterialTable& materials,
+                                const Vec* delta_t_per_elem = nullptr);
 
 /// Assemble only the unit-thermal-load vector (used when K is reused).
 Vec assemble_thermal_load(const mesh::HexMesh& mesh, const MaterialTable& materials);
+
+/// Thermal-load vector for a per-element ΔT field (size num_elems): each
+/// element's unit load is scaled by its own ΔT before scattering. The
+/// brute-force reference for ROM runs driven by a non-uniform BlockLoadField.
+Vec assemble_thermal_load(const mesh::HexMesh& mesh, const MaterialTable& materials,
+                          const Vec& delta_t_per_elem);
 
 }  // namespace ms::fem

@@ -1,6 +1,7 @@
 #include "fem/solver.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "la/cg.hpp"
 #include "la/cholesky.hpp"
@@ -10,13 +11,12 @@
 
 namespace ms::fem {
 
-Vec solve_thermal_stress(const mesh::HexMesh& mesh, const MaterialTable& materials,
-                         double thermal_load, const DirichletBc& bc,
-                         const FemSolveOptions& options, FemSolveStats* stats) {
-  util::WallTimer timer;
-  AssembledSystem sys = assemble_system(mesh, materials);
-  Vec rhs = sys.thermal_load;
-  la::scale(rhs, thermal_load);
+namespace {
+
+/// Shared tail of the two entry points: lift the Dirichlet data into the
+/// already-assembled system, solve, and fill the stats record.
+Vec solve_assembled(AssembledSystem& sys, Vec rhs, const DirichletBc& bc,
+                    const FemSolveOptions& options, FemSolveStats* stats, util::WallTimer& timer) {
   apply_dirichlet(sys.stiffness, rhs, bc);
   const double assemble_seconds = timer.seconds();
 
@@ -62,6 +62,27 @@ Vec solve_thermal_stress(const mesh::HexMesh& mesh, const MaterialTable& materia
     stats->solver_bytes = solver_bytes;
   }
   return u;
+}
+
+}  // namespace
+
+Vec solve_thermal_stress(const mesh::HexMesh& mesh, const MaterialTable& materials,
+                         double thermal_load, const DirichletBc& bc,
+                         const FemSolveOptions& options, FemSolveStats* stats) {
+  util::WallTimer timer;
+  AssembledSystem sys = assemble_system(mesh, materials);
+  Vec rhs = sys.thermal_load;
+  la::scale(rhs, thermal_load);
+  return solve_assembled(sys, std::move(rhs), bc, options, stats, timer);
+}
+
+Vec solve_thermal_stress(const mesh::HexMesh& mesh, const MaterialTable& materials,
+                         const Vec& delta_t_per_elem, const DirichletBc& bc,
+                         const FemSolveOptions& options, FemSolveStats* stats) {
+  util::WallTimer timer;
+  AssembledSystem sys = assemble_system(mesh, materials, &delta_t_per_elem);
+  Vec rhs = sys.thermal_load;
+  return solve_assembled(sys, std::move(rhs), bc, options, stats, timer);
 }
 
 }  // namespace ms::fem

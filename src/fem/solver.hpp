@@ -37,4 +37,10 @@ Vec solve_thermal_stress(const mesh::HexMesh& mesh, const MaterialTable& materia
                          double thermal_load, const DirichletBc& bc,
                          const FemSolveOptions& options = {}, FemSolveStats* stats = nullptr);
 
+/// Per-element ΔT variant (size num_elems): the brute-force reference for
+/// non-uniform thermal loads (a BlockLoadField expanded onto the fine mesh).
+Vec solve_thermal_stress(const mesh::HexMesh& mesh, const MaterialTable& materials,
+                         const Vec& delta_t_per_elem, const DirichletBc& bc,
+                         const FemSolveOptions& options = {}, FemSolveStats* stats = nullptr);
+
 }  // namespace ms::fem

@@ -42,9 +42,10 @@ Stress6 strain_at(const mesh::HexMesh& mesh, const Vec& u, const mesh::Point3& p
   return strain_from_located(mesh, u, mesh.locate(p));
 }
 
-Stress6 stress_at(const mesh::HexMesh& mesh, const MaterialTable& materials, const Vec& u,
-                  double thermal_load, const mesh::Point3& p) {
-  const auto loc = mesh.locate(p);
+namespace {
+
+Stress6 stress_from_located(const mesh::HexMesh& mesh, const MaterialTable& materials, const Vec& u,
+                            double thermal_load, const mesh::HexMesh::Location& loc) {
   const Stress6 eps = strain_from_located(mesh, u, loc);
   const Material& mat = materials.at(mesh.material(loc.elem));
   const auto d = mat.d_matrix();
@@ -56,6 +57,22 @@ Stress6 stress_at(const mesh::HexMesh& mesh, const MaterialTable& materials, con
     sigma[r] = sum - thermal_load * sigma_th[r];
   }
   return sigma;
+}
+
+}  // namespace
+
+Stress6 stress_at(const mesh::HexMesh& mesh, const MaterialTable& materials, const Vec& u,
+                  double thermal_load, const mesh::Point3& p) {
+  return stress_from_located(mesh, materials, u, thermal_load, mesh.locate(p));
+}
+
+Stress6 stress_at(const mesh::HexMesh& mesh, const MaterialTable& materials, const Vec& u,
+                  const Vec& delta_t_per_elem, const mesh::Point3& p) {
+  if (delta_t_per_elem.size() != static_cast<std::size_t>(mesh.num_elems())) {
+    throw std::invalid_argument("stress_at: one ΔT per element required");
+  }
+  const auto loc = mesh.locate(p);
+  return stress_from_located(mesh, materials, u, delta_t_per_elem[loc.elem], loc);
 }
 
 double von_mises(const Stress6& s) {
@@ -95,6 +112,19 @@ std::vector<Stress6> sample_plane_stress(const mesh::HexMesh& mesh, const Materi
   for (double y : grid.ys) {
     for (double x : grid.xs) {
       out.push_back(stress_at(mesh, materials, u, thermal_load, {x, y, grid.z}));
+    }
+  }
+  return out;
+}
+
+std::vector<Stress6> sample_plane_stress(const mesh::HexMesh& mesh, const MaterialTable& materials,
+                                         const Vec& u, const Vec& delta_t_per_elem,
+                                         const PlaneGrid& grid) {
+  std::vector<Stress6> out;
+  out.reserve(grid.size());
+  for (double y : grid.ys) {
+    for (double x : grid.xs) {
+      out.push_back(stress_at(mesh, materials, u, delta_t_per_elem, {x, y, grid.z}));
     }
   }
   return out;

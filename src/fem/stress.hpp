@@ -20,6 +20,11 @@ using Stress6 = std::array<double, kVoigt>;  ///< Voigt xx,yy,zz,yz,xz,xy
 Stress6 stress_at(const mesh::HexMesh& mesh, const MaterialTable& materials, const Vec& u,
                   double thermal_load, const mesh::Point3& p);
 
+/// Per-element ΔT variant: the containing element's own ΔT enters the
+/// thermal-stress correction (reference recovery for non-uniform loads).
+Stress6 stress_at(const mesh::HexMesh& mesh, const MaterialTable& materials, const Vec& u,
+                  const Vec& delta_t_per_elem, const mesh::Point3& p);
+
 /// Strain (engineering shears) at the point p.
 Stress6 strain_at(const mesh::HexMesh& mesh, const Vec& u, const mesh::Point3& p);
 
@@ -43,6 +48,11 @@ PlaneGrid make_block_plane_grid(double pitch, int blocks_x, int blocks_y, int sa
 /// Evaluate the stress tensor at every grid point (y-major: iy * xs + ix).
 std::vector<Stress6> sample_plane_stress(const mesh::HexMesh& mesh, const MaterialTable& materials,
                                          const Vec& u, double thermal_load, const PlaneGrid& grid);
+
+/// Per-element ΔT variant of the plane sampler.
+std::vector<Stress6> sample_plane_stress(const mesh::HexMesh& mesh, const MaterialTable& materials,
+                                         const Vec& u, const Vec& delta_t_per_elem,
+                                         const PlaneGrid& grid);
 
 /// von Mises of each sample.
 std::vector<double> to_von_mises(const std::vector<Stress6>& stresses);

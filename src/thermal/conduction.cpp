@@ -9,13 +9,21 @@ using fem::kHexNodes;
 
 std::array<double, kCondDofs * kCondDofs> hex8_conduction_stiffness(double conductivity, double hx,
                                                                     double hy, double hz) {
-  if (conductivity <= 0.0) {
+  return hex8_conduction_stiffness(conductivity, conductivity, conductivity, hx, hy, hz);
+}
+
+std::array<double, kCondDofs * kCondDofs> hex8_conduction_stiffness(double kx, double ky, double kz,
+                                                                    double hx, double hy,
+                                                                    double hz) {
+  if (kx <= 0.0 || ky <= 0.0 || kz <= 0.0) {
     throw std::invalid_argument("hex8_conduction_stiffness: conductivity must be positive");
   }
   // One power of length survives in k grad N . grad N dV, so a single kMicro
-  // converts the micrometre mesh to the SI conductivity.
+  // converts the micrometre mesh to the SI conductivity. Each gradient
+  // component picks up its own axis conductivity (diagonal tensor).
   const double detj_w = (hx * hy * hz) / 8.0;
   const double jac[3] = {2.0 / hx, 2.0 / hy, 2.0 / hz};
+  const double k_axis[3] = {kx * kMicro, ky * kMicro, kz * kMicro};
   std::array<double, kCondDofs * kCondDofs> ke{};
   for (int gx = 0; gx < 2; ++gx) {
     for (int gy = 0; gy < 2; ++gy) {
@@ -30,15 +38,14 @@ std::array<double, kCondDofs * kCondDofs> hex8_conduction_stiffness(double condu
         }
         for (int a = 0; a < kHexNodes; ++a) {
           for (int b = 0; b < kHexNodes; ++b) {
-            ke[a * kCondDofs + b] += detj_w * (g[a][0] * g[b][0] + g[a][1] * g[b][1] +
-                                               g[a][2] * g[b][2]);
+            ke[a * kCondDofs + b] += detj_w * (k_axis[0] * g[a][0] * g[b][0] +
+                                               k_axis[1] * g[a][1] * g[b][1] +
+                                               k_axis[2] * g[a][2] * g[b][2]);
           }
         }
       }
     }
   }
-  const double scale = conductivity * kMicro;
-  for (double& v : ke) v *= scale;
   return ke;
 }
 

@@ -31,6 +31,14 @@ inline constexpr double kPerMm2ToPerUm2 = 1e-6;
 std::array<double, kCondDofs * kCondDofs> hex8_conduction_stiffness(double conductivity, double hx,
                                                                     double hy, double hz);
 
+/// Orthotropic variant: a diagonal conductivity tensor diag(kx, ky, kz)
+/// [W/(m K)] aligned with the mesh axes — the form the TSV-aware effective
+/// block conductivity produces (in-plane kx = ky, through-plane kz). The
+/// isotropic overload is the kx = ky = kz special case.
+std::array<double, kCondDofs * kCondDofs> hex8_conduction_stiffness(double kx, double ky, double kz,
+                                                                    double hx, double hy,
+                                                                    double hz);
+
 /// Nodal load of a uniform normal heat flux q [W/um^2] on the z-max face:
 /// q A / 4 on each of the four top nodes (bilinear face functions integrate
 /// to A/4 each). Entries in W; only indices 4..7 are nonzero.

@@ -1,14 +1,22 @@
 #include "thermal/conduction_assembler.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "thermal/conduction.hpp"
 
 namespace ms::thermal {
 
 la::TripletList conduction_triplets(const mesh::HexMesh& mesh, const Vec& conductivity_per_elem) {
-  if (conductivity_per_elem.size() != static_cast<std::size_t>(mesh.num_elems())) {
+  return conduction_triplets(mesh, conductivity_per_elem, conductivity_per_elem);
+}
+
+la::TripletList conduction_triplets(const mesh::HexMesh& mesh, const Vec& in_plane_per_elem,
+                                    const Vec& through_plane_per_elem) {
+  if (in_plane_per_elem.size() != static_cast<std::size_t>(mesh.num_elems()) ||
+      through_plane_per_elem.size() != static_cast<std::size_t>(mesh.num_elems())) {
     throw std::invalid_argument("conduction_triplets: one conductivity per element required");
   }
   const idx_t num_dofs = mesh.num_nodes();
@@ -17,8 +25,9 @@ la::TripletList conduction_triplets(const mesh::HexMesh& mesh, const Vec& conduc
   for (idx_t e = 0; e < mesh.num_elems(); ++e) {
     const mesh::Point3 lo = mesh.elem_min(e);
     const mesh::Point3 hi = mesh.elem_max(e);
-    const auto ke = hex8_conduction_stiffness(conductivity_per_elem[e], hi.x - lo.x, hi.y - lo.y,
-                                              hi.z - lo.z);
+    const auto ke =
+        hex8_conduction_stiffness(in_plane_per_elem[e], in_plane_per_elem[e],
+                                  through_plane_per_elem[e], hi.x - lo.x, hi.y - lo.y, hi.z - lo.z);
     const auto nodes = mesh.elem_nodes(e);
     for (int a = 0; a < kCondDofs; ++a) {
       for (int b = 0; b < kCondDofs; ++b) {
@@ -99,20 +108,104 @@ void add_convective_face(const mesh::HexMesh& mesh, double film_coefficient, dou
   }
 }
 
+namespace {
+
+/// The three phase areas of a unit block cross-section and their
+/// conductivities, shared by every effective-medium estimate.
+struct BlockPhases {
+  double cu_area, liner_area, si_area, block_area;
+  double k_cu, k_liner, k_si;
+};
+
+BlockPhases block_phases(const mesh::TsvGeometry& geometry, const fem::MaterialTable& materials) {
+  BlockPhases p{};
+  p.block_area = geometry.pitch * geometry.pitch;
+  p.cu_area = M_PI * geometry.copper_radius() * geometry.copper_radius();
+  p.liner_area = M_PI * geometry.liner_radius() * geometry.liner_radius() - p.cu_area;
+  p.si_area = p.block_area - p.cu_area - p.liner_area;
+  p.k_si = materials.at(mesh::MaterialId::Silicon).conductivity;
+  p.k_cu = materials.at(mesh::MaterialId::Copper).conductivity;
+  p.k_liner = materials.at(mesh::MaterialId::Liner).conductivity;
+  if (p.k_si <= 0.0 || p.k_cu <= 0.0 || p.k_liner <= 0.0) {
+    throw std::invalid_argument("block conductivity: material conductivities must be positive");
+  }
+  return p;
+}
+
+}  // namespace
+
 double effective_block_conductivity(const mesh::TsvGeometry& geometry,
                                     const fem::MaterialTable& materials) {
-  const double block_area = geometry.pitch * geometry.pitch;
-  const double cu_area = M_PI * geometry.copper_radius() * geometry.copper_radius();
-  const double liner_area =
-      M_PI * geometry.liner_radius() * geometry.liner_radius() - cu_area;
-  const double si_area = block_area - cu_area - liner_area;
-  const double k_si = materials.at(mesh::MaterialId::Silicon).conductivity;
-  const double k_cu = materials.at(mesh::MaterialId::Copper).conductivity;
-  const double k_liner = materials.at(mesh::MaterialId::Liner).conductivity;
-  if (k_si <= 0.0 || k_cu <= 0.0 || k_liner <= 0.0) {
-    throw std::invalid_argument("effective_block_conductivity: conductivities must be positive");
+  const BlockPhases p = block_phases(geometry, materials);
+  return (p.si_area * p.k_si + p.cu_area * p.k_cu + p.liner_area * p.k_liner) / p.block_area;
+}
+
+double reuss_block_conductivity(const mesh::TsvGeometry& geometry,
+                                const fem::MaterialTable& materials) {
+  const BlockPhases p = block_phases(geometry, materials);
+  return p.block_area /
+         (p.si_area / p.k_si + p.cu_area / p.k_cu + p.liner_area / p.k_liner);
+}
+
+double maxwell_garnett_in_plane_conductivity(const mesh::TsvGeometry& geometry,
+                                             const fem::MaterialTable& materials) {
+  const BlockPhases p = block_phases(geometry, materials);
+  // Step 1: homogenize the liner-coated copper cylinder (2D core-shell
+  // formula; fc is the core's share of the coated cylinder's cross-section).
+  const double fc = p.cu_area / (p.cu_area + p.liner_area);
+  const double k_via = p.k_liner *
+                       ((1.0 + fc) * p.k_cu + (1.0 - fc) * p.k_liner) /
+                       ((1.0 - fc) * p.k_cu + (1.0 + fc) * p.k_liner);
+  // Step 2: 2D Maxwell-Garnett for the homogenized cylinder in the silicon
+  // matrix at the via area fraction f.
+  const double f = (p.cu_area + p.liner_area) / p.block_area;
+  return p.k_si * ((1.0 + f) * k_via + (1.0 - f) * p.k_si) /
+         ((1.0 - f) * k_via + (1.0 + f) * p.k_si);
+}
+
+BlockConductivityMap::BlockConductivityMap(const mesh::TsvGeometry& geometry,
+                                           const fem::MaterialTable& materials, int blocks_x,
+                                           int blocks_y, std::vector<std::uint8_t> tsv_mask,
+                                           ConductivityModel model)
+    : blocks_x_(blocks_x),
+      blocks_y_(blocks_y),
+      pitch_(geometry.pitch),
+      mask_(std::move(tsv_mask)),
+      tsv_k_(block_conductivity(geometry, materials, /*is_tsv=*/true, model)),
+      dummy_k_(block_conductivity(geometry, materials, /*is_tsv=*/false, model)) {
+  if (blocks_x_ < 1 || blocks_y_ < 1) {
+    throw std::invalid_argument("BlockConductivityMap: need >= 1 block per axis");
   }
-  return (si_area * k_si + cu_area * k_cu + liner_area * k_liner) / block_area;
+  if (!mask_.empty() && mask_.size() != static_cast<std::size_t>(blocks_x_) * blocks_y_) {
+    throw std::invalid_argument("BlockConductivityMap: mask size must be blocks_x*blocks_y");
+  }
+}
+
+const BlockConductivity& BlockConductivityMap::at(double x, double y) const {
+  const int bx = std::min(std::max(static_cast<int>(x / pitch_), 0), blocks_x_ - 1);
+  const int by = std::min(std::max(static_cast<int>(y / pitch_), 0), blocks_y_ - 1);
+  const bool is_tsv =
+      mask_.empty() || mask_[static_cast<std::size_t>(by) * blocks_x_ + bx] != 0;
+  return is_tsv ? tsv_k_ : dummy_k_;
+}
+
+BlockConductivity block_conductivity(const mesh::TsvGeometry& geometry,
+                                     const fem::MaterialTable& materials, bool is_tsv,
+                                     ConductivityModel model) {
+  if (model == ConductivityModel::kViaAveraged) {
+    const double k = effective_block_conductivity(geometry, materials);
+    return {k, k};
+  }
+  if (!is_tsv) {
+    // Dummy blocks carry no via: they conduct like bulk silicon.
+    const double k_si = materials.at(mesh::MaterialId::Silicon).conductivity;
+    if (k_si <= 0.0) {
+      throw std::invalid_argument("block_conductivity: silicon conductivity must be positive");
+    }
+    return {k_si, k_si};
+  }
+  return {maxwell_garnett_in_plane_conductivity(geometry, materials),
+          effective_block_conductivity(geometry, materials)};
 }
 
 }  // namespace ms::thermal

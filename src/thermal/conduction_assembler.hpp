@@ -9,6 +9,9 @@
 // coefficients in W/(m^2 K); assembled entries are W/K and W, temperatures
 // in degrees C.
 
+#include <cstdint>
+#include <vector>
+
 #include "fem/material.hpp"
 #include "la/sparse.hpp"
 #include "mesh/tsv_block.hpp"
@@ -23,6 +26,11 @@ using la::Vec;
 /// Conduction triplets with per-element conductivities (size num_elems);
 /// compose with boundary terms before compressing to CSR.
 la::TripletList conduction_triplets(const mesh::HexMesh& mesh, const Vec& conductivity_per_elem);
+
+/// Orthotropic variant: per-element in-plane (x = y) and through-plane (z)
+/// conductivities, the form the TSV-aware effective block model produces.
+la::TripletList conduction_triplets(const mesh::HexMesh& mesh, const Vec& in_plane_per_elem,
+                                    const Vec& through_plane_per_elem);
 
 /// Conduction matrix with per-element conductivities, compressed.
 CsrMatrix assemble_conduction(const mesh::HexMesh& mesh, const Vec& conductivity_per_elem);
@@ -47,8 +55,71 @@ void add_convective_face(const mesh::HexMesh& mesh, double film_coefficient, dou
 
 /// Area-weighted vertical effective conductivity of a TSV unit block
 /// (parallel Cu / liner / Si paths): the coarse array thermal mesh uses one
-/// isotropic value per block instead of resolving the via.
+/// isotropic value per block instead of resolving the via. This is the Voigt
+/// (arithmetic, parallel-path) bound of the three-phase mixture.
 double effective_block_conductivity(const mesh::TsvGeometry& geometry,
                                     const fem::MaterialTable& materials);
+
+/// Reuss (harmonic, series-path) bound of the same mixture: the lower bracket
+/// any admissible effective conductivity must respect.
+double reuss_block_conductivity(const mesh::TsvGeometry& geometry,
+                                const fem::MaterialTable& materials);
+
+/// In-plane effective conductivity of a TSV unit block: the liner-coated
+/// copper cylinder is first homogenized (2D coated-inclusion formula), then
+/// embedded in the silicon matrix with the 2D Maxwell-Garnett mixing rule at
+/// the via area fraction. Lies strictly within the Voigt/Reuss bracket.
+double maxwell_garnett_in_plane_conductivity(const mesh::TsvGeometry& geometry,
+                                             const fem::MaterialTable& materials);
+
+/// How unit-block conductivities are derived for coarse thermal meshes.
+enum class ConductivityModel {
+  kViaAveraged,  ///< PR-1 behaviour: one isotropic Voigt average for every block
+  kTsvAware,     ///< per-block: dummy = bulk Si; TSV = anisotropic (MG / Voigt)
+};
+
+/// Effective conductivity of one unit block, split into the two independent
+/// components of the transversely isotropic tensor (x = y in plane, z through).
+struct BlockConductivity {
+  double in_plane = 0.0;       ///< kx = ky [W/(m K)]
+  double through_plane = 0.0;  ///< kz [W/(m K)]
+};
+
+/// Per-block effective conductivity: dummy blocks (is_tsv = false) conduct
+/// like bulk silicon under kTsvAware; TSV blocks combine the through-plane
+/// Voigt average (parallel via) with the in-plane Maxwell-Garnett estimate
+/// (liner-shielded via). kViaAveraged reproduces the PR-1 isotropic value for
+/// every block regardless of is_tsv.
+BlockConductivity block_conductivity(const mesh::TsvGeometry& geometry,
+                                     const fem::MaterialTable& materials, bool is_tsv,
+                                     ConductivityModel model);
+
+/// Per-element orthotropic conductivity field over a coarse thermal mesh
+/// (one in-plane and one through-plane value per element).
+struct ConductivityField {
+  Vec in_plane;
+  Vec through_plane;
+};
+
+/// Per-block conductivity lookup for a window of unit blocks: one place owns
+/// the centroid -> block binning (min-clamped floor) and the y-major TSV
+/// mask convention (1 = TSV, empty = all TSV) shared by the array thermal
+/// mesh and the package conduction model.
+class BlockConductivityMap {
+ public:
+  BlockConductivityMap(const mesh::TsvGeometry& geometry, const fem::MaterialTable& materials,
+                       int blocks_x, int blocks_y, std::vector<std::uint8_t> tsv_mask,
+                       ConductivityModel model);
+
+  /// Conductivity of the block containing window-local plan point (x, y);
+  /// callers outside the window must not ask (coordinates are clamped).
+  [[nodiscard]] const BlockConductivity& at(double x, double y) const;
+
+ private:
+  int blocks_x_, blocks_y_;
+  double pitch_;
+  std::vector<std::uint8_t> mask_;
+  BlockConductivity tsv_k_, dummy_k_;
+};
 
 }  // namespace ms::thermal

@@ -1,6 +1,7 @@
 #include "thermal/temperature_field.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "fem/hex8.hpp"
@@ -49,6 +50,39 @@ std::vector<double> TemperatureField::block_averages(int blocks_x, int blocks_y,
   }
   for (std::size_t b = 0; b < sum.size(); ++b) {
     if (vol[b] <= 0.0) throw std::logic_error("block_averages: block not covered by the mesh");
+    sum[b] /= vol[b];
+  }
+  return sum;
+}
+
+std::vector<double> TemperatureField::block_averages(int blocks_x, int blocks_y, double pitch,
+                                                     const mesh::Point3& origin, double z0,
+                                                     double z1) const {
+  if (blocks_x < 1 || blocks_y < 1) {
+    throw std::invalid_argument("block_averages: need >= 1 block per axis");
+  }
+  if (z1 <= z0) throw std::invalid_argument("block_averages: need z1 > z0");
+  std::vector<double> sum(static_cast<std::size_t>(blocks_x) * blocks_y, 0.0);
+  std::vector<double> vol(sum.size(), 0.0);
+  for (idx_t e = 0; e < mesh_.num_elems(); ++e) {
+    const mesh::Point3 c = mesh_.elem_centroid(e);
+    if (c.z < z0 || c.z > z1) continue;
+    const int bx = static_cast<int>(std::floor((c.x - origin.x) / pitch));
+    const int by = static_cast<int>(std::floor((c.y - origin.y) / pitch));
+    if (bx < 0 || bx >= blocks_x || by < 0 || by >= blocks_y) continue;
+    const auto nodes = mesh_.elem_nodes(e);
+    double mean = 0.0;
+    for (idx_t node : nodes) mean += t_[node];
+    mean /= 8.0;
+    const double v = mesh_.elem_volume(e);
+    const std::size_t b = static_cast<std::size_t>(by) * blocks_x + bx;
+    sum[b] += mean * v;
+    vol[b] += v;
+  }
+  for (std::size_t b = 0; b < sum.size(); ++b) {
+    if (vol[b] <= 0.0) {
+      throw std::logic_error("block_averages: window block not covered by the mesh");
+    }
     sum[b] /= vol[b];
   }
   return sum;

@@ -35,6 +35,15 @@ class TemperatureField {
   [[nodiscard]] std::vector<double> block_averages(int blocks_x, int blocks_y,
                                                    double pitch) const;
 
+  /// Windowed variant for meshes larger than the block array (the package
+  /// thermal mesh): averages over the blocks_x x blocks_y window whose
+  /// lower-left plan corner is `origin` restricted to z in [z0, z1] (the
+  /// interposer layer). Elements with centroids outside the window are
+  /// ignored; throws if any block of the window has no covering element.
+  [[nodiscard]] std::vector<double> block_averages(int blocks_x, int blocks_y, double pitch,
+                                                   const mesh::Point3& origin, double z0,
+                                                   double z1) const;
+
  private:
   mesh::HexMesh mesh_;
   Vec t_;

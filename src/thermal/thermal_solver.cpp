@@ -1,5 +1,6 @@
 #include "thermal/thermal_solver.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "fem/dirichlet.hpp"
@@ -14,12 +15,20 @@ namespace ms::thermal {
 TemperatureField solve_power_map(const mesh::HexMesh& mesh, const Vec& conductivity_per_elem,
                                  const PowerMap& power, const ThermalSolveOptions& options,
                                  ThermalSolveStats* stats) {
+  return solve_power_map(mesh, ConductivityField{conductivity_per_elem, conductivity_per_elem},
+                         power, options, stats);
+}
+
+TemperatureField solve_power_map(const mesh::HexMesh& mesh, const ConductivityField& conductivity,
+                                 const PowerMap& power, const ThermalSolveOptions& options,
+                                 ThermalSolveStats* stats) {
   if (options.sink_film_coefficient < 0.0) {
     throw std::invalid_argument(
         "solve_power_map: sink film coefficient must be >= 0 (0 = ideal sink)");
   }
   util::WallTimer timer;
-  la::TripletList triplets = conduction_triplets(mesh, conductivity_per_elem);
+  la::TripletList triplets =
+      conduction_triplets(mesh, conductivity.in_plane, conductivity.through_plane);
   Vec rhs = assemble_power_load(mesh, power);
 
   fem::DirichletBc bc;
@@ -96,6 +105,25 @@ mesh::HexMesh build_array_thermal_mesh(const mesh::TsvGeometry& geometry, int bl
   return mesh::HexMesh(lines(blocks_x * elems_per_block_xy, blocks_x * geometry.pitch),
                        lines(blocks_y * elems_per_block_xy, blocks_y * geometry.pitch),
                        lines(elems_z, geometry.height));
+}
+
+ConductivityField array_block_conductivities(const mesh::HexMesh& mesh,
+                                             const mesh::TsvGeometry& geometry,
+                                             const fem::MaterialTable& materials, int blocks_x,
+                                             int blocks_y,
+                                             const std::vector<std::uint8_t>& tsv_mask,
+                                             ConductivityModel model) {
+  const BlockConductivityMap blocks(geometry, materials, blocks_x, blocks_y, tsv_mask, model);
+  ConductivityField field;
+  field.in_plane.resize(static_cast<std::size_t>(mesh.num_elems()));
+  field.through_plane.resize(static_cast<std::size_t>(mesh.num_elems()));
+  for (idx_t e = 0; e < mesh.num_elems(); ++e) {
+    const mesh::Point3 c = mesh.elem_centroid(e);
+    const BlockConductivity& k = blocks.at(c.x, c.y);
+    field.in_plane[e] = k.in_plane;
+    field.through_plane[e] = k.through_plane;
+  }
+  return field;
 }
 
 }  // namespace ms::thermal

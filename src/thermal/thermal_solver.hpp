@@ -6,10 +6,13 @@
 // the lateral faces are adiabatic. Solved with the same la:: CG / sparse
 // Cholesky stack as the mechanical problems.
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "fem/material.hpp"
 #include "mesh/tsv_block.hpp"
+#include "thermal/conduction_assembler.hpp"
 #include "thermal/power_map.hpp"
 #include "thermal/temperature_field.hpp"
 
@@ -40,6 +43,12 @@ TemperatureField solve_power_map(const mesh::HexMesh& mesh, const Vec& conductiv
                                  const PowerMap& power, const ThermalSolveOptions& options = {},
                                  ThermalSolveStats* stats = nullptr);
 
+/// Orthotropic variant: per-element in-plane (x = y) and through-plane (z)
+/// conductivities (the TSV-aware effective block model).
+TemperatureField solve_power_map(const mesh::HexMesh& mesh, const ConductivityField& conductivity,
+                                 const PowerMap& power, const ThermalSolveOptions& options = {},
+                                 ThermalSolveStats* stats = nullptr);
+
 /// Same, with conductivities from the material table.
 TemperatureField solve_power_map(const mesh::HexMesh& mesh, const fem::MaterialTable& materials,
                                  const PowerMap& power, const ThermalSolveOptions& options = {},
@@ -48,8 +57,20 @@ TemperatureField solve_power_map(const mesh::HexMesh& mesh, const fem::MaterialT
 /// Coarse thermal mesh of a blocks_x x blocks_y TSV array: a uniform grid
 /// with `elems_per_block_xy` elements across each pitch and `elems_z`
 /// through the height. All elements are Silicon; pair with
-/// effective_block_conductivity for the via-averaged value.
+/// array_block_conductivities (or effective_block_conductivity for the
+/// legacy single via-averaged value).
 mesh::HexMesh build_array_thermal_mesh(const mesh::TsvGeometry& geometry, int blocks_x,
                                        int blocks_y, int elems_per_block_xy, int elems_z);
+
+/// Per-element effective conductivities of an array thermal mesh: each
+/// element takes the block_conductivity of the block its centroid falls in.
+/// `tsv_mask` follows the build_array_mesh convention (y-major, 1 = TSV,
+/// empty = all TSV); dummy blocks conduct like bulk Si under kTsvAware.
+ConductivityField array_block_conductivities(const mesh::HexMesh& mesh,
+                                             const mesh::TsvGeometry& geometry,
+                                             const fem::MaterialTable& materials, int blocks_x,
+                                             int blocks_y,
+                                             const std::vector<std::uint8_t>& tsv_mask,
+                                             ConductivityModel model);
 
 }  // namespace ms::thermal

@@ -1,0 +1,83 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace ms::util {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+JsonObject& JsonObject::set_raw(const std::string& key, std::string rendered_value) {
+  fields_.emplace_back(key, std::move(rendered_value));
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& key, const std::string& value) {
+  return set_raw(key, "\"" + json_escape(value) + "\"");
+}
+
+JsonObject& JsonObject::set(const std::string& key, const char* value) {
+  return set(key, std::string(value));
+}
+
+JsonObject& JsonObject::set(const std::string& key, double value) {
+  if (!std::isfinite(value)) return set_raw(key, "null");  // JSON has no inf/nan
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return set_raw(key, buf);
+}
+
+JsonObject& JsonObject::set(const std::string& key, std::int64_t value) {
+  return set_raw(key, std::to_string(value));
+}
+
+JsonObject& JsonObject::set(const std::string& key, bool value) {
+  return set_raw(key, value ? "true" : "false");
+}
+
+std::string JsonObject::render() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "\"" + json_escape(fields_[i].first) + "\": " + fields_[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+void write_bench_json(const std::string& path, const std::string& name,
+                      const std::vector<JsonObject>& records) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("write_bench_json: cannot open " + path);
+  file << "{\n  \"bench\": \"" << json_escape(name) << "\",\n  \"cases\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    file << "    " << records[i].render() << (i + 1 < records.size() ? ",\n" : "\n");
+  }
+  file << "  ]\n}\n";
+  if (!file.good()) throw std::runtime_error("write_bench_json: write failed for " + path);
+}
+
+}  // namespace ms::util

@@ -1,0 +1,46 @@
+#pragma once
+// Minimal JSON emission for the machine-readable bench artifacts
+// (BENCH_*.json): flat objects of string/number/bool fields in insertion
+// order, and a one-call writer for the standard {"bench": ..., "cases":
+// [...]} shape. Deliberately not a parser — the perf-trajectory consumers
+// only need well-formed output.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ms::util {
+
+/// One flat JSON object; values are rendered on insertion, field order is
+/// preserved. Duplicate keys are the caller's bug and render as given.
+class JsonObject {
+ public:
+  JsonObject& set(const std::string& key, const std::string& value);
+  JsonObject& set(const std::string& key, const char* value);
+  JsonObject& set(const std::string& key, double value);
+  JsonObject& set(const std::string& key, std::int64_t value);
+  JsonObject& set(const std::string& key, int value) {
+    return set(key, static_cast<std::int64_t>(value));
+  }
+  JsonObject& set(const std::string& key, std::size_t value) {
+    return set(key, static_cast<std::int64_t>(value));
+  }
+  JsonObject& set(const std::string& key, bool value);
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  JsonObject& set_raw(const std::string& key, std::string rendered_value);
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// JSON string literal with the mandatory escapes applied.
+std::string json_escape(const std::string& text);
+
+/// Write {"bench": name, "cases": [records...]} to `path` (2-space indent,
+/// trailing newline). Throws std::runtime_error when the file can't be
+/// written.
+void write_bench_json(const std::string& path, const std::string& name,
+                      const std::vector<JsonObject>& records);
+
+}  // namespace ms::util

@@ -1,0 +1,58 @@
+// The minimal JSON writer behind the BENCH_*.json artifacts.
+
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace ms::util {
+namespace {
+
+TEST(JsonObject, RendersFieldsInInsertionOrder) {
+  JsonObject obj;
+  obj.set("name", "array").set("edge", 16).set("seconds", 0.25).set("converged", true);
+  EXPECT_EQ(obj.render(), "{\"name\": \"array\", \"edge\": 16, \"seconds\": 0.25, "
+                          "\"converged\": true}");
+}
+
+TEST(JsonObject, EscapesStringsAndHandlesNonFinite) {
+  JsonObject obj;
+  obj.set("label", "a\"b\\c\nd").set("bad", std::nan(""));
+  EXPECT_EQ(obj.render(), "{\"label\": \"a\\\"b\\\\c\\nd\", \"bad\": null}");
+}
+
+TEST(JsonObject, NumbersKeepPrecision) {
+  JsonObject obj;
+  obj.set("tiny", 1.25e-9).set("big", static_cast<std::int64_t>(1234567890123LL));
+  EXPECT_EQ(obj.render(), "{\"tiny\": 1.25e-09, \"big\": 1234567890123}");
+}
+
+TEST(WriteBenchJson, ProducesTheStandardShape) {
+  const std::string path = ::testing::TempDir() + "bench_json_test.json";
+  std::vector<JsonObject> records(2);
+  records[0].set("scenario", "array").set("edge", 8);
+  records[1].set("scenario", "submodel").set("edge", 5);
+  write_bench_json(path, "thermal_coupling", records);
+
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("\"bench\": \"thermal_coupling\""), std::string::npos);
+  EXPECT_NE(text.find("{\"scenario\": \"array\", \"edge\": 8},"), std::string::npos);
+  EXPECT_NE(text.find("{\"scenario\": \"submodel\", \"edge\": 5}\n"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(WriteBenchJson, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(write_bench_json("/nonexistent-dir/x.json", "b", {}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ms::util
