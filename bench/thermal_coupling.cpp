@@ -42,6 +42,8 @@ int main(int argc, char** argv) {
   // The package sinks through a thick low-k organic substrate, so a few
   // W/mm^2 already produce reflow-scale dT; the array flags would melt it.
   cli.add_double("submodel-power", 2.0, "sub-model die power density [W/mm^2]");
+  cli.add_double("pulse-period-us", 60.0, "transient-case pulse period [us]");
+  cli.add_int("pulse-cycles", 3, "transient-case pulse count");
   cli.add_string("json", "BENCH_thermal.json", "machine-readable output path (empty skips)");
   cli.parse(argc, argv);
 
@@ -106,6 +108,54 @@ int main(int argc, char** argv) {
                           .set("global_dofs", static_cast<std::int64_t>(result.stats.global_dofs))
                           .set("dt_min", result.load.min())
                           .set("dt_max", result.load.max())
+                          .set("peak_von_mises", peak)
+                          .set("memory_bytes", result.stats.memory_bytes));
+  }
+
+  // --- scenario 3, time domain: pulsed trace -> envelope -> stress ---------
+  {
+    const int edge = ms::bench::parse_int_list(cli.get_string("sizes")).front();
+    const double pitch = config.geometry.pitch;
+    const ms::thermal::PowerMap idle =
+        ms::thermal::PowerMap::per_block(edge, edge, pitch, cli.get_double("background"));
+    ms::thermal::PowerMap active = idle;
+    const double mid = 0.5 * edge * pitch;
+    active.add_gaussian_hotspot(mid, mid, 1.5 * pitch, cli.get_double("peak"));
+    const double period = 1e-6 * cli.get_double("pulse-period-us");
+    const ms::thermal::PowerTrace trace = ms::thermal::PowerTrace::square_wave(
+        idle, active, period, 0.5, static_cast<int>(cli.get_int("pulse-cycles")));
+
+    ms::core::SimulationConfig transient_config = config;
+    transient_config.coupling.transient.time_step = period / 20.0;
+    ms::core::MoreStressSimulator transient_sim(transient_config);
+    (void)transient_sim.prepare_local_stage(/*with_dummy=*/false);
+    const ms::core::ThermalTransientArrayResult result =
+        transient_sim.simulate_array_thermal_transient(edge, edge, trace);
+    const double peak = peak_of(result.von_mises);
+
+    std::printf("\n=== array transient: power trace -> envelope -> stress ===\n");
+    std::printf("%8s %8s %12s %12s %12s %12s %10s\n", "array", "steps", "factor[s]", "steps[s]",
+                "env max[C]", "avg max[C]", "peak[MPa]");
+    const double env_max =
+        *std::max_element(result.transient.peak_envelope.begin(),
+                          result.transient.peak_envelope.end());
+    const double avg_max = *std::max_element(result.transient.time_average.begin(),
+                                             result.transient.time_average.end());
+    std::printf("%5dx%-3d %8d %12.3f %12.3f %12.3f %12.3f %10.1f\n", edge, edge,
+                result.thermal_stats.num_steps, result.thermal_stats.factor_seconds,
+                result.thermal_stats.step_seconds, env_max, avg_max, peak);
+    records.push_back(ms::util::JsonObject()
+                          .set("scenario", "array_transient")
+                          .set("edge", edge)
+                          .set("num_steps", result.thermal_stats.num_steps)
+                          .set("thermal_seconds", result.thermal_stats.total_seconds())
+                          .set("factor_seconds", result.thermal_stats.factor_seconds)
+                          .set("step_seconds", result.thermal_stats.step_seconds)
+                          .set("thermal_dofs",
+                               static_cast<std::int64_t>(result.thermal_stats.num_dofs))
+                          .set("global_seconds", result.stats.global_seconds())
+                          .set("envelope_dt_max", env_max)
+                          .set("time_average_dt_max", avg_max)
                           .set("peak_von_mises", peak)
                           .set("memory_bytes", result.stats.memory_bytes));
   }

@@ -17,6 +17,10 @@ namespace ms::core {
 /// solve, and the reference temperature the per-block ΔT is measured from.
 struct ThermalCouplingOptions {
   thermal::ThermalSolveOptions solve;  ///< sink/ambient + conduction solver
+  /// Transient-run controls (simulate_array_thermal_transient): time step,
+  /// step count, θ-scheme, capacitance lumping. The sink/ambient data is
+  /// taken from `solve` so steady and transient runs see one boundary model.
+  thermal::TransientSolveOptions transient;
   int elems_per_block_xy = 2;          ///< thermal-mesh elements across a pitch
   int elems_z = 8;                     ///< elements through the block height
                                        ///< (array mesh / interposer layer)

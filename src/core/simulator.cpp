@@ -138,19 +138,30 @@ ArrayResult MoreStressSimulator::simulate_array(int blocks_x, int blocks_y,
   return run_global(blocks_x, blocks_y, {}, bc, range, /*uses_dummy=*/false, load);
 }
 
+namespace {
+
+/// Both array coupling paths reject power maps that do not cover the array
+/// plan exactly: density_at is 0 outside the map, so a mismatched footprint
+/// would silently drop heat.
+void require_array_footprint(const thermal::PowerMap& power, int blocks_x, int blocks_y,
+                             double pitch, const char* caller) {
+  const double extent_x = blocks_x * pitch;
+  const double extent_y = blocks_y * pitch;
+  if (std::abs(power.width() - extent_x) > 1e-9 * extent_x ||
+      std::abs(power.height() - extent_y) > 1e-9 * extent_y) {
+    throw std::invalid_argument(std::string(caller) +
+                                ": power map footprint must match the array extent "
+                                "(use PowerMap::per_block or zero tiles for unpowered regions)");
+  }
+}
+
+}  // namespace
+
 ThermalArrayResult MoreStressSimulator::simulate_array_thermal(int blocks_x, int blocks_y,
                                                                const thermal::PowerMap& power) {
   const ThermalCouplingOptions& coupling = config_.coupling;
-  // density_at is 0 outside the map, so a mismatched footprint would
-  // silently drop heat; require the map to cover the array exactly.
-  const double extent_x = blocks_x * config_.geometry.pitch;
-  const double extent_y = blocks_y * config_.geometry.pitch;
-  if (std::abs(power.width() - extent_x) > 1e-9 * extent_x ||
-      std::abs(power.height() - extent_y) > 1e-9 * extent_y) {
-    throw std::invalid_argument(
-        "simulate_array_thermal: power map footprint must match the array extent "
-        "(use PowerMap::per_block or zero tiles for unpowered regions)");
-  }
+  require_array_footprint(power, blocks_x, blocks_y, config_.geometry.pitch,
+                          "simulate_array_thermal");
   const mesh::HexMesh thermal_mesh = thermal::build_array_thermal_mesh(
       config_.geometry, blocks_x, blocks_y, coupling.elems_per_block_xy, coupling.elems_z);
   const thermal::ConductivityField conductivities = thermal::array_block_conductivities(
@@ -169,6 +180,63 @@ ThermalArrayResult MoreStressSimulator::simulate_array_thermal(int blocks_x, int
   static_cast<ArrayResult&>(result) = simulate_array(blocks_x, blocks_y, result.load);
   MS_LOG_DEBUG("thermal coupling: %d x %d blocks, dT in [%.3f, %.3f] C", blocks_x, blocks_y,
                result.load.min(), result.load.max());
+  return result;
+}
+
+ThermalTransientArrayResult MoreStressSimulator::simulate_array_thermal_transient(
+    int blocks_x, int blocks_y, const thermal::PowerTrace& trace,
+    const std::vector<int>& snapshot_steps) {
+  const ThermalCouplingOptions& coupling = config_.coupling;
+  if (trace.num_keyframes() == 0) {
+    throw std::invalid_argument("simulate_array_thermal_transient: trace has no keyframes");
+  }
+  for (std::size_t i = 0; i < trace.num_keyframes(); ++i) {
+    require_array_footprint(trace.keyframe(i), blocks_x, blocks_y, config_.geometry.pitch,
+                            "simulate_array_thermal_transient");
+  }
+  const mesh::HexMesh thermal_mesh = thermal::build_array_thermal_mesh(
+      config_.geometry, blocks_x, blocks_y, coupling.elems_per_block_xy, coupling.elems_z);
+  const thermal::ConductivityField conductivities = thermal::array_block_conductivities(
+      thermal_mesh, config_.geometry, config_.materials, blocks_x, blocks_y, /*tsv_mask=*/{},
+      coupling.conductivity_model);
+  const Vec capacities = thermal::array_block_capacities(thermal_mesh, config_.geometry,
+                                                         config_.materials, blocks_x, blocks_y,
+                                                         /*tsv_mask=*/{},
+                                                         coupling.conductivity_model);
+
+  // One boundary model for steady and transient runs: the sink/ambient data
+  // rides in coupling.solve, the stepping controls in coupling.transient.
+  thermal::TransientSolveOptions options = coupling.transient;
+  options.base = coupling.solve;
+  thermal::BlockReduction reduction;
+  reduction.blocks_x = blocks_x;
+  reduction.blocks_y = blocks_y;
+  reduction.pitch = config_.geometry.pitch;
+  reduction.reference = coupling.stress_free_temperature;
+
+  ThermalTransientArrayResult result;
+  result.transient = thermal::solve_power_trace(thermal_mesh, conductivities, capacities, trace,
+                                                reduction, options, &result.thermal_stats);
+
+  result.envelope_load =
+      rom::BlockLoadField(blocks_x, blocks_y, Vec(result.transient.peak_envelope));
+  static_cast<ArrayResult&>(result) = simulate_array(blocks_x, blocks_y, result.envelope_load);
+
+  result.snapshot_steps = snapshot_steps;
+  result.snapshots.reserve(snapshot_steps.size());
+  for (int step : snapshot_steps) {
+    if (step < 0 || static_cast<std::size_t>(step) >= result.transient.num_records()) {
+      throw std::invalid_argument(
+          "simulate_array_thermal_transient: snapshot step outside the recorded history");
+    }
+    const rom::BlockLoadField load(blocks_x, blocks_y,
+                                   Vec(result.transient.block_delta_t[step]));
+    result.snapshots.push_back(simulate_array(blocks_x, blocks_y, load));
+  }
+  MS_LOG_DEBUG("transient thermal coupling: %d x %d blocks, %d steps, envelope dT in "
+               "[%.3f, %.3f] C",
+               blocks_x, blocks_y, result.thermal_stats.num_steps, result.envelope_load.min(),
+               result.envelope_load.max());
   return result;
 }
 

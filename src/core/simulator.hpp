@@ -23,7 +23,9 @@
 #include "rom/load_field.hpp"
 #include "rom/reconstruct.hpp"
 #include "thermal/power_map.hpp"
+#include "thermal/power_trace.hpp"
 #include "thermal/temperature_field.hpp"
+#include "thermal/thermal_solver.hpp"
 
 namespace ms::core {
 
@@ -66,6 +68,20 @@ struct ThermalArrayResult : ArrayResult {
   thermal::ThermalSolveStats thermal_stats;
 };
 
+/// Result of a transient power-trace run. The ArrayResult base holds the
+/// stress at the per-block *peak-envelope* ΔT — per block, the recorded ΔT
+/// of largest magnitude (signed), i.e. the worst instantaneous thermal
+/// state over the trace whether ΔT is measured from ambient (heating) or
+/// from a reflow reference (cooling). `snapshots` holds full ROM runs at
+/// user-selected recorded steps for time-resolved views.
+struct ThermalTransientArrayResult : ArrayResult {
+  thermal::TransientTemperatureResult transient;  ///< ΔT histories + envelope
+  rom::BlockLoadField envelope_load;              ///< per-block peak ΔT fed to the ROM
+  thermal::TransientSolveStats thermal_stats;
+  std::vector<int> snapshot_steps;                ///< indices into transient.times
+  std::vector<ArrayResult> snapshots;             ///< one ROM run per requested step
+};
+
 /// Result of a coupled sub-model run: stress fields over the inner TSV
 /// region plus the package-wide temperature solution and the per-block ΔT
 /// of the padded window (dummy rings included, y-major).
@@ -95,6 +111,21 @@ class MoreStressSimulator {
   /// scalar-ΔT path exactly (same assembly/reconstruction code).
   [[nodiscard]] ThermalArrayResult simulate_array_thermal(int blocks_x, int blocks_y,
                                                           const thermal::PowerMap& power);
+
+  /// Scenario 3, time domain: operational power *traces*. Marches transient
+  /// conduction through `trace` on the coarse array thermal mesh (implicit
+  /// θ-scheme per config.coupling.transient, one factorization for the whole
+  /// trace), records the per-block ΔT history, and runs the ROM stress path
+  /// at the per-block peak envelope — the worst transient state, which a
+  /// steady solve of any single instant underestimates. `snapshot_steps`
+  /// (indices into the recorded history, 0 = initial state) additionally
+  /// reconstruct full stress fields at those instants. A constant trace
+  /// relaxes to the steady-state solution, so it reproduces
+  /// simulate_array_thermal exactly (same mesh, conductivities, and ROM
+  /// path) once the horizon passes a few thermal time constants.
+  [[nodiscard]] ThermalTransientArrayResult simulate_array_thermal_transient(
+      int blocks_x, int blocks_y, const thermal::PowerTrace& trace,
+      const std::vector<int>& snapshot_steps = {});
 
   /// Scenario 2: TSV array embedded in a package. `displacement` supplies
   /// the coarse-solution boundary data (in the sub-model local frame);

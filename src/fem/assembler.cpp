@@ -1,9 +1,11 @@
 #include "fem/assembler.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
 #include <stdexcept>
 #include <tuple>
+#include <vector>
 
 namespace ms::fem {
 namespace {
@@ -102,30 +104,54 @@ AssembledSystem assemble_system(const mesh::HexMesh& mesh, const MaterialTable& 
   std::map<ShapeKey, CachedElem> cache;
 
   const idx_t ne = mesh.num_elems();
+  // Fill the shape cache serially (a handful of distinct element shapes) so
+  // the scatter below can read it concurrently without locking.
   for (idx_t e = 0; e < ne; ++e) {
     const ShapeKey key = make_key(mesh, e);
-    auto it = cache.find(key);
-    if (it == cache.end()) {
+    if (cache.find(key) == cache.end()) {
       const auto [hx, hy, hz, mat_id] = key;
       const Material& mat = materials.at(static_cast<mesh::MaterialId>(mat_id));
-      CachedElem cached{hex8_stiffness(mat, hx, hy, hz), hex8_thermal_load(mat, hx, hy, hz)};
-      it = cache.emplace(key, cached).first;
+      cache.emplace(key, CachedElem{hex8_stiffness(mat, hx, hy, hz),
+                                    hex8_thermal_load(mat, hx, hy, hz)});
     }
-    const CachedElem& ce = it->second;
-    const double load_scale = delta_t_per_elem != nullptr ? (*delta_t_per_elem)[e] : 1.0;
+  }
 
-    const auto nodes = mesh.elem_nodes(e);
-    std::array<idx_t, kHexDofs> dofs;
-    for (int a = 0; a < kHexNodes; ++a) {
-      for (int c = 0; c < 3; ++c) dofs[3 * a + c] = dof_of(nodes[a], c);
-    }
-    for (int i = 0; i < kHexDofs; ++i) {
-      sys.thermal_load[dofs[i]] += load_scale * ce.fe[i];
-      // Columns within a row group by neighbor node; find each node group
-      // once and scatter its three components contiguously.
-      for (int aj = 0; aj < kHexNodes; ++aj) {
-        const la::offset_t slot = find_entry(sys.stiffness, dofs[i], dofs[3 * aj]);
-        for (int c = 0; c < 3; ++c) values[slot + c] += ce.ke[i * kHexDofs + 3 * aj + c];
+  // Scatter in 8 parity colors (element index parity per axis): elements of
+  // one color are at least two apart along some axis, so they share no node
+  // and the in-color scatter is race-free. Colors run in a fixed order, so
+  // every CSR slot and load entry accumulates its (at most 8) element
+  // contributions in the same order regardless of thread count — the
+  // parallel result is bitwise deterministic (though the element order
+  // within a slot differs from the historical serial loop).
+  std::array<std::vector<idx_t>, 8> colors;
+  for (auto& c : colors) c.reserve(static_cast<std::size_t>(ne) / 8 + 1);
+  for (idx_t e = 0; e < ne; ++e) {
+    const auto ijk = mesh.elem_ijk(e);
+    colors[(ijk[0] % 2) + 2 * (ijk[1] % 2) + 4 * (ijk[2] % 2)].push_back(e);
+  }
+  for (const std::vector<idx_t>& color : colors) {
+    const std::int64_t count = static_cast<std::int64_t>(color.size());
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+    for (std::int64_t ci = 0; ci < count; ++ci) {
+      const idx_t e = color[ci];
+      const CachedElem& ce = cache.find(make_key(mesh, e))->second;
+      const double load_scale = delta_t_per_elem != nullptr ? (*delta_t_per_elem)[e] : 1.0;
+
+      const auto nodes = mesh.elem_nodes(e);
+      std::array<idx_t, kHexDofs> dofs;
+      for (int a = 0; a < kHexNodes; ++a) {
+        for (int c = 0; c < 3; ++c) dofs[3 * a + c] = dof_of(nodes[a], c);
+      }
+      for (int i = 0; i < kHexDofs; ++i) {
+        sys.thermal_load[dofs[i]] += load_scale * ce.fe[i];
+        // Columns within a row group by neighbor node; find each node group
+        // once and scatter its three components contiguously.
+        for (int aj = 0; aj < kHexNodes; ++aj) {
+          const la::offset_t slot = find_entry(sys.stiffness, dofs[i], dofs[3 * aj]);
+          for (int c = 0; c < 3; ++c) values[slot + c] += ce.ke[i * kHexDofs + 3 * aj + c];
+        }
       }
     }
   }

@@ -50,13 +50,14 @@ MaterialTable MaterialTable::standard() {
   return MaterialTable({silicon(), copper(), sio2_liner(), organic_substrate()});
 }
 
-// Conductivities are classic room-temperature literature values.
-Material silicon() { return {"Si", 130.0e3, 0.28, 2.8e-6, 149.0}; }
+// Conductivities and volumetric heat capacities (rho * c_p) are classic
+// room-temperature literature values.
+Material silicon() { return {"Si", 130.0e3, 0.28, 2.8e-6, 149.0, 1.63e6}; }
 
-Material copper() { return {"Cu", 110.0e3, 0.35, 17.7e-6, 401.0}; }
+Material copper() { return {"Cu", 110.0e3, 0.35, 17.7e-6, 401.0, 3.45e6}; }
 
-Material sio2_liner() { return {"SiO2", 71.7e3, 0.16, 0.51e-6, 1.4}; }
+Material sio2_liner() { return {"SiO2", 71.7e3, 0.16, 0.51e-6, 1.4, 1.61e6}; }
 
-Material organic_substrate() { return {"organic", 20.0e3, 0.30, 15.0e-6, 0.5}; }
+Material organic_substrate() { return {"organic", 20.0e3, 0.30, 15.0e-6, 0.5, 2.0e6}; }
 
 }  // namespace ms::fem

@@ -1,7 +1,8 @@
 #pragma once
 // Isotropic thermoelastic materials (paper Sec. 3.1). Units: MPa for moduli
 // and stress, 1/K for CTE, micrometres for length, degrees C for ΔT, and
-// W/(m K) for the thermal conductivity the conduction subsystem consumes.
+// W/(m K) conductivity / J/(m^3 K) volumetric heat capacity for the
+// conduction subsystem (steady-state and transient respectively).
 
 #include <array>
 #include <string>
@@ -20,6 +21,8 @@ struct Material {
   double poisson_ratio = 0.0;   ///< nu [-]
   double cte = 0.0;             ///< alpha [1/K]
   double conductivity = 0.0;    ///< k [W/(m K)]; 0 = not usable for conduction
+  /// rho * c_p [J/(m^3 K)]; 0 = not usable for transient conduction.
+  double volumetric_heat_capacity = 0.0;
 
   /// First Lame parameter lambda = E nu / ((1+nu)(1-2nu))  (Eq. 2).
   [[nodiscard]] double lame_lambda() const;

@@ -4,6 +4,8 @@
 // compression, which is exactly the FEM assembly semantic.
 
 #include <cstddef>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "la/vec.hpp"
@@ -27,6 +29,21 @@ class TripletList {
     is_.push_back(i);
     js_.push_back(j);
     vs_.push_back(v);
+  }
+
+  /// Adopt prebuilt parallel arrays (sizes must match): the fast path for
+  /// assemblers that fill fixed per-element slices concurrently and hand the
+  /// result over in one move instead of serial add() calls.
+  static TripletList from_parts(idx_t rows, idx_t cols, std::vector<idx_t> is,
+                                std::vector<idx_t> js, std::vector<double> vs) {
+    if (is.size() != js.size() || is.size() != vs.size()) {
+      throw std::invalid_argument("TripletList::from_parts: array sizes must match");
+    }
+    TripletList t(rows, cols);
+    t.is_ = std::move(is);
+    t.js_ = std::move(js);
+    t.vs_ = std::move(vs);
+    return t;
   }
 
   [[nodiscard]] std::size_t size() const { return vs_.size(); }

@@ -23,28 +23,64 @@ GlobalProblem assemble_global(const BlockGrid& grid, const RomModel& tsv_model,
   problem.num_dofs = grid.num_dofs();
   problem.rhs.assign(problem.num_dofs, 0.0);
 
-  la::TripletList triplets(problem.num_dofs, problem.num_dofs);
-  triplets.reserve(static_cast<std::size_t>(grid.num_blocks()) * n * n);
-
-  for (int by = 0; by < grid.blocks_y(); ++by) {
-    for (int bx = 0; bx < grid.blocks_x(); ++bx) {
-      const bool is_tsv =
-          mask.empty() || mask[static_cast<std::size_t>(by) * grid.blocks_x() + bx] != 0;
-      const RomModel* model = is_tsv ? &tsv_model : dummy_model;
-      if (model == nullptr) {
+  // Validate before the parallel scatter: throwing from inside an OpenMP
+  // region would terminate instead of propagating.
+  if (dummy_model == nullptr && !mask.empty()) {
+    for (std::uint8_t m : mask) {
+      if (m == 0) {
         throw std::invalid_argument("assemble_global: mask selects dummy blocks but no model");
-      }
-      const std::vector<idx_t> dofs = grid.block_dofs(bx, by);
-      const double thermal_load = load.at(bx, by);
-      for (idx_t i = 0; i < n; ++i) {
-        problem.rhs[dofs[i]] += thermal_load * model->element_load[i];
-        for (idx_t j = 0; j < n; ++j) {
-          triplets.add(dofs[i], dofs[j], model->element_stiffness(i, j));
-        }
       }
     }
   }
-  problem.stiffness = CsrMatrix::from_triplets(triplets);
+  const auto model_of = [&](int bx, int by) -> const RomModel& {
+    const bool is_tsv =
+        mask.empty() || mask[static_cast<std::size_t>(by) * grid.blocks_x() + bx] != 0;
+    return is_tsv ? tsv_model : *dummy_model;
+  };
+
+  // Every block contributes exactly n^2 stiffness entries, so each block
+  // owns a fixed slice of the triplet arrays and the scatter parallelizes
+  // with no races and a bitwise-deterministic result (the slice layout is
+  // the serial push order). The rhs overlaps between neighbouring blocks;
+  // its accumulation stays serial — it is O(n) per block against the
+  // O(n^2) stiffness scatter — so its summation order is fixed too.
+  const std::size_t num_blocks = static_cast<std::size_t>(grid.num_blocks());
+  const std::size_t per_block = static_cast<std::size_t>(n) * n;
+  std::vector<idx_t> is(num_blocks * per_block);
+  std::vector<idx_t> js(num_blocks * per_block);
+  std::vector<double> vs(num_blocks * per_block);
+
+  const int blocks_x = grid.blocks_x();
+  const int blocks_y = grid.blocks_y();
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (int b = 0; b < blocks_x * blocks_y; ++b) {
+    const int bx = b % blocks_x;
+    const int by = b / blocks_x;
+    const RomModel& model = model_of(bx, by);
+    const std::vector<idx_t> dofs = grid.block_dofs(bx, by);
+    std::size_t pos = static_cast<std::size_t>(b) * per_block;
+    for (idx_t i = 0; i < n; ++i) {
+      for (idx_t j = 0; j < n; ++j, ++pos) {
+        is[pos] = dofs[i];
+        js[pos] = dofs[j];
+        vs[pos] = model.element_stiffness(i, j);
+      }
+    }
+  }
+  for (int by = 0; by < blocks_y; ++by) {
+    for (int bx = 0; bx < blocks_x; ++bx) {
+      const RomModel& model = model_of(bx, by);
+      const std::vector<idx_t> dofs = grid.block_dofs(bx, by);
+      const double thermal_load = load.at(bx, by);
+      for (idx_t i = 0; i < n; ++i) {
+        problem.rhs[dofs[i]] += thermal_load * model.element_load[i];
+      }
+    }
+  }
+  problem.stiffness = CsrMatrix::from_triplets(la::TripletList::from_parts(
+      problem.num_dofs, problem.num_dofs, std::move(is), std::move(js), std::move(vs)));
   return problem;
 }
 

@@ -56,6 +56,41 @@ std::array<double, kCondDofs> hex8_top_flux_load(double q, double hx, double hy)
   return fe;
 }
 
+std::array<double, kCondDofs * kCondDofs> hex8_capacitance_matrix(double capacity, double hx,
+                                                                  double hy, double hz) {
+  if (capacity <= 0.0) {
+    throw std::invalid_argument("hex8_capacitance_matrix: heat capacity must be positive");
+  }
+  // Tensor product of the 1-D linear mass matrix (h/6) [2 1; 1 2]: the
+  // normalized per-axis factor is 1/3 when nodes a and b sit on the same
+  // side of that axis and 1/6 when they sit on opposite sides. Three powers
+  // of length convert via kMicro^3.
+  const double cv = capacity * (hx * hy * hz) * kMicro * kMicro * kMicro;
+  // Corner order (xi,eta,zeta) = 000,100,110,010,001,101,111,011.
+  static constexpr int kSide[kCondDofs][3] = {{0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0},
+                                              {0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {0, 1, 1}};
+  std::array<double, kCondDofs * kCondDofs> me{};
+  for (int a = 0; a < kCondDofs; ++a) {
+    for (int b = 0; b < kCondDofs; ++b) {
+      double w = cv;
+      for (int c = 0; c < 3; ++c) w *= (kSide[a][c] == kSide[b][c]) ? (1.0 / 3.0) : (1.0 / 6.0);
+      me[a * kCondDofs + b] = w;
+    }
+  }
+  return me;
+}
+
+std::array<double, kCondDofs> hex8_lumped_capacitance(double capacity, double hx, double hy,
+                                                      double hz) {
+  if (capacity <= 0.0) {
+    throw std::invalid_argument("hex8_lumped_capacitance: heat capacity must be positive");
+  }
+  const double share = capacity * (hx * hy * hz) * kMicro * kMicro * kMicro / 8.0;
+  std::array<double, kCondDofs> me{};
+  me.fill(share);
+  return me;
+}
+
 std::array<double, kCondDofs * kCondDofs> hex8_face_film_matrix(double film_coefficient, double hx,
                                                                double hy, int face) {
   if (face != 0 && face != 1) {

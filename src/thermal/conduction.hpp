@@ -44,6 +44,20 @@ std::array<double, kCondDofs * kCondDofs> hex8_conduction_stiffness(double kx, d
 /// to A/4 each). Entries in W; only indices 4..7 are nonzero.
 std::array<double, kCondDofs> hex8_top_flux_load(double q, double hx, double hy);
 
+/// Consistent capacitance (thermal mass) matrix Me (8 x 8, row-major) =
+/// integral c N_a N_b dV for a box element of edges (hx, hy, hz) [um] and
+/// volumetric heat capacity c = rho c_p [J/(m^3 K)]. Entries come out in J/K
+/// (three powers of length, so kMicro^3 converts the um^3 volume); the total
+/// sums to c V. Closed form: the 1-D linear mass factors 1/3 (same corner) /
+/// 1/6 (opposite corner) tensor-multiplied over the three axes.
+std::array<double, kCondDofs * kCondDofs> hex8_capacitance_matrix(double capacity, double hx,
+                                                                  double hy, double hz);
+
+/// Lumped (row-sum) capacitance: c V / 8 [J/K] on each of the 8 nodes. The
+/// diagonal form keeps M positive definite and makes M v a pointwise product.
+std::array<double, kCondDofs> hex8_lumped_capacitance(double capacity, double hx, double hy,
+                                                      double hz);
+
 /// Bilinear face "mass" matrix scaled by a film coefficient: integral h N_a
 /// N_b dA over the z-min (face = 0) or z-max (face = 1) face of the element.
 /// h is in W/(m^2 K); entries come out in W/K. Used for convective (Robin)

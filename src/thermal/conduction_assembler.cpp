@@ -59,6 +59,55 @@ CsrMatrix assemble_conduction(const mesh::HexMesh& mesh, const fem::MaterialTabl
   return assemble_conduction(mesh, conductivities_from_materials(mesh, materials));
 }
 
+la::TripletList capacitance_triplets(const mesh::HexMesh& mesh, const Vec& capacity_per_elem,
+                                     bool lumped) {
+  if (capacity_per_elem.size() != static_cast<std::size_t>(mesh.num_elems())) {
+    throw std::invalid_argument("capacitance_triplets: one heat capacity per element required");
+  }
+  const idx_t num_dofs = mesh.num_nodes();
+  la::TripletList triplets(num_dofs, num_dofs);
+  triplets.reserve(static_cast<std::size_t>(mesh.num_elems()) *
+                   (lumped ? kCondDofs : kCondDofs * kCondDofs));
+  for (idx_t e = 0; e < mesh.num_elems(); ++e) {
+    const mesh::Point3 lo = mesh.elem_min(e);
+    const mesh::Point3 hi = mesh.elem_max(e);
+    const double hx = hi.x - lo.x;
+    const double hy = hi.y - lo.y;
+    const double hz = hi.z - lo.z;
+    const auto nodes = mesh.elem_nodes(e);
+    if (lumped) {
+      const auto me = hex8_lumped_capacitance(capacity_per_elem[e], hx, hy, hz);
+      for (int a = 0; a < kCondDofs; ++a) triplets.add(nodes[a], nodes[a], me[a]);
+    } else {
+      const auto me = hex8_capacitance_matrix(capacity_per_elem[e], hx, hy, hz);
+      for (int a = 0; a < kCondDofs; ++a) {
+        for (int b = 0; b < kCondDofs; ++b) {
+          triplets.add(nodes[a], nodes[b], me[a * kCondDofs + b]);
+        }
+      }
+    }
+  }
+  return triplets;
+}
+
+CsrMatrix assemble_capacitance(const mesh::HexMesh& mesh, const Vec& capacity_per_elem,
+                               bool lumped) {
+  return CsrMatrix::from_triplets(capacitance_triplets(mesh, capacity_per_elem, lumped));
+}
+
+Vec capacities_from_materials(const mesh::HexMesh& mesh, const fem::MaterialTable& materials) {
+  Vec c(static_cast<std::size_t>(mesh.num_elems()));
+  for (idx_t e = 0; e < mesh.num_elems(); ++e) {
+    const fem::Material& mat = materials.at(mesh.material(e));
+    if (mat.volumetric_heat_capacity <= 0.0) {
+      throw std::invalid_argument("transient conduction: material '" + mat.name +
+                                  "' has no positive volumetric heat capacity");
+    }
+    c[e] = mat.volumetric_heat_capacity;
+  }
+  return c;
+}
+
 Vec assemble_power_load(const mesh::HexMesh& mesh, const PowerMap& power) {
   Vec rhs(static_cast<std::size_t>(mesh.num_nodes()), 0.0);
   const idx_t kz = mesh.elems_z() - 1;  // top element layer
@@ -140,6 +189,30 @@ double effective_block_conductivity(const mesh::TsvGeometry& geometry,
   return (p.si_area * p.k_si + p.cu_area * p.k_cu + p.liner_area * p.k_liner) / p.block_area;
 }
 
+double effective_block_capacity(const mesh::TsvGeometry& geometry,
+                                const fem::MaterialTable& materials) {
+  const BlockPhases p = block_phases(geometry, materials);
+  const double c_si = materials.at(mesh::MaterialId::Silicon).volumetric_heat_capacity;
+  const double c_cu = materials.at(mesh::MaterialId::Copper).volumetric_heat_capacity;
+  const double c_liner = materials.at(mesh::MaterialId::Liner).volumetric_heat_capacity;
+  if (c_si <= 0.0 || c_cu <= 0.0 || c_liner <= 0.0) {
+    throw std::invalid_argument("block capacity: material heat capacities must be positive");
+  }
+  return (p.si_area * c_si + p.cu_area * c_cu + p.liner_area * c_liner) / p.block_area;
+}
+
+double block_capacity(const mesh::TsvGeometry& geometry, const fem::MaterialTable& materials,
+                      bool is_tsv, ConductivityModel model) {
+  if (model == ConductivityModel::kTsvAware && !is_tsv) {
+    const double c_si = materials.at(mesh::MaterialId::Silicon).volumetric_heat_capacity;
+    if (c_si <= 0.0) {
+      throw std::invalid_argument("block_capacity: silicon heat capacity must be positive");
+    }
+    return c_si;
+  }
+  return effective_block_capacity(geometry, materials);
+}
+
 double reuss_block_conductivity(const mesh::TsvGeometry& geometry,
                                 const fem::MaterialTable& materials) {
   const BlockPhases p = block_phases(geometry, materials);
@@ -163,30 +236,34 @@ double maxwell_garnett_in_plane_conductivity(const mesh::TsvGeometry& geometry,
          ((1.0 - f) * k_via + (1.0 + f) * p.k_si);
 }
 
+BlockBinning::BlockBinning(int blocks_x, int blocks_y, double pitch,
+                           std::vector<std::uint8_t> tsv_mask)
+    : blocks_x_(blocks_x), blocks_y_(blocks_y), pitch_(pitch), mask_(std::move(tsv_mask)) {
+  if (blocks_x_ < 1 || blocks_y_ < 1) {
+    throw std::invalid_argument("BlockBinning: need >= 1 block per axis");
+  }
+  if (pitch_ <= 0.0) throw std::invalid_argument("BlockBinning: pitch must be positive");
+  if (!mask_.empty() && mask_.size() != static_cast<std::size_t>(blocks_x_) * blocks_y_) {
+    throw std::invalid_argument("BlockBinning: mask size must be blocks_x*blocks_y");
+  }
+}
+
+bool BlockBinning::is_tsv(double x, double y) const {
+  const int bx = std::min(std::max(static_cast<int>(x / pitch_), 0), blocks_x_ - 1);
+  const int by = std::min(std::max(static_cast<int>(y / pitch_), 0), blocks_y_ - 1);
+  return mask_.empty() || mask_[static_cast<std::size_t>(by) * blocks_x_ + bx] != 0;
+}
+
 BlockConductivityMap::BlockConductivityMap(const mesh::TsvGeometry& geometry,
                                            const fem::MaterialTable& materials, int blocks_x,
                                            int blocks_y, std::vector<std::uint8_t> tsv_mask,
                                            ConductivityModel model)
-    : blocks_x_(blocks_x),
-      blocks_y_(blocks_y),
-      pitch_(geometry.pitch),
-      mask_(std::move(tsv_mask)),
+    : binning_(blocks_x, blocks_y, geometry.pitch, std::move(tsv_mask)),
       tsv_k_(block_conductivity(geometry, materials, /*is_tsv=*/true, model)),
-      dummy_k_(block_conductivity(geometry, materials, /*is_tsv=*/false, model)) {
-  if (blocks_x_ < 1 || blocks_y_ < 1) {
-    throw std::invalid_argument("BlockConductivityMap: need >= 1 block per axis");
-  }
-  if (!mask_.empty() && mask_.size() != static_cast<std::size_t>(blocks_x_) * blocks_y_) {
-    throw std::invalid_argument("BlockConductivityMap: mask size must be blocks_x*blocks_y");
-  }
-}
+      dummy_k_(block_conductivity(geometry, materials, /*is_tsv=*/false, model)) {}
 
 const BlockConductivity& BlockConductivityMap::at(double x, double y) const {
-  const int bx = std::min(std::max(static_cast<int>(x / pitch_), 0), blocks_x_ - 1);
-  const int by = std::min(std::max(static_cast<int>(y / pitch_), 0), blocks_y_ - 1);
-  const bool is_tsv =
-      mask_.empty() || mask_[static_cast<std::size_t>(by) * blocks_x_ + bx] != 0;
-  return is_tsv ? tsv_k_ : dummy_k_;
+  return binning_.is_tsv(x, y) ? tsv_k_ : dummy_k_;
 }
 
 BlockConductivity block_conductivity(const mesh::TsvGeometry& geometry,

@@ -42,6 +42,28 @@ CsrMatrix assemble_conduction(const mesh::HexMesh& mesh, const fem::MaterialTabl
 /// Per-element conductivities looked up from the material table.
 Vec conductivities_from_materials(const mesh::HexMesh& mesh, const fem::MaterialTable& materials);
 
+/// Capacitance (thermal mass) triplets with per-element volumetric heat
+/// capacities (size num_elems, J/(m^3 K)): the M of the transient system
+/// M dT/dt + K T = f. `lumped` row-sums each element matrix onto the
+/// diagonal (the robust default for implicit stepping); consistent keeps the
+/// full tensor-product mass.
+la::TripletList capacitance_triplets(const mesh::HexMesh& mesh, const Vec& capacity_per_elem,
+                                     bool lumped);
+
+/// Capacitance matrix, compressed.
+CsrMatrix assemble_capacitance(const mesh::HexMesh& mesh, const Vec& capacity_per_elem,
+                               bool lumped);
+
+/// Per-element volumetric heat capacities looked up from the material table
+/// (throws if any referenced material has no positive capacity).
+Vec capacities_from_materials(const mesh::HexMesh& mesh, const fem::MaterialTable& materials);
+
+/// Volume-weighted effective heat capacity of a TSV unit block [J/(m^3 K)].
+/// Unlike conductivity, the volume average is exact for capacity (it is an
+/// extensive quantity), so there is one estimate, not a Voigt/Reuss pair.
+double effective_block_capacity(const mesh::TsvGeometry& geometry,
+                                const fem::MaterialTable& materials);
+
 /// Load vector of `power` applied as a surface flux on the z-max face; the
 /// map is sampled at each top-face centroid (elements finer than tiles see
 /// exact tile values, coarser elements see the centroid tile).
@@ -94,6 +116,13 @@ BlockConductivity block_conductivity(const mesh::TsvGeometry& geometry,
                                      const fem::MaterialTable& materials, bool is_tsv,
                                      ConductivityModel model);
 
+/// Per-block effective volumetric heat capacity [J/(m^3 K)], the companion
+/// of block_conductivity for transient solves: dummy blocks hold bulk
+/// silicon under kTsvAware, TSV blocks (and every block under kViaAveraged)
+/// the exact volume-weighted three-phase average.
+double block_capacity(const mesh::TsvGeometry& geometry, const fem::MaterialTable& materials,
+                      bool is_tsv, ConductivityModel model);
+
 /// Per-element orthotropic conductivity field over a coarse thermal mesh
 /// (one in-plane and one through-plane value per element).
 struct ConductivityField {
@@ -101,10 +130,29 @@ struct ConductivityField {
   Vec through_plane;
 };
 
-/// Per-block conductivity lookup for a window of unit blocks: one place owns
-/// the centroid -> block binning (min-clamped floor) and the y-major TSV
-/// mask convention (1 = TSV, empty = all TSV) shared by the array thermal
-/// mesh and the package conduction model.
+/// Centroid -> unit-block binning (clamped floor) plus the y-major TSV mask
+/// convention (1 = TSV, empty = all TSV): the one owner of the block-lookup
+/// rules every per-block field builder (conductivity, capacity, array and
+/// package meshes) shares.
+class BlockBinning {
+ public:
+  BlockBinning(int blocks_x, int blocks_y, double pitch, std::vector<std::uint8_t> tsv_mask);
+
+  /// Whether the block containing window-local plan point (x, y) carries a
+  /// via; callers outside the window must not ask (coordinates are clamped).
+  [[nodiscard]] bool is_tsv(double x, double y) const;
+
+  [[nodiscard]] int blocks_x() const { return blocks_x_; }
+  [[nodiscard]] int blocks_y() const { return blocks_y_; }
+
+ private:
+  int blocks_x_, blocks_y_;
+  double pitch_;
+  std::vector<std::uint8_t> mask_;
+};
+
+/// Per-block conductivity lookup for a window of unit blocks, layered on
+/// BlockBinning.
 class BlockConductivityMap {
  public:
   BlockConductivityMap(const mesh::TsvGeometry& geometry, const fem::MaterialTable& materials,
@@ -116,9 +164,7 @@ class BlockConductivityMap {
   [[nodiscard]] const BlockConductivity& at(double x, double y) const;
 
  private:
-  int blocks_x_, blocks_y_;
-  double pitch_;
-  std::vector<std::uint8_t> mask_;
+  BlockBinning binning_;
   BlockConductivity tsv_k_, dummy_k_;
 };
 

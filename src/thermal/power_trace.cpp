@@ -1,0 +1,128 @@
+#include "thermal/power_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace ms::thermal {
+
+namespace {
+
+bool same_tiling(const PowerMap& a, const PowerMap& b) {
+  return a.tiles_x() == b.tiles_x() && a.tiles_y() == b.tiles_y() &&
+         a.width() == b.width() && a.height() == b.height();
+}
+
+}  // namespace
+
+void PowerTrace::add_keyframe(double time, PowerMap map) {
+  if (times_.empty()) {
+    if (time < 0.0) throw std::invalid_argument("PowerTrace: keyframe times must be >= 0");
+  } else {
+    if (time <= times_.back()) {
+      throw std::invalid_argument("PowerTrace: keyframe times must be strictly increasing");
+    }
+    if (interpolation_ == Interpolation::kLinear && !same_tiling(maps_.front(), map)) {
+      throw std::invalid_argument(
+          "PowerTrace: linear interpolation requires all keyframes on one tiling");
+    }
+  }
+  times_.push_back(time);
+  maps_.push_back(std::move(map));
+}
+
+double PowerTrace::duration() const { return times_.empty() ? 0.0 : times_.back(); }
+
+PowerTrace::Sample PowerTrace::sample(double time) const {
+  if (times_.empty()) throw std::logic_error("PowerTrace::sample: empty trace");
+  Sample s;
+  if (time <= times_.front()) return s;  // clamp to the first keyframe
+  if (time >= times_.back()) {
+    s.lo = s.hi = times_.size() - 1;
+    return s;
+  }
+  // First keyframe strictly after `time`; the active interval is [it-1, it).
+  const auto it = std::upper_bound(times_.begin(), times_.end(), time);
+  const std::size_t hi = static_cast<std::size_t>(it - times_.begin());
+  s.lo = hi - 1;
+  if (interpolation_ == Interpolation::kPiecewiseConstant) {
+    s.hi = s.lo;
+    return s;
+  }
+  s.hi = hi;
+  s.weight = (time - times_[s.lo]) / (times_[s.hi] - times_[s.lo]);
+  return s;
+}
+
+PowerMap PowerTrace::at(double time) const {
+  const Sample s = sample(time);
+  if (s.lo == s.hi || s.weight == 0.0) return maps_[s.lo];
+  const PowerMap& a = maps_[s.lo];
+  const PowerMap& b = maps_[s.hi];
+  PowerMap blended(a.tiles_x(), a.tiles_y(), a.width(), a.height());
+  for (int ty = 0; ty < a.tiles_y(); ++ty) {
+    for (int tx = 0; tx < a.tiles_x(); ++tx) {
+      blended.set_tile(tx, ty, (1.0 - s.weight) * a.tile(tx, ty) + s.weight * b.tile(tx, ty));
+    }
+  }
+  return blended;
+}
+
+bool PowerTrace::is_constant() const {
+  for (std::size_t i = 1; i < maps_.size(); ++i) {
+    if (!same_tiling(maps_.front(), maps_[i])) return false;
+    for (int ty = 0; ty < maps_.front().tiles_y(); ++ty) {
+      for (int tx = 0; tx < maps_.front().tiles_x(); ++tx) {
+        if (maps_[i].tile(tx, ty) != maps_.front().tile(tx, ty)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+PowerTrace PowerTrace::constant(PowerMap map, double duration) {
+  if (duration <= 0.0) throw std::invalid_argument("PowerTrace::constant: duration must be > 0");
+  PowerTrace trace(Interpolation::kPiecewiseConstant);
+  trace.add_keyframe(0.0, map);
+  trace.add_keyframe(duration, std::move(map));
+  return trace;
+}
+
+PowerTrace PowerTrace::square_wave(PowerMap low, PowerMap high, double period, double duty,
+                                   int cycles) {
+  if (period <= 0.0) throw std::invalid_argument("PowerTrace::square_wave: period must be > 0");
+  if (duty <= 0.0 || duty >= 1.0) {
+    throw std::invalid_argument("PowerTrace::square_wave: duty must lie in (0, 1)");
+  }
+  if (cycles < 1) throw std::invalid_argument("PowerTrace::square_wave: need >= 1 cycle");
+  if (!same_tiling(low, high)) {
+    throw std::invalid_argument("PowerTrace::square_wave: low/high maps must share a footprint");
+  }
+  PowerTrace trace(Interpolation::kPiecewiseConstant);
+  for (int c = 0; c < cycles; ++c) {
+    trace.add_keyframe(c * period, high);
+    trace.add_keyframe((c + duty) * period, low);
+  }
+  trace.add_keyframe(cycles * period, std::move(low));
+  return trace;
+}
+
+PowerTrace PowerTrace::migrating_hotspot(const PowerMap& background, double x0, double y0,
+                                         double x1, double y1, double sigma, double peak,
+                                         double duration, int steps) {
+  if (duration <= 0.0) {
+    throw std::invalid_argument("PowerTrace::migrating_hotspot: duration must be > 0");
+  }
+  if (steps < 1) throw std::invalid_argument("PowerTrace::migrating_hotspot: need >= 1 step");
+  PowerTrace trace(Interpolation::kLinear);
+  for (int s = 0; s <= steps; ++s) {
+    const double w = static_cast<double>(s) / steps;
+    PowerMap frame = background;
+    frame.add_gaussian_hotspot(x0 + w * (x1 - x0), y0 + w * (y1 - y0), sigma, peak);
+    trace.add_keyframe(w * duration, std::move(frame));
+  }
+  return trace;
+}
+
+}  // namespace ms::thermal

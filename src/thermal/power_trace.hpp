@@ -1,0 +1,90 @@
+#pragma once
+// Time-dependent workload power: a PowerTrace is an ordered sequence of
+// (time, PowerMap) keyframes over [0, duration] seconds, the heat input of
+// the transient conduction stage. Between keyframes the trace is either
+// piecewise-constant (each keyframe holds until the next one — the natural
+// encoding of duty cycles and throttling steps) or linearly interpolated
+// tile-by-tile (smooth ramps and migrating hotspots; all keyframes must
+// share one tiling). Because the assembled power load is linear in the map,
+// the transient solver interpolates precomputed keyframe load *vectors*
+// instead of re-assembling per step — sample() exposes the blend weights.
+//
+// Generators cover the common time-domain shapes: a constant hold (the
+// steady-state degenerate case), a square wave (duty-cycled accelerator),
+// and a hotspot migrating across the die.
+
+#include <cstddef>
+#include <vector>
+
+#include "thermal/power_map.hpp"
+
+namespace ms::thermal {
+
+class PowerTrace {
+ public:
+  enum class Interpolation {
+    kPiecewiseConstant,  ///< keyframe i holds on [t_i, t_{i+1})
+    kLinear,             ///< tile-wise linear blend between keyframes
+  };
+
+  PowerTrace() = default;
+  explicit PowerTrace(Interpolation interpolation) : interpolation_(interpolation) {}
+
+  /// Append a keyframe; times must be strictly increasing and the first must
+  /// be >= 0. Linear traces require every map to share the first keyframe's
+  /// tiling and footprint.
+  void add_keyframe(double time, PowerMap map);
+
+  [[nodiscard]] Interpolation interpolation() const { return interpolation_; }
+  [[nodiscard]] std::size_t num_keyframes() const { return times_.size(); }
+  [[nodiscard]] const PowerMap& keyframe(std::size_t i) const { return maps_[i]; }
+  [[nodiscard]] double keyframe_time(std::size_t i) const { return times_[i]; }
+
+  /// Time of the last keyframe (0 for an empty or single-keyframe trace at
+  /// t = 0): the natural horizon of a transient solve.
+  [[nodiscard]] double duration() const;
+
+  /// Blend state at time t (clamped to [first, last] keyframe time): the
+  /// trace value is (1 - weight) * keyframe(lo) + weight * keyframe(hi).
+  /// Piecewise-constant traces always return weight 0 with lo = hi = the
+  /// active keyframe. Throws if the trace is empty.
+  struct Sample {
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+    double weight = 0.0;
+  };
+  [[nodiscard]] Sample sample(double time) const;
+
+  /// Materialized map at time t (blended tile-by-tile for linear traces).
+  [[nodiscard]] PowerMap at(double time) const;
+
+  /// True when every keyframe carries identical tile densities: the trace
+  /// degenerates to a steady-state solve.
+  [[nodiscard]] bool is_constant() const;
+
+  // --- generators ----------------------------------------------------------
+
+  /// One map held for `duration` seconds.
+  static PowerTrace constant(PowerMap map, double duration);
+
+  /// Square wave: `high` for duty * period seconds, then `low` for the rest,
+  /// repeated `cycles` times (piecewise-constant; duty in (0, 1), both maps
+  /// on the same footprint). The trace ends with a final `low` keyframe at
+  /// cycles * period so duration() spans the whole waveform.
+  static PowerTrace square_wave(PowerMap low, PowerMap high, double period, double duty,
+                                int cycles);
+
+  /// A Gaussian hotspot of the given sigma [um] and peak [W/mm^2] riding on
+  /// `background`, its centre moving linearly from (x0, y0) to (x1, y1) over
+  /// `duration` seconds, sampled at `steps` + 1 linearly-blended keyframes.
+  static PowerTrace migrating_hotspot(const PowerMap& background, double x0, double y0, double x1,
+                                      double y1, double sigma, double peak, double duration,
+                                      int steps);
+
+ private:
+  Interpolation interpolation_ = Interpolation::kPiecewiseConstant;
+  std::vector<double> times_;
+  std::vector<PowerMap> maps_;
+};
+
+}  // namespace ms::thermal

@@ -30,29 +30,46 @@ double TemperatureField::max() const { return *std::max_element(t_.begin(), t_.e
 
 std::vector<double> TemperatureField::block_averages(int blocks_x, int blocks_y,
                                                      double pitch) const {
+  return BlockAverager(mesh_, blocks_x, blocks_y, pitch).reduce(t_);
+}
+
+BlockAverager::BlockAverager(const mesh::HexMesh& mesh, int blocks_x, int blocks_y, double pitch)
+    : blocks_x_(blocks_x), blocks_y_(blocks_y), num_nodes_(mesh.num_nodes()) {
   if (blocks_x < 1 || blocks_y < 1) {
     throw std::invalid_argument("block_averages: need >= 1 block per axis");
   }
-  std::vector<double> sum(static_cast<std::size_t>(blocks_x) * blocks_y, 0.0);
-  std::vector<double> vol(sum.size(), 0.0);
-  for (idx_t e = 0; e < mesh_.num_elems(); ++e) {
-    const mesh::Point3 c = mesh_.elem_centroid(e);
+  if (pitch <= 0.0) throw std::invalid_argument("block_averages: pitch must be positive");
+  const std::size_t num_elems = static_cast<std::size_t>(mesh.num_elems());
+  elem_nodes_.resize(num_elems);
+  elem_block_.resize(num_elems);
+  elem_weight_.resize(num_elems);
+  std::vector<double> vol(static_cast<std::size_t>(blocks_x) * blocks_y, 0.0);
+  for (idx_t e = 0; e < mesh.num_elems(); ++e) {
+    const mesh::Point3 c = mesh.elem_centroid(e);
     const int bx = std::clamp(static_cast<int>(c.x / pitch), 0, blocks_x - 1);
     const int by = std::clamp(static_cast<int>(c.y / pitch), 0, blocks_y - 1);
-    const auto nodes = mesh_.elem_nodes(e);
-    double mean = 0.0;
-    for (idx_t node : nodes) mean += t_[node];
-    mean /= 8.0;
-    const double v = mesh_.elem_volume(e);
-    const std::size_t b = static_cast<std::size_t>(by) * blocks_x + bx;
-    sum[b] += mean * v;
-    vol[b] += v;
+    elem_nodes_[e] = mesh.elem_nodes(e);
+    elem_block_[e] = static_cast<std::size_t>(by) * blocks_x + bx;
+    elem_weight_[e] = mesh.elem_volume(e);
+    vol[elem_block_[e]] += elem_weight_[e];
   }
-  for (std::size_t b = 0; b < sum.size(); ++b) {
+  for (std::size_t b = 0; b < vol.size(); ++b) {
     if (vol[b] <= 0.0) throw std::logic_error("block_averages: block not covered by the mesh");
-    sum[b] /= vol[b];
   }
-  return sum;
+  for (std::size_t e = 0; e < num_elems; ++e) elem_weight_[e] /= vol[elem_block_[e]];
+}
+
+std::vector<double> BlockAverager::reduce(const Vec& nodal) const {
+  if (nodal.size() != static_cast<std::size_t>(num_nodes_)) {
+    throw std::invalid_argument("BlockAverager::reduce: one value per mesh node required");
+  }
+  std::vector<double> avg(static_cast<std::size_t>(blocks_x_) * blocks_y_, 0.0);
+  for (std::size_t e = 0; e < elem_nodes_.size(); ++e) {
+    double mean = 0.0;
+    for (idx_t node : elem_nodes_[e]) mean += nodal[node];
+    avg[elem_block_[e]] += elem_weight_[e] * (mean / 8.0);
+  }
+  return avg;
 }
 
 std::vector<double> TemperatureField::block_averages(int blocks_x, int blocks_y, double pitch,

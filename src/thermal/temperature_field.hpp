@@ -3,6 +3,8 @@
 // Provides point evaluation (trilinear interpolation through HexMesh::locate)
 // and the block-averaged ΔT reductions the ROM coupling consumes.
 
+#include <array>
+#include <cstddef>
 #include <utility>
 #include <vector>
 
@@ -47,6 +49,53 @@ class TemperatureField {
  private:
   mesh::HexMesh mesh_;
   Vec t_;
+};
+
+/// Precomputed block reduction for repeated use (the transient stepper
+/// reduces every step): element -> block binning and volume weights are
+/// resolved once, so reduce() is a single pass over the elements. Reproduces
+/// TemperatureField::block_averages(blocks_x, blocks_y, pitch) exactly.
+class BlockAverager {
+ public:
+  BlockAverager(const mesh::HexMesh& mesh, int blocks_x, int blocks_y, double pitch);
+
+  /// Volume-averaged block temperatures (y-major) of a nodal field on the
+  /// mesh the averager was built for.
+  [[nodiscard]] std::vector<double> reduce(const Vec& nodal) const;
+
+  [[nodiscard]] int blocks_x() const { return blocks_x_; }
+  [[nodiscard]] int blocks_y() const { return blocks_y_; }
+
+ private:
+  int blocks_x_ = 0, blocks_y_ = 0;
+  idx_t num_nodes_ = 0;
+  std::vector<std::array<idx_t, 8>> elem_nodes_;  ///< node ids per element
+  std::vector<std::size_t> elem_block_;           ///< block index per element
+  std::vector<double> elem_weight_;               ///< elem volume / block volume
+};
+
+/// Time history of a transient conduction solve reduced to per-block ΔT:
+/// what the time-domain ROM coupling consumes. ΔT is measured from the
+/// reduction reference (the stress-free temperature in coupled runs); the
+/// record always starts with the initial state at times[0].
+struct TransientTemperatureResult {
+  std::vector<double> times;       ///< recorded instants [s], t = 0 first
+  int blocks_x = 0, blocks_y = 0;
+  /// Per recorded instant, the y-major per-block ΔT (one entry per time).
+  std::vector<std::vector<double>> block_delta_t;
+  /// Per-block ΔT of largest magnitude (signed) over the whole recorded
+  /// history (y-major): the transient envelope the worst-case stress
+  /// evaluation uses. Stress grows with |ΔT|, so this is the worst state
+  /// both for ambient-referenced heating (all ΔT >= 0, where it equals the
+  /// plain max) and for reflow-referenced runs (all ΔT <= 0).
+  std::vector<double> peak_envelope;
+  /// Per-block trapezoidal time-average of ΔT over the recorded window: the
+  /// steady-equivalent load a pulsed trace would be mistaken for.
+  std::vector<double> time_average;
+  /// Nodal temperature field at the final step.
+  TemperatureField final_field;
+
+  [[nodiscard]] std::size_t num_records() const { return times.size(); }
 };
 
 }  // namespace ms::thermal

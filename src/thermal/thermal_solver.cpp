@@ -1,6 +1,7 @@
 #include "thermal/thermal_solver.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "fem/dirichlet.hpp"
@@ -89,6 +90,251 @@ TemperatureField solve_power_map(const mesh::HexMesh& mesh, const fem::MaterialT
                          stats);
 }
 
+namespace {
+
+/// θ of the implicit scheme; throws on an unknown name.
+double scheme_theta(const std::string& scheme) {
+  if (scheme == "backward-euler") return 1.0;
+  if (scheme == "crank-nicolson") return 0.5;
+  throw std::invalid_argument(
+      "solve_power_trace: scheme must be 'backward-euler' or 'crank-nicolson'");
+}
+
+}  // namespace
+
+TransientTemperatureResult solve_power_trace(const mesh::HexMesh& mesh,
+                                             const ConductivityField& conductivity,
+                                             const Vec& capacity_per_elem,
+                                             const PowerTrace& trace,
+                                             const BlockReduction& reduction,
+                                             const TransientSolveOptions& options,
+                                             TransientSolveStats* stats) {
+  const double theta = scheme_theta(options.scheme);
+  if (options.base.sink_film_coefficient < 0.0) {
+    throw std::invalid_argument(
+        "solve_power_trace: sink film coefficient must be >= 0 (0 = ideal sink)");
+  }
+  if (options.time_step <= 0.0) {
+    throw std::invalid_argument("solve_power_trace: time step must be > 0");
+  }
+  if (trace.num_keyframes() == 0) {
+    throw std::invalid_argument("solve_power_trace: trace has no keyframes");
+  }
+  const double dt = options.time_step;
+  int num_steps = options.num_steps;
+  if (num_steps <= 0) {
+    num_steps = static_cast<int>(std::ceil(trace.duration() / dt - 1e-12));
+    if (num_steps <= 0) {
+      throw std::invalid_argument(
+          "solve_power_trace: zero-duration trace needs an explicit num_steps");
+    }
+  }
+  if (reduction.pitch <= 0.0) {
+    throw std::invalid_argument("solve_power_trace: reduction pitch must be > 0");
+  }
+
+  util::WallTimer timer;
+  const idx_t n = mesh.num_nodes();
+
+  // Conduction operator K (film terms included, so the Robin boundary is
+  // θ-weighted like the interior) and its constant ambient rhs share.
+  la::TripletList k_triplets =
+      conduction_triplets(mesh, conductivity.in_plane, conductivity.through_plane);
+  Vec f_bc(static_cast<std::size_t>(n), 0.0);
+  fem::DirichletBc bc;
+  if (options.base.sink_film_coefficient > 0.0) {
+    add_convective_face(mesh, options.base.sink_film_coefficient, options.base.ambient,
+                        /*face=*/0, k_triplets, f_bc);
+  } else {
+    for (idx_t j = 0; j < mesh.nodes_y(); ++j) {
+      for (idx_t i = 0; i < mesh.nodes_x(); ++i) {
+        bc.add(mesh.node_id(i, j, 0), options.base.ambient);
+      }
+    }
+  }
+  const CsrMatrix k = CsrMatrix::from_triplets(k_triplets);
+
+  // Capacitance M: diagonal vector when lumped, full matrix when consistent.
+  Vec m_diag;
+  CsrMatrix m_consistent;
+  if (options.lumped_capacitance) {
+    m_diag = CsrMatrix::from_triplets(
+                 capacitance_triplets(mesh, capacity_per_elem, /*lumped=*/true))
+                 .diagonal();
+  } else {
+    m_consistent = CsrMatrix::from_triplets(
+        capacitance_triplets(mesh, capacity_per_elem, /*lumped=*/false));
+  }
+
+  // A = M/Δt + θK, assembled once, Dirichlet-lifted once, factored once.
+  la::TripletList a_triplets(n, n);
+  a_triplets.reserve(k_triplets.size() + (options.lumped_capacitance
+                                              ? static_cast<std::size_t>(n)
+                                              : static_cast<std::size_t>(m_consistent.nnz())));
+  for (std::size_t t = 0; t < k_triplets.size(); ++t) {
+    a_triplets.add(k_triplets.row_indices()[t], k_triplets.col_indices()[t],
+                   theta * k_triplets.values()[t]);
+  }
+  if (options.lumped_capacitance) {
+    for (idx_t i = 0; i < n; ++i) a_triplets.add(i, i, m_diag[i] / dt);
+  } else {
+    for (idx_t r = 0; r < n; ++r) {
+      for (la::offset_t p = m_consistent.row_ptr()[r];
+           p < m_consistent.row_ptr()[static_cast<std::size_t>(r) + 1]; ++p) {
+        a_triplets.add(r, m_consistent.col_idx()[p], m_consistent.values()[p] / dt);
+      }
+    }
+  }
+  CsrMatrix a = CsrMatrix::from_triplets(a_triplets);
+
+  // The sink value is constant in time, so the Dirichlet column correction
+  // A(free, constrained) * T_sink is one fixed vector: compute it before the
+  // lifting zeroes those columns, then subtract it from every step's rhs.
+  std::vector<char> constrained(static_cast<std::size_t>(n), 0);
+  Vec corr(static_cast<std::size_t>(n), 0.0);
+  if (!bc.dofs.empty()) {
+    Vec sink(static_cast<std::size_t>(n), 0.0);
+    for (std::size_t i = 0; i < bc.dofs.size(); ++i) {
+      sink[bc.dofs[i]] = bc.values[i];
+      constrained[bc.dofs[i]] = 1;
+    }
+    a.mul(sink, corr);
+    Vec dummy(static_cast<std::size_t>(n), 0.0);
+    fem::apply_dirichlet(a, dummy, bc);
+  }
+  // Power loads are linear in the map, so precompute one load vector per
+  // keyframe and blend vectors per step instead of re-assembling; this is
+  // assembly work, so it lands in assemble_seconds, not the stepping time.
+  std::vector<Vec> keyframe_loads;
+  keyframe_loads.reserve(trace.num_keyframes());
+  for (std::size_t i = 0; i < trace.num_keyframes(); ++i) {
+    keyframe_loads.push_back(assemble_power_load(mesh, trace.keyframe(i)));
+  }
+  if (stats != nullptr) {
+    stats->num_dofs = n;
+    stats->num_steps = num_steps;
+    stats->assemble_seconds = timer.seconds();
+  }
+
+  timer.reset();
+  const la::SparseCholesky factor(a);
+  if (stats != nullptr) stats->factor_seconds = timer.seconds();
+
+  timer.reset();
+  const auto power_load_at = [&](double time, Vec& out) {
+    const PowerTrace::Sample s = trace.sample(time);
+    const Vec& lo = keyframe_loads[s.lo];
+    if (s.lo == s.hi || s.weight == 0.0) {
+      out = lo;
+      return;
+    }
+    const Vec& hi = keyframe_loads[s.hi];
+    out.resize(lo.size());
+    for (std::size_t i = 0; i < lo.size(); ++i) {
+      out[i] = (1.0 - s.weight) * lo[i] + s.weight * hi[i];
+    }
+  };
+
+  const double t_init = std::isnan(options.initial_temperature) ? options.base.ambient
+                                                                : options.initial_temperature;
+  Vec t(static_cast<std::size_t>(n), t_init);
+  for (std::size_t i = 0; i < bc.dofs.size(); ++i) t[bc.dofs[i]] = bc.values[i];
+
+  const BlockAverager averager(mesh, reduction.blocks_x, reduction.blocks_y, reduction.pitch);
+  TransientTemperatureResult result;
+  result.blocks_x = reduction.blocks_x;
+  result.blocks_y = reduction.blocks_y;
+  result.times.reserve(static_cast<std::size_t>(num_steps) + 1);
+  result.block_delta_t.reserve(static_cast<std::size_t>(num_steps) + 1);
+  const auto record = [&](double time, const Vec& nodal) {
+    std::vector<double> blocks = averager.reduce(nodal);
+    for (double& b : blocks) b -= reduction.reference;
+    result.times.push_back(time);
+    result.block_delta_t.push_back(std::move(blocks));
+  };
+  record(0.0, t);
+
+  Vec f_prev(static_cast<std::size_t>(n));
+  Vec f_next(static_cast<std::size_t>(n));
+  Vec kt(static_cast<std::size_t>(n));
+  Vec mt(static_cast<std::size_t>(n));
+  Vec rhs(static_cast<std::size_t>(n));
+  power_load_at(0.0, f_prev);
+  for (int step = 1; step <= num_steps; ++step) {
+    const double time = step * dt;
+    power_load_at(time, f_next);
+    k.mul(t, kt);
+    if (options.lumped_capacitance) {
+      for (idx_t i = 0; i < n; ++i) mt[i] = m_diag[i] * t[i];
+    } else {
+      m_consistent.mul(t, mt);
+    }
+    for (idx_t i = 0; i < n; ++i) {
+      rhs[i] = mt[i] / dt - (1.0 - theta) * kt[i] + theta * f_next[i] +
+               (1.0 - theta) * f_prev[i] + f_bc[i];
+    }
+    if (!bc.dofs.empty()) {
+      for (idx_t i = 0; i < n; ++i) {
+        if (constrained[i]) continue;
+        rhs[i] -= corr[i];
+      }
+      for (std::size_t i = 0; i < bc.dofs.size(); ++i) rhs[bc.dofs[i]] = bc.values[i];
+    }
+    factor.solve_inplace(rhs, t);
+    record(time, t);
+    f_prev.swap(f_next);
+  }
+  if (stats != nullptr) stats->step_seconds = timer.seconds();
+
+  // Envelope and trapezoidal time-average over the recorded history. The
+  // envelope keeps the signed ΔT of largest magnitude: thermal stress grows
+  // with |ΔT|, so this is the worst state whether ΔT is measured from
+  // ambient (operational heating, all positive) or from a reflow reference
+  // (all negative — the signed max would pick the *mildest* state there).
+  const std::size_t num_blocks = result.block_delta_t.front().size();
+  result.peak_envelope = result.block_delta_t.front();
+  result.time_average.assign(num_blocks, 0.0);
+  for (std::size_t r = 0; r < result.block_delta_t.size(); ++r) {
+    const auto& blocks = result.block_delta_t[r];
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+      if (std::abs(blocks[b]) > std::abs(result.peak_envelope[b])) {
+        result.peak_envelope[b] = blocks[b];
+      }
+      double w = 0.0;
+      if (r > 0) w += 0.5 * (result.times[r] - result.times[r - 1]);
+      if (r + 1 < result.times.size()) w += 0.5 * (result.times[r + 1] - result.times[r]);
+      result.time_average[b] += w * blocks[b];
+    }
+  }
+  const double span = result.times.back() - result.times.front();
+  for (double& avg : result.time_average) avg /= span;
+
+  result.final_field = TemperatureField(mesh, std::move(t));
+  return result;
+}
+
+TransientTemperatureResult solve_power_trace(const mesh::HexMesh& mesh,
+                                             const Vec& conductivity_per_elem,
+                                             const Vec& capacity_per_elem,
+                                             const PowerTrace& trace,
+                                             const BlockReduction& reduction,
+                                             const TransientSolveOptions& options,
+                                             TransientSolveStats* stats) {
+  return solve_power_trace(mesh, ConductivityField{conductivity_per_elem, conductivity_per_elem},
+                           capacity_per_elem, trace, reduction, options, stats);
+}
+
+TransientTemperatureResult solve_power_trace(const mesh::HexMesh& mesh,
+                                             const fem::MaterialTable& materials,
+                                             const PowerTrace& trace,
+                                             const BlockReduction& reduction,
+                                             const TransientSolveOptions& options,
+                                             TransientSolveStats* stats) {
+  return solve_power_trace(mesh, conductivities_from_materials(mesh, materials),
+                           capacities_from_materials(mesh, materials), trace, reduction, options,
+                           stats);
+}
+
 mesh::HexMesh build_array_thermal_mesh(const mesh::TsvGeometry& geometry, int blocks_x,
                                        int blocks_y, int elems_per_block_xy, int elems_z) {
   if (blocks_x < 1 || blocks_y < 1) {
@@ -122,6 +368,20 @@ ConductivityField array_block_conductivities(const mesh::HexMesh& mesh,
     const BlockConductivity& k = blocks.at(c.x, c.y);
     field.in_plane[e] = k.in_plane;
     field.through_plane[e] = k.through_plane;
+  }
+  return field;
+}
+
+Vec array_block_capacities(const mesh::HexMesh& mesh, const mesh::TsvGeometry& geometry,
+                           const fem::MaterialTable& materials, int blocks_x, int blocks_y,
+                           const std::vector<std::uint8_t>& tsv_mask, ConductivityModel model) {
+  const BlockBinning binning(blocks_x, blocks_y, geometry.pitch, tsv_mask);
+  const double tsv_c = block_capacity(geometry, materials, /*is_tsv=*/true, model);
+  const double dummy_c = block_capacity(geometry, materials, /*is_tsv=*/false, model);
+  Vec field(static_cast<std::size_t>(mesh.num_elems()));
+  for (idx_t e = 0; e < mesh.num_elems(); ++e) {
+    const mesh::Point3 c = mesh.elem_centroid(e);
+    field[e] = binning.is_tsv(c.x, c.y) ? tsv_c : dummy_c;
   }
   return field;
 }

@@ -1,12 +1,16 @@
 #pragma once
-// Steady-state thermal solves: power map in, nodal temperature field out.
-// The standard die stack-up is assumed: heat enters at the z-max face (the
-// active layer), leaves at the z-min face into the heat sink / substrate —
-// either an ideal (Dirichlet) sink at ambient or a convective film — and
-// the lateral faces are adiabatic. Solved with the same la:: CG / sparse
-// Cholesky stack as the mechanical problems.
+// Thermal solves: power map (or power trace) in, temperature field (or
+// per-block ΔT history) out. The standard die stack-up is assumed: heat
+// enters at the z-max face (the active layer), leaves at the z-min face into
+// the heat sink / substrate — either an ideal (Dirichlet) sink at ambient or
+// a convective film — and the lateral faces are adiabatic. Steady state is
+// solved with the same la:: CG / sparse Cholesky stack as the mechanical
+// problems; the transient θ-scheme factorizes M/Δt + θK once and re-solves
+// per step, so a trace of hundreds of steps costs one factorization plus
+// that many triangular solves.
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -14,6 +18,7 @@
 #include "mesh/tsv_block.hpp"
 #include "thermal/conduction_assembler.hpp"
 #include "thermal/power_map.hpp"
+#include "thermal/power_trace.hpp"
 #include "thermal/temperature_field.hpp"
 
 namespace ms::thermal {
@@ -54,6 +59,81 @@ TemperatureField solve_power_map(const mesh::HexMesh& mesh, const fem::MaterialT
                                  const PowerMap& power, const ThermalSolveOptions& options = {},
                                  ThermalSolveStats* stats = nullptr);
 
+/// Controls of the implicit transient conduction solve. The time grid is
+/// uniform: t_n = n * time_step for n = 0..num_steps. Stability is
+/// unconditional for both schemes (backward Euler damps, Crank–Nicolson is
+/// 2nd-order accurate); pick time_step against the die's thermal time
+/// constant tau ~ c L^2 / k (~3e-5 s for a 50 um silicon die) — a few steps
+/// per tau resolve the envelope, steps >> tau just relax to steady state.
+struct TransientSolveOptions {
+  double time_step = 1e-5;  ///< Δt [s]
+  /// Number of implicit steps; 0 derives ceil(trace.duration() / time_step).
+  int num_steps = 0;
+  std::string scheme = "backward-euler";  ///< or "crank-nicolson"
+  /// Row-sum lumping of the capacitance matrix (diagonal M, the robust
+  /// default); false keeps the consistent tensor-product mass.
+  bool lumped_capacitance = true;
+  /// Starting temperature [C]; NaN starts at base.ambient (thermal
+  /// equilibrium with the sink, the usual power-on initial condition).
+  double initial_temperature = std::numeric_limits<double>::quiet_NaN();
+  /// Sink / ambient configuration, shared with the steady-state solver. The
+  /// iterative-method fields are ignored: the transient path always
+  /// factorizes directly.
+  ThermalSolveOptions base;
+};
+
+struct TransientSolveStats {
+  idx_t num_dofs = 0;
+  int num_steps = 0;
+  double assemble_seconds = 0.0;
+  double factor_seconds = 0.0;   ///< the one M/Δt + θK factorization
+  double step_seconds = 0.0;     ///< all per-step rhs builds + triangular solves
+  [[nodiscard]] double total_seconds() const {
+    return assemble_seconds + factor_seconds + step_seconds;
+  }
+};
+
+/// How the transient solver reduces each recorded state to per-block ΔT:
+/// block footprint of the array (pitch-sized, y-major) and the reference
+/// temperature ΔT is measured from (the stress-free temperature in coupled
+/// runs, so the recorded histories feed rom::BlockLoadField directly).
+struct BlockReduction {
+  int blocks_x = 1;
+  int blocks_y = 1;
+  double pitch = 0.0;
+  double reference = 0.0;
+};
+
+/// March the transient conduction problem M dT/dt + K T = f(t) through
+/// `trace` with the implicit θ-scheme and record the per-block ΔT history
+/// plus its peak envelope. Heat enters at the z-max face per the trace; the
+/// sink boundary follows options.base exactly like the steady solver. The
+/// factorization of M/Δt + θK is computed once and reused for every step.
+TransientTemperatureResult solve_power_trace(const mesh::HexMesh& mesh,
+                                             const ConductivityField& conductivity,
+                                             const Vec& capacity_per_elem,
+                                             const PowerTrace& trace,
+                                             const BlockReduction& reduction,
+                                             const TransientSolveOptions& options = {},
+                                             TransientSolveStats* stats = nullptr);
+
+/// Isotropic variant (one conductivity per element).
+TransientTemperatureResult solve_power_trace(const mesh::HexMesh& mesh,
+                                             const Vec& conductivity_per_elem,
+                                             const Vec& capacity_per_elem,
+                                             const PowerTrace& trace,
+                                             const BlockReduction& reduction,
+                                             const TransientSolveOptions& options = {},
+                                             TransientSolveStats* stats = nullptr);
+
+/// Same, with conductivities and heat capacities from the material table.
+TransientTemperatureResult solve_power_trace(const mesh::HexMesh& mesh,
+                                             const fem::MaterialTable& materials,
+                                             const PowerTrace& trace,
+                                             const BlockReduction& reduction,
+                                             const TransientSolveOptions& options = {},
+                                             TransientSolveStats* stats = nullptr);
+
 /// Coarse thermal mesh of a blocks_x x blocks_y TSV array: a uniform grid
 /// with `elems_per_block_xy` elements across each pitch and `elems_z`
 /// through the height. All elements are Silicon; pair with
@@ -72,5 +152,13 @@ ConductivityField array_block_conductivities(const mesh::HexMesh& mesh,
                                              int blocks_y,
                                              const std::vector<std::uint8_t>& tsv_mask,
                                              ConductivityModel model);
+
+/// Per-element effective volumetric heat capacities of an array thermal
+/// mesh, the transient companion of array_block_conductivities: each element
+/// takes the block_capacity of the block its centroid falls in (same mask
+/// and binning conventions).
+Vec array_block_capacities(const mesh::HexMesh& mesh, const mesh::TsvGeometry& geometry,
+                           const fem::MaterialTable& materials, int blocks_x, int blocks_y,
+                           const std::vector<std::uint8_t>& tsv_mask, ConductivityModel model);
 
 }  // namespace ms::thermal

@@ -152,5 +152,85 @@ TEST(MaterialTable, StandardMaterialsCarryConductivities) {
   EXPECT_GT(materials.at(mesh::MaterialId::Organic).conductivity, 0.0);
 }
 
+TEST(MaterialTable, StandardMaterialsCarryHeatCapacities) {
+  const fem::MaterialTable materials = fem::MaterialTable::standard();
+  // Solids cluster around 1-4 MJ/(m^3 K); copper is the densest store.
+  for (auto id : {mesh::MaterialId::Silicon, mesh::MaterialId::Copper, mesh::MaterialId::Liner,
+                  mesh::MaterialId::Organic}) {
+    EXPECT_GT(materials.at(id).volumetric_heat_capacity, 1.0e6);
+    EXPECT_LT(materials.at(id).volumetric_heat_capacity, 4.0e6);
+  }
+  EXPECT_GT(materials.at(mesh::MaterialId::Copper).volumetric_heat_capacity,
+            materials.at(mesh::MaterialId::Silicon).volumetric_heat_capacity);
+}
+
+TEST(CapacitanceElement, ConsistentMatrixIntegratesToThermalMass) {
+  const double c = 1.63e6, hx = 1.5, hy = 2.0, hz = 0.5;
+  const auto me = hex8_capacitance_matrix(c, hx, hy, hz);
+  const double mass = c * hx * hy * hz * kMicro * kMicro * kMicro;
+  double total = 0.0;
+  for (int a = 0; a < kCondDofs; ++a) {
+    double row = 0.0;
+    for (int b = 0; b < kCondDofs; ++b) {
+      EXPECT_NEAR(me[a * kCondDofs + b], me[b * kCondDofs + a], 1e-25);
+      EXPECT_GT(me[a * kCondDofs + b], 0.0);  // trilinear mass is positive
+      row += me[a * kCondDofs + b];
+    }
+    // Each row integrates N_a against 1: the lumped share c V / 8.
+    EXPECT_NEAR(row, mass / 8.0, 1e-12 * mass);
+    total += row;
+  }
+  EXPECT_NEAR(total, mass, 1e-12 * mass);
+  // Diagonal of the tensor-product mass is c V / 27.
+  EXPECT_NEAR(me[0], mass / 27.0, 1e-12 * mass);
+}
+
+TEST(CapacitanceElement, LumpedMatchesConsistentRowSums) {
+  const double c = 3.45e6, hx = 2.0, hy = 2.0, hz = 5.0;
+  const auto lumped = hex8_lumped_capacitance(c, hx, hy, hz);
+  const auto me = hex8_capacitance_matrix(c, hx, hy, hz);
+  for (int a = 0; a < kCondDofs; ++a) {
+    double row = 0.0;
+    for (int b = 0; b < kCondDofs; ++b) row += me[a * kCondDofs + b];
+    EXPECT_NEAR(lumped[a], row, 1e-12 * row);
+  }
+  EXPECT_THROW(hex8_lumped_capacitance(0.0, 1.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(hex8_capacitance_matrix(-1.0, 1.0, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(CapacitanceAssembly, AssembledDiagonalSumsToTotalMass) {
+  const mesh::HexMesh mesh = bar_mesh(10.0, 20.0, 2, 3);
+  const Vec capacity(static_cast<std::size_t>(mesh.num_elems()), 2.0e6);
+  const double total_mass = 2.0e6 * (10.0 * 10.0 * 20.0) * 1e-18;
+  for (bool lumped : {true, false}) {
+    const CsrMatrix m = assemble_capacitance(mesh, capacity, lumped);
+    double sum = 0.0;
+    for (double v : m.values()) sum += v;
+    EXPECT_NEAR(sum, total_mass, 1e-12 * total_mass);
+    EXPECT_LE(m.symmetry_error(), 1e-25);
+  }
+  // Lumped assembly is strictly diagonal.
+  const CsrMatrix diag = assemble_capacitance(mesh, capacity, true);
+  EXPECT_EQ(diag.nnz(), static_cast<la::offset_t>(mesh.num_nodes()));
+}
+
+TEST(CapacitanceAssembly, EffectiveBlockCapacityIsVolumeAverage) {
+  const mesh::TsvGeometry geometry{15.0, 5.0, 0.5, 50.0};
+  const fem::MaterialTable materials = fem::MaterialTable::standard();
+  const double c_eff = effective_block_capacity(geometry, materials);
+  const double c_si = materials.at(mesh::MaterialId::Silicon).volumetric_heat_capacity;
+  const double c_cu = materials.at(mesh::MaterialId::Copper).volumetric_heat_capacity;
+  EXPECT_GT(c_eff, c_si);  // copper stores more heat per volume than Si
+  EXPECT_LT(c_eff, c_cu);
+  // Dummy blocks under kTsvAware are bulk silicon; kViaAveraged ignores the
+  // flag.
+  EXPECT_DOUBLE_EQ(
+      block_capacity(geometry, materials, false, ConductivityModel::kTsvAware), c_si);
+  EXPECT_DOUBLE_EQ(
+      block_capacity(geometry, materials, true, ConductivityModel::kTsvAware), c_eff);
+  EXPECT_DOUBLE_EQ(
+      block_capacity(geometry, materials, false, ConductivityModel::kViaAveraged), c_eff);
+}
+
 }  // namespace
 }  // namespace ms::thermal

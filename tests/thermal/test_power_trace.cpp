@@ -1,0 +1,124 @@
+// PowerTrace: keyframe bookkeeping, piecewise-constant vs linear sampling,
+// and the waveform generators (constant hold, square wave, migrating
+// hotspot).
+
+#include "thermal/power_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ms::thermal {
+namespace {
+
+PowerMap flat(double density) { return PowerMap(2, 2, 20.0, 20.0, density); }
+
+TEST(PowerTrace, KeyframesMustBeStrictlyIncreasing) {
+  PowerTrace trace;
+  trace.add_keyframe(0.0, flat(1.0));
+  EXPECT_THROW(trace.add_keyframe(0.0, flat(2.0)), std::invalid_argument);
+  EXPECT_THROW(trace.add_keyframe(-1.0, flat(2.0)), std::invalid_argument);
+  trace.add_keyframe(1.0, flat(2.0));
+  EXPECT_EQ(trace.num_keyframes(), 2u);
+  EXPECT_DOUBLE_EQ(trace.duration(), 1.0);
+}
+
+TEST(PowerTrace, LinearTracesRejectMismatchedTilings) {
+  PowerTrace trace(PowerTrace::Interpolation::kLinear);
+  trace.add_keyframe(0.0, flat(1.0));
+  EXPECT_THROW(trace.add_keyframe(1.0, PowerMap(3, 3, 20.0, 20.0, 1.0)), std::invalid_argument);
+  // Piecewise-constant traces may switch tiling freely.
+  PowerTrace pwc;
+  pwc.add_keyframe(0.0, flat(1.0));
+  pwc.add_keyframe(1.0, PowerMap(3, 3, 20.0, 20.0, 1.0));
+  EXPECT_EQ(pwc.num_keyframes(), 2u);
+}
+
+TEST(PowerTrace, PiecewiseConstantHoldsTheActiveKeyframe) {
+  PowerTrace trace;
+  trace.add_keyframe(0.0, flat(1.0));
+  trace.add_keyframe(2.0, flat(5.0));
+  EXPECT_DOUBLE_EQ(trace.at(-1.0).tile(0, 0), 1.0);  // clamped below
+  EXPECT_DOUBLE_EQ(trace.at(0.0).tile(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(trace.at(1.999).tile(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(trace.at(2.0).tile(0, 0), 5.0);   // jump at the keyframe
+  EXPECT_DOUBLE_EQ(trace.at(99.0).tile(0, 0), 5.0);  // clamped above
+  const PowerTrace::Sample s = trace.sample(1.0);
+  EXPECT_EQ(s.lo, s.hi);
+  EXPECT_DOUBLE_EQ(s.weight, 0.0);
+}
+
+TEST(PowerTrace, LinearSamplingBlendsTileByTile) {
+  PowerTrace trace(PowerTrace::Interpolation::kLinear);
+  trace.add_keyframe(0.0, flat(1.0));
+  trace.add_keyframe(4.0, flat(9.0));
+  EXPECT_DOUBLE_EQ(trace.at(1.0).tile(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(trace.at(2.0).tile(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(trace.at(4.0).tile(0, 1), 9.0);
+  const PowerTrace::Sample s = trace.sample(3.0);
+  EXPECT_EQ(s.lo, 0u);
+  EXPECT_EQ(s.hi, 1u);
+  EXPECT_DOUBLE_EQ(s.weight, 0.75);
+}
+
+TEST(PowerTrace, ConstantGeneratorIsConstant) {
+  const PowerTrace trace = PowerTrace::constant(flat(3.0), 0.5);
+  EXPECT_TRUE(trace.is_constant());
+  EXPECT_DOUBLE_EQ(trace.duration(), 0.5);
+  EXPECT_DOUBLE_EQ(trace.at(0.2).tile(1, 0), 3.0);
+  EXPECT_THROW(PowerTrace::constant(flat(3.0), 0.0), std::invalid_argument);
+}
+
+TEST(PowerTrace, SquareWaveAlternatesHighAndLow) {
+  const PowerTrace trace = PowerTrace::square_wave(flat(1.0), flat(10.0), 1.0, 0.25, 3);
+  EXPECT_FALSE(trace.is_constant());
+  EXPECT_DOUBLE_EQ(trace.duration(), 3.0);
+  // High during the first quarter of each period, low for the rest.
+  EXPECT_DOUBLE_EQ(trace.at(0.1).tile(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(trace.at(0.3).tile(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(trace.at(1.1).tile(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(trace.at(2.9).tile(0, 0), 1.0);
+  EXPECT_THROW(PowerTrace::square_wave(flat(1.0), flat(2.0), 1.0, 1.5, 2),
+               std::invalid_argument);
+  EXPECT_THROW(PowerTrace::square_wave(flat(1.0), PowerMap(3, 3, 20.0, 20.0, 2.0), 1.0, 0.5, 2),
+               std::invalid_argument);
+}
+
+TEST(PowerTrace, MigratingHotspotMovesThePeak) {
+  const PowerMap background(8, 8, 80.0, 80.0, 1.0);
+  // Path endpoints sit exactly on tile centres (x = 5 -> 65 along the row of
+  // centres at y = 45), so the hottest tile is unambiguous at the keyframes
+  // and at the midpoint.
+  const PowerTrace trace =
+      PowerTrace::migrating_hotspot(background, 5.0, 45.0, 65.0, 45.0, 8.0, 100.0, 1e-3, 4);
+  EXPECT_EQ(trace.num_keyframes(), 5u);
+  EXPECT_EQ(trace.interpolation(), PowerTrace::Interpolation::kLinear);
+  const auto hottest_tx = [&](double t) {
+    const PowerMap map = trace.at(t);
+    int best = 0;
+    double best_v = -1.0;
+    for (int tx = 0; tx < map.tiles_x(); ++tx) {
+      if (map.tile(tx, 4) > best_v) {
+        best_v = map.tile(tx, 4);
+        best = tx;
+      }
+    }
+    return best;
+  };
+  EXPECT_EQ(hottest_tx(0.0), 0);
+  EXPECT_EQ(hottest_tx(0.5e-3), 3);
+  EXPECT_EQ(hottest_tx(1e-3), 6);
+  // Away from the die edges the moving hotspot carries the same total power.
+  EXPECT_NEAR(trace.at(0.25e-3).total_power(), trace.at(0.75e-3).total_power(),
+              0.05 * trace.at(0.25e-3).total_power());
+}
+
+TEST(PowerTrace, SampleOnEmptyTraceThrows) {
+  const PowerTrace trace;
+  EXPECT_THROW((void)trace.sample(0.0), std::logic_error);
+  EXPECT_DOUBLE_EQ(trace.duration(), 0.0);
+}
+
+}  // namespace
+}  // namespace ms::thermal

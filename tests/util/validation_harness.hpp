@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "chiplet/displacement_field.hpp"
@@ -29,10 +30,16 @@ namespace ms::testutil {
 /// Expand a per-block ΔT field onto a fine mechanical mesh: every element
 /// takes the ΔT of the block its centroid falls in (the mesh lives in the
 /// window-local frame, blocks of size pitch x pitch from the origin).
+/// Each element writes only its own entry, so the parallel fill is
+/// bitwise-deterministic at any thread count.
 inline la::Vec per_element_delta_t(const mesh::HexMesh& mesh, const rom::BlockLoadField& load,
                                    int blocks_x, int blocks_y, double pitch) {
   la::Vec dt(static_cast<std::size_t>(mesh.num_elems()));
-  for (la::idx_t e = 0; e < mesh.num_elems(); ++e) {
+  const la::idx_t ne = mesh.num_elems();
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (la::idx_t e = 0; e < ne; ++e) {
     const mesh::Point3 c = mesh.elem_centroid(e);
     const int bx = std::min(static_cast<int>(c.x / pitch), blocks_x - 1);
     const int by = std::min(static_cast<int>(c.y / pitch), blocks_y - 1);
@@ -54,20 +61,27 @@ namespace detail {
 /// Max-abs displacement mismatch between the ROM plane reconstruction and
 /// the fine field probed at the same points, normalized by the reference's
 /// own max-abs component.
+/// Max reductions are order-independent, so the parallel probe loop gives
+/// the same answer at any thread count.
 inline double displacement_max_error(const std::vector<std::array<double, 3>>& rom_disp,
                                      const chiplet::DisplacementField& ref_field,
                                      const fem::PlaneGrid& plane) {
   double max_err = 0.0;
   double max_ref = 0.0;
-  std::size_t idx = 0;
-  for (double y : plane.ys) {
-    for (double x : plane.xs) {
-      const auto ref = ref_field({x, y, plane.z});
+  const std::int64_t ny = static_cast<std::int64_t>(plane.ys.size());
+  const std::int64_t nx = static_cast<std::int64_t>(plane.xs.size());
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) collapse(2) \
+    reduction(max : max_err) reduction(max : max_ref)
+#endif
+  for (std::int64_t iy = 0; iy < ny; ++iy) {
+    for (std::int64_t ix = 0; ix < nx; ++ix) {
+      const auto ref = ref_field({plane.xs[ix], plane.ys[iy], plane.z});
+      const std::size_t idx = static_cast<std::size_t>(iy) * nx + ix;
       for (int c = 0; c < 3; ++c) {
         max_err = std::max(max_err, std::abs(rom_disp[idx][c] - ref[c]));
         max_ref = std::max(max_ref, std::abs(ref[c]));
       }
-      ++idx;
     }
   }
   return max_ref > 0.0 ? max_err / max_ref : 0.0;

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate: diff a freshly emitted BENCH_*.json against the
+committed baseline and fail on significant slowdowns.
+
+Cases are matched by (scenario, edge, rings); the compared metrics are every
+"*_seconds" field both records share. CI machines differ in speed from the
+machine that produced the baseline, so raw ratios are useless on their own:
+the gate first estimates the machine scale as the *median* new/base ratio
+over all timing metrics, then flags any metric whose ratio exceeds
+scale * --max-slowdown AND whose absolute excess clears --abs-floor (so
+microsecond-scale timings cannot trip the gate on noise). Physics outputs
+(peak stress, ΔT extremes) are compared at a tight relative tolerance as a
+correctness-drift tripwire.
+
+Limitation: median normalization absorbs *uniform* slowdowns by design
+(that is what makes the gate portable across runner speeds), so a change
+that slows every case equally only fails once the median ratio itself
+exceeds --max-scale. Keep --max-scale at the slowest runner you expect
+relative to the baseline machine; regressions confined to a minority of
+metrics are caught regardless.
+
+Exit code 0 = pass, 1 = regression or malformed input.
+
+Usage:
+  python3 tools/bench_gate.py bench/baseline/BENCH_thermal.json \
+      build/BENCH_thermal.json [--max-slowdown 1.25] [--abs-floor 0.05]
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def case_key(case):
+    return (case.get("scenario"), case.get("edge"), case.get("rings"))
+
+
+def load_cases(path):
+    with open(path) as f:
+        data = json.load(f)
+    cases = {}
+    for case in data.get("cases", []):
+        cases[case_key(case)] = case
+    if not cases:
+        sys.exit(f"error: no cases in {path}")
+    return cases
+
+
+VALUE_FIELDS = ("peak_von_mises", "dt_min", "dt_max", "envelope_dt_max", "time_average_dt_max")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--max-slowdown", type=float, default=1.25,
+                        help="per-case slowdown factor tolerated on top of the machine scale")
+    parser.add_argument("--abs-floor", type=float, default=0.05,
+                        help="seconds of absolute excess a slowdown must clear to count")
+    parser.add_argument("--value-tolerance", type=float, default=0.02,
+                        help="relative drift tolerated on physics outputs")
+    parser.add_argument("--max-scale", type=float, default=4.0,
+                        help="largest machine-speed ratio the normalization may absorb; a "
+                             "median timing ratio beyond this fails outright")
+    args = parser.parse_args()
+
+    baseline = load_cases(args.baseline)
+    current = load_cases(args.current)
+
+    missing = sorted(set(baseline) - set(current), key=str)
+    failures = []
+    if missing:
+        failures.append(f"cases missing from the current run: {missing}")
+
+    # Machine scale: median of all timing ratios over non-trivial baselines.
+    pairs = []  # (key, metric, base, new)
+    for key, base_case in baseline.items():
+        if key not in current:
+            continue
+        for metric, base in base_case.items():
+            if not metric.endswith("_seconds") or not isinstance(base, (int, float)):
+                continue
+            new = current[key].get(metric)
+            if isinstance(new, (int, float)):
+                pairs.append((key, metric, float(base), float(new)))
+    ratios = [new / base for _, _, base, new in pairs if base >= args.abs_floor]
+    scale = statistics.median(ratios) if ratios else 1.0
+    print(f"machine scale (median timing ratio): {scale:.3f} over {len(ratios)} metrics")
+    if scale > args.max_scale:
+        failures.append(
+            f"median timing ratio {scale:.2f} exceeds --max-scale {args.max_scale:.2f}: "
+            "either the runner is drastically slower than the baseline machine or "
+            "everything regressed uniformly")
+        scale = args.max_scale
+
+    for key, metric, base, new in pairs:
+        budget = base * scale * args.max_slowdown
+        status = "ok"
+        if new > budget and new - base * scale > args.abs_floor:
+            status = "REGRESSION"
+            failures.append(
+                f"{key} {metric}: {new:.3f}s vs baseline {base:.3f}s "
+                f"(budget {budget:.3f}s at scale {scale:.2f})")
+        print(f"  {key} {metric}: base {base:.3f}s new {new:.3f}s "
+              f"budget {budget:.3f}s [{status}]")
+
+    for key, base_case in baseline.items():
+        if key not in current:
+            continue
+        for field in VALUE_FIELDS:
+            base = base_case.get(field)
+            new = current[key].get(field)
+            if not isinstance(base, (int, float)) or not isinstance(new, (int, float)):
+                continue
+            denom = max(abs(base), 1e-12)
+            drift = abs(new - base) / denom
+            if drift > args.value_tolerance:
+                failures.append(
+                    f"{key} {field}: {new:.6g} drifted {100 * drift:.2f}% from "
+                    f"baseline {base:.6g}")
+
+    if failures:
+        print("\nbench gate FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nbench gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
