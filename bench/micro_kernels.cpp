@@ -1,17 +1,35 @@
 // Micro-benchmarks (google-benchmark) of the kernels the two stages spend
-// their time in: CSR matvec, sparse Cholesky factor+solve, CG iterations,
-// hex8 element integration, FEM assembly, and the local-stage / global-stage
+// their time in: CSR matvec, sparse Cholesky factor+solve (RCM vs AMD,
+// simplicial vs supernodal, single-RHS vs panel), CG iterations, hex8
+// element integration, FEM assembly, and the local-stage / global-stage
 // building blocks at unit-block scale.
+//
+// Besides the google-benchmark cases, `--solver-json PATH` runs a fixed
+// solver-comparison suite (block + package matrices) with wall timers and
+// emits a bench_gate-compatible BENCH_solver.json, so the direct-solver
+// stack is covered by the CI regression gate:
+//
+//   ./bench_micro_kernels --benchmark_filter='^$' --solver-json BENCH_solver.json
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "chiplet/package_model.hpp"
 #include "fem/assembler.hpp"
 #include "fem/dirichlet.hpp"
 #include "fem/hex8.hpp"
 #include "la/cg.hpp"
 #include "la/cholesky.hpp"
+#include "la/ordering.hpp"
 #include "mesh/tsv_block.hpp"
 #include "rom/local_stage.hpp"
+#include "util/json.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -31,6 +49,47 @@ const fem::AssembledSystem& block_system() {
     return fem::assemble_system(block, materials());
   }();
   return sys;
+}
+
+/// Interior (free-dof) block stiffness: what the local stage factors.
+const la::CsrMatrix& block_matrix() {
+  static const la::CsrMatrix a = [] {
+    const auto& sys = block_system();
+    const mesh::HexMesh block = mesh::build_tsv_block_mesh(kGeometry, kSpec);
+    std::vector<la::idx_t> bc_dofs;
+    for (la::idx_t node : block.boundary_nodes()) {
+      for (int c = 0; c < 3; ++c) bc_dofs.push_back(3 * node + c);
+    }
+    const fem::DofPartition part = fem::partition_dofs(sys.num_dofs, bc_dofs);
+    return sys.stiffness.submatrix(part.free_map, part.num_free, part.free_map, part.num_free);
+  }();
+  return a;
+}
+
+/// Clamped coarse package stiffness: the scenario-2 direct solve at the
+/// demo bench size (the matrix behind package_solve_seconds).
+const la::CsrMatrix& package_matrix() {
+  static const la::CsrMatrix a = [] {
+    const chiplet::PackageGeometry geom = chiplet::demo_package_geometry(kGeometry.pitch, 6,
+                                                                         kGeometry.height);
+    const mesh::HexMesh mesh =
+        chiplet::build_package_coarse_mesh(geom, chiplet::demo_coarse_spec());
+    fem::AssembledSystem sys = fem::assemble_system(mesh, chiplet::package_materials());
+    std::vector<la::idx_t> bottom;
+    for (la::idx_t id = 0; id < mesh.nodes_x() * mesh.nodes_y(); ++id) bottom.push_back(id);
+    la::Vec rhs(sys.num_dofs, 0.0);
+    fem::apply_dirichlet(sys.stiffness, rhs, fem::DirichletBc::clamp_nodes(bottom));
+    return sys.stiffness;
+  }();
+  return a;
+}
+
+la::SparseCholesky::Options solver_options(la::SparseCholesky::Ordering ordering,
+                                           la::SparseCholesky::Method method) {
+  la::SparseCholesky::Options o;
+  o.ordering = ordering;
+  o.method = method;
+  return o;
 }
 
 void BM_Hex8Stiffness(benchmark::State& state) {
@@ -71,43 +130,67 @@ void BM_CsrMatvec(benchmark::State& state) {
 }
 BENCHMARK(BM_CsrMatvec);
 
-void BM_SparseCholeskyFactor(benchmark::State& state) {
-  // Factor the interior block of the unit-block system (the local stage's
-  // one-time cost).
-  const auto& sys = block_system();
-  const mesh::HexMesh block = mesh::build_tsv_block_mesh(kGeometry, kSpec);
-  std::vector<la::idx_t> bc_dofs;
-  for (la::idx_t node : block.boundary_nodes()) {
-    for (int c = 0; c < 3; ++c) bc_dofs.push_back(3 * node + c);
-  }
-  const fem::DofPartition part = fem::partition_dofs(sys.num_dofs, bc_dofs);
-  const la::CsrMatrix a_ff =
-      sys.stiffness.submatrix(part.free_map, part.num_free, part.free_map, part.num_free);
+void BM_RcmOrdering(benchmark::State& state) {
+  const la::CsrMatrix& a = block_matrix();
   for (auto _ : state) {
-    la::SparseCholesky chol(a_ff);
+    benchmark::DoNotOptimize(la::reverse_cuthill_mckee(a).perm.data());
+  }
+}
+BENCHMARK(BM_RcmOrdering);
+
+void BM_AmdOrdering(benchmark::State& state) {
+  const la::CsrMatrix& a = block_matrix();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::amd_ordering(a).perm.data());
+  }
+}
+BENCHMARK(BM_AmdOrdering);
+
+/// Factorization back-end comparison on the local-stage block matrix.
+/// Arg 0: 0 = RCM + simplicial (the historical default), 1 = AMD +
+/// simplicial, 2 = AMD + supernodal (the new default).
+void BM_SparseCholeskyFactor(benchmark::State& state) {
+  const la::CsrMatrix& a = block_matrix();
+  la::SparseCholesky::Options options;
+  switch (state.range(0)) {
+    case 0: options = solver_options(la::SparseCholesky::Ordering::kRcm,
+                                     la::SparseCholesky::Method::kSimplicial);
+      break;
+    case 1: options = solver_options(la::SparseCholesky::Ordering::kAmd,
+                                     la::SparseCholesky::Method::kSimplicial);
+      break;
+    default: options = solver_options(la::SparseCholesky::Ordering::kAmd,
+                                      la::SparseCholesky::Method::kSupernodal);
+      break;
+  }
+  for (auto _ : state) {
+    la::SparseCholesky chol(a, options);
     benchmark::DoNotOptimize(chol.factor_nnz());
   }
 }
-BENCHMARK(BM_SparseCholeskyFactor);
+BENCHMARK(BM_SparseCholeskyFactor)->Arg(0)->Arg(1)->Arg(2);
 
+/// Triangular solves on the factored block matrix. Arg 0 as above; arg 1 is
+/// the RHS panel width (1 = the classic one-at-a-time path). Reported time
+/// is per panel, so divide by the width for per-RHS cost.
 void BM_SparseCholeskySolve(benchmark::State& state) {
-  const auto& sys = block_system();
-  const mesh::HexMesh block = mesh::build_tsv_block_mesh(kGeometry, kSpec);
-  std::vector<la::idx_t> bc_dofs;
-  for (la::idx_t node : block.boundary_nodes()) {
-    for (int c = 0; c < 3; ++c) bc_dofs.push_back(3 * node + c);
-  }
-  const fem::DofPartition part = fem::partition_dofs(sys.num_dofs, bc_dofs);
-  const la::CsrMatrix a_ff =
-      sys.stiffness.submatrix(part.free_map, part.num_free, part.free_map, part.num_free);
-  const la::SparseCholesky chol(a_ff);
-  la::Vec b(part.num_free, 1.0), x;
+  const la::CsrMatrix& a = block_matrix();
+  la::SparseCholesky::Options options =
+      state.range(0) == 0 ? solver_options(la::SparseCholesky::Ordering::kRcm,
+                                           la::SparseCholesky::Method::kSimplicial)
+                          : solver_options(la::SparseCholesky::Ordering::kAmd,
+                                           la::SparseCholesky::Method::kSupernodal);
+  const la::SparseCholesky chol(a, options);
+  const la::idx_t nrhs = static_cast<la::idx_t>(state.range(1));
+  la::Vec b(static_cast<std::size_t>(a.rows()) * nrhs, 1.0);
+  la::Vec x(b.size());
   for (auto _ : state) {
-    chol.solve_inplace(b, x);
+    chol.solve_multi(b.data(), x.data(), nrhs);
     benchmark::DoNotOptimize(x.data());
   }
+  state.SetItemsProcessed(state.iterations() * nrhs);
 }
-BENCHMARK(BM_SparseCholeskySolve);
+BENCHMARK(BM_SparseCholeskySolve)->Args({0, 1})->Args({2, 1})->Args({2, 8});
 
 void BM_CgUnitBlock(benchmark::State& state) {
   // CG with SSOR on the clamped unit block (reference-solver inner loop).
@@ -144,6 +227,118 @@ void BM_LocalStage(benchmark::State& state) {
 }
 BENCHMARK(BM_LocalStage)->Arg(2)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
 
+// --- bench_gate solver suite (BENCH_solver.json) ----------------------------
+
+/// Best-of-`reps` wall time of `fn` (minimum is the most repeatable
+/// statistic for the gate's machine-scale normalization).
+template <typename Fn>
+double best_seconds(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    ms::util::WallTimer timer;
+    fn();
+    best = std::min(best, timer.seconds());
+  }
+  return best;
+}
+
+/// One matrix's comparison record: the historical default (RCM +
+/// simplicial) against the new default (AMD + supernodal), factor and
+/// triangular-solve wall times plus nnz(L). Solve times are per RHS.
+ms::util::JsonObject solver_case(const char* scenario, const la::CsrMatrix& a, int factor_reps) {
+  const auto rcm_si = solver_options(la::SparseCholesky::Ordering::kRcm,
+                                     la::SparseCholesky::Method::kSimplicial);
+  const auto amd_si = solver_options(la::SparseCholesky::Ordering::kAmd,
+                                     la::SparseCholesky::Method::kSimplicial);
+  const auto amd_sn = solver_options(la::SparseCholesky::Ordering::kAmd,
+                                     la::SparseCholesky::Method::kSupernodal);
+
+  const double rcm_si_factor = best_seconds(factor_reps, [&] {
+    la::SparseCholesky chol(a, rcm_si);
+    benchmark::DoNotOptimize(chol.factor_nnz());
+  });
+  const double amd_si_factor = best_seconds(factor_reps, [&] {
+    la::SparseCholesky chol(a, amd_si);
+    benchmark::DoNotOptimize(chol.factor_nnz());
+  });
+  const double amd_sn_factor = best_seconds(factor_reps, [&] {
+    la::SparseCholesky chol(a, amd_sn);
+    benchmark::DoNotOptimize(chol.factor_nnz());
+  });
+
+  const la::SparseCholesky baseline(a, rcm_si);
+  const la::SparseCholesky tuned(a, amd_sn);
+  const la::idx_t n = a.rows();
+  la::Vec b1(n, 1.0), x1(n);
+  const int solve_reps = 5;
+  const double baseline_solve = best_seconds(solve_reps, [&] {
+    baseline.solve_multi(b1.data(), x1.data(), 1);
+    benchmark::DoNotOptimize(x1.data());
+  });
+  const double tuned_solve = best_seconds(solve_reps, [&] {
+    tuned.solve_multi(b1.data(), x1.data(), 1);
+    benchmark::DoNotOptimize(x1.data());
+  });
+  const la::idx_t panel = 8;
+  la::Vec b8(static_cast<std::size_t>(n) * panel, 1.0), x8(b8.size());
+  const double tuned_panel = best_seconds(solve_reps, [&] {
+    tuned.solve_multi(b8.data(), x8.data(), panel);
+    benchmark::DoNotOptimize(x8.data());
+  });
+
+  std::printf("%-16s n=%6d nnz(L): rcm %9lld -> amd %9lld (%.2fx)  factor: %8.4fs -> %8.4fs "
+              "(%.2fx)  solve/rhs: %.6fs -> %.6fs (panel8 %.6fs)\n",
+              scenario, static_cast<int>(n), static_cast<long long>(baseline.factor_nnz()),
+              static_cast<long long>(tuned.factor_nnz()),
+              static_cast<double>(baseline.factor_nnz()) /
+                  static_cast<double>(tuned.factor_nnz()),
+              rcm_si_factor, amd_sn_factor, rcm_si_factor / amd_sn_factor, baseline_solve,
+              tuned_solve, tuned_panel / panel);
+
+  return ms::util::JsonObject()
+      .set("scenario", scenario)
+      .set("edge", static_cast<std::int64_t>(n))
+      .set("rcm_simplicial_factor_seconds", rcm_si_factor)
+      .set("amd_simplicial_factor_seconds", amd_si_factor)
+      .set("amd_supernodal_factor_seconds", amd_sn_factor)
+      .set("rcm_simplicial_solve_seconds", baseline_solve)
+      .set("amd_supernodal_solve_seconds", tuned_solve)
+      .set("amd_supernodal_panel8_per_rhs_seconds", tuned_panel / panel)
+      .set("rcm_factor_nnz", static_cast<std::int64_t>(baseline.factor_nnz()))
+      .set("amd_factor_nnz", static_cast<std::int64_t>(tuned.factor_nnz()))
+      .set("amd_fill_ratio", tuned.fill_ratio())
+      .set("num_supernodes", static_cast<std::int64_t>(tuned.num_supernodes()));
+}
+
+void run_solver_suite(const std::string& json_path) {
+  std::printf("=== direct-solver suite (RCM+simplicial vs AMD+supernodal) ===\n");
+  std::vector<ms::util::JsonObject> records;
+  records.push_back(solver_case("solver_block", block_matrix(), 5));
+  records.push_back(solver_case("solver_package", package_matrix(), 3));
+  ms::util::write_bench_json(json_path, "solver_micro", records);
+  std::printf("wrote %s (%d cases)\n", json_path.c_str(), static_cast<int>(records.size()));
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --solver-json[=PATH] before google-benchmark sees the arguments.
+  std::string solver_json;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--solver-json=", 14) == 0) {
+      solver_json = argv[i] + 14;
+    } else if (std::strcmp(argv[i], "--solver-json") == 0 && i + 1 < argc) {
+      solver_json = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!solver_json.empty()) run_solver_suite(solver_json);
+  return 0;
+}

@@ -99,17 +99,29 @@ int main(int argc, char** argv) {
     std::printf("%5dx%-3d %12.3f %12.3f %12.3f %12.3f %10.1f\n", edge, edge,
                 result.thermal_stats.total_seconds(), result.stats.global_seconds(),
                 result.load.min(), result.load.max(), peak);
-    records.push_back(ms::util::JsonObject()
-                          .set("scenario", "array")
-                          .set("edge", edge)
-                          .set("thermal_seconds", result.thermal_stats.total_seconds())
-                          .set("thermal_dofs", static_cast<std::int64_t>(result.thermal_stats.num_dofs))
-                          .set("global_seconds", result.stats.global_seconds())
-                          .set("global_dofs", static_cast<std::int64_t>(result.stats.global_dofs))
-                          .set("dt_min", result.load.min())
-                          .set("dt_max", result.load.max())
-                          .set("peak_von_mises", peak)
-                          .set("memory_bytes", result.stats.memory_bytes));
+    ms::util::JsonObject record;
+    record.set("scenario", "array")
+        .set("edge", edge)
+        .set("thermal_seconds", result.thermal_stats.total_seconds())
+        .set("thermal_dofs", static_cast<std::int64_t>(result.thermal_stats.num_dofs))
+        .set("global_seconds", result.stats.global_seconds())
+        .set("global_dofs", static_cast<std::int64_t>(result.stats.global_dofs))
+        .set("dt_min", result.load.min())
+        .set("dt_max", result.load.max())
+        .set("peak_von_mises", peak)
+        .set("memory_bytes", result.stats.memory_bytes);
+    if (result.stats.factor_nnz > 0) {
+      // Global stage ran the direct path: surface its factorization detail.
+      record.set("global_factor_seconds", result.stats.factor_seconds)
+          .set("global_factor_nnz", static_cast<std::int64_t>(result.stats.factor_nnz))
+          .set("global_fill_ratio", result.stats.fill_ratio)
+          .set("global_ordering", result.stats.solver_ordering);
+      std::printf("   global factor: %s ordering, nnz(L) = %lld (fill %.2fx, %.3fs)\n",
+                  result.stats.solver_ordering.c_str(),
+                  static_cast<long long>(result.stats.factor_nnz), result.stats.fill_ratio,
+                  result.stats.factor_seconds);
+    }
+    records.push_back(std::move(record));
   }
 
   // --- scenario 3, time domain: pulsed trace -> envelope -> stress ---------
@@ -144,6 +156,10 @@ int main(int argc, char** argv) {
     std::printf("%5dx%-3d %8d %12.3f %12.3f %12.3f %12.3f %10.1f\n", edge, edge,
                 result.thermal_stats.num_steps, result.thermal_stats.factor_seconds,
                 result.thermal_stats.step_seconds, env_max, avg_max, peak);
+    std::printf("stepper factor: %s ordering, nnz(L) = %lld (fill %.2fx)\n",
+                result.thermal_stats.ordering.c_str(),
+                static_cast<long long>(result.thermal_stats.factor_nnz),
+                result.thermal_stats.fill_ratio);
     records.push_back(ms::util::JsonObject()
                           .set("scenario", "array_transient")
                           .set("edge", edge)
@@ -154,6 +170,10 @@ int main(int argc, char** argv) {
                           .set("thermal_dofs",
                                static_cast<std::int64_t>(result.thermal_stats.num_dofs))
                           .set("global_seconds", result.stats.global_seconds())
+                          .set("stepper_factor_nnz",
+                               static_cast<std::int64_t>(result.thermal_stats.factor_nnz))
+                          .set("stepper_fill_ratio", result.thermal_stats.fill_ratio)
+                          .set("stepper_ordering", result.thermal_stats.ordering)
                           .set("envelope_dt_max", env_max)
                           .set("time_average_dt_max", avg_max)
                           .set("peak_von_mises", peak)
@@ -174,8 +194,12 @@ int main(int argc, char** argv) {
     const ms::chiplet::PackageModel package(geom, ms::chiplet::demo_coarse_spec(),
                                             config.thermal_load);
     const double package_seconds = timer.seconds();
-    std::printf("coarse package solve: %.2f s (%d dofs)\n", package_seconds,
-                static_cast<int>(package.stats().num_dofs));
+    std::printf("coarse package solve: %.2f s (%d dofs; factor %.2f s, %s ordering, "
+                "nnz(L) = %lld, fill %.2fx)\n",
+                package_seconds, static_cast<int>(package.stats().num_dofs),
+                package.stats().factor_seconds, package.stats().ordering.c_str(),
+                static_cast<long long>(package.stats().factor_nnz),
+                package.stats().fill_ratio);
     (void)sim.prepare_local_stage(/*with_dummy=*/rings > 0);
 
     const auto locations =
@@ -200,6 +224,11 @@ int main(int argc, char** argv) {
                           .set("rings", rings)
                           .set("location", loc.label)
                           .set("package_solve_seconds", package_seconds)
+                          .set("package_factor_seconds", package.stats().factor_seconds)
+                          .set("package_factor_nnz",
+                               static_cast<std::int64_t>(package.stats().factor_nnz))
+                          .set("package_fill_ratio", package.stats().fill_ratio)
+                          .set("package_ordering", package.stats().ordering)
                           .set("thermal_seconds", result.thermal_stats.total_seconds())
                           .set("thermal_dofs", static_cast<std::int64_t>(result.thermal_stats.num_dofs))
                           .set("global_seconds", result.stats.global_seconds())

@@ -41,9 +41,7 @@ fem::MaterialTable package_materials() {
       {fem::silicon(), fem::copper(), fem::sio2_liner(), fem::organic_substrate(), filler});
 }
 
-namespace {
-
-mesh::HexMesh build_coarse_mesh(const PackageGeometry& g, const CoarseMeshSpec& spec) {
+mesh::HexMesh build_package_coarse_mesh(const PackageGeometry& g, const CoarseMeshSpec& spec) {
   // Grid lines conform to every layer boundary in all three axes.
   const std::vector<double> xs = mesh::graded_coords(
       0.0, g.substrate_x, spec.elems_x,
@@ -81,13 +79,11 @@ mesh::HexMesh build_coarse_mesh(const PackageGeometry& g, const CoarseMeshSpec& 
   return mesh;
 }
 
-}  // namespace
-
 PackageModel::PackageModel(const PackageGeometry& geometry, const CoarseMeshSpec& spec,
-                           double thermal_load)
+                           double thermal_load, fem::FemSolveOptions solve_options)
     : geometry_(geometry),
       materials_(package_materials()),
-      mesh_(build_coarse_mesh(geometry, spec)),
+      mesh_(build_package_coarse_mesh(geometry, spec)),
       thermal_load_(thermal_load) {
   geometry_.validate();
   // Clamp the substrate bottom face; everything else is free (warpage).
@@ -96,9 +92,8 @@ PackageModel::PackageModel(const PackageGeometry& geometry, const CoarseMeshSpec
   for (idx_t id = 0; id < layer; ++id) bottom.push_back(id);
   const fem::DirichletBc bc = fem::DirichletBc::clamp_nodes(bottom);
 
-  fem::FemSolveOptions options;
-  options.method = "direct";
-  u_ = fem::solve_thermal_stress(mesh_, materials_, thermal_load_, bc, options, &stats_);
+  solve_options.method = "direct";
+  u_ = fem::solve_thermal_stress(mesh_, materials_, thermal_load_, bc, solve_options, &stats_);
 }
 
 std::array<double, 3> PackageModel::displacement_at(const mesh::Point3& p) const {

@@ -61,12 +61,22 @@ PackageGeometry demo_package_geometry(double pitch, int padded_blocks, double ts
 /// The coarse mechanical mesh density paired with demo_package_geometry.
 CoarseMeshSpec demo_coarse_spec();
 
+/// The coarse package mesh on its own (layer-conforming grid lines, material
+/// ids assigned per layer): what PackageModel solves on, exposed so benches
+/// and tests can assemble the package stiffness matrix without paying for a
+/// solve.
+mesh::HexMesh build_package_coarse_mesh(const PackageGeometry& geometry,
+                                        const CoarseMeshSpec& spec);
+
 /// The solved coarse package model.
 class PackageModel {
  public:
   /// Build the coarse mesh, clamp the substrate bottom, solve for the given
-  /// thermal load with a sparse direct factorization.
-  PackageModel(const PackageGeometry& geometry, const CoarseMeshSpec& spec, double thermal_load);
+  /// thermal load with a sparse direct factorization (AMD + supernodal by
+  /// default; `solve_options` overrides the solver configuration — the
+  /// method is forced to "direct").
+  PackageModel(const PackageGeometry& geometry, const CoarseMeshSpec& spec, double thermal_load,
+               fem::FemSolveOptions solve_options = {});
 
   [[nodiscard]] const PackageGeometry& geometry() const { return geometry_; }
   [[nodiscard]] const mesh::HexMesh& mesh() const { return mesh_; }

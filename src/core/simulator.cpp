@@ -81,6 +81,15 @@ ArrayResult MoreStressSimulator::run_global(int blocks_x, int blocks_y,
                                             const fem::DirichletBc& bc,
                                             const rom::BlockRange& report_range,
                                             bool uses_dummy, const rom::BlockLoadField& load) {
+  return run_global_multi(blocks_x, blocks_y, mask, bc, report_range, uses_dummy, load, {},
+                          nullptr);
+}
+
+ArrayResult MoreStressSimulator::run_global_multi(
+    int blocks_x, int blocks_y, const rom::BlockMask& mask, const fem::DirichletBc& bc,
+    const rom::BlockRange& report_range, bool uses_dummy, const rom::BlockLoadField& load,
+    const std::vector<rom::BlockLoadField>& extra_loads,
+    std::vector<ArrayResult>* extra_results) {
   const rom::RomModel& tsv = tsv_model();
   const rom::RomModel* dummy = uses_dummy ? &dummy_model() : nullptr;
 
@@ -93,15 +102,28 @@ ArrayResult MoreStressSimulator::run_global(int blocks_x, int blocks_y,
                             config_.local.nodes_z, config_.geometry.pitch,
                             config_.geometry.height);
   rom::GlobalProblem problem = rom::assemble_global(grid, tsv, dummy, mask, load);
+  // The reduced stiffness is load-independent, so every extra case costs one
+  // load-vector assembly against the shared operator.
+  std::vector<Vec> extra_rhs;
+  extra_rhs.reserve(extra_loads.size());
+  for (const rom::BlockLoadField& extra : extra_loads) {
+    extra_rhs.push_back(rom::assemble_global_rhs(grid, tsv, dummy, mask, extra));
+  }
   result.stats.assemble_seconds = timer.seconds();
 
   timer.reset();
   rom::GlobalSolveStats solve_stats;
-  result.solution = rom::solve_global(problem, bc, config_.global, &solve_stats);
+  std::vector<Vec> solutions =
+      rom::solve_global_multi(problem, std::move(extra_rhs), bc, config_.global, &solve_stats);
+  result.solution = std::move(solutions.front());
   result.stats.solve_seconds = solve_stats.solve_seconds;
   result.stats.global_dofs = solve_stats.num_dofs;
   result.stats.iterations = solve_stats.iterations;
   result.stats.converged = solve_stats.converged;
+  result.stats.factor_seconds = solve_stats.factor_seconds;
+  result.stats.factor_nnz = solve_stats.factor_nnz;
+  result.stats.fill_ratio = solve_stats.fill_ratio;
+  result.stats.solver_ordering = solve_stats.ordering;
 
   timer.reset();
   result.stress =
@@ -117,6 +139,25 @@ ArrayResult MoreStressSimulator::run_global(int blocks_x, int blocks_y,
                               (dummy != nullptr ? dummy->memory_bytes() : 0) +
                               result.stress.size() * sizeof(fem::Stress6) +
                               result.solution.size() * sizeof(double);
+
+  if (extra_results != nullptr) {
+    extra_results->clear();
+    extra_results->reserve(extra_loads.size());
+    for (std::size_t c = 0; c < extra_loads.size(); ++c) {
+      ArrayResult extra;
+      extra.stats = result.stats;  // shared assembly/factorization cost
+      extra.solution = std::move(solutions[c + 1]);
+      util::WallTimer reconstruct_timer;
+      extra.stress = rom::reconstruct_plane_stress(grid, tsv, dummy, mask, extra.solution,
+                                                   extra_loads[c], report_range);
+      extra.von_mises = fem::to_von_mises(extra.stress);
+      extra.stats.reconstruct_seconds = reconstruct_timer.seconds();
+      extra.region_blocks_x = report_range.width();
+      extra.region_blocks_y = report_range.height();
+      extra.samples_per_block = tsv.samples_per_block;
+      extra_results->push_back(std::move(extra));
+    }
+  }
   return result;
 }
 
@@ -124,8 +165,10 @@ ArrayResult MoreStressSimulator::simulate_array(int blocks_x, int blocks_y) {
   return simulate_array(blocks_x, blocks_y, rom::BlockLoadField::uniform(config_.thermal_load));
 }
 
-ArrayResult MoreStressSimulator::simulate_array(int blocks_x, int blocks_y,
-                                                const rom::BlockLoadField& load) {
+ArrayResult MoreStressSimulator::run_array(int blocks_x, int blocks_y,
+                                           const rom::BlockLoadField& load,
+                                           const std::vector<rom::BlockLoadField>& extra_loads,
+                                           std::vector<ArrayResult>* extra_results) {
   const rom::BlockGrid grid(blocks_x, blocks_y, config_.local.nodes_x, config_.local.nodes_y,
                             config_.local.nodes_z, config_.geometry.pitch,
                             config_.geometry.height);
@@ -135,7 +178,13 @@ ArrayResult MoreStressSimulator::simulate_array(int blocks_x, int blocks_y,
   range.bx1 = blocks_x;
   range.by0 = 0;
   range.by1 = blocks_y;
-  return run_global(blocks_x, blocks_y, {}, bc, range, /*uses_dummy=*/false, load);
+  return run_global_multi(blocks_x, blocks_y, {}, bc, range, /*uses_dummy=*/false, load,
+                          extra_loads, extra_results);
+}
+
+ArrayResult MoreStressSimulator::simulate_array(int blocks_x, int blocks_y,
+                                                const rom::BlockLoadField& load) {
+  return run_array(blocks_x, blocks_y, load, {}, nullptr);
 }
 
 namespace {
@@ -220,19 +269,22 @@ ThermalTransientArrayResult MoreStressSimulator::simulate_array_thermal_transien
 
   result.envelope_load =
       rom::BlockLoadField(blocks_x, blocks_y, Vec(result.transient.peak_envelope));
-  static_cast<ArrayResult&>(result) = simulate_array(blocks_x, blocks_y, result.envelope_load);
 
-  result.snapshot_steps = snapshot_steps;
-  result.snapshots.reserve(snapshot_steps.size());
+  // The envelope and every requested snapshot share the global operator, so
+  // they run as one assembly + one factorization + one multi-RHS panel (the
+  // direct path); iterative paths still reuse the single assembly.
+  std::vector<rom::BlockLoadField> snapshot_loads;
+  snapshot_loads.reserve(snapshot_steps.size());
   for (int step : snapshot_steps) {
     if (step < 0 || static_cast<std::size_t>(step) >= result.transient.num_records()) {
       throw std::invalid_argument(
           "simulate_array_thermal_transient: snapshot step outside the recorded history");
     }
-    const rom::BlockLoadField load(blocks_x, blocks_y,
-                                   Vec(result.transient.block_delta_t[step]));
-    result.snapshots.push_back(simulate_array(blocks_x, blocks_y, load));
+    snapshot_loads.emplace_back(blocks_x, blocks_y, Vec(result.transient.block_delta_t[step]));
   }
+  result.snapshot_steps = snapshot_steps;
+  static_cast<ArrayResult&>(result) = run_array(blocks_x, blocks_y, result.envelope_load,
+                                                snapshot_loads, &result.snapshots);
   MS_LOG_DEBUG("transient thermal coupling: %d x %d blocks, %d steps, envelope dT in "
                "[%.3f, %.3f] C",
                blocks_x, blocks_y, result.thermal_stats.num_steps, result.envelope_load.min(),

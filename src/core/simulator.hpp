@@ -42,6 +42,11 @@ struct RunStats {
   idx_t iterations = 0;
   bool converged = false;
   std::size_t memory_bytes = 0;       ///< models + matrix + solver workspace
+  // Direct-path factorization detail (zero / empty on iterative paths):
+  double factor_seconds = 0.0;        ///< inside solve_seconds
+  la::offset_t factor_nnz = 0;        ///< nnz(L) of the global factor
+  double fill_ratio = 0.0;            ///< nnz(L) / nnz(tril(K))
+  std::string solver_ordering;        ///< "amd" / "rcm" / "natural"
 
   /// Paper's "computational time of our algorithm": the global stage only.
   [[nodiscard]] double global_seconds() const {
@@ -165,6 +170,21 @@ class MoreStressSimulator {
   ArrayResult run_global(int blocks_x, int blocks_y, const rom::BlockMask& mask,
                          const fem::DirichletBc& bc, const rom::BlockRange& report_range,
                          bool uses_dummy, const rom::BlockLoadField& load);
+  /// Like run_global, but additionally solves one load case per entry of
+  /// `extra_loads` against the same assembled and lifted operator — on the
+  /// direct path all cases share one factorization and run as a multi-RHS
+  /// panel. Per-case results land in `extra_results` (same order).
+  ArrayResult run_global_multi(int blocks_x, int blocks_y, const rom::BlockMask& mask,
+                               const fem::DirichletBc& bc, const rom::BlockRange& report_range,
+                               bool uses_dummy, const rom::BlockLoadField& load,
+                               const std::vector<rom::BlockLoadField>& extra_loads,
+                               std::vector<ArrayResult>* extra_results);
+  /// Standalone-array policy (all-TSV mask, clamped top/bottom, full report
+  /// range) shared by simulate_array and the transient envelope+snapshot
+  /// batch, so the two paths cannot drift apart.
+  ArrayResult run_array(int blocks_x, int blocks_y, const rom::BlockLoadField& load,
+                        const std::vector<rom::BlockLoadField>& extra_loads,
+                        std::vector<ArrayResult>* extra_results);
   ArrayResult run_submodel(
       int tsv_blocks_x, int tsv_blocks_y, int dummy_rings, const rom::BlockMask& mask,
       const std::function<std::array<double, 3>(const mesh::Point3&)>& displacement,

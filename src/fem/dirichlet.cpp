@@ -20,10 +20,18 @@ DirichletBc DirichletBc::clamp_nodes(const std::vector<idx_t>& nodes, const Vec&
   return bc;
 }
 
-void apply_dirichlet(CsrMatrix& a, Vec& rhs, const DirichletBc& bc) {
+namespace {
+
+/// One lifting implementation behind both public overloads: modify A once,
+/// apply the column correction and prescribed values to every rhs.
+void apply_dirichlet_impl(CsrMatrix& a, Vec* const* rhss, std::size_t num_rhs,
+                          const DirichletBc& bc) {
   assert(a.rows() == a.cols());
-  assert(static_cast<idx_t>(rhs.size()) == a.rows());
   const idx_t n = a.rows();
+  for (std::size_t c = 0; c < num_rhs; ++c) {
+    assert(static_cast<idx_t>(rhss[c]->size()) == n);
+    (void)rhss[c];
+  }
 
   std::vector<char> constrained(n, 0);
   Vec value(n, 0.0);
@@ -41,16 +49,31 @@ void apply_dirichlet(CsrMatrix& a, Vec& rhs, const DirichletBc& bc) {
     const la::offset_t end = row_ptr[static_cast<std::size_t>(r) + 1];
     if (constrained[r]) {
       for (la::offset_t k = row_ptr[r]; k < end; ++k) vals[k] = (col[k] == r) ? 1.0 : 0.0;
-      rhs[r] = value[r];
+      for (std::size_t c = 0; c < num_rhs; ++c) (*rhss[c])[r] = value[r];
       continue;
     }
     for (la::offset_t k = row_ptr[r]; k < end; ++k) {
       if (constrained[col[k]]) {
-        rhs[r] -= vals[k] * value[col[k]];
+        const double av = vals[k] * value[col[k]];
+        for (std::size_t c = 0; c < num_rhs; ++c) (*rhss[c])[r] -= av;
         vals[k] = 0.0;
       }
     }
   }
+}
+
+}  // namespace
+
+void apply_dirichlet(CsrMatrix& a, Vec& rhs, const DirichletBc& bc) {
+  Vec* one = &rhs;
+  apply_dirichlet_impl(a, &one, 1, bc);
+}
+
+void apply_dirichlet(CsrMatrix& a, std::vector<Vec>& rhss, const DirichletBc& bc) {
+  std::vector<Vec*> ptrs;
+  ptrs.reserve(rhss.size());
+  for (Vec& rhs : rhss) ptrs.push_back(&rhs);
+  apply_dirichlet_impl(a, ptrs.data(), ptrs.size(), bc);
 }
 
 DofPartition partition_dofs(idx_t num_dofs, const std::vector<idx_t>& bc_dofs) {

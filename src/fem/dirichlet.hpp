@@ -35,6 +35,12 @@ struct DirichletBc {
 /// must agree (last one wins).
 void apply_dirichlet(CsrMatrix& a, Vec& rhs, const DirichletBc& bc);
 
+/// Same lifting for one operator shared by several right-hand sides (e.g. a
+/// multi-RHS panel solve): A is modified once, and every rhs receives the
+/// column correction and the prescribed values. Equivalent to calling the
+/// single-rhs overload on copies of A.
+void apply_dirichlet(CsrMatrix& a, std::vector<Vec>& rhss, const DirichletBc& bc);
+
 /// Partition dofs into free/constrained maps for reduced-system extraction:
 /// free_map[dof] = free index or -1; bc_map[dof] = constrained index or -1.
 struct DofPartition {

@@ -13,40 +13,59 @@ namespace ms::fem {
 
 namespace {
 
-/// Shared tail of the two entry points: lift the Dirichlet data into the
-/// already-assembled system, solve, and fill the stats record.
-Vec solve_assembled(AssembledSystem& sys, Vec rhs, const DirichletBc& bc,
-                    const FemSolveOptions& options, FemSolveStats* stats, util::WallTimer& timer) {
-  apply_dirichlet(sys.stiffness, rhs, bc);
+/// Shared tail of every entry point: lift the Dirichlet data into the
+/// already-assembled system, solve all load cases against the one operator
+/// (direct: one factorization + one multi-RHS panel; cg: loop), and fill the
+/// stats record. The single-case wrappers delegate here so both paths stay
+/// one implementation.
+std::vector<Vec> solve_assembled_cases(AssembledSystem& sys, std::vector<Vec> rhs_cases,
+                                       const DirichletBc& bc, const FemSolveOptions& options,
+                                       FemSolveStats* stats, util::WallTimer& timer) {
+  apply_dirichlet(sys.stiffness, rhs_cases, bc);
   const double assemble_seconds = timer.seconds();
 
-  util::ScopedLedgerBytes matrix_mem(sys.stiffness.memory_bytes() + 2 * rhs.size() * sizeof(double));
+  util::ScopedLedgerBytes matrix_mem(sys.stiffness.memory_bytes() +
+                                     (rhs_cases.size() + 1) * rhs_cases.front().size() *
+                                         sizeof(double));
 
   timer.reset();
-  Vec u;
+  const idx_t num_cases = static_cast<idx_t>(rhs_cases.size());
+  std::vector<Vec> solutions(rhs_cases.size());
   idx_t iterations = 0;
   bool converged = false;
   std::size_t solver_bytes = 0;
   if (options.method == "direct") {
-    la::SparseCholesky chol(sys.stiffness);
-    u = chol.solve(rhs);
+    la::SparseCholesky chol(sys.stiffness, options.factor);
+    const double factor_seconds = timer.seconds();
+    solutions = chol.solve_multi(rhs_cases);
     converged = true;
     solver_bytes = chol.memory_bytes();
+    if (stats != nullptr) {
+      stats->factor_seconds = factor_seconds;
+      stats->factor_nnz = chol.factor_nnz();
+      stats->fill_ratio = chol.fill_ratio();
+      stats->ordering = chol.ordering_name();
+    }
   } else if (options.method == "cg") {
     auto precond = la::make_preconditioner(options.precond, sys.stiffness);
     la::IterativeOptions iter_options;
     iter_options.rel_tol = options.rel_tol;
     iter_options.max_iterations = options.max_iterations;
-    const la::IterativeResult result =
-        la::conjugate_gradient(sys.stiffness, rhs, u, precond.get(), iter_options);
-    iterations = result.iterations;
-    converged = result.converged;
-    // Krylov workspace: x, r, z, p, Ap + preconditioner state.
-    solver_bytes = 5 * rhs.size() * sizeof(double) + precond->memory_bytes();
-    if (!converged) {
-      MS_LOG_WARN("full FEM CG did not converge in %d iterations (residual %.3e)",
-                  static_cast<int>(result.iterations), result.residual_norm);
+    converged = true;
+    for (idx_t c = 0; c < num_cases; ++c) {
+      const la::IterativeResult result = la::conjugate_gradient(
+          sys.stiffness, rhs_cases[c], solutions[c], precond.get(), iter_options);
+      iterations += result.iterations;
+      converged = converged && result.converged;
+      if (!result.converged) {
+        MS_LOG_WARN("full FEM CG (case %d) did not converge in %d iterations (residual %.3e)",
+                    static_cast<int>(c), static_cast<int>(result.iterations),
+                    result.residual_norm);
+      }
     }
+    // Krylov workspace: x, r, z, p, Ap + preconditioner state.
+    solver_bytes =
+        5 * rhs_cases.front().size() * sizeof(double) + precond->memory_bytes();
   } else {
     throw std::invalid_argument("solve_thermal_stress: unknown method '" + options.method + "'");
   }
@@ -61,7 +80,15 @@ Vec solve_assembled(AssembledSystem& sys, Vec rhs, const DirichletBc& bc,
     stats->matrix_bytes = sys.stiffness.memory_bytes();
     stats->solver_bytes = solver_bytes;
   }
-  return u;
+  return solutions;
+}
+
+Vec solve_assembled(AssembledSystem& sys, Vec rhs, const DirichletBc& bc,
+                    const FemSolveOptions& options, FemSolveStats* stats, util::WallTimer& timer) {
+  std::vector<Vec> rhs_cases;
+  rhs_cases.push_back(std::move(rhs));
+  return std::move(
+      solve_assembled_cases(sys, std::move(rhs_cases), bc, options, stats, timer).front());
 }
 
 }  // namespace
@@ -83,6 +110,24 @@ Vec solve_thermal_stress(const mesh::HexMesh& mesh, const MaterialTable& materia
   AssembledSystem sys = assemble_system(mesh, materials, &delta_t_per_elem);
   Vec rhs = sys.thermal_load;
   return solve_assembled(sys, std::move(rhs), bc, options, stats, timer);
+}
+
+std::vector<Vec> solve_thermal_stress_multi(const mesh::HexMesh& mesh,
+                                            const MaterialTable& materials,
+                                            const std::vector<Vec>& delta_t_cases,
+                                            const DirichletBc& bc,
+                                            const FemSolveOptions& options, FemSolveStats* stats) {
+  if (delta_t_cases.empty()) return {};
+  util::WallTimer timer;
+  // One stiffness assembly; each case only needs its own load vector.
+  AssembledSystem sys = assemble_system(mesh, materials, &delta_t_cases.front());
+  std::vector<Vec> rhs_cases;
+  rhs_cases.reserve(delta_t_cases.size());
+  rhs_cases.push_back(sys.thermal_load);
+  for (std::size_t c = 1; c < delta_t_cases.size(); ++c) {
+    rhs_cases.push_back(assemble_thermal_load(mesh, materials, delta_t_cases[c]));
+  }
+  return solve_assembled_cases(sys, std::move(rhs_cases), bc, options, stats, timer);
 }
 
 }  // namespace ms::fem

@@ -1,5 +1,6 @@
 #include "la/cholesky.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
@@ -7,72 +8,80 @@
 namespace ms::la {
 namespace {
 
-/// Pattern of row k of L: nodes on etree paths from the below-diagonal
-/// entries of (permuted) row k up to k. Returns entries in s[top..n-1] in
-/// topological order. `mark` uses stamp values to avoid clearing.
-idx_t ereach(const CsrMatrix& a, idx_t k, const std::vector<idx_t>& parent, std::vector<idx_t>& s,
-             std::vector<idx_t>& mark, idx_t stamp) {
-  const idx_t n = a.rows();
-  idx_t top = n;
-  mark[k] = stamp;
-  const offset_t end = a.row_ptr()[static_cast<std::size_t>(k) + 1];
-  for (offset_t p = a.row_ptr()[k]; p < end; ++p) {
-    idx_t i = a.col_idx()[p];
-    if (i >= k) break;  // columns are sorted; only strictly-lower entries seed
-    idx_t len = 0;
-    // Walk up the elimination tree until hitting an already-marked node.
-    for (; mark[i] != stamp; i = parent[i]) {
-      s[len++] = i;
-      mark[i] = stamp;
-    }
-    while (len > 0) s[--top] = s[--len];
+bool is_identity_order(const std::vector<idx_t>& order) {
+  for (idx_t i = 0; i < static_cast<idx_t>(order.size()); ++i) {
+    if (order[i] != i) return false;
   }
-  return top;
+  return true;
 }
 
 }  // namespace
 
 SparseCholesky::SparseCholesky(const CsrMatrix& a) : SparseCholesky(a, Options{}) {}
 
-SparseCholesky::SparseCholesky(const CsrMatrix& a, Options options) {
+SparseCholesky::SparseCholesky(const CsrMatrix& a, Options options) : options_(options) {
   if (a.rows() != a.cols()) throw std::invalid_argument("SparseCholesky: matrix must be square");
   n_ = a.rows();
-  perm_ = options.use_rcm ? reverse_cuthill_mckee(a) : Permutation::identity(n_);
-  const CsrMatrix pa = options.use_rcm ? permute_symmetric(a, perm_) : a;
-  analyze(pa);
-  factorize(pa);
-  work_.assign(n_, 0.0);
-}
-
-void SparseCholesky::analyze(const CsrMatrix& a) {
-  // Elimination tree with path compression (cs_etree).
-  parent_.assign(n_, -1);
-  std::vector<idx_t> ancestor(n_, -1);
-  for (idx_t k = 0; k < n_; ++k) {
-    const offset_t end = a.row_ptr()[static_cast<std::size_t>(k) + 1];
-    for (offset_t p = a.row_ptr()[k]; p < end; ++p) {
-      idx_t i = a.col_idx()[p];
-      if (i >= k) break;
-      while (i != -1 && i != k) {
-        const idx_t next = ancestor[i];
-        ancestor[i] = k;
-        if (next == -1) parent_[i] = k;
-        i = next;
+  switch (options_.ordering) {
+    case Ordering::kAmd: perm_ = amd_ordering(a); break;
+    case Ordering::kRcm: perm_ = reverse_cuthill_mckee(a); break;
+    case Ordering::kNatural: perm_ = Permutation::identity(n_); break;
+  }
+  // The natural ordering works on `a` directly; the others factor a
+  // permuted copy (kept only through construction, but owned by the memory
+  // ledger as part of the peak footprint).
+  CsrMatrix permuted;
+  const CsrMatrix* pa_ptr = &a;
+  if (options_.ordering != Ordering::kNatural) {
+    permuted = permute_symmetric(a, perm_);
+    pa_ptr = &permuted;
+  }
+  std::vector<idx_t> parent = elimination_tree(*pa_ptr);
+  if (options_.ordering != Ordering::kNatural) {
+    // Postorder the elimination tree so supernode columns land consecutively
+    // (fill-neutral relabeling). kNatural skips this: it promises the
+    // unpermuted matrix.
+    const std::vector<idx_t> post = etree_postorder(parent);
+    if (!is_identity_order(post)) {
+      Permutation p2;
+      p2.perm = post;
+      p2.inv_perm.assign(n_, 0);
+      for (idx_t i = 0; i < n_; ++i) p2.inv_perm[p2.perm[i]] = i;
+      perm_ = perm_.then(p2);
+      permuted = permute_symmetric(permuted, p2);  // == P2 (P A P^T) P2^T
+      // A postorder is etree-consistent (children numbered before parents),
+      // so the tree of the relabeled matrix is the relabeled tree — no
+      // second symbolic sweep needed.
+      std::vector<idx_t> relabeled(static_cast<std::size_t>(n_));
+      for (idx_t v = 0; v < n_; ++v) {
+        relabeled[p2.inv_perm[v]] = parent[v] == -1 ? -1 : p2.inv_perm[parent[v]];
       }
+      parent = std::move(relabeled);
     }
   }
-
-  // Column counts of L via a symbolic ereach sweep (diagonal included).
-  std::vector<idx_t> counts(n_, 1);
-  std::vector<idx_t> s(n_), mark(n_, -1);
-  for (idx_t k = 0; k < n_; ++k) {
-    const idx_t top = ereach(a, k, parent_, s, mark, k);
-    for (idx_t t = top; t < n_; ++t) ++counts[s[t]];
+  const CsrMatrix& pa = *pa_ptr;
+  matrix_lower_nnz_ = 0;
+  for (idx_t r = 0; r < n_; ++r) {
+    const offset_t end = pa.row_ptr()[static_cast<std::size_t>(r) + 1];
+    for (offset_t p = pa.row_ptr()[r]; p < end; ++p) {
+      if (pa.col_idx()[p] <= r) ++matrix_lower_nnz_;
+    }
   }
-  lp_.assign(static_cast<std::size_t>(n_) + 1, 0);
-  for (idx_t j = 0; j < n_; ++j) lp_[static_cast<std::size_t>(j) + 1] = lp_[j] + counts[j];
-  li_.assign(static_cast<std::size_t>(lp_[n_]), 0);
-  lx_.assign(static_cast<std::size_t>(lp_[n_]), 0.0);
+  permuted_matrix_bytes_ = options_.ordering == Ordering::kNatural ? 0 : pa.memory_bytes();
+
+  const std::vector<idx_t> counts = cholesky_column_counts(pa, parent);
+  if (options_.method == Method::kSupernodal) {
+    snf_ = analyze_supernodes(pa, parent, counts, options_.max_supernode_width);
+    factorize_supernodal(pa, snf_);
+  } else {
+    parent_ = std::move(parent);
+    lp_.assign(static_cast<std::size_t>(n_) + 1, 0);
+    for (idx_t j = 0; j < n_; ++j) lp_[static_cast<std::size_t>(j) + 1] = lp_[j] + counts[j];
+    li_.assign(static_cast<std::size_t>(lp_[n_]), 0);
+    lx_.assign(static_cast<std::size_t>(lp_[n_]), 0.0);
+    factorize(pa);
+  }
+  work_.assign(n_, 0.0);
 }
 
 void SparseCholesky::factorize(const CsrMatrix& a) {
@@ -118,25 +127,89 @@ void SparseCholesky::solve_inplace(const Vec& b, Vec& x) const { solve_with(b, x
 void SparseCholesky::solve_with(const Vec& b, Vec& x, Vec& work) const {
   assert(static_cast<idx_t>(b.size()) == n_);
   x.resize(n_);
-  work.resize(n_);
-  Vec& y = work;
-  for (idx_t i = 0; i < n_; ++i) y[i] = b[perm_.perm[i]];
+  solve_multi_with(b.data(), x.data(), 1, work);
+}
 
-  // Forward solve L y = Pb (L is CSC; first entry of column j is diagonal).
-  for (idx_t j = 0; j < n_; ++j) {
-    const double yj = y[j] / lx_[lp_[j]];
-    y[j] = yj;
-    const offset_t end = lp_[static_cast<std::size_t>(j) + 1];
-    for (offset_t p = lp_[j] + 1; p < end; ++p) y[li_[p]] -= lx_[p] * yj;
+void SparseCholesky::solve_multi(const double* b, double* x, idx_t nrhs) const {
+  solve_multi_with(b, x, nrhs, work_);
+}
+
+Vec SparseCholesky::solve_multi(const Vec& b, idx_t nrhs) const {
+  assert(static_cast<idx_t>(b.size()) == n_ * nrhs);
+  Vec x(b.size());
+  solve_multi(b.data(), x.data(), nrhs);
+  return x;
+}
+
+std::vector<Vec> SparseCholesky::solve_multi(const std::vector<Vec>& cases) const {
+  const idx_t num_cases = static_cast<idx_t>(cases.size());
+  Vec panel(static_cast<std::size_t>(n_) * num_cases);
+  for (idx_t c = 0; c < num_cases; ++c) {
+    assert(static_cast<idx_t>(cases[c].size()) == n_);
+    std::copy(cases[c].begin(), cases[c].end(),
+              panel.begin() + static_cast<std::size_t>(c) * n_);
   }
-  // Backward solve L^T z = y.
-  for (idx_t j = n_ - 1; j >= 0; --j) {
-    double sum = y[j];
-    const offset_t end = lp_[static_cast<std::size_t>(j) + 1];
-    for (offset_t p = lp_[j] + 1; p < end; ++p) sum -= lx_[p] * y[li_[p]];
-    y[j] = sum / lx_[lp_[j]];
+  Vec x_panel(panel.size());
+  solve_multi(panel.data(), x_panel.data(), num_cases);
+  std::vector<Vec> solutions(cases.size());
+  for (idx_t c = 0; c < num_cases; ++c) {
+    solutions[c].assign(x_panel.begin() + static_cast<std::size_t>(c) * n_,
+                        x_panel.begin() + static_cast<std::size_t>(c + 1) * n_);
   }
-  for (idx_t i = 0; i < n_; ++i) x[perm_.perm[i]] = y[i];
+  return solutions;
+}
+
+void SparseCholesky::solve_multi_with(const double* b, double* x, idx_t nrhs, Vec& work) const {
+  assert(nrhs >= 1);
+  work.resize(static_cast<std::size_t>(n_) * nrhs);
+  double* y = work.data();
+  // Gather into the permuted, dof-major layout (all nrhs values of one dof
+  // contiguous): the innermost per-case loops of the kernels then vectorize
+  // and every factor entry is loaded once per panel instead of once per rhs.
+  for (idx_t i = 0; i < n_; ++i) {
+    const idx_t src = perm_.perm[i];
+    double* yi = y + static_cast<std::size_t>(i) * nrhs;
+    for (idx_t r = 0; r < nrhs; ++r) yi[r] = b[static_cast<std::size_t>(r) * n_ + src];
+  }
+  if (options_.method == Method::kSupernodal) {
+    supernodal_forward_solve(snf_, y, nrhs);
+    supernodal_backward_solve(snf_, y, nrhs);
+  } else {
+    // Forward solve L y = Pb (L is CSC; first entry of column j is the
+    // diagonal). Per case the operation order matches the single-RHS path
+    // exactly, so batched and one-at-a-time solves agree bitwise.
+    for (idx_t j = 0; j < n_; ++j) {
+      const double d = lx_[lp_[j]];
+      double* yj = y + static_cast<std::size_t>(j) * nrhs;
+      for (idx_t r = 0; r < nrhs; ++r) yj[r] /= d;
+      const offset_t end = lp_[static_cast<std::size_t>(j) + 1];
+      for (offset_t p = lp_[j] + 1; p < end; ++p) {
+        const double l = lx_[p];
+        double* yi = y + static_cast<std::size_t>(li_[p]) * nrhs;
+        for (idx_t r = 0; r < nrhs; ++r) yi[r] -= l * yj[r];
+      }
+    }
+    // Backward solve L^T z = y, with local running sums per case so the
+    // column sweep is not serialized on a store-to-load chain through y[j].
+    std::vector<double> acc(static_cast<std::size_t>(nrhs));
+    for (idx_t j = n_ - 1; j >= 0; --j) {
+      double* yj = y + static_cast<std::size_t>(j) * nrhs;
+      for (idx_t r = 0; r < nrhs; ++r) acc[r] = yj[r];
+      const offset_t end = lp_[static_cast<std::size_t>(j) + 1];
+      for (offset_t p = lp_[j] + 1; p < end; ++p) {
+        const double l = lx_[p];
+        const double* yi = y + static_cast<std::size_t>(li_[p]) * nrhs;
+        for (idx_t r = 0; r < nrhs; ++r) acc[r] -= l * yi[r];
+      }
+      const double d = lx_[lp_[j]];
+      for (idx_t r = 0; r < nrhs; ++r) yj[r] = acc[r] / d;
+    }
+  }
+  for (idx_t i = 0; i < n_; ++i) {
+    const idx_t dst = perm_.perm[i];
+    const double* yi = y + static_cast<std::size_t>(i) * nrhs;
+    for (idx_t r = 0; r < nrhs; ++r) x[static_cast<std::size_t>(r) * n_ + dst] = yi[r];
+  }
 }
 
 Vec SparseCholesky::solve(const Vec& b) const {
@@ -145,10 +218,82 @@ Vec SparseCholesky::solve(const Vec& b) const {
   return x;
 }
 
+offset_t SparseCholesky::factor_nnz() const {
+  return options_.method == Method::kSupernodal ? snf_.factor_nnz()
+                                                : static_cast<offset_t>(lx_.size());
+}
+
+double SparseCholesky::fill_ratio() const {
+  return matrix_lower_nnz_ > 0
+             ? static_cast<double>(factor_nnz()) / static_cast<double>(matrix_lower_nnz_)
+             : 1.0;
+}
+
+idx_t SparseCholesky::num_supernodes() const {
+  return options_.method == Method::kSupernodal ? snf_.num_supernodes : 0;
+}
+
+const char* SparseCholesky::ordering_name() const {
+  switch (options_.ordering) {
+    case Ordering::kAmd: return "amd";
+    case Ordering::kRcm: return "rcm";
+    case Ordering::kNatural: return "natural";
+  }
+  return "?";
+}
+
+const char* SparseCholesky::method_name() const {
+  return options_.method == Method::kSupernodal ? "supernodal" : "simplicial";
+}
+
 std::size_t SparseCholesky::memory_bytes() const {
-  return lx_.size() * sizeof(double) + li_.size() * sizeof(idx_t) +
-         lp_.size() * sizeof(offset_t) + 2 * perm_.perm.size() * sizeof(idx_t) +
-         work_.size() * sizeof(double);
+  std::size_t bytes = 2 * perm_.perm.size() * sizeof(idx_t) + work_.size() * sizeof(double) +
+                      permuted_matrix_bytes_;
+  if (options_.method == Method::kSupernodal) {
+    bytes += snf_.memory_bytes();
+  } else {
+    bytes += lx_.size() * sizeof(double) + li_.size() * sizeof(idx_t) +
+             lp_.size() * sizeof(offset_t) + parent_.size() * sizeof(idx_t);
+  }
+  return bytes;
+}
+
+void SparseCholesky::extract_factor(std::vector<offset_t>& col_ptr, std::vector<idx_t>& row_idx,
+                                    std::vector<double>& values) const {
+  if (options_.method == Method::kSimplicial) {
+    col_ptr = lp_;
+    row_idx = li_;
+    values = lx_;
+    return;
+  }
+  col_ptr.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (idx_t s = 0; s < snf_.num_supernodes; ++s) {
+    const idx_t c0 = snf_.super_start[s];
+    const idx_t w = snf_.super_start[static_cast<std::size_t>(s) + 1] - c0;
+    const offset_t m = snf_.row_start[static_cast<std::size_t>(s) + 1] - snf_.row_start[s];
+    for (idx_t j = 0; j < w; ++j) {
+      col_ptr[static_cast<std::size_t>(c0 + j) + 1] = m - j;
+    }
+  }
+  for (idx_t j = 0; j < n_; ++j) col_ptr[static_cast<std::size_t>(j) + 1] += col_ptr[j];
+  row_idx.assign(static_cast<std::size_t>(col_ptr[n_]), 0);
+  values.assign(static_cast<std::size_t>(col_ptr[n_]), 0.0);
+  for (idx_t s = 0; s < snf_.num_supernodes; ++s) {
+    const idx_t c0 = snf_.super_start[s];
+    const idx_t w = snf_.super_start[static_cast<std::size_t>(s) + 1] - c0;
+    const offset_t r0 = snf_.row_start[s];
+    const idx_t m = static_cast<idx_t>(snf_.row_start[static_cast<std::size_t>(s) + 1] - r0);
+    const idx_t* rs = snf_.rows.data() + r0;
+    const double* panel = snf_.values.data() + snf_.val_start[s];
+    for (idx_t j = 0; j < w; ++j) {
+      offset_t out = col_ptr[c0 + j];
+      for (idx_t i = j; i < m; ++i) {
+        row_idx[out] = rs[i];
+        values[out] = panel[static_cast<std::size_t>(j) * m + i];
+        ++out;
+      }
+    }
+  }
 }
 
 }  // namespace ms::la

@@ -1,7 +1,9 @@
 #pragma once
 // Fill-reducing / bandwidth-reducing orderings for the sparse Cholesky
-// factorization. Reverse Cuthill-McKee is simple, deterministic, and works
-// well for the structured meshes this repository produces.
+// factorization. Reverse Cuthill-McKee keeps the band tight on chain-like
+// graphs; approximate minimum degree (the default for the direct solver)
+// produces far less fill on the 3D hex-mesh matrices this repository
+// assembles. Both are deterministic.
 
 #include <vector>
 
@@ -18,11 +20,25 @@ struct Permutation {
 
   /// Identity permutation of order n.
   static Permutation identity(idx_t n);
+
+  /// Composition: first apply `this`, then `second` (on the already-permuted
+  /// index space). Result maps result.perm[new] = perm[second.perm[new]].
+  [[nodiscard]] Permutation then(const Permutation& second) const;
 };
 
 /// Reverse Cuthill-McKee ordering of a structurally symmetric matrix.
 /// Components are seeded from minimum-degree pseudo-peripheral nodes.
 Permutation reverse_cuthill_mckee(const CsrMatrix& a);
+
+/// Approximate minimum degree ordering (Amestoy/Davis/Duff) of a
+/// structurally symmetric matrix: quotient-graph elimination with element
+/// absorption (aggressive), mass elimination, and indistinguishable-node
+/// (supervariable) detection via hashing. External degrees are the AMD upper
+/// bound, so each pivot step costs O(|affected lists|) instead of a full
+/// set union. Deterministic: ties break towards the lowest node index.
+/// On 3D FEM matrices the Cholesky fill is typically several times lower
+/// than under RCM.
+Permutation amd_ordering(const CsrMatrix& a);
 
 /// B = P A P^T for a symmetric permutation (perm[new] = old).
 CsrMatrix permute_symmetric(const CsrMatrix& a, const Permutation& p);

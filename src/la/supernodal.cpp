@@ -1,0 +1,423 @@
+#include "la/supernodal.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ms::la {
+
+idx_t ereach(const CsrMatrix& a, idx_t k, const std::vector<idx_t>& parent, std::vector<idx_t>& s,
+             std::vector<idx_t>& mark, idx_t stamp) {
+  const idx_t n = a.rows();
+  idx_t top = n;
+  mark[k] = stamp;
+  const offset_t end = a.row_ptr()[static_cast<std::size_t>(k) + 1];
+  for (offset_t p = a.row_ptr()[k]; p < end; ++p) {
+    idx_t i = a.col_idx()[p];
+    if (i >= k) break;  // columns are sorted; only strictly-lower entries seed
+    idx_t len = 0;
+    for (; mark[i] != stamp; i = parent[i]) {
+      s[len++] = i;
+      mark[i] = stamp;
+    }
+    while (len > 0) s[--top] = s[--len];
+  }
+  return top;
+}
+
+std::vector<idx_t> elimination_tree(const CsrMatrix& a) {
+  const idx_t n = a.rows();
+  std::vector<idx_t> parent(n, -1), ancestor(n, -1);
+  for (idx_t k = 0; k < n; ++k) {
+    const offset_t end = a.row_ptr()[static_cast<std::size_t>(k) + 1];
+    for (offset_t p = a.row_ptr()[k]; p < end; ++p) {
+      idx_t i = a.col_idx()[p];
+      if (i >= k) break;
+      while (i != -1 && i != k) {
+        const idx_t next = ancestor[i];
+        ancestor[i] = k;
+        if (next == -1) parent[i] = k;
+        i = next;
+      }
+    }
+  }
+  return parent;
+}
+
+std::vector<idx_t> cholesky_column_counts(const CsrMatrix& a, const std::vector<idx_t>& parent) {
+  const idx_t n = a.rows();
+  std::vector<idx_t> counts(n, 1), s(n), mark(n, -1);
+  for (idx_t k = 0; k < n; ++k) {
+    const idx_t top = ereach(a, k, parent, s, mark, k);
+    for (idx_t t = top; t < n; ++t) ++counts[s[t]];
+  }
+  return counts;
+}
+
+std::vector<idx_t> etree_postorder(const std::vector<idx_t>& parent) {
+  const idx_t n = static_cast<idx_t>(parent.size());
+  // Children lists in ascending order: insert n-1 .. 0 at the head.
+  std::vector<idx_t> head(n, -1), next(n, -1);
+  for (idx_t v = n - 1; v >= 0; --v) {
+    if (parent[v] == -1) continue;
+    next[v] = head[parent[v]];
+    head[parent[v]] = v;
+  }
+  std::vector<idx_t> post;
+  post.reserve(n);
+  std::vector<idx_t> stack;
+  for (idx_t root = 0; root < n; ++root) {
+    if (parent[root] != -1) continue;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const idx_t v = stack.back();
+      const idx_t child = head[v];
+      if (child == -1) {
+        post.push_back(v);
+        stack.pop_back();
+      } else {
+        head[v] = next[child];  // consume the child link
+        stack.push_back(child);
+      }
+    }
+  }
+  return post;
+}
+
+offset_t SupernodalFactor::factor_nnz() const {
+  offset_t nnz = 0;
+  for (idx_t s = 0; s < num_supernodes; ++s) {
+    const offset_t m = row_start[static_cast<std::size_t>(s) + 1] - row_start[s];
+    const offset_t w = super_start[static_cast<std::size_t>(s) + 1] - super_start[s];
+    nnz += m * w - w * (w - 1) / 2;  // rectangle minus the strict upper wedge
+  }
+  return nnz;
+}
+
+std::size_t SupernodalFactor::memory_bytes() const {
+  return values.size() * sizeof(double) + rows.size() * sizeof(idx_t) +
+         (super_start.size() + col_super.size()) * sizeof(idx_t) +
+         (row_start.size() + val_start.size()) * sizeof(offset_t);
+}
+
+SupernodalFactor analyze_supernodes(const CsrMatrix& a, const std::vector<idx_t>& parent,
+                                    const std::vector<idx_t>& counts, idx_t max_width) {
+  const idx_t n = a.rows();
+  if (max_width < 1) max_width = 1;
+
+  SupernodalFactor f;
+  f.n = n;
+  f.col_super.assign(n, 0);
+  f.super_start.clear();
+  for (idx_t j = 0; j < n; ++j) {
+    const bool extend = j > 0 && parent[j - 1] == j && counts[j] == counts[j - 1] - 1 &&
+                        j - f.super_start.back() < max_width;
+    if (!extend) f.super_start.push_back(j);
+    f.col_super[j] = static_cast<idx_t>(f.super_start.size()) - 1;
+  }
+  f.num_supernodes = static_cast<idx_t>(f.super_start.size());
+  f.super_start.push_back(n);
+
+  // Pattern sizes: every column of a fundamental supernode shares the
+  // leading column's pattern, so m_s = counts[first column].
+  f.row_start.assign(static_cast<std::size_t>(f.num_supernodes) + 1, 0);
+  f.val_start.assign(static_cast<std::size_t>(f.num_supernodes) + 1, 0);
+  for (idx_t s = 0; s < f.num_supernodes; ++s) {
+    const offset_t m = counts[f.super_start[s]];
+    const offset_t w = f.super_start[static_cast<std::size_t>(s) + 1] - f.super_start[s];
+    f.row_start[static_cast<std::size_t>(s) + 1] = f.row_start[s] + m;
+    f.val_start[static_cast<std::size_t>(s) + 1] = f.val_start[s] + m * w;
+  }
+  f.rows.assign(static_cast<std::size_t>(f.row_start[f.num_supernodes]), 0);
+  f.values.assign(static_cast<std::size_t>(f.val_start[f.num_supernodes]), 0.0);
+
+  // Fill patterns: own columns first, then the below rows in ascending order
+  // via the row sweep (k ascending appends ascending rows). Row k belongs to
+  // supernode s's pattern iff L(k, first column of s) != 0, i.e. the leading
+  // column shows up in ereach(k).
+  std::vector<offset_t> fill(f.num_supernodes);
+  for (idx_t s = 0; s < f.num_supernodes; ++s) {
+    const idx_t c0 = f.super_start[s];
+    const idx_t c1 = f.super_start[static_cast<std::size_t>(s) + 1];
+    offset_t pos = f.row_start[s];
+    for (idx_t j = c0; j < c1; ++j) f.rows[pos++] = j;
+    fill[s] = pos;
+  }
+  std::vector<idx_t> stack(n), mark(n, -1);
+  for (idx_t k = 0; k < n; ++k) {
+    const idx_t top = ereach(a, k, parent, stack, mark, k);
+    for (idx_t t = top; t < n; ++t) {
+      const idx_t j = stack[t];
+      const idx_t s = f.col_super[j];
+      if (j == f.super_start[s] && k >= f.super_start[static_cast<std::size_t>(s) + 1]) {
+        f.rows[fill[s]++] = k;
+      }
+    }
+  }
+#ifndef NDEBUG
+  for (idx_t s = 0; s < f.num_supernodes; ++s) {
+    assert(fill[s] == f.row_start[static_cast<std::size_t>(s) + 1]);
+  }
+#endif
+  return f;
+}
+
+void syrk_panel_lower(const double* a, idx_t lda, idx_t ni, idx_t nj, idx_t k, double* c,
+                      idx_t ldc) {
+  constexpr idx_t kTile = 4;
+  for (idx_t j0 = 0; j0 < nj; j0 += kTile) {
+    const idx_t jb = std::min(kTile, nj - j0);
+    // Tiles entirely above the i >= j trapezoid are never consumed.
+    for (idx_t i0 = j0 - (j0 % kTile); i0 < ni; i0 += kTile) {
+      const idx_t ib = std::min(kTile, ni - i0);
+      if (ib == kTile && jb == kTile) {
+        double acc00 = 0, acc10 = 0, acc20 = 0, acc30 = 0;
+        double acc01 = 0, acc11 = 0, acc21 = 0, acc31 = 0;
+        double acc02 = 0, acc12 = 0, acc22 = 0, acc32 = 0;
+        double acc03 = 0, acc13 = 0, acc23 = 0, acc33 = 0;
+        const double* ai = a + i0;
+        const double* aj = a + j0;
+        for (idx_t t = 0; t < k; ++t) {
+          const double r0 = ai[0], r1 = ai[1], r2 = ai[2], r3 = ai[3];
+          const double c0 = aj[0], c1 = aj[1], c2 = aj[2], c3 = aj[3];
+          acc00 += r0 * c0; acc10 += r1 * c0; acc20 += r2 * c0; acc30 += r3 * c0;
+          acc01 += r0 * c1; acc11 += r1 * c1; acc21 += r2 * c1; acc31 += r3 * c1;
+          acc02 += r0 * c2; acc12 += r1 * c2; acc22 += r2 * c2; acc32 += r3 * c2;
+          acc03 += r0 * c3; acc13 += r1 * c3; acc23 += r2 * c3; acc33 += r3 * c3;
+          ai += lda;
+          aj += lda;
+        }
+        double* c0p = c + static_cast<std::size_t>(j0) * ldc + i0;
+        double* c1p = c0p + ldc;
+        double* c2p = c1p + ldc;
+        double* c3p = c2p + ldc;
+        c0p[0] = acc00; c0p[1] = acc10; c0p[2] = acc20; c0p[3] = acc30;
+        c1p[0] = acc01; c1p[1] = acc11; c1p[2] = acc21; c1p[3] = acc31;
+        c2p[0] = acc02; c2p[1] = acc12; c2p[2] = acc22; c2p[3] = acc32;
+        c3p[0] = acc03; c3p[1] = acc13; c3p[2] = acc23; c3p[3] = acc33;
+      } else {
+        double acc[kTile][kTile] = {};
+        const double* col = a;
+        for (idx_t t = 0; t < k; ++t, col += lda) {
+          for (idx_t jj = 0; jj < jb; ++jj) {
+            const double cj = col[j0 + jj];
+            for (idx_t ii = 0; ii < ib; ++ii) acc[jj][ii] += col[i0 + ii] * cj;
+          }
+        }
+        for (idx_t jj = 0; jj < jb; ++jj) {
+          double* out = c + static_cast<std::size_t>(j0 + jj) * ldc + i0;
+          for (idx_t ii = 0; ii < ib; ++ii) out[ii] = acc[jj][ii];
+        }
+      }
+    }
+  }
+}
+
+void factorize_supernodal(const CsrMatrix& a, SupernodalFactor& f) {
+  const idx_t n = f.n;
+  const idx_t ns = f.num_supernodes;
+  std::vector<idx_t> relmap(n, -1);
+  // Left-looking update lists: head[s] chains the factored descendants whose
+  // next unconsumed row block lands in supernode s.
+  std::vector<idx_t> head(ns, -1), next_d(ns, -1);
+  std::vector<idx_t> dptr(ns, 0);
+  std::vector<double> scratch;
+  std::fill(f.values.begin(), f.values.end(), 0.0);  // allow refactorization
+
+  for (idx_t s = 0; s < ns; ++s) {
+    const idx_t c0 = f.super_start[s];
+    const idx_t c1 = f.super_start[static_cast<std::size_t>(s) + 1];
+    const idx_t w = c1 - c0;
+    const offset_t r0 = f.row_start[s];
+    const idx_t m = static_cast<idx_t>(f.row_start[static_cast<std::size_t>(s) + 1] - r0);
+    const idx_t* rs = f.rows.data() + r0;
+    double* panel = f.values.data() + f.val_start[s];
+    for (idx_t t = 0; t < m; ++t) relmap[rs[t]] = t;
+
+    // Scatter the lower triangle of the (permuted) matrix columns. A is
+    // symmetric full storage, so column j reads row j's entries at i >= j.
+    for (idx_t j = c0; j < c1; ++j) {
+      double* col = panel + static_cast<std::size_t>(j - c0) * m;
+      const offset_t end = a.row_ptr()[static_cast<std::size_t>(j) + 1];
+      for (offset_t q = a.row_ptr()[j]; q < end; ++q) {
+        const idx_t i = a.col_idx()[q];
+        if (i >= j) col[relmap[i]] = a.values()[q];
+      }
+    }
+
+    // Apply every pending descendant update that intersects this supernode's
+    // columns, then thread each descendant on to the supernode of its next
+    // unconsumed row.
+    idx_t d = head[s];
+    head[s] = -1;
+    while (d != -1) {
+      const idx_t d_after = next_d[d];
+      const offset_t dr0 = f.row_start[d];
+      const idx_t dm = static_cast<idx_t>(f.row_start[static_cast<std::size_t>(d) + 1] - dr0);
+      const idx_t dw = f.super_start[static_cast<std::size_t>(d) + 1] - f.super_start[d];
+      const idx_t* drows = f.rows.data() + dr0;
+      const double* dpanel = f.values.data() + f.val_start[d];
+      const idx_t q0 = dptr[d];
+      idx_t q1 = q0;
+      while (q1 < dm && drows[q1] < c1) ++q1;
+      const idx_t nj = q1 - q0;
+      const idx_t ni = dm - q0;
+      scratch.resize(static_cast<std::size_t>(ni) * nj);
+      syrk_panel_lower(dpanel + q0, dm, ni, nj, dw, scratch.data(), ni);
+      for (idx_t jj = 0; jj < nj; ++jj) {
+        double* col = panel + static_cast<std::size_t>(drows[q0 + jj] - c0) * m;
+        const double* src = scratch.data() + static_cast<std::size_t>(jj) * ni;
+        for (idx_t ii = jj; ii < ni; ++ii) col[relmap[drows[q0 + ii]]] -= src[ii];
+      }
+      if (q1 < dm) {
+        dptr[d] = q1;
+        const idx_t t = f.col_super[drows[q1]];
+        next_d[d] = head[t];
+        head[t] = d;
+      }
+      d = d_after;
+    }
+
+    // Fused dense panel factorization: Cholesky of the w x w diagonal block
+    // with the below-diagonal rows updated and scaled in the same column
+    // sweep (the columns below the diagonal become L's off-diagonal block).
+    for (idx_t j = 0; j < w; ++j) {
+      double* colj = panel + static_cast<std::size_t>(j) * m;
+      for (idx_t t = 0; t < j; ++t) {
+        const double ljt = panel[static_cast<std::size_t>(t) * m + j];
+        const double* colt = panel + static_cast<std::size_t>(t) * m;
+        for (idx_t i = j; i < m; ++i) colj[i] -= ljt * colt[i];
+      }
+      const double diag = colj[j];
+      if (diag <= 0.0) {
+        throw std::runtime_error("SparseCholesky: matrix not positive definite");
+      }
+      const double root = std::sqrt(diag);
+      colj[j] = root;
+      const double inv = 1.0 / root;
+      for (idx_t i = j + 1; i < m; ++i) colj[i] *= inv;
+    }
+
+    if (m > w) {
+      dptr[s] = w;
+      const idx_t t = f.col_super[rs[w]];
+      next_d[s] = head[t];
+      head[t] = s;
+    }
+  }
+}
+
+namespace {
+
+// Fixed-width solve kernels: the per-case loop is a compile-time constant so
+// the case values live in registers and the loop body compiles to straight
+// FMA code instead of a trip-count-one runtime loop (which costs 2-3x on the
+// single-RHS path the transient stepper hammers). `stride` is the full panel
+// width; each kernel touches the NRHS consecutive cases at x + i * stride.
+// Per case the operation order is identical across widths, so chunked panel
+// solves reproduce one-at-a-time solves bitwise.
+
+template <int NRHS>
+void forward_solve_fixed(const SupernodalFactor& f, double* x, idx_t stride) {
+  for (idx_t s = 0; s < f.num_supernodes; ++s) {
+    const idx_t c0 = f.super_start[s];
+    const idx_t w = f.super_start[static_cast<std::size_t>(s) + 1] - c0;
+    const offset_t r0 = f.row_start[s];
+    const idx_t m = static_cast<idx_t>(f.row_start[static_cast<std::size_t>(s) + 1] - r0);
+    const idx_t* rs = f.rows.data() + r0;
+    const double* panel = f.values.data() + f.val_start[s];
+    for (idx_t j = 0; j < w; ++j) {
+      const double* colj = panel + static_cast<std::size_t>(j) * m;
+      double* xj = x + static_cast<std::size_t>(c0 + j) * stride;
+      const double inv = 1.0 / colj[j];
+      double v[NRHS];
+      for (int r = 0; r < NRHS; ++r) {
+        v[r] = xj[r] * inv;
+        xj[r] = v[r];
+      }
+      for (idx_t i = j + 1; i < w; ++i) {
+        const double lij = colj[i];
+        double* xi = x + static_cast<std::size_t>(c0 + i) * stride;
+        for (int r = 0; r < NRHS; ++r) xi[r] -= lij * v[r];
+      }
+      for (idx_t i = w; i < m; ++i) {
+        const double lij = colj[i];
+        double* xi = x + static_cast<std::size_t>(rs[i]) * stride;
+        for (int r = 0; r < NRHS; ++r) xi[r] -= lij * v[r];
+      }
+    }
+  }
+}
+
+template <int NRHS>
+void backward_solve_fixed(const SupernodalFactor& f, double* x, idx_t stride) {
+  for (idx_t s = f.num_supernodes - 1; s >= 0; --s) {
+    const idx_t c0 = f.super_start[s];
+    const idx_t w = f.super_start[static_cast<std::size_t>(s) + 1] - c0;
+    const offset_t r0 = f.row_start[s];
+    const idx_t m = static_cast<idx_t>(f.row_start[static_cast<std::size_t>(s) + 1] - r0);
+    const idx_t* rs = f.rows.data() + r0;
+    const double* panel = f.values.data() + f.val_start[s];
+    for (idx_t j = w - 1; j >= 0; --j) {
+      const double* colj = panel + static_cast<std::size_t>(j) * m;
+      double* xj = x + static_cast<std::size_t>(c0 + j) * stride;
+      double acc[NRHS];
+      for (int r = 0; r < NRHS; ++r) acc[r] = xj[r];
+      for (idx_t i = j + 1; i < w; ++i) {
+        const double lij = colj[i];
+        const double* xi = x + static_cast<std::size_t>(c0 + i) * stride;
+        for (int r = 0; r < NRHS; ++r) acc[r] -= lij * xi[r];
+      }
+      for (idx_t i = w; i < m; ++i) {
+        const double lij = colj[i];
+        const double* xi = x + static_cast<std::size_t>(rs[i]) * stride;
+        for (int r = 0; r < NRHS; ++r) acc[r] -= lij * xi[r];
+      }
+      const double inv = 1.0 / colj[j];
+      for (int r = 0; r < NRHS; ++r) xj[r] = acc[r] * inv;
+    }
+  }
+}
+
+/// Run the fixed-width kernels over the panel in chunks of 8/4/2/1 cases.
+template <typename Fn8, typename Fn4, typename Fn2, typename Fn1>
+void dispatch_chunks(idx_t nrhs, Fn8&& f8, Fn4&& f4, Fn2&& f2, Fn1&& f1) {
+  idx_t done = 0;
+  while (done < nrhs) {
+    const idx_t left = nrhs - done;
+    if (left >= 8) {
+      f8(done);
+      done += 8;
+    } else if (left >= 4) {
+      f4(done);
+      done += 4;
+    } else if (left >= 2) {
+      f2(done);
+      done += 2;
+    } else {
+      f1(done);
+      done += 1;
+    }
+  }
+}
+
+}  // namespace
+
+void supernodal_forward_solve(const SupernodalFactor& f, double* x, idx_t nrhs) {
+  dispatch_chunks(
+      nrhs, [&](idx_t at) { forward_solve_fixed<8>(f, x + at, nrhs); },
+      [&](idx_t at) { forward_solve_fixed<4>(f, x + at, nrhs); },
+      [&](idx_t at) { forward_solve_fixed<2>(f, x + at, nrhs); },
+      [&](idx_t at) { forward_solve_fixed<1>(f, x + at, nrhs); });
+}
+
+void supernodal_backward_solve(const SupernodalFactor& f, double* x, idx_t nrhs) {
+  dispatch_chunks(
+      nrhs, [&](idx_t at) { backward_solve_fixed<8>(f, x + at, nrhs); },
+      [&](idx_t at) { backward_solve_fixed<4>(f, x + at, nrhs); },
+      [&](idx_t at) { backward_solve_fixed<2>(f, x + at, nrhs); },
+      [&](idx_t at) { backward_solve_fixed<1>(f, x + at, nrhs); });
+}
+
+}  // namespace ms::la

@@ -1,8 +1,32 @@
 #include "rom/global_assembler.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace ms::rom {
+namespace {
+
+/// Stiffness and load must select block models identically; both assembly
+/// entry points go through these two helpers.
+void require_dummy_model(const BlockMask& mask, const RomModel* dummy_model,
+                         const char* caller) {
+  if (dummy_model != nullptr || mask.empty()) return;
+  for (std::uint8_t m : mask) {
+    if (m == 0) {
+      throw std::invalid_argument(std::string(caller) +
+                                  ": mask selects dummy blocks but no model");
+    }
+  }
+}
+
+const RomModel& block_model(const RomModel& tsv_model, const RomModel* dummy_model,
+                            const BlockMask& mask, int blocks_x, int bx, int by) {
+  const bool is_tsv =
+      mask.empty() || mask[static_cast<std::size_t>(by) * blocks_x + bx] != 0;
+  return is_tsv ? tsv_model : *dummy_model;
+}
+
+}  // namespace
 
 GlobalProblem assemble_global(const BlockGrid& grid, const RomModel& tsv_model,
                               const RomModel* dummy_model, const BlockMask& mask,
@@ -25,18 +49,7 @@ GlobalProblem assemble_global(const BlockGrid& grid, const RomModel& tsv_model,
 
   // Validate before the parallel scatter: throwing from inside an OpenMP
   // region would terminate instead of propagating.
-  if (dummy_model == nullptr && !mask.empty()) {
-    for (std::uint8_t m : mask) {
-      if (m == 0) {
-        throw std::invalid_argument("assemble_global: mask selects dummy blocks but no model");
-      }
-    }
-  }
-  const auto model_of = [&](int bx, int by) -> const RomModel& {
-    const bool is_tsv =
-        mask.empty() || mask[static_cast<std::size_t>(by) * grid.blocks_x() + bx] != 0;
-    return is_tsv ? tsv_model : *dummy_model;
-  };
+  require_dummy_model(mask, dummy_model, "assemble_global");
 
   // Every block contributes exactly n^2 stiffness entries, so each block
   // owns a fixed slice of the triplet arrays and the scatter parallelizes
@@ -58,7 +71,7 @@ GlobalProblem assemble_global(const BlockGrid& grid, const RomModel& tsv_model,
   for (int b = 0; b < blocks_x * blocks_y; ++b) {
     const int bx = b % blocks_x;
     const int by = b / blocks_x;
-    const RomModel& model = model_of(bx, by);
+    const RomModel& model = block_model(tsv_model, dummy_model, mask, blocks_x, bx, by);
     const std::vector<idx_t> dofs = grid.block_dofs(bx, by);
     std::size_t pos = static_cast<std::size_t>(b) * per_block;
     for (idx_t i = 0; i < n; ++i) {
@@ -69,19 +82,33 @@ GlobalProblem assemble_global(const BlockGrid& grid, const RomModel& tsv_model,
       }
     }
   }
-  for (int by = 0; by < blocks_y; ++by) {
-    for (int bx = 0; bx < blocks_x; ++bx) {
-      const RomModel& model = model_of(bx, by);
-      const std::vector<idx_t> dofs = grid.block_dofs(bx, by);
-      const double thermal_load = load.at(bx, by);
-      for (idx_t i = 0; i < n; ++i) {
-        problem.rhs[dofs[i]] += thermal_load * model.element_load[i];
-      }
-    }
-  }
+  problem.rhs = assemble_global_rhs(grid, tsv_model, dummy_model, mask, load);
   problem.stiffness = CsrMatrix::from_triplets(la::TripletList::from_parts(
       problem.num_dofs, problem.num_dofs, std::move(is), std::move(js), std::move(vs)));
   return problem;
+}
+
+Vec assemble_global_rhs(const BlockGrid& grid, const RomModel& tsv_model,
+                        const RomModel* dummy_model, const BlockMask& mask,
+                        const BlockLoadField& load) {
+  const idx_t n = tsv_model.num_element_dofs();
+  load.validate_extent(grid.blocks_x(), grid.blocks_y());
+  require_dummy_model(mask, dummy_model, "assemble_global_rhs");
+  Vec rhs(static_cast<std::size_t>(grid.num_dofs()), 0.0);
+  // Neighbouring blocks share surface dofs, so the accumulation stays serial
+  // and its summation order fixed (bitwise-deterministic).
+  for (int by = 0; by < grid.blocks_y(); ++by) {
+    for (int bx = 0; bx < grid.blocks_x(); ++bx) {
+      const RomModel& model =
+          block_model(tsv_model, dummy_model, mask, grid.blocks_x(), bx, by);
+      const std::vector<idx_t> dofs = grid.block_dofs(bx, by);
+      const double thermal_load = load.at(bx, by);
+      for (idx_t i = 0; i < n; ++i) {
+        rhs[dofs[i]] += thermal_load * model.element_load[i];
+      }
+    }
+  }
+  return rhs;
 }
 
 DirichletBc clamp_top_bottom(const BlockGrid& grid) {

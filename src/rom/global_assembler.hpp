@@ -34,6 +34,14 @@ GlobalProblem assemble_global(const BlockGrid& grid, const RomModel& tsv_model,
                               const RomModel* dummy_model, const BlockMask& mask,
                               const BlockLoadField& load);
 
+/// Assemble only the load vector for `load` on an already-assembled global
+/// problem's grid: the reduced stiffness does not depend on the per-block
+/// ΔT, so solving many load cases (e.g. transient snapshots) against one
+/// factorization needs one stiffness assembly plus one of these per case.
+Vec assemble_global_rhs(const BlockGrid& grid, const RomModel& tsv_model,
+                        const RomModel* dummy_model, const BlockMask& mask,
+                        const BlockLoadField& load);
+
 /// Scalar-ΔT convenience (the paper's uniform reflow load).
 inline GlobalProblem assemble_global(const BlockGrid& grid, const RomModel& tsv_model,
                                      const RomModel* dummy_model, const BlockMask& mask,

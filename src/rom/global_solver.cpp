@@ -1,6 +1,8 @@
 #include "rom/global_solver.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "la/cg.hpp"
 #include "la/cholesky.hpp"
@@ -10,43 +12,75 @@
 
 namespace ms::rom {
 
-Vec solve_global(GlobalProblem& problem, const DirichletBc& bc, const GlobalSolveOptions& options,
-                 GlobalSolveStats* stats) {
-  fem::apply_dirichlet(problem.stiffness, problem.rhs, bc);
+std::vector<Vec> solve_global_multi(GlobalProblem& problem, std::vector<Vec> extra_rhs,
+                                    const DirichletBc& bc, const GlobalSolveOptions& options,
+                                    GlobalSolveStats* stats) {
+  std::vector<Vec> rhs_cases;
+  rhs_cases.reserve(extra_rhs.size() + 1);
+  rhs_cases.push_back(std::move(problem.rhs));
+  for (Vec& rhs : extra_rhs) {
+    if (static_cast<idx_t>(rhs.size()) != problem.num_dofs) {
+      throw std::invalid_argument("solve_global_multi: rhs size must match the problem");
+    }
+    rhs_cases.push_back(std::move(rhs));
+  }
+  fem::apply_dirichlet(problem.stiffness, rhs_cases, bc);
+  problem.rhs = rhs_cases.front();  // keep the lifted primary rhs visible
 
   util::WallTimer timer;
-  Vec u;
+  const idx_t n = problem.num_dofs;
+  const idx_t num_cases = static_cast<idx_t>(rhs_cases.size());
+  std::vector<Vec> solutions(rhs_cases.size());
   idx_t iterations = 0;
   bool converged = false;
   std::size_t solver_bytes = 0;
+  double factor_seconds = 0.0;
+  double triangular_seconds = 0.0;
 
   if (options.method == "direct") {
-    la::SparseCholesky chol(problem.stiffness);
-    u = chol.solve(problem.rhs);
+    la::SparseCholesky chol(problem.stiffness, options.factor);
+    factor_seconds = timer.seconds();
+    util::WallTimer solve_timer;
+    // One factor sweep for the whole panel.
+    solutions = chol.solve_multi(rhs_cases);
+    triangular_seconds = solve_timer.seconds();
     converged = true;
     solver_bytes = chol.memory_bytes();
+    if (stats != nullptr) {
+      stats->factor_nnz = chol.factor_nnz();
+      stats->fill_ratio = chol.fill_ratio();
+      stats->num_supernodes = chol.num_supernodes();
+      stats->ordering = chol.ordering_name();
+    }
   } else if (options.method == "cg") {
     auto precond = la::make_preconditioner(options.precond, problem.stiffness);
     la::IterativeOptions iter;
     iter.rel_tol = options.rel_tol;
     iter.max_iterations = options.max_iterations;
-    const la::IterativeResult result =
-        la::conjugate_gradient(problem.stiffness, problem.rhs, u, precond.get(), iter);
-    iterations = result.iterations;
-    converged = result.converged;
-    solver_bytes = 5 * problem.rhs.size() * sizeof(double) + precond->memory_bytes();
+    converged = true;
+    for (idx_t c = 0; c < num_cases; ++c) {
+      const la::IterativeResult result =
+          la::conjugate_gradient(problem.stiffness, rhs_cases[c], solutions[c], precond.get(),
+                                 iter);
+      iterations += result.iterations;
+      converged = converged && result.converged;
+    }
+    solver_bytes = 5 * static_cast<std::size_t>(n) * sizeof(double) + precond->memory_bytes();
   } else if (options.method == "gmres") {
     auto precond = la::make_preconditioner(options.precond, problem.stiffness);
     la::GmresOptions gopts;
     gopts.rel_tol = options.rel_tol;
     gopts.max_iterations = options.max_iterations;
     gopts.restart = options.gmres_restart;
-    const la::IterativeResult result =
-        la::gmres(problem.stiffness, problem.rhs, u, precond.get(), gopts);
-    iterations = result.iterations;
-    converged = result.converged;
-    solver_bytes = (static_cast<std::size_t>(options.gmres_restart) + 4) * problem.rhs.size() *
-                       sizeof(double) +
+    converged = true;
+    for (idx_t c = 0; c < num_cases; ++c) {
+      const la::IterativeResult result =
+          la::gmres(problem.stiffness, rhs_cases[c], solutions[c], precond.get(), gopts);
+      iterations += result.iterations;
+      converged = converged && result.converged;
+    }
+    solver_bytes = (static_cast<std::size_t>(options.gmres_restart) + 4) *
+                       static_cast<std::size_t>(n) * sizeof(double) +
                    precond->memory_bytes();
   } else {
     throw std::invalid_argument("solve_global: unknown method '" + options.method + "'");
@@ -59,12 +93,20 @@ Vec solve_global(GlobalProblem& problem, const DirichletBc& bc, const GlobalSolv
   if (stats != nullptr) {
     stats->num_dofs = problem.num_dofs;
     stats->solve_seconds = timer.seconds();
+    stats->factor_seconds = factor_seconds;
+    stats->triangular_seconds = triangular_seconds;
     stats->iterations = iterations;
     stats->converged = converged;
     stats->matrix_bytes = problem.stiffness.memory_bytes();
     stats->solver_bytes = solver_bytes;
   }
-  return u;
+  return solutions;
+}
+
+Vec solve_global(GlobalProblem& problem, const DirichletBc& bc, const GlobalSolveOptions& options,
+                 GlobalSolveStats* stats) {
+  std::vector<Vec> solutions = solve_global_multi(problem, {}, bc, options, stats);
+  return std::move(solutions.front());
 }
 
 }  // namespace ms::rom

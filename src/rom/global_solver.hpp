@@ -4,7 +4,9 @@
 // sparse direct path are available for the solver ablation.
 
 #include <string>
+#include <vector>
 
+#include "la/cholesky.hpp"
 #include "rom/global_assembler.hpp"
 
 namespace ms::rom {
@@ -15,19 +17,38 @@ struct GlobalSolveOptions {
   double rel_tol = 1e-9;
   idx_t max_iterations = 20000;
   idx_t gmres_restart = 80;
+  /// Direct-path factorization: ordering + supernodal/simplicial back end.
+  la::SparseCholesky::Options factor;
 };
 
 struct GlobalSolveStats {
   idx_t num_dofs = 0;
-  double solve_seconds = 0.0;
+  double solve_seconds = 0.0;     ///< total: factorization + triangular solves
   idx_t iterations = 0;
   bool converged = false;
   std::size_t matrix_bytes = 0;
   std::size_t solver_bytes = 0;
+  // Direct-path factorization detail (zero / empty on iterative paths):
+  double factor_seconds = 0.0;    ///< the one Cholesky factorization
+  double triangular_seconds = 0.0;///< forward/backward substitutions only
+  la::offset_t factor_nnz = 0;    ///< nnz(L), diagonal included
+  double fill_ratio = 0.0;        ///< nnz(L) / nnz(tril(A))
+  idx_t num_supernodes = 0;       ///< 0 on the simplicial back end
+  std::string ordering;           ///< "amd" / "rcm" / "natural"
 };
 
 /// Apply `bc` by lifting, then solve. Returns the nodal displacement vector.
 Vec solve_global(GlobalProblem& problem, const DirichletBc& bc,
                  const GlobalSolveOptions& options = {}, GlobalSolveStats* stats = nullptr);
+
+/// Multi-load variant: solve problem.rhs plus every vector of `extra_rhs`
+/// against the same lifted operator. The direct path factors once and runs
+/// all cases as one multi-RHS panel through SparseCholesky::solve_multi;
+/// iterative paths loop. Returns one solution per case — index 0 is
+/// problem.rhs, index 1 + k is extra_rhs[k]. All right-hand sides must be
+/// unlifted (the lifting is applied here, like solve_global does).
+std::vector<Vec> solve_global_multi(GlobalProblem& problem, std::vector<Vec> extra_rhs,
+                                    const DirichletBc& bc, const GlobalSolveOptions& options = {},
+                                    GlobalSolveStats* stats = nullptr);
 
 }  // namespace ms::rom

@@ -1,5 +1,6 @@
 #include "rom/local_stage.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "fem/assembler.hpp"
@@ -71,60 +72,74 @@ RomModel run_local_stage(const mesh::TsvGeometry& geometry, const mesh::BlockMes
   const CsrMatrix a_fb =
       sys.stiffness.submatrix(part.free_map, part.num_free, part.bc_map, part.num_bc);
 
-  // One factorization, n+1 solves (paper Sec. 4.2). The solves only share
-  // the immutable factor, so they parallelize embarrassingly: each thread
-  // carries its own boundary/rhs/workspace vectors.
-  const SparseCholesky chol(a_ff);
+  // One factorization, n+1 solves (paper Sec. 4.2). The right-hand sides are
+  // batched into column panels and solved through solve_multi, so the factor
+  // streams through the cache once per panel instead of once per solve;
+  // panels only share the immutable factor, so they parallelize
+  // embarrassingly with per-thread workspaces.
+  const SparseCholesky chol(a_ff, options.factor);
 
   // Basis fields F = [f_0 ... f_{n-1}, f_T] as full fine-mesh vectors.
-  std::vector<Vec> basis(static_cast<std::size_t>(n) + 1);
+  const idx_t total_rhs = n + 1;  // interpolation bases + the thermal basis
+  const idx_t panel_width = std::max(1, options.rhs_panel);
+  const idx_t num_panels = (total_rhs + panel_width - 1) / panel_width;
+  std::vector<Vec> basis(static_cast<std::size_t>(total_rhs));
 #ifdef _OPENMP
 #pragma omp parallel
 #endif
   {
-    Vec u_bc(part.num_bc), rhs_f(part.num_free), alpha_f, chol_work;
+    Vec u_bc(part.num_bc), rhs_f(part.num_free);
+    Vec rhs_panel, bc_panel, x_panel, chol_work;
 #ifdef _OPENMP
 #pragma omp for schedule(dynamic)
 #endif
-    for (idx_t i = 0; i < n; ++i) {
-      const idx_t m = i / 3;
-      const int c = static_cast<int>(i % 3);
-      // Boundary data: the i-th surface-node unit displacement interpolated
-      // to every boundary mesh node (component c only).
-      std::fill(u_bc.begin(), u_bc.end(), 0.0);
-      for (idx_t b = 0; b < static_cast<idx_t>(bnodes.size()); ++b) {
-        const double w = weights(b, m);
-        if (w != 0.0) u_bc[part.bc_map[fem::dof_of(bnodes[b], c)]] = w;
-      }
-      a_fb.mul(u_bc, rhs_f);
-      la::scale(rhs_f, -1.0);
-      chol.solve_with(rhs_f, alpha_f, chol_work);
-
-      Vec f(num_dofs, 0.0);
-      for (idx_t d = 0; d < num_dofs; ++d) {
-        if (part.free_map[d] >= 0) {
-          f[d] = alpha_f[part.free_map[d]];
+    for (idx_t panel = 0; panel < num_panels; ++panel) {
+      const idx_t i0 = panel * panel_width;
+      const idx_t cols = std::min(panel_width, total_rhs - i0);
+      rhs_panel.assign(static_cast<std::size_t>(part.num_free) * cols, 0.0);
+      bc_panel.assign(static_cast<std::size_t>(part.num_bc) * cols, 0.0);
+      for (idx_t col = 0; col < cols; ++col) {
+        const idx_t i = i0 + col;
+        if (i < n) {
+          const idx_t m = i / 3;
+          const int c = static_cast<int>(i % 3);
+          // Boundary data: the i-th surface-node unit displacement
+          // interpolated to every boundary mesh node (component c only).
+          std::fill(u_bc.begin(), u_bc.end(), 0.0);
+          for (idx_t b = 0; b < static_cast<idx_t>(bnodes.size()); ++b) {
+            const double w = weights(b, m);
+            if (w != 0.0) u_bc[part.bc_map[fem::dof_of(bnodes[b], c)]] = w;
+          }
+          a_fb.mul(u_bc, rhs_f);
+          la::scale(rhs_f, -1.0);
+          std::copy(u_bc.begin(), u_bc.end(),
+                    bc_panel.begin() + static_cast<std::size_t>(col) * part.num_bc);
         } else {
-          f[d] = u_bc[part.bc_map[d]];
+          // Thermal basis: unit thermal load, zero boundary motion (Eq. 15).
+          std::fill(rhs_f.begin(), rhs_f.end(), 0.0);
+          for (idx_t d = 0; d < num_dofs; ++d) {
+            if (part.free_map[d] >= 0) rhs_f[part.free_map[d]] = sys.thermal_load[d];
+          }
         }
+        std::copy(rhs_f.begin(), rhs_f.end(),
+                  rhs_panel.begin() + static_cast<std::size_t>(col) * part.num_free);
       }
-      basis[i] = std::move(f);
-    }
-#ifdef _OPENMP
-#pragma omp single
-#endif
-    {
-      // Thermal basis: unit thermal load, zero boundary motion (Eq. 15).
-      std::fill(rhs_f.begin(), rhs_f.end(), 0.0);
-      for (idx_t d = 0; d < num_dofs; ++d) {
-        if (part.free_map[d] >= 0) rhs_f[part.free_map[d]] = sys.thermal_load[d];
+      x_panel.resize(static_cast<std::size_t>(part.num_free) * cols);
+      chol.solve_multi_with(rhs_panel.data(), x_panel.data(), cols, chol_work);
+      for (idx_t col = 0; col < cols; ++col) {
+        const idx_t i = i0 + col;
+        const double* alpha_f = x_panel.data() + static_cast<std::size_t>(col) * part.num_free;
+        const double* u_col = bc_panel.data() + static_cast<std::size_t>(col) * part.num_bc;
+        Vec f(num_dofs, 0.0);
+        for (idx_t d = 0; d < num_dofs; ++d) {
+          if (part.free_map[d] >= 0) {
+            f[d] = alpha_f[part.free_map[d]];
+          } else if (i < n) {
+            f[d] = u_col[part.bc_map[d]];
+          }
+        }
+        basis[i] = std::move(f);
       }
-      chol.solve_with(rhs_f, alpha_f, chol_work);
-      Vec f(num_dofs, 0.0);
-      for (idx_t d = 0; d < num_dofs; ++d) {
-        if (part.free_map[d] >= 0) f[d] = alpha_f[part.free_map[d]];
-      }
-      basis[n] = std::move(f);
     }
   }
 

@@ -16,6 +16,7 @@
 // LU/Cholesky decomposition.
 
 #include "fem/material.hpp"
+#include "la/cholesky.hpp"
 #include "rom/rom_model.hpp"
 
 namespace ms::rom {
@@ -26,6 +27,13 @@ struct LocalStageOptions {
   int nodes_z = 4;
   int samples_per_block = 100;      ///< s: mid-plane sample grid is s x s
   bool sample_displacements = true; ///< also store per-basis displacements
+  /// Direct-solver configuration of the one A_ff factorization (ordering +
+  /// supernodal/simplicial back end).
+  la::SparseCholesky::Options factor;
+  /// The n+1 basis right-hand sides are solved in column panels of this
+  /// width through SparseCholesky::solve_multi, so the factor is streamed
+  /// once per panel instead of once per solve.
+  int rhs_panel = 8;
   /// Verification switch: use the element load exactly as printed in the
   /// paper's Eq. 19 (b_i = f_i^T b_local) instead of the explicitly
   /// reaction-corrected form b_i = f_i^T (b_local - A_local f_T). The two are

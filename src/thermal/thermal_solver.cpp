@@ -55,7 +55,13 @@ TemperatureField solve_power_map(const mesh::HexMesh& mesh, const ConductivityFi
   timer.reset();
   Vec t;
   if (options.method == "direct") {
-    const la::SparseCholesky chol(k);
+    const la::SparseCholesky chol(k, options.factor);
+    if (stats != nullptr) {
+      stats->factor_seconds = timer.seconds();
+      stats->factor_nnz = chol.factor_nnz();
+      stats->fill_ratio = chol.fill_ratio();
+      stats->ordering = chol.ordering_name();
+    }
     t = chol.solve(rhs);
     if (stats != nullptr) {
       stats->iterations = 0;
@@ -217,8 +223,13 @@ TransientTemperatureResult solve_power_trace(const mesh::HexMesh& mesh,
   }
 
   timer.reset();
-  const la::SparseCholesky factor(a);
-  if (stats != nullptr) stats->factor_seconds = timer.seconds();
+  const la::SparseCholesky factor(a, options.base.factor);
+  if (stats != nullptr) {
+    stats->factor_seconds = timer.seconds();
+    stats->factor_nnz = factor.factor_nnz();
+    stats->fill_ratio = factor.fill_ratio();
+    stats->ordering = factor.ordering_name();
+  }
 
   timer.reset();
   const auto power_load_at = [&](double time, Vec& out) {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "fem/material.hpp"
+#include "la/cholesky.hpp"
 #include "mesh/tsv_block.hpp"
 #include "thermal/conduction_assembler.hpp"
 #include "thermal/power_map.hpp"
@@ -31,6 +32,9 @@ struct ThermalSolveOptions {
   /// Film coefficient of the z-min sink [W/(m^2 K)]; 0 means an ideal sink
   /// (Dirichlet T = ambient on the whole z-min face).
   double sink_film_coefficient = 0.0;
+  /// Direct-path (and transient θ-stepper) factorization: ordering +
+  /// supernodal/simplicial back end.
+  la::SparseCholesky::Options factor;
 };
 
 struct ThermalSolveStats {
@@ -39,6 +43,11 @@ struct ThermalSolveStats {
   double solve_seconds = 0.0;
   idx_t iterations = 0;          ///< 0 on the direct path
   bool converged = false;
+  // Direct-path factorization detail (zero / empty on the cg path):
+  double factor_seconds = 0.0;
+  la::offset_t factor_nnz = 0;
+  double fill_ratio = 0.0;
+  std::string ordering;
   [[nodiscard]] double total_seconds() const { return assemble_seconds + solve_seconds; }
 };
 
@@ -88,6 +97,9 @@ struct TransientSolveStats {
   double assemble_seconds = 0.0;
   double factor_seconds = 0.0;   ///< the one M/Δt + θK factorization
   double step_seconds = 0.0;     ///< all per-step rhs builds + triangular solves
+  la::offset_t factor_nnz = 0;   ///< nnz(L) of the stepping operator
+  double fill_ratio = 0.0;       ///< nnz(L) / nnz(tril(M/Δt + θK))
+  std::string ordering;          ///< ordering used by the factorization
   [[nodiscard]] double total_seconds() const {
     return assemble_seconds + factor_seconds + step_seconds;
   }

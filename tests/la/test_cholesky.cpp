@@ -32,6 +32,14 @@ Vec smooth_rhs(idx_t n) {
   return b;
 }
 
+SparseCholesky::Options make_options(SparseCholesky::Ordering ordering,
+                                     SparseCholesky::Method method) {
+  SparseCholesky::Options o;
+  o.ordering = ordering;
+  o.method = method;
+  return o;
+}
+
 class CholeskyGridSizes : public ::testing::TestWithParam<int> {};
 
 TEST_P(CholeskyGridSizes, ResidualIsTiny) {
@@ -59,25 +67,87 @@ TEST(SparseCholesky, MatchesDenseCholesky) {
   EXPECT_LT(max_abs_diff(sparse_x, dense_x), 1e-11);
 }
 
-TEST(SparseCholesky, WithAndWithoutRcmAgree) {
+TEST(SparseCholesky, AllOrderingsAndMethodsAgree) {
   const CsrMatrix a = laplacian_2d(7);
   const Vec b = smooth_rhs(a.rows());
-  SparseCholesky::Options no_rcm;
-  no_rcm.use_rcm = false;
-  const Vec x1 = SparseCholesky(a).solve(b);
-  const Vec x2 = SparseCholesky(a, no_rcm).solve(b);
-  EXPECT_LT(max_abs_diff(x1, x2), 1e-11);
+  const Vec reference = SparseCholesky(a).solve(b);
+  for (const auto ordering : {SparseCholesky::Ordering::kAmd, SparseCholesky::Ordering::kRcm,
+                              SparseCholesky::Ordering::kNatural}) {
+    for (const auto method :
+         {SparseCholesky::Method::kSupernodal, SparseCholesky::Method::kSimplicial}) {
+      const SparseCholesky chol(a, make_options(ordering, method));
+      EXPECT_LT(max_abs_diff(chol.solve(b), reference), 1e-11)
+          << chol.ordering_name() << "/" << chol.method_name();
+    }
+  }
 }
 
-TEST(SparseCholesky, RcmReducesFill) {
-  // On a banded-after-reordering problem RCM should not increase fill.
+TEST(SparseCholesky, AmdReducesFillBelowRcm) {
+  // On a 2-D grid AMD must not lose to RCM; the decisive 3-D case is covered
+  // in test_ordering / test_supernodal with FEM matrices.
   const CsrMatrix a = laplacian_2d(15);
-  SparseCholesky::Options no_rcm;
-  no_rcm.use_rcm = false;
-  const SparseCholesky with(a);
-  const SparseCholesky without(a, no_rcm);
-  EXPECT_LE(with.factor_nnz(), without.factor_nnz() * 2);
-  EXPECT_GT(with.factor_nnz(), a.nnz() / 2);  // sanity: factor holds the matrix
+  const SparseCholesky amd(a, make_options(SparseCholesky::Ordering::kAmd,
+                                           SparseCholesky::Method::kSimplicial));
+  const SparseCholesky rcm(a, make_options(SparseCholesky::Ordering::kRcm,
+                                           SparseCholesky::Method::kSimplicial));
+  EXPECT_LE(amd.factor_nnz(), rcm.factor_nnz());
+  EXPECT_GT(amd.factor_nnz(), a.nnz() / 2);  // sanity: factor holds the matrix
+  EXPECT_GT(amd.fill_ratio(), 1.0);
+  EXPECT_EQ(std::string(amd.ordering_name()), "amd");
+  EXPECT_EQ(std::string(rcm.ordering_name()), "rcm");
+}
+
+TEST(SparseCholesky, SupernodalAndSimplicialFactorsMatch) {
+  const CsrMatrix a = laplacian_2d(12);
+  const SparseCholesky sn(a, make_options(SparseCholesky::Ordering::kAmd,
+                                          SparseCholesky::Method::kSupernodal));
+  const SparseCholesky si(a, make_options(SparseCholesky::Ordering::kAmd,
+                                          SparseCholesky::Method::kSimplicial));
+  ASSERT_EQ(sn.factor_nnz(), si.factor_nnz());
+  EXPECT_GT(sn.num_supernodes(), 0);
+  EXPECT_LT(sn.num_supernodes(), sn.order());  // panels really group columns
+  EXPECT_EQ(si.num_supernodes(), 0);
+
+  std::vector<offset_t> cp_sn, cp_si;
+  std::vector<idx_t> ri_sn, ri_si;
+  std::vector<double> v_sn, v_si;
+  sn.extract_factor(cp_sn, ri_sn, v_sn);
+  si.extract_factor(cp_si, ri_si, v_si);
+  ASSERT_EQ(cp_sn, cp_si);
+  ASSERT_EQ(ri_sn, ri_si);
+  double max_l = 0.0, max_diff = 0.0;
+  for (std::size_t k = 0; k < v_si.size(); ++k) {
+    max_l = std::max(max_l, std::abs(v_si[k]));
+    max_diff = std::max(max_diff, std::abs(v_sn[k] - v_si[k]));
+  }
+  EXPECT_LT(max_diff / max_l, 1e-12);
+}
+
+TEST(SparseCholesky, SolveMultiMatchesColumnwiseSolvesBitwise) {
+  const CsrMatrix a = laplacian_2d(9);
+  const idx_t n = a.rows();
+  const idx_t nrhs = 5;
+  Vec panel(static_cast<std::size_t>(n) * nrhs);
+  for (idx_t r = 0; r < nrhs; ++r) {
+    for (idx_t i = 0; i < n; ++i) {
+      panel[static_cast<std::size_t>(r) * n + i] = std::cos(0.07 * i + r);
+    }
+  }
+  for (const auto method :
+       {SparseCholesky::Method::kSupernodal, SparseCholesky::Method::kSimplicial}) {
+    const SparseCholesky chol(a, make_options(SparseCholesky::Ordering::kAmd, method));
+    const Vec x_panel = chol.solve_multi(panel, nrhs);
+    for (idx_t r = 0; r < nrhs; ++r) {
+      const Vec b(panel.begin() + static_cast<std::size_t>(r) * n,
+                  panel.begin() + static_cast<std::size_t>(r + 1) * n);
+      Vec x, work;
+      chol.solve_with(b, x, work);
+      for (idx_t i = 0; i < n; ++i) {
+        ASSERT_EQ(x_panel[static_cast<std::size_t>(r) * n + i], x[i])
+            << chol.method_name() << " rhs " << r << " dof " << i;
+      }
+    }
+  }
 }
 
 TEST(SparseCholesky, RejectsIndefinite) {
@@ -85,7 +155,14 @@ TEST(SparseCholesky, RejectsIndefinite) {
   t.add(0, 0, 1.0);
   t.add(1, 1, -1.0);
   const CsrMatrix a = CsrMatrix::from_triplets(t);
+  // Both back ends under the AMD default, plus the simplicial fallback.
   EXPECT_THROW(SparseCholesky{a}, std::runtime_error);
+  EXPECT_THROW(SparseCholesky(a, make_options(SparseCholesky::Ordering::kAmd,
+                                              SparseCholesky::Method::kSimplicial)),
+               std::runtime_error);
+  EXPECT_THROW(SparseCholesky(a, make_options(SparseCholesky::Ordering::kNatural,
+                                              SparseCholesky::Method::kSupernodal)),
+               std::runtime_error);
 }
 
 TEST(SparseCholesky, RejectsRectangular) {
@@ -109,10 +186,24 @@ TEST(SparseCholesky, MultipleSolvesReuseFactor) {
   }
 }
 
-TEST(SparseCholesky, MemoryBytesPositive) {
-  const SparseCholesky chol(laplacian_2d(5));
-  EXPECT_GT(chol.memory_bytes(), 0u);
-  EXPECT_EQ(chol.order(), 25);
+TEST(SparseCholesky, MemoryBytesCoversFactorAndPermutedMatrix) {
+  const CsrMatrix a = laplacian_2d(8);
+  const SparseCholesky chol(a);
+  // The ledger must own at least the factor values, the permuted matrix
+  // copy the numeric phase consumed, and the two permutation arrays.
+  const std::size_t floor_bytes = static_cast<std::size_t>(chol.factor_nnz()) * sizeof(double) +
+                                  a.memory_bytes() +
+                                  2 * static_cast<std::size_t>(a.rows()) * sizeof(idx_t);
+  EXPECT_GE(chol.memory_bytes(), floor_bytes);
+  EXPECT_EQ(chol.order(), 64);
+
+  // The supernode metadata must be part of the supernodal ledger: the same
+  // factor reported without it (pattern + values only) is a strict floor.
+  const SparseCholesky natural(a, make_options(SparseCholesky::Ordering::kNatural,
+                                               SparseCholesky::Method::kSupernodal));
+  EXPECT_GE(natural.memory_bytes(),
+            static_cast<std::size_t>(natural.factor_nnz()) * sizeof(double));
+  EXPECT_GT(natural.memory_bytes(), 0u);
 }
 
 }  // namespace

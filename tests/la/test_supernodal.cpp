@@ -1,0 +1,206 @@
+// Supernodal back end against the matrices the production solve paths
+// actually factor: the TSV unit-block interior (local stage) and the coarse
+// package stiffness (scenario 2). The simplicial up-looking factorization is
+// the reference.
+
+#include "la/supernodal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chiplet/package_model.hpp"
+#include "fem/assembler.hpp"
+#include "fem/dirichlet.hpp"
+#include "la/cholesky.hpp"
+#include "mesh/tsv_block.hpp"
+
+namespace ms::la {
+namespace {
+
+/// Interior (free-dof) stiffness of a TSV unit block — the matrix the local
+/// stage factors once and reuses for the n+1 basis solves.
+CsrMatrix tsv_block_matrix() {
+  const mesh::TsvGeometry geometry{15.0, 5.0, 0.5, 50.0};
+  const mesh::BlockMeshSpec spec{8, 6};
+  const mesh::HexMesh block = mesh::build_tsv_block_mesh(geometry, spec);
+  const fem::AssembledSystem sys = fem::assemble_system(block, fem::MaterialTable::standard());
+  std::vector<idx_t> bc_dofs;
+  for (idx_t node : block.boundary_nodes()) {
+    for (int c = 0; c < 3; ++c) bc_dofs.push_back(3 * node + c);
+  }
+  const fem::DofPartition part = fem::partition_dofs(sys.num_dofs, bc_dofs);
+  return sys.stiffness.submatrix(part.free_map, part.num_free, part.free_map, part.num_free);
+}
+
+/// Clamped coarse package stiffness — the scenario-2 direct solve (shrunk
+/// mesh so the test stays fast; same structure as the production matrix).
+CsrMatrix package_matrix() {
+  const chiplet::PackageGeometry geometry = chiplet::demo_package_geometry(15.0, 6, 50.0);
+  const chiplet::CoarseMeshSpec spec{10, 10, 2, 2, 2};
+  const mesh::HexMesh mesh = chiplet::build_package_coarse_mesh(geometry, spec);
+  fem::AssembledSystem sys = fem::assemble_system(mesh, chiplet::package_materials());
+  std::vector<idx_t> bottom;
+  for (idx_t id = 0; id < mesh.nodes_x() * mesh.nodes_y(); ++id) bottom.push_back(id);
+  Vec rhs(sys.num_dofs, 0.0);
+  fem::apply_dirichlet(sys.stiffness, rhs, fem::DirichletBc::clamp_nodes(bottom));
+  return sys.stiffness;
+}
+
+SparseCholesky::Options with_method(SparseCholesky::Method method) {
+  SparseCholesky::Options o;
+  o.method = method;
+  return o;
+}
+
+void expect_factors_match(const CsrMatrix& a, double tol) {
+  const SparseCholesky sn(a, with_method(SparseCholesky::Method::kSupernodal));
+  const SparseCholesky si(a, with_method(SparseCholesky::Method::kSimplicial));
+  ASSERT_EQ(sn.factor_nnz(), si.factor_nnz());
+  std::vector<offset_t> cp_sn, cp_si;
+  std::vector<idx_t> ri_sn, ri_si;
+  std::vector<double> v_sn, v_si;
+  sn.extract_factor(cp_sn, ri_sn, v_sn);
+  si.extract_factor(cp_si, ri_si, v_si);
+  ASSERT_EQ(cp_sn, cp_si);
+  ASSERT_EQ(ri_sn, ri_si);
+  double max_l = 0.0, max_diff = 0.0;
+  for (std::size_t k = 0; k < v_si.size(); ++k) {
+    max_l = std::max(max_l, std::abs(v_si[k]));
+    max_diff = std::max(max_diff, std::abs(v_sn[k] - v_si[k]));
+  }
+  EXPECT_LT(max_diff / max_l, tol) << "relative factor mismatch";
+}
+
+void expect_valid_supernode_partition(const SupernodalFactor& f) {
+  ASSERT_GT(f.num_supernodes, 0);
+  ASSERT_EQ(f.super_start.front(), 0);
+  ASSERT_EQ(f.super_start.back(), f.n);
+  for (idx_t s = 0; s < f.num_supernodes; ++s) {
+    const idx_t c0 = f.super_start[s];
+    const idx_t c1 = f.super_start[static_cast<std::size_t>(s) + 1];
+    ASSERT_LT(c0, c1);
+    const offset_t m = f.row_start[static_cast<std::size_t>(s) + 1] - f.row_start[s];
+    ASSERT_GE(m, c1 - c0);
+    // Own columns lead the pattern; the rest ascends strictly.
+    for (idx_t j = c0; j < c1; ++j) {
+      ASSERT_EQ(f.rows[f.row_start[s] + (j - c0)], j);
+      ASSERT_EQ(f.col_super[j], s);
+    }
+    for (offset_t q = f.row_start[s] + 1; q < f.row_start[static_cast<std::size_t>(s) + 1]; ++q) {
+      ASSERT_LT(f.rows[q - 1], f.rows[q]);
+    }
+  }
+}
+
+TEST(Supernodal, TsvBlockFactorMatchesSimplicial) {
+  expect_factors_match(tsv_block_matrix(), 1e-12);
+}
+
+TEST(Supernodal, PackageFactorMatchesSimplicial) {
+  expect_factors_match(package_matrix(), 1e-12);
+}
+
+TEST(Supernodal, PartitionIsValidAndGroupsFemColumns) {
+  const CsrMatrix a = tsv_block_matrix();
+  const std::vector<idx_t> parent = elimination_tree(a);
+  const std::vector<idx_t> counts = cholesky_column_counts(a, parent);
+  const SupernodalFactor f = analyze_supernodes(a, parent, counts, 48);
+  expect_valid_supernode_partition(f);
+  // 3 dofs per node share structure, so panels must actually group columns.
+  EXPECT_LT(4 * f.num_supernodes, 3 * f.n);
+}
+
+TEST(Supernodal, WidthCapIsHonored) {
+  const CsrMatrix a = tsv_block_matrix();
+  const std::vector<idx_t> parent = elimination_tree(a);
+  const std::vector<idx_t> counts = cholesky_column_counts(a, parent);
+  for (const idx_t cap : {1, 4, 16}) {
+    const SupernodalFactor f = analyze_supernodes(a, parent, counts, cap);
+    expect_valid_supernode_partition(f);
+    for (idx_t s = 0; s < f.num_supernodes; ++s) {
+      ASSERT_LE(f.super_start[static_cast<std::size_t>(s) + 1] - f.super_start[s], cap);
+    }
+    if (cap == 1) EXPECT_EQ(f.num_supernodes, f.n);
+  }
+}
+
+TEST(Supernodal, SolvesProduceTinyResidualsOnProductionMatrices) {
+  for (const CsrMatrix& a : {tsv_block_matrix(), package_matrix()}) {
+    const idx_t n = a.rows();
+    const SparseCholesky chol(a);  // AMD + supernodal default
+    Vec b(n);
+    for (idx_t i = 0; i < n; ++i) b[i] = std::sin(0.03 * i) + 0.4;
+    const Vec x = chol.solve(b);
+    Vec ax;
+    a.mul(x, ax);
+    double scale = 0.0, err = 0.0;
+    for (idx_t i = 0; i < n; ++i) {
+      scale = std::max(scale, std::abs(b[i]));
+      err = std::max(err, std::abs(ax[i] - b[i]));
+    }
+    EXPECT_LT(err / scale, 1e-9) << "n = " << n;
+  }
+}
+
+TEST(Supernodal, MultiRhsPanelMatchesSingleSolvesOnBlockMatrix) {
+  const CsrMatrix a = tsv_block_matrix();
+  const idx_t n = a.rows();
+  const idx_t nrhs = 8;
+  const SparseCholesky chol(a);
+  Vec panel(static_cast<std::size_t>(n) * nrhs);
+  for (idx_t r = 0; r < nrhs; ++r) {
+    for (idx_t i = 0; i < n; ++i) {
+      panel[static_cast<std::size_t>(r) * n + i] = std::sin(0.011 * i * (r + 1));
+    }
+  }
+  const Vec x_panel = chol.solve_multi(panel, nrhs);
+  Vec x, work;
+  for (idx_t r = 0; r < nrhs; ++r) {
+    const Vec b(panel.begin() + static_cast<std::size_t>(r) * n,
+                panel.begin() + static_cast<std::size_t>(r + 1) * n);
+    chol.solve_with(b, x, work);
+    for (idx_t i = 0; i < n; ++i) {
+      ASSERT_EQ(x_panel[static_cast<std::size_t>(r) * n + i], x[i]) << "rhs " << r;
+    }
+  }
+}
+
+TEST(Supernodal, SyrkKernelMatchesNaiveProduct) {
+  const idx_t ni = 13, nj = 6, k = 9, lda = 17, ldc = 15;
+  std::vector<double> a(static_cast<std::size_t>(lda) * k);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = std::sin(0.37 * static_cast<double>(i));
+  std::vector<double> c(static_cast<std::size_t>(ldc) * nj, -99.0);
+  syrk_panel_lower(a.data(), lda, ni, nj, k, c.data(), ldc);
+  for (idx_t j = 0; j < nj; ++j) {
+    for (idx_t i = j; i < ni; ++i) {  // the consumed trapezoid
+      double ref = 0.0;
+      for (idx_t t = 0; t < k; ++t) {
+        ref += a[static_cast<std::size_t>(t) * lda + i] * a[static_cast<std::size_t>(t) * lda + j];
+      }
+      EXPECT_NEAR(c[static_cast<std::size_t>(j) * ldc + i], ref, 1e-13 * (1.0 + std::abs(ref)))
+          << "entry (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(Supernodal, EtreePostorderIsValidPermutation) {
+  const CsrMatrix a = package_matrix();
+  const std::vector<idx_t> parent = elimination_tree(a);
+  const std::vector<idx_t> post = etree_postorder(parent);
+  ASSERT_EQ(post.size(), static_cast<std::size_t>(a.rows()));
+  std::vector<char> seen(a.rows(), 0);
+  std::vector<idx_t> position(a.rows(), 0);
+  for (idx_t i = 0; i < a.rows(); ++i) {
+    ASSERT_FALSE(seen[post[i]]);
+    seen[post[i]] = 1;
+    position[post[i]] = i;
+  }
+  // Children precede parents.
+  for (idx_t v = 0; v < a.rows(); ++v) {
+    if (parent[v] != -1) ASSERT_LT(position[v], position[parent[v]]);
+  }
+}
+
+}  // namespace
+}  // namespace ms::la

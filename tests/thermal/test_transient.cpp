@@ -14,6 +14,7 @@
 #include "thermal/conduction_assembler.hpp"
 #include "thermal/power_trace.hpp"
 #include "thermal/thermal_solver.hpp"
+#include "util/validation_harness.hpp"
 
 namespace ms::thermal {
 namespace {
@@ -309,6 +310,29 @@ TEST(TransientCoupling, PulsedTraceEnvelopeExceedsFinalState) {
   }
   EXPECT_THROW(sim.simulate_array_thermal_transient(3, 3, trace, {9999}),
                std::invalid_argument);
+}
+
+TEST(TransientCoupling, SnapshotStressesValidateAgainstBatchedReferenceFem) {
+  // The simulator solves the envelope + all snapshots as one multi-RHS panel
+  // against a single global factorization; the harness checks each of those
+  // stress fields against brute-force FEM solves that themselves share one
+  // fine-mesh factorization (fem::solve_thermal_stress_multi).
+  SimulationConfig config = coupled_test_config();
+  config.coupling.transient.time_step = 2e-5;
+  config.coupling.transient.num_steps = 10;
+
+  const double pitch = config.geometry.pitch;
+  const thermal::PowerMap low = thermal::PowerMap::per_block(2, 2, pitch, 10.0);
+  thermal::PowerMap high = low;
+  high.add_gaussian_hotspot(pitch, pitch, pitch, 300.0);
+  const thermal::PowerTrace trace = thermal::PowerTrace::square_wave(low, high, 2e-4, 0.5, 1);
+
+  const testutil::TransientValidationReport report =
+      testutil::validate_array_thermal_transient(config, 2, 2, trace, {3, 7, 10});
+  // Same error band the steady scenarios are held to (paper Sec. 5.2).
+  EXPECT_LT(report.envelope_von_mises_error, 0.05);
+  ASSERT_EQ(report.snapshot_von_mises_errors.size(), 3u);
+  for (double err : report.snapshot_von_mises_errors) EXPECT_LT(err, 0.05);
 }
 
 }  // namespace

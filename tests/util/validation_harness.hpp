@@ -127,6 +127,60 @@ inline ValidationReport validate_array_thermal(const core::SimulationConfig& con
   return report;
 }
 
+/// Scenario 3, time domain: validate a transient run's envelope stress and
+/// every requested snapshot against brute-force FEM under the identical
+/// per-block ΔT fields. The reference side assembles the fine system once,
+/// factors it once, and solves all cases as one multi-RHS panel
+/// (fem::solve_thermal_stress_multi), mirroring how the simulator batches
+/// the ROM-side snapshot solves against one factorization.
+struct TransientValidationReport {
+  double envelope_von_mises_error = 0.0;
+  std::vector<double> snapshot_von_mises_errors;  ///< one per snapshot step
+};
+
+inline TransientValidationReport validate_array_thermal_transient(
+    const core::SimulationConfig& config, int blocks_x, int blocks_y,
+    const thermal::PowerTrace& trace, const std::vector<int>& snapshot_steps) {
+  core::MoreStressSimulator sim(config);
+  const core::ThermalTransientArrayResult rom =
+      sim.simulate_array_thermal_transient(blocks_x, blocks_y, trace, snapshot_steps);
+
+  const mesh::HexMesh fine =
+      mesh::build_array_mesh(config.geometry, config.mesh_spec, blocks_x, blocks_y);
+  std::vector<la::Vec> dt_cases;
+  dt_cases.reserve(snapshot_steps.size() + 1);
+  dt_cases.push_back(
+      per_element_delta_t(fine, rom.envelope_load, blocks_x, blocks_y, config.geometry.pitch));
+  for (int step : snapshot_steps) {
+    const rom::BlockLoadField load(blocks_x, blocks_y,
+                                   la::Vec(rom.transient.block_delta_t[step]));
+    dt_cases.push_back(per_element_delta_t(fine, load, blocks_x, blocks_y,
+                                           config.geometry.pitch));
+  }
+  const fem::DirichletBc bc = fem::DirichletBc::clamp_nodes(fine.top_bottom_nodes());
+  fem::FemSolveOptions options;
+  options.method = "direct";
+  const std::vector<la::Vec> solutions =
+      fem::solve_thermal_stress_multi(fine, config.materials, dt_cases, bc, options);
+
+  const fem::PlaneGrid plane =
+      fem::make_block_plane_grid(config.geometry.pitch, blocks_x, blocks_y,
+                                 config.local.samples_per_block, 0.5 * config.geometry.height);
+  const auto von_mises_of = [&](const la::Vec& u, const la::Vec& dt) {
+    return fem::to_von_mises(fem::sample_plane_stress(fine, config.materials, u, dt, plane));
+  };
+
+  TransientValidationReport report;
+  report.envelope_von_mises_error =
+      fem::normalized_mae(von_mises_of(solutions[0], dt_cases[0]), rom.von_mises);
+  report.snapshot_von_mises_errors.reserve(snapshot_steps.size());
+  for (std::size_t c = 0; c < snapshot_steps.size(); ++c) {
+    report.snapshot_von_mises_errors.push_back(fem::normalized_mae(
+        von_mises_of(solutions[c + 1], dt_cases[c + 1]), rom.snapshots[c].von_mises));
+  }
+  return report;
+}
+
 /// Scenario 2 (package sub-model, power-map driven): ROM vs brute-force FEM
 /// of the padded window under the same coarse-displacement boundary data and
 /// the same per-block ΔT field. Fields cover the inner TSV region only.
