@@ -1,0 +1,123 @@
+// Reliability bench: cost of the cycle-resolved fatigue pipeline — the
+// transient conduction march, the batched per-step ROM panel (one
+// factorization for envelope + every step), channel extraction, and the
+// rainflow + Miner reduction — plus a pure rainflow-kernel throughput case.
+// Emits BENCH_reliability.json for the CI regression gate; num_rhs and the
+// log10 lifetime double as determinism tripwires.
+//
+//   ./bench_reliability [--blocks 8] [--pulse-period-us 60] [--pulse-cycles 3]
+//                       [--json BENCH_reliability.json] ...
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "reliability/rainflow.hpp"
+#include "util/json.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  ms::util::CliParser cli("reliability", "Cycle-resolved fatigue pipeline bench");
+  ms::bench::add_common_flags(cli);
+  cli.add_int("blocks", 8, "array edge length in blocks");
+  cli.add_double("background", 20.0, "idle power density [W/mm^2]");
+  cli.add_double("peak", 400.0, "hotspot peak power density [W/mm^2]");
+  cli.add_double("pulse-period-us", 60.0, "pulse period [us]");
+  cli.add_int("pulse-cycles", 3, "pulse count");
+  cli.add_int("rainflow-points", 2000000, "synthetic series length of the kernel case");
+  cli.add_string("json", "BENCH_reliability.json", "machine-readable output path (empty skips)");
+  cli.parse(argc, argv);
+
+  ms::bench::BenchSetup setup = ms::bench::default_setup(15.0);
+  ms::bench::apply_common_flags(cli, setup);
+  ms::core::SimulationConfig config = setup.config;
+  config.global.method = "direct";
+  config.coupling.solve.method = "direct";
+  const double period = 1e-6 * cli.get_double("pulse-period-us");
+  config.coupling.transient.time_step = period / 20.0;
+  std::vector<ms::util::JsonObject> records;
+
+  // --- array fatigue: trace -> batched panel -> rainflow -> damage ---------
+  const int blocks = static_cast<int>(cli.get_int("blocks"));
+  const double pitch = config.geometry.pitch;
+  const ms::thermal::PowerMap idle =
+      ms::thermal::PowerMap::per_block(blocks, blocks, pitch, cli.get_double("background"));
+  ms::thermal::PowerMap active = idle;
+  const double mid = 0.5 * blocks * pitch;
+  active.add_gaussian_hotspot(mid, mid, 1.5 * pitch, cli.get_double("peak"));
+  const ms::thermal::PowerTrace trace = ms::thermal::PowerTrace::square_wave(
+      idle, active, period, 0.5, static_cast<int>(cli.get_int("pulse-cycles")));
+
+  ms::core::MoreStressSimulator sim(config);
+  (void)sim.prepare_local_stage(/*with_dummy=*/false);
+  ms::util::WallTimer timer;
+  const ms::core::FatigueResult result = sim.simulate_array_fatigue(blocks, blocks, trace);
+  const double fatigue_seconds = timer.seconds();
+
+  std::printf("=== array fatigue: trace -> batched ROM panel -> rainflow -> damage ===\n");
+  std::printf("%8s %8s %8s %12s %12s %12s %12s %12s\n", "array", "steps", "rhs", "thermal[s]",
+              "panel[s]", "channels[s]", "damage[s]", "total[s]");
+  const double panel_seconds = result.stats.assemble_seconds + result.stats.solve_seconds;
+  std::printf("%5dx%-3d %8d %8d %12.3f %12.3f %12.3f %12.3f %12.3f\n", blocks, blocks,
+              result.thermal_stats.num_steps, static_cast<int>(result.solve_stats.num_rhs),
+              result.thermal_stats.total_seconds(), panel_seconds, result.history_seconds,
+              result.reliability_seconds, fatigue_seconds);
+  const double min_life_log10 = std::log10(result.report.min_life_cycles);
+  std::printf("min lifetime: 1e%.3f trace passes (channel %s); factor %.3f s for %d rhs "
+              "(%.2f ms/rhs triangular)\n",
+              min_life_log10, ms::reliability::channel_name(result.report.min_life_channel),
+              result.solve_stats.factor_seconds, static_cast<int>(result.solve_stats.num_rhs),
+              1e3 * result.solve_stats.triangular_seconds /
+                  std::max<ms::la::idx_t>(result.solve_stats.num_rhs, 1));
+
+  double peak_vm = 0.0;
+  for (double v : result.von_mises) peak_vm = std::max(peak_vm, v);
+  records.push_back(
+      ms::util::JsonObject()
+          .set("scenario", "array_fatigue")
+          .set("edge", blocks)
+          .set("num_steps", result.thermal_stats.num_steps)
+          .set("num_rhs", static_cast<std::int64_t>(result.solve_stats.num_rhs))
+          .set("num_factorizations", result.solve_stats.num_factorizations)
+          .set("thermal_seconds", result.thermal_stats.total_seconds())
+          .set("panel_seconds", panel_seconds)
+          .set("panel_factor_seconds", result.solve_stats.factor_seconds)
+          .set("panel_triangular_seconds", result.solve_stats.triangular_seconds)
+          .set("channel_seconds", result.history_seconds)
+          .set("damage_seconds", result.reliability_seconds)
+          .set("fatigue_seconds", fatigue_seconds)
+          .set("global_dofs", static_cast<std::int64_t>(result.stats.global_dofs))
+          .set("peak_von_mises", peak_vm)
+          .set("min_life_log10", min_life_log10)
+          .set("memory_bytes", result.stats.memory_bytes));
+
+  // --- rainflow kernel throughput ------------------------------------------
+  const std::size_t points = static_cast<std::size_t>(cli.get_int("rainflow-points"));
+  std::vector<double> series(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t = static_cast<double>(i);
+    series[i] = 60.0 * std::sin(0.37 * t) + 25.0 * std::sin(0.011 * t) + 10.0 * std::sin(1.7 * t);
+  }
+  timer.reset();
+  const std::vector<ms::reliability::Cycle> cycles = ms::reliability::rainflow_count(series);
+  const double rainflow_seconds = timer.seconds();
+  double total = 0.0;
+  for (const auto& c : cycles) total += c.count;
+  std::printf("\n=== rainflow kernel ===\n");
+  std::printf("%zu points -> %.0f cycle counts in %.3f s (%.1f Mpts/s)\n", points, total,
+              rainflow_seconds, 1e-6 * static_cast<double>(points) / rainflow_seconds);
+  records.push_back(ms::util::JsonObject()
+                        .set("scenario", "rainflow_kernel")
+                        .set("edge", static_cast<int>(points))
+                        .set("rainflow_seconds", rainflow_seconds)
+                        .set("total_cycle_counts", total));
+
+  const std::string json_path = cli.get_string("json");
+  if (!json_path.empty()) {
+    ms::util::write_bench_json(json_path, "reliability", records);
+    std::printf("\nwrote %s (%d cases)\n", json_path.c_str(), static_cast<int>(records.size()));
+  }
+  return 0;
+}

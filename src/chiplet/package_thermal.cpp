@@ -17,6 +17,10 @@ void PackageThermalSpec::validate() const {
     throw std::invalid_argument(
         "PackageThermalSpec: filler conductivity must be positive (operator must stay SPD)");
   }
+  if (filler_heat_capacity <= 0.0) {
+    throw std::invalid_argument(
+        "PackageThermalSpec: filler heat capacity must be positive (capacitance must stay SPD)");
+  }
 }
 
 namespace {
@@ -118,16 +122,26 @@ PackageThermalModel build_package_thermal_model(const PackageGeometry& geometry,
   }
   const thermal::BlockConductivityMap window_blocks(tsv, materials, wbx, wby, tsv_mask,
                                                     spec.conductivity_model);
+  const thermal::BlockBinning window_binning(wbx, wby, tsv.pitch, tsv_mask);
+  const double c_si = materials.at(mesh::MaterialId::Silicon).volumetric_heat_capacity;
+  const double c_organic = materials.at(mesh::MaterialId::Organic).volumetric_heat_capacity;
+  const double c_tsv =
+      thermal::block_capacity(tsv, materials, /*is_tsv=*/true, spec.conductivity_model);
+  const double c_dummy =
+      thermal::block_capacity(tsv, materials, /*is_tsv=*/false, spec.conductivity_model);
 
   const mesh::HexMesh& m = model.mesh;
   model.conductivity.in_plane.resize(static_cast<std::size_t>(m.num_elems()));
   model.conductivity.through_plane.resize(static_cast<std::size_t>(m.num_elems()));
+  model.capacity.resize(static_cast<std::size_t>(m.num_elems()));
   for (la::idx_t e = 0; e < m.num_elems(); ++e) {
     const mesh::Point3 c = m.elem_centroid(e);
     double k_in = spec.filler_conductivity;
     double k_through = spec.filler_conductivity;
+    double cap = spec.filler_heat_capacity;
     if (c.z < geometry.substrate_z) {
       k_in = k_through = k_organic;
+      cap = c_organic;
     } else if (c.z < geometry.interposer_z1()) {
       const bool in_interposer =
           c.x >= geometry.interposer_x0() &&
@@ -139,17 +153,23 @@ PackageThermalModel build_package_thermal_model(const PackageGeometry& geometry,
           const thermal::BlockConductivity& k = window_blocks.at(c.x - wx0, c.y - wy0);
           k_in = k.in_plane;
           k_through = k.through_plane;
+          cap = window_binning.is_tsv(c.x - wx0, c.y - wy0) ? c_tsv : c_dummy;
         } else {
           k_in = k_through = k_si;
+          cap = c_si;
         }
       }
     } else {
       const bool in_die = c.x >= geometry.die_x0() && c.x <= geometry.die_x0() + geometry.die_x &&
                           c.y >= geometry.die_y0() && c.y <= geometry.die_y0() + geometry.die_y;
-      if (in_die) k_in = k_through = k_si;
+      if (in_die) {
+        k_in = k_through = k_si;
+        cap = c_si;
+      }
     }
     model.conductivity.in_plane[e] = k_in;
     model.conductivity.through_plane[e] = k_through;
+    model.capacity[e] = cap;
   }
   return model;
 }

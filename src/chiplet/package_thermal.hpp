@@ -30,16 +30,22 @@ struct PackageThermalSpec {
   /// Mold/underfill conductivity [W/(m K)] for cells outside the stack; must
   /// stay positive so the conduction operator remains SPD.
   double filler_conductivity = 0.5;
+  /// Mold/underfill volumetric heat capacity [J/(m^3 K)] for the transient
+  /// stepper; must stay positive so the capacitance matrix remains SPD.
+  double filler_heat_capacity = 1.7e6;
   thermal::ConductivityModel conductivity_model = thermal::ConductivityModel::kTsvAware;
 
   void validate() const;
 };
 
 /// The assembled conduction model: mesh plus per-element orthotropic
-/// conductivities (in-plane / through-plane differ only in the TSV window).
+/// conductivities (in-plane / through-plane differ only in the TSV window)
+/// and per-element volumetric heat capacities (same centroid rule; consumed
+/// by the transient θ-stepper).
 struct PackageThermalModel {
   mesh::HexMesh mesh;
   thermal::ConductivityField conductivity;
+  la::Vec capacity;
 };
 
 /// Build the package conduction mesh and its conductivity field. `placement`

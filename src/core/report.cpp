@@ -1,5 +1,8 @@
 #include "core/report.hpp"
 
+#include <cmath>
+#include <cstdio>
+
 #include "fem/stress.hpp"
 #include "mesh/tsv_block.hpp"
 
@@ -63,6 +66,63 @@ ReferenceResult reference_submodel(
 
 double field_error(const ReferenceResult& reference, const std::vector<double>& field) {
   return fem::normalized_mae(reference.von_mises, field);
+}
+
+namespace {
+
+void append_lifetime(std::string& out, double cycles, double seconds_per_trace) {
+  char buf[128];
+  if (!std::isfinite(cycles)) {
+    out += "damage-free";
+    return;
+  }
+  std::snprintf(buf, sizeof(buf), "%.3g trace passes", cycles);
+  out += buf;
+  if (seconds_per_trace > 0.0) {
+    std::snprintf(buf, sizeof(buf), " (%.3g s)", cycles * seconds_per_trace);
+    out += buf;
+  }
+}
+
+}  // namespace
+
+std::string format_reliability(const reliability::ReliabilityReport& report) {
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof(buf), "reliability verdict over %d x %d blocks:\n", report.blocks_x,
+                report.blocks_y);
+  out += buf;
+  out += "  governing: ";
+  if (report.min_life_block < 0) {
+    out += "no damaging cycles in any channel\n";
+  } else {
+    std::snprintf(buf, sizeof(buf), "block (%d, %d), channel %s, lifetime ",
+                  report.min_life_block % report.blocks_x,
+                  report.min_life_block / report.blocks_x,
+                  reliability::channel_name(report.min_life_channel));
+    out += buf;
+    append_lifetime(out, report.min_life_cycles, report.trace_duration);
+    out += "\n";
+  }
+  for (const reliability::ChannelAssessment& a : report.channels) {
+    std::snprintf(buf, sizeof(buf), "  %-16s [%s]: min lifetime ",
+                  reliability::channel_name(a.channel), a.model_name.c_str());
+    out += buf;
+    append_lifetime(out, a.min_life_cycles, report.trace_duration);
+    if (a.min_life_block >= 0) {
+      const reliability::RainflowMatrix& m = a.min_life_matrix;
+      const int bin = m.dominant_bin();
+      if (bin >= 0) {
+        std::snprintf(buf, sizeof(buf),
+                      ", dominant cycle class %.1f MPa range at %.1f MPa mean (%.1f counts)",
+                      m.range_bin_centre(bin / m.mean_bins), m.mean_bin_centre(bin % m.mean_bins),
+                      m.at(bin / m.mean_bins, bin % m.mean_bins));
+        out += buf;
+      }
+    }
+    out += "\n";
+  }
+  return out;
 }
 
 }  // namespace ms::core

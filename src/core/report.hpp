@@ -1,12 +1,15 @@
 #pragma once
 // Reference-comparison helpers shared by the benches and EXPERIMENTS.md:
 // run the full fine-mesh FEM (ANSYS substitute) on the matching array or
-// sub-model and package times, memory, and normalized MAE.
+// sub-model and package times, memory, and normalized MAE — plus the
+// human-readable rendering of reliability verdicts.
 
 #include <optional>
+#include <string>
 
 #include "core/simulator.hpp"
 #include "fem/solver.hpp"
+#include "reliability/damage.hpp"
 
 namespace ms::core {
 
@@ -32,5 +35,10 @@ ReferenceResult reference_submodel(
 /// Normalized MAE (paper Sec. 5.2) between a reference field and any other
 /// field on the same grid.
 double field_error(const ReferenceResult& reference, const std::vector<double>& field);
+
+/// Multi-line summary of a reliability verdict: governing block/channel and
+/// lifetime, then per-channel min lifetimes, damage rates, and the dominant
+/// cycle class (range/mean bin) of each channel's worst block.
+std::string format_reliability(const reliability::ReliabilityReport& report);
 
 }  // namespace ms::core

@@ -1,5 +1,6 @@
 #include "core/simulator.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <filesystem>
 #include <stdexcept>
@@ -76,6 +77,23 @@ double MoreStressSimulator::prepare_local_stage(bool with_dummy) {
   return tsv_cached && (!with_dummy || dummy_model_.has_value()) ? 0.0 : timer.seconds();
 }
 
+namespace {
+
+/// One place that maps GlobalSolveStats onto RunStats — the multi-load and
+/// fatigue panels must report solver detail identically.
+void copy_solve_stats(RunStats& stats, const rom::GlobalSolveStats& solve) {
+  stats.solve_seconds = solve.solve_seconds;
+  stats.global_dofs = solve.num_dofs;
+  stats.iterations = solve.iterations;
+  stats.converged = solve.converged;
+  stats.factor_seconds = solve.factor_seconds;
+  stats.factor_nnz = solve.factor_nnz;
+  stats.fill_ratio = solve.fill_ratio;
+  stats.solver_ordering = solve.ordering;
+}
+
+}  // namespace
+
 ArrayResult MoreStressSimulator::run_global(int blocks_x, int blocks_y,
                                             const rom::BlockMask& mask,
                                             const fem::DirichletBc& bc,
@@ -116,14 +134,7 @@ ArrayResult MoreStressSimulator::run_global_multi(
   std::vector<Vec> solutions =
       rom::solve_global_multi(problem, std::move(extra_rhs), bc, config_.global, &solve_stats);
   result.solution = std::move(solutions.front());
-  result.stats.solve_seconds = solve_stats.solve_seconds;
-  result.stats.global_dofs = solve_stats.num_dofs;
-  result.stats.iterations = solve_stats.iterations;
-  result.stats.converged = solve_stats.converged;
-  result.stats.factor_seconds = solve_stats.factor_seconds;
-  result.stats.factor_nnz = solve_stats.factor_nnz;
-  result.stats.fill_ratio = solve_stats.fill_ratio;
-  result.stats.solver_ordering = solve_stats.ordering;
+  copy_solve_stats(result.stats, solve_stats);
 
   timer.reset();
   result.stress =
@@ -189,6 +200,35 @@ ArrayResult MoreStressSimulator::simulate_array(int blocks_x, int blocks_y,
 
 namespace {
 
+/// One source of truth for the package conduction-mesh spec: the steady and
+/// transient scenario-2 paths must build byte-identical thermal models or
+/// the constant-trace == steady lock silently breaks.
+chiplet::PackageThermalSpec package_thermal_spec(const ThermalCouplingOptions& coupling) {
+  chiplet::PackageThermalSpec spec;
+  spec.elems_per_block_xy = coupling.elems_per_block_xy;
+  spec.coarse_elems_xy = coupling.package_coarse_elems_xy;
+  spec.elems_z_substrate = coupling.package_elems_z_substrate;
+  spec.elems_z_interposer = coupling.elems_z;
+  spec.elems_z_die = coupling.package_elems_z_die;
+  spec.filler_conductivity = coupling.package_filler_conductivity;
+  spec.conductivity_model = coupling.conductivity_model;
+  return spec;
+}
+
+/// Shared validation of the padded sub-model window arguments (every
+/// scenario-2 entry point that takes a placement).
+void require_padded_window(int dummy_rings, const chiplet::SubmodelPlacement& placement, int bx,
+                           int by, const char* caller) {
+  if (dummy_rings < 0) {
+    throw std::invalid_argument(std::string(caller) + ": dummy_rings >= 0");
+  }
+  if (placement.blocks_x != bx || placement.blocks_y != by) {
+    throw std::invalid_argument(std::string(caller) +
+                                ": placement must cover the padded window "
+                                "(tsv_blocks + 2*dummy_rings per axis)");
+  }
+}
+
 /// Both array coupling paths reject power maps that do not cover the array
 /// plan exactly: density_at is 0 outside the map, so a mismatched footprint
 /// would silently drop heat.
@@ -232,16 +272,16 @@ ThermalArrayResult MoreStressSimulator::simulate_array_thermal(int blocks_x, int
   return result;
 }
 
-ThermalTransientArrayResult MoreStressSimulator::simulate_array_thermal_transient(
+thermal::TransientTemperatureResult MoreStressSimulator::run_array_transient(
     int blocks_x, int blocks_y, const thermal::PowerTrace& trace,
-    const std::vector<int>& snapshot_steps) {
+    thermal::TransientSolveStats* stats) {
   const ThermalCouplingOptions& coupling = config_.coupling;
   if (trace.num_keyframes() == 0) {
-    throw std::invalid_argument("simulate_array_thermal_transient: trace has no keyframes");
+    throw std::invalid_argument("array transient: trace has no keyframes");
   }
   for (std::size_t i = 0; i < trace.num_keyframes(); ++i) {
     require_array_footprint(trace.keyframe(i), blocks_x, blocks_y, config_.geometry.pitch,
-                            "simulate_array_thermal_transient");
+                            "array transient");
   }
   const mesh::HexMesh thermal_mesh = thermal::build_array_thermal_mesh(
       config_.geometry, blocks_x, blocks_y, coupling.elems_per_block_xy, coupling.elems_z);
@@ -262,10 +302,15 @@ ThermalTransientArrayResult MoreStressSimulator::simulate_array_thermal_transien
   reduction.blocks_y = blocks_y;
   reduction.pitch = config_.geometry.pitch;
   reduction.reference = coupling.stress_free_temperature;
+  return thermal::solve_power_trace(thermal_mesh, conductivities, capacities, trace, reduction,
+                                    options, stats);
+}
 
+ThermalTransientArrayResult MoreStressSimulator::simulate_array_thermal_transient(
+    int blocks_x, int blocks_y, const thermal::PowerTrace& trace,
+    const std::vector<int>& snapshot_steps) {
   ThermalTransientArrayResult result;
-  result.transient = thermal::solve_power_trace(thermal_mesh, conductivities, capacities, trace,
-                                                reduction, options, &result.thermal_stats);
+  result.transient = run_array_transient(blocks_x, blocks_y, trace, &result.thermal_stats);
 
   result.envelope_load =
       rom::BlockLoadField(blocks_x, blocks_y, Vec(result.transient.peak_envelope));
@@ -289,6 +334,175 @@ ThermalTransientArrayResult MoreStressSimulator::simulate_array_thermal_transien
                "[%.3f, %.3f] C",
                blocks_x, blocks_y, result.thermal_stats.num_steps, result.envelope_load.min(),
                result.envelope_load.max());
+  return result;
+}
+
+namespace {
+
+/// Recorded-history indices the fatigue panel solves: every stride-th record
+/// starting at the initial state, the last record always included (the
+/// envelope of a relaxing trace lives there).
+std::vector<int> select_history_steps(std::size_t num_records, int stride) {
+  if (stride < 1) throw std::invalid_argument("FatigueOptions: record_stride must be >= 1");
+  std::vector<int> steps;
+  for (std::size_t r = 0; r < num_records; r += static_cast<std::size_t>(stride)) {
+    steps.push_back(static_cast<int>(r));
+  }
+  if (steps.empty() || steps.back() != static_cast<int>(num_records) - 1) {
+    steps.push_back(static_cast<int>(num_records) - 1);
+  }
+  return steps;
+}
+
+/// Per-step BlockLoadFields of the selected records.
+std::vector<rom::BlockLoadField> loads_of_steps(const thermal::TransientTemperatureResult& t,
+                                                const std::vector<int>& steps) {
+  std::vector<rom::BlockLoadField> loads;
+  loads.reserve(steps.size());
+  for (int step : steps) {
+    loads.emplace_back(t.blocks_x, t.blocks_y, la::Vec(t.block_delta_t[step]));
+  }
+  return loads;
+}
+
+std::vector<double> times_of_steps(const thermal::TransientTemperatureResult& t,
+                                   const std::vector<int>& steps) {
+  std::vector<double> times;
+  times.reserve(steps.size());
+  for (int step : steps) times.push_back(t.times[step]);
+  return times;
+}
+
+}  // namespace
+
+ArrayResult MoreStressSimulator::run_fatigue_panel(
+    int blocks_x, int blocks_y, const rom::BlockMask& mask, const fem::DirichletBc& bc,
+    const rom::BlockRange& report_range, bool uses_dummy, const rom::BlockLoadField& envelope_load,
+    const std::vector<rom::BlockLoadField>& step_loads, const std::vector<double>& step_times,
+    reliability::StressHistory* history, rom::GlobalSolveStats* solve_stats,
+    double* history_seconds) {
+  const rom::RomModel& tsv = tsv_model();
+  const rom::RomModel* dummy = uses_dummy ? &dummy_model() : nullptr;
+
+  ArrayResult result;
+  result.stats.local_stage_seconds =
+      tsv.local_stage_seconds + (dummy != nullptr ? dummy->local_stage_seconds : 0.0);
+
+  util::WallTimer timer;
+  const rom::BlockGrid grid(blocks_x, blocks_y, config_.local.nodes_x, config_.local.nodes_y,
+                            config_.local.nodes_z, config_.geometry.pitch,
+                            config_.geometry.height);
+  rom::GlobalProblem problem = rom::assemble_global(grid, tsv, dummy, mask, envelope_load);
+  std::vector<Vec> step_rhs;
+  step_rhs.reserve(step_loads.size());
+  for (const rom::BlockLoadField& load : step_loads) {
+    step_rhs.push_back(rom::assemble_global_rhs(grid, tsv, dummy, mask, load));
+  }
+  result.stats.assemble_seconds = timer.seconds();
+
+  // The whole fatigue history — envelope plus every selected step — runs as
+  // one multi-RHS panel against a single factorization on the direct path.
+  timer.reset();
+  rom::GlobalSolveStats panel_stats;
+  std::vector<Vec> solutions =
+      rom::solve_global_multi(problem, std::move(step_rhs), bc, config_.global, &panel_stats);
+  result.solution = std::move(solutions.front());
+  copy_solve_stats(result.stats, panel_stats);
+  if (solve_stats != nullptr) *solve_stats = panel_stats;
+
+  timer.reset();
+  result.stress = rom::reconstruct_plane_stress(grid, tsv, dummy, mask, result.solution,
+                                                envelope_load, report_range);
+  result.von_mises = fem::to_von_mises(result.stress);
+  result.stats.reconstruct_seconds = timer.seconds();
+  result.region_blocks_x = report_range.width();
+  result.region_blocks_y = report_range.height();
+  result.samples_per_block = tsv.samples_per_block;
+  result.stats.memory_bytes = panel_stats.matrix_bytes + panel_stats.solver_bytes +
+                              tsv.memory_bytes() +
+                              (dummy != nullptr ? dummy->memory_bytes() : 0) +
+                              result.stress.size() * sizeof(fem::Stress6) +
+                              // The multi-RHS panel is the allocation that scales
+                              // with trace length: num_rhs right-hand sides and as
+                              // many solutions held simultaneously.
+                              2 * static_cast<std::size_t>(panel_stats.num_rhs) *
+                                  static_cast<std::size_t>(panel_stats.num_dofs) *
+                                  sizeof(double);
+
+  // Reduce every step's reconstructed field to per-block channel peaks; the
+  // full tensor field of a step never outlives its reduction. Steps fill
+  // disjoint history slots, so the loop parallelizes with bitwise-identical
+  // results in any thread order.
+  timer.reset();
+  *history = reliability::StressHistory(report_range.width(), report_range.height());
+  history->resize_steps(step_times);
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+  for (std::ptrdiff_t s = 0; s < static_cast<std::ptrdiff_t>(step_loads.size()); ++s) {
+    const std::vector<fem::Stress6> stress = rom::reconstruct_plane_stress(
+        grid, tsv, dummy, mask, solutions[s + 1], step_loads[s], report_range);
+    history->record_step(static_cast<std::size_t>(s), stress, tsv.samples_per_block);
+  }
+  if (history_seconds != nullptr) *history_seconds = timer.seconds();
+  result.stats.memory_bytes += history->memory_bytes();
+  return result;
+}
+
+reliability::ReliabilityReport MoreStressSimulator::assess_fatigue(
+    const reliability::StressHistory& history, double trace_duration,
+    const FatigueOptions& options) const {
+  // Deriving the Engelmaier frequency from sub-millisecond traces produces
+  // cycles/day far outside the correlation's validity (and a non-negative
+  // exponent); cap the *derived* value at a power-cycling-scale 1e6 — an
+  // explicit options.cycles_per_day is taken at face value.
+  const double cycles_per_day =
+      options.cycles_per_day > 0.0
+          ? options.cycles_per_day
+          : (trace_duration > 0.0 ? std::min(86400.0 / trace_duration, 1e6) : 0.0);
+  const reliability::FatigueModelSet models = reliability::standard_model_set(
+      config_.materials, options.solder_shear_modulus, options.solder_mean_temperature,
+      cycles_per_day);
+  reliability::ReliabilityOptions assess;
+  assess.range_bins = options.range_bins;
+  assess.mean_bins = options.mean_bins;
+  return reliability::assess_history(history, models, trace_duration, assess);
+}
+
+FatigueResult MoreStressSimulator::simulate_array_fatigue(int blocks_x, int blocks_y,
+                                                          const thermal::PowerTrace& trace,
+                                                          const FatigueOptions& options) {
+  FatigueResult result;
+  result.transient = run_array_transient(blocks_x, blocks_y, trace, &result.thermal_stats);
+  result.envelope_load =
+      rom::BlockLoadField(blocks_x, blocks_y, Vec(result.transient.peak_envelope));
+
+  result.history_steps = select_history_steps(result.transient.num_records(),
+                                              options.record_stride);
+  const std::vector<rom::BlockLoadField> step_loads =
+      loads_of_steps(result.transient, result.history_steps);
+  const std::vector<double> step_times = times_of_steps(result.transient, result.history_steps);
+
+  const rom::BlockGrid grid(blocks_x, blocks_y, config_.local.nodes_x, config_.local.nodes_y,
+                            config_.local.nodes_z, config_.geometry.pitch,
+                            config_.geometry.height);
+  const fem::DirichletBc bc = rom::clamp_top_bottom(grid);
+  rom::BlockRange range;
+  range.bx0 = 0;
+  range.bx1 = blocks_x;
+  range.by0 = 0;
+  range.by1 = blocks_y;
+  static_cast<ArrayResult&>(result) = run_fatigue_panel(
+      blocks_x, blocks_y, {}, bc, range, /*uses_dummy=*/false, result.envelope_load, step_loads,
+      step_times, &result.history, &result.solve_stats, &result.history_seconds);
+
+  util::WallTimer timer;
+  result.report = assess_fatigue(result.history, trace.duration(), options);
+  result.reliability_seconds = timer.seconds();
+  MS_LOG_DEBUG("array fatigue: %d x %d blocks, %d history steps in one panel, min lifetime "
+               "%.3g traces",
+               blocks_x, blocks_y, static_cast<int>(result.history_steps.size()),
+               result.report.min_life_cycles);
   return result;
 }
 
@@ -325,16 +539,9 @@ ArrayResult MoreStressSimulator::simulate_submodel(
 ThermalSubmodelResult MoreStressSimulator::simulate_submodel_thermal(
     int tsv_blocks_x, int tsv_blocks_y, int dummy_rings, const chiplet::PackageModel& package,
     const chiplet::SubmodelPlacement& placement, const thermal::PowerMap& power) {
-  if (dummy_rings < 0) {
-    throw std::invalid_argument("simulate_submodel_thermal: dummy_rings >= 0");
-  }
   const int bx = tsv_blocks_x + 2 * dummy_rings;
   const int by = tsv_blocks_y + 2 * dummy_rings;
-  if (placement.blocks_x != bx || placement.blocks_y != by) {
-    throw std::invalid_argument(
-        "simulate_submodel_thermal: placement must cover the padded window "
-        "(tsv_blocks + 2*dummy_rings per axis)");
-  }
+  require_padded_window(dummy_rings, placement, bx, by, "simulate_submodel_thermal");
   const chiplet::PackageGeometry& geometry = package.geometry();
   // Like the array path: a power map that does not cover the package plan
   // would silently drop heat at the top face.
@@ -347,16 +554,9 @@ ThermalSubmodelResult MoreStressSimulator::simulate_submodel_thermal(
   const ThermalCouplingOptions& coupling = config_.coupling;
   const rom::BlockMask mask = mesh::padded_tsv_mask(bx, by, dummy_rings);
 
-  chiplet::PackageThermalSpec spec;
-  spec.elems_per_block_xy = coupling.elems_per_block_xy;
-  spec.coarse_elems_xy = coupling.package_coarse_elems_xy;
-  spec.elems_z_substrate = coupling.package_elems_z_substrate;
-  spec.elems_z_interposer = coupling.elems_z;
-  spec.elems_z_die = coupling.package_elems_z_die;
-  spec.filler_conductivity = coupling.package_filler_conductivity;
-  spec.conductivity_model = coupling.conductivity_model;
   const chiplet::PackageThermalModel thermal_model = chiplet::build_package_thermal_model(
-      geometry, config_.geometry, placement, mask, config_.materials, spec);
+      geometry, config_.geometry, placement, mask, config_.materials,
+      package_thermal_spec(coupling));
 
   ThermalSubmodelResult result;
   result.temperature = thermal::solve_power_map(thermal_model.mesh, thermal_model.conductivity,
@@ -379,6 +579,116 @@ ThermalSubmodelResult MoreStressSimulator::simulate_submodel_thermal(
                "[%.3f, %.3f] C",
                bx, by, placement.origin.x, placement.origin.y, result.load.min(),
                result.load.max());
+  return result;
+}
+
+thermal::TransientTemperatureResult MoreStressSimulator::run_submodel_transient(
+    int padded_x, int padded_y, const chiplet::PackageModel& package,
+    const chiplet::SubmodelPlacement& placement, const rom::BlockMask& mask,
+    const thermal::PowerTrace& trace, thermal::TransientSolveStats* stats) {
+  const chiplet::PackageGeometry& geometry = package.geometry();
+  if (trace.num_keyframes() == 0) {
+    throw std::invalid_argument("submodel transient: trace has no keyframes");
+  }
+  for (std::size_t i = 0; i < trace.num_keyframes(); ++i) {
+    const thermal::PowerMap& map = trace.keyframe(i);
+    if (std::abs(map.width() - geometry.substrate_x) > 1e-9 * geometry.substrate_x ||
+        std::abs(map.height() - geometry.substrate_y) > 1e-9 * geometry.substrate_y) {
+      throw std::invalid_argument(
+          "submodel transient: every keyframe must match the package plan "
+          "(zero tiles outside the die are fine)");
+    }
+  }
+  const ThermalCouplingOptions& coupling = config_.coupling;
+  const chiplet::PackageThermalModel thermal_model = chiplet::build_package_thermal_model(
+      geometry, config_.geometry, placement, mask, config_.materials,
+      package_thermal_spec(coupling));
+
+  thermal::TransientSolveOptions options = coupling.transient;
+  options.base = coupling.solve;
+  // The sub-model window only sees the interposer layer, exactly like the
+  // steady path's windowed block_averages reduction.
+  thermal::BlockReduction reduction;
+  reduction.blocks_x = padded_x;
+  reduction.blocks_y = padded_y;
+  reduction.pitch = config_.geometry.pitch;
+  reduction.reference = coupling.stress_free_temperature;
+  reduction.windowed = true;
+  reduction.origin = placement.origin;
+  reduction.z0 = geometry.interposer_z0();
+  reduction.z1 = geometry.interposer_z1();
+  return thermal::solve_power_trace(thermal_model.mesh, thermal_model.conductivity,
+                                    thermal_model.capacity, trace, reduction, options, stats);
+}
+
+ThermalTransientSubmodelResult MoreStressSimulator::simulate_submodel_thermal_transient(
+    int tsv_blocks_x, int tsv_blocks_y, int dummy_rings, const chiplet::PackageModel& package,
+    const chiplet::SubmodelPlacement& placement, const thermal::PowerTrace& trace) {
+  const int bx = tsv_blocks_x + 2 * dummy_rings;
+  const int by = tsv_blocks_y + 2 * dummy_rings;
+  require_padded_window(dummy_rings, placement, bx, by, "simulate_submodel_thermal_transient");
+  const rom::BlockMask mask = mesh::padded_tsv_mask(bx, by, dummy_rings);
+
+  ThermalTransientSubmodelResult result;
+  result.transient =
+      run_submodel_transient(bx, by, package, placement, mask, trace, &result.thermal_stats);
+  result.envelope_load = rom::BlockLoadField(bx, by, Vec(result.transient.peak_envelope));
+
+  const chiplet::DisplacementField field(package.mesh(), package.displacement());
+  const chiplet::DisplacementField local = field.shifted(placement.origin);
+  static_cast<ArrayResult&>(result) =
+      run_submodel(tsv_blocks_x, tsv_blocks_y, dummy_rings, mask,
+                   [&local](const mesh::Point3& p) { return local(p); }, result.envelope_load);
+  MS_LOG_DEBUG("submodel transient: %d x %d padded blocks, %d steps, envelope dT in "
+               "[%.3f, %.3f] C",
+               bx, by, result.thermal_stats.num_steps, result.envelope_load.min(),
+               result.envelope_load.max());
+  return result;
+}
+
+FatigueResult MoreStressSimulator::simulate_submodel_fatigue(
+    int tsv_blocks_x, int tsv_blocks_y, int dummy_rings, const chiplet::PackageModel& package,
+    const chiplet::SubmodelPlacement& placement, const thermal::PowerTrace& trace,
+    const FatigueOptions& options) {
+  const int bx = tsv_blocks_x + 2 * dummy_rings;
+  const int by = tsv_blocks_y + 2 * dummy_rings;
+  require_padded_window(dummy_rings, placement, bx, by, "simulate_submodel_fatigue");
+  const rom::BlockMask mask = mesh::padded_tsv_mask(bx, by, dummy_rings);
+
+  FatigueResult result;
+  result.transient =
+      run_submodel_transient(bx, by, package, placement, mask, trace, &result.thermal_stats);
+  result.envelope_load = rom::BlockLoadField(bx, by, Vec(result.transient.peak_envelope));
+
+  result.history_steps = select_history_steps(result.transient.num_records(),
+                                              options.record_stride);
+  const std::vector<rom::BlockLoadField> step_loads =
+      loads_of_steps(result.transient, result.history_steps);
+  const std::vector<double> step_times = times_of_steps(result.transient, result.history_steps);
+
+  const rom::BlockGrid grid(bx, by, config_.local.nodes_x, config_.local.nodes_y,
+                            config_.local.nodes_z, config_.geometry.pitch,
+                            config_.geometry.height);
+  const chiplet::DisplacementField field(package.mesh(), package.displacement());
+  const chiplet::DisplacementField local = field.shifted(placement.origin);
+  const fem::DirichletBc bc = rom::submodel_boundary(
+      grid, [&local](const mesh::Point3& p) { return local(p); });
+  rom::BlockRange range;
+  range.bx0 = dummy_rings;
+  range.bx1 = dummy_rings + tsv_blocks_x;
+  range.by0 = dummy_rings;
+  range.by1 = dummy_rings + tsv_blocks_y;
+  static_cast<ArrayResult&>(result) = run_fatigue_panel(
+      bx, by, mask, bc, range, /*uses_dummy=*/dummy_rings > 0, result.envelope_load, step_loads,
+      step_times, &result.history, &result.solve_stats, &result.history_seconds);
+
+  util::WallTimer timer;
+  result.report = assess_fatigue(result.history, trace.duration(), options);
+  result.reliability_seconds = timer.seconds();
+  MS_LOG_DEBUG("submodel fatigue: %d x %d padded blocks, %d history steps in one panel, min "
+               "lifetime %.3g traces",
+               bx, by, static_cast<int>(result.history_steps.size()),
+               result.report.min_life_cycles);
   return result;
 }
 

@@ -17,6 +17,8 @@
 #include "chiplet/package_model.hpp"
 #include "chiplet/submodel.hpp"
 #include "core/config.hpp"
+#include "reliability/damage.hpp"
+#include "reliability/stress_history.hpp"
 #include "rom/block_grid.hpp"
 #include "rom/global_assembler.hpp"
 #include "rom/global_solver.hpp"
@@ -96,6 +98,56 @@ struct ThermalSubmodelResult : ArrayResult {
   thermal::ThermalSolveStats thermal_stats;
 };
 
+/// Result of a transient sub-model run (scenario 2 marched through a power
+/// trace): the ArrayResult base holds the stress of the inner TSV region at
+/// the padded-window peak-envelope ΔT; `transient` records the windowed
+/// per-block ΔT history on the package conduction mesh.
+struct ThermalTransientSubmodelResult : ArrayResult {
+  thermal::TransientTemperatureResult transient;  ///< windowed ΔT histories
+  rom::BlockLoadField envelope_load;              ///< padded-window peak ΔT
+  thermal::TransientSolveStats thermal_stats;
+};
+
+/// Controls of the cycle-resolved fatigue scenarios.
+struct FatigueOptions {
+  /// ROM-solve every k-th recorded transient step (the last recorded step is
+  /// always included). 1 = every step; larger strides trade channel
+  /// resolution for panel width.
+  int record_stride = 1;
+  /// Rainflow matrix binning of the reported dominant cycle classes.
+  int range_bins = 8;
+  int mean_bins = 4;
+  /// Engelmaier parameters of the bump-shear channel: solder shear modulus
+  /// [MPa] (eutectic SnPb default) and mean joint temperature [C].
+  double solder_shear_modulus = 5.6e3;
+  double solder_mean_temperature = 60.0;
+  /// Cycle frequency feeding the Engelmaier exponent [cycles/day];
+  /// 0 derives one trace pass per trace duration (86400 s / duration),
+  /// capped at 1e6 — sub-millisecond bench traces would otherwise leave
+  /// the classic correlation's validity and flip the exponent's sign.
+  /// An explicit value is used as given (and may throw if absurd).
+  double cycles_per_day = 0.0;
+};
+
+/// Result of a cycle-resolved fatigue run (array or sub-model scenario).
+/// The ArrayResult base is the peak-envelope stress solve; the per-step
+/// stress states ride in `history` as per-block channel records — the full
+/// fields are reduced step by step and never kept. The envelope and every
+/// recorded step share one global assembly and one factorization
+/// (solve_stats.num_factorizations == 1 on the direct path,
+/// solve_stats.num_rhs == history steps + 1).
+struct FatigueResult : ArrayResult {
+  thermal::TransientTemperatureResult transient;  ///< per-block ΔT histories
+  rom::BlockLoadField envelope_load;              ///< peak ΔT fed to the base solve
+  thermal::TransientSolveStats thermal_stats;
+  std::vector<int> history_steps;           ///< recorded-history indices ROM-solved
+  reliability::StressHistory history;       ///< per-step per-block channel peaks
+  reliability::ReliabilityReport report;    ///< rainflow + Miner verdict
+  rom::GlobalSolveStats solve_stats;        ///< the one batched envelope+steps panel
+  double history_seconds = 0.0;             ///< per-step reconstruction + reduction
+  double reliability_seconds = 0.0;         ///< rainflow counting + damage models
+};
+
 class MoreStressSimulator {
  public:
   explicit MoreStressSimulator(SimulationConfig config);
@@ -132,6 +184,20 @@ class MoreStressSimulator {
       int blocks_x, int blocks_y, const thermal::PowerTrace& trace,
       const std::vector<int>& snapshot_steps = {});
 
+  /// Scenario 3, cycle-resolved fatigue: march `trace` like the transient
+  /// path, then ROM-solve *every* recorded step (subject to
+  /// options.record_stride) as one batched multi-RHS panel against the
+  /// shared global factorization, reduce each reconstructed field to
+  /// per-block stress channels (von Mises peak, first principal,
+  /// through-plane bump shear), rainflow-count every block's channel history
+  /// (ASTM E1049), and accumulate fatigue damage by Miner's rule under the
+  /// standard model set (Basquin/Coffin-Manson on Cu, Engelmaier solder).
+  /// The result's report names the life-limiting block, channel, and
+  /// dominant cycle class.
+  [[nodiscard]] FatigueResult simulate_array_fatigue(int blocks_x, int blocks_y,
+                                                     const thermal::PowerTrace& trace,
+                                                     const FatigueOptions& options = {});
+
   /// Scenario 2: TSV array embedded in a package. `displacement` supplies
   /// the coarse-solution boundary data (in the sub-model local frame);
   /// `dummy_rings` pads the array per Sec. 4.4. The reported field covers
@@ -154,6 +220,26 @@ class MoreStressSimulator {
       int tsv_blocks_x, int tsv_blocks_y, int dummy_rings,
       const chiplet::PackageModel& package, const chiplet::SubmodelPlacement& placement,
       const thermal::PowerMap& power);
+
+  /// Scenario 2, time domain: march the package conduction mesh through a
+  /// power trace with the same θ-stepper the array path uses, reduce every
+  /// recorded state to the padded window's per-block ΔT (interposer layer
+  /// only), and run the sub-modeling ROM path at the peak envelope with the
+  /// package's own displacement field as boundary data. A constant trace
+  /// relaxes to simulate_submodel_thermal exactly.
+  [[nodiscard]] ThermalTransientSubmodelResult simulate_submodel_thermal_transient(
+      int tsv_blocks_x, int tsv_blocks_y, int dummy_rings,
+      const chiplet::PackageModel& package, const chiplet::SubmodelPlacement& placement,
+      const thermal::PowerTrace& trace);
+
+  /// Scenario 2, cycle-resolved fatigue: the sub-model counterpart of
+  /// simulate_array_fatigue — package-mesh transient, windowed per-step ΔT,
+  /// one batched panel of per-step ROM solves over the padded window, and
+  /// the same rainflow/Miner reduction over the inner TSV region.
+  [[nodiscard]] FatigueResult simulate_submodel_fatigue(
+      int tsv_blocks_x, int tsv_blocks_y, int dummy_rings,
+      const chiplet::PackageModel& package, const chiplet::SubmodelPlacement& placement,
+      const thermal::PowerTrace& trace, const FatigueOptions& options = {});
 
   /// Force the local stage now (otherwise lazy). Returns its wall time,
   /// 0 when already cached.
@@ -189,6 +275,36 @@ class MoreStressSimulator {
       int tsv_blocks_x, int tsv_blocks_y, int dummy_rings, const rom::BlockMask& mask,
       const std::function<std::array<double, 3>(const mesh::Point3&)>& displacement,
       const rom::BlockLoadField& load);
+  /// The batched fatigue core shared by both scenarios: assemble the global
+  /// operator once, solve [envelope | one case per step load] as a single
+  /// multi-RHS panel, reconstruct the envelope fully (the returned
+  /// ArrayResult), and reduce every step's reconstructed field straight into
+  /// `history` (full per-step fields are never retained).
+  ArrayResult run_fatigue_panel(int blocks_x, int blocks_y, const rom::BlockMask& mask,
+                                const fem::DirichletBc& bc, const rom::BlockRange& report_range,
+                                bool uses_dummy, const rom::BlockLoadField& envelope_load,
+                                const std::vector<rom::BlockLoadField>& step_loads,
+                                const std::vector<double>& step_times,
+                                reliability::StressHistory* history,
+                                rom::GlobalSolveStats* solve_stats, double* history_seconds);
+  /// Transient conduction of the standalone array (mesh + conductivity +
+  /// capacity + per-block reduction), shared by the envelope and fatigue
+  /// paths.
+  thermal::TransientTemperatureResult run_array_transient(int blocks_x, int blocks_y,
+                                                          const thermal::PowerTrace& trace,
+                                                          thermal::TransientSolveStats* stats);
+  /// Transient conduction of the package stack with the windowed per-step
+  /// reduction (padded sub-model window, interposer layer), shared by the
+  /// sub-model transient and fatigue paths.
+  thermal::TransientTemperatureResult run_submodel_transient(
+      int padded_x, int padded_y, const chiplet::PackageModel& package,
+      const chiplet::SubmodelPlacement& placement, const rom::BlockMask& mask,
+      const thermal::PowerTrace& trace, thermal::TransientSolveStats* stats);
+  /// Rainflow + Miner reduction of a recorded history under the standard
+  /// model set (options parameterize bins and the Engelmaier channel).
+  reliability::ReliabilityReport assess_fatigue(const reliability::StressHistory& history,
+                                                double trace_duration,
+                                                const FatigueOptions& options) const;
   const rom::RomModel& model_for(rom::BlockKind kind);
   [[nodiscard]] std::string cache_path(rom::BlockKind kind) const;
 

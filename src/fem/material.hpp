@@ -23,6 +23,13 @@ struct Material {
   double conductivity = 0.0;    ///< k [W/(m K)]; 0 = not usable for conduction
   /// rho * c_p [J/(m^3 K)]; 0 = not usable for transient conduction.
   double volumetric_heat_capacity = 0.0;
+  // Fatigue (reliability subsystem): stress-life (Basquin) and strain-life
+  // (Coffin-Manson) coefficients. 0 = no fatigue data for that law (brittle
+  // or uncharacterized materials); exponents are negative when present.
+  double fatigue_strength = 0.0;            ///< sigma_f' [MPa] (Basquin)
+  double fatigue_strength_exponent = 0.0;   ///< b (Basquin, < 0)
+  double fatigue_ductility = 0.0;           ///< eps_f' [-] (Coffin-Manson)
+  double fatigue_ductility_exponent = 0.0;  ///< c (Coffin-Manson, < 0)
 
   /// First Lame parameter lambda = E nu / ((1+nu)(1-2nu))  (Eq. 2).
   [[nodiscard]] double lame_lambda() const;

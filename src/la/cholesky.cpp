@@ -71,7 +71,8 @@ SparseCholesky::SparseCholesky(const CsrMatrix& a, Options options) : options_(o
 
   const std::vector<idx_t> counts = cholesky_column_counts(pa, parent);
   if (options_.method == Method::kSupernodal) {
-    snf_ = analyze_supernodes(pa, parent, counts, options_.max_supernode_width);
+    snf_ = analyze_supernodes(pa, parent, counts, options_.max_supernode_width,
+                              options_.relax_supernodes);
     factorize_supernodal(pa, snf_);
   } else {
     parent_ = std::move(parent);

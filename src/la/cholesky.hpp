@@ -39,6 +39,14 @@ class SparseCholesky {
     /// Column cap per supernodal panel (keeps the dense working set near
     /// the register/cache sweet spot).
     idx_t max_supernode_width = 48;
+    /// Relaxed supernode amalgamation: merge adjacent etree child/parent
+    /// supernodes with near-identical structure into one wider panel when
+    /// the explicit zeros introduced stay within this fraction of the merged
+    /// panel's trapezoid (0 disables; 0.1-0.3 is typical). Values are
+    /// unchanged — padded entries are exact zeros — but factor_nnz and
+    /// memory_bytes count the padding, and fewer/wider panels shift the
+    /// numeric phase further into the dense rank-k kernels.
+    double relax_supernodes = 0.0;
   };
 
   /// Factor a symmetric positive definite matrix (full symmetric storage).

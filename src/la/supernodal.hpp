@@ -68,8 +68,22 @@ struct SupernodalFactor {
 /// columns so panels stay register-tile friendly) and collect each
 /// supernode's row pattern. Panels are allocated zeroed, ready for the
 /// numeric phase.
+///
+/// `relax_fill` > 0 additionally runs relaxed amalgamation: an adjacent
+/// child/parent pair of supernodes (the etree parent of the child's last
+/// column is the parent's first column) merges into one wider panel when the
+/// explicit zeros this introduces stay within relax_fill of the merged
+/// trapezoid. The merged pattern is the union — the child's own columns plus
+/// the parent's rows, a superset of every member column's true pattern — so
+/// the padded entries are *exact* zeros through the numeric phase (every
+/// eliminated term is structurally zero) and the factor values are unchanged;
+/// only the storage (factor_nnz counts the padded trapezoids) and the panel
+/// shapes differ. Near-identical column structure, abundant in AMD-ordered
+/// FEM matrices just below the fundamental-supernode threshold, then factors
+/// as wider rank-k panels.
 SupernodalFactor analyze_supernodes(const CsrMatrix& a, const std::vector<idx_t>& parent,
-                                    const std::vector<idx_t>& counts, idx_t max_width);
+                                    const std::vector<idx_t>& counts, idx_t max_width,
+                                    double relax_fill = 0.0);
 
 /// Numeric phase: left-looking supernodal factorization of the (permuted)
 /// matrix whose symbolic analysis produced `f`. Descendant updates are dense

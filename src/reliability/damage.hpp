@@ -1,0 +1,84 @@
+#pragma once
+// Miner's-rule damage accumulation over rainflow-counted stress histories,
+// and the per-block reliability assessment the fatigue scenarios report:
+// each stress channel is counted block by block, every counted cycle is
+// charged 1/N_f of life under the channel's fatigue model, and the Miner
+// sums compose into damage-per-trace maps, cycles-to-failure (lifetime)
+// maps, and a ReliabilityReport naming the life-limiting block, channel,
+// and dominant cycle class.
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "reliability/fatigue.hpp"
+#include "reliability/rainflow.hpp"
+#include "reliability/stress_history.hpp"
+
+namespace ms::reliability {
+
+/// Miner sum of a counted cycle set under one model: sum_i count_i / N_f_i.
+/// Zero when every cycle sits below the model threshold.
+double miner_damage(const std::vector<Cycle>& cycles, const FatigueModel& model);
+
+/// One fatigue model per stress channel. Channels without a model (null) are
+/// skipped by the assessment.
+struct FatigueModelSet {
+  std::array<std::unique_ptr<FatigueModel>, kNumChannels> models;
+
+  [[nodiscard]] const FatigueModel* at(StressChannel channel) const {
+    return models[static_cast<int>(channel)].get();
+  }
+  void set(StressChannel channel, std::unique_ptr<FatigueModel> model) {
+    models[static_cast<int>(channel)] = std::move(model);
+  }
+};
+
+/// The standard TSV-array assignment: von Mises -> Basquin on Cu (high-cycle
+/// barrel fatigue), first principal -> Coffin-Manson on Cu (low-cycle
+/// tensile), through-plane shear -> Engelmaier solder (microbump plane).
+/// `mean_temperature_c` and `cycles_per_day` parameterize the Engelmaier
+/// exponent; `solder_shear_modulus` is the bump solder's G [MPa].
+FatigueModelSet standard_model_set(const fem::MaterialTable& materials,
+                                   double solder_shear_modulus, double mean_temperature_c,
+                                   double cycles_per_day);
+
+struct ReliabilityOptions {
+  int range_bins = 8;
+  int mean_bins = 4;
+};
+
+/// Per-channel assessment: Miner damage of one pass of the recorded history.
+struct ChannelAssessment {
+  StressChannel channel = StressChannel::kVonMises;
+  std::string model_name;
+  std::vector<double> damage;             ///< Miner sum per block, per trace pass (y-major)
+  std::vector<double> cycles_to_failure;  ///< 1 / damage (inf where no damage)
+  std::vector<double> half_cycle_counts;  ///< total rainflow count per block
+  RainflowMatrix min_life_matrix;         ///< binned cycles of the worst block
+  int min_life_block = -1;                ///< y-major index; -1 when damage-free
+  double min_life_cycles = 0.0;           ///< trace passes to failure (inf = damage-free)
+};
+
+/// The reliability verdict of one cyclic scenario.
+struct ReliabilityReport {
+  int blocks_x = 0, blocks_y = 0;
+  double trace_duration = 0.0;  ///< seconds per trace pass (0 = unknown)
+  std::vector<ChannelAssessment> channels;
+  // Governing (lowest-lifetime) verdict across all assessed channels:
+  int min_life_block = -1;
+  StressChannel min_life_channel = StressChannel::kVonMises;
+  double min_life_cycles = 0.0;   ///< trace passes to failure
+  double min_life_seconds = 0.0;  ///< min_life_cycles * trace_duration
+
+  [[nodiscard]] const ChannelAssessment* assessment(StressChannel channel) const;
+};
+
+/// Assess a recorded history: rainflow every (channel, block) series, charge
+/// the cycles to the channel's model, accumulate by Miner. `trace_duration`
+/// converts lifetimes to seconds (pass 0 to skip).
+ReliabilityReport assess_history(const StressHistory& history, const FatigueModelSet& models,
+                                 double trace_duration, const ReliabilityOptions& options = {});
+
+}  // namespace ms::reliability

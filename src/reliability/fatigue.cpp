@@ -1,0 +1,93 @@
+#include "reliability/fatigue.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ms::reliability {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Invert amp = coeff * (2 N_f)^expo for N_f (expo < 0), floored at one half
+/// cycle — a single excursion beyond the coefficient still "fails" in half a
+/// cycle rather than a nonsensical fraction.
+double invert_power_law(double amplitude, double coeff, double expo) {
+  if (amplitude <= 0.0) return kInf;
+  const double nf = 0.5 * std::pow(amplitude / coeff, 1.0 / expo);
+  return std::max(nf, 0.5);
+}
+
+}  // namespace
+
+BasquinModel::BasquinModel(double fatigue_strength, double exponent, double endurance_range)
+    : sigma_f_(fatigue_strength), b_(exponent), endurance_range_(endurance_range) {
+  if (sigma_f_ <= 0.0) throw std::invalid_argument("BasquinModel: s_f' must be positive");
+  if (b_ >= 0.0) throw std::invalid_argument("BasquinModel: exponent b must be negative");
+  if (endurance_range_ < 0.0) {
+    throw std::invalid_argument("BasquinModel: endurance range must be >= 0");
+  }
+}
+
+double BasquinModel::cycles_to_failure(double range, double /*mean*/) const {
+  if (range <= endurance_range_) return kInf;
+  return invert_power_law(0.5 * range, sigma_f_, b_);
+}
+
+CoffinMansonModel::CoffinMansonModel(double fatigue_ductility, double exponent, double modulus)
+    : eps_f_(fatigue_ductility), c_(exponent), modulus_(modulus) {
+  if (eps_f_ <= 0.0) throw std::invalid_argument("CoffinMansonModel: e_f' must be positive");
+  if (c_ >= 0.0) throw std::invalid_argument("CoffinMansonModel: exponent c must be negative");
+  if (modulus_ <= 0.0) throw std::invalid_argument("CoffinMansonModel: modulus must be positive");
+}
+
+double CoffinMansonModel::cycles_to_failure(double range, double /*mean*/) const {
+  return invert_power_law(0.5 * range / modulus_, eps_f_, c_);
+}
+
+EngelmaierModel::EngelmaierModel(double shear_modulus, double mean_temperature_c,
+                                 double cycles_per_day)
+    : shear_modulus_(shear_modulus), eps_f_(0.325) {
+  if (shear_modulus_ <= 0.0) {
+    throw std::invalid_argument("EngelmaierModel: shear modulus must be positive");
+  }
+  if (cycles_per_day < 0.0) {
+    throw std::invalid_argument("EngelmaierModel: cycle frequency must be >= 0");
+  }
+  c_ = -0.442 - 6e-4 * mean_temperature_c + 1.74e-2 * std::log(1.0 + cycles_per_day);
+  if (c_ >= 0.0) {
+    throw std::invalid_argument(
+        "EngelmaierModel: corrected exponent is non-negative (frequency too high for the "
+        "classic correlation)");
+  }
+}
+
+double EngelmaierModel::cycles_to_failure(double range, double /*mean*/) const {
+  return invert_power_law(0.5 * range / shear_modulus_, eps_f_, c_);
+}
+
+std::unique_ptr<FatigueModel> basquin_from_material(const fem::Material& material) {
+  if (material.fatigue_strength <= 0.0) {
+    throw std::invalid_argument("basquin_from_material: '" + material.name +
+                                "' carries no stress-life fatigue data");
+  }
+  return std::make_unique<BasquinModel>(material.fatigue_strength,
+                                        material.fatigue_strength_exponent);
+}
+
+std::unique_ptr<FatigueModel> coffin_manson_from_material(const fem::Material& material) {
+  if (material.fatigue_ductility <= 0.0) {
+    throw std::invalid_argument("coffin_manson_from_material: '" + material.name +
+                                "' carries no strain-life fatigue data");
+  }
+  return std::make_unique<CoffinMansonModel>(material.fatigue_ductility,
+                                             material.fatigue_ductility_exponent,
+                                             material.youngs_modulus);
+}
+
+std::unique_ptr<FatigueModel> engelmaier_solder(double shear_modulus, double mean_temperature_c,
+                                                double cycles_per_day) {
+  return std::make_unique<EngelmaierModel>(shear_modulus, mean_temperature_c, cycles_per_day);
+}
+
+}  // namespace ms::reliability

@@ -1,0 +1,94 @@
+#pragma once
+// Pluggable fatigue-life models: cycles-to-failure as a function of a
+// rainflow-counted cycle (range + mean) of one stress channel. Three classic
+// laws cover the package failure modes:
+//
+//  - Basquin (high-cycle, stress-life): N_f = 0.5 * (dS / (2 s_f'))^(1/b),
+//    b < 0. The Cu TSV barrel under elastic cycling.
+//  - Coffin-Manson (low-cycle, strain-life): N_f = 0.5 *
+//    (de / (2 e_f'))^(1/c), c < 0, with the strain range estimated from the
+//    stress range through the material modulus. Plastic ratcheting of the
+//    via/liner interface under large thermal swings.
+//  - Engelmaier (solder-joint shear): Coffin-Manson in shear-strain range
+//    dGamma = dTau / G with the temperature- and frequency-dependent
+//    exponent c = c0 + c1 * T_mean + c2 * ln(1 + f) of the classic
+//    Engelmaier model (T_mean in C, f in cycles/day). The microbump plane
+//    under the through-plane shear channel.
+//
+// Model parameters ride on fem::Material (fatigue_strength / exponent and
+// fatigue_ductility / exponent) so material provenance stays in one table;
+// the factories below build models straight from a Material entry.
+// Lifetimes compose by Miner's rule (reliability/damage.hpp).
+
+#include <memory>
+#include <string>
+
+#include "fem/material.hpp"
+
+namespace ms::reliability {
+
+class FatigueModel {
+ public:
+  virtual ~FatigueModel() = default;
+  /// Cycles to failure of a constant-amplitude cycle with the given range
+  /// and mean (channel units, MPa). Returns +inf below the model threshold
+  /// (no damage); never returns less than a half cycle.
+  [[nodiscard]] virtual double cycles_to_failure(double range, double mean) const = 0;
+  [[nodiscard]] virtual const std::string& name() const = 0;
+};
+
+/// Basquin stress-life: dS/2 = s_f' (2 N_f)^b. `endurance_range` (optional)
+/// is the stress range below which no damage accumulates.
+class BasquinModel : public FatigueModel {
+ public:
+  BasquinModel(double fatigue_strength, double exponent, double endurance_range = 0.0);
+  [[nodiscard]] double cycles_to_failure(double range, double mean) const override;
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+ private:
+  double sigma_f_, b_, endurance_range_;
+  std::string name_ = "basquin";
+};
+
+/// Coffin-Manson strain-life with the strain range taken as range / modulus:
+/// de/2 = e_f' (2 N_f)^c.
+class CoffinMansonModel : public FatigueModel {
+ public:
+  CoffinMansonModel(double fatigue_ductility, double exponent, double modulus);
+  [[nodiscard]] double cycles_to_failure(double range, double mean) const override;
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+ private:
+  double eps_f_, c_, modulus_;
+  std::string name_ = "coffin-manson";
+};
+
+/// Engelmaier solder-joint model: shear-strain range dTau / G against the
+/// temperature/frequency-corrected exponent.
+class EngelmaierModel : public FatigueModel {
+ public:
+  /// Classic eutectic-solder constants: e_f' = 0.325,
+  /// c = -0.442 - 6e-4 * T_mean + 1.74e-2 * ln(1 + f).
+  EngelmaierModel(double shear_modulus, double mean_temperature_c, double cycles_per_day);
+  [[nodiscard]] double cycles_to_failure(double range, double mean) const override;
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] double exponent() const { return c_; }
+
+ private:
+  double shear_modulus_, eps_f_, c_;
+  std::string name_ = "engelmaier";
+};
+
+/// Basquin model from a material's fatigue_strength / fatigue_strength_exponent.
+/// Throws std::invalid_argument when the material carries no stress-life data.
+std::unique_ptr<FatigueModel> basquin_from_material(const fem::Material& material);
+
+/// Coffin-Manson model from fatigue_ductility / fatigue_ductility_exponent
+/// and the material's Young's modulus.
+std::unique_ptr<FatigueModel> coffin_manson_from_material(const fem::Material& material);
+
+/// Engelmaier solder model with the classic eutectic constants.
+std::unique_ptr<FatigueModel> engelmaier_solder(double shear_modulus, double mean_temperature_c,
+                                                double cycles_per_day);
+
+}  // namespace ms::reliability

@@ -1,0 +1,114 @@
+#include "reliability/rainflow.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ms::reliability {
+
+std::vector<double> extract_reversals(const std::vector<double>& series) {
+  std::vector<double> points;
+  points.reserve(series.size());
+  for (double v : series) {
+    if (points.empty() || v != points.back()) points.push_back(v);
+  }
+  if (points.size() < 3) return points;
+  std::vector<double> reversals;
+  reversals.reserve(points.size());
+  reversals.push_back(points.front());
+  for (std::size_t i = 1; i + 1 < points.size(); ++i) {
+    const double prev = points[i - 1], here = points[i], next = points[i + 1];
+    if ((here > prev) != (next > here)) reversals.push_back(here);
+  }
+  reversals.push_back(points.back());
+  return reversals;
+}
+
+std::vector<Cycle> rainflow_count(const std::vector<double>& series) {
+  const std::vector<double> reversals = extract_reversals(series);
+  std::vector<Cycle> cycles;
+  if (reversals.size() < 2) return cycles;
+
+  // E1049 Sec. 5.4.4. `stack` holds the reversals not yet assigned to a
+  // cycle; `start` indexes the oldest one, which still "contains the
+  // starting point" in the standard's phrasing.
+  std::vector<double> stack;
+  stack.reserve(reversals.size());
+  std::size_t start = 0;
+  const auto emit = [&cycles](double a, double b, double count) {
+    cycles.push_back({std::abs(b - a), 0.5 * (a + b), count});
+  };
+  for (double point : reversals) {
+    stack.push_back(point);
+    while (stack.size() - start >= 3) {
+      const std::size_t top = stack.size() - 1;
+      const double x = std::abs(stack[top] - stack[top - 1]);
+      const double y = std::abs(stack[top - 1] - stack[top - 2]);
+      if (x < y) break;
+      if (top - 2 == start) {
+        // Y contains the starting point: half cycle, drop the start.
+        emit(stack[start], stack[start + 1], 0.5);
+        ++start;
+      } else {
+        // Interior range: one full cycle; its two reversals leave the stack.
+        emit(stack[top - 2], stack[top - 1], 1.0);
+        stack[top - 2] = stack[top];
+        stack.resize(top - 1);
+      }
+    }
+  }
+  // Residue: successive half cycles.
+  for (std::size_t i = start; i + 1 < stack.size(); ++i) emit(stack[i], stack[i + 1], 0.5);
+  return cycles;
+}
+
+double RainflowMatrix::range_bin_centre(int range_bin) const {
+  return range_max * (range_bin + 0.5) / range_bins;
+}
+
+double RainflowMatrix::mean_bin_centre(int mean_bin) const {
+  return mean_min + (mean_max - mean_min) * (mean_bin + 0.5) / mean_bins;
+}
+
+int RainflowMatrix::dominant_bin() const {
+  int best = -1;
+  double best_count = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] >= best_count && counts[i] > 0.0) {
+      best_count = counts[i];
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+RainflowMatrix bin_cycles(const std::vector<Cycle>& cycles, int range_bins, int mean_bins) {
+  if (range_bins < 1 || mean_bins < 1) {
+    throw std::invalid_argument("bin_cycles: need >= 1 bin per axis");
+  }
+  RainflowMatrix m;
+  m.range_bins = range_bins;
+  m.mean_bins = mean_bins;
+  m.counts.assign(static_cast<std::size_t>(range_bins) * mean_bins, 0.0);
+  if (cycles.empty()) return m;
+  m.mean_min = m.mean_max = cycles.front().mean;
+  for (const Cycle& c : cycles) {
+    m.range_max = std::max(m.range_max, c.range);
+    m.mean_min = std::min(m.mean_min, c.mean);
+    m.mean_max = std::max(m.mean_max, c.mean);
+  }
+  const auto bin_of = [](double v, double lo, double hi, int bins) {
+    if (hi <= lo) return 0;
+    const int b = static_cast<int>((v - lo) / (hi - lo) * bins);
+    return std::clamp(b, 0, bins - 1);
+  };
+  for (const Cycle& c : cycles) {
+    const int r = bin_of(c.range, 0.0, m.range_max, range_bins);
+    const int mb = bin_of(c.mean, m.mean_min, m.mean_max, mean_bins);
+    m.counts[static_cast<std::size_t>(r) * mean_bins + mb] += c.count;
+    m.total_count += c.count;
+  }
+  return m;
+}
+
+}  // namespace ms::reliability

@@ -1,0 +1,64 @@
+#pragma once
+// Rainflow cycle counting per ASTM E1049-85 (reapproved 2017), Sec. 5.4.4:
+// the history is reduced to its reversal sequence, then scanned with the
+// standard three-reversal comparison — a trailing range X and the range Y
+// before it (four data points). When X >= Y, Y is extracted: as one full
+// cycle when it does not contain the starting reversal, as a half cycle
+// (with the starting point discarded) when it does. The residue left at the
+// end of the history is counted as successive half cycles, so every
+// reversal of the input contributes to exactly one count — a monotone
+// history yields exactly one half cycle.
+//
+// Counted cycles carry their range, mean, and count (1.0 or 0.5); they can
+// be binned into a range x mean matrix for reporting and for identifying
+// the damage-dominant cycle class.
+
+#include <cstddef>
+#include <vector>
+
+namespace ms::reliability {
+
+/// One counted cycle: range = |peak - valley|, mean = (peak + valley) / 2,
+/// count = 1.0 (full) or 0.5 (half).
+struct Cycle {
+  double range = 0.0;
+  double mean = 0.0;
+  double count = 0.0;
+};
+
+/// Reversal sequence of a series: the first point, every strict local
+/// extremum, and the last point. Equal consecutive values collapse first, so
+/// plateaus do not produce spurious reversals; a constant series reduces to
+/// a single point (no countable range).
+std::vector<double> extract_reversals(const std::vector<double>& series);
+
+/// ASTM E1049 rainflow counting of a series (reversal extraction included).
+/// Returns the counted cycles in extraction order, residue half cycles last.
+std::vector<Cycle> rainflow_count(const std::vector<double>& series);
+
+/// Binned range x mean matrix of a counted cycle set. Bin edges are uniform
+/// over [0, range_max] and [mean_min, mean_max] of the input cycles (the
+/// upper edges are inclusive). Zero-range cycles land in the first range bin.
+struct RainflowMatrix {
+  int range_bins = 0;
+  int mean_bins = 0;
+  double range_max = 0.0;
+  double mean_min = 0.0;
+  double mean_max = 0.0;
+  std::vector<double> counts;  ///< range-major: counts[r * mean_bins + m]
+  double total_count = 0.0;    ///< sum of all cycle counts
+
+  [[nodiscard]] double at(int range_bin, int mean_bin) const {
+    return counts[static_cast<std::size_t>(range_bin) * mean_bins + mean_bin];
+  }
+  /// Centre of a range bin (the representative range of that class).
+  [[nodiscard]] double range_bin_centre(int range_bin) const;
+  [[nodiscard]] double mean_bin_centre(int mean_bin) const;
+  /// Flat index of the bin with the largest count (-1 when empty); ties
+  /// resolve to the larger range bin (the more damaging class).
+  [[nodiscard]] int dominant_bin() const;
+};
+
+RainflowMatrix bin_cycles(const std::vector<Cycle>& cycles, int range_bins, int mean_bins);
+
+}  // namespace ms::reliability

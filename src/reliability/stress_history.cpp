@@ -1,0 +1,127 @@
+#include "reliability/stress_history.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ms::reliability {
+
+const char* channel_name(StressChannel channel) {
+  switch (channel) {
+    case StressChannel::kVonMises: return "von_mises";
+    case StressChannel::kFirstPrincipal: return "first_principal";
+    case StressChannel::kBumpShear: return "bump_shear";
+  }
+  return "?";
+}
+
+double first_principal(const fem::Stress6& s) {
+  // Voigt order xx, yy, zz, yz, xz, xy.
+  const double sxx = s[0], syy = s[1], szz = s[2];
+  const double syz = s[3], sxz = s[4], sxy = s[5];
+  const double off = sxy * sxy + sxz * sxz + syz * syz;
+  if (off == 0.0) return std::max({sxx, syy, szz});
+  const double q = (sxx + syy + szz) / 3.0;
+  const double p2 = (sxx - q) * (sxx - q) + (syy - q) * (syy - q) + (szz - q) * (szz - q) +
+                    2.0 * off;
+  const double p = std::sqrt(p2 / 6.0);
+  // r = det((A - qI)/p) / 2, clamped against rounding at the ±1 boundaries.
+  const double bxx = (sxx - q) / p, byy = (syy - q) / p, bzz = (szz - q) / p;
+  const double bxy = sxy / p, bxz = sxz / p, byz = syz / p;
+  const double det = bxx * (byy * bzz - byz * byz) - bxy * (bxy * bzz - byz * bxz) +
+                     bxz * (bxy * byz - byy * bxz);
+  const double r = std::clamp(det / 2.0, -1.0, 1.0);
+  const double phi = std::acos(r) / 3.0;
+  return q + 2.0 * p * std::cos(phi);
+}
+
+double through_plane_shear(const fem::Stress6& s) {
+  return std::sqrt(s[3] * s[3] + s[4] * s[4]);
+}
+
+double channel_value(StressChannel channel, const fem::Stress6& s) {
+  switch (channel) {
+    case StressChannel::kVonMises: return fem::von_mises(s);
+    case StressChannel::kFirstPrincipal: return first_principal(s);
+    case StressChannel::kBumpShear: return through_plane_shear(s);
+  }
+  return 0.0;
+}
+
+StressHistory::StressHistory(int blocks_x, int blocks_y)
+    : blocks_x_(blocks_x), blocks_y_(blocks_y) {
+  if (blocks_x < 1 || blocks_y < 1) {
+    throw std::invalid_argument("StressHistory: need >= 1 block per axis");
+  }
+}
+
+void StressHistory::record(double time, const std::vector<fem::Stress6>& plane_stress,
+                           int samples_per_block) {
+  times_.push_back(time);
+  data_.resize(data_.size() + static_cast<std::size_t>(kNumChannels) * num_blocks(), 0.0);
+  record_step(times_.size() - 1, plane_stress, samples_per_block);
+}
+
+void StressHistory::resize_steps(const std::vector<double>& times) {
+  times_ = times;
+  data_.assign(times.size() * kNumChannels * num_blocks(), 0.0);
+}
+
+void StressHistory::record_step(std::size_t step, const std::vector<fem::Stress6>& plane_stress,
+                                int samples_per_block) {
+  if (step >= times_.size()) {
+    throw std::invalid_argument("StressHistory::record_step: step out of range");
+  }
+  if (samples_per_block < 1) {
+    throw std::invalid_argument("StressHistory::record: samples_per_block must be >= 1");
+  }
+  const std::size_t s = static_cast<std::size_t>(samples_per_block);
+  if (plane_stress.size() != num_blocks() * s * s) {
+    throw std::invalid_argument(
+        "StressHistory::record: field size must be blocks * samples_per_block^2");
+  }
+  const std::size_t base = step * static_cast<std::size_t>(kNumChannels) * num_blocks();
+  const std::size_t width = static_cast<std::size_t>(blocks_x_) * s;
+  for (int by = 0; by < blocks_y_; ++by) {
+    for (int bx = 0; bx < blocks_x_; ++bx) {
+      const std::size_t block = static_cast<std::size_t>(by) * blocks_x_ + bx;
+      double peak[kNumChannels];
+      for (int c = 0; c < kNumChannels; ++c) peak[c] = -std::numeric_limits<double>::infinity();
+      for (std::size_t my = 0; my < s; ++my) {
+        const fem::Stress6* row = plane_stress.data() + (by * s + my) * width + bx * s;
+        for (std::size_t mx = 0; mx < s; ++mx) {
+          const fem::Stress6& t = row[mx];
+          for (int c = 0; c < kNumChannels; ++c) {
+            peak[c] = std::max(peak[c], channel_value(static_cast<StressChannel>(c), t));
+          }
+        }
+      }
+      for (int c = 0; c < kNumChannels; ++c) {
+        data_[base + static_cast<std::size_t>(c) * num_blocks() + block] = peak[c];
+      }
+    }
+  }
+}
+
+double StressHistory::value(std::size_t step, StressChannel channel, std::size_t block) const {
+  return data_[(step * kNumChannels + static_cast<int>(channel)) * num_blocks() + block];
+}
+
+std::vector<double> StressHistory::series(StressChannel channel, std::size_t block) const {
+  std::vector<double> out(num_steps());
+  for (std::size_t t = 0; t < num_steps(); ++t) out[t] = value(t, channel, block);
+  return out;
+}
+
+std::vector<double> StressHistory::peak_map(StressChannel channel) const {
+  std::vector<double> out(num_blocks(), -std::numeric_limits<double>::infinity());
+  for (std::size_t t = 0; t < num_steps(); ++t) {
+    for (std::size_t b = 0; b < num_blocks(); ++b) {
+      out[b] = std::max(out[b], value(t, channel, b));
+    }
+  }
+  return out;
+}
+
+}  // namespace ms::reliability

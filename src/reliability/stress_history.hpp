@@ -1,0 +1,102 @@
+#pragma once
+// Cycle-resolved stress records for fatigue analysis. A StressHistory holds,
+// per recorded transient step, one scalar per block and per stress channel —
+// the reduction of the full reconstructed mid-plane tensor field the ROM
+// produces at that step. Three channels cover the failure modes of a TSV
+// array under power cycling:
+//
+//   kVonMises       — per-block peak von Mises: bulk Cu/liner yielding.
+//   kFirstPrincipal — per-block peak first principal stress (largest
+//                     eigenvalue, signed): tensile cracking / delamination.
+//   kBumpShear      — per-block peak resultant through-plane shear
+//                     sqrt(s_yz^2 + s_xz^2): the shear the TSV column
+//                     transfers into the microbump plane. The ROM samples
+//                     live on the mid-height cut plane; the through-plane
+//                     shear there is the load-transfer proxy for the bump
+//                     interface (see DESIGN.md "Reliability").
+//
+// Histories feed rainflow counting (reliability/rainflow.hpp) channel by
+// channel and block by block.
+
+#include <cstddef>
+#include <vector>
+
+#include "fem/stress.hpp"
+
+namespace ms::reliability {
+
+enum class StressChannel : int {
+  kVonMises = 0,
+  kFirstPrincipal = 1,
+  kBumpShear = 2,
+};
+inline constexpr int kNumChannels = 3;
+
+[[nodiscard]] const char* channel_name(StressChannel channel);
+
+/// First principal stress: the largest eigenvalue of the 3x3 stress tensor
+/// (closed-form trigonometric solution, exact for symmetric matrices).
+[[nodiscard]] double first_principal(const fem::Stress6& s);
+
+/// Resultant through-plane shear sqrt(s_yz^2 + s_xz^2).
+[[nodiscard]] double through_plane_shear(const fem::Stress6& s);
+
+/// Scalar value of `channel` at one sample point.
+[[nodiscard]] double channel_value(StressChannel channel, const fem::Stress6& s);
+
+/// Per-step, per-channel, per-block scalar stress record. Blocks are y-major
+/// over a blocks_x x blocks_y report region; the per-block scalar is the
+/// *peak* channel value over the block's plane samples (max for the
+/// non-negative channels, signed max for first principal — the most tensile
+/// state governs fatigue).
+class StressHistory {
+ public:
+  StressHistory() = default;
+  StressHistory(int blocks_x, int blocks_y);
+
+  /// Append one recorded step: reduce the reconstructed plane-stress field
+  /// (y-major, samples_per_block^2 samples per block, same layout as
+  /// rom::reconstruct_plane_stress over the report range) to per-block
+  /// channel peaks. Throws if the field size does not match the grid.
+  void record(double time, const std::vector<fem::Stress6>& plane_stress, int samples_per_block);
+
+  /// Parallel-fill variant: preallocate all steps with their times, then
+  /// reduce each step's field into its slot with record_step — slots are
+  /// disjoint, so steps may be filled concurrently (and in any order) with
+  /// bitwise-identical results.
+  void resize_steps(const std::vector<double>& times);
+  void record_step(std::size_t step, const std::vector<fem::Stress6>& plane_stress,
+                   int samples_per_block);
+
+  [[nodiscard]] int blocks_x() const { return blocks_x_; }
+  [[nodiscard]] int blocks_y() const { return blocks_y_; }
+  [[nodiscard]] std::size_t num_blocks() const {
+    return static_cast<std::size_t>(blocks_x_) * blocks_y_;
+  }
+  [[nodiscard]] std::size_t num_steps() const { return times_.size(); }
+  [[nodiscard]] const std::vector<double>& times() const { return times_; }
+
+  /// Channel value of one block at one recorded step.
+  [[nodiscard]] double value(std::size_t step, StressChannel channel, std::size_t block) const;
+
+  /// Time series of one block's channel (length num_steps()).
+  [[nodiscard]] std::vector<double> series(StressChannel channel, std::size_t block) const;
+
+  /// Per-block peak of a channel over the whole history (y-major): for a
+  /// monotone history this equals the last recorded step, so it reproduces
+  /// the transient-envelope stress map exactly.
+  [[nodiscard]] std::vector<double> peak_map(StressChannel channel) const;
+
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return data_.size() * sizeof(double) + times_.size() * sizeof(double);
+  }
+
+ private:
+  int blocks_x_ = 0, blocks_y_ = 0;
+  std::vector<double> times_;
+  /// step-major, then channel-major, then block (y-major):
+  /// data_[(step * kNumChannels + channel) * num_blocks + block].
+  std::vector<double> data_;
+};
+
+}  // namespace ms::reliability

@@ -92,6 +92,8 @@ std::vector<Vec> solve_global_multi(GlobalProblem& problem, std::vector<Vec> ext
 
   if (stats != nullptr) {
     stats->num_dofs = problem.num_dofs;
+    stats->num_rhs = num_cases;
+    stats->num_factorizations = options.method == "direct" ? 1 : 0;
     stats->solve_seconds = timer.seconds();
     stats->factor_seconds = factor_seconds;
     stats->triangular_seconds = triangular_seconds;

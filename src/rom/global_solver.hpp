@@ -26,6 +26,10 @@ struct GlobalSolveStats {
   double solve_seconds = 0.0;     ///< total: factorization + triangular solves
   idx_t iterations = 0;
   bool converged = false;
+  idx_t num_rhs = 0;              ///< right-hand sides solved in this call
+  /// Factorizations performed: 1 on the direct path no matter how many RHS
+  /// (the batching invariant fatigue runs assert), 0 on iterative paths.
+  int num_factorizations = 0;
   std::size_t matrix_bytes = 0;
   std::size_t solver_bytes = 0;
   // Direct-path factorization detail (zero / empty on iterative paths):

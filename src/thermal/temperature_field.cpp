@@ -35,28 +35,47 @@ std::vector<double> TemperatureField::block_averages(int blocks_x, int blocks_y,
 
 BlockAverager::BlockAverager(const mesh::HexMesh& mesh, int blocks_x, int blocks_y, double pitch)
     : blocks_x_(blocks_x), blocks_y_(blocks_y), num_nodes_(mesh.num_nodes()) {
-  if (blocks_x < 1 || blocks_y < 1) {
+  build(mesh, pitch, mesh::Point3{0.0, 0.0, 0.0}, 0.0, 0.0, /*windowed=*/false);
+}
+
+BlockAverager::BlockAverager(const mesh::HexMesh& mesh, int blocks_x, int blocks_y, double pitch,
+                             const mesh::Point3& origin, double z0, double z1)
+    : blocks_x_(blocks_x), blocks_y_(blocks_y), num_nodes_(mesh.num_nodes()) {
+  if (z1 <= z0) throw std::invalid_argument("block_averages: need z1 > z0");
+  build(mesh, pitch, origin, z0, z1, /*windowed=*/true);
+}
+
+void BlockAverager::build(const mesh::HexMesh& mesh, double pitch, const mesh::Point3& origin,
+                          double z0, double z1, bool windowed) {
+  if (blocks_x_ < 1 || blocks_y_ < 1) {
     throw std::invalid_argument("block_averages: need >= 1 block per axis");
   }
   if (pitch <= 0.0) throw std::invalid_argument("block_averages: pitch must be positive");
-  const std::size_t num_elems = static_cast<std::size_t>(mesh.num_elems());
-  elem_nodes_.resize(num_elems);
-  elem_block_.resize(num_elems);
-  elem_weight_.resize(num_elems);
-  std::vector<double> vol(static_cast<std::size_t>(blocks_x) * blocks_y, 0.0);
+  elem_nodes_.reserve(static_cast<std::size_t>(mesh.num_elems()));
+  elem_block_.reserve(elem_nodes_.capacity());
+  elem_weight_.reserve(elem_nodes_.capacity());
+  std::vector<double> vol(static_cast<std::size_t>(blocks_x_) * blocks_y_, 0.0);
   for (idx_t e = 0; e < mesh.num_elems(); ++e) {
     const mesh::Point3 c = mesh.elem_centroid(e);
-    const int bx = std::clamp(static_cast<int>(c.x / pitch), 0, blocks_x - 1);
-    const int by = std::clamp(static_cast<int>(c.y / pitch), 0, blocks_y - 1);
-    elem_nodes_[e] = mesh.elem_nodes(e);
-    elem_block_[e] = static_cast<std::size_t>(by) * blocks_x + bx;
-    elem_weight_[e] = mesh.elem_volume(e);
-    vol[elem_block_[e]] += elem_weight_[e];
+    int bx, by;
+    if (windowed) {
+      if (c.z < z0 || c.z > z1) continue;
+      bx = static_cast<int>(std::floor((c.x - origin.x) / pitch));
+      by = static_cast<int>(std::floor((c.y - origin.y) / pitch));
+      if (bx < 0 || bx >= blocks_x_ || by < 0 || by >= blocks_y_) continue;
+    } else {
+      bx = std::clamp(static_cast<int>(c.x / pitch), 0, blocks_x_ - 1);
+      by = std::clamp(static_cast<int>(c.y / pitch), 0, blocks_y_ - 1);
+    }
+    elem_nodes_.push_back(mesh.elem_nodes(e));
+    elem_block_.push_back(static_cast<std::size_t>(by) * blocks_x_ + bx);
+    elem_weight_.push_back(mesh.elem_volume(e));
+    vol[elem_block_.back()] += elem_weight_.back();
   }
   for (std::size_t b = 0; b < vol.size(); ++b) {
     if (vol[b] <= 0.0) throw std::logic_error("block_averages: block not covered by the mesh");
   }
-  for (std::size_t e = 0; e < num_elems; ++e) elem_weight_[e] /= vol[elem_block_[e]];
+  for (std::size_t e = 0; e < elem_weight_.size(); ++e) elem_weight_[e] /= vol[elem_block_[e]];
 }
 
 std::vector<double> BlockAverager::reduce(const Vec& nodal) const {
@@ -75,34 +94,10 @@ std::vector<double> BlockAverager::reduce(const Vec& nodal) const {
 std::vector<double> TemperatureField::block_averages(int blocks_x, int blocks_y, double pitch,
                                                      const mesh::Point3& origin, double z0,
                                                      double z1) const {
-  if (blocks_x < 1 || blocks_y < 1) {
-    throw std::invalid_argument("block_averages: need >= 1 block per axis");
-  }
-  if (z1 <= z0) throw std::invalid_argument("block_averages: need z1 > z0");
-  std::vector<double> sum(static_cast<std::size_t>(blocks_x) * blocks_y, 0.0);
-  std::vector<double> vol(sum.size(), 0.0);
-  for (idx_t e = 0; e < mesh_.num_elems(); ++e) {
-    const mesh::Point3 c = mesh_.elem_centroid(e);
-    if (c.z < z0 || c.z > z1) continue;
-    const int bx = static_cast<int>(std::floor((c.x - origin.x) / pitch));
-    const int by = static_cast<int>(std::floor((c.y - origin.y) / pitch));
-    if (bx < 0 || bx >= blocks_x || by < 0 || by >= blocks_y) continue;
-    const auto nodes = mesh_.elem_nodes(e);
-    double mean = 0.0;
-    for (idx_t node : nodes) mean += t_[node];
-    mean /= 8.0;
-    const double v = mesh_.elem_volume(e);
-    const std::size_t b = static_cast<std::size_t>(by) * blocks_x + bx;
-    sum[b] += mean * v;
-    vol[b] += v;
-  }
-  for (std::size_t b = 0; b < sum.size(); ++b) {
-    if (vol[b] <= 0.0) {
-      throw std::logic_error("block_averages: window block not covered by the mesh");
-    }
-    sum[b] /= vol[b];
-  }
-  return sum;
+  // Delegating keeps the steady and transient windowed reductions one
+  // implementation — the constant-trace == steady sub-model lock depends on
+  // them agreeing.
+  return BlockAverager(mesh_, blocks_x, blocks_y, pitch, origin, z0, z1).reduce(t_);
 }
 
 }  // namespace ms::thermal

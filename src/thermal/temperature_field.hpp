@@ -59,6 +59,14 @@ class BlockAverager {
  public:
   BlockAverager(const mesh::HexMesh& mesh, int blocks_x, int blocks_y, double pitch);
 
+  /// Windowed variant for meshes larger than the block array (the package
+  /// conduction mesh): only elements whose centroids fall inside the
+  /// blocks_x x blocks_y window at `origin` with z in [z0, z1] contribute;
+  /// throws if any window block has no covering element. Mirrors the
+  /// windowed TemperatureField::block_averages reduction.
+  BlockAverager(const mesh::HexMesh& mesh, int blocks_x, int blocks_y, double pitch,
+                const mesh::Point3& origin, double z0, double z1);
+
   /// Volume-averaged block temperatures (y-major) of a nodal field on the
   /// mesh the averager was built for.
   [[nodiscard]] std::vector<double> reduce(const Vec& nodal) const;
@@ -67,6 +75,9 @@ class BlockAverager {
   [[nodiscard]] int blocks_y() const { return blocks_y_; }
 
  private:
+  void build(const mesh::HexMesh& mesh, double pitch, const mesh::Point3& origin, double z0,
+             double z1, bool windowed);
+
   int blocks_x_ = 0, blocks_y_ = 0;
   idx_t num_nodes_ = 0;
   std::vector<std::array<idx_t, 8>> elem_nodes_;  ///< node ids per element

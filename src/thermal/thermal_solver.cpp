@@ -251,7 +251,11 @@ TransientTemperatureResult solve_power_trace(const mesh::HexMesh& mesh,
   Vec t(static_cast<std::size_t>(n), t_init);
   for (std::size_t i = 0; i < bc.dofs.size(); ++i) t[bc.dofs[i]] = bc.values[i];
 
-  const BlockAverager averager(mesh, reduction.blocks_x, reduction.blocks_y, reduction.pitch);
+  const BlockAverager averager =
+      reduction.windowed
+          ? BlockAverager(mesh, reduction.blocks_x, reduction.blocks_y, reduction.pitch,
+                          reduction.origin, reduction.z0, reduction.z1)
+          : BlockAverager(mesh, reduction.blocks_x, reduction.blocks_y, reduction.pitch);
   TransientTemperatureResult result;
   result.blocks_x = reduction.blocks_x;
   result.blocks_y = reduction.blocks_y;

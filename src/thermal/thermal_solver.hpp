@@ -109,11 +109,18 @@ struct TransientSolveStats {
 /// block footprint of the array (pitch-sized, y-major) and the reference
 /// temperature ΔT is measured from (the stress-free temperature in coupled
 /// runs, so the recorded histories feed rom::BlockLoadField directly).
+/// Setting `windowed` restricts the reduction to the blocks_x x blocks_y
+/// window at `origin` with z in [z0, z1] — the package conduction mesh
+/// reduced to its embedded sub-model window (interposer layer only);
+/// elements outside the window are ignored instead of clamped in.
 struct BlockReduction {
   int blocks_x = 1;
   int blocks_y = 1;
   double pitch = 0.0;
   double reference = 0.0;
+  bool windowed = false;
+  mesh::Point3 origin{0.0, 0.0, 0.0};
+  double z0 = 0.0, z1 = 0.0;  ///< window z-slab (windowed only)
 };
 
 /// March the transient conduction problem M dT/dt + K T = f(t) through

@@ -199,5 +199,92 @@ TEST(SubmodelThermal, RejectsBadInputs) {
                std::invalid_argument);
 }
 
+TEST(SubmodelTransient, ConstantTraceRelaxesToSteadySubmodelPath) {
+  core::SimulationConfig config = test_config();
+  config.local.samples_per_block = 6;
+  // The organic substrate's through-stack time constant is ~0.1 s; 40
+  // backward-Euler steps of 0.1 s damp every transient mode far below the
+  // comparison tolerance.
+  config.coupling.transient.time_step = 0.1;
+  const PackageGeometry geometry = small_package();
+  const PackageModel package(geometry, {10, 10, 2, 2, 2}, config.thermal_load);
+  const int padded = 3;
+  const auto locations = standard_locations(geometry, config.geometry.pitch, padded, padded);
+  const SubmodelPlacement& loc = locations[0];
+
+  thermal::PowerMap power(8, 8, geometry.substrate_x, geometry.substrate_y, 1.0);
+  power.add_gaussian_hotspot(loc.origin.x + 1.5 * config.geometry.pitch,
+                             loc.origin.y + 1.5 * config.geometry.pitch,
+                             config.geometry.pitch, 150.0);
+
+  core::MoreStressSimulator sim(config);
+  const core::ThermalSubmodelResult steady =
+      sim.simulate_submodel_thermal(padded, padded, 0, package, loc, power);
+  const core::ThermalTransientSubmodelResult transient = sim.simulate_submodel_thermal_transient(
+      padded, padded, 0, package, loc, thermal::PowerTrace::constant(power, 4.0));
+
+  // The windowed per-step reduction relaxes to the steady windowed ΔT ...
+  const auto& steady_dt = steady.load.values();
+  const auto& envelope_dt = transient.envelope_load.values();
+  ASSERT_EQ(envelope_dt.size(), steady_dt.size());
+  double dt_scale = 0.0;
+  for (double dt : steady_dt) dt_scale = std::max(dt_scale, std::abs(dt));
+  ASSERT_GT(dt_scale, 0.0);
+  for (std::size_t b = 0; b < steady_dt.size(); ++b) {
+    EXPECT_NEAR(envelope_dt[b], steady_dt[b], 1e-6 * dt_scale) << "block " << b;
+  }
+
+  // ... and so does the envelope-driven stress field.
+  double peak = 0.0;
+  for (double v : steady.von_mises) peak = std::max(peak, v);
+  ASSERT_GT(peak, 0.0);
+  ASSERT_EQ(transient.von_mises.size(), steady.von_mises.size());
+  for (std::size_t i = 0; i < steady.von_mises.size(); ++i) {
+    EXPECT_NEAR(transient.von_mises[i], steady.von_mises[i], 1e-6 * peak) << "sample " << i;
+  }
+}
+
+TEST(SubmodelFatigue, PulsedPackageTraceBatchesOnePanelAndReportsDamage) {
+  core::SimulationConfig config = test_config();
+  config.local.samples_per_block = 6;
+  config.coupling.transient.time_step = 0.02;
+  const PackageGeometry geometry = small_package();
+  const PackageModel package(geometry, {10, 10, 2, 2, 2}, config.thermal_load);
+  const int tsv = 2, rings = 1;
+  const int padded = tsv + 2 * rings;
+  const auto locations = standard_locations(geometry, config.geometry.pitch, padded, padded);
+  const SubmodelPlacement& loc = locations[0];
+
+  const thermal::PowerMap idle(8, 8, geometry.substrate_x, geometry.substrate_y, 0.5);
+  thermal::PowerMap active = idle;
+  active.add_gaussian_hotspot(loc.origin.x + 0.5 * padded * config.geometry.pitch,
+                              loc.origin.y + 0.5 * padded * config.geometry.pitch,
+                              config.geometry.pitch, 100.0);
+  const thermal::PowerTrace trace =
+      thermal::PowerTrace::square_wave(idle, active, /*period=*/0.4, /*duty=*/0.5, /*cycles=*/2);
+
+  core::MoreStressSimulator sim(config);
+  const core::FatigueResult result =
+      sim.simulate_submodel_fatigue(tsv, tsv, rings, package, loc, trace);
+
+  // The history covers the inner TSV region only, one channel record per
+  // recorded step, batched as one panel on a single factorization.
+  EXPECT_EQ(result.history.blocks_x(), tsv);
+  EXPECT_EQ(result.history.blocks_y(), tsv);
+  EXPECT_EQ(result.history.num_steps(), result.transient.num_records());
+  EXPECT_EQ(result.solve_stats.num_factorizations, 1);
+  EXPECT_EQ(result.solve_stats.num_rhs,
+            static_cast<la::idx_t>(result.history_steps.size()) + 1);
+
+  // Pulsed heat at reflow-free reference: real cycles, real damage.
+  ASSERT_EQ(result.report.channels.size(), 3u);
+  for (const auto& a : result.report.channels) {
+    ASSERT_EQ(a.damage.size(), static_cast<std::size_t>(tsv * tsv));
+    EXPECT_GT(a.half_cycle_counts[0], 0.0) << a.model_name;
+  }
+  EXPECT_TRUE(std::isfinite(result.report.min_life_cycles));
+  EXPECT_GT(result.report.min_life_cycles, 0.0);
+}
+
 }  // namespace
 }  // namespace ms::chiplet

@@ -202,5 +202,91 @@ TEST(Supernodal, EtreePostorderIsValidPermutation) {
   }
 }
 
+/// Scatter an extract_factor CSC export into a dense lower triangle.
+std::vector<double> densify_factor(const SparseCholesky& chol, idx_t n) {
+  std::vector<offset_t> cp;
+  std::vector<idx_t> ri;
+  std::vector<double> v;
+  chol.extract_factor(cp, ri, v);
+  std::vector<double> dense(static_cast<std::size_t>(n) * n, 0.0);
+  for (idx_t j = 0; j < n; ++j) {
+    for (offset_t p = cp[j]; p < cp[static_cast<std::size_t>(j) + 1]; ++p) {
+      dense[static_cast<std::size_t>(j) * n + ri[p]] = v[p];
+    }
+  }
+  return dense;
+}
+
+TEST(Amalgamation, RelaxedFactorLocksToSimplicialAt1em12) {
+  // The padded entries of an amalgamated panel are *structural* zeros: every
+  // term of their elimination is outside the fill pattern, so the relaxed
+  // factor must equal the simplicial factor entry for entry (padding
+  // included, as exact zeros) under the same AMD + postorder permutation.
+  const CsrMatrix a = tsv_block_matrix();
+  const idx_t n = a.rows();
+  SparseCholesky::Options relaxed = with_method(SparseCholesky::Method::kSupernodal);
+  relaxed.relax_supernodes = 0.25;
+  const SparseCholesky sn(a, relaxed);
+  const SparseCholesky si(a, with_method(SparseCholesky::Method::kSimplicial));
+
+  const std::vector<double> dense_sn = densify_factor(sn, n);
+  const std::vector<double> dense_si = densify_factor(si, n);
+  double max_l = 0.0, max_diff = 0.0;
+  for (std::size_t k = 0; k < dense_si.size(); ++k) {
+    max_l = std::max(max_l, std::abs(dense_si[k]));
+    max_diff = std::max(max_diff, std::abs(dense_sn[k] - dense_si[k]));
+  }
+  ASSERT_GT(max_l, 0.0);
+  EXPECT_LT(max_diff / max_l, 1e-12) << "relative factor mismatch";
+}
+
+TEST(Amalgamation, MergesPanelsUnderTheFillGrowthCap) {
+  const CsrMatrix a = tsv_block_matrix();
+  const std::vector<idx_t> parent = elimination_tree(a);
+  const std::vector<idx_t> counts = cholesky_column_counts(a, parent);
+  const SupernodalFactor fundamental = analyze_supernodes(a, parent, counts, 48);
+  const SupernodalFactor relaxed = analyze_supernodes(a, parent, counts, 48, 0.25);
+  expect_valid_supernode_partition(relaxed);
+
+  // Amalgamation must actually merge (fewer, wider panels) without ever
+  // exceeding the width cap ...
+  EXPECT_LT(relaxed.num_supernodes, fundamental.num_supernodes);
+  for (idx_t s = 0; s < relaxed.num_supernodes; ++s) {
+    ASSERT_LE(relaxed.super_start[static_cast<std::size_t>(s) + 1] - relaxed.super_start[s], 48);
+  }
+  // ... while the padding stays within the global consequence of the
+  // per-merge cap: padded trapezoids within 25% of the true nonzeros.
+  ASSERT_GE(relaxed.factor_nnz(), fundamental.factor_nnz());
+  EXPECT_LT(static_cast<double>(relaxed.factor_nnz()),
+            1.25 * static_cast<double>(fundamental.factor_nnz()));
+}
+
+TEST(Amalgamation, HonorsWidthCapAndSolvesAccurately) {
+  const CsrMatrix a = package_matrix();
+  const idx_t n = a.rows();
+  SparseCholesky::Options options;  // AMD + supernodal defaults
+  options.max_supernode_width = 24;
+  options.relax_supernodes = 0.3;
+  const SparseCholesky chol(a, options);
+  EXPECT_GT(chol.num_supernodes(), 0);
+
+  SparseCholesky::Options plain = options;
+  plain.relax_supernodes = 0.0;
+  const SparseCholesky reference(a, plain);
+  EXPECT_LT(chol.num_supernodes(), reference.num_supernodes());
+
+  Vec b(n);
+  for (idx_t i = 0; i < n; ++i) b[i] = std::cos(0.02 * i) + 0.7;
+  const Vec x = chol.solve(b);
+  Vec ax;
+  a.mul(x, ax);
+  double scale = 0.0, err = 0.0;
+  for (idx_t i = 0; i < n; ++i) {
+    scale = std::max(scale, std::abs(b[i]));
+    err = std::max(err, std::abs(ax[i] - b[i]));
+  }
+  EXPECT_LT(err / scale, 1e-9);
+}
+
 }  // namespace
 }  // namespace ms::la

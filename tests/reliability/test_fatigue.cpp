@@ -1,0 +1,170 @@
+// Fatigue models and Miner accumulation: closed-form inversions of the
+// power laws, the hand-computed two-amplitude Miner sum the damage maps rest
+// on, channel extraction math (principal stress, through-plane shear), and
+// the synthetic-history assessment path.
+
+#include "reliability/damage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "reliability/stress_history.hpp"
+
+namespace ms::reliability {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(FatigueModels, BasquinInvertsItsPowerLaw) {
+  // dS/2 = s_f' (2 N_f)^b with s_f' = 1000, b = -0.5: a range of 2000
+  // (amplitude 1000 = s_f') fails at N = 0.5; amplitude 100 at N = 50.
+  const BasquinModel model(1000.0, -0.5);
+  EXPECT_DOUBLE_EQ(model.cycles_to_failure(2000.0, 0.0), 0.5);
+  EXPECT_NEAR(model.cycles_to_failure(200.0, 0.0), 50.0, 1e-9);
+  // Below the endurance range: damage-free.
+  const BasquinModel hard(1000.0, -0.5, /*endurance_range=*/50.0);
+  EXPECT_EQ(hard.cycles_to_failure(50.0, 0.0), kInf);
+  EXPECT_TRUE(std::isfinite(hard.cycles_to_failure(51.0, 0.0)));
+  // Zero-range cycles never damage.
+  EXPECT_EQ(model.cycles_to_failure(0.0, 0.0), kInf);
+}
+
+TEST(FatigueModels, CoffinMansonUsesStrainFromModulus) {
+  // de/2 = e_f' (2 N_f)^c with e_f' = 0.4, c = -0.5, E = 1000: a stress
+  // range of 800 is a strain range of 0.8 = 2 e_f' -> N = 0.5.
+  const CoffinMansonModel model(0.4, -0.5, 1000.0);
+  EXPECT_DOUBLE_EQ(model.cycles_to_failure(800.0, 0.0), 0.5);
+  // Quartering the amplitude at c = -0.5 multiplies life by 16.
+  EXPECT_NEAR(model.cycles_to_failure(200.0, 0.0), 8.0, 1e-9);
+}
+
+TEST(FatigueModels, EngelmaierExponentTracksTemperatureAndFrequency) {
+  // The classic correlation: c = -0.442 - 6e-4 T + 1.74e-2 ln(1 + f).
+  const EngelmaierModel cold(5600.0, 20.0, 1.0);
+  const EngelmaierModel hot(5600.0, 100.0, 1.0);
+  EXPECT_NEAR(cold.exponent(), -0.442 - 6e-4 * 20.0 + 1.74e-2 * std::log(2.0), 1e-12);
+  EXPECT_LT(hot.exponent(), cold.exponent());
+  // A more negative exponent means a flatter life curve: at equal small
+  // amplitude the hot joint fails sooner.
+  EXPECT_LT(hot.cycles_to_failure(100.0, 0.0), cold.cycles_to_failure(100.0, 0.0));
+  // Nonsensically high cycling frequency drives c non-negative: rejected.
+  EXPECT_THROW(EngelmaierModel(5600.0, 20.0, 1e12), std::invalid_argument);
+}
+
+TEST(FatigueModels, MaterialFactoriesRequireData) {
+  EXPECT_NO_THROW(basquin_from_material(fem::copper()));
+  EXPECT_NO_THROW(coffin_manson_from_material(fem::copper()));
+  EXPECT_THROW(basquin_from_material(fem::silicon()), std::invalid_argument);
+  EXPECT_THROW(coffin_manson_from_material(fem::silicon()), std::invalid_argument);
+}
+
+TEST(Miner, TwoAmplitudeHandComputedSum) {
+  // Model: N_f(range) = 0.5 * (range / 2000)^(-2)  (Basquin s_f' = 1000,
+  // b = -0.5). History: 3 full cycles of range 200 and half a cycle of
+  // range 400.
+  //   N_f(200) = 0.5 * 100 = 50, N_f(400) = 0.5 * 25 = 12.5
+  //   D = 3 / 50 + 0.5 / 12.5 = 0.06 + 0.04 = 0.1
+  const BasquinModel model(1000.0, -0.5);
+  const std::vector<Cycle> cycles = {{200.0, 0.0, 3.0}, {400.0, 50.0, 0.5}};
+  EXPECT_NEAR(miner_damage(cycles, model), 0.1, 1e-12);
+}
+
+TEST(Miner, RainflowedTwoAmplitudeHistoryMatchesHandCount) {
+  // A two-amplitude loading block: two small teeth (0 <-> 200) riding inside
+  // one large excursion (0 -> 400 -> 0). Rainflow: the small teeth extract
+  // as full cycles of range 200, the large excursion as halves of range 400.
+  const std::vector<double> series = {0.0, 200.0, 0.0, 200.0, 0.0, 400.0, 0.0};
+  const std::vector<Cycle> cycles = rainflow_count(series);
+  double small = 0.0, large = 0.0, other = 0.0;
+  for (const Cycle& c : cycles) {
+    if (std::abs(c.range - 200.0) < 1e-12) {
+      small += c.count;
+    } else if (std::abs(c.range - 400.0) < 1e-12) {
+      large += c.count;
+    } else {
+      other += c.count;
+    }
+  }
+  EXPECT_DOUBLE_EQ(small, 2.0);
+  EXPECT_DOUBLE_EQ(large, 1.0);
+  EXPECT_DOUBLE_EQ(other, 0.0);
+  // Same closed form as above: D = 2 / 50 + 1 / 12.5 = 0.12.
+  const BasquinModel model(1000.0, -0.5);
+  EXPECT_NEAR(miner_damage(cycles, model), 0.12, 1e-12);
+}
+
+TEST(Channels, PrincipalAndShearClosedForms) {
+  // Diagonal tensor: principal = largest normal component.
+  EXPECT_DOUBLE_EQ(first_principal({5.0, -2.0, 3.0, 0.0, 0.0, 0.0}), 5.0);
+  // Pure in-plane shear tau: eigenvalues {tau, 0, -tau}.
+  EXPECT_NEAR(first_principal({0.0, 0.0, 0.0, 0.0, 0.0, 7.0}), 7.0, 1e-12);
+  // Hydrostatic plus a yz/xz shear pair.
+  EXPECT_NEAR(through_plane_shear({1.0, 2.0, 3.0, 3.0, 4.0, 9.0}), 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(through_plane_shear({1.0, 1.0, 1.0, 0.0, 0.0, 9.0}), 0.0);
+  // Uniaxial tension: von Mises = principal = the axial stress.
+  const fem::Stress6 uniaxial = {11.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  EXPECT_NEAR(channel_value(StressChannel::kVonMises, uniaxial), 11.0, 1e-12);
+  EXPECT_NEAR(channel_value(StressChannel::kFirstPrincipal, uniaxial), 11.0, 1e-12);
+}
+
+/// Synthetic single-sample-per-block history: uniaxial sxx states make all
+/// three channels controllable (vm = |sxx|, principal = max(sxx, 0) for
+/// tension, shear = 0).
+StressHistory uniaxial_history(const std::vector<std::vector<double>>& sxx_per_step) {
+  StressHistory history(static_cast<int>(sxx_per_step.front().size()), 1);
+  double t = 0.0;
+  for (const std::vector<double>& step : sxx_per_step) {
+    std::vector<fem::Stress6> field;
+    for (double s : step) field.push_back({s, 0.0, 0.0, 0.0, 0.0, 0.0});
+    history.record(t, field, /*samples_per_block=*/1);
+    t += 1.0;
+  }
+  return history;
+}
+
+TEST(Assessment, SyntheticHistoryFindsTheCycledBlock) {
+  // Block 0 cycles 0 <-> 800 three times; block 1 rises monotonically to a
+  // *higher* peak but never cycles — fatigue must blame block 0.
+  const StressHistory history = uniaxial_history({
+      {0.0, 0.0},
+      {800.0, 300.0},
+      {0.0, 600.0},
+      {800.0, 900.0},
+      {0.0, 950.0},
+      {800.0, 1000.0},
+      {0.0, 1000.0},
+  });
+  FatigueModelSet models;
+  models.set(StressChannel::kVonMises, std::make_unique<BasquinModel>(1000.0, -0.5));
+  const ReliabilityReport report = assess_history(history, models, /*trace_duration=*/7.0);
+
+  ASSERT_EQ(report.channels.size(), 1u);
+  const ChannelAssessment& a = report.channels.front();
+  EXPECT_EQ(a.channel, StressChannel::kVonMises);
+  EXPECT_GT(a.damage[0], a.damage[1]);
+  EXPECT_EQ(report.min_life_block, 0);
+  EXPECT_EQ(report.min_life_channel, StressChannel::kVonMises);
+  EXPECT_TRUE(std::isfinite(report.min_life_cycles));
+  EXPECT_NEAR(report.min_life_seconds, report.min_life_cycles * 7.0, 1e-9);
+  // Peak map reproduces the envelope per block.
+  const std::vector<double> peaks = history.peak_map(StressChannel::kVonMises);
+  EXPECT_DOUBLE_EQ(peaks[0], 800.0);
+  EXPECT_DOUBLE_EQ(peaks[1], 1000.0);
+}
+
+TEST(Assessment, StandardModelSetWiresAllThreeChannels) {
+  const FatigueModelSet models =
+      standard_model_set(fem::MaterialTable::standard(), 5600.0, 60.0, 100.0);
+  ASSERT_NE(models.at(StressChannel::kVonMises), nullptr);
+  ASSERT_NE(models.at(StressChannel::kFirstPrincipal), nullptr);
+  ASSERT_NE(models.at(StressChannel::kBumpShear), nullptr);
+  EXPECT_EQ(models.at(StressChannel::kVonMises)->name(), "basquin");
+  EXPECT_EQ(models.at(StressChannel::kFirstPrincipal)->name(), "coffin-manson");
+  EXPECT_EQ(models.at(StressChannel::kBumpShear)->name(), "engelmaier");
+}
+
+}  // namespace
+}  // namespace ms::reliability

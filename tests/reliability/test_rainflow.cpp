@@ -1,0 +1,136 @@
+// Rainflow counting locked against the published ASTM E1049-85 example
+// (Fig. 6 / Table in Sec. 5.4.4), plus the structural invariants fatigue
+// analysis relies on: monotone histories count exactly one half cycle,
+// plateaus produce no spurious reversals, and the binned matrix conserves
+// the total count.
+
+#include "reliability/rainflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace ms::reliability {
+namespace {
+
+/// Total count of cycles whose range is `range` within tolerance.
+double count_of_range(const std::vector<Cycle>& cycles, double range) {
+  double total = 0.0;
+  for (const Cycle& c : cycles) {
+    if (std::abs(c.range - range) < 1e-12) total += c.count;
+  }
+  return total;
+}
+
+const Cycle* find_cycle(const std::vector<Cycle>& cycles, double range, double count) {
+  for (const Cycle& c : cycles) {
+    if (std::abs(c.range - range) < 1e-12 && std::abs(c.count - count) < 1e-12) return &c;
+  }
+  return nullptr;
+}
+
+TEST(Rainflow, AstmE1049PublishedExample) {
+  // The standard's canonical peak/valley history.
+  const std::vector<double> series = {-2, 1, -3, 5, -1, 3, -4, 4, -2};
+  const std::vector<Cycle> cycles = rainflow_count(series);
+
+  // Published counts: range 3 -> 0.5, 4 -> 1.5, 6 -> 0.5, 8 -> 1.0,
+  // 9 -> 0.5; nothing else.
+  EXPECT_DOUBLE_EQ(count_of_range(cycles, 3.0), 0.5);
+  EXPECT_DOUBLE_EQ(count_of_range(cycles, 4.0), 1.5);
+  EXPECT_DOUBLE_EQ(count_of_range(cycles, 6.0), 0.5);
+  EXPECT_DOUBLE_EQ(count_of_range(cycles, 8.0), 1.0);
+  EXPECT_DOUBLE_EQ(count_of_range(cycles, 9.0), 0.5);
+  double total = 0.0;
+  for (const Cycle& c : cycles) total += c.count;
+  EXPECT_DOUBLE_EQ(total, 4.0);
+
+  // Every reversal is consumed exactly once: 9 reversals = 8 ranges
+  // = 2 * (1 full) + 6 * (0.5 half).
+  EXPECT_EQ(cycles.size(), 7u);
+
+  // Means of the published extractions: the full cycle is -1/3 (mean 1),
+  // the range-9 half is 5/-4 (mean 0.5).
+  const Cycle* full = find_cycle(cycles, 4.0, 1.0);
+  ASSERT_NE(full, nullptr);
+  EXPECT_DOUBLE_EQ(full->mean, 1.0);
+  const Cycle* nine = find_cycle(cycles, 9.0, 0.5);
+  ASSERT_NE(nine, nullptr);
+  EXPECT_DOUBLE_EQ(nine->mean, 0.5);
+}
+
+TEST(Rainflow, MonotoneHistoryIsExactlyOneHalfCycle) {
+  const std::vector<Cycle> rising = rainflow_count({0.0, 1.0, 3.0, 7.0, 7.5});
+  ASSERT_EQ(rising.size(), 1u);
+  EXPECT_DOUBLE_EQ(rising[0].range, 7.5);
+  EXPECT_DOUBLE_EQ(rising[0].mean, 3.75);
+  EXPECT_DOUBLE_EQ(rising[0].count, 0.5);
+
+  const std::vector<Cycle> falling = rainflow_count({4.0, 2.0, -1.0});
+  ASSERT_EQ(falling.size(), 1u);
+  EXPECT_DOUBLE_EQ(falling[0].range, 5.0);
+  EXPECT_DOUBLE_EQ(falling[0].count, 0.5);
+}
+
+TEST(Rainflow, ConstantAndTrivialHistoriesCountNothing) {
+  EXPECT_TRUE(rainflow_count({}).empty());
+  EXPECT_TRUE(rainflow_count({2.0}).empty());
+  EXPECT_TRUE(rainflow_count({2.0, 2.0, 2.0}).empty());
+}
+
+TEST(Rainflow, PlateausAndInteriorPointsAreNotReversals) {
+  // Saturating ramp with a plateau: still monotone, still one half cycle.
+  const std::vector<Cycle> cycles = rainflow_count({0.0, 1.0, 2.0, 2.0, 2.0, 2.5});
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_DOUBLE_EQ(cycles[0].range, 2.5);
+
+  const std::vector<double> reversals = extract_reversals({0.0, 1.0, 2.0, 1.0, 1.0, 3.0});
+  EXPECT_EQ(reversals, (std::vector<double>{0.0, 2.0, 1.0, 3.0}));
+}
+
+TEST(Rainflow, RepeatedConstantAmplitudeCyclesConserveReversals) {
+  // n saw teeth between 0 and 10 = 2n reversals = 2n - 1 ranges. E1049
+  // counting without the rearrange-to-peak preprocessing extracts a pure
+  // alternating sequence as successive half cycles (every Y contains the
+  // running starting point), so the total count is (2n - 1) / 2 — the same
+  // damage as n - 1/2 full cycles of that range.
+  const int teeth = 5;
+  std::vector<double> series;
+  for (int i = 0; i < teeth; ++i) {
+    series.push_back(0.0);
+    series.push_back(10.0);
+  }
+  const std::vector<Cycle> cycles = rainflow_count(series);
+  EXPECT_DOUBLE_EQ(count_of_range(cycles, 10.0), (2.0 * teeth - 1.0) / 2.0);
+  for (const Cycle& c : cycles) EXPECT_DOUBLE_EQ(c.mean, 5.0);
+}
+
+TEST(Rainflow, BinnedMatrixConservesCountsAndFindsDominantClass) {
+  const std::vector<Cycle> cycles = rainflow_count({-2, 1, -3, 5, -1, 3, -4, 4, -2});
+  const RainflowMatrix m = bin_cycles(cycles, 4, 2);
+  EXPECT_EQ(m.range_bins, 4);
+  EXPECT_EQ(m.mean_bins, 2);
+  EXPECT_DOUBLE_EQ(m.range_max, 9.0);
+  double total = 0.0;
+  for (double c : m.counts) total += c;
+  EXPECT_DOUBLE_EQ(total, m.total_count);
+  EXPECT_DOUBLE_EQ(total, 4.0);
+  const int bin = m.dominant_bin();
+  ASSERT_GE(bin, 0);
+  // The three large-range extractions (8 at mean 1, 9 at mean 0.5, 8 at
+  // mean 0) share range bin 3 of [0, 9] / 4 and the upper mean bin of
+  // [-1, 1] / 2 — 1.5 counts, the largest class.
+  EXPECT_EQ(bin / m.mean_bins, 3);
+  EXPECT_EQ(bin % m.mean_bins, 1);
+  EXPECT_DOUBLE_EQ(m.counts[bin], 1.5);
+}
+
+TEST(Rainflow, EmptyBinning) {
+  const RainflowMatrix m = bin_cycles({}, 3, 3);
+  EXPECT_DOUBLE_EQ(m.total_count, 0.0);
+  EXPECT_EQ(m.dominant_bin(), -1);
+}
+
+}  // namespace
+}  // namespace ms::reliability

@@ -52,7 +52,12 @@ VALUE_FIELDS = ("peak_von_mises", "dt_min", "dt_max", "envelope_dt_max", "time_a
                 # detection are deterministic, so factor fill may not drift.
                 "rcm_factor_nnz", "amd_factor_nnz", "amd_fill_ratio", "num_supernodes",
                 "stepper_factor_nnz", "stepper_fill_ratio",
-                "package_factor_nnz", "package_fill_ratio")
+                "package_factor_nnz", "package_fill_ratio",
+                # Reliability tripwires: the batched fatigue panel must keep
+                # one factorization and a fixed RHS count, and the rainflow /
+                # Miner reduction is deterministic, so the log-lifetime and
+                # counted cycle content may not drift.
+                "num_rhs", "num_factorizations", "min_life_log10", "total_cycle_counts")
 
 
 def main():
