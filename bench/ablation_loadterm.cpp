@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "common.hpp"
+#include "obs/obs_cli.hpp"
 #include "rom/local_stage.hpp"
 
 int main(int argc, char** argv) {
@@ -74,5 +75,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nConclusion: a(f_i, f_T) = 0 (harmonic bases x boundary-supported reactions),\n"
       "so the paper's Eq. 19 is already the exact Galerkin load. See DESIGN.md.\n");
+  ms::obs::write_cli_outputs(cli);
   return 0;
 }

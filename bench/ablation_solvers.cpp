@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "common.hpp"
+#include "obs/obs_cli.hpp"
 #include "util/timer.hpp"
 
 int main(int argc, char** argv) {
@@ -58,5 +59,6 @@ int main(int argc, char** argv) {
   }
   std::fputs(table.render().c_str(), stdout);
   std::printf("\nglobal dofs: %d\n", static_cast<int>(runs.front().second.stats.global_dofs));
+  ms::obs::write_cli_outputs(cli);
   return 0;
 }

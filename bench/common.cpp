@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "obs/obs_cli.hpp"
 #include "util/log.hpp"
 #include "util/memory.hpp"
 #include "util/timer.hpp"
@@ -32,10 +33,12 @@ void add_common_flags(util::CliParser& cli) {
   cli.add_flag("no-reference", "skip the full-FEM reference (fast smoke run)");
   cli.add_flag("paper-scale", "paper-scale mesh (12,9) and 100 samples");
   cli.add_string("log", "warn", "log level: trace..off");
+  obs::add_cli_flags(cli);
 }
 
 void apply_common_flags(const util::CliParser& cli, BenchSetup& setup) {
   util::set_log_level(util::parse_log_level(cli.get_string("log")));
+  obs::apply_cli_flags(cli);  // MS_LOG_LEVEL env override wins over --log
   setup.config.local.nodes_x = setup.config.local.nodes_y = setup.config.local.nodes_z =
       static_cast<int>(cli.get_int("nodes"));
   setup.config.mesh_spec.elems_xy = static_cast<int>(cli.get_int("mesh-xy"));

@@ -14,6 +14,9 @@
 #include <vector>
 
 #include "common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs_cli.hpp"
+#include "obs/report.hpp"
 #include "reliability/rainflow.hpp"
 #include "util/json.hpp"
 #include "util/timer.hpp"
@@ -53,17 +56,27 @@ int main(int argc, char** argv) {
   ms::core::MoreStressSimulator sim(config);
   (void)sim.prepare_local_stage(/*with_dummy=*/false);
   ms::util::WallTimer timer;
+  const ms::obs::RunReport before_case = ms::obs::RunReport::capture();
   const ms::core::FatigueResult result = sim.simulate_array_fatigue(blocks, blocks, trace);
   const double fatigue_seconds = timer.seconds();
+  const ms::obs::RunReport after_case = ms::obs::RunReport::capture();
 
   std::printf("=== array fatigue: trace -> batched ROM panel -> rainflow -> damage ===\n");
   std::printf("%8s %8s %8s %12s %12s %12s %12s %12s\n", "array", "steps", "rhs", "thermal[s]",
               "panel[s]", "channels[s]", "damage[s]", "total[s]");
-  const double panel_seconds = result.stats.assemble_seconds + result.stats.solve_seconds;
+  // Stage timings come out of the metric registry (the solve paths publish
+  // the same values the stats structs carry), not bench-side bookkeeping.
+  const double thermal_seconds =
+      after_case.delta(before_case, "thermal.transient.assemble_seconds") +
+      after_case.delta(before_case, "thermal.transient.factor_seconds") +
+      after_case.delta(before_case, "thermal.transient.step_seconds");
+  const double panel_seconds = after_case.delta(before_case, "core.run.assemble_seconds") +
+                               after_case.delta(before_case, "core.run.solve_seconds");
+  const double damage_seconds = after_case.delta(before_case, "reliability.assess_seconds");
   std::printf("%5dx%-3d %8d %8d %12.3f %12.3f %12.3f %12.3f %12.3f\n", blocks, blocks,
               result.thermal_stats.num_steps, static_cast<int>(result.solve_stats.num_rhs),
-              result.thermal_stats.total_seconds(), panel_seconds, result.history_seconds,
-              result.reliability_seconds, fatigue_seconds);
+              thermal_seconds, panel_seconds, result.history_seconds, damage_seconds,
+              fatigue_seconds);
   const double min_life_log10 = std::log10(result.report.min_life_cycles);
   std::printf("min lifetime: 1e%.3f trace passes (channel %s); factor %.3f s for %d rhs "
               "(%.2f ms/rhs triangular)\n",
@@ -81,12 +94,13 @@ int main(int argc, char** argv) {
           .set("num_steps", result.thermal_stats.num_steps)
           .set("num_rhs", static_cast<std::int64_t>(result.solve_stats.num_rhs))
           .set("num_factorizations", result.solve_stats.num_factorizations)
-          .set("thermal_seconds", result.thermal_stats.total_seconds())
+          .set("thermal_seconds", thermal_seconds)
           .set("panel_seconds", panel_seconds)
-          .set("panel_factor_seconds", result.solve_stats.factor_seconds)
-          .set("panel_triangular_seconds", result.solve_stats.triangular_seconds)
+          .set("panel_factor_seconds", after_case.delta(before_case, "rom.global.factor_seconds"))
+          .set("panel_triangular_seconds",
+               after_case.delta(before_case, "rom.global.triangular_seconds"))
           .set("channel_seconds", result.history_seconds)
-          .set("damage_seconds", result.reliability_seconds)
+          .set("damage_seconds", damage_seconds)
           .set("fatigue_seconds", fatigue_seconds)
           .set("global_dofs", static_cast<std::int64_t>(result.stats.global_dofs))
           .set("peak_von_mises", peak_vm)
@@ -100,9 +114,17 @@ int main(int argc, char** argv) {
     const double t = static_cast<double>(i);
     series[i] = 60.0 * std::sin(0.37 * t) + 25.0 * std::sin(0.011 * t) + 10.0 * std::sin(1.7 * t);
   }
-  timer.reset();
-  const std::vector<ms::reliability::Cycle> cycles = ms::reliability::rainflow_count(series);
-  const double rainflow_seconds = timer.seconds();
+  // Time the kernel through the registry: record into a bench-owned
+  // histogram, then read the duration back out of a report snapshot.
+  const ms::obs::RunReport before_kernel = ms::obs::RunReport::capture();
+  std::vector<ms::reliability::Cycle> cycles;
+  {
+    ms::obs::ScopedDuration kernel_timer(
+        ms::obs::MetricRegistry::global().histogram("bench.rainflow.kernel_seconds"));
+    cycles = ms::reliability::rainflow_count(series);
+  }
+  const double rainflow_seconds =
+      ms::obs::RunReport::capture().delta(before_kernel, "bench.rainflow.kernel_seconds");
   double total = 0.0;
   for (const auto& c : cycles) total += c.count;
   std::printf("\n=== rainflow kernel ===\n");
@@ -119,5 +141,6 @@ int main(int argc, char** argv) {
     ms::util::write_bench_json(json_path, "reliability", records);
     std::printf("\nwrote %s (%d cases)\n", json_path.c_str(), static_cast<int>(records.size()));
   }
+  ms::obs::write_cli_outputs(cli);
   return 0;
 }

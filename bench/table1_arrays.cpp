@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "common.hpp"
+#include "obs/obs_cli.hpp"
 
 int main(int argc, char** argv) {
   ms::util::CliParser cli("table1_arrays", "Paper Table 1: standalone TSV array sweep");
@@ -51,5 +52,6 @@ int main(int argc, char** argv) {
     ms::bench::print_table1_block(pitch, results, setup.run_reference);
   }
   std::printf("peak RSS: %s\n", ms::util::format_bytes(ms::util::peak_rss_bytes()).c_str());
+  ms::obs::write_cli_outputs(cli);
   return 0;
 }

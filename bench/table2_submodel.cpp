@@ -10,6 +10,7 @@
 #include "chiplet/package_model.hpp"
 #include "chiplet/submodel.hpp"
 #include "common.hpp"
+#include "obs/obs_cli.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -169,5 +170,6 @@ int main(int argc, char** argv) {
     std::printf("p = %d um\n%s\n", pitch, table.render().c_str());
   }
   std::printf("peak RSS: %s\n", ms::util::format_bytes(ms::util::peak_rss_bytes()).c_str());
+  ms::obs::write_cli_outputs(cli);
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "common.hpp"
+#include "obs/obs_cli.hpp"
 
 int main(int argc, char** argv) {
   ms::util::CliParser cli("table3_convergence", "Paper Table 3 / Fig. 6: node-count convergence");
@@ -85,5 +86,6 @@ int main(int argc, char** argv) {
   if (reference.has_value()) {
     std::printf("\nerror monotonically decreasing with n: %s\n", monotone ? "yes" : "NO");
   }
+  ms::obs::write_cli_outputs(cli);
   return 0;
 }

@@ -18,6 +18,9 @@
 #include "chiplet/package_model.hpp"
 #include "chiplet/submodel.hpp"
 #include "common.hpp"
+#include "obs/obs_cli.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "util/json.hpp"
 #include "util/timer.hpp"
 
@@ -59,17 +62,21 @@ int main(int argc, char** argv) {
 #else
   const int max_threads = 1;
 #endif
-  ms::util::WallTimer timer;
+  // Timings come from the metric registry (the local stage records itself
+  // into rom.local.stage_seconds), not bench-side stopwatches.
+  ms::obs::RunReport before_serial = ms::obs::RunReport::capture();
   (void)ms::rom::run_local_stage(config.geometry, config.mesh_spec, config.materials,
                                  ms::rom::BlockKind::Tsv, config.local);
-  const double serial_seconds = timer.seconds();
+  const double serial_seconds =
+      ms::obs::RunReport::capture().delta(before_serial, "rom.local.stage_seconds");
 #ifdef _OPENMP
   omp_set_num_threads(max_threads);
 #endif
-  timer.reset();
+  ms::obs::RunReport before_parallel = ms::obs::RunReport::capture();
   (void)ms::rom::run_local_stage(config.geometry, config.mesh_spec, config.materials,
                                  ms::rom::BlockKind::Tsv, config.local);
-  const double parallel_seconds = timer.seconds();
+  const double parallel_seconds =
+      ms::obs::RunReport::capture().delta(before_parallel, "rom.local.stage_seconds");
   std::printf("=== local stage OpenMP speedup ===\n");
   std::printf("1 thread:   %.3f s\n", serial_seconds);
   std::printf("%d thread%s: %.3f s  (speedup %.2fx)\n\n", max_threads,
@@ -94,32 +101,44 @@ int main(int argc, char** argv) {
     const double mid = 0.5 * edge * config.geometry.pitch;
     power.add_gaussian_hotspot(mid, mid, 1.5 * config.geometry.pitch, cli.get_double("peak"));
 
+    // Timings and factor detail read back from the registry: the solve paths
+    // publish the same values the stats structs carry (regression-locked by
+    // tests/obs), so the bench emits registry deltas.
+    const ms::obs::RunReport before_case = ms::obs::RunReport::capture();
     const ms::core::ThermalArrayResult result = sim.simulate_array_thermal(edge, edge, power);
+    const ms::obs::RunReport after_case = ms::obs::RunReport::capture();
+    const double thermal_seconds =
+        after_case.delta(before_case, "thermal.steady.assemble_seconds") +
+        after_case.delta(before_case, "thermal.steady.solve_seconds");
+    const double global_seconds = after_case.delta(before_case, "core.run.assemble_seconds") +
+                                  after_case.delta(before_case, "core.run.solve_seconds") +
+                                  after_case.delta(before_case, "core.run.reconstruct_seconds");
     const double peak = peak_of(result.von_mises);
-    std::printf("%5dx%-3d %12.3f %12.3f %12.3f %12.3f %10.1f\n", edge, edge,
-                result.thermal_stats.total_seconds(), result.stats.global_seconds(),
-                result.load.min(), result.load.max(), peak);
+    std::printf("%5dx%-3d %12.3f %12.3f %12.3f %12.3f %10.1f\n", edge, edge, thermal_seconds,
+                global_seconds, result.load.min(), result.load.max(), peak);
     ms::util::JsonObject record;
     record.set("scenario", "array")
         .set("edge", edge)
-        .set("thermal_seconds", result.thermal_stats.total_seconds())
-        .set("thermal_dofs", static_cast<std::int64_t>(result.thermal_stats.num_dofs))
-        .set("global_seconds", result.stats.global_seconds())
-        .set("global_dofs", static_cast<std::int64_t>(result.stats.global_dofs))
+        .set("thermal_seconds", thermal_seconds)
+        .set("thermal_dofs", static_cast<std::int64_t>(after_case.value("thermal.steady.num_dofs")))
+        .set("global_seconds", global_seconds)
+        .set("global_dofs", static_cast<std::int64_t>(after_case.value("core.run.global_dofs")))
         .set("dt_min", result.load.min())
         .set("dt_max", result.load.max())
         .set("peak_von_mises", peak)
         .set("memory_bytes", result.stats.memory_bytes);
-    if (result.stats.factor_nnz > 0) {
+    const auto factor_nnz = static_cast<std::int64_t>(after_case.value("rom.global.factor_nnz"));
+    if (factor_nnz > 0 &&
+        after_case.count_delta(before_case, "rom.global.factorizations") > 0) {
       // Global stage ran the direct path: surface its factorization detail.
-      record.set("global_factor_seconds", result.stats.factor_seconds)
-          .set("global_factor_nnz", static_cast<std::int64_t>(result.stats.factor_nnz))
-          .set("global_fill_ratio", result.stats.fill_ratio)
+      const double factor_seconds = after_case.delta(before_case, "rom.global.factor_seconds");
+      record.set("global_factor_seconds", factor_seconds)
+          .set("global_factor_nnz", factor_nnz)
+          .set("global_fill_ratio", after_case.value("rom.global.fill_ratio"))
           .set("global_ordering", result.stats.solver_ordering);
       std::printf("   global factor: %s ordering, nnz(L) = %lld (fill %.2fx, %.3fs)\n",
-                  result.stats.solver_ordering.c_str(),
-                  static_cast<long long>(result.stats.factor_nnz), result.stats.fill_ratio,
-                  result.stats.factor_seconds);
+                  result.stats.solver_ordering.c_str(), static_cast<long long>(factor_nnz),
+                  after_case.value("rom.global.fill_ratio"), factor_seconds);
     }
     records.push_back(std::move(record));
   }
@@ -141,8 +160,20 @@ int main(int argc, char** argv) {
     transient_config.coupling.transient.time_step = period / 20.0;
     ms::core::MoreStressSimulator transient_sim(transient_config);
     (void)transient_sim.prepare_local_stage(/*with_dummy=*/false);
+    const ms::obs::RunReport before_case = ms::obs::RunReport::capture();
     const ms::core::ThermalTransientArrayResult result =
         transient_sim.simulate_array_thermal_transient(edge, edge, trace);
+    const ms::obs::RunReport after_case = ms::obs::RunReport::capture();
+    const double factor_seconds = after_case.delta(before_case, "thermal.transient.factor_seconds");
+    const double step_seconds = after_case.delta(before_case, "thermal.transient.step_seconds");
+    const double thermal_seconds =
+        after_case.delta(before_case, "thermal.transient.assemble_seconds") + factor_seconds +
+        step_seconds;
+    const double global_seconds = after_case.delta(before_case, "core.run.assemble_seconds") +
+                                  after_case.delta(before_case, "core.run.solve_seconds") +
+                                  after_case.delta(before_case, "core.run.reconstruct_seconds");
+    const auto num_steps =
+        static_cast<int>(after_case.count_delta(before_case, "thermal.transient.steps"));
     const double peak = peak_of(result.von_mises);
 
     std::printf("\n=== array transient: power trace -> envelope -> stress ===\n");
@@ -153,26 +184,28 @@ int main(int argc, char** argv) {
                           result.transient.peak_envelope.end());
     const double avg_max = *std::max_element(result.transient.time_average.begin(),
                                              result.transient.time_average.end());
-    std::printf("%5dx%-3d %8d %12.3f %12.3f %12.3f %12.3f %10.1f\n", edge, edge,
-                result.thermal_stats.num_steps, result.thermal_stats.factor_seconds,
-                result.thermal_stats.step_seconds, env_max, avg_max, peak);
+    std::printf("%5dx%-3d %8d %12.3f %12.3f %12.3f %12.3f %10.1f\n", edge, edge, num_steps,
+                factor_seconds, step_seconds, env_max, avg_max, peak);
     std::printf("stepper factor: %s ordering, nnz(L) = %lld (fill %.2fx)\n",
                 result.thermal_stats.ordering.c_str(),
-                static_cast<long long>(result.thermal_stats.factor_nnz),
-                result.thermal_stats.fill_ratio);
+                static_cast<long long>(after_case.value("thermal.transient.factor_nnz")),
+                after_case.value("thermal.transient.fill_ratio"));
     records.push_back(ms::util::JsonObject()
                           .set("scenario", "array_transient")
                           .set("edge", edge)
-                          .set("num_steps", result.thermal_stats.num_steps)
-                          .set("thermal_seconds", result.thermal_stats.total_seconds())
-                          .set("factor_seconds", result.thermal_stats.factor_seconds)
-                          .set("step_seconds", result.thermal_stats.step_seconds)
+                          .set("num_steps", num_steps)
+                          .set("thermal_seconds", thermal_seconds)
+                          .set("factor_seconds", factor_seconds)
+                          .set("step_seconds", step_seconds)
                           .set("thermal_dofs",
-                               static_cast<std::int64_t>(result.thermal_stats.num_dofs))
-                          .set("global_seconds", result.stats.global_seconds())
+                               static_cast<std::int64_t>(
+                                   after_case.value("thermal.transient.num_dofs")))
+                          .set("global_seconds", global_seconds)
                           .set("stepper_factor_nnz",
-                               static_cast<std::int64_t>(result.thermal_stats.factor_nnz))
-                          .set("stepper_fill_ratio", result.thermal_stats.fill_ratio)
+                               static_cast<std::int64_t>(
+                                   after_case.value("thermal.transient.factor_nnz")))
+                          .set("stepper_fill_ratio",
+                               after_case.value("thermal.transient.fill_ratio"))
                           .set("stepper_ordering", result.thermal_stats.ordering)
                           .set("envelope_dt_max", env_max)
                           .set("time_average_dt_max", avg_max)
@@ -190,16 +223,24 @@ int main(int argc, char** argv) {
         config.geometry.pitch, padded, config.geometry.height);
 
     std::printf("\n=== sub-model: package power map -> dT -> stress ===\n");
-    timer.reset();
+    // The package ctor runs one full FEM solve; read its cost and factor
+    // detail back out of the fem.* metrics it published.
+    const ms::obs::RunReport before_package = ms::obs::RunReport::capture();
+    ms::util::WallTimer timer;
     const ms::chiplet::PackageModel package(geom, ms::chiplet::demo_coarse_spec(),
                                             config.thermal_load);
     const double package_seconds = timer.seconds();
+    const ms::obs::RunReport after_package = ms::obs::RunReport::capture();
+    const double package_factor_seconds =
+        after_package.delta(before_package, "fem.factor_seconds");
+    const auto package_factor_nnz =
+        static_cast<std::int64_t>(after_package.value("fem.factor_nnz"));
+    const double package_fill_ratio = after_package.value("fem.fill_ratio");
     std::printf("coarse package solve: %.2f s (%d dofs; factor %.2f s, %s ordering, "
                 "nnz(L) = %lld, fill %.2fx)\n",
-                package_seconds, static_cast<int>(package.stats().num_dofs),
-                package.stats().factor_seconds, package.stats().ordering.c_str(),
-                static_cast<long long>(package.stats().factor_nnz),
-                package.stats().fill_ratio);
+                package_seconds, static_cast<int>(after_package.value("fem.num_dofs")),
+                package_factor_seconds, package.stats().ordering.c_str(),
+                static_cast<long long>(package_factor_nnz), package_fill_ratio);
     (void)sim.prepare_local_stage(/*with_dummy=*/rings > 0);
 
     const auto locations =
@@ -210,33 +251,78 @@ int main(int argc, char** argv) {
     const ms::thermal::PowerMap power = ms::chiplet::demo_power_map(
         geom, loc, config.geometry.pitch, die_power, 10.0 * die_power);
 
+    const ms::obs::RunReport before_case = ms::obs::RunReport::capture();
     const ms::core::ThermalSubmodelResult result = sim.simulate_submodel_thermal(
         submodel_edge, submodel_edge, rings, package, loc, power);
+    const ms::obs::RunReport after_case = ms::obs::RunReport::capture();
+    const double thermal_seconds =
+        after_case.delta(before_case, "thermal.steady.assemble_seconds") +
+        after_case.delta(before_case, "thermal.steady.solve_seconds");
+    const double global_seconds = after_case.delta(before_case, "core.run.assemble_seconds") +
+                                  after_case.delta(before_case, "core.run.solve_seconds") +
+                                  after_case.delta(before_case, "core.run.reconstruct_seconds");
     const double peak = peak_of(result.von_mises);
     std::printf("%8s %12s %12s %12s %12s %10s\n", "submodel", "thermal[s]", "global[s]",
                 "dT min[C]", "dT max[C]", "peak[MPa]");
     std::printf("%5dx%-3d %12.3f %12.3f %12.3f %12.3f %10.1f\n", submodel_edge, submodel_edge,
-                result.thermal_stats.total_seconds(), result.stats.global_seconds(),
-                result.load.min(), result.load.max(), peak);
+                thermal_seconds, global_seconds, result.load.min(), result.load.max(), peak);
     records.push_back(ms::util::JsonObject()
                           .set("scenario", "submodel")
                           .set("edge", submodel_edge)
                           .set("rings", rings)
                           .set("location", loc.label)
                           .set("package_solve_seconds", package_seconds)
-                          .set("package_factor_seconds", package.stats().factor_seconds)
-                          .set("package_factor_nnz",
-                               static_cast<std::int64_t>(package.stats().factor_nnz))
-                          .set("package_fill_ratio", package.stats().fill_ratio)
+                          .set("package_factor_seconds", package_factor_seconds)
+                          .set("package_factor_nnz", package_factor_nnz)
+                          .set("package_fill_ratio", package_fill_ratio)
                           .set("package_ordering", package.stats().ordering)
-                          .set("thermal_seconds", result.thermal_stats.total_seconds())
-                          .set("thermal_dofs", static_cast<std::int64_t>(result.thermal_stats.num_dofs))
-                          .set("global_seconds", result.stats.global_seconds())
-                          .set("global_dofs", static_cast<std::int64_t>(result.stats.global_dofs))
+                          .set("thermal_seconds", thermal_seconds)
+                          .set("thermal_dofs", static_cast<std::int64_t>(
+                                                   after_case.value("thermal.steady.num_dofs")))
+                          .set("global_seconds", global_seconds)
+                          .set("global_dofs",
+                               static_cast<std::int64_t>(after_case.value("core.run.global_dofs")))
                           .set("dt_min", result.load.min())
                           .set("dt_max", result.load.max())
                           .set("peak_von_mises", peak)
                           .set("memory_bytes", result.stats.memory_bytes));
+  }
+
+  // --- tracing overhead: instrumented vs disabled, min of 3 ----------------
+  // Gated by tools/bench_gate.py: the span/metric layer must stay within a
+  // few percent of the untraced pipeline. Min-of-3 suppresses scheduler
+  // noise; the same solve runs in both states so the work is identical.
+  {
+    const int edge = ms::bench::parse_int_list(cli.get_string("sizes")).front();
+    ms::thermal::PowerMap power = ms::thermal::PowerMap::per_block(
+        edge, edge, config.geometry.pitch, cli.get_double("background"));
+    const double mid = 0.5 * edge * config.geometry.pitch;
+    power.add_gaussian_hotspot(mid, mid, 1.5 * config.geometry.pitch, cli.get_double("peak"));
+    const bool was_enabled = ms::obs::tracing_enabled();
+    const auto min_of_3 = [&](bool traced) {
+      ms::obs::set_tracing_enabled(traced);
+      double best = 0.0;
+      for (int rep = 0; rep < 3; ++rep) {
+        ms::util::WallTimer timer;  // wall clock: the registry cannot time itself
+        (void)sim.simulate_array_thermal(edge, edge, power);
+        const double seconds = timer.seconds();
+        if (rep == 0 || seconds < best) best = seconds;
+      }
+      return best;
+    };
+    const double disabled_seconds = min_of_3(false);
+    const double enabled_seconds = min_of_3(true);
+    ms::obs::set_tracing_enabled(was_enabled);
+    const double ratio = enabled_seconds / std::max(disabled_seconds, 1e-12);
+    std::printf("\n=== tracing overhead (array %dx%d, min of 3) ===\n", edge, edge);
+    std::printf("disabled %.3f s, enabled %.3f s -> ratio %.3f\n", disabled_seconds,
+                enabled_seconds, ratio);
+    records.push_back(ms::util::JsonObject()
+                          .set("scenario", "trace_overhead")
+                          .set("edge", edge)
+                          .set("disabled_seconds", disabled_seconds)
+                          .set("enabled_seconds", enabled_seconds)
+                          .set("trace_overhead_ratio", ratio));
   }
 
   const std::string json_path = cli.get_string("json");
@@ -244,5 +330,6 @@ int main(int argc, char** argv) {
     ms::util::write_bench_json(json_path, "thermal_coupling", records);
     std::printf("\nwrote %s (%d cases)\n", json_path.c_str(), static_cast<int>(records.size()));
   }
+  ms::obs::write_cli_outputs(cli);
   return 0;
 }

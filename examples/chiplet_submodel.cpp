@@ -14,6 +14,7 @@
 #include "chiplet/package_model.hpp"
 #include "chiplet/submodel.hpp"
 #include "core/simulator.hpp"
+#include "obs/obs_cli.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -27,7 +28,9 @@ int main(int argc, char** argv) {
   // The ideal sink sits below the low-k organic substrate, so a few W/mm^2
   // already produces reflow-scale ΔT.
   cli.add_double("power", 2.0, "die power density for the thermal run [W/mm^2]");
+  ms::obs::add_cli_flags(cli);
   cli.parse(argc, argv);
+  ms::obs::apply_cli_flags(cli);
 
   const int array = static_cast<int>(cli.get_int("array"));
   const int rings = static_cast<int>(cli.get_int("rings"));
@@ -97,5 +100,6 @@ int main(int argc, char** argv) {
       loc.label.c_str(), thermal.thermal_stats.total_seconds(),
       static_cast<int>(thermal.thermal_stats.num_dofs), thermal.load.min(), thermal.load.max(),
       thermal.stats.global_seconds(), peak);
+  ms::obs::write_cli_outputs(cli);
   return 0;
 }

@@ -8,6 +8,7 @@
 
 #include "core/report.hpp"
 #include "core/simulator.hpp"
+#include "obs/obs_cli.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -16,7 +17,9 @@ int main(int argc, char** argv) {
   cli.add_int("array", 4, "array edge length");
   cli.add_int("max-nodes", 6, "largest (n,n,n) to test");
   cli.add_int("samples", 30, "plane samples per block");
+  ms::obs::add_cli_flags(cli);
   cli.parse(argc, argv);
+  ms::obs::apply_cli_flags(cli);
 
   const int array = static_cast<int>(cli.get_int("array"));
   const int max_nodes = static_cast<int>(cli.get_int("max-nodes"));
@@ -54,5 +57,6 @@ int main(int argc, char** argv) {
   std::fputs(table.render().c_str(), stdout);
   std::printf("\nerror decreases monotonically: %s (the paper's Fig. 6 behaviour)\n",
               monotone ? "yes" : "NO");
+  ms::obs::write_cli_outputs(cli);
   return 0;
 }

@@ -29,6 +29,7 @@
 
 #include "core/report.hpp"
 #include "core/simulator.hpp"
+#include "obs/obs_cli.hpp"
 #include "reliability/rainflow.hpp"
 #include "util/cli.hpp"
 
@@ -42,7 +43,9 @@ int main(int argc, char** argv) {
   cli.add_double("period-us", 400.0, "pulse period [us]");
   cli.add_int("cycles", 4, "number of pulse periods");
   cli.add_double("dt-us", 20.0, "time step [us]");
+  ms::obs::add_cli_flags(cli);
   cli.parse(argc, argv);
+  ms::obs::apply_cli_flags(cli);
 
   const int blocks = static_cast<int>(cli.get_int("blocks"));
   const int cycles = static_cast<int>(cli.get_int("cycles"));
@@ -127,5 +130,6 @@ int main(int argc, char** argv) {
               result.solve_stats.num_factorizations, batched ? "OK" : "FAIL");
   ok = ok && batched;
 
+  ms::obs::write_cli_outputs(cli);
   return ok ? 0 : 1;
 }

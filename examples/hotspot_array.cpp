@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/simulator.hpp"
+#include "obs/obs_cli.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -67,7 +68,9 @@ int main(int argc, char** argv) {
   cli.add_double("background", 20.0, "background power density [W/mm^2]");
   cli.add_double("peak", 400.0, "hotspot peak power density [W/mm^2]");
   cli.add_double("sigma", 1.5, "hotspot radius in pitches");
+  ms::obs::add_cli_flags(cli);
   cli.parse(argc, argv);
+  ms::obs::apply_cli_flags(cli);
 
   const int blocks = static_cast<int>(cli.get_int("blocks"));
   ms::core::SimulationConfig config = ms::core::SimulationConfig::paper_default();
@@ -121,5 +124,6 @@ int main(int argc, char** argv) {
   const double rel = max_diff / peak;
   std::printf("\nuniform-map check vs scalar-dT path: max rel diff %.2e (%s)\n", rel,
               rel <= 1e-8 ? "OK" : "FAIL");
+  ms::obs::write_cli_outputs(cli);
   return rel <= 1e-8 ? 0 : 1;
 }

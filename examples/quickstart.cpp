@@ -10,6 +10,7 @@
 
 #include "core/report.hpp"
 #include "core/simulator.hpp"
+#include "obs/obs_cli.hpp"
 #include "util/cli.hpp"
 #include "util/memory.hpp"
 #include "util/table.hpp"
@@ -20,7 +21,9 @@ int main(int argc, char** argv) {
   cli.add_int("nodes", 4, "Lagrange interpolation nodes per axis");
   cli.add_double("pitch", 15.0, "TSV pitch in micrometres");
   cli.add_int("samples", 40, "plane samples per block");
+  ms::obs::add_cli_flags(cli);
   cli.parse(argc, argv);
+  ms::obs::apply_cli_flags(cli);
 
   const int blocks = static_cast<int>(cli.get_int("blocks"));
   const int nodes = static_cast<int>(cli.get_int("nodes"));
@@ -58,5 +61,6 @@ int main(int argc, char** argv) {
               static_cast<int>(reference.stats.iterations));
   std::printf("normalized error:      %s\n",
               ms::util::percent_cell(ms::core::field_error(reference, result.von_mises)).c_str());
+  ms::obs::write_cli_outputs(cli);
   return 0;
 }

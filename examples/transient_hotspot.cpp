@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/simulator.hpp"
+#include "obs/obs_cli.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -57,7 +58,9 @@ int main(int argc, char** argv) {
   cli.add_int("cycles", 3, "number of pulse periods");
   cli.add_double("dt-us", 2.0, "time step [us]");
   cli.add_string("scheme", "backward-euler", "backward-euler or crank-nicolson");
+  ms::obs::add_cli_flags(cli);
   cli.parse(argc, argv);
+  ms::obs::apply_cli_flags(cli);
 
   const int blocks = static_cast<int>(cli.get_int("blocks"));
   ms::core::SimulationConfig config = ms::core::SimulationConfig::paper_default();
@@ -163,5 +166,6 @@ int main(int argc, char** argv) {
               max_excess_ratio > 1.01 ? "OK, pulsed" : "FAIL, degenerate");
   std::printf("envelope dominates every recorded state: %s\n",
               envelope_dominates ? "OK" : "FAIL");
+  ms::obs::write_cli_outputs(cli);
   return (max_excess_ratio > 1.01 && envelope_dominates) ? 0 : 1;
 }

@@ -11,6 +11,7 @@
 #include "baseline/superposition.hpp"
 #include "core/simulator.hpp"
 #include "fem/assembler.hpp"
+#include "obs/obs_cli.hpp"
 #include "util/cli.hpp"
 #include "util/memory.hpp"
 #include "util/table.hpp"
@@ -38,7 +39,9 @@ int main(int argc, char** argv) {
   cli.add_string("sizes", "5,10,20,30", "array edges to sweep");
   cli.add_int("samples", 40, "plane samples per block");
   cli.add_flag("superpose", "also run the linear superposition baseline");
+  ms::obs::add_cli_flags(cli);
   cli.parse(argc, argv);
+  ms::obs::apply_cli_flags(cli);
 
   ms::core::SimulationConfig config = ms::core::SimulationConfig::paper_default();
   config.geometry.pitch = cli.get_double("pitch");
@@ -86,5 +89,6 @@ int main(int argc, char** argv) {
     std::printf("\nlinear superposition on %dx%d: build %.1f s (one-shot), estimate %.2f s\n",
                 largest, largest, sp.build_seconds(), timer.seconds());
   }
+  ms::obs::write_cli_outputs(cli);
   return 0;
 }

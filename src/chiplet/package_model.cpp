@@ -6,6 +6,7 @@
 #include "fem/hex8.hpp"
 #include "fem/stress.hpp"
 #include "mesh/grading.hpp"
+#include "obs/trace.hpp"
 
 namespace ms::chiplet {
 
@@ -85,6 +86,7 @@ PackageModel::PackageModel(const PackageGeometry& geometry, const CoarseMeshSpec
       materials_(package_materials()),
       mesh_(build_package_coarse_mesh(geometry, spec)),
       thermal_load_(thermal_load) {
+  MS_TRACE_SCOPE("chiplet.package.build");
   geometry_.validate();
   // Clamp the substrate bottom face; everything else is free (warpage).
   std::vector<idx_t> bottom;

@@ -7,6 +7,8 @@
 
 #include "chiplet/displacement_field.hpp"
 #include "chiplet/package_thermal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rom/local_stage.hpp"
 #include "thermal/conduction_assembler.hpp"
 #include "util/log.hpp"
@@ -92,6 +94,25 @@ void copy_solve_stats(RunStats& stats, const rom::GlobalSolveStats& solve) {
   stats.solver_ordering = solve.ordering;
 }
 
+/// Mirror a completed run's RunStats into the registry — the same values the
+/// struct reports, so RunReport and the struct cannot disagree (asserted by
+/// the regression lock in tests/obs).
+void publish_run_stats(const RunStats& s) {
+  auto& reg = obs::MetricRegistry::global();
+  reg.counter("core.run.count").add(1);
+  reg.histogram("core.run.assemble_seconds").record(s.assemble_seconds);
+  reg.histogram("core.run.solve_seconds").record(s.solve_seconds);
+  reg.histogram("core.run.reconstruct_seconds").record(s.reconstruct_seconds);
+  reg.histogram("core.run.factor_seconds").record(s.factor_seconds);
+  reg.gauge("core.run.local_stage_seconds").set(s.local_stage_seconds);
+  reg.gauge("core.run.global_dofs").set(static_cast<double>(s.global_dofs));
+  reg.gauge("core.run.iterations").set(static_cast<double>(s.iterations));
+  reg.gauge("core.run.converged").set(s.converged ? 1.0 : 0.0);
+  reg.gauge("core.run.memory_bytes").set(static_cast<double>(s.memory_bytes));
+  reg.gauge("core.run.factor_nnz").set(static_cast<double>(s.factor_nnz));
+  reg.gauge("core.run.fill_ratio").set(s.fill_ratio);
+}
+
 }  // namespace
 
 ArrayResult MoreStressSimulator::run_global(int blocks_x, int blocks_y,
@@ -103,11 +124,13 @@ ArrayResult MoreStressSimulator::run_global(int blocks_x, int blocks_y,
                           nullptr);
 }
 
-ArrayResult MoreStressSimulator::run_global_multi(
+ArrayResult MoreStressSimulator::run_panel(
     int blocks_x, int blocks_y, const rom::BlockMask& mask, const fem::DirichletBc& bc,
-    const rom::BlockRange& report_range, bool uses_dummy, const rom::BlockLoadField& load,
+    const rom::BlockRange& report_range, bool uses_dummy, const rom::BlockLoadField& primary_load,
     const std::vector<rom::BlockLoadField>& extra_loads,
-    std::vector<ArrayResult>* extra_results) {
+    rom::GlobalSolveStats* solve_stats_out, double* consume_seconds,
+    const PanelConsumer& consumer) {
+  MS_TRACE_SCOPE("core.global.panel");
   const rom::RomModel& tsv = tsv_model();
   const rom::RomModel* dummy = uses_dummy ? &dummy_model() : nullptr;
 
@@ -119,56 +142,94 @@ ArrayResult MoreStressSimulator::run_global_multi(
   const rom::BlockGrid grid(blocks_x, blocks_y, config_.local.nodes_x, config_.local.nodes_y,
                             config_.local.nodes_z, config_.geometry.pitch,
                             config_.geometry.height);
-  rom::GlobalProblem problem = rom::assemble_global(grid, tsv, dummy, mask, load);
-  // The reduced stiffness is load-independent, so every extra case costs one
-  // load-vector assembly against the shared operator.
+  rom::GlobalProblem problem;
   std::vector<Vec> extra_rhs;
-  extra_rhs.reserve(extra_loads.size());
-  for (const rom::BlockLoadField& extra : extra_loads) {
-    extra_rhs.push_back(rom::assemble_global_rhs(grid, tsv, dummy, mask, extra));
+  {
+    MS_TRACE_SCOPE("core.global.assemble");
+    problem = rom::assemble_global(grid, tsv, dummy, mask, primary_load);
+    // The reduced stiffness is load-independent, so every extra case costs
+    // one load-vector assembly against the shared operator.
+    extra_rhs.reserve(extra_loads.size());
+    for (const rom::BlockLoadField& extra : extra_loads) {
+      extra_rhs.push_back(rom::assemble_global_rhs(grid, tsv, dummy, mask, extra));
+    }
   }
   result.stats.assemble_seconds = timer.seconds();
 
   timer.reset();
-  rom::GlobalSolveStats solve_stats;
+  rom::GlobalSolveStats panel_stats;
   std::vector<Vec> solutions =
-      rom::solve_global_multi(problem, std::move(extra_rhs), bc, config_.global, &solve_stats);
+      rom::solve_global_multi(problem, std::move(extra_rhs), bc, config_.global, &panel_stats);
   result.solution = std::move(solutions.front());
-  copy_solve_stats(result.stats, solve_stats);
+  copy_solve_stats(result.stats, panel_stats);
+  if (solve_stats_out != nullptr) *solve_stats_out = panel_stats;
 
   timer.reset();
-  result.stress =
-      rom::reconstruct_plane_stress(grid, tsv, dummy, mask, result.solution, load, report_range);
-  result.von_mises = fem::to_von_mises(result.stress);
+  {
+    MS_TRACE_SCOPE("core.global.reconstruct");
+    result.stress = rom::reconstruct_plane_stress(grid, tsv, dummy, mask, result.solution,
+                                                  primary_load, report_range);
+    result.von_mises = fem::to_von_mises(result.stress);
+  }
   result.stats.reconstruct_seconds = timer.seconds();
 
   result.region_blocks_x = report_range.width();
   result.region_blocks_y = report_range.height();
   result.samples_per_block = tsv.samples_per_block;
-  result.stats.memory_bytes = solve_stats.matrix_bytes + solve_stats.solver_bytes +
+  result.stats.memory_bytes = panel_stats.matrix_bytes + panel_stats.solver_bytes +
                               tsv.memory_bytes() +
                               (dummy != nullptr ? dummy->memory_bytes() : 0) +
                               result.stress.size() * sizeof(fem::Stress6) +
                               result.solution.size() * sizeof(double);
 
-  if (extra_results != nullptr) {
-    extra_results->clear();
-    extra_results->reserve(extra_loads.size());
-    for (std::size_t c = 0; c < extra_loads.size(); ++c) {
-      ArrayResult extra;
-      extra.stats = result.stats;  // shared assembly/factorization cost
-      extra.solution = std::move(solutions[c + 1]);
-      util::WallTimer reconstruct_timer;
-      extra.stress = rom::reconstruct_plane_stress(grid, tsv, dummy, mask, extra.solution,
-                                                   extra_loads[c], report_range);
-      extra.von_mises = fem::to_von_mises(extra.stress);
-      extra.stats.reconstruct_seconds = reconstruct_timer.seconds();
-      extra.region_blocks_x = report_range.width();
-      extra.region_blocks_y = report_range.height();
-      extra.samples_per_block = tsv.samples_per_block;
-      extra_results->push_back(std::move(extra));
+  timer.reset();
+  if (consumer) {
+    MS_TRACE_SCOPE("core.global.consume");
+    const PanelCaseContext ctx{grid,         tsv,
+                               dummy,        mask,
+                               report_range, result.stats,
+                               tsv.samples_per_block};
+    // Consumers write disjoint slots (documented contract), so cases
+    // parallelize; each case sees the completed primary stats.
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+    for (std::ptrdiff_t c = 0; c < static_cast<std::ptrdiff_t>(extra_loads.size()); ++c) {
+      consumer(static_cast<std::size_t>(c), solutions[static_cast<std::size_t>(c) + 1],
+               extra_loads[static_cast<std::size_t>(c)], ctx);
     }
   }
+  if (consume_seconds != nullptr) *consume_seconds = timer.seconds();
+  return result;
+}
+
+ArrayResult MoreStressSimulator::run_global_multi(
+    int blocks_x, int blocks_y, const rom::BlockMask& mask, const fem::DirichletBc& bc,
+    const rom::BlockRange& report_range, bool uses_dummy, const rom::BlockLoadField& load,
+    const std::vector<rom::BlockLoadField>& extra_loads,
+    std::vector<ArrayResult>* extra_results) {
+  PanelConsumer consumer;
+  if (extra_results != nullptr) {
+    extra_results->clear();
+    extra_results->resize(extra_loads.size());
+    consumer = [extra_results](std::size_t c, Vec& solution, const rom::BlockLoadField& load_c,
+                               const PanelCaseContext& ctx) {
+      ArrayResult& extra = (*extra_results)[c];
+      extra.stats = ctx.base_stats;  // shared assembly/factorization cost
+      extra.solution = std::move(solution);
+      util::WallTimer reconstruct_timer;
+      extra.stress = rom::reconstruct_plane_stress(ctx.grid, ctx.tsv, ctx.dummy, ctx.mask,
+                                                   extra.solution, load_c, ctx.report_range);
+      extra.von_mises = fem::to_von_mises(extra.stress);
+      extra.stats.reconstruct_seconds = reconstruct_timer.seconds();
+      extra.region_blocks_x = ctx.report_range.width();
+      extra.region_blocks_y = ctx.report_range.height();
+      extra.samples_per_block = ctx.samples_per_block;
+    };
+  }
+  ArrayResult result = run_panel(blocks_x, blocks_y, mask, bc, report_range, uses_dummy, load,
+                                 extra_loads, nullptr, nullptr, consumer);
+  publish_run_stats(result.stats);
   return result;
 }
 
@@ -248,6 +309,7 @@ void require_array_footprint(const thermal::PowerMap& power, int blocks_x, int b
 
 ThermalArrayResult MoreStressSimulator::simulate_array_thermal(int blocks_x, int blocks_y,
                                                                const thermal::PowerMap& power) {
+  MS_TRACE_SCOPE("core.simulate.array_thermal");
   const ThermalCouplingOptions& coupling = config_.coupling;
   require_array_footprint(power, blocks_x, blocks_y, config_.geometry.pitch,
                           "simulate_array_thermal");
@@ -309,6 +371,7 @@ thermal::TransientTemperatureResult MoreStressSimulator::run_array_transient(
 ThermalTransientArrayResult MoreStressSimulator::simulate_array_thermal_transient(
     int blocks_x, int blocks_y, const thermal::PowerTrace& trace,
     const std::vector<int>& snapshot_steps) {
+  MS_TRACE_SCOPE("core.simulate.array_transient");
   ThermalTransientArrayResult result;
   result.transient = run_array_transient(blocks_x, blocks_y, trace, &result.thermal_stats);
 
@@ -381,71 +444,37 @@ ArrayResult MoreStressSimulator::run_fatigue_panel(
     const std::vector<rom::BlockLoadField>& step_loads, const std::vector<double>& step_times,
     reliability::StressHistory* history, rom::GlobalSolveStats* solve_stats,
     double* history_seconds) {
-  const rom::RomModel& tsv = tsv_model();
-  const rom::RomModel* dummy = uses_dummy ? &dummy_model() : nullptr;
-
-  ArrayResult result;
-  result.stats.local_stage_seconds =
-      tsv.local_stage_seconds + (dummy != nullptr ? dummy->local_stage_seconds : 0.0);
-
-  util::WallTimer timer;
-  const rom::BlockGrid grid(blocks_x, blocks_y, config_.local.nodes_x, config_.local.nodes_y,
-                            config_.local.nodes_z, config_.geometry.pitch,
-                            config_.geometry.height);
-  rom::GlobalProblem problem = rom::assemble_global(grid, tsv, dummy, mask, envelope_load);
-  std::vector<Vec> step_rhs;
-  step_rhs.reserve(step_loads.size());
-  for (const rom::BlockLoadField& load : step_loads) {
-    step_rhs.push_back(rom::assemble_global_rhs(grid, tsv, dummy, mask, load));
-  }
-  result.stats.assemble_seconds = timer.seconds();
+  MS_TRACE_SCOPE("core.fatigue.panel");
+  // Reduce every step's reconstructed field to per-block channel peaks; the
+  // full tensor field of a step never outlives its reduction. Steps fill
+  // disjoint history slots, so run_panel's consumer loop parallelizes with
+  // bitwise-identical results in any thread order.
+  *history = reliability::StressHistory(report_range.width(), report_range.height());
+  history->resize_steps(step_times);
+  const PanelConsumer reduce_step = [history](std::size_t s, Vec& solution,
+                                              const rom::BlockLoadField& load,
+                                              const PanelCaseContext& ctx) {
+    MS_TRACE_SCOPE("core.fatigue.channel_extract");
+    const std::vector<fem::Stress6> stress = rom::reconstruct_plane_stress(
+        ctx.grid, ctx.tsv, ctx.dummy, ctx.mask, solution, load, ctx.report_range);
+    history->record_step(s, stress, ctx.samples_per_block);
+  };
 
   // The whole fatigue history — envelope plus every selected step — runs as
   // one multi-RHS panel against a single factorization on the direct path.
-  timer.reset();
   rom::GlobalSolveStats panel_stats;
-  std::vector<Vec> solutions =
-      rom::solve_global_multi(problem, std::move(step_rhs), bc, config_.global, &panel_stats);
-  result.solution = std::move(solutions.front());
-  copy_solve_stats(result.stats, panel_stats);
+  ArrayResult result = run_panel(blocks_x, blocks_y, mask, bc, report_range, uses_dummy,
+                                 envelope_load, step_loads, &panel_stats, history_seconds,
+                                 reduce_step);
   if (solve_stats != nullptr) *solve_stats = panel_stats;
-
-  timer.reset();
-  result.stress = rom::reconstruct_plane_stress(grid, tsv, dummy, mask, result.solution,
-                                                envelope_load, report_range);
-  result.von_mises = fem::to_von_mises(result.stress);
-  result.stats.reconstruct_seconds = timer.seconds();
-  result.region_blocks_x = report_range.width();
-  result.region_blocks_y = report_range.height();
-  result.samples_per_block = tsv.samples_per_block;
-  result.stats.memory_bytes = panel_stats.matrix_bytes + panel_stats.solver_bytes +
-                              tsv.memory_bytes() +
-                              (dummy != nullptr ? dummy->memory_bytes() : 0) +
-                              result.stress.size() * sizeof(fem::Stress6) +
-                              // The multi-RHS panel is the allocation that scales
-                              // with trace length: num_rhs right-hand sides and as
-                              // many solutions held simultaneously.
-                              2 * static_cast<std::size_t>(panel_stats.num_rhs) *
-                                  static_cast<std::size_t>(panel_stats.num_dofs) *
-                                  sizeof(double);
-
-  // Reduce every step's reconstructed field to per-block channel peaks; the
-  // full tensor field of a step never outlives its reduction. Steps fill
-  // disjoint history slots, so the loop parallelizes with bitwise-identical
-  // results in any thread order.
-  timer.reset();
-  *history = reliability::StressHistory(report_range.width(), report_range.height());
-  history->resize_steps(step_times);
-#ifdef _OPENMP
-#pragma omp parallel for schedule(dynamic)
-#endif
-  for (std::ptrdiff_t s = 0; s < static_cast<std::ptrdiff_t>(step_loads.size()); ++s) {
-    const std::vector<fem::Stress6> stress = rom::reconstruct_plane_stress(
-        grid, tsv, dummy, mask, solutions[s + 1], step_loads[s], report_range);
-    history->record_step(static_cast<std::size_t>(s), stress, tsv.samples_per_block);
-  }
-  if (history_seconds != nullptr) *history_seconds = timer.seconds();
-  result.stats.memory_bytes += history->memory_bytes();
+  // The multi-RHS panel is the allocation that scales with trace length:
+  // num_rhs right-hand sides and as many solutions held simultaneously, plus
+  // the retained channel history.
+  result.stats.memory_bytes += 2 * static_cast<std::size_t>(panel_stats.num_rhs) *
+                                   static_cast<std::size_t>(panel_stats.num_dofs) *
+                                   sizeof(double) +
+                               history->memory_bytes();
+  publish_run_stats(result.stats);
   return result;
 }
 
@@ -472,6 +501,7 @@ reliability::ReliabilityReport MoreStressSimulator::assess_fatigue(
 FatigueResult MoreStressSimulator::simulate_array_fatigue(int blocks_x, int blocks_y,
                                                           const thermal::PowerTrace& trace,
                                                           const FatigueOptions& options) {
+  MS_TRACE_SCOPE("core.simulate.array_fatigue");
   FatigueResult result;
   result.transient = run_array_transient(blocks_x, blocks_y, trace, &result.thermal_stats);
   result.envelope_load =
@@ -650,6 +680,7 @@ FatigueResult MoreStressSimulator::simulate_submodel_fatigue(
     int tsv_blocks_x, int tsv_blocks_y, int dummy_rings, const chiplet::PackageModel& package,
     const chiplet::SubmodelPlacement& placement, const thermal::PowerTrace& trace,
     const FatigueOptions& options) {
+  MS_TRACE_SCOPE("core.simulate.submodel_fatigue");
   const int bx = tsv_blocks_x + 2 * dummy_rings;
   const int by = tsv_blocks_y + 2 * dummy_rings;
   require_padded_window(dummy_rings, placement, bx, by, "simulate_submodel_fatigue");

@@ -253,6 +253,37 @@ class MoreStressSimulator {
   [[nodiscard]] const rom::RomModel& dummy_model();
 
  private:
+  /// Read-only context handed to a PanelConsumer alongside each extra
+  /// solution: everything needed to reconstruct fields for that case.
+  struct PanelCaseContext {
+    const rom::BlockGrid& grid;
+    const rom::RomModel& tsv;
+    const rom::RomModel* dummy;
+    const rom::BlockMask& mask;
+    const rom::BlockRange& report_range;
+    const RunStats& base_stats;  ///< primary result's completed stats
+    int samples_per_block;
+  };
+  /// Called once per entry of `extra_loads` with the case index, that case's
+  /// global solution (mutable — consumers may move from it), and its load.
+  /// Invoked inside an OpenMP parallel for: consumers must write disjoint
+  /// slots and take no locks.
+  using PanelConsumer =
+      std::function<void(std::size_t case_idx, Vec& solution, const rom::BlockLoadField& load,
+                         const PanelCaseContext& ctx)>;
+  /// The one multi-RHS panel core both run_global_multi and run_fatigue_panel
+  /// are built on: assemble the global operator once, solve
+  /// [primary | extras] as a single panel (one factorization on the direct
+  /// path), reconstruct the primary case fully, then hand every extra
+  /// solution to `consumer`. `consume_seconds` (optional) receives the wall
+  /// time of the consumer loop. The returned stats do NOT yet include
+  /// consumer-specific memory — wrappers account for what they retain.
+  ArrayResult run_panel(int blocks_x, int blocks_y, const rom::BlockMask& mask,
+                        const fem::DirichletBc& bc, const rom::BlockRange& report_range,
+                        bool uses_dummy, const rom::BlockLoadField& primary_load,
+                        const std::vector<rom::BlockLoadField>& extra_loads,
+                        rom::GlobalSolveStats* solve_stats_out, double* consume_seconds,
+                        const PanelConsumer& consumer);
   ArrayResult run_global(int blocks_x, int blocks_y, const rom::BlockMask& mask,
                          const fem::DirichletBc& bc, const rom::BlockRange& report_range,
                          bool uses_dummy, const rom::BlockLoadField& load);

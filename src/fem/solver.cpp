@@ -6,12 +6,29 @@
 #include "la/cg.hpp"
 #include "la/cholesky.hpp"
 #include "la/precond.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "util/memory.hpp"
 
 namespace ms::fem {
 
 namespace {
+
+/// Mirror the exact out-param values into the registry (regression-locked
+/// against the legacy struct by tests/obs).
+void publish_fem_stats(const FemSolveStats& s) {
+  auto& reg = obs::MetricRegistry::global();
+  reg.counter("fem.solves").add(1);
+  reg.counter("fem.iterations").add(s.iterations);
+  reg.histogram("fem.assemble_seconds").record(s.assemble_seconds);
+  reg.histogram("fem.solve_seconds").record(s.solve_seconds);
+  reg.histogram("fem.factor_seconds").record(s.factor_seconds);
+  reg.gauge("fem.num_dofs").set(static_cast<double>(s.num_dofs));
+  reg.gauge("fem.converged").set(s.converged ? 1.0 : 0.0);
+  reg.gauge("fem.factor_nnz").set(static_cast<double>(s.factor_nnz));
+  reg.gauge("fem.fill_ratio").set(s.fill_ratio);
+}
 
 /// Shared tail of every entry point: lift the Dirichlet data into the
 /// already-assembled system, solve all load cases against the one operator
@@ -21,8 +38,10 @@ namespace {
 std::vector<Vec> solve_assembled_cases(AssembledSystem& sys, std::vector<Vec> rhs_cases,
                                        const DirichletBc& bc, const FemSolveOptions& options,
                                        FemSolveStats* stats, util::WallTimer& timer) {
+  MS_TRACE_SCOPE("fem.solve");
   apply_dirichlet(sys.stiffness, rhs_cases, bc);
   const double assemble_seconds = timer.seconds();
+  FemSolveStats local;
 
   util::ScopedLedgerBytes matrix_mem(sys.stiffness.memory_bytes() +
                                      (rhs_cases.size() + 1) * rhs_cases.front().size() *
@@ -40,12 +59,10 @@ std::vector<Vec> solve_assembled_cases(AssembledSystem& sys, std::vector<Vec> rh
     solutions = chol.solve_multi(rhs_cases);
     converged = true;
     solver_bytes = chol.memory_bytes();
-    if (stats != nullptr) {
-      stats->factor_seconds = factor_seconds;
-      stats->factor_nnz = chol.factor_nnz();
-      stats->fill_ratio = chol.fill_ratio();
-      stats->ordering = chol.ordering_name();
-    }
+    local.factor_seconds = factor_seconds;
+    local.factor_nnz = chol.factor_nnz();
+    local.fill_ratio = chol.fill_ratio();
+    local.ordering = chol.ordering_name();
   } else if (options.method == "cg") {
     auto precond = la::make_preconditioner(options.precond, sys.stiffness);
     la::IterativeOptions iter_options;
@@ -71,15 +88,15 @@ std::vector<Vec> solve_assembled_cases(AssembledSystem& sys, std::vector<Vec> rh
   }
   util::ScopedLedgerBytes solver_mem(solver_bytes);
 
-  if (stats != nullptr) {
-    stats->num_dofs = sys.num_dofs;
-    stats->assemble_seconds = assemble_seconds;
-    stats->solve_seconds = timer.seconds();
-    stats->iterations = iterations;
-    stats->converged = converged;
-    stats->matrix_bytes = sys.stiffness.memory_bytes();
-    stats->solver_bytes = solver_bytes;
-  }
+  local.num_dofs = sys.num_dofs;
+  local.assemble_seconds = assemble_seconds;
+  local.solve_seconds = timer.seconds();
+  local.iterations = iterations;
+  local.converged = converged;
+  local.matrix_bytes = sys.stiffness.memory_bytes();
+  local.solver_bytes = solver_bytes;
+  publish_fem_stats(local);
+  if (stats != nullptr) *stats = local;
   return solutions;
 }
 

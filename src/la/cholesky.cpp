@@ -5,6 +5,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace ms::la {
 namespace {
 
@@ -15,74 +18,128 @@ bool is_identity_order(const std::vector<idx_t>& order) {
   return true;
 }
 
+// Registry handles are stable for the process lifetime; cache them once so
+// the per-panel solve path records with lock-free atomics only (no registry
+// mutex inside OpenMP regions).
+struct CholeskyMetrics {
+  obs::Counter& factorizations;
+  obs::Counter& solve_rhs;
+  obs::Histogram& factor_seconds;
+  obs::Histogram& ordering_seconds;
+  obs::Histogram& symbolic_seconds;
+  obs::Histogram& numeric_seconds;
+  obs::Histogram& solve_seconds;
+  obs::Gauge& factor_nnz;
+  obs::Gauge& fill_ratio;
+  obs::Gauge& num_supernodes;
+};
+
+CholeskyMetrics& chol_metrics() {
+  auto& reg = obs::MetricRegistry::global();
+  static CholeskyMetrics m{reg.counter("la.cholesky.factorizations"),
+                           reg.counter("la.cholesky.solve_rhs"),
+                           reg.histogram("la.cholesky.factor_seconds"),
+                           reg.histogram("la.cholesky.ordering_seconds"),
+                           reg.histogram("la.cholesky.symbolic_seconds"),
+                           reg.histogram("la.cholesky.numeric_seconds"),
+                           reg.histogram("la.cholesky.solve_seconds"),
+                           reg.gauge("la.cholesky.factor_nnz"),
+                           reg.gauge("la.cholesky.fill_ratio"),
+                           reg.gauge("la.cholesky.num_supernodes")};
+  return m;
+}
+
 }  // namespace
 
 SparseCholesky::SparseCholesky(const CsrMatrix& a) : SparseCholesky(a, Options{}) {}
 
 SparseCholesky::SparseCholesky(const CsrMatrix& a, Options options) : options_(options) {
   if (a.rows() != a.cols()) throw std::invalid_argument("SparseCholesky: matrix must be square");
+  CholeskyMetrics& metrics = chol_metrics();
+  MS_TRACE_SCOPE("la.cholesky.factor");
+  obs::ScopedDuration factor_timer(metrics.factor_seconds);
   n_ = a.rows();
-  switch (options_.ordering) {
-    case Ordering::kAmd: perm_ = amd_ordering(a); break;
-    case Ordering::kRcm: perm_ = reverse_cuthill_mckee(a); break;
-    case Ordering::kNatural: perm_ = Permutation::identity(n_); break;
+  {
+    MS_TRACE_SCOPE("la.cholesky.ordering");
+    obs::ScopedDuration timer(metrics.ordering_seconds);
+    switch (options_.ordering) {
+      case Ordering::kAmd: perm_ = amd_ordering(a); break;
+      case Ordering::kRcm: perm_ = reverse_cuthill_mckee(a); break;
+      case Ordering::kNatural: perm_ = Permutation::identity(n_); break;
+    }
   }
   // The natural ordering works on `a` directly; the others factor a
   // permuted copy (kept only through construction, but owned by the memory
   // ledger as part of the peak footprint).
   CsrMatrix permuted;
   const CsrMatrix* pa_ptr = &a;
-  if (options_.ordering != Ordering::kNatural) {
-    permuted = permute_symmetric(a, perm_);
-    pa_ptr = &permuted;
-  }
-  std::vector<idx_t> parent = elimination_tree(*pa_ptr);
-  if (options_.ordering != Ordering::kNatural) {
-    // Postorder the elimination tree so supernode columns land consecutively
-    // (fill-neutral relabeling). kNatural skips this: it promises the
-    // unpermuted matrix.
-    const std::vector<idx_t> post = etree_postorder(parent);
-    if (!is_identity_order(post)) {
-      Permutation p2;
-      p2.perm = post;
-      p2.inv_perm.assign(n_, 0);
-      for (idx_t i = 0; i < n_; ++i) p2.inv_perm[p2.perm[i]] = i;
-      perm_ = perm_.then(p2);
-      permuted = permute_symmetric(permuted, p2);  // == P2 (P A P^T) P2^T
-      // A postorder is etree-consistent (children numbered before parents),
-      // so the tree of the relabeled matrix is the relabeled tree — no
-      // second symbolic sweep needed.
-      std::vector<idx_t> relabeled(static_cast<std::size_t>(n_));
-      for (idx_t v = 0; v < n_; ++v) {
-        relabeled[p2.inv_perm[v]] = parent[v] == -1 ? -1 : p2.inv_perm[parent[v]];
+  std::vector<idx_t> counts;
+  std::vector<idx_t> parent;
+  {
+    MS_TRACE_SCOPE("la.cholesky.symbolic");
+    obs::ScopedDuration timer(metrics.symbolic_seconds);
+    if (options_.ordering != Ordering::kNatural) {
+      permuted = permute_symmetric(a, perm_);
+      pa_ptr = &permuted;
+    }
+    parent = elimination_tree(*pa_ptr);
+    if (options_.ordering != Ordering::kNatural) {
+      // Postorder the elimination tree so supernode columns land consecutively
+      // (fill-neutral relabeling). kNatural skips this: it promises the
+      // unpermuted matrix.
+      const std::vector<idx_t> post = etree_postorder(parent);
+      if (!is_identity_order(post)) {
+        Permutation p2;
+        p2.perm = post;
+        p2.inv_perm.assign(n_, 0);
+        for (idx_t i = 0; i < n_; ++i) p2.inv_perm[p2.perm[i]] = i;
+        perm_ = perm_.then(p2);
+        permuted = permute_symmetric(permuted, p2);  // == P2 (P A P^T) P2^T
+        // A postorder is etree-consistent (children numbered before parents),
+        // so the tree of the relabeled matrix is the relabeled tree — no
+        // second symbolic sweep needed.
+        std::vector<idx_t> relabeled(static_cast<std::size_t>(n_));
+        for (idx_t v = 0; v < n_; ++v) {
+          relabeled[p2.inv_perm[v]] = parent[v] == -1 ? -1 : p2.inv_perm[parent[v]];
+        }
+        parent = std::move(relabeled);
       }
-      parent = std::move(relabeled);
+    }
+    const CsrMatrix& sym = *pa_ptr;
+    matrix_lower_nnz_ = 0;
+    for (idx_t r = 0; r < n_; ++r) {
+      const offset_t end = sym.row_ptr()[static_cast<std::size_t>(r) + 1];
+      for (offset_t p = sym.row_ptr()[r]; p < end; ++p) {
+        if (sym.col_idx()[p] <= r) ++matrix_lower_nnz_;
+      }
+    }
+    permuted_matrix_bytes_ = options_.ordering == Ordering::kNatural ? 0 : sym.memory_bytes();
+    counts = cholesky_column_counts(sym, parent);
+    if (options_.method == Method::kSupernodal) {
+      snf_ = analyze_supernodes(sym, parent, counts, options_.max_supernode_width,
+                                options_.relax_supernodes);
     }
   }
   const CsrMatrix& pa = *pa_ptr;
-  matrix_lower_nnz_ = 0;
-  for (idx_t r = 0; r < n_; ++r) {
-    const offset_t end = pa.row_ptr()[static_cast<std::size_t>(r) + 1];
-    for (offset_t p = pa.row_ptr()[r]; p < end; ++p) {
-      if (pa.col_idx()[p] <= r) ++matrix_lower_nnz_;
+  {
+    MS_TRACE_SCOPE("la.cholesky.numeric");
+    obs::ScopedDuration timer(metrics.numeric_seconds);
+    if (options_.method == Method::kSupernodal) {
+      factorize_supernodal(pa, snf_);
+    } else {
+      parent_ = std::move(parent);
+      lp_.assign(static_cast<std::size_t>(n_) + 1, 0);
+      for (idx_t j = 0; j < n_; ++j) lp_[static_cast<std::size_t>(j) + 1] = lp_[j] + counts[j];
+      li_.assign(static_cast<std::size_t>(lp_[n_]), 0);
+      lx_.assign(static_cast<std::size_t>(lp_[n_]), 0.0);
+      factorize(pa);
     }
   }
-  permuted_matrix_bytes_ = options_.ordering == Ordering::kNatural ? 0 : pa.memory_bytes();
-
-  const std::vector<idx_t> counts = cholesky_column_counts(pa, parent);
-  if (options_.method == Method::kSupernodal) {
-    snf_ = analyze_supernodes(pa, parent, counts, options_.max_supernode_width,
-                              options_.relax_supernodes);
-    factorize_supernodal(pa, snf_);
-  } else {
-    parent_ = std::move(parent);
-    lp_.assign(static_cast<std::size_t>(n_) + 1, 0);
-    for (idx_t j = 0; j < n_; ++j) lp_[static_cast<std::size_t>(j) + 1] = lp_[j] + counts[j];
-    li_.assign(static_cast<std::size_t>(lp_[n_]), 0);
-    lx_.assign(static_cast<std::size_t>(lp_[n_]), 0.0);
-    factorize(pa);
-  }
   work_.assign(n_, 0.0);
+  metrics.factorizations.add(1);
+  metrics.factor_nnz.set(static_cast<double>(factor_nnz()));
+  metrics.fill_ratio.set(fill_ratio());
+  metrics.num_supernodes.set(static_cast<double>(num_supernodes()));
 }
 
 void SparseCholesky::factorize(const CsrMatrix& a) {
@@ -162,6 +219,10 @@ std::vector<Vec> SparseCholesky::solve_multi(const std::vector<Vec>& cases) cons
 
 void SparseCholesky::solve_multi_with(const double* b, double* x, idx_t nrhs, Vec& work) const {
   assert(nrhs >= 1);
+  CholeskyMetrics& metrics = chol_metrics();
+  MS_TRACE_SCOPE("la.cholesky.triangular_solve");
+  obs::ScopedDuration solve_timer(metrics.solve_seconds);
+  metrics.solve_rhs.add(nrhs);
   work.resize(static_cast<std::size_t>(n_) * nrhs);
   double* y = work.data();
   // Gather into the permuted, dof-major layout (all nrhs values of one dof

@@ -1,0 +1,173 @@
+#include "obs/metrics.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ms::obs {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Atomic add for doubles (CAS loop; uncontended in practice — metrics are
+/// recorded per solve call, not per element).
+void atomic_add(std::atomic<double>& target, double delta) {
+  double expected = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(expected, expected + delta, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& target, double value) {
+  double expected = target.load(std::memory_order_relaxed);
+  while (value < expected &&
+         !target.compare_exchange_weak(expected, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double value) {
+  double expected = target.load(std::memory_order_relaxed);
+  while (value > expected &&
+         !target.compare_exchange_weak(expected, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int Histogram::bin_of(double value) {
+  // Bin 0 covers (-inf, 2 us); each bin doubles; the top bin is open-ended.
+  // 1 us = 2^(-20) s roughly (2^-20 = 0.95e-6).
+  if (!(value > 9.5367431640625e-07)) return 0;  // < 2^-20 s (and NaN)
+  const int bin = static_cast<int>(std::floor(std::log2(value))) + 20;
+  if (bin < 0) return 0;
+  if (bin >= kNumBins) return kNumBins - 1;
+  return bin;
+}
+
+void Histogram::record(double value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+  bins_[bin_of(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+// The +-inf initializers are already the documented empty answers.
+double Histogram::min() const { return min_.load(std::memory_order_relaxed); }
+
+double Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+double Histogram::mean() const {
+  const std::int64_t n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(kInf, std::memory_order_relaxed);
+  max_.store(-kInf, std::memory_order_relaxed);
+  for (auto& bin : bins_) bin.store(0, std::memory_order_relaxed);
+}
+
+MetricRegistry& MetricRegistry::global() {
+  // Intentionally leaked so handles stay valid in atexit hooks and static
+  // destructors regardless of registration order.
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+MetricRegistry::Entry& MetricRegistry::entry(const std::string& name, MetricSample::Kind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = entries_.try_emplace(name);
+  if (inserted) {
+    it->second.kind = kind;
+  } else if (it->second.kind != kind) {
+    throw std::invalid_argument("MetricRegistry: '" + name +
+                                "' already registered with a different kind");
+  }
+  return it->second;
+}
+
+const MetricRegistry::Entry* MetricRegistry::find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+Counter& MetricRegistry::counter(const std::string& name) {
+  return entry(name, MetricSample::Kind::kCounter).counter;
+}
+
+Gauge& MetricRegistry::gauge(const std::string& name) {
+  return entry(name, MetricSample::Kind::kGauge).gauge;
+}
+
+Histogram& MetricRegistry::histogram(const std::string& name) {
+  return entry(name, MetricSample::Kind::kHistogram).histogram;
+}
+
+std::vector<MetricSample> MetricRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSample> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {  // std::map iterates name-sorted
+    MetricSample s;
+    s.name = name;
+    s.kind = e.kind;
+    switch (e.kind) {
+      case MetricSample::Kind::kCounter: s.count = e.counter.value(); break;
+      case MetricSample::Kind::kGauge: s.value = e.gauge.value(); break;
+      case MetricSample::Kind::kHistogram:
+        s.count = e.histogram.count();
+        s.value = e.histogram.sum();
+        s.min = e.histogram.min();
+        s.max = e.histogram.max();
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void MetricRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, e] : entries_) {
+    (void)name;
+    e.counter.reset();
+    e.gauge.reset();
+    e.histogram.reset();
+  }
+}
+
+double MetricRegistry::histogram_sum(const std::string& name) const {
+  const Entry* e = find(name);
+  return e != nullptr && e->kind == MetricSample::Kind::kHistogram ? e->histogram.sum() : 0.0;
+}
+
+std::int64_t MetricRegistry::counter_value(const std::string& name) const {
+  const Entry* e = find(name);
+  return e != nullptr && e->kind == MetricSample::Kind::kCounter ? e->counter.value() : 0;
+}
+
+double MetricRegistry::gauge_value(const std::string& name) const {
+  const Entry* e = find(name);
+  return e != nullptr && e->kind == MetricSample::Kind::kGauge ? e->gauge.value() : 0.0;
+}
+
+ScopedDuration::ScopedDuration(Histogram& histogram)
+    : histogram_(histogram),
+      begin_ns_(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count()) {}
+
+ScopedDuration::~ScopedDuration() {
+  const std::int64_t end_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                  std::chrono::steady_clock::now().time_since_epoch())
+                                  .count();
+  histogram_.record(1e-9 * static_cast<double>(end_ns - begin_ns_));
+}
+
+}  // namespace ms::obs

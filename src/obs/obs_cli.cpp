@@ -1,0 +1,35 @@
+#include "obs/obs_cli.hpp"
+
+#include <cstdio>
+
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
+
+namespace ms::obs {
+
+void add_cli_flags(util::CliParser& cli) {
+  cli.add_string("trace-json", "", "write a Chrome trace-event JSON of all spans (empty: off)");
+  cli.add_string("report-json", "", "write the metric-registry RunReport JSON (empty: off)");
+}
+
+void apply_cli_flags(const util::CliParser& cli) {
+  (void)init_tracing_from_env();
+  util::apply_env_log_level();
+  if (!cli.get_string("trace-json").empty()) set_tracing_enabled(true);
+}
+
+void write_cli_outputs(const util::CliParser& cli) {
+  const std::string& trace_path = cli.get_string("trace-json");
+  if (!trace_path.empty()) {
+    write_chrome_trace(trace_path);
+    std::printf("wrote trace: %s (%zu spans)\n", trace_path.c_str(), span_count());
+  }
+  const std::string& report_path = cli.get_string("report-json");
+  if (!report_path.empty()) {
+    RunReport::capture().write_json(report_path);
+    std::printf("wrote report: %s\n", report_path.c_str());
+  }
+}
+
+}  // namespace ms::obs

@@ -1,0 +1,28 @@
+#pragma once
+// Observability command-line glue shared by every example and bench:
+//
+//   ms::util::CliParser cli(...);
+//   ms::obs::add_cli_flags(cli);     // --trace-json / --report-json
+//   cli.parse(argc, argv);
+//   ms::obs::apply_cli_flags(cli);   // enable tracing, honor MS_TRACE /
+//                                    // MS_LOG_LEVEL env overrides
+//   ... run ...
+//   ms::obs::write_cli_outputs(cli); // dump trace + report when requested
+
+#include "util/cli.hpp"
+
+namespace ms::obs {
+
+/// Register --trace-json and --report-json (empty default = off).
+void add_cli_flags(util::CliParser& cli);
+
+/// Enable span tracing when --trace-json is set (or the MS_TRACE env toggle
+/// asks for it), and apply the MS_LOG_LEVEL env override (which wins over
+/// any --log flag so a deployed binary can be made chatty without a rebuild).
+void apply_cli_flags(const util::CliParser& cli);
+
+/// Write the Chrome trace / RunReport JSON files named by the flags (no-ops
+/// when the flags are empty). Call once at the end of main.
+void write_cli_outputs(const util::CliParser& cli);
+
+}  // namespace ms::obs

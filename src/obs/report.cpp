@@ -1,0 +1,90 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace ms::obs {
+
+RunReport RunReport::capture() { return capture(MetricRegistry::global()); }
+
+RunReport RunReport::capture(const MetricRegistry& registry) {
+  RunReport report;
+  report.samples_ = registry.snapshot();
+  return report;
+}
+
+const MetricSample* RunReport::find(const std::string& name) const {
+  // samples_ is name-sorted (snapshot order), so binary search applies.
+  const auto it = std::lower_bound(
+      samples_.begin(), samples_.end(), name,
+      [](const MetricSample& s, const std::string& key) { return s.name < key; });
+  return it != samples_.end() && it->name == name ? &*it : nullptr;
+}
+
+double RunReport::value(const std::string& name) const {
+  const MetricSample* s = find(name);
+  if (s == nullptr) return 0.0;
+  switch (s->kind) {
+    case MetricSample::Kind::kCounter: return static_cast<double>(s->count);
+    case MetricSample::Kind::kGauge: return s->value;
+    case MetricSample::Kind::kHistogram: return s->value;
+  }
+  return 0.0;
+}
+
+std::int64_t RunReport::count(const std::string& name) const {
+  const MetricSample* s = find(name);
+  return s != nullptr ? s->count : 0;
+}
+
+double RunReport::delta(const RunReport& earlier, const std::string& name) const {
+  return value(name) - earlier.value(name);
+}
+
+std::int64_t RunReport::count_delta(const RunReport& earlier, const std::string& name) const {
+  return count(name) - earlier.count(name);
+}
+
+std::string RunReport::render_json() const {
+  std::string out = "{\n  \"report\": \"morestress\",\n  \"metrics\": {\n";
+  char buf[64];
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const MetricSample& s = samples_[i];
+    out += "    \"" + util::json_escape(s.name) + "\": {";
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        out += "\"kind\": \"counter\", \"count\": " + std::to_string(s.count);
+        break;
+      case MetricSample::Kind::kGauge:
+        std::snprintf(buf, sizeof(buf), "\"kind\": \"gauge\", \"value\": %.12g", s.value);
+        out += buf;
+        break;
+      case MetricSample::Kind::kHistogram:
+        out += "\"kind\": \"histogram\", \"count\": " + std::to_string(s.count);
+        std::snprintf(buf, sizeof(buf), ", \"sum\": %.12g", s.value);
+        out += buf;
+        if (s.count > 0) {
+          std::snprintf(buf, sizeof(buf), ", \"min\": %.12g, \"max\": %.12g, \"mean\": %.12g",
+                        s.min, s.max, s.value / static_cast<double>(s.count));
+          out += buf;
+        }
+        break;
+    }
+    out += "}";
+    out += (i + 1 < samples_.size()) ? ",\n" : "\n";
+  }
+  out += "  }\n}\n";
+  return out;
+}
+
+void RunReport::write_json(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("RunReport::write_json: cannot open " + path);
+  file << render_json();
+  if (!file.good()) throw std::runtime_error("RunReport::write_json: write failed for " + path);
+}
+
+}  // namespace ms::obs

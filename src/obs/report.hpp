@@ -1,0 +1,54 @@
+#pragma once
+// RunReport: a name-sorted JSON export of a MetricRegistry — the unified,
+// machine-readable view of what the per-path *Stats structs report. Also the
+// bench substrate: capture a report before and after a case and read metric
+// deltas instead of hand-rolled WallTimer bookkeeping.
+//
+//   ms::obs::RunReport before = ms::obs::RunReport::capture();
+//   ... run the case ...
+//   ms::obs::RunReport after = ms::obs::RunReport::capture();
+//   double solve = after.delta(before, "rom.global.solve_seconds");
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace ms::obs {
+
+class RunReport {
+ public:
+  /// Snapshot `registry` (default: the process-wide one) now.
+  static RunReport capture();
+  static RunReport capture(const MetricRegistry& registry);
+
+  /// Scalar value of a metric: counter -> count, gauge -> value,
+  /// histogram -> sum. 0 when the metric does not exist.
+  [[nodiscard]] double value(const std::string& name) const;
+
+  /// Histogram call count (counter value for counters, 0 for gauges/absent).
+  [[nodiscard]] std::int64_t count(const std::string& name) const;
+
+  /// value(name) - earlier.value(name): the accumulation between two
+  /// captures. Gauges are last-value, so their delta is just this capture's
+  /// reading when nonzero — benches should read gauges directly.
+  [[nodiscard]] double delta(const RunReport& earlier, const std::string& name) const;
+  [[nodiscard]] std::int64_t count_delta(const RunReport& earlier,
+                                         const std::string& name) const;
+
+  [[nodiscard]] const std::vector<MetricSample>& samples() const { return samples_; }
+
+  /// {"report": "morestress", "metrics": {name: {...}}} — counters render
+  /// {"count": n}, gauges {"value": v}, histograms {"count", "sum", "min",
+  /// "max", "mean"}. Keys are name-sorted (deterministic across runs).
+  [[nodiscard]] std::string render_json() const;
+
+  /// Write render_json() to `path`; throws std::runtime_error on failure.
+  void write_json(const std::string& path) const;
+
+ private:
+  const MetricSample* find(const std::string& name) const;
+  std::vector<MetricSample> samples_;  // name-sorted (snapshot order)
+};
+
+}  // namespace ms::obs

@@ -1,0 +1,193 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace ms::obs {
+namespace {
+
+using clock_t = std::chrono::steady_clock;
+
+std::atomic<bool> g_enabled{false};
+
+/// Per-thread event store. Owned (appended to) exclusively by its thread;
+/// readers must only run while the owning threads are quiescent.
+struct ThreadBuffer {
+  std::vector<SpanEvent> events;
+  std::int32_t tid = 0;
+  std::int32_t depth = 0;  ///< currently open spans on this thread
+};
+
+/// Registry of every thread buffer ever created. Buffers outlive their
+/// threads (shared_ptr keeps them alive for late collection) and are only
+/// registered once per thread, so the mutex is cold.
+struct TraceRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::int32_t next_tid = 0;
+};
+
+TraceRegistry& registry() {
+  // Intentionally leaked: the MS_TRACE atexit writer (and spans in other
+  // static destructors) must outlive any ordinary static — a function-local
+  // static would be destroyed before atexit handlers registered earlier.
+  static TraceRegistry* r = new TraceRegistry();
+  return *r;
+}
+
+clock_t::time_point trace_epoch() {
+  static const clock_t::time_point epoch = clock_t::now();
+  return epoch;
+}
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(clock_t::now() - trace_epoch()).count();
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    TraceRegistry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    b->tid = r.next_tid++;
+    r.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+std::string g_env_trace_path;  // set once by init_tracing_from_env
+
+void write_env_trace_at_exit() {
+  if (!g_env_trace_path.empty()) {
+    try {
+      write_chrome_trace(g_env_trace_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[obs] MS_TRACE export failed: %s\n", e.what());
+    }
+  }
+}
+
+}  // namespace
+
+void set_tracing_enabled(bool enabled) { g_enabled.store(enabled, std::memory_order_relaxed); }
+
+bool tracing_enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+std::string init_tracing_from_env() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* value = std::getenv("MS_TRACE");
+    if (value == nullptr || *value == '\0') return;
+    if (std::strcmp(value, "0") == 0 || std::strcmp(value, "false") == 0 ||
+        std::strcmp(value, "off") == 0) {
+      return;
+    }
+    set_tracing_enabled(true);
+    if (std::strcmp(value, "1") != 0 && std::strcmp(value, "true") != 0 &&
+        std::strcmp(value, "on") != 0) {
+      g_env_trace_path = value;
+      std::atexit(write_env_trace_at_exit);
+    }
+  });
+  return g_env_trace_path;
+}
+
+namespace detail {
+
+double span_begin() {
+  ThreadBuffer& b = local_buffer();
+  ++b.depth;
+  return now_us();
+}
+
+void span_end(const char* name, double begin_us) {
+  ThreadBuffer& b = local_buffer();
+  --b.depth;
+  SpanEvent e;
+  e.name = name;
+  e.begin_us = begin_us;
+  e.end_us = now_us();
+  e.depth = b.depth;
+  e.tid = b.tid;
+  b.events.push_back(e);
+}
+
+}  // namespace detail
+
+std::vector<SpanEvent> collect_events() {
+  TraceRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<SpanEvent> all;
+  for (const auto& b : r.buffers) {
+    all.insert(all.end(), b->events.begin(), b->events.end());
+  }
+  return all;
+}
+
+std::size_t span_count() {
+  TraceRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::size_t count = 0;
+  for (const auto& b : r.buffers) count += b->events.size();
+  return count;
+}
+
+std::size_t open_span_count() {
+  TraceRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::size_t open = 0;
+  for (const auto& b : r.buffers) open += static_cast<std::size_t>(b->depth);
+  return open;
+}
+
+void clear_trace() {
+  TraceRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (const auto& b : r.buffers) b->events.clear();
+}
+
+std::string render_chrome_trace() {
+  // Pause recording so the snapshot is consistent even if a stray thread is
+  // still inside an instrumented call.
+  const bool was_enabled = tracing_enabled();
+  set_tracing_enabled(false);
+  const std::vector<SpanEvent> events = collect_events();
+  set_tracing_enabled(was_enabled);
+
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  char buf[64];
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const SpanEvent& e = events[i];
+    out += "  {\"name\": \"" + util::json_escape(e.name) + "\", \"cat\": \"ms\", \"ph\": \"X\"";
+    std::snprintf(buf, sizeof(buf), ", \"ts\": %.3f", e.begin_us);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ", \"dur\": %.3f", e.end_us - e.begin_us);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ", \"pid\": 1, \"tid\": %d", e.tid);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ", \"args\": {\"depth\": %d}}", e.depth);
+    out += buf;
+    out += (i + 1 < events.size()) ? ",\n" : "\n";
+  }
+  out += "]}\n";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("write_chrome_trace: cannot open " + path);
+  file << render_chrome_trace();
+  if (!file.good()) throw std::runtime_error("write_chrome_trace: write failed for " + path);
+}
+
+}  // namespace ms::obs

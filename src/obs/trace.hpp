@@ -1,0 +1,112 @@
+#pragma once
+// Hierarchical span tracing: RAII scopes record (name, begin, end, depth)
+// events into per-thread buffers, exported as Chrome trace-event JSON
+// (chrome://tracing / Perfetto). The substrate every solve path reports
+// into — see DESIGN.md "Observability".
+//
+//   void factor() {
+//     MS_TRACE_SCOPE("cholesky/numeric");
+//     ...
+//   }
+//
+// Cost model: when tracing is disabled (the default) a scope is one relaxed
+// atomic load and a branch — cheap enough to leave in hot-ish paths (a
+// per-factorization or per-panel call, not a per-element loop). When enabled,
+// a scope appends one 32-byte event to a thread-local vector: no locks, no
+// allocation beyond amortized vector growth, safe inside OpenMP regions
+// (every OpenMP thread owns its own buffer). Span names must be string
+// literals (or otherwise outlive the trace) — the buffer stores the pointer.
+//
+// Collection (write_chrome_trace / collect_events / clear_trace) must run
+// from quiescent code — outside parallel regions, which OpenMP's fork-join
+// model guarantees between regions. Export briefly disables tracing so the
+// snapshot is consistent.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ms::obs {
+
+/// One completed span. Times are microseconds since the process trace epoch.
+struct SpanEvent {
+  const char* name = nullptr;
+  double begin_us = 0.0;
+  double end_us = 0.0;
+  std::int32_t depth = 0;  ///< nesting depth on its thread (0 = outermost)
+  std::int32_t tid = 0;    ///< small sequential per-thread id
+};
+
+/// Enable / disable span recording process-wide. Disabled scopes cost one
+/// atomic load; events recorded before disabling are kept.
+void set_tracing_enabled(bool enabled);
+[[nodiscard]] bool tracing_enabled();
+
+/// Honor the MS_TRACE environment toggle: unset/"0"/"false"/"off" leaves
+/// tracing disabled, "1"/"true"/"on" enables it, and any other value enables
+/// it AND registers an atexit writer that dumps the Chrome trace to that
+/// path. Returns the output path ("" if none). Idempotent.
+std::string init_tracing_from_env();
+
+/// Snapshot all completed spans of every thread, in per-thread record order.
+/// Quiescent-only (see file comment).
+[[nodiscard]] std::vector<SpanEvent> collect_events();
+
+/// Completed spans recorded so far (all threads).
+[[nodiscard]] std::size_t span_count();
+
+/// Live (begun, not yet ended) spans across all threads — 0 when every scope
+/// has unwound; tests use this to assert begin/end balance.
+[[nodiscard]] std::size_t open_span_count();
+
+/// Drop all recorded events (buffers stay registered). Quiescent-only.
+void clear_trace();
+
+/// Write every completed span as Chrome trace-event JSON ("ph":"X" complete
+/// events, ts/dur in microseconds) loadable in chrome://tracing or Perfetto.
+/// Throws std::runtime_error when the file cannot be written. Quiescent-only.
+void write_chrome_trace(const std::string& path);
+
+/// The same JSON as a string (tests parse it back).
+[[nodiscard]] std::string render_chrome_trace();
+
+namespace detail {
+
+/// Begin a span now; returns the begin timestamp. Registers the calling
+/// thread's buffer on first use.
+double span_begin();
+
+/// Complete the span begun at `begin_us` (LIFO per thread).
+void span_end(const char* name, double begin_us);
+
+}  // namespace detail
+
+/// RAII span. Prefer the MS_TRACE_SCOPE macro; instantiate directly (with
+/// end()) only when a phase boundary does not line up with a C++ scope.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) : name_(name), active_(tracing_enabled()) {
+    if (active_) begin_us_ = detail::span_begin();
+  }
+  ~ScopedSpan() { end(); }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Complete the span before destruction (idempotent).
+  void end() {
+    if (active_) detail::span_end(name_, begin_us_);
+    active_ = false;
+  }
+
+ private:
+  const char* name_;
+  double begin_us_ = 0.0;
+  bool active_;
+};
+
+}  // namespace ms::obs
+
+#define MS_OBS_CONCAT_IMPL(a, b) a##b
+#define MS_OBS_CONCAT(a, b) MS_OBS_CONCAT_IMPL(a, b)
+/// Trace the enclosing scope as a span named `name` (a string literal).
+#define MS_TRACE_SCOPE(name) ::ms::obs::ScopedSpan MS_OBS_CONCAT(ms_trace_scope_, __LINE__)(name)

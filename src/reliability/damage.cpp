@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "mesh/hex_mesh.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ms::reliability {
 
@@ -13,6 +15,7 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 }
 
 double miner_damage(const std::vector<Cycle>& cycles, const FatigueModel& model) {
+  MS_TRACE_SCOPE("reliability.miner");
   double damage = 0.0;
   for (const Cycle& c : cycles) {
     const double nf = model.cycles_to_failure(c.range, c.mean);
@@ -45,6 +48,9 @@ ReliabilityReport assess_history(const StressHistory& history, const FatigueMode
   if (history.num_steps() == 0) {
     throw std::invalid_argument("assess_history: empty stress history");
   }
+  MS_TRACE_SCOPE("reliability.assess");
+  obs::ScopedDuration assess_timer(
+      obs::MetricRegistry::global().histogram("reliability.assess_seconds"));
   ReliabilityReport report;
   report.blocks_x = history.blocks_x();
   report.blocks_y = history.blocks_y();
@@ -57,6 +63,7 @@ ReliabilityReport assess_history(const StressHistory& history, const FatigueMode
     const FatigueModel* model = models.at(channel);
     if (model == nullptr) continue;
 
+    MS_TRACE_SCOPE("reliability.channel");
     ChannelAssessment a;
     a.channel = channel;
     a.model_name = model->name();
@@ -65,8 +72,10 @@ ReliabilityReport assess_history(const StressHistory& history, const FatigueMode
     a.half_cycle_counts.assign(num_blocks, 0.0);
     a.min_life_cycles = kInf;
     std::vector<Cycle> min_life_cycles_set;
+    obs::Counter& rainflow_series = obs::MetricRegistry::global().counter("reliability.rainflow_series");
     for (std::size_t b = 0; b < num_blocks; ++b) {
       const std::vector<Cycle> cycles = rainflow_count(history.series(channel, b));
+      rainflow_series.add(1);
       for (const Cycle& cyc : cycles) a.half_cycle_counts[b] += cyc.count;
       a.damage[b] = miner_damage(cycles, *model);
       if (a.damage[b] > 0.0) a.cycles_to_failure[b] = 1.0 / a.damage[b];

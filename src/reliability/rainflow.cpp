@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace ms::reliability {
 
 std::vector<double> extract_reversals(const std::vector<double>& series) {
@@ -25,6 +27,7 @@ std::vector<double> extract_reversals(const std::vector<double>& series) {
 }
 
 std::vector<Cycle> rainflow_count(const std::vector<double>& series) {
+  MS_TRACE_SCOPE("reliability.rainflow");
   const std::vector<double> reversals = extract_reversals(series);
   std::vector<Cycle> cycles;
   if (reversals.size() < 2) return cycles;

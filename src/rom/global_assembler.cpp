@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/trace.hpp"
+
 namespace ms::rom {
 namespace {
 
@@ -31,6 +33,7 @@ const RomModel& block_model(const RomModel& tsv_model, const RomModel* dummy_mod
 GlobalProblem assemble_global(const BlockGrid& grid, const RomModel& tsv_model,
                               const RomModel* dummy_model, const BlockMask& mask,
                               const BlockLoadField& load) {
+  MS_TRACE_SCOPE("rom.global.assemble");
   const idx_t n = tsv_model.num_element_dofs();
   load.validate_extent(grid.blocks_x(), grid.blocks_y());
   if (tsv_model.element_stiffness.rows() != n) {
@@ -91,6 +94,7 @@ GlobalProblem assemble_global(const BlockGrid& grid, const RomModel& tsv_model,
 Vec assemble_global_rhs(const BlockGrid& grid, const RomModel& tsv_model,
                         const RomModel* dummy_model, const BlockMask& mask,
                         const BlockLoadField& load) {
+  MS_TRACE_SCOPE("rom.global.assemble_rhs");
   const idx_t n = tsv_model.num_element_dofs();
   load.validate_extent(grid.blocks_x(), grid.blocks_y());
   require_dummy_model(mask, dummy_model, "assemble_global_rhs");

@@ -7,14 +7,41 @@
 #include "la/cg.hpp"
 #include "la/cholesky.hpp"
 #include "la/gmres.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
 namespace ms::rom {
+namespace {
+
+// Publish the exact values a GlobalSolveStats out-param receives, so the
+// RunReport and the legacy struct can never disagree (the regression-lock
+// test in tests/obs asserts this equality).
+void publish_global_stats(const GlobalSolveStats& s) {
+  auto& reg = obs::MetricRegistry::global();
+  reg.counter("rom.global.solves").add(1);
+  reg.counter("rom.global.rhs").add(s.num_rhs);
+  reg.counter("rom.global.factorizations").add(s.num_factorizations);
+  reg.counter("rom.global.iterations").add(s.iterations);
+  reg.histogram("rom.global.solve_seconds").record(s.solve_seconds);
+  reg.histogram("rom.global.factor_seconds").record(s.factor_seconds);
+  reg.histogram("rom.global.triangular_seconds").record(s.triangular_seconds);
+  reg.gauge("rom.global.num_dofs").set(static_cast<double>(s.num_dofs));
+  reg.gauge("rom.global.converged").set(s.converged ? 1.0 : 0.0);
+  reg.gauge("rom.global.matrix_bytes").set(static_cast<double>(s.matrix_bytes));
+  reg.gauge("rom.global.solver_bytes").set(static_cast<double>(s.solver_bytes));
+  reg.gauge("rom.global.factor_nnz").set(static_cast<double>(s.factor_nnz));
+  reg.gauge("rom.global.fill_ratio").set(s.fill_ratio);
+  reg.gauge("rom.global.num_supernodes").set(static_cast<double>(s.num_supernodes));
+}
+
+}  // namespace
 
 std::vector<Vec> solve_global_multi(GlobalProblem& problem, std::vector<Vec> extra_rhs,
                                     const DirichletBc& bc, const GlobalSolveOptions& options,
                                     GlobalSolveStats* stats) {
+  MS_TRACE_SCOPE("rom.global.solve");
   std::vector<Vec> rhs_cases;
   rhs_cases.reserve(extra_rhs.size() + 1);
   rhs_cases.push_back(std::move(problem.rhs));
@@ -36,6 +63,7 @@ std::vector<Vec> solve_global_multi(GlobalProblem& problem, std::vector<Vec> ext
   std::size_t solver_bytes = 0;
   double factor_seconds = 0.0;
   double triangular_seconds = 0.0;
+  GlobalSolveStats local;
 
   if (options.method == "direct") {
     la::SparseCholesky chol(problem.stiffness, options.factor);
@@ -46,12 +74,10 @@ std::vector<Vec> solve_global_multi(GlobalProblem& problem, std::vector<Vec> ext
     triangular_seconds = solve_timer.seconds();
     converged = true;
     solver_bytes = chol.memory_bytes();
-    if (stats != nullptr) {
-      stats->factor_nnz = chol.factor_nnz();
-      stats->fill_ratio = chol.fill_ratio();
-      stats->num_supernodes = chol.num_supernodes();
-      stats->ordering = chol.ordering_name();
-    }
+    local.factor_nnz = chol.factor_nnz();
+    local.fill_ratio = chol.fill_ratio();
+    local.num_supernodes = chol.num_supernodes();
+    local.ordering = chol.ordering_name();
   } else if (options.method == "cg") {
     auto precond = la::make_preconditioner(options.precond, problem.stiffness);
     la::IterativeOptions iter;
@@ -90,18 +116,18 @@ std::vector<Vec> solve_global_multi(GlobalProblem& problem, std::vector<Vec> ext
                 static_cast<int>(iterations));
   }
 
-  if (stats != nullptr) {
-    stats->num_dofs = problem.num_dofs;
-    stats->num_rhs = num_cases;
-    stats->num_factorizations = options.method == "direct" ? 1 : 0;
-    stats->solve_seconds = timer.seconds();
-    stats->factor_seconds = factor_seconds;
-    stats->triangular_seconds = triangular_seconds;
-    stats->iterations = iterations;
-    stats->converged = converged;
-    stats->matrix_bytes = problem.stiffness.memory_bytes();
-    stats->solver_bytes = solver_bytes;
-  }
+  local.num_dofs = problem.num_dofs;
+  local.num_rhs = num_cases;
+  local.num_factorizations = options.method == "direct" ? 1 : 0;
+  local.solve_seconds = timer.seconds();
+  local.factor_seconds = factor_seconds;
+  local.triangular_seconds = triangular_seconds;
+  local.iterations = iterations;
+  local.converged = converged;
+  local.matrix_bytes = problem.stiffness.memory_bytes();
+  local.solver_bytes = solver_bytes;
+  publish_global_stats(local);
+  if (stats != nullptr) *stats = local;
   return solutions;
 }
 

@@ -8,6 +8,8 @@
 #include "fem/hex8.hpp"
 #include "fem/stress.hpp"
 #include "la/cholesky.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
@@ -41,11 +43,15 @@ DenseMatrix boundary_weights(const mesh::HexMesh& mesh, const std::vector<idx_t>
 RomModel run_local_stage(const mesh::TsvGeometry& geometry, const mesh::BlockMeshSpec& spec,
                          const fem::MaterialTable& materials, BlockKind kind,
                          const LocalStageOptions& options) {
+  MS_TRACE_SCOPE("rom.local.stage");
+  obs::ScopedDuration stage_timer(
+      obs::MetricRegistry::global().histogram("rom.local.stage_seconds"));
   util::WallTimer timer;
   if (options.nodes_x < 2 || options.nodes_y < 2 || options.nodes_z < 2) {
     throw std::invalid_argument("run_local_stage: need >= 2 interpolation nodes per axis");
   }
 
+  obs::ScopedSpan assemble_span("rom.local.assemble");
   const mesh::HexMesh block = (kind == BlockKind::Tsv)
                                   ? mesh::build_tsv_block_mesh(geometry, spec)
                                   : mesh::build_dummy_block_mesh(geometry, spec);
@@ -72,6 +78,8 @@ RomModel run_local_stage(const mesh::TsvGeometry& geometry, const mesh::BlockMes
   const CsrMatrix a_fb =
       sys.stiffness.submatrix(part.free_map, part.num_free, part.bc_map, part.num_bc);
 
+  assemble_span.end();
+
   // One factorization, n+1 solves (paper Sec. 4.2). The right-hand sides are
   // batched into column panels and solved through solve_multi, so the factor
   // streams through the cache once per panel instead of once per solve;
@@ -83,6 +91,7 @@ RomModel run_local_stage(const mesh::TsvGeometry& geometry, const mesh::BlockMes
   const idx_t total_rhs = n + 1;  // interpolation bases + the thermal basis
   const idx_t panel_width = std::max(1, options.rhs_panel);
   const idx_t num_panels = (total_rhs + panel_width - 1) / panel_width;
+  obs::MetricRegistry::global().counter("rom.local.panels").add(num_panels);
   std::vector<Vec> basis(static_cast<std::size_t>(total_rhs));
 #ifdef _OPENMP
 #pragma omp parallel
@@ -94,6 +103,7 @@ RomModel run_local_stage(const mesh::TsvGeometry& geometry, const mesh::BlockMes
 #pragma omp for schedule(dynamic)
 #endif
     for (idx_t panel = 0; panel < num_panels; ++panel) {
+      MS_TRACE_SCOPE("rom.local.panel_solve");
       const idx_t i0 = panel * panel_width;
       const idx_t cols = std::min(panel_width, total_rhs - i0);
       rhs_panel.assign(static_cast<std::size_t>(part.num_free) * cols, 0.0);
@@ -156,6 +166,7 @@ RomModel run_local_stage(const mesh::TsvGeometry& geometry, const mesh::BlockMes
   // Reduced element stiffness A_elem(i,j) = f_i^T A_local f_j (Eq. 18).
   // Column j touches only entries (i,j) with i <= j and their mirrors (j,i),
   // which are disjoint across distinct j, so columns parallelize cleanly.
+  MS_TRACE_SCOPE("rom.local.reduce");
   model.element_stiffness = DenseMatrix(n, n);
 #ifdef _OPENMP
 #pragma omp parallel

@@ -8,10 +8,42 @@
 #include "la/cg.hpp"
 #include "la/cholesky.hpp"
 #include "la/precond.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "thermal/conduction_assembler.hpp"
 #include "util/timer.hpp"
 
 namespace ms::thermal {
+namespace {
+
+// Mirror the exact out-param values into the registry (see the regression
+// lock in tests/obs: RunReport fields must equal the legacy structs).
+void publish_steady_stats(const ThermalSolveStats& s) {
+  auto& reg = obs::MetricRegistry::global();
+  reg.counter("thermal.steady.solves").add(1);
+  reg.counter("thermal.steady.iterations").add(s.iterations);
+  reg.histogram("thermal.steady.assemble_seconds").record(s.assemble_seconds);
+  reg.histogram("thermal.steady.solve_seconds").record(s.solve_seconds);
+  reg.histogram("thermal.steady.factor_seconds").record(s.factor_seconds);
+  reg.gauge("thermal.steady.num_dofs").set(static_cast<double>(s.num_dofs));
+  reg.gauge("thermal.steady.converged").set(s.converged ? 1.0 : 0.0);
+  reg.gauge("thermal.steady.factor_nnz").set(static_cast<double>(s.factor_nnz));
+  reg.gauge("thermal.steady.fill_ratio").set(s.fill_ratio);
+}
+
+void publish_transient_stats(const TransientSolveStats& s) {
+  auto& reg = obs::MetricRegistry::global();
+  reg.counter("thermal.transient.solves").add(1);
+  reg.counter("thermal.transient.steps").add(s.num_steps);
+  reg.histogram("thermal.transient.assemble_seconds").record(s.assemble_seconds);
+  reg.histogram("thermal.transient.factor_seconds").record(s.factor_seconds);
+  reg.histogram("thermal.transient.step_seconds").record(s.step_seconds);
+  reg.gauge("thermal.transient.num_dofs").set(static_cast<double>(s.num_dofs));
+  reg.gauge("thermal.transient.factor_nnz").set(static_cast<double>(s.factor_nnz));
+  reg.gauge("thermal.transient.fill_ratio").set(s.fill_ratio);
+}
+
+}  // namespace
 
 TemperatureField solve_power_map(const mesh::HexMesh& mesh, const Vec& conductivity_per_elem,
                                  const PowerMap& power, const ThermalSolveOptions& options,
@@ -27,46 +59,47 @@ TemperatureField solve_power_map(const mesh::HexMesh& mesh, const ConductivityFi
     throw std::invalid_argument(
         "solve_power_map: sink film coefficient must be >= 0 (0 = ideal sink)");
   }
+  MS_TRACE_SCOPE("thermal.steady.solve");
+  ThermalSolveStats local;
   util::WallTimer timer;
-  la::TripletList triplets =
-      conduction_triplets(mesh, conductivity.in_plane, conductivity.through_plane);
-  Vec rhs = assemble_power_load(mesh, power);
-
+  la::TripletList triplets;
+  Vec rhs;
   fem::DirichletBc bc;
-  if (options.sink_film_coefficient > 0.0) {
-    add_convective_face(mesh, options.sink_film_coefficient, options.ambient, /*face=*/0,
-                        triplets, rhs);
-  } else {
-    // Ideal sink: the whole z-min face held at ambient.
-    for (idx_t j = 0; j < mesh.nodes_y(); ++j) {
-      for (idx_t i = 0; i < mesh.nodes_x(); ++i) {
-        bc.add(mesh.node_id(i, j, 0), options.ambient);
+  CsrMatrix k;
+  {
+    MS_TRACE_SCOPE("thermal.steady.assemble");
+    triplets = conduction_triplets(mesh, conductivity.in_plane, conductivity.through_plane);
+    rhs = assemble_power_load(mesh, power);
+
+    if (options.sink_film_coefficient > 0.0) {
+      add_convective_face(mesh, options.sink_film_coefficient, options.ambient, /*face=*/0,
+                          triplets, rhs);
+    } else {
+      // Ideal sink: the whole z-min face held at ambient.
+      for (idx_t j = 0; j < mesh.nodes_y(); ++j) {
+        for (idx_t i = 0; i < mesh.nodes_x(); ++i) {
+          bc.add(mesh.node_id(i, j, 0), options.ambient);
+        }
       }
     }
-  }
 
-  CsrMatrix k = CsrMatrix::from_triplets(triplets);
-  fem::apply_dirichlet(k, rhs, bc);
-  if (stats != nullptr) {
-    stats->num_dofs = k.rows();
-    stats->assemble_seconds = timer.seconds();
+    k = CsrMatrix::from_triplets(triplets);
+    fem::apply_dirichlet(k, rhs, bc);
   }
+  local.num_dofs = k.rows();
+  local.assemble_seconds = timer.seconds();
 
   timer.reset();
   Vec t;
   if (options.method == "direct") {
     const la::SparseCholesky chol(k, options.factor);
-    if (stats != nullptr) {
-      stats->factor_seconds = timer.seconds();
-      stats->factor_nnz = chol.factor_nnz();
-      stats->fill_ratio = chol.fill_ratio();
-      stats->ordering = chol.ordering_name();
-    }
+    local.factor_seconds = timer.seconds();
+    local.factor_nnz = chol.factor_nnz();
+    local.fill_ratio = chol.fill_ratio();
+    local.ordering = chol.ordering_name();
     t = chol.solve(rhs);
-    if (stats != nullptr) {
-      stats->iterations = 0;
-      stats->converged = true;
-    }
+    local.iterations = 0;
+    local.converged = true;
   } else if (options.method == "cg") {
     t.assign(rhs.size(), options.ambient);  // warm start at the sink value
     const la::JacobiPreconditioner precond(k);
@@ -78,14 +111,14 @@ TemperatureField solve_power_map(const mesh::HexMesh& mesh, const ConductivityFi
     if (!result.converged) {
       throw std::runtime_error("solve_power_map: CG did not converge");
     }
-    if (stats != nullptr) {
-      stats->iterations = result.iterations;
-      stats->converged = result.converged;
-    }
+    local.iterations = result.iterations;
+    local.converged = result.converged;
   } else {
     throw std::invalid_argument("solve_power_map: method must be 'cg' or 'direct'");
   }
-  if (stats != nullptr) stats->solve_seconds = timer.seconds();
+  local.solve_seconds = timer.seconds();
+  publish_steady_stats(local);
+  if (stats != nullptr) *stats = local;
   return TemperatureField(mesh, std::move(t));
 }
 
@@ -139,6 +172,9 @@ TransientTemperatureResult solve_power_trace(const mesh::HexMesh& mesh,
     throw std::invalid_argument("solve_power_trace: reduction pitch must be > 0");
   }
 
+  MS_TRACE_SCOPE("thermal.transient.solve");
+  TransientSolveStats local;
+  obs::ScopedSpan assemble_span("thermal.transient.assemble");
   util::WallTimer timer;
   const idx_t n = mesh.num_nodes();
 
@@ -216,21 +252,19 @@ TransientTemperatureResult solve_power_trace(const mesh::HexMesh& mesh,
   for (std::size_t i = 0; i < trace.num_keyframes(); ++i) {
     keyframe_loads.push_back(assemble_power_load(mesh, trace.keyframe(i)));
   }
-  if (stats != nullptr) {
-    stats->num_dofs = n;
-    stats->num_steps = num_steps;
-    stats->assemble_seconds = timer.seconds();
-  }
+  local.num_dofs = n;
+  local.num_steps = num_steps;
+  local.assemble_seconds = timer.seconds();
+  assemble_span.end();
 
   timer.reset();
   const la::SparseCholesky factor(a, options.base.factor);
-  if (stats != nullptr) {
-    stats->factor_seconds = timer.seconds();
-    stats->factor_nnz = factor.factor_nnz();
-    stats->fill_ratio = factor.fill_ratio();
-    stats->ordering = factor.ordering_name();
-  }
+  local.factor_seconds = timer.seconds();
+  local.factor_nnz = factor.factor_nnz();
+  local.fill_ratio = factor.fill_ratio();
+  local.ordering = factor.ordering_name();
 
+  obs::ScopedSpan step_span("thermal.transient.step");
   timer.reset();
   const auto power_load_at = [&](double time, Vec& out) {
     const PowerTrace::Sample s = trace.sample(time);
@@ -299,7 +333,10 @@ TransientTemperatureResult solve_power_trace(const mesh::HexMesh& mesh,
     record(time, t);
     f_prev.swap(f_next);
   }
-  if (stats != nullptr) stats->step_seconds = timer.seconds();
+  local.step_seconds = timer.seconds();
+  step_span.end();
+  publish_transient_stats(local);
+  if (stats != nullptr) *stats = local;
 
   // Envelope and trapezoidal time-average over the recorded history. The
   // envelope keeps the signed ΔT of largest magnitude: thermal stress grows

@@ -1,11 +1,15 @@
 #pragma once
-// Minimal JSON emission for the machine-readable bench artifacts
-// (BENCH_*.json): flat objects of string/number/bool fields in insertion
-// order, and a one-call writer for the standard {"bench": ..., "cases":
-// [...]} shape. Deliberately not a parser — the perf-trajectory consumers
-// only need well-formed output.
+// Minimal JSON support for the machine-readable artifacts:
+//  * emission — flat objects of string/number/bool fields in insertion order
+//    (JsonObject) plus a one-call writer for the standard {"bench": ...,
+//    "cases": [...]} shape used by BENCH_*.json;
+//  * parsing — a small recursive-descent JsonValue parser, added so tests can
+//    load the Chrome trace and RunReport files back and assert on their
+//    structure instead of string-matching the output.
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -42,5 +46,34 @@ std::string json_escape(const std::string& text);
 /// written.
 void write_bench_json(const std::string& path, const std::string& name,
                       const std::vector<JsonObject>& records);
+
+/// Parsed JSON tree. Numbers are kept as double (enough for the artifacts we
+/// read back — timestamps, durations, counts); object keys are unique and
+/// key-sorted via std::map.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] bool is_null() const { return type == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type == Type::kObject; }
+
+  /// Object member lookup; returns nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+};
+
+/// Parse a complete JSON document (single root value, trailing whitespace
+/// allowed). Throws std::runtime_error with a byte offset on malformed input.
+JsonValue parse_json(const std::string& text);
 
 }  // namespace ms::util

@@ -1,6 +1,7 @@
 #include "util/log.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace ms::util {
@@ -41,14 +42,28 @@ void log_message(LogLevel level, const char* file, int line, const char* fmt, ..
   std::fputc('\n', stderr);
 }
 
-LogLevel parse_log_level(const std::string& name) {
+LogLevel parse_log_level(const std::string& name, bool* ok) {
+  if (ok != nullptr) *ok = true;
   if (name == "trace") return LogLevel::Trace;
   if (name == "debug") return LogLevel::Debug;
   if (name == "info") return LogLevel::Info;
   if (name == "warn") return LogLevel::Warn;
   if (name == "error") return LogLevel::Error;
   if (name == "off") return LogLevel::Off;
+  if (ok != nullptr) *ok = false;
+  MS_LOG_WARN("unknown log level \"%s\" (expected trace/debug/info/warn/error/off); using info",
+              name.c_str());
   return LogLevel::Info;
+}
+
+bool apply_env_log_level() {
+  const char* env = std::getenv("MS_LOG_LEVEL");
+  if (env == nullptr || env[0] == '\0') return false;
+  bool ok = false;
+  const LogLevel level = parse_log_level(env, &ok);
+  if (!ok) return false;  // parse_log_level already warned
+  set_log_level(level);
+  return true;
 }
 
 }  // namespace ms::util

@@ -23,8 +23,16 @@ void log_message(LogLevel level, const char* file, int line, const char* fmt, ..
 #endif
     ;
 
-/// Parse "trace"/"debug"/"info"/"warn"/"error"/"off"; returns Info on unknown input.
-LogLevel parse_log_level(const std::string& name);
+/// Parse "trace"/"debug"/"info"/"warn"/"error"/"off". Unknown input returns
+/// Info after logging a warning naming the bad token (silent misconfiguration
+/// used to hide typos like "warning"); `ok` (when given) reports validity.
+LogLevel parse_log_level(const std::string& name, bool* ok = nullptr);
+
+/// Honor the MS_LOG_LEVEL environment override: when the variable is set to
+/// a valid level name, apply it (it wins over any --log flag, so a deployed
+/// binary can be made chatty without a rebuild) and return true. An invalid
+/// value logs a warning and changes nothing.
+bool apply_env_log_level();
 
 }  // namespace ms::util
 

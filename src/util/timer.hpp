@@ -3,7 +3,9 @@
 // run-statistics reported alongside every solve.
 
 #include <chrono>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -30,6 +32,8 @@ class WallTimer {
 };
 
 /// Accumulates named phase durations (local stage, assembly, solve, ...).
+/// add() is O(1) via a name->slot index and safe to call from concurrent
+/// OpenMP threads; summary() keeps first-recorded (insertion) order.
 class PhaseTimer {
  public:
   /// Add `seconds` to the phase `name` (created on first use).
@@ -45,7 +49,9 @@ class PhaseTimer {
   [[nodiscard]] std::string summary() const;
 
  private:
-  std::vector<std::pair<std::string, double>> phases_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::size_t> index_;  // name -> phases_ slot
+  std::vector<std::pair<std::string, double>> phases_;  // insertion order
 };
 
 /// Human-friendly duration string ("431 ms", "12.8 s", "5m02s").

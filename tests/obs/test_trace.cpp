@@ -1,0 +1,166 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "util/json.hpp"
+
+namespace ms::obs {
+namespace {
+
+/// Tracing state is process-wide; every test starts from a clean, disabled
+/// tracer and leaves it that way.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_tracing_enabled(false);
+    clear_trace();
+  }
+  void TearDown() override {
+    set_tracing_enabled(false);
+    clear_trace();
+  }
+};
+
+TEST_F(TraceTest, DisabledScopesRecordNothing) {
+  {
+    MS_TRACE_SCOPE("never");
+    MS_TRACE_SCOPE("recorded");
+  }
+  EXPECT_EQ(span_count(), 0u);
+  EXPECT_EQ(open_span_count(), 0u);
+}
+
+TEST_F(TraceTest, NestedScopesBalanceAndCarryDepth) {
+  set_tracing_enabled(true);
+  {
+    MS_TRACE_SCOPE("outer");
+    {
+      MS_TRACE_SCOPE("middle");
+      { MS_TRACE_SCOPE("inner"); }
+    }
+  }
+  EXPECT_EQ(open_span_count(), 0u);
+  const std::vector<SpanEvent> events = collect_events();
+  ASSERT_EQ(events.size(), 3u);
+  // Spans complete innermost-first on one thread.
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].depth, 2);
+  EXPECT_STREQ(events[1].name, "middle");
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_STREQ(events[2].name, "outer");
+  EXPECT_EQ(events[2].depth, 0);
+  // Children nest inside their parent's time window.
+  EXPECT_GE(events[0].begin_us, events[2].begin_us);
+  EXPECT_LE(events[0].end_us, events[2].end_us);
+  for (const SpanEvent& e : events) EXPECT_GE(e.end_us, e.begin_us);
+}
+
+TEST_F(TraceTest, ScopedSpanEndIsIdempotent) {
+  set_tracing_enabled(true);
+  {
+    ScopedSpan span("phase");
+    span.end();
+    span.end();  // second end and the destructor must both be no-ops
+  }
+  EXPECT_EQ(span_count(), 1u);
+  EXPECT_EQ(open_span_count(), 0u);
+}
+
+TEST_F(TraceTest, OpenMpRegionsBalanceAcrossThreads) {
+  set_tracing_enabled(true);
+  constexpr int kIterations = 64;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+  for (int i = 0; i < kIterations; ++i) {
+    MS_TRACE_SCOPE("panel");
+    { MS_TRACE_SCOPE("panel/inner"); }
+  }
+  EXPECT_EQ(open_span_count(), 0u);
+  const std::vector<SpanEvent> events = collect_events();
+  EXPECT_EQ(events.size(), static_cast<std::size_t>(2 * kIterations));
+  std::set<std::int32_t> tids;
+  for (const SpanEvent& e : events) tids.insert(e.tid);
+#ifdef _OPENMP
+  if (omp_get_max_threads() > 1) EXPECT_GT(tids.size(), 1u);
+#endif
+  // Every thread's spans balanced: equal inner and outer counts.
+  std::size_t inner = 0;
+  for (const SpanEvent& e : events) {
+    if (std::string(e.name) == "panel/inner") ++inner;
+  }
+  EXPECT_EQ(inner, static_cast<std::size_t>(kIterations));
+}
+
+TEST_F(TraceTest, ChromeTraceJsonParsesBack) {
+  set_tracing_enabled(true);
+  {
+    MS_TRACE_SCOPE("solve");
+    { MS_TRACE_SCOPE("factor"); }
+  }
+  set_tracing_enabled(false);
+
+  const util::JsonValue doc = util::parse_json(render_chrome_trace());
+  ASSERT_TRUE(doc.is_object());
+  const util::JsonValue* unit = doc.find("displayTimeUnit");
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->string, "ms");
+  const util::JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array.size(), 2u);
+  std::set<std::string> names;
+  for (const util::JsonValue& event : events->array) {
+    ASSERT_TRUE(event.is_object());
+    names.insert(event.find("name")->string);
+    EXPECT_EQ(event.find("ph")->string, "X");
+    EXPECT_GE(event.find("dur")->number, 0.0);
+    EXPECT_GE(event.find("ts")->number, 0.0);
+    ASSERT_NE(event.find("pid"), nullptr);
+    ASSERT_NE(event.find("tid"), nullptr);
+  }
+  EXPECT_EQ(names, (std::set<std::string>{"solve", "factor"}));
+}
+
+TEST_F(TraceTest, WriteChromeTraceProducesLoadableFile) {
+  set_tracing_enabled(true);
+  { MS_TRACE_SCOPE("span"); }
+  set_tracing_enabled(false);
+
+  const std::string path = ::testing::TempDir() + "ms_trace_test.json";
+  write_chrome_trace(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const util::JsonValue doc = util::parse_json(buffer.str());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("traceEvents")->array.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, ExportPreservesEventsAndCollectIsRepeatable) {
+  set_tracing_enabled(true);
+  { MS_TRACE_SCOPE("kept"); }
+  const std::size_t before = span_count();
+  (void)render_chrome_trace();
+  EXPECT_EQ(span_count(), before);  // export snapshots, does not drain
+  EXPECT_EQ(collect_events().size(), before);
+  EXPECT_TRUE(tracing_enabled());  // export restores the enabled state
+  clear_trace();
+  EXPECT_EQ(span_count(), 0u);
+}
+
+}  // namespace
+}  // namespace ms::obs

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 namespace ms::util {
 namespace {
 
@@ -24,6 +26,35 @@ TEST(Log, ParseKnownNames) {
 TEST(Log, ParseUnknownFallsBackToInfo) {
   EXPECT_EQ(parse_log_level("verbose"), LogLevel::Info);
   EXPECT_EQ(parse_log_level(""), LogLevel::Info);
+}
+
+TEST(Log, ParseReportsValidityThroughOkOutParam) {
+  bool ok = false;
+  EXPECT_EQ(parse_log_level("debug", &ok), LogLevel::Debug);
+  EXPECT_TRUE(ok);
+  ok = true;
+  EXPECT_EQ(parse_log_level("verbose", &ok), LogLevel::Info);
+  EXPECT_FALSE(ok);
+}
+
+TEST(Log, EnvOverrideAppliesValidLevelsOnly) {
+  const LogLevel original = log_level();
+
+  ASSERT_EQ(unsetenv("MS_LOG_LEVEL"), 0);
+  EXPECT_FALSE(apply_env_log_level());
+  EXPECT_EQ(log_level(), original);
+
+  ASSERT_EQ(setenv("MS_LOG_LEVEL", "error", 1), 0);
+  EXPECT_TRUE(apply_env_log_level());
+  EXPECT_EQ(log_level(), LogLevel::Error);
+
+  set_log_level(LogLevel::Warn);
+  ASSERT_EQ(setenv("MS_LOG_LEVEL", "not-a-level", 1), 0);
+  EXPECT_FALSE(apply_env_log_level());  // warns, leaves the level untouched
+  EXPECT_EQ(log_level(), LogLevel::Warn);
+
+  ASSERT_EQ(unsetenv("MS_LOG_LEVEL"), 0);
+  set_log_level(original);
 }
 
 TEST(Log, SuppressedMessageDoesNotCrash) {

@@ -12,6 +12,12 @@ microsecond-scale timings cannot trip the gate on noise). Physics outputs
 (peak stress, ΔT extremes) are compared at a tight relative tolerance as a
 correctness-drift tripwire.
 
+Cases carrying a "trace_overhead_ratio" field (instrumented vs disabled
+wall time of the same solve) are additionally gated against
+--max-trace-overhead on the *current* run alone — the observability layer
+must stay within a few percent of the untraced pipeline on every machine,
+so no baseline normalization applies.
+
 Limitation: median normalization absorbs *uniform* slowdowns by design
 (that is what makes the gate portable across runner speeds), so a change
 that slows every case equally only fails once the median ratio itself
@@ -73,6 +79,9 @@ def main():
     parser.add_argument("--max-scale", type=float, default=4.0,
                         help="largest machine-speed ratio the normalization may absorb; a "
                              "median timing ratio beyond this fails outright")
+    parser.add_argument("--max-trace-overhead", type=float, default=1.05,
+                        help="largest instrumented/disabled wall-time ratio tolerated on "
+                             "cases that report trace_overhead_ratio")
     args = parser.parse_args()
 
     baseline = load_cases(args.baseline)
@@ -129,6 +138,22 @@ def main():
                 failures.append(
                     f"{key} {field}: {new:.6g} drifted {100 * drift:.2f}% from "
                     f"baseline {base:.6g}")
+
+    # Tracing-overhead gate: absolute on the current run (both states ran on
+    # this machine, so no scale normalization is needed). The abs-floor guard
+    # keeps millisecond-scale cases from tripping it on scheduler noise.
+    for key, case in sorted(current.items(), key=str):
+        ratio = case.get("trace_overhead_ratio")
+        if not isinstance(ratio, (int, float)):
+            continue
+        excess = float(case.get("enabled_seconds", 0.0)) - float(case.get("disabled_seconds", 0.0))
+        print(f"  {key} trace overhead: ratio {ratio:.3f} "
+              f"(excess {excess:.3f}s, limit {args.max_trace_overhead:.2f})")
+        if ratio > args.max_trace_overhead and excess > args.abs_floor:
+            failures.append(
+                f"{key} trace_overhead_ratio {ratio:.3f} exceeds "
+                f"--max-trace-overhead {args.max_trace_overhead:.2f} "
+                f"({excess:.3f}s of instrumented excess)")
 
     if failures:
         print("\nbench gate FAILED:")
