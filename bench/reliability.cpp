@@ -99,7 +99,7 @@ int main(int argc, char** argv) {
           .set("panel_factor_seconds", after_case.delta(before_case, "rom.global.factor_seconds"))
           .set("panel_triangular_seconds",
                after_case.delta(before_case, "rom.global.triangular_seconds"))
-          .set("channel_seconds", result.history_seconds)
+          .set("channel_extraction_seconds", result.history_seconds)
           .set("damage_seconds", damage_seconds)
           .set("fatigue_seconds", fatigue_seconds)
           .set("global_dofs", static_cast<std::int64_t>(result.stats.global_dofs))

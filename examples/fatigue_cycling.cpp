@@ -112,8 +112,11 @@ int main(int argc, char** argv) {
   // --- self-check 2: analytic Miner sum of the saturated square wave -------
   const double h = *std::max_element(series.begin(), series.end());
   const double l = series.back();  // the saturated idle level ends the trace
-  const double nf_range = copper_model->cycles_to_failure(h - l, 0.0);
-  const double nf_peak = copper_model->cycles_to_failure(h, 0.0);
+  // Rainflow reports the true cycle means ((h+l)/2 for the full cycles, h/2
+  // for the peak half cycle); the model's Goodman correction uses them, so
+  // the analytic sum must charge the same means.
+  const double nf_range = copper_model->cycles_to_failure(h - l, 0.5 * (h + l));
+  const double nf_peak = copper_model->cycles_to_failure(h, 0.5 * h);
   const double analytic = (cycles - 0.5) / nf_range + 0.5 / nf_peak;
   const double ratio = reported / analytic;
   std::printf("analytic Miner sum: D = (N - 1/2)/Nf(%.1f) + 1/2/Nf(%.1f) = %.6e, "

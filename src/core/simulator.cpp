@@ -9,6 +9,7 @@
 #include "chiplet/package_thermal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "reliability/channel_extract.hpp"
 #include "rom/local_stage.hpp"
 #include "thermal/conduction_assembler.hpp"
 #include "util/log.hpp"
@@ -51,9 +52,17 @@ const rom::RomModel& MoreStressSimulator::model_for(rom::BlockKind kind) {
   if (!cache_dir_.empty()) {
     const std::string path = cache_path(kind);
     if (std::filesystem::exists(path)) {
-      slot = rom::RomModel::load(path);
-      MS_LOG_INFO("loaded cached ROM model from %s", path.c_str());
-      return *slot;
+      // A stale or truncated cache file (e.g. written by an older format
+      // revision) must not abort the run — recompute and overwrite it.
+      try {
+        slot = rom::RomModel::load(path);
+        MS_LOG_INFO("loaded cached ROM model from %s", path.c_str());
+        return *slot;
+      } catch (const std::exception& e) {
+        MS_LOG_WARN("discarding unreadable ROM cache %s (%s); recomputing", path.c_str(),
+                    e.what());
+        slot.reset();
+      }
     }
   }
   slot = rom::run_local_stage(config_.geometry, config_.mesh_spec, config_.materials, kind,
@@ -445,28 +454,39 @@ ArrayResult MoreStressSimulator::run_fatigue_panel(
     reliability::StressHistory* history, rom::GlobalSolveStats* solve_stats,
     double* history_seconds) {
   MS_TRACE_SCOPE("core.fatigue.panel");
-  // Reduce every step's reconstructed field to per-block channel peaks; the
-  // full tensor field of a step never outlives its reduction. Steps fill
-  // disjoint history slots, so run_panel's consumer loop parallelizes with
-  // bitwise-identical results in any thread order.
+  // The panel consumer only stashes each step's solution; the channel
+  // reduction runs once afterwards, batched over all steps per block
+  // (reliability/channel_extract.hpp), instead of rebuilding the dense
+  // plane-stress field step by step.
   *history = reliability::StressHistory(report_range.width(), report_range.height());
   history->resize_steps(step_times);
-  const PanelConsumer reduce_step = [history](std::size_t s, Vec& solution,
-                                              const rom::BlockLoadField& load,
-                                              const PanelCaseContext& ctx) {
-    MS_TRACE_SCOPE("core.fatigue.channel_extract");
-    const std::vector<fem::Stress6> stress = rom::reconstruct_plane_stress(
-        ctx.grid, ctx.tsv, ctx.dummy, ctx.mask, solution, load, ctx.report_range);
-    history->record_step(s, stress, ctx.samples_per_block);
+  std::vector<Vec> step_solutions(step_loads.size());
+  const PanelConsumer stash_step = [&step_solutions](std::size_t s, Vec& solution,
+                                                     const rom::BlockLoadField&,
+                                                     const PanelCaseContext&) {
+    step_solutions[s] = std::move(solution);
   };
 
   // The whole fatigue history — envelope plus every selected step — runs as
   // one multi-RHS panel against a single factorization on the direct path.
   rom::GlobalSolveStats panel_stats;
+  double consume_seconds = 0.0;
   ArrayResult result = run_panel(blocks_x, blocks_y, mask, bc, report_range, uses_dummy,
-                                 envelope_load, step_loads, &panel_stats, history_seconds,
-                                 reduce_step);
+                                 envelope_load, step_loads, &panel_stats, &consume_seconds,
+                                 stash_step);
   if (solve_stats != nullptr) *solve_stats = panel_stats;
+
+  util::WallTimer extract_timer;
+  {
+    MS_TRACE_SCOPE("core.fatigue.channel_extract");
+    const rom::BlockGrid grid(blocks_x, blocks_y, config_.local.nodes_x, config_.local.nodes_y,
+                              config_.local.nodes_z, config_.geometry.pitch,
+                              config_.geometry.height);
+    reliability::extract_channel_history(grid, tsv_model(),
+                                         uses_dummy ? &dummy_model() : nullptr, mask,
+                                         step_solutions, step_loads, report_range, *history);
+  }
+  if (history_seconds != nullptr) *history_seconds = consume_seconds + extract_timer.seconds();
   // The multi-RHS panel is the allocation that scales with trace length:
   // num_rhs right-hand sides and as many solutions held simultaneously, plus
   // the retained channel history.
@@ -491,7 +511,7 @@ reliability::ReliabilityReport MoreStressSimulator::assess_fatigue(
           : (trace_duration > 0.0 ? std::min(86400.0 / trace_duration, 1e6) : 0.0);
   const reliability::FatigueModelSet models = reliability::standard_model_set(
       config_.materials, options.solder_shear_modulus, options.solder_mean_temperature,
-      cycles_per_day);
+      cycles_per_day, options.solder_shear_modulus_slope);
   reliability::ReliabilityOptions assess;
   assess.range_bins = options.range_bins;
   assess.mean_bins = options.mean_bins;

@@ -118,9 +118,14 @@ struct FatigueOptions {
   int range_bins = 8;
   int mean_bins = 4;
   /// Engelmaier parameters of the bump-shear channel: solder shear modulus
-  /// [MPa] (eutectic SnPb default) and mean joint temperature [C].
+  /// [MPa] at 20 C (eutectic SnPb default) and mean joint temperature [C].
   double solder_shear_modulus = 5.6e3;
   double solder_mean_temperature = 60.0;
+  /// Softening of the solder shear modulus with the mean joint temperature
+  /// [MPa/C]: G_eff = G + slope * (T_mean - 20). The eutectic SnPb default
+  /// (-40 MPa/C) follows the classic linear G(T) fits; set 0 to restore a
+  /// temperature-independent modulus.
+  double solder_shear_modulus_slope = -40.0;
   /// Cycle frequency feeding the Engelmaier exponent [cycles/day];
   /// 0 derives one trace pass per trace duration (86400 s / duration),
   /// capped at 1e6 — sub-millisecond bench traces would otherwise leave

@@ -53,13 +53,14 @@ MaterialTable MaterialTable::standard() {
 // Conductivities and volumetric heat capacities (rho * c_p) are classic
 // room-temperature literature values. Copper additionally carries the
 // classic annealed-OFHC fatigue coefficients (Basquin sigma_f' = 564 MPa,
-// b = -0.136; Coffin-Manson eps_f' = 0.475, c = -0.538); Si and SiO2 are
-// brittle and the substrate is uncharacterized, so their fatigue fields
-// stay zero (no stress/strain-life data).
+// b = -0.136; Coffin-Manson eps_f' = 0.475, c = -0.538) and the annealed
+// ultimate tensile strength sigma_u = 220 MPa that feeds the mean-stress
+// corrections; Si and SiO2 are brittle and the substrate is uncharacterized,
+// so their fatigue fields stay zero (no stress/strain-life data).
 Material silicon() { return {"Si", 130.0e3, 0.28, 2.8e-6, 149.0, 1.63e6}; }
 
 Material copper() {
-  return {"Cu", 110.0e3, 0.35, 17.7e-6, 401.0, 3.45e6, 564.0, -0.136, 0.475, -0.538};
+  return {"Cu", 110.0e3, 0.35, 17.7e-6, 401.0, 3.45e6, 564.0, -0.136, 0.475, -0.538, 220.0};
 }
 
 Material sio2_liner() { return {"SiO2", 71.7e3, 0.16, 0.51e-6, 1.4, 1.61e6}; }

@@ -30,6 +30,9 @@ struct Material {
   double fatigue_strength_exponent = 0.0;   ///< b (Basquin, < 0)
   double fatigue_ductility = 0.0;           ///< eps_f' [-] (Coffin-Manson)
   double fatigue_ductility_exponent = 0.0;  ///< c (Coffin-Manson, < 0)
+  /// sigma_u [MPa], ultimate tensile strength. Enables the Goodman /
+  /// modified-Morrow mean-stress corrections; 0 = no correction data.
+  double ultimate_strength = 0.0;
 
   /// First Lame parameter lambda = E nu / ((1+nu)(1-2nu))  (Eq. 2).
   [[nodiscard]] double lame_lambda() const;

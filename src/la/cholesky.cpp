@@ -125,7 +125,7 @@ SparseCholesky::SparseCholesky(const CsrMatrix& a, Options options) : options_(o
     MS_TRACE_SCOPE("la.cholesky.numeric");
     obs::ScopedDuration timer(metrics.numeric_seconds);
     if (options_.method == Method::kSupernodal) {
-      factorize_supernodal(pa, snf_);
+      factorize_supernodal(pa, snf_, options_.parallel_numeric);
     } else {
       parent_ = std::move(parent);
       lp_.assign(static_cast<std::size_t>(n_) + 1, 0);

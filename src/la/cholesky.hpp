@@ -47,6 +47,13 @@ class SparseCholesky {
     /// memory_bytes count the padding, and fewer/wider panels shift the
     /// numeric phase further into the dense rank-k kernels.
     double relax_supernodes = 0.0;
+    /// Run the supernodal numeric phase's subtree pass under OpenMP
+    /// (independent elimination-tree subtrees factor concurrently; the
+    /// serial top pass consumes their deferred updates in a fixed order).
+    /// The schedule is independent of the thread count, so the factor is
+    /// bitwise identical with the flag on or off. Ignored by the simplicial
+    /// back end.
+    bool parallel_numeric = true;
   };
 
   /// Factor a symmetric positive definite matrix (full symmetric storage).

@@ -279,96 +279,292 @@ void syrk_panel_lower(const double* a, idx_t lda, idx_t ni, idx_t nj, idx_t k, d
   }
 }
 
-void factorize_supernodal(const CsrMatrix& a, SupernodalFactor& f) {
+namespace {
+
+/// Resolved view of one supernode's dense panel.
+struct PanelRef {
+  idx_t s = 0, c0 = 0, c1 = 0, w = 0, m = 0;
+  const idx_t* rs = nullptr;
+  double* panel = nullptr;
+};
+
+PanelRef panel_of(SupernodalFactor& f, idx_t s) {
+  PanelRef p;
+  p.s = s;
+  p.c0 = f.super_start[s];
+  p.c1 = f.super_start[static_cast<std::size_t>(s) + 1];
+  p.w = p.c1 - p.c0;
+  const offset_t r0 = f.row_start[s];
+  p.m = static_cast<idx_t>(f.row_start[static_cast<std::size_t>(s) + 1] - r0);
+  p.rs = f.rows.data() + r0;
+  p.panel = f.values.data() + f.val_start[s];
+  return p;
+}
+
+/// Scatter the lower triangle of the (permuted) matrix columns. A is
+/// symmetric full storage, so column j reads row j's entries at i >= j.
+void scatter_panel(const CsrMatrix& a, const PanelRef& p, const std::vector<idx_t>& relmap) {
+  for (idx_t j = p.c0; j < p.c1; ++j) {
+    double* col = p.panel + static_cast<std::size_t>(j - p.c0) * p.m;
+    const offset_t end = a.row_ptr()[static_cast<std::size_t>(j) + 1];
+    for (offset_t q = a.row_ptr()[j]; q < end; ++q) {
+      const idx_t i = a.col_idx()[q];
+      if (i >= j) col[relmap[i]] = a.values()[q];
+    }
+  }
+}
+
+/// Apply descendant d's pending rank-k update to the rows of panel p that it
+/// reaches (all its unconsumed rows < p.c1) and advance d's row cursor.
+/// Returns the supernode of d's next unconsumed row, or -1 when exhausted.
+idx_t apply_descendant_update(SupernodalFactor& f, std::vector<idx_t>& dptr, idx_t d,
+                              const PanelRef& p, const std::vector<idx_t>& relmap,
+                              std::vector<double>& scratch) {
+  const offset_t dr0 = f.row_start[d];
+  const idx_t dm = static_cast<idx_t>(f.row_start[static_cast<std::size_t>(d) + 1] - dr0);
+  const idx_t dw = f.super_start[static_cast<std::size_t>(d) + 1] - f.super_start[d];
+  const idx_t* drows = f.rows.data() + dr0;
+  const double* dpanel = f.values.data() + f.val_start[d];
+  const idx_t q0 = dptr[d];
+  idx_t q1 = q0;
+  while (q1 < dm && drows[q1] < p.c1) ++q1;
+  const idx_t nj = q1 - q0;
+  const idx_t ni = dm - q0;
+  scratch.resize(static_cast<std::size_t>(ni) * nj);
+  syrk_panel_lower(dpanel + q0, dm, ni, nj, dw, scratch.data(), ni);
+  for (idx_t jj = 0; jj < nj; ++jj) {
+    double* col = p.panel + static_cast<std::size_t>(drows[q0 + jj] - p.c0) * p.m;
+    const double* src = scratch.data() + static_cast<std::size_t>(jj) * ni;
+    for (idx_t ii = jj; ii < ni; ++ii) col[relmap[drows[q0 + ii]]] -= src[ii];
+  }
+  if (q1 == dm) return -1;
+  dptr[d] = q1;
+  return f.col_super[drows[q1]];
+}
+
+/// Fused dense panel factorization: Cholesky of the w x w diagonal block
+/// with the below-diagonal rows updated and scaled in the same column sweep
+/// (the columns below the diagonal become L's off-diagonal block).
+void dense_panel_factorize(const PanelRef& p) {
+  for (idx_t j = 0; j < p.w; ++j) {
+    double* colj = p.panel + static_cast<std::size_t>(j) * p.m;
+    for (idx_t t = 0; t < j; ++t) {
+      const double ljt = p.panel[static_cast<std::size_t>(t) * p.m + j];
+      const double* colt = p.panel + static_cast<std::size_t>(t) * p.m;
+      for (idx_t i = j; i < p.m; ++i) colj[i] -= ljt * colt[i];
+    }
+    const double diag = colj[j];
+    if (diag <= 0.0) {
+      throw std::runtime_error("SparseCholesky: matrix not positive definite");
+    }
+    const double root = std::sqrt(diag);
+    colj[j] = root;
+    const double inv = 1.0 / root;
+    for (idx_t i = j + 1; i < p.m; ++i) colj[i] *= inv;
+  }
+}
+
+/// Deterministic elimination-tree partition for the two-phase numeric
+/// factorization: disjoint supernodal subtrees of bounded weight, each a
+/// contiguous descendant-closed supernode range [lo[i], hi[i]]. sub_of maps
+/// each supernode to its subtree (or -1 for the serial top set). Returns
+/// empty ranges when the column order defeats the contiguity/closure
+/// invariants (possible without an etree postorder).
+struct SubtreePartition {
+  std::vector<idx_t> lo, hi;       ///< inclusive supernode ranges
+  std::vector<idx_t> sub_of;       ///< supernode -> subtree index or -1
+};
+
+SubtreePartition partition_subtrees(const CsrMatrix& a, const SupernodalFactor& f) {
   const idx_t n = f.n;
   const idx_t ns = f.num_supernodes;
-  std::vector<idx_t> relmap(n, -1);
-  // Left-looking update lists: head[s] chains the factored descendants whose
-  // next unconsumed row block lands in supernode s.
-  std::vector<idx_t> head(ns, -1), next_d(ns, -1);
+  SubtreePartition part;
+  part.sub_of.assign(ns, -1);
+  if (ns <= 1) return part;
+
+  // Supernodal assembly-tree parent (supernode of the first below-panel row)
+  // and subtree weights (sum of m*w panel areas). The parent index always
+  // exceeds the child's, so one ascending sweep accumulates the weights.
+  std::vector<idx_t> sparent(ns, -1);
+  std::vector<double> wsub(ns, 0.0);
+  double total = 0.0;
+  for (idx_t s = 0; s < ns; ++s) {
+    const idx_t w = f.super_start[static_cast<std::size_t>(s) + 1] - f.super_start[s];
+    const idx_t m = static_cast<idx_t>(f.row_start[static_cast<std::size_t>(s) + 1] -
+                                       f.row_start[s]);
+    const double weight = static_cast<double>(m) * static_cast<double>(w);
+    wsub[s] += weight;
+    total += weight;
+    if (m > w) sparent[s] = f.col_super[f.rows[f.row_start[s] + w]];
+  }
+  for (idx_t s = 0; s < ns; ++s) {
+    if (sparent[s] != -1) wsub[sparent[s]] += wsub[s];
+  }
+  // Fixed fan-out target, independent of the thread count — the partition
+  // (and therefore every floating-point summation order) depends on the
+  // matrix alone.
+  const double cap = total / 64.0;
+
+  // Column-level minimum descendant per scalar-etree subtree. parent[j] > j
+  // always, so one ascending sweep finalizes each column before propagating.
+  const std::vector<idx_t> parent = elimination_tree(a);
+  std::vector<idx_t> min_desc(n);
+  for (idx_t j = 0; j < n; ++j) min_desc[j] = j;
+  for (idx_t j = 0; j < n; ++j) {
+    if (parent[j] != -1) min_desc[parent[j]] = std::min(min_desc[parent[j]], min_desc[j]);
+  }
+
+  // Maximal light subtrees: wsub <= cap while the parent's subtree exceeds
+  // it. wsub is monotone along ancestor chains, so the selected subtrees are
+  // disjoint; with a postordered column space each is the contiguous range
+  // ending at its root supernode and starting at the root column's minimum
+  // descendant.
+  bool valid = true;
+  for (idx_t s = 0; s < ns && valid; ++s) {
+    if (wsub[s] > cap || (sparent[s] != -1 && wsub[sparent[s]] <= cap)) continue;
+    const idx_t top_col = f.super_start[static_cast<std::size_t>(s) + 1] - 1;
+    const idx_t lo_col = min_desc[top_col];
+    const idx_t lo = f.col_super[lo_col];
+    if (f.super_start[lo] != lo_col) {  // a supernode straddles the boundary
+      valid = false;
+      break;
+    }
+    part.lo.push_back(lo);
+    part.hi.push_back(s);
+    const idx_t id = static_cast<idx_t>(part.lo.size()) - 1;
+    for (idx_t t = lo; t <= s; ++t) {
+      if (part.sub_of[t] != -1) {
+        valid = false;
+        break;
+      }
+      part.sub_of[t] = id;
+    }
+  }
+  // Descendant closure: no etree edge may enter a subtree from outside it,
+  // otherwise an update into the range would originate beyond it.
+  if (valid) {
+    for (idx_t k = 0; k < n; ++k) {
+      const idx_t p = parent[k];
+      if (p == -1) continue;
+      const idx_t sp = part.sub_of[f.col_super[p]];
+      if (sp != -1 && part.sub_of[f.col_super[k]] != sp) {
+        valid = false;
+        break;
+      }
+    }
+  }
+  if (!valid) {
+    part.lo.clear();
+    part.hi.clear();
+    std::fill(part.sub_of.begin(), part.sub_of.end(), -1);
+  }
+  return part;
+}
+
+}  // namespace
+
+void factorize_supernodal(const CsrMatrix& a, SupernodalFactor& f, bool parallel) {
+  const idx_t n = f.n;
+  const idx_t ns = f.num_supernodes;
   std::vector<idx_t> dptr(ns, 0);
-  std::vector<double> scratch;
   std::fill(f.values.begin(), f.values.end(), 0.0);  // allow refactorization
 
+  const SubtreePartition part = partition_subtrees(a, f);
+  const idx_t nsub = static_cast<idx_t>(part.lo.size());
+
+  // Phase 1: factor the light subtrees. Each subtree is descendant-closed,
+  // so its supernodes consume updates that originate inside its range only;
+  // the shared head/next_d/dptr slots it touches are its own, which makes
+  // the loop race-free. Updates whose next target row lies beyond the
+  // subtree are deferred for the serial top phase. Within a subtree the
+  // work is the old serial left-looking loop verbatim, so phase-1 panels
+  // are bitwise independent of the thread count.
+  std::vector<idx_t> head(ns, -1), next_d(ns, -1);
+  std::vector<std::vector<idx_t>> deferred(nsub);
+  bool failed = false;
+#pragma omp parallel if (parallel)
+  {
+    std::vector<idx_t> relmap(n, -1);
+    std::vector<double> scratch;
+#pragma omp for schedule(dynamic)
+    for (idx_t t = 0; t < nsub; ++t) {
+      bool already_failed;
+#pragma omp atomic read
+      already_failed = failed;
+      if (already_failed) continue;
+      try {
+        for (idx_t s = part.lo[t]; s <= part.hi[t]; ++s) {
+          const PanelRef p = panel_of(f, s);
+          for (idx_t i = 0; i < p.m; ++i) relmap[p.rs[i]] = i;
+          scatter_panel(a, p, relmap);
+          idx_t d = head[s];
+          head[s] = -1;
+          while (d != -1) {
+            const idx_t d_after = next_d[d];
+            const idx_t tgt = apply_descendant_update(f, dptr, d, p, relmap, scratch);
+            if (tgt != -1) {
+              if (tgt <= part.hi[t]) {
+                next_d[d] = head[tgt];
+                head[tgt] = d;
+              } else {
+                deferred[t].push_back(d);
+              }
+            }
+            d = d_after;
+          }
+          dense_panel_factorize(p);
+          if (p.m > p.w) {
+            dptr[s] = p.w;
+            const idx_t tgt = f.col_super[p.rs[p.w]];
+            if (tgt <= part.hi[t]) {
+              next_d[s] = head[tgt];
+              head[tgt] = s;
+            } else {
+              deferred[t].push_back(s);
+            }
+          }
+        }
+      } catch (const std::exception&) {
+        // Exceptions may not escape an OpenMP region; rethrown below.
+#pragma omp atomic write
+        failed = true;
+      }
+    }
+  }
+  if (failed) throw std::runtime_error("SparseCholesky: matrix not positive definite");
+
+  // Phase 2 (serial): the remaining top supernodes, ascending. Pending
+  // update lists are seeded from the deferred lists in subtree-index order
+  // — each list's internal order is thread-invariant, so the concatenation
+  // is deterministic without sorting. Every deferred or top-phase update
+  // targets a top supernode (its target is an etree ancestor of a subtree
+  // root, and wsub grows monotonically along ancestors), so the vectors
+  // below are complete by the time each supernode is reached.
+  std::vector<std::vector<idx_t>> pending(ns);
+  for (idx_t t = 0; t < nsub; ++t) {
+    for (const idx_t d : deferred[t]) {
+      pending[f.col_super[f.rows[f.row_start[d] + dptr[d]]]].push_back(d);
+    }
+  }
+  std::vector<idx_t> relmap(n, -1);
+  std::vector<double> scratch;
   for (idx_t s = 0; s < ns; ++s) {
-    const idx_t c0 = f.super_start[s];
-    const idx_t c1 = f.super_start[static_cast<std::size_t>(s) + 1];
-    const idx_t w = c1 - c0;
-    const offset_t r0 = f.row_start[s];
-    const idx_t m = static_cast<idx_t>(f.row_start[static_cast<std::size_t>(s) + 1] - r0);
-    const idx_t* rs = f.rows.data() + r0;
-    double* panel = f.values.data() + f.val_start[s];
-    for (idx_t t = 0; t < m; ++t) relmap[rs[t]] = t;
-
-    // Scatter the lower triangle of the (permuted) matrix columns. A is
-    // symmetric full storage, so column j reads row j's entries at i >= j.
-    for (idx_t j = c0; j < c1; ++j) {
-      double* col = panel + static_cast<std::size_t>(j - c0) * m;
-      const offset_t end = a.row_ptr()[static_cast<std::size_t>(j) + 1];
-      for (offset_t q = a.row_ptr()[j]; q < end; ++q) {
-        const idx_t i = a.col_idx()[q];
-        if (i >= j) col[relmap[i]] = a.values()[q];
+    if (part.sub_of[s] != -1) continue;
+    const PanelRef p = panel_of(f, s);
+    for (idx_t i = 0; i < p.m; ++i) relmap[p.rs[i]] = i;
+    scatter_panel(a, p, relmap);
+    for (std::size_t qi = 0; qi < pending[s].size(); ++qi) {
+      const idx_t d = pending[s][qi];
+      const idx_t tgt = apply_descendant_update(f, dptr, d, p, relmap, scratch);
+      if (tgt != -1) {
+        assert(part.sub_of[tgt] == -1);
+        pending[tgt].push_back(d);
       }
     }
-
-    // Apply every pending descendant update that intersects this supernode's
-    // columns, then thread each descendant on to the supernode of its next
-    // unconsumed row.
-    idx_t d = head[s];
-    head[s] = -1;
-    while (d != -1) {
-      const idx_t d_after = next_d[d];
-      const offset_t dr0 = f.row_start[d];
-      const idx_t dm = static_cast<idx_t>(f.row_start[static_cast<std::size_t>(d) + 1] - dr0);
-      const idx_t dw = f.super_start[static_cast<std::size_t>(d) + 1] - f.super_start[d];
-      const idx_t* drows = f.rows.data() + dr0;
-      const double* dpanel = f.values.data() + f.val_start[d];
-      const idx_t q0 = dptr[d];
-      idx_t q1 = q0;
-      while (q1 < dm && drows[q1] < c1) ++q1;
-      const idx_t nj = q1 - q0;
-      const idx_t ni = dm - q0;
-      scratch.resize(static_cast<std::size_t>(ni) * nj);
-      syrk_panel_lower(dpanel + q0, dm, ni, nj, dw, scratch.data(), ni);
-      for (idx_t jj = 0; jj < nj; ++jj) {
-        double* col = panel + static_cast<std::size_t>(drows[q0 + jj] - c0) * m;
-        const double* src = scratch.data() + static_cast<std::size_t>(jj) * ni;
-        for (idx_t ii = jj; ii < ni; ++ii) col[relmap[drows[q0 + ii]]] -= src[ii];
-      }
-      if (q1 < dm) {
-        dptr[d] = q1;
-        const idx_t t = f.col_super[drows[q1]];
-        next_d[d] = head[t];
-        head[t] = d;
-      }
-      d = d_after;
-    }
-
-    // Fused dense panel factorization: Cholesky of the w x w diagonal block
-    // with the below-diagonal rows updated and scaled in the same column
-    // sweep (the columns below the diagonal become L's off-diagonal block).
-    for (idx_t j = 0; j < w; ++j) {
-      double* colj = panel + static_cast<std::size_t>(j) * m;
-      for (idx_t t = 0; t < j; ++t) {
-        const double ljt = panel[static_cast<std::size_t>(t) * m + j];
-        const double* colt = panel + static_cast<std::size_t>(t) * m;
-        for (idx_t i = j; i < m; ++i) colj[i] -= ljt * colt[i];
-      }
-      const double diag = colj[j];
-      if (diag <= 0.0) {
-        throw std::runtime_error("SparseCholesky: matrix not positive definite");
-      }
-      const double root = std::sqrt(diag);
-      colj[j] = root;
-      const double inv = 1.0 / root;
-      for (idx_t i = j + 1; i < m; ++i) colj[i] *= inv;
-    }
-
-    if (m > w) {
-      dptr[s] = w;
-      const idx_t t = f.col_super[rs[w]];
-      next_d[s] = head[t];
-      head[t] = s;
+    dense_panel_factorize(p);
+    if (p.m > p.w) {
+      dptr[s] = p.w;
+      pending[f.col_super[p.rs[p.w]]].push_back(s);
     }
   }
 }

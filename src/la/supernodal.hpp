@@ -89,7 +89,20 @@ SupernodalFactor analyze_supernodes(const CsrMatrix& a, const std::vector<idx_t>
 /// matrix whose symbolic analysis produced `f`. Descendant updates are dense
 /// C = B1 * B2^T rank-k products (register-tiled), followed by a fused dense
 /// panel factorization. Throws std::runtime_error on a non-positive pivot.
-void factorize_supernodal(const CsrMatrix& a, SupernodalFactor& f);
+///
+/// The work is scheduled in two phases over a deterministic partition of the
+/// elimination tree: disjoint light subtrees (target weight = total panel
+/// weight / 64, independent of the thread count) factor first — each subtree
+/// is a contiguous, descendant-closed supernode range, so its supernodes see
+/// only updates that originate inside the range — then the remaining "top"
+/// supernodes factor serially, consuming the updates the subtrees deferred
+/// in subtree-index order. `parallel` runs phase one under OpenMP; because
+/// the partition and every per-panel floating-point order are fixed by the
+/// matrix alone, the factor is bitwise identical with the flag on or off and
+/// for any thread count. When the column order is not etree-postordered the
+/// subtree ranges can fail closure; the partition is then discarded and the
+/// whole factorization runs as the serial top phase.
+void factorize_supernodal(const CsrMatrix& a, SupernodalFactor& f, bool parallel = false);
 
 /// Triangular solves over a multi-RHS block in *row-major* layout:
 /// x[i * nrhs + r] is dof i of case r. The layout keeps the right-hand sides

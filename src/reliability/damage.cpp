@@ -26,13 +26,14 @@ double miner_damage(const std::vector<Cycle>& cycles, const FatigueModel& model)
 
 FatigueModelSet standard_model_set(const fem::MaterialTable& materials,
                                    double solder_shear_modulus, double mean_temperature_c,
-                                   double cycles_per_day) {
+                                   double cycles_per_day, double solder_shear_modulus_slope) {
   const fem::Material& copper = materials.at(mesh::MaterialId::Copper);
   FatigueModelSet set;
   set.set(StressChannel::kVonMises, basquin_from_material(copper));
   set.set(StressChannel::kFirstPrincipal, coffin_manson_from_material(copper));
   set.set(StressChannel::kBumpShear,
-          engelmaier_solder(solder_shear_modulus, mean_temperature_c, cycles_per_day));
+          engelmaier_solder(solder_shear_modulus, mean_temperature_c, cycles_per_day,
+                            solder_shear_modulus_slope));
   return set;
 }
 

@@ -39,10 +39,13 @@ struct FatigueModelSet {
 /// barrel fatigue), first principal -> Coffin-Manson on Cu (low-cycle
 /// tensile), through-plane shear -> Engelmaier solder (microbump plane).
 /// `mean_temperature_c` and `cycles_per_day` parameterize the Engelmaier
-/// exponent; `solder_shear_modulus` is the bump solder's G [MPa].
+/// exponent; `solder_shear_modulus` is the bump solder's G [MPa] at 20 C and
+/// `solder_shear_modulus_slope` [MPa/C] its softening with the mean joint
+/// temperature (0 = temperature-independent).
 FatigueModelSet standard_model_set(const fem::MaterialTable& materials,
                                    double solder_shear_modulus, double mean_temperature_c,
-                                   double cycles_per_day);
+                                   double cycles_per_day,
+                                   double solder_shear_modulus_slope = 0.0);
 
 struct ReliabilityOptions {
   int range_bins = 8;

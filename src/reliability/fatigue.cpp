@@ -20,36 +20,86 @@ double invert_power_law(double amplitude, double coeff, double expo) {
 
 }  // namespace
 
-BasquinModel::BasquinModel(double fatigue_strength, double exponent, double endurance_range)
-    : sigma_f_(fatigue_strength), b_(exponent), endurance_range_(endurance_range) {
+BasquinModel::BasquinModel(double fatigue_strength, double exponent, double endurance_range,
+                           MeanStressCorrection correction, double ultimate_strength)
+    : sigma_f_(fatigue_strength),
+      b_(exponent),
+      endurance_range_(endurance_range),
+      correction_(correction),
+      sigma_u_(ultimate_strength) {
   if (sigma_f_ <= 0.0) throw std::invalid_argument("BasquinModel: s_f' must be positive");
   if (b_ >= 0.0) throw std::invalid_argument("BasquinModel: exponent b must be negative");
   if (endurance_range_ < 0.0) {
     throw std::invalid_argument("BasquinModel: endurance range must be >= 0");
   }
+  if (correction_ == MeanStressCorrection::kGoodman && sigma_u_ <= 0.0) {
+    throw std::invalid_argument("BasquinModel: Goodman correction needs sigma_u > 0");
+  }
 }
 
-double BasquinModel::cycles_to_failure(double range, double /*mean*/) const {
+double BasquinModel::cycles_to_failure(double range, double mean) const {
   if (range <= endurance_range_) return kInf;
-  return invert_power_law(0.5 * range, sigma_f_, b_);
+  double amplitude = 0.5 * range;
+  double coeff = sigma_f_;
+  switch (correction_) {
+    case MeanStressCorrection::kNone:
+      break;
+    case MeanStressCorrection::kGoodman: {
+      // Only a tensile mean is damaging; a compressive mean is conservatively
+      // ignored rather than credited with extra life.
+      if (mean > 0.0) {
+        const double margin = 1.0 - mean / sigma_u_;
+        if (margin <= 0.0) return 0.5;  // mean alone exhausts the strength
+        amplitude /= margin;
+      }
+      break;
+    }
+    case MeanStressCorrection::kMorrow: {
+      if (mean > 0.0) {
+        coeff = sigma_f_ - mean;
+        if (coeff <= 0.0) return 0.5;
+      }
+      break;
+    }
+  }
+  return invert_power_law(amplitude, coeff, b_);
 }
 
-CoffinMansonModel::CoffinMansonModel(double fatigue_ductility, double exponent, double modulus)
-    : eps_f_(fatigue_ductility), c_(exponent), modulus_(modulus) {
+CoffinMansonModel::CoffinMansonModel(double fatigue_ductility, double exponent, double modulus,
+                                     double fatigue_strength, double strength_exponent)
+    : eps_f_(fatigue_ductility),
+      c_(exponent),
+      modulus_(modulus),
+      sigma_f_(fatigue_strength),
+      b_(strength_exponent) {
   if (eps_f_ <= 0.0) throw std::invalid_argument("CoffinMansonModel: e_f' must be positive");
   if (c_ >= 0.0) throw std::invalid_argument("CoffinMansonModel: exponent c must be negative");
   if (modulus_ <= 0.0) throw std::invalid_argument("CoffinMansonModel: modulus must be positive");
+  if (sigma_f_ > 0.0 && b_ >= 0.0) {
+    throw std::invalid_argument(
+        "CoffinMansonModel: modified-Morrow needs a negative strength exponent");
+  }
 }
 
-double CoffinMansonModel::cycles_to_failure(double range, double /*mean*/) const {
-  return invert_power_law(0.5 * range / modulus_, eps_f_, c_);
+double CoffinMansonModel::cycles_to_failure(double range, double mean) const {
+  double coeff = eps_f_;
+  // Modified Morrow: a tensile mean shrinks the effective ductility
+  // coefficient to e_f' (1 - s_m / s_f')^(c/b); c/b > 0 so the factor < 1.
+  if (sigma_f_ > 0.0 && mean > 0.0) {
+    const double margin = 1.0 - mean / sigma_f_;
+    if (margin <= 0.0) return 0.5;
+    coeff = eps_f_ * std::pow(margin, c_ / b_);
+  }
+  return invert_power_law(0.5 * range / modulus_, coeff, c_);
 }
 
 EngelmaierModel::EngelmaierModel(double shear_modulus, double mean_temperature_c,
-                                 double cycles_per_day)
-    : shear_modulus_(shear_modulus), eps_f_(0.325) {
+                                 double cycles_per_day, double shear_modulus_slope)
+    : shear_modulus_(shear_modulus + shear_modulus_slope * (mean_temperature_c - 20.0)),
+      eps_f_(0.325) {
   if (shear_modulus_ <= 0.0) {
-    throw std::invalid_argument("EngelmaierModel: shear modulus must be positive");
+    throw std::invalid_argument(
+        "EngelmaierModel: effective shear modulus must stay positive at the mean temperature");
   }
   if (cycles_per_day < 0.0) {
     throw std::invalid_argument("EngelmaierModel: cycle frequency must be >= 0");
@@ -71,8 +121,11 @@ std::unique_ptr<FatigueModel> basquin_from_material(const fem::Material& materia
     throw std::invalid_argument("basquin_from_material: '" + material.name +
                                 "' carries no stress-life fatigue data");
   }
-  return std::make_unique<BasquinModel>(material.fatigue_strength,
-                                        material.fatigue_strength_exponent);
+  const bool goodman = material.ultimate_strength > 0.0;
+  return std::make_unique<BasquinModel>(
+      material.fatigue_strength, material.fatigue_strength_exponent, /*endurance_range=*/0.0,
+      goodman ? MeanStressCorrection::kGoodman : MeanStressCorrection::kNone,
+      material.ultimate_strength);
 }
 
 std::unique_ptr<FatigueModel> coffin_manson_from_material(const fem::Material& material) {
@@ -80,14 +133,18 @@ std::unique_ptr<FatigueModel> coffin_manson_from_material(const fem::Material& m
     throw std::invalid_argument("coffin_manson_from_material: '" + material.name +
                                 "' carries no strain-life fatigue data");
   }
-  return std::make_unique<CoffinMansonModel>(material.fatigue_ductility,
-                                             material.fatigue_ductility_exponent,
-                                             material.youngs_modulus);
+  // The stress-life pair, when present, switches on the modified-Morrow
+  // mean-stress correction.
+  return std::make_unique<CoffinMansonModel>(
+      material.fatigue_ductility, material.fatigue_ductility_exponent, material.youngs_modulus,
+      material.fatigue_strength, material.fatigue_strength_exponent);
 }
 
 std::unique_ptr<FatigueModel> engelmaier_solder(double shear_modulus, double mean_temperature_c,
-                                                double cycles_per_day) {
-  return std::make_unique<EngelmaierModel>(shear_modulus, mean_temperature_c, cycles_per_day);
+                                                double cycles_per_day,
+                                                double shear_modulus_slope) {
+  return std::make_unique<EngelmaierModel>(shear_modulus, mean_temperature_c, cycles_per_day,
+                                           shear_modulus_slope);
 }
 
 }  // namespace ms::reliability

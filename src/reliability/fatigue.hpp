@@ -37,29 +37,53 @@ class FatigueModel {
   [[nodiscard]] virtual const std::string& name() const = 0;
 };
 
+/// Mean-stress correction applied to a stress-life law. Rainflow counting
+/// records each cycle's mean precisely so the correction can use it:
+///  - kNone:    mean ignored (fully-reversed assumption).
+///  - kGoodman: the effective fully-reversed amplitude is
+///              s_a / (1 - s_m / s_u); tensile means cost life linearly up
+///              to the ultimate strength.
+///  - kMorrow:  the strength coefficient shrinks to s_f' - s_m.
+enum class MeanStressCorrection : int {
+  kNone = 0,
+  kGoodman = 1,
+  kMorrow = 2,
+};
+
 /// Basquin stress-life: dS/2 = s_f' (2 N_f)^b. `endurance_range` (optional)
-/// is the stress range below which no damage accumulates.
+/// is the stress range below which no damage accumulates. With a correction
+/// other than kNone, `ultimate_strength` (Goodman) must be positive; a cycle
+/// whose mean consumes the whole correction margin (s_m >= s_u under
+/// Goodman, s_m >= s_f' under Morrow) fails in the half-cycle floor.
 class BasquinModel : public FatigueModel {
  public:
-  BasquinModel(double fatigue_strength, double exponent, double endurance_range = 0.0);
+  BasquinModel(double fatigue_strength, double exponent, double endurance_range = 0.0,
+               MeanStressCorrection correction = MeanStressCorrection::kNone,
+               double ultimate_strength = 0.0);
   [[nodiscard]] double cycles_to_failure(double range, double mean) const override;
   [[nodiscard]] const std::string& name() const override { return name_; }
 
  private:
   double sigma_f_, b_, endurance_range_;
+  MeanStressCorrection correction_;
+  double sigma_u_;
   std::string name_ = "basquin";
 };
 
 /// Coffin-Manson strain-life with the strain range taken as range / modulus:
-/// de/2 = e_f' (2 N_f)^c.
+/// de/2 = e_f' (2 N_f)^c. The optional modified-Morrow correction scales the
+/// ductility coefficient to e_f' (1 - s_m / s_f')^(c/b), which requires the
+/// companion stress-life pair (fatigue_strength, strength_exponent).
 class CoffinMansonModel : public FatigueModel {
  public:
-  CoffinMansonModel(double fatigue_ductility, double exponent, double modulus);
+  CoffinMansonModel(double fatigue_ductility, double exponent, double modulus,
+                    double fatigue_strength = 0.0, double strength_exponent = 0.0);
   [[nodiscard]] double cycles_to_failure(double range, double mean) const override;
   [[nodiscard]] const std::string& name() const override { return name_; }
 
  private:
   double eps_f_, c_, modulus_;
+  double sigma_f_ = 0.0, b_ = 0.0;  ///< 0 = no modified-Morrow correction
   std::string name_ = "coffin-manson";
 };
 
@@ -69,10 +93,16 @@ class EngelmaierModel : public FatigueModel {
  public:
   /// Classic eutectic-solder constants: e_f' = 0.325,
   /// c = -0.442 - 6e-4 * T_mean + 1.74e-2 * ln(1 + f).
-  EngelmaierModel(double shear_modulus, double mean_temperature_c, double cycles_per_day);
+  /// `shear_modulus_slope` [MPa/C] softens the solder with temperature:
+  /// G_eff = G + slope * (T_mean - 20), referenced to the 20 C room
+  /// temperature G is quoted at (0 = temperature-independent G). G_eff must
+  /// stay positive over the given mean temperature.
+  EngelmaierModel(double shear_modulus, double mean_temperature_c, double cycles_per_day,
+                  double shear_modulus_slope = 0.0);
   [[nodiscard]] double cycles_to_failure(double range, double mean) const override;
   [[nodiscard]] const std::string& name() const override { return name_; }
   [[nodiscard]] double exponent() const { return c_; }
+  [[nodiscard]] double effective_shear_modulus() const { return shear_modulus_; }
 
  private:
   double shear_modulus_, eps_f_, c_;
@@ -80,15 +110,20 @@ class EngelmaierModel : public FatigueModel {
 };
 
 /// Basquin model from a material's fatigue_strength / fatigue_strength_exponent.
-/// Throws std::invalid_argument when the material carries no stress-life data.
+/// When the material carries an ultimate_strength the Goodman mean-stress
+/// correction is enabled automatically. Throws std::invalid_argument when
+/// the material carries no stress-life data.
 std::unique_ptr<FatigueModel> basquin_from_material(const fem::Material& material);
 
 /// Coffin-Manson model from fatigue_ductility / fatigue_ductility_exponent
-/// and the material's Young's modulus.
+/// and the material's Young's modulus. When the material also carries
+/// stress-life data the modified-Morrow mean-stress correction is enabled.
 std::unique_ptr<FatigueModel> coffin_manson_from_material(const fem::Material& material);
 
-/// Engelmaier solder model with the classic eutectic constants.
+/// Engelmaier solder model with the classic eutectic constants and an
+/// optional temperature-dependent shear modulus (see EngelmaierModel).
 std::unique_ptr<FatigueModel> engelmaier_solder(double shear_modulus, double mean_temperature_c,
-                                                double cycles_per_day);
+                                                double cycles_per_day,
+                                                double shear_modulus_slope = 0.0);
 
 }  // namespace ms::reliability

@@ -104,6 +104,40 @@ void StressHistory::record_step(std::size_t step, const std::vector<fem::Stress6
   }
 }
 
+void StressHistory::record_step(std::size_t step, const std::vector<fem::Stress6>& plane_stress,
+                                const std::vector<std::array<double, 2>>& bump_shear,
+                                int samples_per_block) {
+  record_step(step, plane_stress, samples_per_block);  // mid-plane channels
+  const std::size_t s = static_cast<std::size_t>(samples_per_block);
+  if (bump_shear.size() != num_blocks() * s * s) {
+    throw std::invalid_argument(
+        "StressHistory::record_step: bump field size must be blocks * samples_per_block^2");
+  }
+  // Overwrite the bump-shear channel with the bump-plane reduction.
+  const std::size_t width = static_cast<std::size_t>(blocks_x_) * s;
+  for (int by = 0; by < blocks_y_; ++by) {
+    for (int bx = 0; bx < blocks_x_; ++bx) {
+      const std::size_t block = static_cast<std::size_t>(by) * blocks_x_ + bx;
+      double peak = -std::numeric_limits<double>::infinity();
+      for (std::size_t my = 0; my < s; ++my) {
+        const std::array<double, 2>* row = bump_shear.data() + (by * s + my) * width + bx * s;
+        for (std::size_t mx = 0; mx < s; ++mx) {
+          peak = std::max(peak, std::sqrt(row[mx][0] * row[mx][0] + row[mx][1] * row[mx][1]));
+        }
+      }
+      set_value(step, StressChannel::kBumpShear, block, peak);
+    }
+  }
+}
+
+void StressHistory::set_value(std::size_t step, StressChannel channel, std::size_t block,
+                              double value) {
+  if (step >= times_.size() || block >= num_blocks()) {
+    throw std::invalid_argument("StressHistory::set_value: step or block out of range");
+  }
+  data_[(step * kNumChannels + static_cast<int>(channel)) * num_blocks() + block] = value;
+}
+
 double StressHistory::value(std::size_t step, StressChannel channel, std::size_t block) const {
   return data_[(step * kNumChannels + static_cast<int>(channel)) * num_blocks() + block];
 }

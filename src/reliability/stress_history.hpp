@@ -10,14 +10,16 @@
 //                     eigenvalue, signed): tensile cracking / delamination.
 //   kBumpShear      — per-block peak resultant through-plane shear
 //                     sqrt(s_yz^2 + s_xz^2): the shear the TSV column
-//                     transfers into the microbump plane. The ROM samples
-//                     live on the mid-height cut plane; the through-plane
-//                     shear there is the load-transfer proxy for the bump
-//                     interface (see DESIGN.md "Reliability").
+//                     transfers into the microbump plane, sampled on the
+//                     local stage's bump plane (z = height / (2 elems_z),
+//                     just above the clamped face) — real bump-plane
+//                     tractions, not the former mid-plane proxy (see
+//                     DESIGN.md "Reliability").
 //
 // Histories feed rainflow counting (reliability/rainflow.hpp) channel by
 // channel and block by block.
 
+#include <array>
 #include <cstddef>
 #include <vector>
 
@@ -67,6 +69,19 @@ class StressHistory {
   void resize_steps(const std::vector<double>& times);
   void record_step(std::size_t step, const std::vector<fem::Stress6>& plane_stress,
                    int samples_per_block);
+
+  /// Full-field variant with a separate bump-plane shear field (same y-major
+  /// sample layout, (s_yz, s_xz) per point, as rom::reconstruct_bump_plane_
+  /// shear): von Mises / first principal reduce from the mid-plane field,
+  /// the bump-shear channel from the bump-plane tractions. This is the
+  /// reference the batched channel-only extractor locks against.
+  void record_step(std::size_t step, const std::vector<fem::Stress6>& plane_stress,
+                   const std::vector<std::array<double, 2>>& bump_shear, int samples_per_block);
+
+  /// Write one per-block channel scalar directly (step-parallel producers
+  /// such as the batched channel extractor; slots are disjoint per
+  /// (step, channel, block)).
+  void set_value(std::size_t step, StressChannel channel, std::size_t block, double value);
 
   [[nodiscard]] int blocks_x() const { return blocks_x_; }
   [[nodiscard]] int blocks_y() const { return blocks_y_; }

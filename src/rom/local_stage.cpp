@@ -199,17 +199,17 @@ RomModel run_local_stage(const mesh::TsvGeometry& geometry, const mesh::BlockMes
     for (idx_t i = 0; i < n; ++i) model.element_load[i] = la::dot(basis[i], g);
   }
 
-  // Per-basis field samples on the mid-height cut plane (Eq. 15 applied at
+  // Per-basis field samples on a horizontal cut plane (Eq. 15 applied at
   // reconstruction time). Thermal column includes the eigenstrain term.
-  {
+  // `voigt_rows` selects which stress components are stored (num_rows per
+  // sample point); displacements are sampled only when disp_out is non-null.
+  const auto sample_plane = [&](double z, const int* voigt_rows, int num_rows, DenseMatrix& out,
+                                DenseMatrix* disp_out) {
     const int s = options.samples_per_block;
-    const fem::PlaneGrid grid =
-        fem::make_block_plane_grid(geometry.pitch, 1, 1, s, 0.5 * geometry.height);
+    const fem::PlaneGrid grid = fem::make_block_plane_grid(geometry.pitch, 1, 1, s, z);
     const idx_t npts = static_cast<idx_t>(grid.size());
-    model.stress_samples = DenseMatrix(6 * npts, n + 1);
-    if (options.sample_displacements) {
-      model.displacement_samples = DenseMatrix(3 * npts, n + 1);
-    }
+    out = DenseMatrix(num_rows * npts, n + 1);
+    if (disp_out != nullptr) *disp_out = DenseMatrix(3 * npts, n + 1);
 
     const idx_t nxs = static_cast<idx_t>(grid.xs.size());
     // Each sample point writes its own disjoint rows, so points parallelize.
@@ -244,22 +244,34 @@ RomModel run_local_stage(const mesh::TsvGeometry& geometry, const mesh::BlockMes
         for (int a = 0; a < kHexNodes; ++a) {
           for (int c = 0; c < 3; ++c) fe[3 * a + c] = basis[col][fem::dof_of(nodes[a], c)];
         }
-        for (int r = 0; r < kVoigt; ++r) {
+        for (int ri = 0; ri < num_rows; ++ri) {
+          const int r = voigt_rows[ri];
           double sum = 0.0;
           for (int cdof = 0; cdof < kHexDofs; ++cdof) sum += db[r][cdof] * fe[cdof];
           if (col == n) sum -= sigma_th[r];  // thermal basis, unit load
-          model.stress_samples(6 * pt + r, col) = sum;
+          out(num_rows * pt + ri, col) = sum;
         }
-        if (options.sample_displacements) {
+        if (disp_out != nullptr) {
           for (int c = 0; c < 3; ++c) {
             double sum = 0.0;
             for (int a = 0; a < kHexNodes; ++a) sum += shapes[a] * fe[3 * a + c];
-            model.displacement_samples(3 * pt + c, col) = sum;
+            (*disp_out)(3 * pt + c, col) = sum;
           }
         }
       }
     }
-  }
+  };
+
+  constexpr int kAllVoigt[kVoigt] = {0, 1, 2, 3, 4, 5};
+  sample_plane(0.5 * geometry.height, kAllVoigt, kVoigt, model.stress_samples,
+               options.sample_displacements ? &model.displacement_samples : nullptr);
+  // Bump-plane tractions for the bump-shear fatigue channel: the centre of
+  // the bottom element layer, z = h / (2 elems_z) — cell-centred so the
+  // plane sits inside elements (never on a material interface) and clear of
+  // the clamped z = 0 face.
+  constexpr int kShearVoigt[2] = {3, 4};  // s_yz, s_xz
+  sample_plane(0.5 * geometry.height / spec.elems_z, kShearVoigt, 2, model.bump_shear_samples,
+               nullptr);
 
   model.local_stage_seconds = timer.seconds();
   MS_LOG_DEBUG("local stage (%s): %d fine dofs -> %d element dofs in %.2fs",

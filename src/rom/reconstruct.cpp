@@ -116,4 +116,38 @@ std::vector<std::array<double, 3>> reconstruct_plane_displacement(
   return out;
 }
 
+std::vector<std::array<double, 2>> reconstruct_bump_plane_shear(
+    const BlockGrid& grid, const RomModel& tsv_model, const RomModel* dummy_model,
+    const BlockMask& mask, const Vec& u, const BlockLoadField& load, const BlockRange& range) {
+  if (tsv_model.bump_shear_samples.rows() == 0) {
+    throw std::logic_error(
+        "reconstruct_bump_plane_shear: model carries no bump-plane samples (rebuild the local "
+        "stage)");
+  }
+  const int s = tsv_model.samples_per_block;
+  const std::size_t width = static_cast<std::size_t>(range.width()) * s;
+  std::vector<std::array<double, 2>> out(width * static_cast<std::size_t>(range.height()) * s);
+
+  for_each_block_samples(
+      grid, tsv_model, dummy_model, mask, u, load, range,
+      [&](const RomModel& model, int bx, int by, const Vec& coef) {
+        const la::DenseMatrix& bm = model.bump_shear_samples;
+        for (int my = 0; my < s; ++my) {
+          for (int mx = 0; mx < s; ++mx) {
+            const idx_t pt = static_cast<idx_t>(my) * s + mx;
+            const std::size_t gidx =
+                (static_cast<std::size_t>(by - range.by0) * s + my) * width +
+                static_cast<std::size_t>(bx - range.bx0) * s + mx;
+            for (int c = 0; c < 2; ++c) {
+              const idx_t row = 2 * pt + c;
+              double sum = 0.0;
+              for (idx_t col = 0; col < bm.cols(); ++col) sum += bm(row, col) * coef[col];
+              out[gidx][c] = sum;
+            }
+          }
+        }
+      });
+  return out;
+}
+
 }  // namespace ms::rom

@@ -46,6 +46,14 @@ std::vector<std::array<double, 3>> reconstruct_plane_displacement(
     const BlockGrid& grid, const RomModel& tsv_model, const RomModel* dummy_model,
     const BlockMask& mask, const Vec& u, const BlockLoadField& load, const BlockRange& range);
 
+/// Through-plane shear pairs (s_yz, s_xz) on the bump plane (the local
+/// stage's second sample plane at z = height / (2 elems_z)); layout matches
+/// the stress variants, 2 values per point. Requires a model with
+/// bump_shear_samples (throws std::logic_error on pre-bump-plane models).
+std::vector<std::array<double, 2>> reconstruct_bump_plane_shear(
+    const BlockGrid& grid, const RomModel& tsv_model, const RomModel* dummy_model,
+    const BlockMask& mask, const Vec& u, const BlockLoadField& load, const BlockRange& range);
+
 // Scalar-ΔT conveniences (the paper's uniform reflow load).
 inline std::vector<double> reconstruct_plane_von_mises(
     const BlockGrid& grid, const RomModel& tsv_model, const RomModel* dummy_model,

@@ -8,7 +8,7 @@
 namespace ms::rom {
 namespace {
 
-constexpr char kMagic[8] = {'M', 'S', 'R', 'O', 'M', '0', '0', '2'};
+constexpr char kMagic[8] = {'M', 'S', 'R', 'O', 'M', '0', '0', '3'};
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -84,7 +84,8 @@ idx_t RomModel::num_element_dofs() const {
 
 std::size_t RomModel::memory_bytes() const {
   return (element_stiffness.data().size() + stress_samples.data().size() +
-          displacement_samples.data().size() + element_load.size()) *
+          displacement_samples.data().size() + bump_shear_samples.data().size() +
+          element_load.size()) *
          sizeof(double);
 }
 
@@ -117,6 +118,7 @@ void RomModel::save(const std::string& path) const {
   write_vec(f.get(), element_load);
   write_matrix(f.get(), stress_samples);
   write_matrix(f.get(), displacement_samples);
+  write_matrix(f.get(), bump_shear_samples);
 }
 
 RomModel RomModel::load(const std::string& path) {
@@ -145,6 +147,7 @@ RomModel RomModel::load(const std::string& path) {
   m.element_load = read_vec(f.get());
   m.stress_samples = read_matrix(f.get());
   m.displacement_samples = read_matrix(f.get());
+  m.bump_shear_samples = read_matrix(f.get());
   return m;
 }
 

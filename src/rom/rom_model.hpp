@@ -46,6 +46,12 @@ struct RomModel {
   /// (3 * s^2) x (n + 1) displacement samples (same layout, 3 rows/sample);
   /// empty if displacement sampling was disabled.
   DenseMatrix displacement_samples;
+  /// (2 * s^2) x (n + 1) through-plane shear samples (rows s_yz, s_xz per
+  /// point, same sample ordering) on the bump plane — the centre of the
+  /// bottom element layer, z = height / (2 elems_z), just above the clamped
+  /// z = 0 face. Feeds the bump-shear fatigue channel with real bump-plane
+  /// tractions instead of the mid-plane proxy.
+  DenseMatrix bump_shear_samples;
 
   // --- diagnostics ------------------------------------------------------------
   idx_t fine_mesh_dofs = 0;      ///< DoFs of the fine unit-block mesh

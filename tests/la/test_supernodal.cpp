@@ -202,6 +202,50 @@ TEST(Supernodal, EtreePostorderIsValidPermutation) {
   }
 }
 
+TEST(Supernodal, ParallelNumericMatchesSerialBitwise) {
+  // The phased numeric factorization partitions the elimination tree with a
+  // thread-count-independent weight target, so the OpenMP subtree pass must
+  // reproduce the serial pass bit for bit — on the fundamental supernodes
+  // and on amalgamated (padded) panels alike.
+  for (const double relax : {0.0, 0.25}) {
+    for (const CsrMatrix& a : {tsv_block_matrix(), package_matrix()}) {
+      SparseCholesky::Options serial = with_method(SparseCholesky::Method::kSupernodal);
+      serial.relax_supernodes = relax;
+      serial.parallel_numeric = false;
+      SparseCholesky::Options parallel = serial;
+      parallel.parallel_numeric = true;
+      const SparseCholesky cs(a, serial);
+      const SparseCholesky cp(a, parallel);
+      std::vector<offset_t> cp_s, cp_p;
+      std::vector<idx_t> ri_s, ri_p;
+      std::vector<double> v_s, v_p;
+      cs.extract_factor(cp_s, ri_s, v_s);
+      cp.extract_factor(cp_p, ri_p, v_p);
+      ASSERT_EQ(cp_s, cp_p);
+      ASSERT_EQ(ri_s, ri_p);
+      ASSERT_EQ(v_s, v_p) << "relax = " << relax;
+    }
+  }
+}
+
+TEST(Supernodal, ParallelNumericStillThrowsOnIndefiniteMatrix) {
+  // The subtree pass may not leak exceptions out of its OpenMP region; the
+  // non-positive-pivot failure must still surface as the usual throw.
+  const CsrMatrix a = tsv_block_matrix();
+  TripletList t(a.rows(), a.cols());
+  for (idx_t r = 0; r < a.rows(); ++r) {
+    const offset_t end = a.row_ptr()[static_cast<std::size_t>(r) + 1];
+    for (offset_t p = a.row_ptr()[r]; p < end; ++p) {
+      const idx_t c = a.col_idx()[p];
+      t.add(r, c, r == c ? -a.values()[p] : a.values()[p]);  // flip the diagonal
+    }
+  }
+  const CsrMatrix indefinite = CsrMatrix::from_triplets(t);
+  SparseCholesky::Options options;  // AMD + supernodal + parallel defaults
+  options.parallel_numeric = true;
+  EXPECT_THROW(SparseCholesky(indefinite, options), std::runtime_error);
+}
+
 /// Scatter an extract_factor CSC export into a dense lower triangle.
 std::vector<double> densify_factor(const SparseCholesky& chol, idx_t n) {
   std::vector<offset_t> cp;

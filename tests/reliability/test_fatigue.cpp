@@ -54,6 +54,80 @@ TEST(FatigueModels, EngelmaierExponentTracksTemperatureAndFrequency) {
   EXPECT_THROW(EngelmaierModel(5600.0, 20.0, 1e12), std::invalid_argument);
 }
 
+TEST(FatigueModels, GoodmanCorrectionChargesTensileMeans) {
+  // N = 0.5 (amp / 1000)^(-2). With sigma_u = 500, a tensile mean of 250
+  // halves the Goodman margin, doubling the effective amplitude:
+  // amp 100 -> 200, N drops 50 -> 12.5.
+  const BasquinModel plain(1000.0, -0.5);
+  const BasquinModel goodman(1000.0, -0.5, 0.0, MeanStressCorrection::kGoodman, 500.0);
+  EXPECT_DOUBLE_EQ(goodman.cycles_to_failure(200.0, 0.0), plain.cycles_to_failure(200.0, 0.0));
+  EXPECT_NEAR(goodman.cycles_to_failure(200.0, 250.0), 12.5, 1e-9);
+  // A compressive mean is conservatively ignored, not credited.
+  EXPECT_DOUBLE_EQ(goodman.cycles_to_failure(200.0, -300.0),
+                   goodman.cycles_to_failure(200.0, 0.0));
+  // Mean at/above the ultimate strength exhausts the margin: half a cycle.
+  EXPECT_DOUBLE_EQ(goodman.cycles_to_failure(200.0, 500.0), 0.5);
+  EXPECT_DOUBLE_EQ(goodman.cycles_to_failure(200.0, 600.0), 0.5);
+  // Goodman without sigma_u is rejected.
+  EXPECT_THROW(BasquinModel(1000.0, -0.5, 0.0, MeanStressCorrection::kGoodman, 0.0),
+               std::invalid_argument);
+}
+
+TEST(FatigueModels, MorrowCorrectionShrinksTheStrengthCoefficient) {
+  // Morrow: s_f' - s_m. amp 100 against coeff 500: N = 0.5 (100/500)^(-2)
+  // = 12.5, versus 50 fully reversed.
+  const BasquinModel morrow(1000.0, -0.5, 0.0, MeanStressCorrection::kMorrow);
+  EXPECT_NEAR(morrow.cycles_to_failure(200.0, 0.0), 50.0, 1e-9);
+  EXPECT_NEAR(morrow.cycles_to_failure(200.0, 500.0), 12.5, 1e-9);
+  EXPECT_DOUBLE_EQ(morrow.cycles_to_failure(200.0, 1000.0), 0.5);
+}
+
+TEST(FatigueModels, CoffinMansonModifiedMorrowScalesDuctility) {
+  // c/b = (-0.5)/(-0.25) = 2: a mean of s_f'/2 shrinks the effective
+  // ductility to e_f' * 0.25 = 0.1. A strain amplitude of exactly 0.1
+  // (range 200 over E = 1000) then fails at the half-cycle floor, versus
+  // N = 0.5 * (0.1/0.4)^(-2) = 8 fully reversed.
+  const CoffinMansonModel corrected(0.4, -0.5, 1000.0, 1000.0, -0.25);
+  const CoffinMansonModel plain(0.4, -0.5, 1000.0);
+  EXPECT_NEAR(corrected.cycles_to_failure(200.0, 0.0), 8.0, 1e-9);
+  EXPECT_DOUBLE_EQ(corrected.cycles_to_failure(200.0, 0.0),
+                   plain.cycles_to_failure(200.0, 123.0));
+  EXPECT_DOUBLE_EQ(corrected.cycles_to_failure(200.0, 500.0), 0.5);
+  // Mean at/above s_f': half-cycle floor.
+  EXPECT_DOUBLE_EQ(corrected.cycles_to_failure(200.0, 1000.0), 0.5);
+  // The correction needs a negative strength exponent.
+  EXPECT_THROW(CoffinMansonModel(0.4, -0.5, 1000.0, 1000.0, 0.25), std::invalid_argument);
+}
+
+TEST(FatigueModels, EngelmaierShearModulusSoftensWithTemperature) {
+  // G_eff = 5600 - 40 * (60 - 20) = 4000 MPa at a 60 C mean joint
+  // temperature: larger shear strain at equal stress range, so the softened
+  // joint fails sooner than the fixed-G one.
+  const EngelmaierModel fixed(5600.0, 60.0, 1.0);
+  const EngelmaierModel softened(5600.0, 60.0, 1.0, -40.0);
+  EXPECT_DOUBLE_EQ(softened.effective_shear_modulus(), 4000.0);
+  EXPECT_LT(softened.cycles_to_failure(100.0, 0.0), fixed.cycles_to_failure(100.0, 0.0));
+  // The softening must not drive G_eff non-positive.
+  EXPECT_THROW(EngelmaierModel(5600.0, 200.0, 1.0, -40.0), std::invalid_argument);
+}
+
+TEST(FatigueModels, MaterialFactoriesEnableMeanStressCorrections) {
+  // Copper carries sigma_u, so the factory Basquin model is Goodman-corrected
+  // and the Coffin-Manson model modified-Morrow-corrected: a tensile mean
+  // must cost life relative to the fully-reversed cycle.
+  const auto basquin = basquin_from_material(fem::copper());
+  EXPECT_LT(basquin->cycles_to_failure(200.0, 100.0), basquin->cycles_to_failure(200.0, 0.0));
+  const auto cm = coffin_manson_from_material(fem::copper());
+  EXPECT_LT(cm->cycles_to_failure(200.0, 100.0), cm->cycles_to_failure(200.0, 0.0));
+  // A material without sigma_u keeps the uncorrected laws.
+  fem::Material no_su = fem::copper();
+  no_su.ultimate_strength = 0.0;
+  no_su.fatigue_strength = 564.0;
+  const auto plain = basquin_from_material(no_su);
+  EXPECT_DOUBLE_EQ(plain->cycles_to_failure(200.0, 100.0),
+                   plain->cycles_to_failure(200.0, 0.0));
+}
+
 TEST(FatigueModels, MaterialFactoriesRequireData) {
   EXPECT_NO_THROW(basquin_from_material(fem::copper()));
   EXPECT_NO_THROW(coffin_manson_from_material(fem::copper()));

@@ -63,7 +63,14 @@ VALUE_FIELDS = ("peak_von_mises", "dt_min", "dt_max", "envelope_dt_max", "time_a
                 # one factorization and a fixed RHS count, and the rainflow /
                 # Miner reduction is deterministic, so the log-lifetime and
                 # counted cycle content may not drift.
-                "num_rhs", "num_factorizations", "min_life_log10", "total_cycle_counts")
+                "num_rhs", "num_factorizations", "min_life_log10", "total_cycle_counts",
+                # Hot-path timing tripwires: "_seconds"-suffixed entries are
+                # gated as strict scale-normalized budgets (no abs-floor, see
+                # below) instead of relative value drift — the batched channel
+                # extraction is the fatigue hot path and must not creep back
+                # toward per-step dense reconstruction even by small absolute
+                # amounts.
+                "channel_extraction_seconds")
 
 
 def main():
@@ -131,6 +138,19 @@ def main():
             base = base_case.get(field)
             new = current[key].get(field)
             if not isinstance(base, (int, float)) or not isinstance(new, (int, float)):
+                continue
+            if field.endswith("_seconds"):
+                # Strict timing tripwire: the scale-normalized budget applies
+                # with no absolute floor, unlike the generic timing loop above.
+                budget = base * scale * args.max_slowdown
+                status = "ok"
+                if new > budget:
+                    status = "REGRESSION"
+                    failures.append(
+                        f"{key} {field}: {new:.3f}s exceeds strict budget "
+                        f"{budget:.3f}s (baseline {base:.3f}s at scale {scale:.2f})")
+                print(f"  {key} {field} (strict): base {base:.3f}s new {new:.3f}s "
+                      f"budget {budget:.3f}s [{status}]")
                 continue
             denom = max(abs(base), 1e-12)
             drift = abs(new - base) / denom
