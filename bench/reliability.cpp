@@ -85,6 +85,17 @@ int main(int argc, char** argv) {
               1e3 * result.solve_stats.triangular_seconds /
                   std::max<ms::la::idx_t>(result.solve_stats.num_rhs, 1));
 
+  // Fraction of point-steps the reduced-basis screen actually evaluated in
+  // full — the cost of channel extraction scales with this, and a regression
+  // toward 1.0 means the screen stopped pruning.
+  const double screen_evaluated =
+      after_case.delta(before_case, "reliability.screen.evaluated_point_steps");
+  const double screen_total =
+      after_case.delta(before_case, "reliability.screen.total_point_steps");
+  const double screen_fraction = screen_total > 0.0 ? screen_evaluated / screen_total : 1.0;
+  std::printf("screen evaluated %.0f of %.0f point-steps (%.1f%%)\n", screen_evaluated,
+              screen_total, 100.0 * screen_fraction);
+
   double peak_vm = 0.0;
   for (double v : result.von_mises) peak_vm = std::max(peak_vm, v);
   records.push_back(
@@ -105,6 +116,7 @@ int main(int argc, char** argv) {
           .set("global_dofs", static_cast<std::int64_t>(result.stats.global_dofs))
           .set("peak_von_mises", peak_vm)
           .set("min_life_log10", min_life_log10)
+          .set("screen_evaluated_fraction", screen_fraction)
           .set("memory_bytes", result.stats.memory_bytes));
 
   // --- rainflow kernel throughput ------------------------------------------

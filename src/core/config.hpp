@@ -3,6 +3,7 @@
 // mesh density, interpolation-node counts, and solver choices. Every bench
 // and example builds one of these and hands it to MoreStressSimulator.
 
+#include "core/options.hpp"
 #include "fem/material.hpp"
 #include "fem/solver.hpp"
 #include "mesh/tsv_block.hpp"
@@ -11,34 +12,6 @@
 #include "thermal/thermal_solver.hpp"
 
 namespace ms::core {
-
-/// Controls of the conduction -> ROM coupling (simulate_array_thermal and
-/// simulate_submodel_thermal): the coarse thermal meshes, the conduction
-/// solve, and the reference temperature the per-block ΔT is measured from.
-struct ThermalCouplingOptions {
-  thermal::ThermalSolveOptions solve;  ///< sink/ambient + conduction solver
-  /// Transient-run controls (simulate_array_thermal_transient): time step,
-  /// step count, θ-scheme, capacitance lumping. The sink/ambient data is
-  /// taken from `solve` so steady and transient runs see one boundary model.
-  thermal::TransientSolveOptions transient;
-  int elems_per_block_xy = 2;          ///< thermal-mesh elements across a pitch
-  int elems_z = 8;                     ///< elements through the block height
-                                       ///< (array mesh / interposer layer)
-  /// Stress-free temperature [C]: ΔT_block = T_block - stress_free. The
-  /// default equals the ambient, so stresses are purely operational
-  /// (power-driven); set it to the reflow temperature to superpose the
-  /// paper's assembly load.
-  double stress_free_temperature = 25.0;
-  /// How per-block effective conductivities are derived. kTsvAware resolves
-  /// dummy blocks (bulk Si) vs active blocks (anisotropic in-plane /
-  /// through-plane); kViaAveraged keeps the PR-1 single isotropic average.
-  thermal::ConductivityModel conductivity_model = thermal::ConductivityModel::kTsvAware;
-  // Package conduction mesh (simulate_submodel_thermal only):
-  int package_coarse_elems_xy = 24;      ///< plan resolution outside the window
-  int package_elems_z_substrate = 3;
-  int package_elems_z_die = 3;
-  double package_filler_conductivity = 0.5;  ///< mold/underfill [W/(m K)]
-};
 
 struct SimulationConfig {
   mesh::TsvGeometry geometry;

@@ -1,0 +1,117 @@
+#pragma once
+// Result structs of every simulate_* scenario, split out of simulator.hpp
+// so consumers that only carry results around (sweep::ScenarioResult, report
+// writers) need not pull in the simulator, the package model, or the solver
+// entry points.
+
+#include <string>
+#include <vector>
+
+#include "fem/stress.hpp"
+#include "la/types.hpp"
+#include "reliability/damage.hpp"
+#include "reliability/stress_history.hpp"
+#include "rom/global_solver.hpp"
+#include "rom/load_field.hpp"
+#include "thermal/temperature_field.hpp"
+#include "thermal/thermal_solver.hpp"
+
+namespace ms::core {
+
+using la::idx_t;
+using la::Vec;
+
+/// Cost/quality record of one global-stage run.
+struct RunStats {
+  double local_stage_seconds = 0.0;   ///< one-shot cost (amortized)
+  double assemble_seconds = 0.0;
+  double solve_seconds = 0.0;
+  double reconstruct_seconds = 0.0;
+  idx_t global_dofs = 0;
+  idx_t iterations = 0;
+  bool converged = false;
+  std::size_t memory_bytes = 0;       ///< models + matrix + solver workspace
+  // Direct-path factorization detail (zero / empty on iterative paths):
+  double factor_seconds = 0.0;        ///< inside solve_seconds
+  la::offset_t factor_nnz = 0;        ///< nnz(L) of the global factor
+  double fill_ratio = 0.0;            ///< nnz(L) / nnz(tril(K))
+  std::string solver_ordering;        ///< "amd" / "rcm" / "natural"
+
+  /// Paper's "computational time of our algorithm": the global stage only.
+  [[nodiscard]] double global_seconds() const {
+    return assemble_seconds + solve_seconds + reconstruct_seconds;
+  }
+};
+
+struct ArrayResult {
+  std::vector<double> von_mises;      ///< mid-plane field over the region
+  std::vector<fem::Stress6> stress;   ///< full tensors, same layout
+  int region_blocks_x = 0;
+  int region_blocks_y = 0;
+  int samples_per_block = 0;
+  Vec solution;                       ///< global nodal displacement
+  RunStats stats;
+};
+
+/// Result of a coupled power-map run: the stress fields of ArrayResult plus
+/// the temperature solution and the per-block ΔT it induced (load.values()
+/// holds the raw y-major ΔT vector).
+struct ThermalArrayResult : ArrayResult {
+  thermal::TemperatureField temperature;  ///< nodal field on the thermal mesh
+  rom::BlockLoadField load;               ///< per-block ΔT fed to the ROM
+  thermal::ThermalSolveStats thermal_stats;
+};
+
+/// Result of a transient power-trace run. The ArrayResult base holds the
+/// stress at the per-block *peak-envelope* ΔT — per block, the recorded ΔT
+/// of largest magnitude (signed), i.e. the worst instantaneous thermal
+/// state over the trace whether ΔT is measured from ambient (heating) or
+/// from a reflow reference (cooling). `snapshots` holds full ROM runs at
+/// user-selected recorded steps for time-resolved views.
+struct ThermalTransientArrayResult : ArrayResult {
+  thermal::TransientTemperatureResult transient;  ///< ΔT histories + envelope
+  rom::BlockLoadField envelope_load;              ///< per-block peak ΔT fed to the ROM
+  thermal::TransientSolveStats thermal_stats;
+  std::vector<int> snapshot_steps;                ///< indices into transient.times
+  std::vector<ArrayResult> snapshots;             ///< one ROM run per requested step
+};
+
+/// Result of a coupled sub-model run: stress fields over the inner TSV
+/// region plus the package-wide temperature solution and the per-block ΔT
+/// of the padded window (dummy rings included, y-major).
+struct ThermalSubmodelResult : ArrayResult {
+  thermal::TemperatureField temperature;  ///< nodal field on the package mesh
+  rom::BlockLoadField load;               ///< padded-window per-block ΔT
+  thermal::ThermalSolveStats thermal_stats;
+};
+
+/// Result of a transient sub-model run (scenario 2 marched through a power
+/// trace): the ArrayResult base holds the stress of the inner TSV region at
+/// the padded-window peak-envelope ΔT; `transient` records the windowed
+/// per-block ΔT history on the package conduction mesh.
+struct ThermalTransientSubmodelResult : ArrayResult {
+  thermal::TransientTemperatureResult transient;  ///< windowed ΔT histories
+  rom::BlockLoadField envelope_load;              ///< padded-window peak ΔT
+  thermal::TransientSolveStats thermal_stats;
+};
+
+/// Result of a cycle-resolved fatigue run (array or sub-model scenario).
+/// The ArrayResult base is the peak-envelope stress solve; the per-step
+/// stress states ride in `history` as per-block channel records — the full
+/// fields are reduced step by step and never kept. The envelope and every
+/// recorded step share one global assembly and one factorization
+/// (solve_stats.num_factorizations == 1 on the direct path,
+/// solve_stats.num_rhs == history steps + 1).
+struct FatigueResult : ArrayResult {
+  thermal::TransientTemperatureResult transient;  ///< per-block ΔT histories
+  rom::BlockLoadField envelope_load;              ///< peak ΔT fed to the base solve
+  thermal::TransientSolveStats thermal_stats;
+  std::vector<int> history_steps;           ///< recorded-history indices ROM-solved
+  reliability::StressHistory history;       ///< per-step per-block channel peaks
+  reliability::ReliabilityReport report;    ///< rainflow + Miner verdict
+  rom::GlobalSolveStats solve_stats;        ///< the one batched envelope+steps panel
+  double history_seconds = 0.0;             ///< per-step reconstruction + reduction
+  double reliability_seconds = 0.0;         ///< rainflow counting + damage models
+};
+
+}  // namespace ms::core

@@ -1,0 +1,221 @@
+// MoreStressSimulator::simulate(const sweep::ScenarioSpec&) — the one
+// declarative entry point. Dispatches on kind/analysis/load to the exact
+// internals the legacy simulate_* shims use, so every query is bit-identical
+// to the corresponding positional call (asserted by tests/sweep).
+
+#include <algorithm>
+#include <cmath>
+
+#include "chiplet/displacement_field.hpp"
+#include "core/simulator.hpp"
+#include "obs/metrics.hpp"
+#include "reliability/stress_history.hpp"
+#include "sweep/scenario_result.hpp"
+#include "sweep/scenario_spec.hpp"
+#include "util/timer.hpp"
+
+namespace ms::core {
+
+namespace {
+
+double peak_of(const std::vector<double>& field) {
+  return field.empty() ? 0.0 : *std::max_element(field.begin(), field.end());
+}
+
+struct ResolvedPackage {
+  std::shared_ptr<const chiplet::PackageModel> package;
+  chiplet::SubmodelPlacement placement;
+};
+
+/// The package a sub-model scenario runs in: the spec's payload when given,
+/// else the demo package sized to the padded window and solved for the
+/// config's thermal load (the same package every example/bench uses). The
+/// sweep engine pre-resolves this per padded size and shares it across
+/// scenarios via the payload slot — building a package is itself a coarse
+/// FEM solve.
+ResolvedPackage resolve_package(const sweep::ScenarioSpec& spec, const SimulationConfig& config) {
+  ResolvedPackage resolved;
+  const int padded_x = spec.blocks_x + 2 * spec.dummy_rings;
+  const int padded_y = spec.blocks_y + 2 * spec.dummy_rings;
+  if (spec.package != nullptr) {
+    resolved.package = spec.package;
+  } else {
+    const chiplet::PackageGeometry geometry = chiplet::demo_package_geometry(
+        config.geometry.pitch, std::max(padded_x, padded_y), config.geometry.height);
+    resolved.package = std::make_shared<chiplet::PackageModel>(
+        geometry, chiplet::demo_coarse_spec(), config.thermal_load);
+  }
+  if (spec.placement.blocks_x != 0) {
+    resolved.placement = spec.placement;
+  } else {
+    const std::vector<chiplet::SubmodelPlacement> locations = chiplet::standard_locations(
+        resolved.package->geometry(), config.geometry.pitch, padded_x, padded_y);
+    resolved.placement = locations[static_cast<std::size_t>(spec.location - 1)];
+  }
+  return resolved;
+}
+
+/// The package's own coarse displacement in the window's local frame — the
+/// same boundary data every simulate_submodel_* path derives internally.
+std::function<std::array<double, 3>(const mesh::Point3&)> package_boundary_of(
+    const ResolvedPackage& resolved) {
+  const chiplet::DisplacementField local =
+      chiplet::DisplacementField(resolved.package->mesh(), resolved.package->displacement())
+          .shifted(resolved.placement.origin);
+  // The closure keeps the package alive: the field references its mesh/u.
+  const std::shared_ptr<const chiplet::PackageModel> keep = resolved.package;
+  return [local, keep](const mesh::Point3& p) { return local(p); };
+}
+
+}  // namespace
+
+sweep::ScenarioResult MoreStressSimulator::simulate(const sweep::ScenarioSpec& spec) {
+  spec.validate();
+
+  // A transient time-step override runs under an adjusted config with the
+  // same caches and (shared) local-stage models — bit-identical to a
+  // simulator constructed with that config outright.
+  if (spec.time_step != 0.0 && spec.analysis != sweep::AnalysisKind::kSteady &&
+      spec.time_step != config_.coupling.transient.time_step) {
+    SimulationConfig adjusted = config_;
+    adjusted.coupling.transient.time_step = spec.time_step;
+    MoreStressSimulator shadow(adjusted);
+    shadow.cache_dir_ = cache_dir_;
+    shadow.factor_cache_ = factor_cache_;
+    shadow.model_cache_ = model_cache_;
+    shadow.tsv_model_ = tsv_model_;
+    shadow.dummy_model_ = dummy_model_;
+    sweep::ScenarioSpec resolved = spec;
+    resolved.time_step = 0.0;
+    sweep::ScenarioResult result = shadow.simulate(resolved);
+    // Models the shadow built on demand flow back so repeated overrides on
+    // this simulator stay warm even without an attached model cache.
+    if (tsv_model_ == nullptr) tsv_model_ = shadow.tsv_model_;
+    if (dummy_model_ == nullptr) dummy_model_ = shadow.dummy_model_;
+    return result;
+  }
+
+  util::WallTimer timer;
+  sweep::ScenarioResult result;
+  result.name = spec.name;
+  result.kind = spec.kind;
+  result.analysis = spec.analysis;
+
+  const int bx = spec.blocks_x;
+  const int by = spec.blocks_y;
+
+  if (spec.kind == sweep::ScenarioKind::kArray) {
+    switch (spec.analysis) {
+      case sweep::AnalysisKind::kSteady: {
+        if (spec.load == sweep::LoadKind::kUniform) {
+          const rom::BlockLoadField load =
+              spec.load_field != nullptr
+                  ? *spec.load_field
+                  : rom::BlockLoadField::uniform(
+                        std::isnan(spec.delta_t) ? config_.thermal_load : spec.delta_t);
+          result.array = std::make_shared<ArrayResult>(simulate_array(bx, by, load));
+        } else {
+          const thermal::PowerMap power = spec.power_map != nullptr
+                                              ? *spec.power_map
+                                              : sweep::make_power_map(spec, config_);
+          result.thermal_array =
+              std::make_shared<ThermalArrayResult>(simulate_array_thermal(bx, by, power));
+        }
+        break;
+      }
+      case sweep::AnalysisKind::kTransient: {
+        const thermal::PowerTrace trace =
+            spec.power_trace != nullptr
+                ? *spec.power_trace
+                : sweep::make_power_trace(spec, sweep::make_power_map(spec, config_));
+        result.transient_array = std::make_shared<ThermalTransientArrayResult>(
+            simulate_array_thermal_transient(bx, by, trace, spec.snapshot_steps));
+        break;
+      }
+      case sweep::AnalysisKind::kFatigue: {
+        const thermal::PowerTrace trace =
+            spec.power_trace != nullptr
+                ? *spec.power_trace
+                : sweep::make_power_trace(spec, sweep::make_power_map(spec, config_));
+        result.fatigue = std::make_shared<FatigueResult>(
+            simulate_array_fatigue(bx, by, trace, spec.fatigue));
+        break;
+      }
+    }
+  } else {
+    const ResolvedPackage resolved = resolve_package(spec, config_);
+    switch (spec.analysis) {
+      case sweep::AnalysisKind::kSteady: {
+        if (spec.load == sweep::LoadKind::kUniform) {
+          const auto boundary = spec.displacement ? spec.displacement
+                                                  : package_boundary_of(resolved);
+          if (spec.load_field == nullptr && std::isnan(spec.delta_t)) {
+            result.array = std::make_shared<ArrayResult>(
+                simulate_submodel(bx, by, spec.dummy_rings, boundary));
+          } else {
+            // ΔT override: the legacy path hard-codes config.thermal_load, so
+            // drive the shared core with the custom load directly.
+            const int padded_x = bx + 2 * spec.dummy_rings;
+            const int padded_y = by + 2 * spec.dummy_rings;
+            const rom::BlockLoadField load =
+                spec.load_field != nullptr ? *spec.load_field
+                                           : rom::BlockLoadField::uniform(spec.delta_t);
+            result.array = std::make_shared<ArrayResult>(run_submodel(
+                bx, by, spec.dummy_rings,
+                mesh::padded_tsv_mask(padded_x, padded_y, spec.dummy_rings), boundary, load));
+          }
+        } else {
+          const thermal::PowerMap power =
+              spec.power_map != nullptr
+                  ? *spec.power_map
+                  : sweep::make_power_map(spec, config_, resolved.package->geometry(),
+                                          resolved.placement);
+          result.thermal_submodel =
+              std::make_shared<ThermalSubmodelResult>(simulate_submodel_thermal(
+                  bx, by, spec.dummy_rings, *resolved.package, resolved.placement, power));
+        }
+        break;
+      }
+      case sweep::AnalysisKind::kTransient: {
+        const thermal::PowerTrace trace =
+            spec.power_trace != nullptr
+                ? *spec.power_trace
+                : sweep::make_power_trace(
+                      spec, sweep::make_power_map(spec, config_, resolved.package->geometry(),
+                                                  resolved.placement));
+        result.transient_submodel = std::make_shared<ThermalTransientSubmodelResult>(
+            simulate_submodel_thermal_transient(bx, by, spec.dummy_rings, *resolved.package,
+                                                resolved.placement, trace));
+        break;
+      }
+      case sweep::AnalysisKind::kFatigue: {
+        const thermal::PowerTrace trace =
+            spec.power_trace != nullptr
+                ? *spec.power_trace
+                : sweep::make_power_trace(
+                      spec, sweep::make_power_map(spec, config_, resolved.package->geometry(),
+                                                  resolved.placement));
+        result.fatigue = std::make_shared<FatigueResult>(simulate_submodel_fatigue(
+            bx, by, spec.dummy_rings, *resolved.package, resolved.placement, trace,
+            spec.fatigue));
+        break;
+      }
+    }
+  }
+
+  result.peak_von_mises = peak_of(result.base().von_mises);
+  if (result.fatigue != nullptr) {
+    const reliability::ReliabilityReport& report = result.fatigue->report;
+    result.min_life_log10 = std::log10(report.min_life_cycles);
+    result.min_life_seconds = report.min_life_seconds;
+    result.life_channel = reliability::channel_name(report.min_life_channel);
+  }
+  result.simulate_seconds = timer.seconds();
+
+  auto& reg = obs::MetricRegistry::global();
+  reg.counter("sweep.scenarios").add(1);
+  reg.histogram("sweep.scenario_seconds").record(result.simulate_seconds);
+  return result;
+}
+
+}  // namespace ms::core

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <stdexcept>
 
 #include "chiplet/displacement_field.hpp"
@@ -12,6 +14,7 @@
 #include "reliability/channel_extract.hpp"
 #include "rom/local_stage.hpp"
 #include "thermal/conduction_assembler.hpp"
+#include "util/hash.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
@@ -34,7 +37,7 @@ MoreStressSimulator::MoreStressSimulator(SimulationConfig config) : config_(std:
   config_.mesh_spec.validate();
 }
 
-std::string MoreStressSimulator::cache_path(rom::BlockKind kind) const {
+std::string MoreStressSimulator::model_fingerprint(rom::BlockKind kind) const {
   char buf[256];
   std::snprintf(buf, sizeof(buf), "rom_%s_p%.3g_d%.3g_t%.3g_h%.3g_m%dx%d_n%d%d%d_s%d.bin",
                 kind == rom::BlockKind::Tsv ? "tsv" : "dummy", config_.geometry.pitch,
@@ -42,35 +45,45 @@ std::string MoreStressSimulator::cache_path(rom::BlockKind kind) const {
                 config_.geometry.height, config_.mesh_spec.elems_xy, config_.mesh_spec.elems_z,
                 config_.local.nodes_x, config_.local.nodes_y, config_.local.nodes_z,
                 config_.local.samples_per_block);
-  return (std::filesystem::path(cache_dir_) / buf).string();
+  return buf;
+}
+
+std::string MoreStressSimulator::cache_path(rom::BlockKind kind) const {
+  return (std::filesystem::path(cache_dir_) / model_fingerprint(kind)).string();
 }
 
 const rom::RomModel& MoreStressSimulator::model_for(rom::BlockKind kind) {
   auto& slot = (kind == rom::BlockKind::Tsv) ? tsv_model_ : dummy_model_;
-  if (slot.has_value()) return *slot;
+  if (slot != nullptr) return *slot;
 
-  if (!cache_dir_.empty()) {
-    const std::string path = cache_path(kind);
-    if (std::filesystem::exists(path)) {
-      // A stale or truncated cache file (e.g. written by an older format
-      // revision) must not abort the run — recompute and overwrite it.
-      try {
-        slot = rom::RomModel::load(path);
-        MS_LOG_INFO("loaded cached ROM model from %s", path.c_str());
-        return *slot;
-      } catch (const std::exception& e) {
-        MS_LOG_WARN("discarding unreadable ROM cache %s (%s); recomputing", path.c_str(),
-                    e.what());
-        slot.reset();
+  const auto build = [this, kind]() -> std::shared_ptr<const rom::RomModel> {
+    if (!cache_dir_.empty()) {
+      const std::string path = cache_path(kind);
+      if (std::filesystem::exists(path)) {
+        // A stale or truncated cache file (e.g. written by an older format
+        // revision) must not abort the run — recompute and overwrite it.
+        try {
+          auto loaded = std::make_shared<rom::RomModel>(rom::RomModel::load(path));
+          MS_LOG_INFO("loaded cached ROM model from %s", path.c_str());
+          return loaded;
+        } catch (const std::exception& e) {
+          MS_LOG_WARN("discarding unreadable ROM cache %s (%s); recomputing", path.c_str(),
+                      e.what());
+        }
       }
     }
-  }
-  slot = rom::run_local_stage(config_.geometry, config_.mesh_spec, config_.materials, kind,
-                              config_.local);
-  if (!cache_dir_.empty()) {
-    std::filesystem::create_directories(cache_dir_);
-    slot->save(cache_path(kind));
-  }
+    auto fresh = std::make_shared<rom::RomModel>(rom::run_local_stage(
+        config_.geometry, config_.mesh_spec, config_.materials, kind, config_.local));
+    if (!cache_dir_.empty()) {
+      std::filesystem::create_directories(cache_dir_);
+      fresh->save(cache_path(kind));
+    }
+    return fresh;
+  };
+  // The in-memory cache (sweep engine) keys by the same fingerprint the disk
+  // cache names files with; disk is only consulted on an in-memory miss.
+  slot = model_cache_ != nullptr ? model_cache_->get_or_create(model_fingerprint(kind), build)
+                                 : build();
   return *slot;
 }
 
@@ -82,10 +95,10 @@ const rom::RomModel& MoreStressSimulator::dummy_model() {
 
 double MoreStressSimulator::prepare_local_stage(bool with_dummy) {
   util::WallTimer timer;
-  const bool tsv_cached = tsv_model_.has_value();
+  const bool tsv_cached = tsv_model_ != nullptr;
   (void)tsv_model();
-  if (with_dummy && !dummy_model_.has_value()) (void)dummy_model();
-  return tsv_cached && (!with_dummy || dummy_model_.has_value()) ? 0.0 : timer.seconds();
+  if (with_dummy && dummy_model_ == nullptr) (void)dummy_model();
+  return tsv_cached && (!with_dummy || dummy_model_ != nullptr) ? 0.0 : timer.seconds();
 }
 
 namespace {
@@ -122,7 +135,69 @@ void publish_run_stats(const RunStats& s) {
   reg.gauge("core.run.fill_ratio").set(s.fill_ratio);
 }
 
+/// Report range of a standalone array: every block.
+rom::BlockRange full_range(int blocks_x, int blocks_y) {
+  rom::BlockRange range;
+  range.bx0 = 0;
+  range.bx1 = blocks_x;
+  range.by0 = 0;
+  range.by1 = blocks_y;
+  return range;
+}
+
+/// Report range of a padded sub-model window: the inner TSV region.
+rom::BlockRange inner_range(int dummy_rings, int tsv_blocks_x, int tsv_blocks_y) {
+  rom::BlockRange range;
+  range.bx0 = dummy_rings;
+  range.bx1 = dummy_rings + tsv_blocks_x;
+  range.by0 = dummy_rings;
+  range.by1 = dummy_rings + tsv_blocks_y;
+  return range;
+}
+
+/// The sub-model boundary data: the package's own coarse displacement,
+/// expressed in the window's local frame. The returned closure owns its
+/// DisplacementField by value (the field itself only references the package's
+/// mesh and solution, which must outlive the closure — true everywhere the
+/// package is a caller argument).
+std::function<std::array<double, 3>(const mesh::Point3&)> package_boundary(
+    const chiplet::PackageModel& package, const chiplet::SubmodelPlacement& placement) {
+  const chiplet::DisplacementField local =
+      chiplet::DisplacementField(package.mesh(), package.displacement())
+          .shifted(placement.origin);
+  return [local](const mesh::Point3& p) { return local(p); };
+}
+
 }  // namespace
+
+std::string MoreStressSimulator::global_factor_key(int blocks_x, int blocks_y,
+                                                   const rom::BlockMask& mask, bool uses_dummy,
+                                                   const fem::DirichletBc& bc) {
+  // The key must determine the assembled operator's values and the
+  // constrained-dof set — BC *values* are lifted against the cached unlifted
+  // operator, so they vary freely under one key. The reduced element
+  // matrices fingerprint geometry, mesh, materials, and node counts in one
+  // shot (any change reruns the local stage and shifts the hash); the mask
+  // and constrained dofs cover layout and boundary structure.
+  const rom::RomModel& tsv = tsv_model();
+  std::uint64_t h = util::fnv1a(tsv.element_stiffness.data());
+  h = util::fnv1a(tsv.element_load, h);
+  if (uses_dummy) {
+    const rom::RomModel& dummy = dummy_model();
+    h = util::fnv1a(dummy.element_stiffness.data(), h);
+    h = util::fnv1a(dummy.element_load, h);
+  }
+  h = util::fnv1a(mask, h);
+  h = util::fnv1a(bc.dofs, h);
+  const la::SparseCholesky::Options& factor = config_.global.factor;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "glob_b%dx%d_n%d%d%d_d%d_o%d_m%d_w%d_r%.3g_%016llx", blocks_x,
+                blocks_y, config_.local.nodes_x, config_.local.nodes_y, config_.local.nodes_z,
+                uses_dummy ? 1 : 0, static_cast<int>(factor.ordering),
+                static_cast<int>(factor.method), static_cast<int>(factor.max_supernode_width),
+                factor.relax_supernodes, static_cast<unsigned long long>(h));
+  return buf;
+}
 
 ArrayResult MoreStressSimulator::run_global(int blocks_x, int blocks_y,
                                             const rom::BlockMask& mask,
@@ -147,6 +222,13 @@ ArrayResult MoreStressSimulator::run_panel(
   result.stats.local_stage_seconds =
       tsv.local_stage_seconds + (dummy != nullptr ? dummy->local_stage_seconds : 0.0);
 
+  rom::GlobalSolveOptions solve_options = config_.global;
+  const bool cache_global = factor_cache_ != nullptr && solve_options.method == "direct";
+  if (cache_global) {
+    solve_options.factor_cache = factor_cache_;
+    solve_options.factor_key = global_factor_key(blocks_x, blocks_y, mask, uses_dummy, bc);
+  }
+
   util::WallTimer timer;
   const rom::BlockGrid grid(blocks_x, blocks_y, config_.local.nodes_x, config_.local.nodes_y,
                             config_.local.nodes_z, config_.geometry.pitch,
@@ -155,7 +237,16 @@ ArrayResult MoreStressSimulator::run_panel(
   std::vector<Vec> extra_rhs;
   {
     MS_TRACE_SCOPE("core.global.assemble");
-    problem = rom::assemble_global(grid, tsv, dummy, mask, primary_load);
+    if (cache_global && factor_cache_->contains(solve_options.factor_key)) {
+      // Warm path: the key's factorization and unlifted operator are already
+      // resident (entries are never evicted, so contains() cannot go stale),
+      // and assembly reduces to the load vectors. On a cold key the full
+      // operator is assembled below and the solver populates the cache.
+      problem.num_dofs = grid.num_dofs();
+      problem.rhs = rom::assemble_global_rhs(grid, tsv, dummy, mask, primary_load);
+    } else {
+      problem = rom::assemble_global(grid, tsv, dummy, mask, primary_load);
+    }
     // The reduced stiffness is load-independent, so every extra case costs
     // one load-vector assembly against the shared operator.
     extra_rhs.reserve(extra_loads.size());
@@ -168,7 +259,7 @@ ArrayResult MoreStressSimulator::run_panel(
   timer.reset();
   rom::GlobalSolveStats panel_stats;
   std::vector<Vec> solutions =
-      rom::solve_global_multi(problem, std::move(extra_rhs), bc, config_.global, &panel_stats);
+      rom::solve_global_multi(problem, std::move(extra_rhs), bc, solve_options, &panel_stats);
   result.solution = std::move(solutions.front());
   copy_solve_stats(result.stats, panel_stats);
   if (solve_stats_out != nullptr) *solve_stats_out = panel_stats;
@@ -254,13 +345,8 @@ ArrayResult MoreStressSimulator::run_array(int blocks_x, int blocks_y,
                             config_.local.nodes_z, config_.geometry.pitch,
                             config_.geometry.height);
   const fem::DirichletBc bc = rom::clamp_top_bottom(grid);
-  rom::BlockRange range;
-  range.bx0 = 0;
-  range.bx1 = blocks_x;
-  range.by0 = 0;
-  range.by1 = blocks_y;
-  return run_global_multi(blocks_x, blocks_y, {}, bc, range, /*uses_dummy=*/false, load,
-                          extra_loads, extra_results);
+  return run_global_multi(blocks_x, blocks_y, {}, bc, full_range(blocks_x, blocks_y),
+                          /*uses_dummy=*/false, load, extra_loads, extra_results);
 }
 
 ArrayResult MoreStressSimulator::simulate_array(int blocks_x, int blocks_y,
@@ -314,7 +400,77 @@ void require_array_footprint(const thermal::PowerMap& power, int blocks_x, int b
   }
 }
 
+/// Non-windowed per-block ΔT reduction of a standalone array.
+thermal::BlockReduction block_reduction(int blocks_x, int blocks_y, double pitch,
+                                        double reference) {
+  thermal::BlockReduction reduction;
+  reduction.blocks_x = blocks_x;
+  reduction.blocks_y = blocks_y;
+  reduction.pitch = pitch;
+  reduction.reference = reference;
+  return reduction;
+}
+
+/// Factor-cache key of a steady conduction solve. The conductivity fields
+/// fingerprint the geometry, materials, layout, and conductivity model; the
+/// mesh dimensions and film coefficient fix the sparsity pattern and the
+/// constrained-dof set (film == 0 means a Dirichlet sink on the z-min face).
+/// The sink *temperature* and the power input are rhs-only and excluded.
+std::string thermal_steady_key(const mesh::HexMesh& mesh,
+                               const thermal::ConductivityField& conductivity,
+                               const thermal::ThermalSolveOptions& solve) {
+  std::uint64_t h = util::fnv1a(conductivity.in_plane);
+  h = util::fnv1a(conductivity.through_plane, h);
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "thermS_n%lld_e%lld_f%.17g_o%d_m%d_%016llx",
+                static_cast<long long>(mesh.num_nodes()), static_cast<long long>(mesh.num_elems()),
+                solve.sink_film_coefficient, static_cast<int>(solve.factor.ordering),
+                static_cast<int>(solve.factor.method), static_cast<unsigned long long>(h));
+  return buf;
+}
+
+/// Factor-cache key of the transient θ-stepper's operator M/Δt + θK: the
+/// steady key's inputs plus the capacities, time step, scheme, and lumping.
+std::string thermal_transient_key(const mesh::HexMesh& mesh,
+                                  const thermal::ConductivityField& conductivity,
+                                  const Vec& capacities,
+                                  const thermal::TransientSolveOptions& options) {
+  std::uint64_t h = util::fnv1a(conductivity.in_plane);
+  h = util::fnv1a(conductivity.through_plane, h);
+  h = util::fnv1a(capacities, h);
+  char buf[224];
+  std::snprintf(buf, sizeof(buf), "thermT_n%lld_e%lld_f%.17g_dt%.17g_%s_l%d_o%d_m%d_%016llx",
+                static_cast<long long>(mesh.num_nodes()), static_cast<long long>(mesh.num_elems()),
+                options.base.sink_film_coefficient, options.time_step, options.scheme.c_str(),
+                options.lumped_capacitance ? 1 : 0, static_cast<int>(options.base.factor.ordering),
+                static_cast<int>(options.base.factor.method), static_cast<unsigned long long>(h));
+  return buf;
+}
+
 }  // namespace
+
+thermal::ThermalSolveOptions MoreStressSimulator::steady_solve_options(
+    const std::string& factor_key) const {
+  thermal::ThermalSolveOptions options = config_.coupling.solve;
+  if (factor_cache_ != nullptr && !factor_key.empty()) {
+    options.factor_cache = factor_cache_;
+    options.factor_key = factor_key;
+  }
+  return options;
+}
+
+thermal::TransientSolveOptions MoreStressSimulator::transient_solve_options(
+    const std::string& factor_key) const {
+  // One boundary model for steady and transient runs: the sink/ambient data
+  // rides in coupling.solve, the stepping controls in coupling.transient.
+  thermal::TransientSolveOptions options = config_.coupling.transient;
+  options.base = config_.coupling.solve;
+  if (factor_cache_ != nullptr && !factor_key.empty()) {
+    options.base.factor_cache = factor_cache_;
+    options.base.factor_key = factor_key;
+  }
+  return options;
+}
 
 ThermalArrayResult MoreStressSimulator::simulate_array_thermal(int blocks_x, int blocks_y,
                                                                const thermal::PowerMap& power) {
@@ -329,8 +485,11 @@ ThermalArrayResult MoreStressSimulator::simulate_array_thermal(int blocks_x, int
       coupling.conductivity_model);
 
   ThermalArrayResult result;
-  result.temperature = thermal::solve_power_map(thermal_mesh, conductivities, power,
-                                                coupling.solve, &result.thermal_stats);
+  const thermal::ThermalSolveOptions solve = steady_solve_options(
+      factor_cache_ != nullptr ? thermal_steady_key(thermal_mesh, conductivities, coupling.solve)
+                               : std::string());
+  result.temperature =
+      thermal::solve_power_map(thermal_mesh, conductivities, power, solve, &result.thermal_stats);
 
   std::vector<double> delta_t =
       result.temperature.block_averages(blocks_x, blocks_y, config_.geometry.pitch);
@@ -364,17 +523,17 @@ thermal::TransientTemperatureResult MoreStressSimulator::run_array_transient(
                                                          /*tsv_mask=*/{},
                                                          coupling.conductivity_model);
 
-  // One boundary model for steady and transient runs: the sink/ambient data
-  // rides in coupling.solve, the stepping controls in coupling.transient.
-  thermal::TransientSolveOptions options = coupling.transient;
-  options.base = coupling.solve;
-  thermal::BlockReduction reduction;
-  reduction.blocks_x = blocks_x;
-  reduction.blocks_y = blocks_y;
-  reduction.pitch = config_.geometry.pitch;
-  reduction.reference = coupling.stress_free_temperature;
-  return thermal::solve_power_trace(thermal_mesh, conductivities, capacities, trace, reduction,
-                                    options, stats);
+  std::string factor_key;
+  if (factor_cache_ != nullptr) {
+    factor_key = thermal_transient_key(thermal_mesh, conductivities, capacities,
+                                       transient_solve_options(std::string()));
+  }
+  const thermal::TransientSolveOptions options = transient_solve_options(factor_key);
+  return thermal::solve_power_trace(
+      thermal_mesh, conductivities, capacities, trace,
+      block_reduction(blocks_x, blocks_y, config_.geometry.pitch,
+                      coupling.stress_free_temperature),
+      options, stats);
 }
 
 ThermalTransientArrayResult MoreStressSimulator::simulate_array_thermal_transient(
@@ -537,14 +696,10 @@ FatigueResult MoreStressSimulator::simulate_array_fatigue(int blocks_x, int bloc
                             config_.local.nodes_z, config_.geometry.pitch,
                             config_.geometry.height);
   const fem::DirichletBc bc = rom::clamp_top_bottom(grid);
-  rom::BlockRange range;
-  range.bx0 = 0;
-  range.bx1 = blocks_x;
-  range.by0 = 0;
-  range.by1 = blocks_y;
   static_cast<ArrayResult&>(result) = run_fatigue_panel(
-      blocks_x, blocks_y, {}, bc, range, /*uses_dummy=*/false, result.envelope_load, step_loads,
-      step_times, &result.history, &result.solve_stats, &result.history_seconds);
+      blocks_x, blocks_y, {}, bc, full_range(blocks_x, blocks_y), /*uses_dummy=*/false,
+      result.envelope_load, step_loads, step_times, &result.history, &result.solve_stats,
+      &result.history_seconds);
 
   util::WallTimer timer;
   result.report = assess_fatigue(result.history, trace.duration(), options);
@@ -567,12 +722,8 @@ ArrayResult MoreStressSimulator::run_submodel(
                             config_.local.nodes_z, config_.geometry.pitch,
                             config_.geometry.height);
   const fem::DirichletBc bc = rom::submodel_boundary(grid, displacement);
-  rom::BlockRange range;
-  range.bx0 = dummy_rings;
-  range.bx1 = dummy_rings + tsv_blocks_x;
-  range.by0 = dummy_rings;
-  range.by1 = dummy_rings + tsv_blocks_y;
-  return run_global(bx, by, mask, bc, range, /*uses_dummy=*/dummy_rings > 0, load);
+  return run_global(bx, by, mask, bc, inner_range(dummy_rings, tsv_blocks_x, tsv_blocks_y),
+                    /*uses_dummy=*/dummy_rings > 0, load);
 }
 
 ArrayResult MoreStressSimulator::simulate_submodel(
@@ -609,8 +760,12 @@ ThermalSubmodelResult MoreStressSimulator::simulate_submodel_thermal(
       package_thermal_spec(coupling));
 
   ThermalSubmodelResult result;
+  const thermal::ThermalSolveOptions solve = steady_solve_options(
+      factor_cache_ != nullptr
+          ? thermal_steady_key(thermal_model.mesh, thermal_model.conductivity, coupling.solve)
+          : std::string());
   result.temperature = thermal::solve_power_map(thermal_model.mesh, thermal_model.conductivity,
-                                                power, coupling.solve, &result.thermal_stats);
+                                                power, solve, &result.thermal_stats);
 
   std::vector<double> delta_t = result.temperature.block_averages(
       bx, by, config_.geometry.pitch, placement.origin, geometry.interposer_z0(),
@@ -618,13 +773,9 @@ ThermalSubmodelResult MoreStressSimulator::simulate_submodel_thermal(
   for (double& dt : delta_t) dt -= coupling.stress_free_temperature;
   result.load = rom::BlockLoadField(bx, by, std::move(delta_t));
 
-  // The sub-model boundary data is the package's own coarse displacement,
-  // expressed in the window's local frame.
-  const chiplet::DisplacementField field(package.mesh(), package.displacement());
-  const chiplet::DisplacementField local = field.shifted(placement.origin);
   static_cast<ArrayResult&>(result) =
       run_submodel(tsv_blocks_x, tsv_blocks_y, dummy_rings, mask,
-                   [&local](const mesh::Point3& p) { return local(p); }, result.load);
+                   package_boundary(package, placement), result.load);
   MS_LOG_DEBUG("submodel thermal coupling: %d x %d padded blocks at (%.0f, %.0f), dT in "
                "[%.3f, %.3f] C",
                bx, by, placement.origin.x, placement.origin.y, result.load.min(),
@@ -654,15 +805,17 @@ thermal::TransientTemperatureResult MoreStressSimulator::run_submodel_transient(
       geometry, config_.geometry, placement, mask, config_.materials,
       package_thermal_spec(coupling));
 
-  thermal::TransientSolveOptions options = coupling.transient;
-  options.base = coupling.solve;
+  std::string factor_key;
+  if (factor_cache_ != nullptr) {
+    factor_key = thermal_transient_key(thermal_model.mesh, thermal_model.conductivity,
+                                       thermal_model.capacity,
+                                       transient_solve_options(std::string()));
+  }
+  const thermal::TransientSolveOptions options = transient_solve_options(factor_key);
   // The sub-model window only sees the interposer layer, exactly like the
   // steady path's windowed block_averages reduction.
-  thermal::BlockReduction reduction;
-  reduction.blocks_x = padded_x;
-  reduction.blocks_y = padded_y;
-  reduction.pitch = config_.geometry.pitch;
-  reduction.reference = coupling.stress_free_temperature;
+  thermal::BlockReduction reduction = block_reduction(padded_x, padded_y, config_.geometry.pitch,
+                                                      coupling.stress_free_temperature);
   reduction.windowed = true;
   reduction.origin = placement.origin;
   reduction.z0 = geometry.interposer_z0();
@@ -684,11 +837,9 @@ ThermalTransientSubmodelResult MoreStressSimulator::simulate_submodel_thermal_tr
       run_submodel_transient(bx, by, package, placement, mask, trace, &result.thermal_stats);
   result.envelope_load = rom::BlockLoadField(bx, by, Vec(result.transient.peak_envelope));
 
-  const chiplet::DisplacementField field(package.mesh(), package.displacement());
-  const chiplet::DisplacementField local = field.shifted(placement.origin);
   static_cast<ArrayResult&>(result) =
       run_submodel(tsv_blocks_x, tsv_blocks_y, dummy_rings, mask,
-                   [&local](const mesh::Point3& p) { return local(p); }, result.envelope_load);
+                   package_boundary(package, placement), result.envelope_load);
   MS_LOG_DEBUG("submodel transient: %d x %d padded blocks, %d steps, envelope dT in "
                "[%.3f, %.3f] C",
                bx, by, result.thermal_stats.num_steps, result.envelope_load.min(),
@@ -720,18 +871,12 @@ FatigueResult MoreStressSimulator::simulate_submodel_fatigue(
   const rom::BlockGrid grid(bx, by, config_.local.nodes_x, config_.local.nodes_y,
                             config_.local.nodes_z, config_.geometry.pitch,
                             config_.geometry.height);
-  const chiplet::DisplacementField field(package.mesh(), package.displacement());
-  const chiplet::DisplacementField local = field.shifted(placement.origin);
-  const fem::DirichletBc bc = rom::submodel_boundary(
-      grid, [&local](const mesh::Point3& p) { return local(p); });
-  rom::BlockRange range;
-  range.bx0 = dummy_rings;
-  range.bx1 = dummy_rings + tsv_blocks_x;
-  range.by0 = dummy_rings;
-  range.by1 = dummy_rings + tsv_blocks_y;
+  const fem::DirichletBc bc =
+      rom::submodel_boundary(grid, package_boundary(package, placement));
   static_cast<ArrayResult&>(result) = run_fatigue_panel(
-      bx, by, mask, bc, range, /*uses_dummy=*/dummy_rings > 0, result.envelope_load, step_loads,
-      step_times, &result.history, &result.solve_stats, &result.history_seconds);
+      bx, by, mask, bc, inner_range(dummy_rings, tsv_blocks_x, tsv_blocks_y),
+      /*uses_dummy=*/dummy_rings > 0, result.envelope_load, step_loads, step_times,
+      &result.history, &result.solve_stats, &result.history_seconds);
 
   util::WallTimer timer;
   result.report = assess_fatigue(result.history, trace.duration(), options);

@@ -9,159 +9,60 @@
 // The one-shot local stage runs lazily on first use and is cached for the
 // lifetime of the simulator (and optionally on disk), exactly mirroring the
 // paper's "perform once, reuse for arbitrary array sizes/loads/locations".
+//
+// The preferred entry point is `simulate(const sweep::ScenarioSpec&)` — one
+// declarative description covering every scenario kind (array / submodel x
+// steady / transient / fatigue). The eight simulate_* methods below remain
+// as source-compatible shims over the same internals and are considered
+// deprecated in the docs; new call sites should build a ScenarioSpec (see
+// sweep/scenario_spec.hpp and the README "Sweep" section).
 
 #include <functional>
-#include <optional>
+#include <memory>
 #include <string>
 
 #include "chiplet/package_model.hpp"
 #include "chiplet/submodel.hpp"
 #include "core/config.hpp"
+#include "core/results.hpp"
+#include "la/factor_cache.hpp"
 #include "reliability/damage.hpp"
 #include "reliability/stress_history.hpp"
 #include "rom/block_grid.hpp"
 #include "rom/global_assembler.hpp"
 #include "rom/global_solver.hpp"
 #include "rom/load_field.hpp"
+#include "rom/model_cache.hpp"
 #include "rom/reconstruct.hpp"
 #include "thermal/power_map.hpp"
 #include "thermal/power_trace.hpp"
 #include "thermal/temperature_field.hpp"
 #include "thermal/thermal_solver.hpp"
 
+namespace ms::sweep {
+struct ScenarioSpec;
+struct ScenarioResult;
+}  // namespace ms::sweep
+
 namespace ms::core {
-
-using la::idx_t;
-using la::Vec;
-
-/// Cost/quality record of one global-stage run.
-struct RunStats {
-  double local_stage_seconds = 0.0;   ///< one-shot cost (amortized)
-  double assemble_seconds = 0.0;
-  double solve_seconds = 0.0;
-  double reconstruct_seconds = 0.0;
-  idx_t global_dofs = 0;
-  idx_t iterations = 0;
-  bool converged = false;
-  std::size_t memory_bytes = 0;       ///< models + matrix + solver workspace
-  // Direct-path factorization detail (zero / empty on iterative paths):
-  double factor_seconds = 0.0;        ///< inside solve_seconds
-  la::offset_t factor_nnz = 0;        ///< nnz(L) of the global factor
-  double fill_ratio = 0.0;            ///< nnz(L) / nnz(tril(K))
-  std::string solver_ordering;        ///< "amd" / "rcm" / "natural"
-
-  /// Paper's "computational time of our algorithm": the global stage only.
-  [[nodiscard]] double global_seconds() const {
-    return assemble_seconds + solve_seconds + reconstruct_seconds;
-  }
-};
-
-struct ArrayResult {
-  std::vector<double> von_mises;      ///< mid-plane field over the region
-  std::vector<fem::Stress6> stress;   ///< full tensors, same layout
-  int region_blocks_x = 0;
-  int region_blocks_y = 0;
-  int samples_per_block = 0;
-  Vec solution;                       ///< global nodal displacement
-  RunStats stats;
-};
-
-/// Result of a coupled power-map run: the stress fields of ArrayResult plus
-/// the temperature solution and the per-block ΔT it induced (load.values()
-/// holds the raw y-major ΔT vector).
-struct ThermalArrayResult : ArrayResult {
-  thermal::TemperatureField temperature;  ///< nodal field on the thermal mesh
-  rom::BlockLoadField load;               ///< per-block ΔT fed to the ROM
-  thermal::ThermalSolveStats thermal_stats;
-};
-
-/// Result of a transient power-trace run. The ArrayResult base holds the
-/// stress at the per-block *peak-envelope* ΔT — per block, the recorded ΔT
-/// of largest magnitude (signed), i.e. the worst instantaneous thermal
-/// state over the trace whether ΔT is measured from ambient (heating) or
-/// from a reflow reference (cooling). `snapshots` holds full ROM runs at
-/// user-selected recorded steps for time-resolved views.
-struct ThermalTransientArrayResult : ArrayResult {
-  thermal::TransientTemperatureResult transient;  ///< ΔT histories + envelope
-  rom::BlockLoadField envelope_load;              ///< per-block peak ΔT fed to the ROM
-  thermal::TransientSolveStats thermal_stats;
-  std::vector<int> snapshot_steps;                ///< indices into transient.times
-  std::vector<ArrayResult> snapshots;             ///< one ROM run per requested step
-};
-
-/// Result of a coupled sub-model run: stress fields over the inner TSV
-/// region plus the package-wide temperature solution and the per-block ΔT
-/// of the padded window (dummy rings included, y-major).
-struct ThermalSubmodelResult : ArrayResult {
-  thermal::TemperatureField temperature;  ///< nodal field on the package mesh
-  rom::BlockLoadField load;               ///< padded-window per-block ΔT
-  thermal::ThermalSolveStats thermal_stats;
-};
-
-/// Result of a transient sub-model run (scenario 2 marched through a power
-/// trace): the ArrayResult base holds the stress of the inner TSV region at
-/// the padded-window peak-envelope ΔT; `transient` records the windowed
-/// per-block ΔT history on the package conduction mesh.
-struct ThermalTransientSubmodelResult : ArrayResult {
-  thermal::TransientTemperatureResult transient;  ///< windowed ΔT histories
-  rom::BlockLoadField envelope_load;              ///< padded-window peak ΔT
-  thermal::TransientSolveStats thermal_stats;
-};
-
-/// Controls of the cycle-resolved fatigue scenarios.
-struct FatigueOptions {
-  /// ROM-solve every k-th recorded transient step (the last recorded step is
-  /// always included). 1 = every step; larger strides trade channel
-  /// resolution for panel width.
-  int record_stride = 1;
-  /// Rainflow matrix binning of the reported dominant cycle classes.
-  int range_bins = 8;
-  int mean_bins = 4;
-  /// Engelmaier parameters of the bump-shear channel: solder shear modulus
-  /// [MPa] at 20 C (eutectic SnPb default) and mean joint temperature [C].
-  double solder_shear_modulus = 5.6e3;
-  double solder_mean_temperature = 60.0;
-  /// Softening of the solder shear modulus with the mean joint temperature
-  /// [MPa/C]: G_eff = G + slope * (T_mean - 20). The eutectic SnPb default
-  /// (-40 MPa/C) follows the classic linear G(T) fits; set 0 to restore a
-  /// temperature-independent modulus.
-  double solder_shear_modulus_slope = -40.0;
-  /// Cycle frequency feeding the Engelmaier exponent [cycles/day];
-  /// 0 derives one trace pass per trace duration (86400 s / duration),
-  /// capped at 1e6 — sub-millisecond bench traces would otherwise leave
-  /// the classic correlation's validity and flip the exponent's sign.
-  /// An explicit value is used as given (and may throw if absurd).
-  double cycles_per_day = 0.0;
-};
-
-/// Result of a cycle-resolved fatigue run (array or sub-model scenario).
-/// The ArrayResult base is the peak-envelope stress solve; the per-step
-/// stress states ride in `history` as per-block channel records — the full
-/// fields are reduced step by step and never kept. The envelope and every
-/// recorded step share one global assembly and one factorization
-/// (solve_stats.num_factorizations == 1 on the direct path,
-/// solve_stats.num_rhs == history steps + 1).
-struct FatigueResult : ArrayResult {
-  thermal::TransientTemperatureResult transient;  ///< per-block ΔT histories
-  rom::BlockLoadField envelope_load;              ///< peak ΔT fed to the base solve
-  thermal::TransientSolveStats thermal_stats;
-  std::vector<int> history_steps;           ///< recorded-history indices ROM-solved
-  reliability::StressHistory history;       ///< per-step per-block channel peaks
-  reliability::ReliabilityReport report;    ///< rainflow + Miner verdict
-  rom::GlobalSolveStats solve_stats;        ///< the one batched envelope+steps panel
-  double history_seconds = 0.0;             ///< per-step reconstruction + reduction
-  double reliability_seconds = 0.0;         ///< rainflow counting + damage models
-};
 
 class MoreStressSimulator {
  public:
   explicit MoreStressSimulator(SimulationConfig config);
 
+  /// One declarative entry point for every scenario: dispatches on
+  /// spec.kind / spec.analysis / spec.load to the same internals the
+  /// simulate_* shims use, bit-identical to the corresponding legacy call
+  /// (the equivalence lock in tests/sweep asserts this per scenario kind).
+  /// Defined in core/simulate_scenario.cpp.
+  [[nodiscard]] sweep::ScenarioResult simulate(const sweep::ScenarioSpec& spec);
+
   /// Scenario 1: standalone nx x ny TSV array, top/bottom clamped, uniform
-  /// ΔT = config.thermal_load.
+  /// ΔT = config.thermal_load. (Deprecated shim — prefer simulate(spec).)
   [[nodiscard]] ArrayResult simulate_array(int blocks_x, int blocks_y);
 
   /// Scenario 1 with an explicit per-block ΔT field instead of the scalar.
+  /// (Deprecated shim — prefer simulate(spec).)
   [[nodiscard]] ArrayResult simulate_array(int blocks_x, int blocks_y,
                                            const rom::BlockLoadField& load);
 
@@ -171,6 +72,7 @@ class MoreStressSimulator {
   /// to config.coupling.stress_free_temperature, and runs the ROM stress
   /// path with that non-uniform load. A uniform power map degenerates to the
   /// scalar-ΔT path exactly (same assembly/reconstruction code).
+  /// (Deprecated shim — prefer simulate(spec).)
   [[nodiscard]] ThermalArrayResult simulate_array_thermal(int blocks_x, int blocks_y,
                                                           const thermal::PowerMap& power);
 
@@ -185,6 +87,7 @@ class MoreStressSimulator {
   /// relaxes to the steady-state solution, so it reproduces
   /// simulate_array_thermal exactly (same mesh, conductivities, and ROM
   /// path) once the horizon passes a few thermal time constants.
+  /// (Deprecated shim — prefer simulate(spec).)
   [[nodiscard]] ThermalTransientArrayResult simulate_array_thermal_transient(
       int blocks_x, int blocks_y, const thermal::PowerTrace& trace,
       const std::vector<int>& snapshot_steps = {});
@@ -198,7 +101,7 @@ class MoreStressSimulator {
   /// (ASTM E1049), and accumulate fatigue damage by Miner's rule under the
   /// standard model set (Basquin/Coffin-Manson on Cu, Engelmaier solder).
   /// The result's report names the life-limiting block, channel, and
-  /// dominant cycle class.
+  /// dominant cycle class. (Deprecated shim — prefer simulate(spec).)
   [[nodiscard]] FatigueResult simulate_array_fatigue(int blocks_x, int blocks_y,
                                                      const thermal::PowerTrace& trace,
                                                      const FatigueOptions& options = {});
@@ -207,6 +110,7 @@ class MoreStressSimulator {
   /// the coarse-solution boundary data (in the sub-model local frame);
   /// `dummy_rings` pads the array per Sec. 4.4. The reported field covers
   /// only the inner TSV region (the region of interest).
+  /// (Deprecated shim — prefer simulate(spec).)
   [[nodiscard]] ArrayResult simulate_submodel(
       int tsv_blocks_x, int tsv_blocks_y, int dummy_rings,
       const std::function<std::array<double, 3>(const mesh::Point3&)>& displacement);
@@ -221,6 +125,7 @@ class MoreStressSimulator {
   /// window (tsv_blocks + 2*dummy_rings per axis, from standard_locations or
   /// hand-built). A plan-uniform package + uniform power degenerates to the
   /// scalar-ΔT simulate_submodel path exactly.
+  /// (Deprecated shim — prefer simulate(spec).)
   [[nodiscard]] ThermalSubmodelResult simulate_submodel_thermal(
       int tsv_blocks_x, int tsv_blocks_y, int dummy_rings,
       const chiplet::PackageModel& package, const chiplet::SubmodelPlacement& placement,
@@ -232,6 +137,7 @@ class MoreStressSimulator {
   /// only), and run the sub-modeling ROM path at the peak envelope with the
   /// package's own displacement field as boundary data. A constant trace
   /// relaxes to simulate_submodel_thermal exactly.
+  /// (Deprecated shim — prefer simulate(spec).)
   [[nodiscard]] ThermalTransientSubmodelResult simulate_submodel_thermal_transient(
       int tsv_blocks_x, int tsv_blocks_y, int dummy_rings,
       const chiplet::PackageModel& package, const chiplet::SubmodelPlacement& placement,
@@ -241,6 +147,7 @@ class MoreStressSimulator {
   /// simulate_array_fatigue — package-mesh transient, windowed per-step ΔT,
   /// one batched panel of per-step ROM solves over the padded window, and
   /// the same rainflow/Miner reduction over the inner TSV region.
+  /// (Deprecated shim — prefer simulate(spec).)
   [[nodiscard]] FatigueResult simulate_submodel_fatigue(
       int tsv_blocks_x, int tsv_blocks_y, int dummy_rings,
       const chiplet::PackageModel& package, const chiplet::SubmodelPlacement& placement,
@@ -252,6 +159,21 @@ class MoreStressSimulator {
 
   /// Optional on-disk cache for the one-shot models.
   void set_cache_directory(const std::string& dir) { cache_dir_ = dir; }
+
+  /// Cross-scenario factorization memoization (the sweep engine's cache).
+  /// Non-owning; the cache must outlive the simulator. Direct-method solves
+  /// (global stage, steady conduction, θ-stepper) then share factorizations
+  /// with every other simulator wired to the same cache. Keys incorporate a
+  /// values-fingerprint of the operator inputs (model loads, conductivity
+  /// fields, constrained-dof sets), so simulators with different configs may
+  /// safely share one cache. Results stay bit-identical to uncached runs.
+  void set_factor_cache(la::FactorCache* cache) { factor_cache_ = cache; }
+
+  /// Cross-simulator local-stage sharing (the sweep engine's model cache).
+  /// Non-owning; must outlive the simulator. Keyed by the same fingerprint
+  /// as the on-disk cache, composes with set_cache_directory (disk is
+  /// checked on an in-memory miss).
+  void set_model_cache(rom::ModelCache* cache) { model_cache_ = cache; }
 
   [[nodiscard]] const SimulationConfig& config() const { return config_; }
   [[nodiscard]] const rom::RomModel& tsv_model();
@@ -283,6 +205,8 @@ class MoreStressSimulator {
   /// solution to `consumer`. `consume_seconds` (optional) receives the wall
   /// time of the consumer loop. The returned stats do NOT yet include
   /// consumer-specific memory — wrappers account for what they retain.
+  /// With a factor cache attached, a resident key skips the operator
+  /// assembly entirely (load vectors only) and the factorization.
   ArrayResult run_panel(int blocks_x, int blocks_y, const rom::BlockMask& mask,
                         const fem::DirichletBc& bc, const rom::BlockRange& report_range,
                         bool uses_dummy, const rom::BlockLoadField& primary_load,
@@ -342,12 +266,30 @@ class MoreStressSimulator {
                                                 double trace_duration,
                                                 const FatigueOptions& options) const;
   const rom::RomModel& model_for(rom::BlockKind kind);
+  /// The one-shot model's identity string (geometry/mesh/nodes/samples) —
+  /// the on-disk cache's file name and the ModelCache key.
+  [[nodiscard]] std::string model_fingerprint(rom::BlockKind kind) const;
   [[nodiscard]] std::string cache_path(rom::BlockKind kind) const;
+  /// Factor-cache key of the lifted global operator: model fingerprints and
+  /// load hashes (covering materials), mask, constrained-dof set, and the
+  /// factorization options. Forces the needed models to exist.
+  std::string global_factor_key(int blocks_x, int blocks_y, const rom::BlockMask& mask,
+                                bool uses_dummy, const fem::DirichletBc& bc);
+  /// One source of truth for "transient options = coupling.transient with
+  /// coupling.solve as boundary model" (was duplicated per scenario), plus
+  /// the factor-cache wiring when a cache is attached.
+  [[nodiscard]] thermal::TransientSolveOptions transient_solve_options(
+      const std::string& factor_key) const;
+  /// coupling.solve with the factor-cache wiring (steady conduction paths).
+  [[nodiscard]] thermal::ThermalSolveOptions steady_solve_options(
+      const std::string& factor_key) const;
 
   SimulationConfig config_;
-  std::optional<rom::RomModel> tsv_model_;
-  std::optional<rom::RomModel> dummy_model_;
+  std::shared_ptr<const rom::RomModel> tsv_model_;
+  std::shared_ptr<const rom::RomModel> dummy_model_;
   std::string cache_dir_;
+  la::FactorCache* factor_cache_ = nullptr;
+  rom::ModelCache* model_cache_ = nullptr;
 };
 
 }  // namespace ms::core

@@ -22,10 +22,25 @@ DirichletBc DirichletBc::clamp_nodes(const std::vector<idx_t>& nodes, const Vec&
 
 namespace {
 
-/// One lifting implementation behind both public overloads: modify A once,
-/// apply the column correction and prescribed values to every rhs.
-void apply_dirichlet_impl(CsrMatrix& a, Vec* const* rhss, std::size_t num_rhs,
-                          const DirichletBc& bc) {
+/// Expand the (dofs, values) pairs into dense constrained/value arrays.
+void expand_bc(idx_t n, const DirichletBc& bc, std::vector<char>& constrained, Vec& value) {
+  constrained.assign(n, 0);
+  value.assign(n, 0.0);
+  for (std::size_t k = 0; k < bc.dofs.size(); ++k) {
+    const idx_t d = bc.dofs[k];
+    assert(d >= 0 && d < n);
+    constrained[d] = 1;
+    value[d] = bc.values[k];
+  }
+}
+
+/// The rhs half of the lifting against the *unlifted* operator: constrained
+/// entries take the prescribed value, free entries receive the column
+/// correction. Reads exactly the matrix values the fused loop reads before
+/// zeroing them, so rhs-half-then-matrix-half reproduces the fused result
+/// bit for bit.
+void apply_dirichlet_rhs_impl(const CsrMatrix& a, Vec* const* rhss, std::size_t num_rhs,
+                              const DirichletBc& bc) {
   assert(a.rows() == a.cols());
   const idx_t n = a.rows();
   for (std::size_t c = 0; c < num_rhs; ++c) {
@@ -33,14 +48,48 @@ void apply_dirichlet_impl(CsrMatrix& a, Vec* const* rhss, std::size_t num_rhs,
     (void)rhss[c];
   }
 
-  std::vector<char> constrained(n, 0);
-  Vec value(n, 0.0);
-  for (std::size_t k = 0; k < bc.dofs.size(); ++k) {
-    const idx_t d = bc.dofs[k];
-    assert(d >= 0 && d < n);
-    constrained[d] = 1;
-    value[d] = bc.values[k];
+  std::vector<char> constrained;
+  Vec value;
+  expand_bc(n, bc, constrained, value);
+
+  const auto& vals = a.values();
+  const auto& row_ptr = a.row_ptr();
+  const auto& col = a.col_idx();
+  for (idx_t r = 0; r < n; ++r) {
+    const la::offset_t end = row_ptr[static_cast<std::size_t>(r) + 1];
+    if (constrained[r]) {
+      for (std::size_t c = 0; c < num_rhs; ++c) (*rhss[c])[r] = value[r];
+      continue;
+    }
+    for (la::offset_t k = row_ptr[r]; k < end; ++k) {
+      if (constrained[col[k]]) {
+        const double av = vals[k] * value[col[k]];
+        for (std::size_t c = 0; c < num_rhs; ++c) (*rhss[c])[r] -= av;
+      }
+    }
   }
+}
+
+}  // namespace
+
+void apply_dirichlet_rhs(const CsrMatrix& a, Vec& rhs, const DirichletBc& bc) {
+  Vec* one = &rhs;
+  apply_dirichlet_rhs_impl(a, &one, 1, bc);
+}
+
+void apply_dirichlet_rhs(const CsrMatrix& a, std::vector<Vec>& rhss, const DirichletBc& bc) {
+  std::vector<Vec*> ptrs;
+  ptrs.reserve(rhss.size());
+  for (Vec& rhs : rhss) ptrs.push_back(&rhs);
+  apply_dirichlet_rhs_impl(a, ptrs.data(), ptrs.size(), bc);
+}
+
+void apply_dirichlet_matrix(CsrMatrix& a, const DirichletBc& bc) {
+  assert(a.rows() == a.cols());
+  const idx_t n = a.rows();
+  std::vector<char> constrained;
+  Vec value;
+  expand_bc(n, bc, constrained, value);
 
   auto& vals = a.values();
   const auto& row_ptr = a.row_ptr();
@@ -49,31 +98,26 @@ void apply_dirichlet_impl(CsrMatrix& a, Vec* const* rhss, std::size_t num_rhs,
     const la::offset_t end = row_ptr[static_cast<std::size_t>(r) + 1];
     if (constrained[r]) {
       for (la::offset_t k = row_ptr[r]; k < end; ++k) vals[k] = (col[k] == r) ? 1.0 : 0.0;
-      for (std::size_t c = 0; c < num_rhs; ++c) (*rhss[c])[r] = value[r];
       continue;
     }
     for (la::offset_t k = row_ptr[r]; k < end; ++k) {
-      if (constrained[col[k]]) {
-        const double av = vals[k] * value[col[k]];
-        for (std::size_t c = 0; c < num_rhs; ++c) (*rhss[c])[r] -= av;
-        vals[k] = 0.0;
-      }
+      if (constrained[col[k]]) vals[k] = 0.0;
     }
   }
 }
 
-}  // namespace
-
 void apply_dirichlet(CsrMatrix& a, Vec& rhs, const DirichletBc& bc) {
   Vec* one = &rhs;
-  apply_dirichlet_impl(a, &one, 1, bc);
+  apply_dirichlet_rhs_impl(a, &one, 1, bc);
+  apply_dirichlet_matrix(a, bc);
 }
 
 void apply_dirichlet(CsrMatrix& a, std::vector<Vec>& rhss, const DirichletBc& bc) {
   std::vector<Vec*> ptrs;
   ptrs.reserve(rhss.size());
   for (Vec& rhs : rhss) ptrs.push_back(&rhs);
-  apply_dirichlet_impl(a, ptrs.data(), ptrs.size(), bc);
+  apply_dirichlet_rhs_impl(a, ptrs.data(), ptrs.size(), bc);
+  apply_dirichlet_matrix(a, bc);
 }
 
 DofPartition partition_dofs(idx_t num_dofs, const std::vector<idx_t>& bc_dofs) {

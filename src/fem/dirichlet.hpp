@@ -41,6 +41,21 @@ void apply_dirichlet(CsrMatrix& a, Vec& rhs, const DirichletBc& bc);
 /// single-rhs overload on copies of A.
 void apply_dirichlet(CsrMatrix& a, std::vector<Vec>& rhss, const DirichletBc& bc);
 
+/// The two halves of the lifting, split so a cached factorization can be
+/// reused across calls that differ only in rhs / BC values:
+///
+///   apply_dirichlet(a, rhs, bc)  ==  apply_dirichlet_rhs(a, rhs, bc)   [unlifted a]
+///                                  + apply_dirichlet_matrix(a, bc)
+///
+/// bit for bit — the fused loop reads each matrix value before zeroing it,
+/// so the rhs half against the *unlifted* operator plus the matrix half is
+/// the identical sequence of operations. The matrix half depends only on
+/// the constrained-dof *set* (values land exclusively in the rhs half),
+/// which is why factorization cache keys exclude BC values.
+void apply_dirichlet_rhs(const CsrMatrix& a, Vec& rhs, const DirichletBc& bc);
+void apply_dirichlet_rhs(const CsrMatrix& a, std::vector<Vec>& rhss, const DirichletBc& bc);
+void apply_dirichlet_matrix(CsrMatrix& a, const DirichletBc& bc);
+
 /// Partition dofs into free/constrained maps for reduced-system extraction:
 /// free_map[dof] = free index or -1; bc_map[dof] = constrained index or -1.
 struct DofPartition {

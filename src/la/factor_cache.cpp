@@ -1,0 +1,80 @@
+#include "la/factor_cache.hpp"
+
+#include <atomic>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace ms::la {
+
+FactorCache::Entry FactorCache::get_or_create(const std::string& key,
+                                              const std::function<Entry()>& build,
+                                              bool* built) {
+  auto& registry = obs::MetricRegistry::global();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Loop until we either observe a ready entry (hit) or claim the build
+    // by inserting the pending slot (miss). A failed builder erases its
+    // slot, so waiters loop back and race to claim the retry.
+    while (true) {
+      auto [it, inserted] = slots_.try_emplace(key);
+      if (inserted) break;  // we own the build
+      ready_cv_.wait(lock, [&] {
+        auto found = slots_.find(key);
+        return found == slots_.end() || found->second.ready;
+      });
+      auto found = slots_.find(key);
+      if (found != slots_.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        registry.counter("la.factor_cache.hits").add(1);
+        if (built != nullptr) *built = false;
+        return found->second.entry;
+      }
+    }
+  }
+
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  registry.counter("la.factor_cache.misses").add(1);
+  Entry entry;
+  try {
+    entry = build();
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      slots_.erase(key);
+    }
+    ready_cv_.notify_all();
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Slot& slot = slots_[key];
+    slot.entry = entry;
+    slot.ready = true;
+  }
+  ready_cv_.notify_all();
+  if (built != nullptr) *built = true;
+  return entry;
+}
+
+bool FactorCache::contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slots_.find(key);
+  return it != slots_.end() && it->second.ready;
+}
+
+std::size_t FactorCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t ready = 0;
+  for (const auto& [key, slot] : slots_) {
+    ready += slot.ready ? 1 : 0;
+  }
+  return ready;
+}
+
+void FactorCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  slots_.clear();
+}
+
+}  // namespace ms::la

@@ -50,7 +50,9 @@ std::int64_t RunReport::count_delta(const RunReport& earlier, const std::string&
 
 std::string RunReport::render_json() const {
   std::string out = "{\n  \"report\": \"morestress\",\n  \"metrics\": {\n";
-  char buf[64];
+  // Worst case is the histogram min/max/mean line: three %.12g numbers (up
+  // to ~19 chars each) plus 28 chars of punctuation — 64 was truncating it.
+  char buf[128];
   for (std::size_t i = 0; i < samples_.size(); ++i) {
     const MetricSample& s = samples_[i];
     out += "    \"" + util::json_escape(s.name) + "\": {";

@@ -182,8 +182,12 @@ void extract_channel_history(const rom::BlockGrid& grid, const rom::RomModel& ts
   const PruneOrder tsv_order = build_prune_order(tsv_model);
   const PruneOrder dummy_order = any_dummy ? build_prune_order(*dummy_model) : PruneOrder{};
 
+  // Point-steps the screen let through to a full evaluation, against the
+  // num_blocks * s^2 * num_steps a screen-less extraction would touch.
+  long long evaluated = 0;
+
 #ifdef _OPENMP
-#pragma omp parallel
+#pragma omp parallel reduction(+ : evaluated)
 #endif
   {
     std::vector<double> coefs(static_cast<std::size_t>(nk) * num_steps);
@@ -354,6 +358,7 @@ void extract_channel_history(const rom::BlockGrid& grid, const rom::RomModel& ts
                         scratch.data() + static_cast<std::size_t>(j) * nk);
           }
         }
+        evaluated += m;
         const double* panel = use_screen ? scratch.data() : coefs.data();
         rows_times_cols(model->stress_samples, 6 * pt, 6, panel, m, nk, vals6.data());
         rows_times_cols(model->bump_shear_samples, 2 * pt, 2, panel, m, nk, vals2.data());
@@ -394,6 +399,11 @@ void extract_channel_history(const rom::BlockGrid& grid, const rom::RomModel& ts
       }
     }
   }
+
+  auto& registry = obs::MetricRegistry::global();
+  registry.counter("reliability.screen.evaluated_point_steps").add(evaluated);
+  registry.counter("reliability.screen.total_point_steps")
+      .add(static_cast<long long>(num_blocks) * s * s * num_steps);
 }
 
 }  // namespace ms::reliability

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "la/cholesky.hpp"
+#include "la/factor_cache.hpp"
 #include "rom/global_assembler.hpp"
 
 namespace ms::rom {
@@ -19,6 +20,18 @@ struct GlobalSolveOptions {
   idx_t gmres_restart = 80;
   /// Direct-path factorization: ordering + supernodal/simplicial back end.
   la::SparseCholesky::Options factor;
+  /// Cross-call factorization memoization (direct path only; iterative
+  /// paths ignore it). When `factor_cache` is set and `factor_key` is
+  /// non-empty, the lifted operator's factorization is looked up / stored
+  /// under the key together with the unlifted operator (needed to lift the
+  /// right-hand sides). The key must determine the assembled matrix values
+  /// and the constrained-dof *set*; BC values may vary freely between
+  /// callers sharing a key (lifting splits cleanly, see fem/dirichlet.hpp).
+  /// On a hit the caller may leave problem.stiffness unassembled (empty)
+  /// and fill only problem.rhs / problem.num_dofs. Warm or cold, the
+  /// returned solutions are bit-identical to the uncached path.
+  la::FactorCache* factor_cache = nullptr;
+  std::string factor_key;
 };
 
 struct GlobalSolveStats {

@@ -1,0 +1,73 @@
+#include "rom/model_cache.hpp"
+
+#include <atomic>
+
+#include "obs/metrics.hpp"
+
+namespace ms::rom {
+
+ModelCache::ModelPtr ModelCache::get_or_create(const std::string& key,
+                                               const std::function<ModelPtr()>& build) {
+  auto& registry = obs::MetricRegistry::global();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+      auto [it, inserted] = slots_.try_emplace(key);
+      if (inserted) break;  // we own the build
+      ready_cv_.wait(lock, [&] {
+        auto found = slots_.find(key);
+        return found == slots_.end() || found->second.ready;
+      });
+      auto found = slots_.find(key);
+      if (found != slots_.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        registry.counter("rom.model_cache.hits").add(1);
+        return found->second.model;
+      }
+    }
+  }
+
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  registry.counter("rom.model_cache.misses").add(1);
+  ModelPtr model;
+  try {
+    model = build();
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      slots_.erase(key);
+    }
+    ready_cv_.notify_all();
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Slot& slot = slots_[key];
+    slot.model = model;
+    slot.ready = true;
+  }
+  ready_cv_.notify_all();
+  return model;
+}
+
+bool ModelCache::contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slots_.find(key);
+  return it != slots_.end() && it->second.ready;
+}
+
+std::size_t ModelCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t ready = 0;
+  for (const auto& [key, slot] : slots_) {
+    ready += slot.ready ? 1 : 0;
+  }
+  return ready;
+}
+
+void ModelCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  slots_.clear();
+}
+
+}  // namespace ms::rom

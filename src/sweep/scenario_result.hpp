@@ -1,0 +1,56 @@
+#pragma once
+// The result of one simulate(spec) query: headline metrics every scenario
+// kind shares (peak stress, lifetime, wall time) plus the full legacy result
+// payload — exactly one of the shared_ptr slots is set, matching the
+// scenario's kind/analysis. Payloads are shared_ptr so ScenarioResults are
+// cheap to collect, sort, and copy into Pareto tables.
+
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "core/results.hpp"
+#include "sweep/scenario_spec.hpp"
+
+namespace ms::sweep {
+
+struct ScenarioResult {
+  std::string name;
+  ScenarioKind kind = ScenarioKind::kArray;
+  AnalysisKind analysis = AnalysisKind::kSteady;
+
+  // --- headline metrics ------------------------------------------------------
+  double peak_von_mises = 0.0;  ///< max of the reported mid-plane field [MPa]
+  /// Fatigue runs only (NaN otherwise): log10 of the lifetime in trace
+  /// passes (log10 keeps damage-free infinities plottable), the lifetime in
+  /// seconds, and the governing stress channel.
+  double min_life_log10 = std::numeric_limits<double>::quiet_NaN();
+  double min_life_seconds = std::numeric_limits<double>::quiet_NaN();
+  std::string life_channel;
+  double simulate_seconds = 0.0;  ///< wall time of this query
+  /// Set by SweepEngine::run: true when no other scenario in the sweep both
+  /// stresses less and lives longer (the Pareto frontier of the table).
+  bool pareto_optimal = false;
+
+  // --- full payload (exactly one set) ---------------------------------------
+  std::shared_ptr<core::ArrayResult> array;
+  std::shared_ptr<core::ThermalArrayResult> thermal_array;
+  std::shared_ptr<core::ThermalTransientArrayResult> transient_array;
+  std::shared_ptr<core::ThermalSubmodelResult> thermal_submodel;
+  std::shared_ptr<core::ThermalTransientSubmodelResult> transient_submodel;
+  std::shared_ptr<core::FatigueResult> fatigue;
+
+  /// The payload viewed as its common ArrayResult base (fields + stats).
+  [[nodiscard]] const core::ArrayResult& base() const {
+    if (array) return *array;
+    if (thermal_array) return *thermal_array;
+    if (transient_array) return *transient_array;
+    if (thermal_submodel) return *thermal_submodel;
+    if (transient_submodel) return *transient_submodel;
+    if (fatigue) return *fatigue;
+    throw std::logic_error("ScenarioResult '" + name + "' carries no payload");
+  }
+};
+
+}  // namespace ms::sweep

@@ -1,0 +1,155 @@
+#include "sweep/sweep_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/simulator.hpp"
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace ms::sweep {
+
+SweepEngine::SweepEngine(SweepOptions options) : options_(std::move(options)) {
+  int threads = options_.num_threads;
+  if (threads <= 0) threads = static_cast<int>(std::thread::hardware_concurrency());
+  if (threads < 1) threads = 1;
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  obs::MetricRegistry::global().gauge("sweep.num_threads").set(static_cast<double>(threads));
+}
+
+SweepEngine::~SweepEngine() {
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void SweepEngine::worker_loop() {
+  while (true) {
+    std::packaged_task<ScenarioResult()> task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions land in the task's future
+  }
+}
+
+std::shared_ptr<const chiplet::PackageModel> SweepEngine::shared_package(int padded_blocks) {
+  const std::lock_guard<std::mutex> lock(package_mutex_);
+  auto it = packages_.find(padded_blocks);
+  if (it != packages_.end()) return it->second;
+  // Built under the lock: concurrent workers needing the same package wait
+  // rather than duplicating a coarse FEM solve; distinct sizes are rare
+  // enough that serializing them is cheaper than a single-flight slot here.
+  const chiplet::PackageGeometry geometry = chiplet::demo_package_geometry(
+      options_.config.geometry.pitch, padded_blocks, options_.config.geometry.height);
+  auto package = std::make_shared<const chiplet::PackageModel>(
+      geometry, chiplet::demo_coarse_spec(), options_.config.thermal_load);
+  packages_.emplace(padded_blocks, package);
+  return package;
+}
+
+ScenarioResult SweepEngine::query(ScenarioSpec spec) {
+  // Fresh simulator per scenario — only the caches are shared, so every
+  // result is bit-identical to a cold one-off run of the same spec.
+  core::MoreStressSimulator simulator(options_.config);
+  if (options_.share_caches) {
+    simulator.set_factor_cache(&factor_cache_);
+    simulator.set_model_cache(&model_cache_);
+  }
+  if (!options_.cache_dir.empty()) simulator.set_cache_directory(options_.cache_dir);
+  if (spec.kind == ScenarioKind::kSubmodel && spec.package == nullptr &&
+      options_.share_caches) {
+    const int padded = std::max(spec.blocks_x, spec.blocks_y) + 2 * spec.dummy_rings;
+    spec.package = shared_package(padded);
+  }
+  return simulator.simulate(spec);
+}
+
+std::future<ScenarioResult> SweepEngine::enqueue(ScenarioSpec spec) {
+  std::packaged_task<ScenarioResult()> task(
+      [this, spec = std::move(spec)]() mutable { return query(std::move(spec)); });
+  std::future<ScenarioResult> future = task.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_.push_back(std::move(task));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+namespace {
+
+/// Lifetime axis of the Pareto order: fatigue results use log10 lifetime,
+/// everything else compares as -inf (a steady scenario never dominates a
+/// fatigue scenario on life).
+double life_of(const ScenarioResult& r) {
+  return std::isnan(r.min_life_log10) ? -std::numeric_limits<double>::infinity()
+                                      : r.min_life_log10;
+}
+
+void mark_pareto(std::vector<ScenarioResult>& results) {
+  for (ScenarioResult& candidate : results) {
+    bool dominated = false;
+    for (const ScenarioResult& other : results) {
+      if (&other == &candidate) continue;
+      const bool no_worse = other.peak_von_mises <= candidate.peak_von_mises &&
+                            life_of(other) >= life_of(candidate);
+      const bool better = other.peak_von_mises < candidate.peak_von_mises ||
+                          life_of(other) > life_of(candidate);
+      if (no_worse && better) {
+        dominated = true;
+        break;
+      }
+    }
+    candidate.pareto_optimal = !dominated;
+  }
+}
+
+}  // namespace
+
+std::vector<ScenarioResult> SweepEngine::run(const std::vector<ScenarioSpec>& specs,
+                                             SweepStats* stats) {
+  util::WallTimer timer;
+  const std::uint64_t factor_hits0 = factor_cache_.hits();
+  const std::uint64_t factor_misses0 = factor_cache_.misses();
+  const std::uint64_t model_hits0 = model_cache_.hits();
+  const std::uint64_t model_misses0 = model_cache_.misses();
+
+  std::vector<std::future<ScenarioResult>> futures;
+  futures.reserve(specs.size());
+  for (const ScenarioSpec& spec : specs) futures.push_back(enqueue(spec));
+
+  std::vector<ScenarioResult> results;
+  results.reserve(specs.size());
+  for (std::future<ScenarioResult>& future : futures) results.push_back(future.get());
+  mark_pareto(results);
+
+  if (stats != nullptr) {
+    stats->wall_seconds = timer.seconds();
+    stats->num_scenarios = static_cast<int>(specs.size());
+    stats->factor_cache_hits = factor_cache_.hits() - factor_hits0;
+    stats->factor_cache_misses = factor_cache_.misses() - factor_misses0;
+    stats->model_cache_hits = model_cache_.hits() - model_hits0;
+    stats->model_cache_misses = model_cache_.misses() - model_misses0;
+  }
+  obs::MetricRegistry::global().histogram("sweep.run_seconds").record(timer.seconds());
+  MS_LOG_INFO("sweep: %d scenarios in %.3f s (factor cache %llu hit / %llu miss)",
+              static_cast<int>(specs.size()), timer.seconds(),
+              static_cast<unsigned long long>(factor_cache_.hits() - factor_hits0),
+              static_cast<unsigned long long>(factor_cache_.misses() - factor_misses0));
+  return results;
+}
+
+}  // namespace ms::sweep

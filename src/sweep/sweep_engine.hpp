@@ -1,0 +1,105 @@
+#pragma once
+// The cached, thread-pooled query service over simulate(spec): hand it a
+// vector of ScenarioSpecs and it runs them on a worker pool, sharing
+//
+//   * one rom::ModelCache — the one-shot local stage runs once per block
+//     spec no matter how many scenarios (and threads) need the model,
+//   * one la::FactorCache — scenarios whose global-stage (or conduction)
+//     operator has identical values and boundary structure share a single
+//     factorization; warm queries skip assembly and refactorization, and
+//   * one demo PackageModel per padded window size — the coarse package
+//     solve behind sub-model scenarios is resolved once and passed to every
+//     scenario via the spec's payload slot.
+//
+// Every scenario still runs on a *fresh* MoreStressSimulator wired to the
+// shared caches, so results are bit-identical to cold one-off runs of the
+// legacy simulate_* entry points (the cache-correctness tests assert this).
+// enqueue() returns a std::future for async collection; run() preserves
+// input order and marks the (peak stress ↓, lifetime ↑) Pareto frontier.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/config.hpp"
+#include "la/factor_cache.hpp"
+#include "rom/model_cache.hpp"
+#include "sweep/scenario_result.hpp"
+#include "sweep/scenario_spec.hpp"
+
+namespace ms::sweep {
+
+struct SweepOptions {
+  /// Simulator configuration every scenario starts from (per-spec time_step
+  /// overrides are applied on top by simulate()).
+  core::SimulationConfig config = core::SimulationConfig::paper_default();
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  int num_threads = 0;
+  /// Share the factorization / ROM-model caches across scenarios. Off, every
+  /// query runs cold (the baseline the cache-correctness tests compare to).
+  bool share_caches = true;
+  /// Optional on-disk ROM-model cache directory (empty = memory only).
+  std::string cache_dir;
+};
+
+/// Cost/cache telemetry of one run() call.
+struct SweepStats {
+  double wall_seconds = 0.0;
+  int num_scenarios = 0;
+  std::uint64_t factor_cache_hits = 0;
+  std::uint64_t factor_cache_misses = 0;
+  std::uint64_t model_cache_hits = 0;
+  std::uint64_t model_cache_misses = 0;
+};
+
+class SweepEngine {
+ public:
+  explicit SweepEngine(SweepOptions options = {});
+  ~SweepEngine();
+  SweepEngine(const SweepEngine&) = delete;
+  SweepEngine& operator=(const SweepEngine&) = delete;
+
+  /// Queue one scenario; the future resolves when a worker finishes it (and
+  /// carries any exception the query threw). Pareto flags are a property of
+  /// a whole run() table, not of individual queries, so they stay false here.
+  std::future<ScenarioResult> enqueue(ScenarioSpec spec);
+
+  /// Run every spec and return results in input order. Exceptions from
+  /// individual scenarios propagate (the first failing scenario's error).
+  /// On return, pareto_optimal marks the frontier over
+  /// (peak_von_mises minimized, min_life_log10 maximized; NaN lifetimes
+  /// compare as -inf).
+  std::vector<ScenarioResult> run(const std::vector<ScenarioSpec>& specs,
+                                  SweepStats* stats = nullptr);
+
+  [[nodiscard]] const SweepOptions& options() const { return options_; }
+  [[nodiscard]] la::FactorCache& factor_cache() { return factor_cache_; }
+  [[nodiscard]] rom::ModelCache& model_cache() { return model_cache_; }
+
+ private:
+  ScenarioResult query(ScenarioSpec spec);
+  /// Demo package shared across sub-model scenarios of one padded size.
+  std::shared_ptr<const chiplet::PackageModel> shared_package(int padded_blocks);
+  void worker_loop();
+
+  SweepOptions options_;
+  la::FactorCache factor_cache_;
+  rom::ModelCache model_cache_;
+
+  std::mutex package_mutex_;
+  std::map<int, std::shared_ptr<const chiplet::PackageModel>> packages_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::packaged_task<ScenarioResult()>> queue_;  ///< FIFO (front = next)
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ms::sweep

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 #include "fem/dirichlet.hpp"
@@ -60,20 +61,34 @@ TemperatureField solve_power_map(const mesh::HexMesh& mesh, const ConductivityFi
         "solve_power_map: sink film coefficient must be >= 0 (0 = ideal sink)");
   }
   MS_TRACE_SCOPE("thermal.steady.solve");
+  const bool use_cache = options.method == "direct" && options.factor_cache != nullptr &&
+                         !options.factor_key.empty();
   ThermalSolveStats local;
   util::WallTimer timer;
   la::TripletList triplets;
   Vec rhs;
   fem::DirichletBc bc;
   CsrMatrix k;
+  // On a resident cache hit the operator never needs assembling — only the
+  // load vector and the constrained-dof set (the cached entry keeps the
+  // unlifted matrix for the rhs lifting below).
+  const bool skip_matrix = use_cache && options.factor_cache->contains(options.factor_key);
   {
     MS_TRACE_SCOPE("thermal.steady.assemble");
-    triplets = conduction_triplets(mesh, conductivity.in_plane, conductivity.through_plane);
+    if (!skip_matrix) {
+      triplets = conduction_triplets(mesh, conductivity.in_plane, conductivity.through_plane);
+    }
     rhs = assemble_power_load(mesh, power);
 
     if (options.sink_film_coefficient > 0.0) {
-      add_convective_face(mesh, options.sink_film_coefficient, options.ambient, /*face=*/0,
-                          triplets, rhs);
+      if (skip_matrix) {
+        la::TripletList film_triplets;
+        add_convective_face(mesh, options.sink_film_coefficient, options.ambient, /*face=*/0,
+                            film_triplets, rhs);
+      } else {
+        add_convective_face(mesh, options.sink_film_coefficient, options.ambient, /*face=*/0,
+                            triplets, rhs);
+      }
     } else {
       // Ideal sink: the whole z-min face held at ambient.
       for (idx_t j = 0; j < mesh.nodes_y(); ++j) {
@@ -83,15 +98,42 @@ TemperatureField solve_power_map(const mesh::HexMesh& mesh, const ConductivityFi
       }
     }
 
-    k = CsrMatrix::from_triplets(triplets);
-    fem::apply_dirichlet(k, rhs, bc);
+    if (!skip_matrix) {
+      k = CsrMatrix::from_triplets(triplets);
+      if (!use_cache) fem::apply_dirichlet(k, rhs, bc);
+    }
   }
-  local.num_dofs = k.rows();
+  local.num_dofs = static_cast<idx_t>(mesh.num_nodes());
   local.assemble_seconds = timer.seconds();
 
   timer.reset();
   Vec t;
-  if (options.method == "direct") {
+  if (use_cache) {
+    // Memoized direct path: bit-identical to the uncached branch below —
+    // the split lifting reproduces the fused one (fem/dirichlet.hpp) and
+    // solve() is solve_with() on the member scratch.
+    bool built = false;
+    const la::FactorCache::Entry entry = options.factor_cache->get_or_create(
+        options.factor_key,
+        [&]() {
+          la::FactorCache::Entry fresh;
+          fresh.matrix = std::make_shared<la::CsrMatrix>(k);
+          fem::apply_dirichlet_matrix(k, bc);
+          fresh.factor = std::make_shared<la::SparseCholesky>(k, options.factor);
+          return fresh;
+        },
+        &built);
+    (void)built;
+    local.factor_seconds = timer.seconds();
+    local.factor_nnz = entry.factor->factor_nnz();
+    local.fill_ratio = entry.factor->fill_ratio();
+    local.ordering = entry.factor->ordering_name();
+    fem::apply_dirichlet_rhs(*entry.matrix, rhs, bc);
+    Vec scratch;
+    entry.factor->solve_with(rhs, t, scratch);
+    local.iterations = 0;
+    local.converged = true;
+  } else if (options.method == "direct") {
     const la::SparseCholesky chol(k, options.factor);
     local.factor_seconds = timer.seconds();
     local.factor_nnz = chol.factor_nnz();
@@ -258,11 +300,28 @@ TransientTemperatureResult solve_power_trace(const mesh::HexMesh& mesh,
   assemble_span.end();
 
   timer.reset();
-  const la::SparseCholesky factor(a, options.base.factor);
+  // The stepping operator's factorization is shareable across traces: the
+  // assembly above is cheap and the unlifted A is needed for the correction
+  // term regardless, so only the factor itself is memoized (Entry.matrix
+  // stays null). solve_with(scratch) below is solve_inplace's own backend,
+  // so warm and cold steps are bitwise identical.
+  std::shared_ptr<const la::SparseCholesky> factor;
+  const bool use_cache = options.base.factor_cache != nullptr && !options.base.factor_key.empty();
+  if (use_cache) {
+    const la::FactorCache::Entry entry = options.base.factor_cache->get_or_create(
+        options.base.factor_key, [&]() {
+          la::FactorCache::Entry fresh;
+          fresh.factor = std::make_shared<la::SparseCholesky>(a, options.base.factor);
+          return fresh;
+        });
+    factor = entry.factor;
+  } else {
+    factor = std::make_shared<const la::SparseCholesky>(a, options.base.factor);
+  }
   local.factor_seconds = timer.seconds();
-  local.factor_nnz = factor.factor_nnz();
-  local.fill_ratio = factor.fill_ratio();
-  local.ordering = factor.ordering_name();
+  local.factor_nnz = factor->factor_nnz();
+  local.fill_ratio = factor->fill_ratio();
+  local.ordering = factor->ordering_name();
 
   obs::ScopedSpan step_span("thermal.transient.step");
   timer.reset();
@@ -308,6 +367,7 @@ TransientTemperatureResult solve_power_trace(const mesh::HexMesh& mesh,
   Vec kt(static_cast<std::size_t>(n));
   Vec mt(static_cast<std::size_t>(n));
   Vec rhs(static_cast<std::size_t>(n));
+  Vec solve_scratch;  // local, so a shared cached factor is thread-safe
   power_load_at(0.0, f_prev);
   for (int step = 1; step <= num_steps; ++step) {
     const double time = step * dt;
@@ -329,7 +389,7 @@ TransientTemperatureResult solve_power_trace(const mesh::HexMesh& mesh,
       }
       for (std::size_t i = 0; i < bc.dofs.size(); ++i) rhs[bc.dofs[i]] = bc.values[i];
     }
-    factor.solve_inplace(rhs, t);
+    factor->solve_with(rhs, t, solve_scratch);
     record(time, t);
     f_prev.swap(f_next);
   }

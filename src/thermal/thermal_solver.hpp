@@ -16,6 +16,7 @@
 
 #include "fem/material.hpp"
 #include "la/cholesky.hpp"
+#include "la/factor_cache.hpp"
 #include "mesh/tsv_block.hpp"
 #include "thermal/conduction_assembler.hpp"
 #include "thermal/power_map.hpp"
@@ -35,6 +36,15 @@ struct ThermalSolveOptions {
   /// Direct-path (and transient θ-stepper) factorization: ordering +
   /// supernodal/simplicial back end.
   la::SparseCholesky::Options factor;
+  /// Cross-call factorization memoization (direct path and θ-stepper only;
+  /// cg ignores it). When `factor_cache` is set and `factor_key` non-empty,
+  /// the factorization is shared under the key. The key must determine the
+  /// assembled operator (mesh, conductivities, film coefficient — and for
+  /// the stepper: capacities, Δt, scheme, lumping) plus the constrained-dof
+  /// set; the sink *temperature* and the power input vary freely between
+  /// callers sharing a key. Results are bit-identical warm or cold.
+  la::FactorCache* factor_cache = nullptr;
+  std::string factor_key;
 };
 
 struct ThermalSolveStats {

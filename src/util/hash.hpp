@@ -1,0 +1,36 @@
+#pragma once
+// FNV-1a fingerprinting for cache keys. Not cryptographic — the sweep
+// engine's factorization / ROM-model caches key on a human-readable prefix
+// (geometry, mesh, options) plus an FNV hash of the bulk numeric inputs
+// (constrained-dof sets, conductivity fields, element load vectors), so two
+// scenarios collide only if every keyed input matches.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ms::util {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// Fold `size` bytes into a running FNV-1a state.
+inline std::uint64_t fnv1a_bytes(const void* data, std::size_t size,
+                                 std::uint64_t state = kFnvOffsetBasis) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    state ^= bytes[i];
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+/// Fold a trivially-copyable vector's payload (raw object bytes).
+template <typename T>
+std::uint64_t fnv1a(const std::vector<T>& values,
+                    std::uint64_t state = kFnvOffsetBasis) {
+  return values.empty() ? state
+                        : fnv1a_bytes(values.data(), values.size() * sizeof(T), state);
+}
+
+}  // namespace ms::util

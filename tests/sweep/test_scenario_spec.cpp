@@ -1,0 +1,213 @@
+#include "sweep/scenario_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+namespace ms::sweep {
+namespace {
+
+/// EXPECT_THROW plus a substring check on the diagnostic.
+template <typename Fn>
+void expect_throw_containing(Fn&& fn, const std::string& needle) {
+  try {
+    fn();
+    FAIL() << "expected invalid_argument containing '" << needle << "'";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "diagnostic was: " << e.what();
+  }
+}
+
+ScenarioSpec fatigue_spec() {
+  ScenarioSpec spec;
+  spec.name = "hotspot_fatigue";
+  spec.kind = ScenarioKind::kArray;
+  spec.analysis = AnalysisKind::kFatigue;
+  spec.load = LoadKind::kTrace;
+  spec.blocks_x = 6;
+  spec.blocks_y = 4;
+  spec.power.background = 20.0;
+  spec.power.hotspot_peak = 387.5;
+  spec.power.hotspot_sigma_pitches = 2.25;
+  spec.power.hotspot_x = 0.3;
+  spec.power.hotspot_y = 0.7;
+  spec.trace.shape = "square";
+  spec.trace.period = 6.25e-5;
+  spec.trace.duty = 1.0 / 3.0;  // a duty that needs all 17 digits to round-trip
+  spec.trace.cycles = 3;
+  spec.time_step = 3.125e-6;
+  spec.fatigue.record_stride = 2;
+  spec.fatigue.cycles_per_day = 86400.0 / 7.0;
+  return spec;
+}
+
+TEST(ScenarioSpec, ConfigTextRoundTripsExactly) {
+  const ScenarioSpec spec = fatigue_spec();
+  const std::vector<ScenarioSpec> parsed = parse_scenarios(spec.to_config_text());
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_TRUE(parsed[0] == spec) << spec.to_config_text();
+  // And the canonical text itself is a fixed point.
+  EXPECT_EQ(parsed[0].to_config_text(), spec.to_config_text());
+}
+
+TEST(ScenarioSpec, DefaultSpecRoundTrips) {
+  const ScenarioSpec spec;  // steady uniform array, all defaults (NaN ΔT)
+  const std::vector<ScenarioSpec> parsed = parse_scenarios(spec.to_config_text());
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_TRUE(parsed[0] == spec);
+  EXPECT_TRUE(std::isnan(parsed[0].delta_t));
+}
+
+TEST(ScenarioSpec, SnapshotStepsRoundTrip) {
+  ScenarioSpec spec;
+  spec.analysis = AnalysisKind::kTransient;
+  spec.load = LoadKind::kTrace;
+  spec.snapshot_steps = {0, 3, 7};
+  const std::vector<ScenarioSpec> parsed = parse_scenarios(spec.to_config_text());
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].snapshot_steps, spec.snapshot_steps);
+  EXPECT_TRUE(parsed[0] == spec);
+}
+
+TEST(ScenarioSpec, DefaultsSectionSeedsLaterScenarios) {
+  const std::string text =
+      "[defaults]\n"
+      "kind = array\n"
+      "analysis = fatigue\n"
+      "load = trace\n"
+      "blocks_x = 6\n"
+      "blocks_y = 6\n"
+      "trace.duty = 0.25\n"
+      "\n"
+      "[low]\n"
+      "power.hotspot_peak = 100\n"
+      "\n"
+      "[high]\n"
+      "power.hotspot_peak = 400\n"
+      "trace.duty = 0.75\n";
+  const std::vector<ScenarioSpec> specs = parse_scenarios(text);
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].name, "low");
+  EXPECT_EQ(specs[0].blocks_x, 6);
+  EXPECT_EQ(specs[0].analysis, AnalysisKind::kFatigue);
+  EXPECT_DOUBLE_EQ(specs[0].power.hotspot_peak, 100.0);
+  EXPECT_DOUBLE_EQ(specs[0].trace.duty, 0.25);
+  EXPECT_DOUBLE_EQ(specs[1].trace.duty, 0.75);  // override wins over defaults
+  EXPECT_DOUBLE_EQ(specs[1].power.hotspot_peak, 400.0);
+}
+
+TEST(ScenarioSpec, CommentsAndBlankLinesAreIgnored) {
+  const std::string text =
+      "# a comment\n"
+      "[s]\n"
+      "; another comment\n"
+      "blocks_x = 3   # trailing comment\n"
+      "blocks_y = 2\n";
+  const std::vector<ScenarioSpec> specs = parse_scenarios(text);
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].blocks_x, 3);
+  EXPECT_EQ(specs[0].blocks_y, 2);
+}
+
+TEST(ScenarioSpec, UnknownKeyNamesTheLine) {
+  expect_throw_containing(
+      [] { parse_scenarios("[s]\nblocks_x = 4\nblockz_y = 4\n"); }, "line 3");
+  expect_throw_containing(
+      [] { parse_scenarios("[s]\nblocks_x = 4\nblockz_y = 4\n"); }, "blockz_y");
+}
+
+TEST(ScenarioSpec, MalformedValueNamesTheLine) {
+  expect_throw_containing([] { parse_scenarios("[s]\ntrace.duty = lots\n"); }, "line 2");
+  expect_throw_containing([] { parse_scenarios("[s]\nblocks_x = 3.5\n"); }, "line 2");
+  expect_throw_containing([] { parse_scenarios("[s]\n\n\nblocks_x =\n"); }, "line 4");
+}
+
+TEST(ScenarioSpec, KeyOutsideSectionFails) {
+  expect_throw_containing([] { parse_scenarios("blocks_x = 4\n[s]\n"); }, "line 1");
+}
+
+TEST(ScenarioSpec, DefaultsAfterScenarioSectionFails) {
+  expect_throw_containing([] { parse_scenarios("[s]\nblocks_x = 4\n[defaults]\n"); },
+                          "line 3");
+}
+
+TEST(ScenarioSpec, ValidateRejectsBadCombinations) {
+  {
+    ScenarioSpec spec;  // steady + trace
+    spec.load = LoadKind::kTrace;
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+  }
+  {
+    ScenarioSpec spec;  // fatigue needs a trace
+    spec.analysis = AnalysisKind::kFatigue;
+    spec.load = LoadKind::kUniform;
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+  }
+  {
+    ScenarioSpec spec;
+    spec.analysis = AnalysisKind::kFatigue;
+    spec.load = LoadKind::kTrace;
+    spec.trace.duty = 1.0;  // duty must be inside (0, 1)
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+  }
+  {
+    ScenarioSpec spec;
+    spec.blocks_x = 0;
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+  }
+  {
+    ScenarioSpec spec;
+    spec.kind = ScenarioKind::kSubmodel;
+    spec.location = 6;  // standard_locations has loc1..loc5
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+  }
+  {
+    ScenarioSpec spec;  // snapshots are an array-transient feature
+    spec.kind = ScenarioKind::kSubmodel;
+    spec.analysis = AnalysisKind::kTransient;
+    spec.load = LoadKind::kTrace;
+    spec.snapshot_steps = {1};
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+  }
+}
+
+TEST(ScenarioSpec, PayloadSpecsRefuseSerialization) {
+  ScenarioSpec spec;
+  spec.load_field = std::make_shared<rom::BlockLoadField>(rom::BlockLoadField::uniform(-100.0));
+  EXPECT_TRUE(spec.has_programmatic_payload());
+  EXPECT_THROW((void)spec.to_config_text(), std::logic_error);
+}
+
+TEST(ScenarioSpec, ParseFilePrefixesDiagnosticsWithPath) {
+  const auto path = std::filesystem::temp_directory_path() / "ms_sweep_bad_spec.txt";
+  {
+    std::ofstream out(path);
+    out << "[s]\nnot_a_key = 1\n";
+  }
+  expect_throw_containing([&] { (void)parse_scenario_file(path.string()); },
+                          "ms_sweep_bad_spec.txt");
+  expect_throw_containing([&] { (void)parse_scenario_file(path.string()); }, "line 2");
+  std::filesystem::remove(path);
+}
+
+TEST(ScenarioSpec, EqualityIsNaNAwareAndFieldSensitive) {
+  const ScenarioSpec a = fatigue_spec();
+  ScenarioSpec b = a;
+  EXPECT_TRUE(a == b);  // NaN hotspot positions? here set; defaults below
+  b.trace.cycles = 4;
+  EXPECT_TRUE(a != b);
+  const ScenarioSpec c;
+  ScenarioSpec d;
+  EXPECT_TRUE(c == d);  // both carry NaN delta_t / hotspot positions
+  d.delta_t = -100.0;
+  EXPECT_TRUE(c != d);
+}
+
+}  // namespace
+}  // namespace ms::sweep

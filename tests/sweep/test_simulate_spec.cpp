@@ -1,0 +1,262 @@
+// Equivalence locks: simulate(spec) must be bit-identical to the legacy
+// simulate_* call it replaces — same fields, same stress tensors, same
+// global solution, compared with == (no tolerance). Both calls run on one
+// simulator (shared local-stage model, no caches), so any drift is a real
+// dispatch bug, not numerical noise.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <memory>
+
+#include "chiplet/package_model.hpp"
+#include "core/simulator.hpp"
+#include "sweep/scenario_result.hpp"
+#include "sweep/scenario_spec.hpp"
+
+namespace ms::sweep {
+namespace {
+
+core::SimulationConfig small_config() {
+  core::SimulationConfig config = core::SimulationConfig::paper_default();
+  config.mesh_spec = {6, 3};
+  config.local.nodes_x = config.local.nodes_y = config.local.nodes_z = 3;
+  config.local.samples_per_block = 10;
+  return config;
+}
+
+void expect_bitwise(const core::ArrayResult& a, const core::ArrayResult& b) {
+  EXPECT_EQ(a.region_blocks_x, b.region_blocks_x);
+  EXPECT_EQ(a.region_blocks_y, b.region_blocks_y);
+  EXPECT_EQ(a.von_mises, b.von_mises);
+  EXPECT_EQ(a.stress, b.stress);
+  EXPECT_EQ(a.solution, b.solution);
+}
+
+TEST(SimulateSpec, ArraySteadyUniformMatchesLegacy) {
+  core::MoreStressSimulator sim(small_config());
+  const core::ArrayResult legacy = sim.simulate_array(3, 2);
+
+  ScenarioSpec spec;
+  spec.blocks_x = 3;
+  spec.blocks_y = 2;
+  const ScenarioResult result = sim.simulate(spec);
+  ASSERT_NE(result.array, nullptr);
+  expect_bitwise(*result.array, legacy);
+  EXPECT_EQ(result.peak_von_mises,
+            *std::max_element(legacy.von_mises.begin(), legacy.von_mises.end()));
+  EXPECT_TRUE(std::isnan(result.min_life_log10));
+}
+
+TEST(SimulateSpec, ArraySteadyLoadFieldPayloadMatchesLegacy) {
+  core::MoreStressSimulator sim(small_config());
+  rom::BlockLoadField load = rom::BlockLoadField::uniform(-100.0);
+  const core::ArrayResult legacy = sim.simulate_array(2, 2, load);
+
+  ScenarioSpec spec;
+  spec.blocks_x = 2;
+  spec.blocks_y = 2;
+  spec.load_field = std::make_shared<rom::BlockLoadField>(load);
+  const ScenarioResult result = sim.simulate(spec);
+  ASSERT_NE(result.array, nullptr);
+  expect_bitwise(*result.array, legacy);
+}
+
+TEST(SimulateSpec, ArraySteadyPowerMatchesLegacy) {
+  const core::SimulationConfig config = small_config();
+  core::MoreStressSimulator sim(config);
+
+  ScenarioSpec spec;
+  spec.load = LoadKind::kPower;
+  spec.blocks_x = 3;
+  spec.blocks_y = 3;
+  spec.power.background = 25.0;
+  spec.power.hotspot_peak = 300.0;
+
+  const core::ThermalArrayResult legacy =
+      sim.simulate_array_thermal(3, 3, make_power_map(spec, config));
+  const ScenarioResult result = sim.simulate(spec);
+  ASSERT_NE(result.thermal_array, nullptr);
+  expect_bitwise(*result.thermal_array, legacy);
+  EXPECT_EQ(result.thermal_array->load.values(), legacy.load.values());
+  EXPECT_EQ(result.thermal_array->temperature.nodal(), legacy.temperature.nodal());
+}
+
+TEST(SimulateSpec, ArrayTransientMatchesLegacyWithSnapshots) {
+  const core::SimulationConfig config = small_config();
+  core::MoreStressSimulator sim(config);
+
+  ScenarioSpec spec;
+  spec.analysis = AnalysisKind::kTransient;
+  spec.load = LoadKind::kTrace;
+  spec.blocks_x = 3;
+  spec.blocks_y = 2;
+  spec.power.background = 30.0;
+  spec.power.hotspot_peak = 200.0;
+  spec.trace.period = 6e-5;
+  spec.trace.duty = 0.5;
+  spec.trace.cycles = 1;
+  spec.snapshot_steps = {0, 2};
+
+  const thermal::PowerTrace trace = make_power_trace(spec, make_power_map(spec, config));
+  const core::ThermalTransientArrayResult legacy =
+      sim.simulate_array_thermal_transient(3, 2, trace, spec.snapshot_steps);
+  const ScenarioResult result = sim.simulate(spec);
+  ASSERT_NE(result.transient_array, nullptr);
+  expect_bitwise(*result.transient_array, legacy);
+  EXPECT_EQ(result.transient_array->envelope_load.values(), legacy.envelope_load.values());
+  ASSERT_EQ(result.transient_array->snapshots.size(), legacy.snapshots.size());
+  for (std::size_t i = 0; i < legacy.snapshots.size(); ++i) {
+    expect_bitwise(result.transient_array->snapshots[i], legacy.snapshots[i]);
+  }
+}
+
+TEST(SimulateSpec, ArrayFatigueMatchesLegacy) {
+  const core::SimulationConfig config = small_config();
+  core::MoreStressSimulator sim(config);
+
+  ScenarioSpec spec;
+  spec.analysis = AnalysisKind::kFatigue;
+  spec.load = LoadKind::kTrace;
+  spec.blocks_x = 2;
+  spec.blocks_y = 2;
+  spec.power.background = 20.0;
+  spec.power.hotspot_peak = 350.0;
+  spec.trace.period = 6e-5;
+  spec.trace.duty = 0.25;
+  spec.trace.cycles = 2;
+
+  const thermal::PowerTrace trace = make_power_trace(spec, make_power_map(spec, config));
+  const core::FatigueResult legacy = sim.simulate_array_fatigue(2, 2, trace, spec.fatigue);
+  const ScenarioResult result = sim.simulate(spec);
+  ASSERT_NE(result.fatigue, nullptr);
+  expect_bitwise(*result.fatigue, legacy);
+  EXPECT_EQ(result.fatigue->report.min_life_cycles, legacy.report.min_life_cycles);
+  EXPECT_EQ(result.fatigue->report.min_life_channel, legacy.report.min_life_channel);
+  EXPECT_EQ(result.min_life_log10, std::log10(legacy.report.min_life_cycles));
+  EXPECT_EQ(result.min_life_seconds, legacy.report.min_life_seconds);
+}
+
+TEST(SimulateSpec, SubmodelSteadyUniformDisplacementMatchesLegacy) {
+  core::MoreStressSimulator sim(small_config());
+  const auto linear = [](const mesh::Point3& p) {
+    return std::array<double, 3>{1e-4 * p.x, 1e-4 * p.y, -2e-4 * p.z};
+  };
+  const core::ArrayResult legacy = sim.simulate_submodel(2, 2, 1, linear);
+
+  ScenarioSpec spec;
+  spec.kind = ScenarioKind::kSubmodel;
+  spec.blocks_x = 2;
+  spec.blocks_y = 2;
+  spec.dummy_rings = 1;
+  spec.displacement = linear;
+  const ScenarioResult result = sim.simulate(spec);
+  ASSERT_NE(result.array, nullptr);
+  expect_bitwise(*result.array, legacy);
+}
+
+TEST(SimulateSpec, SubmodelThermalMatchesLegacyWithSharedPackage) {
+  const core::SimulationConfig config = small_config();
+  core::MoreStressSimulator sim(config);
+
+  // Pre-build the demo package once and hand it to both calls via the
+  // payload slot — the same object the sweep engine would share.
+  const int padded = 2 + 2 * 1;
+  const chiplet::PackageGeometry geometry =
+      chiplet::demo_package_geometry(config.geometry.pitch, padded, config.geometry.height);
+  const auto package = std::make_shared<const chiplet::PackageModel>(
+      geometry, chiplet::demo_coarse_spec(), config.thermal_load);
+  const chiplet::SubmodelPlacement placement =
+      chiplet::standard_locations(package->geometry(), config.geometry.pitch, padded, padded)[1];
+
+  ScenarioSpec spec;
+  spec.kind = ScenarioKind::kSubmodel;
+  spec.load = LoadKind::kPower;
+  spec.blocks_x = 2;
+  spec.blocks_y = 2;
+  spec.dummy_rings = 1;
+  spec.package = package;
+  spec.placement = placement;
+  spec.power.background = 15.0;
+  spec.power.hotspot_peak = 250.0;
+
+  const thermal::PowerMap power = make_power_map(spec, config, package->geometry(), placement);
+  const core::ThermalSubmodelResult legacy =
+      sim.simulate_submodel_thermal(2, 2, 1, *package, placement, power);
+  const ScenarioResult result = sim.simulate(spec);
+  ASSERT_NE(result.thermal_submodel, nullptr);
+  expect_bitwise(*result.thermal_submodel, legacy);
+  EXPECT_EQ(result.thermal_submodel->load.values(), legacy.load.values());
+}
+
+TEST(SimulateSpec, SubmodelFatigueMatchesLegacy) {
+  const core::SimulationConfig config = small_config();
+  core::MoreStressSimulator sim(config);
+
+  const int padded = 2 + 2 * 1;
+  const chiplet::PackageGeometry geometry =
+      chiplet::demo_package_geometry(config.geometry.pitch, padded, config.geometry.height);
+  const auto package = std::make_shared<const chiplet::PackageModel>(
+      geometry, chiplet::demo_coarse_spec(), config.thermal_load);
+  const chiplet::SubmodelPlacement placement =
+      chiplet::standard_locations(package->geometry(), config.geometry.pitch, padded, padded)[0];
+
+  ScenarioSpec spec;
+  spec.kind = ScenarioKind::kSubmodel;
+  spec.analysis = AnalysisKind::kFatigue;
+  spec.load = LoadKind::kTrace;
+  spec.blocks_x = 2;
+  spec.blocks_y = 2;
+  spec.dummy_rings = 1;
+  spec.package = package;
+  spec.placement = placement;
+  spec.power.background = 20.0;
+  spec.power.hotspot_peak = 300.0;
+  spec.trace.period = 6e-5;
+  spec.trace.duty = 0.5;
+  spec.trace.cycles = 1;
+
+  const thermal::PowerTrace trace =
+      make_power_trace(spec, make_power_map(spec, config, package->geometry(), placement));
+  const core::FatigueResult legacy =
+      sim.simulate_submodel_fatigue(2, 2, 1, *package, placement, trace, spec.fatigue);
+  const ScenarioResult result = sim.simulate(spec);
+  ASSERT_NE(result.fatigue, nullptr);
+  expect_bitwise(*result.fatigue, legacy);
+  EXPECT_EQ(result.fatigue->report.min_life_cycles, legacy.report.min_life_cycles);
+}
+
+TEST(SimulateSpec, TimeStepOverrideMatchesAdjustedConfig) {
+  // A per-spec time_step override must be bit-identical to a simulator
+  // whose config carries that step outright.
+  core::SimulationConfig adjusted = small_config();
+  adjusted.coupling.transient.time_step = 1.5e-5;
+  core::MoreStressSimulator reference(adjusted);
+
+  ScenarioSpec spec;
+  spec.analysis = AnalysisKind::kTransient;
+  spec.load = LoadKind::kTrace;
+  spec.blocks_x = 2;
+  spec.blocks_y = 2;
+  spec.power.background = 25.0;
+  spec.trace.period = 6e-5;
+  spec.trace.duty = 0.5;
+  spec.trace.cycles = 1;
+
+  const thermal::PowerTrace trace =
+      make_power_trace(spec, make_power_map(spec, small_config()));
+  const core::ThermalTransientArrayResult legacy =
+      reference.simulate_array_thermal_transient(2, 2, trace, {});
+
+  core::MoreStressSimulator sim(small_config());
+  spec.time_step = 1.5e-5;
+  const ScenarioResult result = sim.simulate(spec);
+  ASSERT_NE(result.transient_array, nullptr);
+  expect_bitwise(*result.transient_array, legacy);
+  EXPECT_EQ(result.transient_array->transient.times, legacy.transient.times);
+}
+
+}  // namespace
+}  // namespace ms::sweep

@@ -70,7 +70,18 @@ VALUE_FIELDS = ("peak_von_mises", "dt_min", "dt_max", "envelope_dt_max", "time_a
                 # extraction is the fatigue hot path and must not creep back
                 # toward per-step dense reconstruction even by small absolute
                 # amounts.
-                "channel_extraction_seconds")
+                "channel_extraction_seconds",
+                # Sweep-engine tripwires: the cache hit/miss counts are exact
+                # consequences of structure-keyed memoization, the warm pass
+                # must stay bit-identical to cold legacy runs, and the
+                # "_per_second" throughput fields are gated as inverted
+                # scale-normalized floors (see below) rather than value drift.
+                "queries_per_second", "cold_queries_per_second",
+                "factor_cache_hits", "factor_cache_misses", "model_cache_hits",
+                "pareto_count", "bitwise_identical",
+                # Reliability screen: the evaluated fraction is a deterministic
+                # function of the per-point stress bounds, so it may not drift.
+                "screen_evaluated_fraction")
 
 
 def main():
@@ -138,6 +149,20 @@ def main():
             base = base_case.get(field)
             new = current[key].get(field)
             if not isinstance(base, (int, float)) or not isinstance(new, (int, float)):
+                continue
+            if field.endswith("_per_second"):
+                # Inverted throughput budget: queries/second may not fall
+                # below the baseline floor. A slower machine (scale > 1)
+                # lowers the floor by the same factor the timing budgets rise.
+                floor = base / (scale * args.max_slowdown)
+                status = "ok"
+                if new < floor:
+                    status = "REGRESSION"
+                    failures.append(
+                        f"{key} {field}: {new:.3f}/s below throughput floor "
+                        f"{floor:.3f}/s (baseline {base:.3f}/s at scale {scale:.2f})")
+                print(f"  {key} {field} (throughput): base {base:.3f}/s new {new:.3f}/s "
+                      f"floor {floor:.3f}/s [{status}]")
                 continue
             if field.endswith("_seconds"):
                 # Strict timing tripwire: the scale-normalized budget applies

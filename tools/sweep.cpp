@@ -1,0 +1,126 @@
+// sweep — run a declarative scenario-sweep config through the cached,
+// thread-pooled query service and emit a lifetime/stress Pareto table.
+//
+//   ./sweep --config specs.txt --out pareto.json [--threads N] [--no-cache]
+//           [--cache-dir DIR]
+//
+// The config file is the ScenarioSpec `key = value` format (see README's
+// "Sweep" section): an optional [defaults] section followed by one [name]
+// section per scenario. Results print as a table (Pareto-optimal rows
+// starred) and, with --out, land in a JSON file for plotting.
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/obs_cli.hpp"
+#include "sweep/scenario_spec.hpp"
+#include "sweep/sweep_engine.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+
+int main(int argc, char** argv) {
+  ms::util::CliParser cli("sweep", "Scenario sweep: declarative specs -> Pareto table");
+  cli.add_string("config", "", "scenario spec file (required)");
+  cli.add_string("out", "", "JSON output path (empty skips)");
+  cli.add_int("threads", 0, "worker threads (0 = hardware concurrency)");
+  cli.add_flag("no-cache", "disable factorization/model sharing (cold per-spec runs)");
+  cli.add_string("cache-dir", "", "on-disk ROM model cache directory");
+  ms::obs::add_cli_flags(cli);
+  cli.parse(argc, argv);
+  ms::obs::apply_cli_flags(cli);
+
+  const std::string config_path = cli.get_string("config");
+  if (config_path.empty()) {
+    std::fprintf(stderr, "sweep: --config is required\n%s", cli.usage().c_str());
+    return 2;
+  }
+
+  std::vector<ms::sweep::ScenarioSpec> specs;
+  try {
+    specs = ms::sweep::parse_scenario_file(config_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep: %s\n", e.what());
+    return 1;
+  }
+  if (specs.empty()) {
+    std::fprintf(stderr, "sweep: %s defines no scenarios\n", config_path.c_str());
+    return 1;
+  }
+
+  ms::sweep::SweepOptions options;
+  options.num_threads = static_cast<int>(cli.get_int("threads"));
+  options.share_caches = !cli.flag("no-cache");
+  options.cache_dir = cli.get_string("cache-dir");
+  ms::sweep::SweepEngine engine(options);
+  ms::sweep::SweepStats stats;
+  std::vector<ms::sweep::ScenarioResult> results;
+  try {
+    results = engine.run(specs, &stats);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("%-20s %-8s %-9s %12s %14s %10s %8s\n", "scenario", "kind", "analysis",
+              "peak_vm[MPa]", "life[log10]", "time[s]", "pareto");
+  for (const ms::sweep::ScenarioResult& r : results) {
+    char life[32];
+    if (r.min_life_log10 == r.min_life_log10) {
+      std::snprintf(life, sizeof life, "%.3f", r.min_life_log10);
+    } else {
+      std::snprintf(life, sizeof life, "-");
+    }
+    std::printf("%-20s %-8s %-9s %12.2f %14s %10.3f %8s\n", r.name.c_str(),
+                ms::sweep::to_string(r.kind), ms::sweep::to_string(r.analysis),
+                r.peak_von_mises, life, r.simulate_seconds, r.pareto_optimal ? "*" : "");
+  }
+  std::printf("\n%d scenarios in %.3f s; factor cache %llu hit / %llu miss, "
+              "model cache %llu hit / %llu miss\n",
+              stats.num_scenarios, stats.wall_seconds,
+              static_cast<unsigned long long>(stats.factor_cache_hits),
+              static_cast<unsigned long long>(stats.factor_cache_misses),
+              static_cast<unsigned long long>(stats.model_cache_hits),
+              static_cast<unsigned long long>(stats.model_cache_misses));
+
+  const std::string out_path = cli.get_string("out");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "sweep: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << "{\n  \"sweep\": "
+        << ms::util::JsonObject()
+               .set("config", config_path)
+               .set("num_scenarios", stats.num_scenarios)
+               .set("wall_seconds", stats.wall_seconds)
+               .set("factor_cache_hits", static_cast<std::int64_t>(stats.factor_cache_hits))
+               .set("factor_cache_misses", static_cast<std::int64_t>(stats.factor_cache_misses))
+               .set("model_cache_hits", static_cast<std::int64_t>(stats.model_cache_hits))
+               .set("model_cache_misses", static_cast<std::int64_t>(stats.model_cache_misses))
+               .render()
+        << ",\n  \"scenarios\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const ms::sweep::ScenarioResult& r = results[i];
+      ms::util::JsonObject record;
+      record.set("name", r.name)
+          .set("kind", ms::sweep::to_string(r.kind))
+          .set("analysis", ms::sweep::to_string(r.analysis))
+          .set("peak_von_mises", r.peak_von_mises);
+      if (r.min_life_log10 == r.min_life_log10) {
+        record.set("min_life_log10", r.min_life_log10)
+            .set("min_life_seconds", r.min_life_seconds)
+            .set("life_channel", r.life_channel);
+      }
+      record.set("simulate_seconds", r.simulate_seconds).set("pareto_optimal", r.pareto_optimal);
+      out << "    " << record.render() << (i + 1 < results.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  ms::obs::write_cli_outputs(cli);
+  return 0;
+}
