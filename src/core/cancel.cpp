@@ -1,0 +1,18 @@
+#include "core/cancel.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace ms::core {
+
+void CancelToken::check_slow(const char* stage) const {
+  if (cancelled()) {
+    obs::MetricRegistry::global().counter("robustness.cancelled").add(1);
+    throw SimError(SimErrorCode::kCancelled, stage, "query cancelled");
+  }
+  if (deadline_expired()) {
+    obs::MetricRegistry::global().counter("robustness.deadline_exceeded").add(1);
+    throw SimError(SimErrorCode::kDeadlineExceeded, stage, "query deadline exceeded");
+  }
+}
+
+}  // namespace ms::core

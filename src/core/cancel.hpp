@@ -1,0 +1,92 @@
+#pragma once
+// Cooperative cancellation + per-query deadlines. A CancelToken is a cheap
+// shared handle: a default-constructed token is inert (check() is a null
+// test and nothing more), an armed token carries an atomic cancel flag, an
+// optional steady-clock deadline, and an optional parent token — the sweep
+// engine links every per-query token to a per-batch parent so tripping
+// --max-failures cancels the rest of the batch in one store.
+//
+// check(stage) is placed at stage boundaries (trace steps, panel assembly /
+// solve / reconstruct, cache builders) and throws core::SimError with code
+// kCancelled or kDeadlineExceeded; it never preempts work mid-kernel, so a
+// factorization that already started always finishes and cache slots are
+// never poisoned by cancellation (the single-flight slot-clear protocol in
+// la::FactorCache handles the throw like any failed builder).
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "core/sim_error.hpp"
+
+namespace ms::core {
+
+class CancelToken {
+ public:
+  /// Inert token: never cancelled, no deadline, check() is free.
+  CancelToken() = default;
+
+  /// Armed token with no deadline (cancellable only).
+  static CancelToken cancellable() { return CancelToken(0.0, nullptr); }
+
+  /// Armed token whose deadline is `seconds` from now (<= 0 = no deadline).
+  static CancelToken with_deadline(double seconds) { return CancelToken(seconds, nullptr); }
+
+  /// Armed child observing `parent` in addition to its own flag/deadline.
+  [[nodiscard]] CancelToken child(double deadline_seconds = 0.0) const {
+    return CancelToken(deadline_seconds, state_);
+  }
+
+  [[nodiscard]] bool armed() const { return state_ != nullptr; }
+
+  /// Request cancellation (no-op on an inert token). Thread-safe; children
+  /// observe it at their next check().
+  void request_cancel() const {
+    if (state_ != nullptr) state_->cancelled.store(true, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool cancelled() const {
+    for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+      if (s->cancelled.load(std::memory_order_relaxed)) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool deadline_expired() const {
+    return state_ != nullptr && state_->has_deadline &&
+           std::chrono::steady_clock::now() > state_->deadline;
+  }
+
+  /// Throw SimError(kCancelled / kDeadlineExceeded) if this token (or an
+  /// ancestor) tripped; `stage` names the boundary for the error report.
+  /// Defined in cancel.cpp (the throw paths publish robustness metrics).
+  void check(const char* stage) const {
+    if (state_ == nullptr) return;  // the common inert fast path, inline
+    check_slow(stage);
+  }
+
+ private:
+  struct State {
+    std::atomic<bool> cancelled{false};
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline;
+    std::shared_ptr<const State> parent;
+  };
+
+  CancelToken(double deadline_seconds, std::shared_ptr<const State> parent)
+      : state_(std::make_shared<State>()) {
+    if (deadline_seconds > 0.0) {
+      state_->has_deadline = true;
+      state_->deadline = std::chrono::steady_clock::now() +
+                         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                             std::chrono::duration<double>(deadline_seconds));
+    }
+    state_->parent = std::move(parent);
+  }
+
+  void check_slow(const char* stage) const;
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace ms::core

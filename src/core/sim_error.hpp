@@ -1,0 +1,66 @@
+#pragma once
+// The error taxonomy of the query service. Every failure a scenario can hit
+// — bad spec, numeric breakdown, NaN escape, deadline, cancellation, an
+// injected test fault — is classified into one SimErrorCode and carried by
+// core::SimError together with the pipeline stage that raised it and the
+// spec / cache-key context, so SweepEngine::run() can isolate a failing
+// scenario into its result row instead of destroying the batch (DESIGN.md
+// "Failure semantics").
+//
+// Header is dependency-free on purpose: la/, thermal/, and rom/ throw
+// SimError from stage boundaries without pulling in the simulator.
+
+#include <stdexcept>
+#include <string>
+
+namespace ms::core {
+
+enum class SimErrorCode {
+  kInvalidSpec,          ///< scenario/config validation rejected the inputs
+  kNotPositiveDefinite,  ///< Cholesky pivot breakdown after shift-retry gave up
+  kNonFiniteField,       ///< a stage-boundary health sweep found NaN/Inf
+  kDidNotConverge,       ///< an iterative solver failed or broke down
+  kDeadlineExceeded,     ///< the per-query deadline passed at a check point
+  kCancelled,            ///< the query's CancelToken was cancelled
+  kFaultInjected,        ///< util::FaultInjector fired a `throw` probe
+  kInternal,             ///< anything not classified above
+};
+
+inline const char* to_string(SimErrorCode code) {
+  switch (code) {
+    case SimErrorCode::kInvalidSpec: return "invalid-spec";
+    case SimErrorCode::kNotPositiveDefinite: return "not-positive-definite";
+    case SimErrorCode::kNonFiniteField: return "non-finite-field";
+    case SimErrorCode::kDidNotConverge: return "did-not-converge";
+    case SimErrorCode::kDeadlineExceeded: return "deadline-exceeded";
+    case SimErrorCode::kCancelled: return "cancelled";
+    case SimErrorCode::kFaultInjected: return "fault-injected";
+    case SimErrorCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+class SimError : public std::runtime_error {
+ public:
+  /// `stage` names the pipeline boundary ("global.solve", "thermal.transient.step",
+  /// "rom.global.factor", ...); `context` is free-form detail — the scenario
+  /// name, a cache key, the offending value.
+  SimError(SimErrorCode code, std::string stage, const std::string& message,
+           std::string context = "")
+      : std::runtime_error(std::string("[") + to_string(code) + "] " + stage + ": " + message +
+                           (context.empty() ? "" : " (" + context + ")")),
+        code_(code),
+        stage_(std::move(stage)),
+        context_(std::move(context)) {}
+
+  [[nodiscard]] SimErrorCode code() const { return code_; }
+  [[nodiscard]] const std::string& stage() const { return stage_; }
+  [[nodiscard]] const std::string& context() const { return context_; }
+
+ private:
+  SimErrorCode code_;
+  std::string stage_;
+  std::string context_;
+};
+
+}  // namespace ms::core

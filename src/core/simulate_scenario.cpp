@@ -22,6 +22,26 @@ double peak_of(const std::vector<double>& field) {
   return field.empty() ? 0.0 : *std::max_element(field.begin(), field.end());
 }
 
+/// Largest diagonal shift any solve behind this result took (0 = no solver
+/// needed the shift-retry ladder; the scenario then reports kDegraded).
+double max_shift_of(const sweep::ScenarioResult& result) {
+  double shift = result.base().stats.diagonal_shift;
+  const auto fold = [&shift](double s) { shift = std::max(shift, s); };
+  if (result.thermal_array) fold(result.thermal_array->thermal_stats.diagonal_shift);
+  if (result.thermal_submodel) fold(result.thermal_submodel->thermal_stats.diagonal_shift);
+  if (result.transient_array) {
+    fold(result.transient_array->thermal_stats.diagonal_shift);
+    for (const ArrayResult& snapshot : result.transient_array->snapshots)
+      fold(snapshot.stats.diagonal_shift);
+  }
+  if (result.transient_submodel) fold(result.transient_submodel->thermal_stats.diagonal_shift);
+  if (result.fatigue) {
+    fold(result.fatigue->thermal_stats.diagonal_shift);
+    fold(result.fatigue->solve_stats.diagonal_shift);
+  }
+  return shift;
+}
+
 struct ResolvedPackage {
   std::shared_ptr<const chiplet::PackageModel> package;
   chiplet::SubmodelPlacement placement;
@@ -210,6 +230,8 @@ sweep::ScenarioResult MoreStressSimulator::simulate(const sweep::ScenarioSpec& s
     result.min_life_seconds = report.min_life_seconds;
     result.life_channel = reliability::channel_name(report.min_life_channel);
   }
+  result.diagonal_shift = max_shift_of(result);
+  if (result.diagonal_shift != 0.0) result.status = sweep::ScenarioStatus::kDegraded;
   result.simulate_seconds = timer.seconds();
 
   auto& reg = obs::MetricRegistry::global();

@@ -9,11 +9,13 @@
 
 #include "chiplet/displacement_field.hpp"
 #include "chiplet/package_thermal.hpp"
+#include "core/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "reliability/channel_extract.hpp"
 #include "rom/local_stage.hpp"
 #include "thermal/conduction_assembler.hpp"
+#include "util/fault_injector.hpp"
 #include "util/hash.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
@@ -57,6 +59,10 @@ const rom::RomModel& MoreStressSimulator::model_for(rom::BlockKind kind) {
   if (slot != nullptr) return *slot;
 
   const auto build = [this, kind]() -> std::shared_ptr<const rom::RomModel> {
+    // Inside the single-flight builder: a cancelled or fault-injected build
+    // throws, the cache clears the slot, and concurrent waiters retry.
+    cancel_.check("local.stage");
+    if (util::FaultInjector::enabled()) util::FaultInjector::global().fire("model_build");
     if (!cache_dir_.empty()) {
       const std::string path = cache_path(kind);
       if (std::filesystem::exists(path)) {
@@ -114,6 +120,8 @@ void copy_solve_stats(RunStats& stats, const rom::GlobalSolveStats& solve) {
   stats.factor_nnz = solve.factor_nnz;
   stats.fill_ratio = solve.fill_ratio;
   stats.solver_ordering = solve.ordering;
+  stats.degraded = solve.degraded;
+  stats.diagonal_shift = solve.diagonal_shift;
 }
 
 /// Mirror a completed run's RunStats into the registry — the same values the
@@ -215,6 +223,7 @@ ArrayResult MoreStressSimulator::run_panel(
     rom::GlobalSolveStats* solve_stats_out, double* consume_seconds,
     const PanelConsumer& consumer) {
   MS_TRACE_SCOPE("core.global.panel");
+  cancel_.check("global.panel");
   const rom::RomModel& tsv = tsv_model();
   const rom::RomModel* dummy = uses_dummy ? &dummy_model() : nullptr;
 
@@ -223,6 +232,7 @@ ArrayResult MoreStressSimulator::run_panel(
       tsv.local_stage_seconds + (dummy != nullptr ? dummy->local_stage_seconds : 0.0);
 
   rom::GlobalSolveOptions solve_options = config_.global;
+  solve_options.cancel = cancel_;
   const bool cache_global = factor_cache_ != nullptr && solve_options.method == "direct";
   if (cache_global) {
     solve_options.factor_cache = factor_cache_;
@@ -256,14 +266,20 @@ ArrayResult MoreStressSimulator::run_panel(
   }
   result.stats.assemble_seconds = timer.seconds();
 
+  cancel_.check("global.solve");
   timer.reset();
   rom::GlobalSolveStats panel_stats;
   std::vector<Vec> solutions =
       rom::solve_global_multi(problem, std::move(extra_rhs), bc, solve_options, &panel_stats);
+  const bool check = config_.robustness.check_finite;
+  for (const Vec& solution : solutions) {
+    require_finite(check, "global.solve", "global solution", solution);
+  }
   result.solution = std::move(solutions.front());
   copy_solve_stats(result.stats, panel_stats);
   if (solve_stats_out != nullptr) *solve_stats_out = panel_stats;
 
+  cancel_.check("global.reconstruct");
   timer.reset();
   {
     MS_TRACE_SCOPE("core.global.reconstruct");
@@ -271,6 +287,8 @@ ArrayResult MoreStressSimulator::run_panel(
                                                   primary_load, report_range);
     result.von_mises = fem::to_von_mises(result.stress);
   }
+  require_finite(check, "global.reconstruct", "von Mises field", result.von_mises.data(),
+                 result.von_mises.size());
   result.stats.reconstruct_seconds = timer.seconds();
 
   result.region_blocks_x = report_range.width();
@@ -452,6 +470,7 @@ std::string thermal_transient_key(const mesh::HexMesh& mesh,
 thermal::ThermalSolveOptions MoreStressSimulator::steady_solve_options(
     const std::string& factor_key) const {
   thermal::ThermalSolveOptions options = config_.coupling.solve;
+  options.cancel = cancel_;
   if (factor_cache_ != nullptr && !factor_key.empty()) {
     options.factor_cache = factor_cache_;
     options.factor_key = factor_key;
@@ -465,6 +484,7 @@ thermal::TransientSolveOptions MoreStressSimulator::transient_solve_options(
   // rides in coupling.solve, the stepping controls in coupling.transient.
   thermal::TransientSolveOptions options = config_.coupling.transient;
   options.base = config_.coupling.solve;
+  options.base.cancel = cancel_;
   if (factor_cache_ != nullptr && !factor_key.empty()) {
     options.base.factor_cache = factor_cache_;
     options.base.factor_key = factor_key;
@@ -494,6 +514,8 @@ ThermalArrayResult MoreStressSimulator::simulate_array_thermal(int blocks_x, int
   std::vector<double> delta_t =
       result.temperature.block_averages(blocks_x, blocks_y, config_.geometry.pitch);
   for (double& dt : delta_t) dt -= coupling.stress_free_temperature;
+  require_finite(config_.robustness.check_finite, "thermal.steady", "per-block dT field",
+                 delta_t.data(), delta_t.size());
   result.load = rom::BlockLoadField(blocks_x, blocks_y, std::move(delta_t));
 
   static_cast<ArrayResult&>(result) = simulate_array(blocks_x, blocks_y, result.load);
@@ -529,11 +551,14 @@ thermal::TransientTemperatureResult MoreStressSimulator::run_array_transient(
                                        transient_solve_options(std::string()));
   }
   const thermal::TransientSolveOptions options = transient_solve_options(factor_key);
-  return thermal::solve_power_trace(
+  thermal::TransientTemperatureResult transient = thermal::solve_power_trace(
       thermal_mesh, conductivities, capacities, trace,
       block_reduction(blocks_x, blocks_y, config_.geometry.pitch,
                       coupling.stress_free_temperature),
       options, stats);
+  require_finite(config_.robustness.check_finite, "thermal.transient", "dT peak envelope",
+                 transient.peak_envelope.data(), transient.peak_envelope.size());
+  return transient;
 }
 
 ThermalTransientArrayResult MoreStressSimulator::simulate_array_thermal_transient(
@@ -645,6 +670,8 @@ ArrayResult MoreStressSimulator::run_fatigue_panel(
                                          uses_dummy ? &dummy_model() : nullptr, mask,
                                          step_solutions, step_loads, report_range, *history);
   }
+  require_finite(config_.robustness.check_finite, "fatigue.channels", "channel history",
+                 history->raw_data().data(), history->raw_data().size());
   if (history_seconds != nullptr) *history_seconds = consume_seconds + extract_timer.seconds();
   // The multi-RHS panel is the allocation that scales with trace length:
   // num_rhs right-hand sides and as many solutions held simultaneously, plus
@@ -674,7 +701,15 @@ reliability::ReliabilityReport MoreStressSimulator::assess_fatigue(
   reliability::ReliabilityOptions assess;
   assess.range_bins = options.range_bins;
   assess.mean_bins = options.mean_bins;
-  return reliability::assess_history(history, models, trace_duration, assess);
+  reliability::ReliabilityReport report =
+      reliability::assess_history(history, models, trace_duration, assess);
+  // Damage maps must be finite (cycles_to_failure is legitimately +inf on
+  // damage-free blocks, so only the Miner sums are swept).
+  for (const reliability::ChannelAssessment& channel : report.channels) {
+    require_finite(config_.robustness.check_finite, "fatigue.damage", "damage map",
+                   channel.damage.data(), channel.damage.size());
+  }
+  return report;
 }
 
 FatigueResult MoreStressSimulator::simulate_array_fatigue(int blocks_x, int blocks_y,
@@ -771,6 +806,8 @@ ThermalSubmodelResult MoreStressSimulator::simulate_submodel_thermal(
       bx, by, config_.geometry.pitch, placement.origin, geometry.interposer_z0(),
       geometry.interposer_z1());
   for (double& dt : delta_t) dt -= coupling.stress_free_temperature;
+  require_finite(config_.robustness.check_finite, "thermal.steady", "per-block dT field",
+                 delta_t.data(), delta_t.size());
   result.load = rom::BlockLoadField(bx, by, std::move(delta_t));
 
   static_cast<ArrayResult&>(result) =
@@ -820,8 +857,12 @@ thermal::TransientTemperatureResult MoreStressSimulator::run_submodel_transient(
   reduction.origin = placement.origin;
   reduction.z0 = geometry.interposer_z0();
   reduction.z1 = geometry.interposer_z1();
-  return thermal::solve_power_trace(thermal_model.mesh, thermal_model.conductivity,
-                                    thermal_model.capacity, trace, reduction, options, stats);
+  thermal::TransientTemperatureResult transient =
+      thermal::solve_power_trace(thermal_model.mesh, thermal_model.conductivity,
+                                 thermal_model.capacity, trace, reduction, options, stats);
+  require_finite(config_.robustness.check_finite, "thermal.transient", "dT peak envelope",
+                 transient.peak_envelope.data(), transient.peak_envelope.size());
+  return transient;
 }
 
 ThermalTransientSubmodelResult MoreStressSimulator::simulate_submodel_thermal_transient(

@@ -23,6 +23,7 @@
 
 #include "chiplet/package_model.hpp"
 #include "chiplet/submodel.hpp"
+#include "core/cancel.hpp"
 #include "core/config.hpp"
 #include "core/results.hpp"
 #include "la/factor_cache.hpp"
@@ -175,6 +176,11 @@ class MoreStressSimulator {
   /// checked on an in-memory miss).
   void set_model_cache(rom::ModelCache* cache) { model_cache_ = cache; }
 
+  /// Cooperative cancellation/deadline token, checked at panel, assembly,
+  /// factorization, and trace-step boundaries. Inert by default — only the
+  /// sweep engine (and tests) arm it.
+  void set_cancel_token(core::CancelToken token) { cancel_ = std::move(token); }
+
   [[nodiscard]] const SimulationConfig& config() const { return config_; }
   [[nodiscard]] const rom::RomModel& tsv_model();
   [[nodiscard]] const rom::RomModel& dummy_model();
@@ -290,6 +296,7 @@ class MoreStressSimulator {
   std::string cache_dir_;
   la::FactorCache* factor_cache_ = nullptr;
   rom::ModelCache* model_cache_ = nullptr;
+  core::CancelToken cancel_;
 };
 
 }  // namespace ms::core

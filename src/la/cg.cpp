@@ -40,12 +40,28 @@ IterativeResult conjugate_gradient(const std::function<void(const Vec&, Vec&)>& 
   for (idx_t it = 1; it <= options.max_iterations; ++it) {
     apply_a(p, ap);
     const double pap = dot(p, ap);
-    if (pap <= 0.0) break;  // loss of positive definiteness; bail to caller
+    if (!std::isfinite(pap)) {
+      result.breakdown = true;
+      result.breakdown_reason = "non-finite curvature p.Ap";
+      break;
+    }
+    if (pap <= 0.0) {
+      // Loss of positive definiteness: CG's recurrence is meaningless on an
+      // indefinite/singular operator. Structured breakdown, not silent bail.
+      result.breakdown = true;
+      result.breakdown_reason = "indefinite operator (p.Ap <= 0)";
+      break;
+    }
     const double alpha = rz / pap;
     axpy(alpha, p, x);
     axpy(-alpha, ap, r);
     rnorm = norm2(r);
     result.iterations = it;
+    if (!std::isfinite(rnorm)) {
+      result.breakdown = true;
+      result.breakdown_reason = "non-finite residual";
+      break;
+    }
     if (rnorm <= target) {
       result.converged = true;
       break;

@@ -22,6 +22,10 @@ struct IterativeResult {
   idx_t iterations = 0;
   double residual_norm = 0.0;  ///< final true-residual proxy |r|
   double rhs_norm = 0.0;
+  /// Set when the recurrence itself broke (indefinite operator, non-finite
+  /// residual, stagnation) as opposed to merely running out of iterations.
+  bool breakdown = false;
+  const char* breakdown_reason = "";
 };
 
 /// Solve A x = b with PCG. `precond` may be null (identity).

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "la/errors.hpp"
+
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -173,7 +175,7 @@ void SparseCholesky::factorize(const CsrMatrix& a) {
       lx_[fill[j]] = lkj;
       ++fill[j];
     }
-    if (d <= 0.0) throw std::runtime_error("SparseCholesky: matrix not positive definite");
+    if (d <= 0.0) throw NotPositiveDefiniteError();
     li_[fill[k]] = k;
     lx_[fill[k]] = std::sqrt(d);
     ++fill[k];

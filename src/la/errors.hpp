@@ -1,0 +1,21 @@
+#pragma once
+// la-level failure types. la/ sits below core/ in the layering, so it throws
+// its own exception classes; SweepEngine's catch-classifier maps them onto
+// core::SimErrorCode (NotPositiveDefiniteError -> kNotPositiveDefinite).
+
+#include <stdexcept>
+#include <string>
+
+namespace ms::la {
+
+/// Cholesky pivot breakdown: a (supposedly SPD) operator produced a
+/// non-positive pivot during numeric factorization.
+class NotPositiveDefiniteError : public std::runtime_error {
+ public:
+  explicit NotPositiveDefiniteError(const std::string& detail)
+      : std::runtime_error("SparseCholesky: matrix not positive definite" +
+                           (detail.empty() ? "" : " (" + detail + ")")) {}
+  NotPositiveDefiniteError() : NotPositiveDefiniteError("") {}
+};
+
+}  // namespace ms::la

@@ -39,11 +39,14 @@ FactorCache::Entry FactorCache::get_or_create(const std::string& key,
   try {
     entry = build();
   } catch (...) {
+    // Slot-clear protocol: the failed build must never leave a pending slot
+    // behind — waiters wake, find the key gone, and race to claim the retry.
     {
       std::lock_guard<std::mutex> lock(mutex_);
       slots_.erase(key);
     }
     ready_cv_.notify_all();
+    registry.counter("la.factor_cache.build_failures").add(1);
     throw;
   }
   {

@@ -41,6 +41,10 @@ class FactorCache {
     /// the transient stepper which re-assembles A for the correction term).
     std::shared_ptr<const CsrMatrix> matrix;
     std::shared_ptr<const SparseCholesky> factor;
+    /// Non-zero when the factor was rescued by the diagonal shift-retry
+    /// ladder (see la/shift_retry.hpp): every solve through this entry —
+    /// warm hits included — must report its stats as degraded.
+    double diagonal_shift = 0.0;
   };
 
   /// Return the entry under `key`, running `build` if absent. Concurrent

@@ -35,6 +35,7 @@ IterativeResult gmres(const CsrMatrix& a, const Vec& b, Vec& x, const Preconditi
   Vec r(n), w(n), tmp(n);
 
   idx_t total_iters = 0;
+  double prev_outer_residual = -1.0;
   while (total_iters < options.max_iterations) {
     // True residual decides convergence; the preconditioned residual only
     // drives the Krylov recurrence (comparing M^{-1} r against a target
@@ -46,10 +47,29 @@ IterativeResult gmres(const CsrMatrix& a, const Vec& b, Vec& x, const Preconditi
       result.converged = true;
       return result;
     }
+    if (!std::isfinite(result.residual_norm)) {
+      result.breakdown = true;
+      result.breakdown_reason = "non-finite residual";
+      return result;
+    }
+    // A restart cycle that made no progress means the operator is singular
+    // or the system inconsistent — looping to max_iterations would just
+    // repeat it. Structured breakdown instead.
+    if (prev_outer_residual >= 0.0 && result.residual_norm >= prev_outer_residual * (1.0 - 1e-12)) {
+      result.breakdown = true;
+      result.breakdown_reason = "stagnation (restart cycle made no progress)";
+      return result;
+    }
+    prev_outer_residual = result.residual_norm;
     apply_m(tmp, r);
     const double beta = norm2(r);
     if (beta == 0.0) {
       result.converged = true;
+      return result;
+    }
+    if (!std::isfinite(beta)) {
+      result.breakdown = true;
+      result.breakdown_reason = "non-finite preconditioned residual";
       return result;
     }
 
@@ -107,12 +127,28 @@ IterativeResult gmres(const CsrMatrix& a, const Vec& b, Vec& x, const Preconditi
       }
     }
 
-    // Solve the small triangular system and update x.
+    // Solve the small triangular system and update x. A zero or non-finite
+    // pivot means the Hessenberg lost rank (singular operator): report the
+    // breakdown and leave x at its last consistent state.
     std::vector<double> y(k, 0.0);
+    bool y_ok = true;
     for (idx_t i = k - 1; i >= 0; --i) {
       double sum = g[i];
       for (idx_t j = i + 1; j < k; ++j) sum -= h[i][j] * y[j];
+      if (h[i][i] == 0.0) {
+        y_ok = false;
+        break;
+      }
       y[i] = sum / h[i][i];
+      if (!std::isfinite(y[i])) {
+        y_ok = false;
+        break;
+      }
+    }
+    if (!y_ok) {
+      result.breakdown = true;
+      result.breakdown_reason = "rank-deficient Hessenberg (singular operator)";
+      return result;
     }
     for (idx_t i = 0; i < k; ++i) axpy(y[i], v[i], x);
 

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "la/errors.hpp"
+
 namespace ms::la {
 
 idx_t ereach(const CsrMatrix& a, idx_t k, const std::vector<idx_t>& parent, std::vector<idx_t>& s,
@@ -355,7 +357,7 @@ void dense_panel_factorize(const PanelRef& p) {
     }
     const double diag = colj[j];
     if (diag <= 0.0) {
-      throw std::runtime_error("SparseCholesky: matrix not positive definite");
+      throw NotPositiveDefiniteError();
     }
     const double root = std::sqrt(diag);
     colj[j] = root;
@@ -531,7 +533,7 @@ void factorize_supernodal(const CsrMatrix& a, SupernodalFactor& f, bool parallel
       }
     }
   }
-  if (failed) throw std::runtime_error("SparseCholesky: matrix not positive definite");
+  if (failed) throw NotPositiveDefiniteError();
 
   // Phase 2 (serial): the remaining top supernodes, ascending. Pending
   // update lists are seeded from the deferred lists in subtree-index order

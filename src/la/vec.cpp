@@ -45,4 +45,13 @@ double max_abs_diff(const Vec& x, const Vec& y) {
   return m;
 }
 
+bool all_finite(const double* x, std::size_t n) {
+  // Summing keeps the loop branch-free; a single NaN/Inf poisons the total.
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += x[i] * 0.0;
+  return sum == 0.0;
+}
+
+bool all_finite(const Vec& x) { return all_finite(x.data(), x.size()); }
+
 }  // namespace ms::la

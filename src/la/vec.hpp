@@ -39,4 +39,9 @@ Vec zeros(std::size_t n);
 /// Maximum |x[i] - y[i]|; sizes must match.
 double max_abs_diff(const Vec& x, const Vec& y);
 
+/// True iff every entry is finite (no NaN/Inf). Intended for O(n) health
+/// sweeps at stage boundaries, not inner loops.
+bool all_finite(const double* x, std::size_t n);
+bool all_finite(const Vec& x);
+
 }  // namespace ms::la

@@ -106,6 +106,10 @@ class StressHistory {
     return data_.size() * sizeof(double) + times_.size() * sizeof(double);
   }
 
+  /// Raw (step, channel, block) storage — one flat span for the
+  /// stage-boundary numeric health sweep (core/health.hpp).
+  [[nodiscard]] const std::vector<double>& raw_data() const { return data_; }
+
  private:
   int blocks_x_ = 0, blocks_y_ = 0;
   std::vector<double> times_;

@@ -1,15 +1,20 @@
 #include "rom/global_solver.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <utility>
 
+#include "core/sim_error.hpp"
+
 #include "la/cg.hpp"
 #include "la/cholesky.hpp"
 #include "la/gmres.hpp"
+#include "la/shift_retry.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/fault_injector.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
@@ -35,6 +40,8 @@ void publish_global_stats(const GlobalSolveStats& s) {
   reg.gauge("rom.global.factor_nnz").set(static_cast<double>(s.factor_nnz));
   reg.gauge("rom.global.fill_ratio").set(s.fill_ratio);
   reg.gauge("rom.global.num_supernodes").set(static_cast<double>(s.num_supernodes));
+  reg.gauge("rom.global.degraded").set(s.degraded ? 1.0 : 0.0);
+  reg.gauge("rom.global.diagonal_shift").set(s.diagonal_shift);
 }
 
 }  // namespace
@@ -82,6 +89,13 @@ std::vector<Vec> solve_global_multi(GlobalProblem& problem, std::vector<Vec> ext
     const la::FactorCache::Entry entry = options.factor_cache->get_or_create(
         options.factor_key,
         [&]() {
+          // Cancellation/fault checks live inside the builder on purpose: a
+          // cancelled or injected-fault build throws, the cache clears the
+          // slot (waiters retry), and no pending slot is ever poisoned.
+          options.cancel.check("rom.global.factor_build");
+          if (util::FaultInjector::enabled()) {
+            util::FaultInjector::global().fire("rom.global.factor_build");
+          }
           if (problem.stiffness.rows() != problem.num_dofs) {
             throw std::logic_error(
                 "solve_global_multi: factor-cache miss requires an assembled stiffness");
@@ -89,10 +103,15 @@ std::vector<Vec> solve_global_multi(GlobalProblem& problem, std::vector<Vec> ext
           la::FactorCache::Entry fresh;
           fresh.matrix = std::make_shared<la::CsrMatrix>(problem.stiffness);
           fem::apply_dirichlet_matrix(problem.stiffness, bc);
-          fresh.factor = std::make_shared<la::SparseCholesky>(problem.stiffness, options.factor);
+          la::ShiftRetryResult factored = la::factor_with_shift_retry(
+              problem.stiffness, options.factor, options.shift_retry, "rom.global.factor");
+          fresh.factor = std::move(factored.factor);
+          fresh.diagonal_shift = factored.shift;
           return fresh;
         },
         &built);
+    local.degraded = entry.diagonal_shift != 0.0;
+    local.diagonal_shift = entry.diagonal_shift;
     factor_seconds = timer.seconds();
     fem::apply_dirichlet_rhs(*entry.matrix, rhs_cases, bc);
     problem.rhs = rhs_cases.front();
@@ -119,7 +138,12 @@ std::vector<Vec> solve_global_multi(GlobalProblem& problem, std::vector<Vec> ext
     local.ordering = entry.factor->ordering_name();
     local.num_factorizations = built ? 1 : 0;
   } else if (options.method == "direct") {
-    la::SparseCholesky chol(problem.stiffness, options.factor);
+    options.cancel.check("rom.global.factor");
+    la::ShiftRetryResult factored = la::factor_with_shift_retry(
+        problem.stiffness, options.factor, options.shift_retry, "rom.global.factor");
+    const la::SparseCholesky& chol = *factored.factor;
+    local.degraded = factored.degraded();
+    local.diagonal_shift = factored.shift;
     factor_seconds = timer.seconds();
     util::WallTimer solve_timer;
     // One factor sweep for the whole panel.
@@ -144,6 +168,12 @@ std::vector<Vec> solve_global_multi(GlobalProblem& problem, std::vector<Vec> ext
                                  iter);
       iterations += result.iterations;
       converged = converged && result.converged;
+      if (result.breakdown) {
+        throw core::SimError(core::SimErrorCode::kDidNotConverge, "rom.global.solve",
+                             std::string("CG breakdown: ") + result.breakdown_reason,
+                             "iterations=" + std::to_string(result.iterations) + " residual=" +
+                                 std::to_string(result.residual_norm));
+      }
     }
     solver_bytes = 5 * static_cast<std::size_t>(n) * sizeof(double) + precond->memory_bytes();
   } else if (options.method == "gmres") {
@@ -158,6 +188,12 @@ std::vector<Vec> solve_global_multi(GlobalProblem& problem, std::vector<Vec> ext
           la::gmres(problem.stiffness, rhs_cases[c], solutions[c], precond.get(), gopts);
       iterations += result.iterations;
       converged = converged && result.converged;
+      if (result.breakdown) {
+        throw core::SimError(core::SimErrorCode::kDidNotConverge, "rom.global.solve",
+                             std::string("GMRES breakdown: ") + result.breakdown_reason,
+                             "iterations=" + std::to_string(result.iterations) + " residual=" +
+                                 std::to_string(result.residual_norm));
+      }
     }
     solver_bytes = (static_cast<std::size_t>(options.gmres_restart) + 4) *
                        static_cast<std::size_t>(n) * sizeof(double) +
@@ -168,6 +204,12 @@ std::vector<Vec> solve_global_multi(GlobalProblem& problem, std::vector<Vec> ext
   if (!converged) {
     MS_LOG_WARN("global solve (%s) did not converge in %d iterations", options.method.c_str(),
                 static_cast<int>(iterations));
+  }
+  // `nan` probe: poison the first solution entry so the stage-boundary
+  // health sweep downstream must catch it (tests/robustness).
+  if (util::FaultInjector::enabled() && !solutions.empty() && !solutions.front().empty() &&
+      util::FaultInjector::global().consume("rom.global.solve") == util::FaultAction::kNan) {
+    solutions.front().front() = std::numeric_limits<double>::quiet_NaN();
   }
 
   local.num_dofs = problem.num_dofs;

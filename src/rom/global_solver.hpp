@@ -6,8 +6,10 @@
 #include <string>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "la/cholesky.hpp"
 #include "la/factor_cache.hpp"
+#include "la/shift_retry.hpp"
 #include "rom/global_assembler.hpp"
 
 namespace ms::rom {
@@ -32,6 +34,12 @@ struct GlobalSolveOptions {
   /// returned solutions are bit-identical to the uncached path.
   la::FactorCache* factor_cache = nullptr;
   std::string factor_key;
+  /// SPD breakdown recovery for the direct paths (see la/shift_retry.hpp).
+  /// A rescued factorization marks the stats degraded and records the shift.
+  la::ShiftRetryOptions shift_retry;
+  /// Cooperative cancellation/deadline token, checked at the factorization
+  /// boundary (inert by default — no cost for non-sweep callers).
+  core::CancelToken cancel;
 };
 
 struct GlobalSolveStats {
@@ -52,6 +60,10 @@ struct GlobalSolveStats {
   double fill_ratio = 0.0;        ///< nnz(L) / nnz(tril(A))
   idx_t num_supernodes = 0;       ///< 0 on the simplicial back end
   std::string ordering;           ///< "amd" / "rcm" / "natural"
+  /// Set when the factorization needed the diagonal shift-retry ladder: the
+  /// solution solves A + shift*I, not A (close, but not the exact operator).
+  bool degraded = false;
+  double diagonal_shift = 0.0;
 };
 
 /// Apply `bc` by lifting, then solve. Returns the nodal displacement vector.

@@ -33,11 +33,14 @@ ModelCache::ModelPtr ModelCache::get_or_create(const std::string& key,
   try {
     model = build();
   } catch (...) {
+    // Same slot-clear protocol as la::FactorCache: waiters observe the
+    // erased key and race to claim the retry; nothing is poisoned.
     {
       std::lock_guard<std::mutex> lock(mutex_);
       slots_.erase(key);
     }
     ready_cv_.notify_all();
+    registry.counter("rom.model_cache.build_failures").add(1);
     throw;
   }
   {

@@ -11,9 +11,32 @@
 #include <string>
 
 #include "core/results.hpp"
+#include "core/sim_error.hpp"
 #include "sweep/scenario_spec.hpp"
 
 namespace ms::sweep {
+
+/// Health of one scenario row in a sweep table. kOk and kDegraded rows carry
+/// a full payload (degraded = a solver recovered via the diagonal shift-retry
+/// ladder, so fields solve A + sigma*I rather than A); kFailed rows carry no
+/// payload — only `error` — and are skipped by Pareto marking.
+enum class ScenarioStatus { kOk, kDegraded, kFailed };
+
+inline const char* to_string(ScenarioStatus status) {
+  switch (status) {
+    case ScenarioStatus::kOk: return "ok";
+    case ScenarioStatus::kDegraded: return "degraded";
+    case ScenarioStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+/// The classified failure of a kFailed row (see core/sim_error.hpp).
+struct ScenarioError {
+  core::SimErrorCode code = core::SimErrorCode::kInternal;
+  std::string stage;    ///< probe point that raised, e.g. "rom.global.solve"
+  std::string message;  ///< human-readable detail
+};
 
 struct ScenarioResult {
   std::string name;
@@ -31,7 +54,15 @@ struct ScenarioResult {
   double simulate_seconds = 0.0;  ///< wall time of this query
   /// Set by SweepEngine::run: true when no other scenario in the sweep both
   /// stresses less and lives longer (the Pareto frontier of the table).
+  /// Failed rows never make the frontier.
   bool pareto_optimal = false;
+
+  // --- health ---------------------------------------------------------------
+  ScenarioStatus status = ScenarioStatus::kOk;
+  ScenarioError error;            ///< meaningful only when failed()
+  double diagonal_shift = 0.0;    ///< largest shift any solve in the query took
+
+  [[nodiscard]] bool failed() const { return status == ScenarioStatus::kFailed; }
 
   // --- full payload (exactly one set) ---------------------------------------
   std::shared_ptr<core::ArrayResult> array;

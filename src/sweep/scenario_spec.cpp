@@ -1,6 +1,7 @@
 #include "sweep/scenario_spec.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -35,17 +36,32 @@ std::string fmt(double v) {
   return buf;
 }
 
-double parse_double(const std::string& value, const std::string& key, int line) {
+/// Numbers in a spec file must be finite: a literal `inf`/`nan` in the config
+/// text is rejected at parse time (with the line number) instead of surfacing
+/// queries later as a kNonFiniteField failure. `allow_nan` is set only for
+/// the fields whose NaN default means "unset" (delta_t, power.hotspot_x/_y),
+/// where an explicit `nan` restores the default; infinities are never legal.
+double parse_double(const std::string& value, const std::string& key, int line,
+                    bool allow_nan = false) {
+  double v = 0.0;
+  std::size_t used = 0;
+  // fail() itself throws invalid_argument, so the diagnostics live outside
+  // the catch that classifies std::stod's own errors.
   try {
-    std::size_t used = 0;
-    const double v = std::stod(value, &used);
-    if (used != value.size()) fail(line, "trailing characters in value '" + value + "' for " + key);
-    return v;
+    v = std::stod(value, &used);
   } catch (const std::invalid_argument&) {
     fail(line, "expected a number for " + key + ", got '" + value + "'");
   } catch (const std::out_of_range&) {
     fail(line, "number out of range for " + key + ": '" + value + "'");
   }
+  if (used != value.size()) fail(line, "trailing characters in value '" + value + "' for " + key);
+  if (std::isnan(v) && !allow_nan) {
+    fail(line, "non-finite value '" + value + "' for " + key + " (nan is not a legal value here)");
+  }
+  if (std::isinf(v)) {
+    fail(line, "non-finite value '" + value + "' for " + key + " (must be finite)");
+  }
+  return v;
 }
 
 int parse_int(const std::string& value, const std::string& key, int line) {
@@ -111,7 +127,7 @@ void apply_key(ScenarioSpec& spec, const std::string& key, const std::string& va
   } else if (key == "location") {
     spec.location = parse_int(value, key, line);
   } else if (key == "delta_t") {
-    spec.delta_t = parse_double(value, key, line);
+    spec.delta_t = parse_double(value, key, line, /*allow_nan=*/true);
   } else if (key == "time_step") {
     spec.time_step = parse_double(value, key, line);
   } else if (key == "snapshot_steps") {
@@ -123,9 +139,9 @@ void apply_key(ScenarioSpec& spec, const std::string& key, const std::string& va
   } else if (key == "power.hotspot_sigma_pitches") {
     spec.power.hotspot_sigma_pitches = parse_double(value, key, line);
   } else if (key == "power.hotspot_x") {
-    spec.power.hotspot_x = parse_double(value, key, line);
+    spec.power.hotspot_x = parse_double(value, key, line, /*allow_nan=*/true);
   } else if (key == "power.hotspot_y") {
-    spec.power.hotspot_y = parse_double(value, key, line);
+    spec.power.hotspot_y = parse_double(value, key, line, /*allow_nan=*/true);
   } else if (key == "trace.shape") {
     if (value != "constant" && value != "square") {
       fail(line, "unknown trace.shape '" + value + "' (expected constant | square)");

@@ -4,8 +4,11 @@
 #include <cmath>
 #include <limits>
 
+#include "core/sim_error.hpp"
 #include "core/simulator.hpp"
+#include "la/errors.hpp"
 #include "obs/metrics.hpp"
+#include "util/fault_injector.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
@@ -60,10 +63,13 @@ std::shared_ptr<const chiplet::PackageModel> SweepEngine::shared_package(int pad
   return package;
 }
 
-ScenarioResult SweepEngine::query(ScenarioSpec spec) {
+ScenarioResult SweepEngine::query(ScenarioSpec spec, core::CancelToken cancel) {
+  cancel.check("sweep.query");
+  if (util::FaultInjector::enabled()) util::FaultInjector::global().fire("sweep.worker");
   // Fresh simulator per scenario — only the caches are shared, so every
   // result is bit-identical to a cold one-off run of the same spec.
   core::MoreStressSimulator simulator(options_.config);
+  simulator.set_cancel_token(std::move(cancel));
   if (options_.share_caches) {
     simulator.set_factor_cache(&factor_cache_);
     simulator.set_model_cache(&model_cache_);
@@ -77,9 +83,60 @@ ScenarioResult SweepEngine::query(ScenarioSpec spec) {
   return simulator.simulate(spec);
 }
 
-std::future<ScenarioResult> SweepEngine::enqueue(ScenarioSpec spec) {
-  std::packaged_task<ScenarioResult()> task(
-      [this, spec = std::move(spec)]() mutable { return query(std::move(spec)); });
+ScenarioResult SweepEngine::guarded_query(ScenarioSpec spec,
+                                          const std::shared_ptr<BatchControl>& control) {
+  // Failures are isolated per row; the catch chain classifies each error
+  // into the taxonomy of core/sim_error.hpp so callers can act on the code
+  // without string-matching what().
+  ScenarioError error;
+  try {
+    // The child token inherits the batch's cancel flag and adds this query's
+    // own deadline, so a slow scenario times out without killing the batch.
+    return query(spec, control->cancel.child(options_.deadline_seconds));
+  } catch (const core::SimError& e) {
+    error.code = e.code();
+    error.stage = e.stage();
+    error.message = e.what();
+  } catch (const la::NotPositiveDefiniteError& e) {
+    error.code = core::SimErrorCode::kNotPositiveDefinite;
+    error.stage = "la.factor";
+    error.message = e.what();
+  } catch (const util::InjectedFault& e) {
+    error.code = core::SimErrorCode::kFaultInjected;
+    error.stage = e.site();
+    error.message = e.what();
+  } catch (const std::invalid_argument& e) {
+    error.code = core::SimErrorCode::kInvalidSpec;
+    error.stage = "sweep.spec";
+    error.message = e.what();
+  } catch (const std::exception& e) {
+    error.code = core::SimErrorCode::kInternal;
+    error.stage = "sweep.query";
+    error.message = e.what();
+  }
+
+  ScenarioResult failed;
+  failed.name = spec.name;
+  failed.kind = spec.kind;
+  failed.analysis = spec.analysis;
+  failed.status = ScenarioStatus::kFailed;
+  failed.error = std::move(error);
+  obs::MetricRegistry::global().counter("sweep.scenarios_failed").add(1);
+  MS_LOG_WARN("sweep: scenario '%s' failed [%s] at %s: %s", failed.name.c_str(),
+              core::to_string(failed.error.code), failed.error.stage.c_str(),
+              failed.error.message.c_str());
+
+  // Trip the batch once the failure budget is spent; in-flight and queued
+  // scenarios then fail fast with kCancelled at their next check point.
+  const int failures = control->failures.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (options_.max_failures >= 0 && failures > options_.max_failures) {
+    control->cancel.request_cancel();
+  }
+  return failed;
+}
+
+std::future<ScenarioResult> SweepEngine::enqueue_task(
+    std::packaged_task<ScenarioResult()> task) {
   std::future<ScenarioResult> future = task.get_future();
   {
     const std::lock_guard<std::mutex> lock(queue_mutex_);
@@ -87,6 +144,19 @@ std::future<ScenarioResult> SweepEngine::enqueue(ScenarioSpec spec) {
   }
   queue_cv_.notify_one();
   return future;
+}
+
+std::future<ScenarioResult> SweepEngine::enqueue(ScenarioSpec spec) {
+  // A standalone query gets its own deadline but no batch control: the
+  // future carries the raw exception, exactly as before the taxonomy.
+  core::CancelToken cancel = options_.deadline_seconds > 0.0
+                                 ? core::CancelToken::with_deadline(options_.deadline_seconds)
+                                 : core::CancelToken();
+  std::packaged_task<ScenarioResult()> task(
+      [this, spec = std::move(spec), cancel = std::move(cancel)]() mutable {
+        return query(std::move(spec), std::move(cancel));
+      });
+  return enqueue_task(std::move(task));
 }
 
 namespace {
@@ -101,9 +171,15 @@ double life_of(const ScenarioResult& r) {
 
 void mark_pareto(std::vector<ScenarioResult>& results) {
   for (ScenarioResult& candidate : results) {
+    // Failed rows carry no fields: they neither join the frontier nor
+    // dominate anyone (their zero peak stress would otherwise beat all).
+    if (candidate.failed()) {
+      candidate.pareto_optimal = false;
+      continue;
+    }
     bool dominated = false;
     for (const ScenarioResult& other : results) {
-      if (&other == &candidate) continue;
+      if (&other == &candidate || other.failed()) continue;
       const bool no_worse = other.peak_von_mises <= candidate.peak_von_mises &&
                             life_of(other) >= life_of(candidate);
       const bool better = other.peak_von_mises < candidate.peak_von_mises ||
@@ -127,14 +203,32 @@ std::vector<ScenarioResult> SweepEngine::run(const std::vector<ScenarioSpec>& sp
   const std::uint64_t model_hits0 = model_cache_.hits();
   const std::uint64_t model_misses0 = model_cache_.misses();
 
+  // One control block per batch: a cancellable token plus the shared
+  // failure budget. Deadlines are per query — each guarded_query arms a
+  // child token whose clock starts when a worker picks the scenario up.
+  // guarded_query folds every error into its own row, so the futures below
+  // never throw.
+  auto control = std::make_shared<BatchControl>();
+
   std::vector<std::future<ScenarioResult>> futures;
   futures.reserve(specs.size());
-  for (const ScenarioSpec& spec : specs) futures.push_back(enqueue(spec));
+  for (const ScenarioSpec& spec : specs) {
+    std::packaged_task<ScenarioResult()> task(
+        [this, spec, control] { return guarded_query(spec, control); });
+    futures.push_back(enqueue_task(std::move(task)));
+  }
 
   std::vector<ScenarioResult> results;
   results.reserve(specs.size());
   for (std::future<ScenarioResult>& future : futures) results.push_back(future.get());
   mark_pareto(results);
+
+  int num_failed = 0;
+  int num_degraded = 0;
+  for (const ScenarioResult& result : results) {
+    if (result.status == ScenarioStatus::kFailed) ++num_failed;
+    if (result.status == ScenarioStatus::kDegraded) ++num_degraded;
+  }
 
   if (stats != nullptr) {
     stats->wall_seconds = timer.seconds();
@@ -143,10 +237,13 @@ std::vector<ScenarioResult> SweepEngine::run(const std::vector<ScenarioSpec>& sp
     stats->factor_cache_misses = factor_cache_.misses() - factor_misses0;
     stats->model_cache_hits = model_cache_.hits() - model_hits0;
     stats->model_cache_misses = model_cache_.misses() - model_misses0;
+    stats->num_failed = num_failed;
+    stats->num_degraded = num_degraded;
   }
   obs::MetricRegistry::global().histogram("sweep.run_seconds").record(timer.seconds());
-  MS_LOG_INFO("sweep: %d scenarios in %.3f s (factor cache %llu hit / %llu miss)",
-              static_cast<int>(specs.size()), timer.seconds(),
+  MS_LOG_INFO("sweep: %d scenarios (%d failed, %d degraded) in %.3f s "
+              "(factor cache %llu hit / %llu miss)",
+              static_cast<int>(specs.size()), num_failed, num_degraded, timer.seconds(),
               static_cast<unsigned long long>(factor_cache_.hits() - factor_hits0),
               static_cast<unsigned long long>(factor_cache_.misses() - factor_misses0));
   return results;

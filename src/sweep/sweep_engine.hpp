@@ -17,6 +17,7 @@
 // enqueue() returns a std::future for async collection; run() preserves
 // input order and marks the (peak stress ↓, lifetime ↑) Pareto frontier.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -27,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "core/config.hpp"
 #include "la/factor_cache.hpp"
 #include "rom/model_cache.hpp"
@@ -46,6 +48,13 @@ struct SweepOptions {
   bool share_caches = true;
   /// Optional on-disk ROM-model cache directory (empty = memory only).
   std::string cache_dir;
+  /// Per-query wall-clock deadline [s]; 0 = none. Checked cooperatively at
+  /// trace-step / panel / assembly boundaries — an expired query fails with
+  /// kDeadlineExceeded, the rest of the batch keeps running.
+  double deadline_seconds = 0.0;
+  /// run() only: after more than this many scenario failures the whole batch
+  /// is cancelled (remaining rows fail with kCancelled). -1 = unlimited.
+  int max_failures = -1;
 };
 
 /// Cost/cache telemetry of one run() call.
@@ -56,6 +65,8 @@ struct SweepStats {
   std::uint64_t factor_cache_misses = 0;
   std::uint64_t model_cache_hits = 0;
   std::uint64_t model_cache_misses = 0;
+  int num_failed = 0;    ///< rows with status kFailed
+  int num_degraded = 0;  ///< rows with status kDegraded (shift-retry rescue)
 };
 
 class SweepEngine {
@@ -66,15 +77,20 @@ class SweepEngine {
   SweepEngine& operator=(const SweepEngine&) = delete;
 
   /// Queue one scenario; the future resolves when a worker finishes it (and
-  /// carries any exception the query threw). Pareto flags are a property of
-  /// a whole run() table, not of individual queries, so they stay false here.
+  /// carries any exception the query threw — the raw, unclassified error).
+  /// A per-query deadline from options applies. Pareto flags are a property
+  /// of a whole run() table, not of individual queries, so they stay false
+  /// here.
   std::future<ScenarioResult> enqueue(ScenarioSpec spec);
 
-  /// Run every spec and return results in input order. Exceptions from
-  /// individual scenarios propagate (the first failing scenario's error).
-  /// On return, pareto_optimal marks the frontier over
-  /// (peak_von_mises minimized, min_life_log10 maximized; NaN lifetimes
-  /// compare as -inf).
+  /// Run every spec and return results in input order. run() never throws on
+  /// scenario errors: each failure is isolated into its own result row
+  /// (status kFailed, error classified per core/sim_error.hpp) and every
+  /// other scenario still completes — unless more than options.max_failures
+  /// rows fail, which cancels the remainder of the batch. On return,
+  /// pareto_optimal marks the frontier over (peak_von_mises minimized,
+  /// min_life_log10 maximized; NaN lifetimes compare as -inf); failed rows
+  /// are excluded as both candidates and dominators.
   std::vector<ScenarioResult> run(const std::vector<ScenarioSpec>& specs,
                                   SweepStats* stats = nullptr);
 
@@ -83,7 +99,19 @@ class SweepEngine {
   [[nodiscard]] rom::ModelCache& model_cache() { return model_cache_; }
 
  private:
-  ScenarioResult query(ScenarioSpec spec);
+  /// Shared state of one run() batch: the batch-wide cancel token (tripped
+  /// by the failure budget) and the running failure count.
+  struct BatchControl {
+    core::CancelToken cancel = core::CancelToken::cancellable();
+    std::atomic<int> failures{0};
+  };
+
+  ScenarioResult query(ScenarioSpec spec, core::CancelToken cancel);
+  /// query() with run()'s failure isolation: catches, classifies, and folds
+  /// any error into a kFailed row instead of letting it escape.
+  ScenarioResult guarded_query(ScenarioSpec spec,
+                               const std::shared_ptr<BatchControl>& control);
+  std::future<ScenarioResult> enqueue_task(std::packaged_task<ScenarioResult()> task);
   /// Demo package shared across sub-model scenarios of one padded size.
   std::shared_ptr<const chiplet::PackageModel> shared_package(int padded_blocks);
   void worker_loop();

@@ -2,16 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 
+#include "core/sim_error.hpp"
 #include "fem/dirichlet.hpp"
 #include "la/cg.hpp"
 #include "la/cholesky.hpp"
 #include "la/precond.hpp"
+#include "la/shift_retry.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "thermal/conduction_assembler.hpp"
+#include "util/fault_injector.hpp"
 #include "util/timer.hpp"
 
 namespace ms::thermal {
@@ -116,14 +120,20 @@ TemperatureField solve_power_map(const mesh::HexMesh& mesh, const ConductivityFi
     const la::FactorCache::Entry entry = options.factor_cache->get_or_create(
         options.factor_key,
         [&]() {
+          options.cancel.check("thermal.steady.factor_build");
           la::FactorCache::Entry fresh;
           fresh.matrix = std::make_shared<la::CsrMatrix>(k);
           fem::apply_dirichlet_matrix(k, bc);
-          fresh.factor = std::make_shared<la::SparseCholesky>(k, options.factor);
+          la::ShiftRetryResult factored = la::factor_with_shift_retry(
+              k, options.factor, options.shift_retry, "thermal.steady.factor");
+          fresh.factor = std::move(factored.factor);
+          fresh.diagonal_shift = factored.shift;
           return fresh;
         },
         &built);
     (void)built;
+    local.degraded = entry.diagonal_shift != 0.0;
+    local.diagonal_shift = entry.diagonal_shift;
     local.factor_seconds = timer.seconds();
     local.factor_nnz = entry.factor->factor_nnz();
     local.fill_ratio = entry.factor->fill_ratio();
@@ -134,7 +144,13 @@ TemperatureField solve_power_map(const mesh::HexMesh& mesh, const ConductivityFi
     local.iterations = 0;
     local.converged = true;
   } else if (options.method == "direct") {
-    const la::SparseCholesky chol(k, options.factor);
+    options.cancel.check("thermal.steady.factor");
+    la::ShiftRetryResult factored =
+        la::factor_with_shift_retry(k, options.factor, options.shift_retry,
+                                    "thermal.steady.factor");
+    const la::SparseCholesky& chol = *factored.factor;
+    local.degraded = factored.degraded();
+    local.diagonal_shift = factored.shift;
     local.factor_seconds = timer.seconds();
     local.factor_nnz = chol.factor_nnz();
     local.fill_ratio = chol.fill_ratio();
@@ -151,7 +167,12 @@ TemperatureField solve_power_map(const mesh::HexMesh& mesh, const ConductivityFi
     iter.use_initial_guess = true;
     const la::IterativeResult result = la::conjugate_gradient(k, rhs, t, &precond, iter);
     if (!result.converged) {
-      throw std::runtime_error("solve_power_map: CG did not converge");
+      throw core::SimError(
+          core::SimErrorCode::kDidNotConverge, "thermal.steady.solve",
+          result.breakdown ? std::string("CG breakdown: ") + result.breakdown_reason
+                           : std::string("CG did not converge"),
+          "iterations=" + std::to_string(result.iterations) +
+              " residual=" + std::to_string(result.residual_norm));
     }
     local.iterations = result.iterations;
     local.converged = result.converged;
@@ -305,18 +326,29 @@ TransientTemperatureResult solve_power_trace(const mesh::HexMesh& mesh,
   // term regardless, so only the factor itself is memoized (Entry.matrix
   // stays null). solve_with(scratch) below is solve_inplace's own backend,
   // so warm and cold steps are bitwise identical.
+  options.base.cancel.check("thermal.transient.factor");
   std::shared_ptr<const la::SparseCholesky> factor;
   const bool use_cache = options.base.factor_cache != nullptr && !options.base.factor_key.empty();
   if (use_cache) {
     const la::FactorCache::Entry entry = options.base.factor_cache->get_or_create(
         options.base.factor_key, [&]() {
+          options.base.cancel.check("thermal.transient.factor_build");
           la::FactorCache::Entry fresh;
-          fresh.factor = std::make_shared<la::SparseCholesky>(a, options.base.factor);
+          la::ShiftRetryResult factored = la::factor_with_shift_retry(
+              a, options.base.factor, options.base.shift_retry, "thermal.transient.factor");
+          fresh.factor = std::move(factored.factor);
+          fresh.diagonal_shift = factored.shift;
           return fresh;
         });
     factor = entry.factor;
+    local.degraded = entry.diagonal_shift != 0.0;
+    local.diagonal_shift = entry.diagonal_shift;
   } else {
-    factor = std::make_shared<const la::SparseCholesky>(a, options.base.factor);
+    la::ShiftRetryResult factored = la::factor_with_shift_retry(
+        a, options.base.factor, options.base.shift_retry, "thermal.transient.factor");
+    factor = factored.factor;
+    local.degraded = factored.degraded();
+    local.diagonal_shift = factored.shift;
   }
   local.factor_seconds = timer.seconds();
   local.factor_nnz = factor->factor_nnz();
@@ -390,6 +422,13 @@ TransientTemperatureResult solve_power_trace(const mesh::HexMesh& mesh,
       for (std::size_t i = 0; i < bc.dofs.size(); ++i) rhs[bc.dofs[i]] = bc.values[i];
     }
     factor->solve_with(rhs, t, solve_scratch);
+    // Per-step cooperative cancellation/deadline check and fault probe (the
+    // `nan` action poisons the state vector; `stall` sleeps in fire()).
+    options.base.cancel.check("thermal.transient.step");
+    if (util::FaultInjector::enabled() &&
+        util::FaultInjector::global().fire("thermal.transient.step") == util::FaultAction::kNan) {
+      t.front() = std::numeric_limits<double>::quiet_NaN();
+    }
     record(time, t);
     f_prev.swap(f_next);
   }

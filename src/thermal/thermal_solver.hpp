@@ -14,9 +14,11 @@
 #include <string>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "fem/material.hpp"
 #include "la/cholesky.hpp"
 #include "la/factor_cache.hpp"
+#include "la/shift_retry.hpp"
 #include "mesh/tsv_block.hpp"
 #include "thermal/conduction_assembler.hpp"
 #include "thermal/power_map.hpp"
@@ -45,6 +47,11 @@ struct ThermalSolveOptions {
   /// callers sharing a key. Results are bit-identical warm or cold.
   la::FactorCache* factor_cache = nullptr;
   std::string factor_key;
+  /// SPD breakdown recovery for the factorizing paths (see la/shift_retry.hpp).
+  la::ShiftRetryOptions shift_retry;
+  /// Cooperative cancellation/deadline token, checked at the factorization
+  /// boundary and at every transient trace step (inert by default).
+  core::CancelToken cancel;
 };
 
 struct ThermalSolveStats {
@@ -58,6 +65,9 @@ struct ThermalSolveStats {
   la::offset_t factor_nnz = 0;
   double fill_ratio = 0.0;
   std::string ordering;
+  /// Set when the factorization needed the diagonal shift-retry ladder.
+  bool degraded = false;
+  double diagonal_shift = 0.0;
   [[nodiscard]] double total_seconds() const { return assemble_seconds + solve_seconds; }
 };
 
@@ -110,6 +120,9 @@ struct TransientSolveStats {
   la::offset_t factor_nnz = 0;   ///< nnz(L) of the stepping operator
   double fill_ratio = 0.0;       ///< nnz(L) / nnz(tril(M/Δt + θK))
   std::string ordering;          ///< ordering used by the factorization
+  /// Set when the stepping factorization needed the shift-retry ladder.
+  bool degraded = false;
+  double diagonal_shift = 0.0;
   [[nodiscard]] double total_seconds() const {
     return assemble_seconds + factor_seconds + step_seconds;
   }

@@ -1,0 +1,191 @@
+#include "util/fault_injector.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ms::util {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+// splitmix64: tiny, seedable, good enough for fire/no-fire rolls.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::vector<std::string> split(const std::string& text, const char* seps) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find_first_of(seps, start);
+    if (end == std::string::npos) end = text.size();
+    std::string piece = text.substr(start, end - start);
+    // trim surrounding whitespace
+    std::size_t a = piece.find_first_not_of(" \t");
+    std::size_t b = piece.find_last_not_of(" \t");
+    if (a != std::string::npos) out.push_back(piece.substr(a, b - a + 1));
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+struct FaultInjector::Impl {
+  struct Rule {
+    std::string site;
+    FaultAction action = FaultAction::kNone;
+    double probability = 1.0;
+    std::int64_t remaining = -1;  // -1 = unlimited
+    int stall_millis = 50;
+    std::uint64_t fired = 0;
+  };
+
+  mutable std::mutex mutex;
+  std::vector<Rule> rules;
+  std::uint64_t rng_state = 0x6d732d6661756c74ULL;  // "ms-fault"
+
+  static Rule parse_rule(const std::string& text) {
+    std::vector<std::string> parts = split(text, ":");
+    if (parts.size() < 2 || parts.size() > 5 || parts[0].empty()) {
+      throw std::invalid_argument("FaultInjector: bad rule '" + text +
+                                  "' (want site:action[:probability[:count[:millis]]])");
+    }
+    Rule rule;
+    rule.site = parts[0];
+    const std::string& action = parts[1];
+    if (action == "throw") {
+      rule.action = FaultAction::kThrow;
+    } else if (action == "nan") {
+      rule.action = FaultAction::kNan;
+    } else if (action == "spd") {
+      rule.action = FaultAction::kSpd;
+    } else if (action == "stall") {
+      rule.action = FaultAction::kStall;
+    } else {
+      throw std::invalid_argument("FaultInjector: unknown action '" + action + "' in '" + text +
+                                  "' (want throw|nan|spd|stall)");
+    }
+    try {
+      if (parts.size() > 2) rule.probability = std::stod(parts[2]);
+      if (parts.size() > 3) rule.remaining = std::stoll(parts[3]);
+      if (parts.size() > 4) rule.stall_millis = std::stoi(parts[4]);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("FaultInjector: bad numeric field in rule '" + text + "'");
+    }
+    if (!(rule.probability >= 0.0 && rule.probability <= 1.0)) {
+      throw std::invalid_argument("FaultInjector: probability out of [0,1] in rule '" + text +
+                                  "'");
+    }
+    return rule;
+  }
+};
+
+FaultInjector::FaultInjector() : impl_(new Impl) {}
+
+FaultInjector& FaultInjector::global() {
+  static FaultInjector* instance = [] {
+    auto* injector = new FaultInjector();
+    if (const char* env = std::getenv("MS_FAULT"); env != nullptr && *env != '\0') {
+      injector->configure(env);
+    }
+    if (const char* env = std::getenv("MS_FAULT_SEED"); env != nullptr && *env != '\0') {
+      injector->seed(std::strtoull(env, nullptr, 10));
+    }
+    return injector;
+  }();
+  return *instance;
+}
+
+bool FaultInjector::enabled() {
+  // Probe sites consult enabled() without ever touching global(), so the
+  // one-time MS_FAULT env load must be forced from here or env-configured
+  // rules would never arm. After the first call this is a guard-byte check.
+  static const bool env_loaded = [] {
+    (void)global();
+    return true;
+  }();
+  (void)env_loaded;
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void FaultInjector::configure(const std::string& spec) {
+  std::vector<Impl::Rule> rules;
+  for (const std::string& piece : split(spec, ",;")) {
+    rules.push_back(Impl::parse_rule(piece));
+  }
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->rules = std::move(rules);
+  g_enabled.store(!impl_->rules.empty(), std::memory_order_relaxed);
+}
+
+void FaultInjector::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->rules.clear();
+  g_enabled.store(false, std::memory_order_relaxed);
+}
+
+void FaultInjector::seed(std::uint64_t s) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->rng_state = s;
+}
+
+FaultAction FaultInjector::consume(const char* site) {
+  if (!enabled()) return FaultAction::kNone;
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (Impl::Rule& rule : impl_->rules) {
+    if (rule.site != site) continue;
+    if (rule.remaining == 0) continue;
+    if (rule.probability < 1.0) {
+      double roll =
+          static_cast<double>(splitmix64(impl_->rng_state) >> 11) * 0x1.0p-53;  // [0,1)
+      if (roll >= rule.probability) continue;
+    }
+    if (rule.remaining > 0) --rule.remaining;
+    ++rule.fired;
+    return rule.action;
+  }
+  return FaultAction::kNone;
+}
+
+FaultAction FaultInjector::fire(const char* site) {
+  FaultAction action = consume(site);
+  switch (action) {
+    case FaultAction::kThrow:
+      throw InjectedFault(site);
+    case FaultAction::kStall: {
+      int millis = 50;
+      {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        for (const Impl::Rule& rule : impl_->rules) {
+          if (rule.site == site && rule.action == FaultAction::kStall) {
+            millis = rule.stall_millis;
+            break;
+          }
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(millis));
+      return FaultAction::kStall;
+    }
+    default:
+      return action;
+  }
+}
+
+std::uint64_t FaultInjector::fired_count(const char* site) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::uint64_t total = 0;
+  for (const Impl::Rule& rule : impl_->rules) {
+    if (rule.site == site) total += rule.fired;
+  }
+  return total;
+}
+
+}  // namespace ms::util

@@ -1,0 +1,83 @@
+#pragma once
+// Deterministic fault-injection harness for the robustness test suite.
+//
+// Probe points are named call sites planted in cache builders, solver
+// numeric phases, and worker loops. Each site consults the global injector,
+// which matches it against configured rules:
+//
+//   MS_FAULT="rom.global.factor_build:throw:0.5;thermal.transient.step:nan:1:1"
+//   MS_FAULT_SEED=42
+//
+// Rule grammar (',' or ';' separated):  site:action[:probability[:count[:millis]]]
+//   action       throw | nan | spd | stall
+//   probability  [0,1], default 1 (rolled with a seeded splitmix64 RNG so
+//                runs are reproducible)
+//   count        max fires, default unlimited (-1)
+//   millis       stall duration for `stall`, default 50
+//
+// `throw` and `stall` act inside fire(); `nan` and `spd` are returned to the
+// caller, which knows how to poison its own output (write a NaN into a
+// solution vector, simulate a pivot breakdown). When no rules are loaded the
+// per-site cost is one relaxed atomic load.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace ms::util {
+
+/// Thrown by a `throw` probe; carries the site name for test assertions.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(std::string site)
+      : std::runtime_error("injected fault at probe '" + site + "'"), site_(std::move(site)) {}
+  [[nodiscard]] const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+enum class FaultAction {
+  kNone,   ///< probe did not fire
+  kThrow,  ///< throw InjectedFault (fire() does this itself)
+  kNan,    ///< caller poisons its output with NaN
+  kSpd,    ///< caller simulates an SPD / pivot breakdown
+  kStall,  ///< sleep for the configured millis (fire() does this itself)
+};
+
+class FaultInjector {
+ public:
+  /// Process-wide injector; reads MS_FAULT / MS_FAULT_SEED once on first use.
+  static FaultInjector& global();
+
+  /// Fast path for probe sites: false when no rules are configured anywhere.
+  static bool enabled();
+
+  /// Replace all rules with `spec` (same grammar as MS_FAULT; empty clears).
+  /// Throws std::invalid_argument on a malformed spec. Resets fire counts.
+  void configure(const std::string& spec);
+
+  /// Drop all rules and counters.
+  void reset();
+
+  /// Reseed the probability RNG (also reset by configure()).
+  void seed(std::uint64_t s);
+
+  /// Roll the rules for `site`: decrements the matching rule's budget and
+  /// returns its action, or kNone. Does not act on the result.
+  FaultAction consume(const char* site);
+
+  /// consume() + act: throws InjectedFault for kThrow, sleeps for kStall,
+  /// returns kNan/kSpd (and kNone) for the caller to handle.
+  FaultAction fire(const char* site);
+
+  /// Number of times a rule for `site` has fired (all actions).
+  std::uint64_t fired_count(const char* site) const;
+
+ private:
+  FaultInjector();
+  struct Impl;
+  Impl* impl_;  // intentionally leaked with the singleton
+};
+
+}  // namespace ms::util

@@ -112,6 +112,53 @@ TEST(FactorCache, ThrowingBuilderClearsSlotForRetry) {
   EXPECT_TRUE(cache.contains("k"));
 }
 
+TEST(FactorCache, WaitersRetryAfterBuilderFailure) {
+  // Contention on one key whose FIRST builder invocation throws: the failed
+  // claimant must erase its pending slot (not poison it), the waiters race
+  // to claim the retry, exactly one rebuilds, and everyone else shares the
+  // rebuilt entry. This is the protocol cancelled/faulted sweep queries
+  // lean on — a thrown builder never wedges later scenarios.
+  FactorCache cache;
+  std::atomic<int> attempts{0};
+  std::atomic<int> exceptions{0};
+  std::atomic<int> successes{0};
+  constexpr int kThreads = 8;
+  std::vector<const SparseCholesky*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        const auto entry = cache.get_or_create("shared", [&] {
+          if (attempts.fetch_add(1) == 0) throw std::runtime_error("injected build failure");
+          return build_entry(8);
+        });
+        successes.fetch_add(1);
+        seen[static_cast<std::size_t>(t)] = entry.factor.get();
+      } catch (const std::runtime_error&) {
+        exceptions.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  // Exactly one thread saw the failure; every other got the one rebuilt
+  // factor. Two claims total (failed + retry), the rest were hits.
+  EXPECT_EQ(attempts.load(), 2);
+  EXPECT_EQ(exceptions.load(), 1);
+  EXPECT_EQ(successes.load(), kThreads - 1);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), static_cast<std::uint64_t>(kThreads - 2));
+  EXPECT_EQ(cache.size(), 1u);
+  const SparseCholesky* shared = nullptr;
+  for (const SparseCholesky* factor : seen) {
+    if (factor == nullptr) continue;
+    if (shared == nullptr) shared = factor;
+    EXPECT_EQ(factor, shared);
+  }
+  EXPECT_NE(shared, nullptr);
+}
+
 TEST(FactorCache, ClearDropsEntriesButCallersKeepTheirs) {
   FactorCache cache;
   const auto entry = cache.get_or_create("k", [] { return build_entry(4); });

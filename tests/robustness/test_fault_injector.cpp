@@ -1,0 +1,109 @@
+// util::FaultInjector unit locks: rule grammar, deterministic seeded
+// probability rolls, fire budgets, and the action split (throw/stall act
+// inside fire(), nan/spd are returned for the caller to apply).
+
+#include "util/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ms::util {
+namespace {
+
+/// Configure the global injector for one test and always clear it after —
+/// the injector is process-wide and later suites must see it disabled.
+struct FaultGuard {
+  explicit FaultGuard(const std::string& spec) { FaultInjector::global().configure(spec); }
+  ~FaultGuard() { FaultInjector::global().reset(); }
+};
+
+TEST(FaultInjector, DisabledByDefaultAndAfterReset) {
+  FaultInjector::global().reset();
+  EXPECT_FALSE(FaultInjector::enabled());
+  EXPECT_EQ(FaultInjector::global().consume("any.site"), FaultAction::kNone);
+  {
+    FaultGuard guard("some.site:throw");
+    EXPECT_TRUE(FaultInjector::enabled());
+  }
+  EXPECT_FALSE(FaultInjector::enabled());
+}
+
+TEST(FaultInjector, GrammarRejectsMalformedRules) {
+  FaultInjector& injector = FaultInjector::global();
+  EXPECT_THROW(injector.configure("siteonly"), std::invalid_argument);
+  EXPECT_THROW(injector.configure("site:explode"), std::invalid_argument);
+  EXPECT_THROW(injector.configure("site:throw:1.5"), std::invalid_argument);
+  EXPECT_THROW(injector.configure("site:throw:-0.1"), std::invalid_argument);
+  EXPECT_THROW(injector.configure("site:throw:1:1:50:extra"), std::invalid_argument);
+  injector.reset();
+}
+
+TEST(FaultInjector, GrammarAcceptsMultipleRulesAndSeparators) {
+  FaultGuard guard("a.site:throw:0.5;b.site:nan:1:2, c.site:stall:1:1:10");
+  FaultInjector& injector = FaultInjector::global();
+  // b.site has probability 1 and a budget of 2 fires.
+  EXPECT_EQ(injector.consume("b.site"), FaultAction::kNan);
+  EXPECT_EQ(injector.consume("b.site"), FaultAction::kNan);
+  EXPECT_EQ(injector.consume("b.site"), FaultAction::kNone);  // budget spent
+  EXPECT_EQ(injector.fired_count("b.site"), 2u);
+  EXPECT_EQ(injector.consume("unknown.site"), FaultAction::kNone);
+}
+
+TEST(FaultInjector, ThrowActionThrowsFromFireWithSiteName) {
+  FaultGuard guard("cache.build:throw:1:1");
+  FaultInjector& injector = FaultInjector::global();
+  try {
+    injector.fire("cache.build");
+    FAIL() << "expected InjectedFault";
+  } catch (const InjectedFault& fault) {
+    EXPECT_EQ(fault.site(), "cache.build");
+  }
+  // Budget of one: the site is spent, later fires are no-ops.
+  EXPECT_EQ(injector.fire("cache.build"), FaultAction::kNone);
+  EXPECT_EQ(injector.fired_count("cache.build"), 1u);
+}
+
+TEST(FaultInjector, NanAndSpdAreReturnedNotActed) {
+  FaultGuard guard("solve.out:nan;factor.pivot:spd");
+  FaultInjector& injector = FaultInjector::global();
+  EXPECT_EQ(injector.fire("solve.out"), FaultAction::kNan);   // no throw
+  EXPECT_EQ(injector.fire("factor.pivot"), FaultAction::kSpd);
+}
+
+TEST(FaultInjector, StallActionSleepsForConfiguredMillis) {
+  FaultGuard guard("slow.site:stall:1:1:60");
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(FaultInjector::global().fire("slow.site"), FaultAction::kStall);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_GE(elapsed.count(), 50);
+}
+
+TEST(FaultInjector, ProbabilityRollsAreDeterministicUnderSeed) {
+  const std::string spec = "coin.flip:nan:0.5";
+  const auto roll_sequence = [&] {
+    FaultInjector& injector = FaultInjector::global();
+    injector.configure(spec);
+    injector.seed(12345);
+    std::vector<FaultAction> seq;
+    seq.reserve(200);
+    for (int i = 0; i < 200; ++i) seq.push_back(injector.consume("coin.flip"));
+    return seq;
+  };
+  const std::vector<FaultAction> first = roll_sequence();
+  const std::vector<FaultAction> second = roll_sequence();
+  FaultInjector::global().reset();
+  EXPECT_EQ(first, second);  // bitwise-reproducible fault schedule
+
+  int fired = 0;
+  for (FaultAction action : first) fired += action == FaultAction::kNan ? 1 : 0;
+  EXPECT_GT(fired, 50);   // a fair-ish coin, not all-or-nothing
+  EXPECT_LT(fired, 150);
+}
+
+}  // namespace
+}  // namespace ms::util

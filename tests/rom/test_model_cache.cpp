@@ -1,0 +1,85 @@
+// ModelCache single-flight semantics under failure: a throwing builder must
+// clear its pending slot (never poison it) so waiters race to claim the
+// retry — the same protocol la::FactorCache keeps, proved here for the
+// model cache the sweep engine shares across workers.
+
+#include "rom/model_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace ms::rom {
+namespace {
+
+ModelCache::ModelPtr make_model() { return std::make_shared<const RomModel>(); }
+
+TEST(ModelCache, MissBuildsThenHitsShareOneModel) {
+  ModelCache cache;
+  const ModelCache::ModelPtr first = cache.get_or_create("k", make_model);
+  const ModelCache::ModelPtr second = cache.get_or_create("k", make_model);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(ModelCache, ThrowingBuilderClearsSlotForRetry) {
+  ModelCache cache;
+  EXPECT_THROW(cache.get_or_create("k",
+                                   []() -> ModelCache::ModelPtr {
+                                     throw std::runtime_error("local stage failed");
+                                   }),
+               std::runtime_error);
+  EXPECT_FALSE(cache.contains("k"));
+  const ModelCache::ModelPtr model = cache.get_or_create("k", make_model);
+  EXPECT_NE(model, nullptr);
+  EXPECT_TRUE(cache.contains("k"));
+}
+
+TEST(ModelCache, WaitersRetryAfterBuilderFailure) {
+  // Contention on one key whose first build throws: one thread observes the
+  // exception, exactly one waiter rebuilds, everyone else shares the entry.
+  ModelCache cache;
+  std::atomic<int> attempts{0};
+  std::atomic<int> exceptions{0};
+  std::atomic<int> successes{0};
+  constexpr int kThreads = 8;
+  std::vector<const RomModel*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        const ModelCache::ModelPtr model = cache.get_or_create("shared", [&] {
+          if (attempts.fetch_add(1) == 0) throw std::runtime_error("injected build failure");
+          return make_model();
+        });
+        successes.fetch_add(1);
+        seen[static_cast<std::size_t>(t)] = model.get();
+      } catch (const std::runtime_error&) {
+        exceptions.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(attempts.load(), 2);
+  EXPECT_EQ(exceptions.load(), 1);
+  EXPECT_EQ(successes.load(), kThreads - 1);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), static_cast<std::uint64_t>(kThreads - 2));
+  EXPECT_EQ(cache.size(), 1u);
+  const RomModel* shared = nullptr;
+  for (const RomModel* model : seen) {
+    if (model == nullptr) continue;
+    if (shared == nullptr) shared = model;
+    EXPECT_EQ(model, shared);
+  }
+  EXPECT_NE(shared, nullptr);
+}
+
+}  // namespace
+}  // namespace ms::rom

@@ -128,6 +128,32 @@ TEST(ScenarioSpec, MalformedValueNamesTheLine) {
   expect_throw_containing([] { parse_scenarios("[s]\n\n\nblocks_x =\n"); }, "line 4");
 }
 
+TEST(ScenarioSpec, NonFiniteNumbersAreRejectedAtParseTime) {
+  // inf / nan in the config text would otherwise surface queries later as a
+  // mid-solve kNonFiniteField failure; the parser rejects them with the line
+  // number up front.
+  expect_throw_containing([] { parse_scenarios("[s]\ntrace.period = inf\n"); }, "line 2");
+  expect_throw_containing([] { parse_scenarios("[s]\ntrace.period = inf\n"); }, "non-finite");
+  expect_throw_containing([] { parse_scenarios("[s]\npower.background = -inf\n"); },
+                          "power.background");
+  expect_throw_containing([] { parse_scenarios("[s]\ntrace.duty = nan\n"); }, "trace.duty");
+  expect_throw_containing([] { parse_scenarios("[s]\nfatigue.cycles_per_day = nan\n"); },
+                          "non-finite");
+  // Infinities are never legal, even on the NaN-able fields.
+  expect_throw_containing([] { parse_scenarios("[s]\ndelta_t = inf\n"); }, "non-finite");
+}
+
+TEST(ScenarioSpec, NanStaysLegalWhereItMeansUnset) {
+  // delta_t / power.hotspot_x / power.hotspot_y default to NaN ("unset");
+  // writing nan explicitly restores that default and still round-trips.
+  const std::vector<ScenarioSpec> specs = parse_scenarios(
+      "[s]\ndelta_t = nan\npower.hotspot_x = nan\npower.hotspot_y = nan\n");
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_TRUE(std::isnan(specs[0].delta_t));
+  EXPECT_TRUE(std::isnan(specs[0].power.hotspot_x));
+  EXPECT_TRUE(std::isnan(specs[0].power.hotspot_y));
+}
+
 TEST(ScenarioSpec, KeyOutsideSectionFails) {
   expect_throw_containing([] { parse_scenarios("blocks_x = 4\n[s]\n"); }, "line 1");
 }

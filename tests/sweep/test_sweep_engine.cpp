@@ -145,8 +145,17 @@ TEST(SweepEngine, ExceptionsPropagateThroughFutures) {
   std::future<ScenarioResult> future = engine.enqueue(bad);
   EXPECT_THROW((void)future.get(), std::invalid_argument);
 
-  // run() propagates the failing scenario's error too.
-  EXPECT_THROW((void)engine.run({bad}), std::invalid_argument);
+  // run() isolates the failure into its row instead of throwing: the batch
+  // completes and the error is classified as an invalid spec.
+  SweepStats stats;
+  const std::vector<ScenarioResult> results = engine.run({bad}, &stats);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, ScenarioStatus::kFailed);
+  EXPECT_TRUE(results[0].failed());
+  EXPECT_EQ(results[0].error.code, core::SimErrorCode::kInvalidSpec);
+  EXPECT_FALSE(results[0].error.message.empty());
+  EXPECT_FALSE(results[0].pareto_optimal);
+  EXPECT_EQ(stats.num_failed, 1);
 }
 
 }  // namespace

@@ -50,6 +50,15 @@ def load_cases(path):
         cases[case_key(case)] = case
     if not cases:
         sys.exit(f"error: no cases in {path}")
+    # A null metric means the emitter failed mid-run (e.g. a scenario error
+    # left a field unset). Refuse it with the offending metric named instead
+    # of silently skipping the comparison or tracebacking on float(None).
+    nulls = [f"{key} {metric}"
+             for key, case in sorted(cases.items(), key=str)
+             for metric, value in sorted(case.items()) if value is None]
+    if nulls:
+        sys.exit(f"error: {path} has null metric values: {'; '.join(nulls)} "
+                 "(re-run the bench; the gate cannot compare null)")
     return cases
 
 

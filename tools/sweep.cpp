@@ -2,7 +2,7 @@
 // thread-pooled query service and emit a lifetime/stress Pareto table.
 //
 //   ./sweep --config specs.txt --out pareto.json [--threads N] [--no-cache]
-//           [--cache-dir DIR]
+//           [--cache-dir DIR] [--deadline-seconds S] [--max-failures N]
 //
 // The config file is the ScenarioSpec `key = value` format (see README's
 // "Sweep" section): an optional [defaults] section followed by one [name]
@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "core/sim_error.hpp"
 #include "obs/obs_cli.hpp"
 #include "sweep/scenario_spec.hpp"
 #include "sweep/sweep_engine.hpp"
@@ -28,6 +29,9 @@ int main(int argc, char** argv) {
   cli.add_int("threads", 0, "worker threads (0 = hardware concurrency)");
   cli.add_flag("no-cache", "disable factorization/model sharing (cold per-spec runs)");
   cli.add_string("cache-dir", "", "on-disk ROM model cache directory");
+  cli.add_double("deadline-seconds", 0.0, "per-scenario wall-clock deadline (0 = none)");
+  cli.add_int("max-failures", -1,
+              "cancel the batch after this many scenario failures (-1 = unlimited)");
   ms::obs::add_cli_flags(cli);
   cli.parse(argc, argv);
   ms::obs::apply_cli_flags(cli);
@@ -54,6 +58,8 @@ int main(int argc, char** argv) {
   options.num_threads = static_cast<int>(cli.get_int("threads"));
   options.share_caches = !cli.flag("no-cache");
   options.cache_dir = cli.get_string("cache-dir");
+  options.deadline_seconds = cli.get_double("deadline-seconds");
+  options.max_failures = static_cast<int>(cli.get_int("max-failures"));
   ms::sweep::SweepEngine engine(options);
   ms::sweep::SweepStats stats;
   std::vector<ms::sweep::ScenarioResult> results;
@@ -64,22 +70,31 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("%-20s %-8s %-9s %12s %14s %10s %8s\n", "scenario", "kind", "analysis",
-              "peak_vm[MPa]", "life[log10]", "time[s]", "pareto");
+  std::printf("%-20s %-8s %-9s %-9s %12s %14s %10s %8s\n", "scenario", "kind", "analysis",
+              "status", "peak_vm[MPa]", "life[log10]", "time[s]", "pareto");
   for (const ms::sweep::ScenarioResult& r : results) {
+    if (r.failed()) {
+      std::printf("%-20s %-8s %-9s %-9s   [%s] %s: %s\n", r.name.c_str(),
+                  ms::sweep::to_string(r.kind), ms::sweep::to_string(r.analysis),
+                  ms::sweep::to_string(r.status), ms::core::to_string(r.error.code),
+                  r.error.stage.c_str(), r.error.message.c_str());
+      continue;
+    }
     char life[32];
     if (r.min_life_log10 == r.min_life_log10) {
       std::snprintf(life, sizeof life, "%.3f", r.min_life_log10);
     } else {
       std::snprintf(life, sizeof life, "-");
     }
-    std::printf("%-20s %-8s %-9s %12.2f %14s %10.3f %8s\n", r.name.c_str(),
+    std::printf("%-20s %-8s %-9s %-9s %12.2f %14s %10.3f %8s\n", r.name.c_str(),
                 ms::sweep::to_string(r.kind), ms::sweep::to_string(r.analysis),
-                r.peak_von_mises, life, r.simulate_seconds, r.pareto_optimal ? "*" : "");
+                ms::sweep::to_string(r.status), r.peak_von_mises, life, r.simulate_seconds,
+                r.pareto_optimal ? "*" : "");
   }
-  std::printf("\n%d scenarios in %.3f s; factor cache %llu hit / %llu miss, "
+  std::printf("\n%d scenarios (%d failed, %d degraded) in %.3f s; "
+              "factor cache %llu hit / %llu miss, "
               "model cache %llu hit / %llu miss\n",
-              stats.num_scenarios, stats.wall_seconds,
+              stats.num_scenarios, stats.num_failed, stats.num_degraded, stats.wall_seconds,
               static_cast<unsigned long long>(stats.factor_cache_hits),
               static_cast<unsigned long long>(stats.factor_cache_misses),
               static_cast<unsigned long long>(stats.model_cache_hits),
@@ -101,6 +116,8 @@ int main(int argc, char** argv) {
                .set("factor_cache_misses", static_cast<std::int64_t>(stats.factor_cache_misses))
                .set("model_cache_hits", static_cast<std::int64_t>(stats.model_cache_hits))
                .set("model_cache_misses", static_cast<std::int64_t>(stats.model_cache_misses))
+               .set("num_failed", static_cast<std::int64_t>(stats.num_failed))
+               .set("num_degraded", static_cast<std::int64_t>(stats.num_degraded))
                .render()
         << ",\n  \"scenarios\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
@@ -109,12 +126,21 @@ int main(int argc, char** argv) {
       record.set("name", r.name)
           .set("kind", ms::sweep::to_string(r.kind))
           .set("analysis", ms::sweep::to_string(r.analysis))
-          .set("peak_von_mises", r.peak_von_mises);
+          .set("status", ms::sweep::to_string(r.status));
+      if (r.failed()) {
+        record.set("error_code", ms::core::to_string(r.error.code))
+            .set("error_stage", r.error.stage)
+            .set("error_message", r.error.message);
+        out << "    " << record.render() << (i + 1 < results.size() ? ",\n" : "\n");
+        continue;
+      }
+      record.set("peak_von_mises", r.peak_von_mises);
       if (r.min_life_log10 == r.min_life_log10) {
         record.set("min_life_log10", r.min_life_log10)
             .set("min_life_seconds", r.min_life_seconds)
             .set("life_channel", r.life_channel);
       }
+      if (r.diagonal_shift != 0.0) record.set("diagonal_shift", r.diagonal_shift);
       record.set("simulate_seconds", r.simulate_seconds).set("pareto_optimal", r.pareto_optimal);
       out << "    " << record.render() << (i + 1 < results.size() ? ",\n" : "\n");
     }
@@ -122,5 +148,7 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", out_path.c_str());
   }
   ms::obs::write_cli_outputs(cli);
-  return 0;
+  // Partial failure still yields a useful table; only a fully failed batch
+  // (nothing to plot) is a hard error.
+  return stats.num_failed == stats.num_scenarios ? 1 : 0;
 }
