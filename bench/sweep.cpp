@@ -16,7 +16,9 @@
 #include <vector>
 
 #include "common.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/obs_cli.hpp"
+#include "obs/trace.hpp"
 #include "sweep/scenario_spec.hpp"
 #include "sweep/sweep_engine.hpp"
 #include "util/json.hpp"
@@ -113,6 +115,9 @@ int main(int argc, char** argv) {
   // --- first engine pass: populates the shared caches, locks correctness ---
   ms::sweep::SweepOptions options;
   options.config = config;
+  // The warm pass below is the telemetry-OFF baseline of the overhead gate,
+  // so the engine must not auto-enable the flight recorder here.
+  options.flight_recorder = false;
   ms::sweep::SweepEngine engine(options);
   ms::sweep::SweepStats first_stats;
   const std::vector<ms::sweep::ScenarioResult> first = engine.run(specs, &first_stats);
@@ -145,6 +150,30 @@ int main(int argc, char** argv) {
               num_scenarios, warm_stats.wall_seconds, warm_qps, warm_qps / cold_qps,
               static_cast<long long>(warm_factorizations), pareto_count);
 
+  // --- fully-enabled telemetry pass: same warm caches, everything on -------
+  // Span tracing + flight recorder (the event log is on the whole run when
+  // --events-jsonl is given, so it cancels out of the ratio). The gate in
+  // tools/bench_gate.py holds telemetry_overhead_ratio to <= 1.05.
+  const bool was_tracing = ms::obs::tracing_enabled();
+  ms::obs::set_tracing_enabled(true);
+  ms::obs::FlightRecorder::set_enabled(true);
+  ms::sweep::SweepStats telemetry_stats;
+  const std::vector<ms::sweep::ScenarioResult> telemetry_pass =
+      engine.run(specs, &telemetry_stats);
+  ms::obs::set_tracing_enabled(was_tracing);
+  ms::obs::FlightRecorder::set_enabled(false);
+  std::int64_t attributed_hits = 0;
+  for (const ms::sweep::ScenarioResult& r : telemetry_pass) {
+    attributed_hits += r.telemetry.count("factor_cache.hits");
+  }
+  const double telemetry_ratio = telemetry_stats.wall_seconds / warm_stats.wall_seconds;
+  std::printf("\n=== telemetry on (tracing + flight recorder + attribution) ===\n");
+  std::printf("%d queries in %.3f s (%.3fx warm baseline); "
+              "%lld attributed factor-cache hits (global delta %llu)\n",
+              num_scenarios, telemetry_stats.wall_seconds, telemetry_ratio,
+              static_cast<long long>(attributed_hits),
+              static_cast<unsigned long long>(telemetry_stats.factor_cache_hits));
+
   const std::string json_path = cli.get_string("json");
   if (!json_path.empty()) {
     std::vector<ms::util::JsonObject> records;
@@ -164,7 +193,10 @@ int main(int argc, char** argv) {
             .set("model_cache_hits", static_cast<std::int64_t>(warm_stats.model_cache_hits))
             .set("num_factorizations", warm_factorizations)
             .set("pareto_count", pareto_count)
-            .set("bitwise_identical", bitwise ? 1 : 0));
+            .set("bitwise_identical", bitwise ? 1 : 0)
+            .set("telemetry_disabled_seconds", warm_stats.wall_seconds)
+            .set("telemetry_enabled_seconds", telemetry_stats.wall_seconds)
+            .set("telemetry_overhead_ratio", telemetry_ratio));
     ms::util::write_bench_json(json_path, "sweep", records);
     std::printf("\nwrote %s (%d cases)\n", json_path.c_str(), static_cast<int>(records.size()));
   }

@@ -1,9 +1,11 @@
 #include "la/factor_cache.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/query_scope.hpp"
 
 namespace ms::la {
 
@@ -19,14 +21,26 @@ FactorCache::Entry FactorCache::get_or_create(const std::string& key,
     while (true) {
       auto [it, inserted] = slots_.try_emplace(key);
       if (inserted) break;  // we own the build
-      ready_cv_.wait(lock, [&] {
-        auto found = slots_.find(key);
-        return found == slots_.end() || found->second.ready;
-      });
+      if (!it->second.ready) {
+        // Single-flight wait: another worker owns the in-flight build. Time
+        // blocked here is real query latency that no stage timer sees, so it
+        // is recorded (and query-attributed) separately.
+        const auto wait_begin = std::chrono::steady_clock::now();
+        ready_cv_.wait(lock, [&] {
+          auto found = slots_.find(key);
+          return found == slots_.end() || found->second.ready;
+        });
+        const double waited =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - wait_begin)
+                .count();
+        registry.histogram("la.factor_cache.wait_seconds").record(waited);
+        obs::QueryScope::observe_seconds("factor_cache.wait_seconds", waited);
+      }
       auto found = slots_.find(key);
-      if (found != slots_.end()) {
+      if (found != slots_.end() && found->second.ready) {
         hits_.fetch_add(1, std::memory_order_relaxed);
         registry.counter("la.factor_cache.hits").add(1);
+        obs::QueryScope::count("factor_cache.hits");
         if (built != nullptr) *built = false;
         return found->second.entry;
       }
@@ -35,6 +49,7 @@ FactorCache::Entry FactorCache::get_or_create(const std::string& key,
 
   misses_.fetch_add(1, std::memory_order_relaxed);
   registry.counter("la.factor_cache.misses").add(1);
+  obs::QueryScope::count("factor_cache.misses");
   Entry entry;
   try {
     entry = build();

@@ -1,0 +1,62 @@
+#include "obs/event_log.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+
+#include "obs/trace.hpp"
+
+namespace ms::obs {
+namespace {
+
+// `g_enabled` is the lock-free fast path; the stream and counters live behind
+// the mutex. Writes hold the mutex for the whole line so concurrent workers
+// never interleave and `seq` matches file order.
+std::atomic<bool> g_enabled{false};
+std::mutex g_mutex;
+std::ofstream g_stream;
+std::int64_t g_seq = 0;
+
+}  // namespace
+
+void EventLog::open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_stream.is_open()) g_stream.close();
+  g_stream.open(path, std::ios::out | std::ios::trunc);
+  if (!g_stream) {
+    g_enabled.store(false, std::memory_order_relaxed);
+    throw std::runtime_error("EventLog::open: cannot open " + path);
+  }
+  g_seq = 0;
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void EventLog::close() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_enabled.store(false, std::memory_order_relaxed);
+  if (g_stream.is_open()) g_stream.close();
+}
+
+bool EventLog::enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void EventLog::emit(const char* type, const std::function<void(util::JsonObject&)>& fill) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (!g_stream.is_open()) return;  // closed between the check and the lock
+  util::JsonObject event;
+  event.set("ts_us", trace_now_us());
+  event.set("seq", g_seq);
+  event.set("event", type);
+  if (fill) fill(event);
+  g_stream << event.render() << '\n';
+  ++g_seq;
+}
+
+std::int64_t EventLog::lines_written() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return g_stream.is_open() ? g_seq : 0;
+}
+
+}  // namespace ms::obs

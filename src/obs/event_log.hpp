@@ -1,0 +1,47 @@
+#pragma once
+// Structured event log: an append-only JSONL stream of lifecycle events
+// (scenario enqueued / started / cache-hit / degraded / failed / completed),
+// one JSON object per line, for machine consumption — tailing a live sweep,
+// joining against the Chrome trace (both use the trace-epoch microsecond
+// clock), or post-hoc failure triage. Enabled by the sweep CLI / benches via
+// --events-jsonl (see obs_cli).
+//
+//   obs::EventLog::emit("scenario.completed", [&](util::JsonObject& e) {
+//     e.set("scenario", spec.name).set("status", "ok");
+//   });
+//
+// Emission is drop-free and ordered: a process-wide mutex serializes writes
+// and a monotonic `seq` field in every line makes gaps detectable. When the
+// log is closed (the default) emit() is one relaxed atomic load — callers
+// never build the JSON object. The builder-callback shape exists exactly for
+// that: field construction is skipped, not just the write.
+
+#include <functional>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace ms::obs {
+
+class EventLog {
+ public:
+  /// Open `path` for appending events (truncates an existing file). Throws
+  /// std::runtime_error when the file cannot be opened. Re-opening closes the
+  /// previous stream first.
+  static void open(const std::string& path);
+
+  /// Flush and stop accepting events. Idempotent.
+  static void close();
+
+  /// True when a stream is open — emit() callbacks only run in that case.
+  [[nodiscard]] static bool enabled();
+
+  /// Append one event line: {"ts_us": ..., "seq": N, "event": type, ...your
+  /// fields}. `fill` runs under the log mutex — keep it to field sets.
+  static void emit(const char* type, const std::function<void(util::JsonObject&)>& fill);
+
+  /// Lines written since open(). 0 when closed.
+  [[nodiscard]] static std::int64_t lines_written();
+};
+
+}  // namespace ms::obs

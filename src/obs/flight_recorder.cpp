@@ -1,0 +1,114 @@
+#include "obs/flight_recorder.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/trace.hpp"
+
+namespace ms::obs {
+namespace {
+
+/// Fixed-size record slot: no allocation on the note_* path, so the recorder
+/// is safe from signal-adjacent contexts (log writes, span unwinds during
+/// exception propagation).
+struct Slot {
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  bool is_log = false;
+  char text[FlightRecorder::kMaxText] = {0};
+};
+
+/// Per-thread ring. `next` is the write cursor; `count` saturates at
+/// kCapacity so snapshot knows how much of the ring is live.
+struct Ring {
+  Slot slots[FlightRecorder::kCapacity];
+  std::size_t next = 0;
+  std::size_t count = 0;
+
+  void push(double ts_us, double dur_us, bool is_log, const char* text) {
+    Slot& s = slots[next];
+    s.ts_us = ts_us;
+    s.dur_us = dur_us;
+    s.is_log = is_log;
+    std::strncpy(s.text, text, FlightRecorder::kMaxText - 1);
+    s.text[FlightRecorder::kMaxText - 1] = '\0';
+    next = (next + 1) % FlightRecorder::kCapacity;
+    if (count < FlightRecorder::kCapacity) ++count;
+  }
+};
+
+Ring& local_ring() {
+  thread_local Ring ring;
+  return ring;
+}
+
+}  // namespace
+
+void FlightRecorder::set_enabled(bool enabled) {
+  detail::set_capture_bit(detail::kCaptureFlight, enabled);
+}
+
+bool FlightRecorder::enabled() {
+  return (detail::g_capture_mask.load(std::memory_order_relaxed) &
+          detail::kCaptureFlight) != 0;
+}
+
+void FlightRecorder::note_span(const char* name, double begin_us, double end_us) {
+  if (!enabled()) return;
+  local_ring().push(begin_us, end_us - begin_us, /*is_log=*/false, name);
+}
+
+void FlightRecorder::note_log(const char* line) {
+  if (!enabled()) return;
+  local_ring().push(trace_now_us(), 0.0, /*is_log=*/true, line);
+}
+
+std::vector<FlightRecord> FlightRecorder::snapshot() {
+  const Ring& ring = local_ring();
+  std::vector<FlightRecord> out;
+  out.reserve(ring.count);
+  // Oldest entry sits at `next` once the ring has wrapped, at 0 before.
+  const std::size_t start =
+      ring.count < kCapacity ? 0 : ring.next % kCapacity;
+  for (std::size_t i = 0; i < ring.count; ++i) {
+    const Slot& s = ring.slots[(start + i) % kCapacity];
+    FlightRecord r;
+    r.ts_us = s.ts_us;
+    r.dur_us = s.dur_us;
+    r.is_log = s.is_log;
+    r.text = s.text;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+void FlightRecorder::clear() {
+  Ring& ring = local_ring();
+  ring.next = 0;
+  ring.count = 0;
+}
+
+std::vector<std::string> format_flight_records(
+    const std::vector<FlightRecord>& records) {
+  std::vector<std::string> lines;
+  lines.reserve(records.size());
+  char buf[64];
+  for (const FlightRecord& r : records) {
+    std::string line;
+    std::snprintf(buf, sizeof(buf), "+%.3fms ", r.ts_us / 1000.0);
+    line += buf;
+    if (r.is_log) {
+      line += "log ";
+      line += r.text;
+    } else {
+      line += "span ";
+      line += r.text;
+      std::snprintf(buf, sizeof(buf), " (%.3fms)", r.dur_us / 1000.0);
+      line += buf;
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+}  // namespace ms::obs

@@ -1,0 +1,70 @@
+#pragma once
+// Flight recorder: a bounded per-thread ring buffer of the most recent spans
+// and log lines, kept cheaply at all times so that when a scenario fails or
+// degrades, its worker can snapshot the last moments of context into the
+// result row — a post-mortem without a rerun (see DESIGN.md "Query-scoped
+// telemetry").
+//
+// Feeds: obs::ScopedSpan mirrors completed spans here when recording is
+// enabled (independent of full tracing — the ring is bounded, the trace
+// buffer is not), and util/log.cpp mirrors every formatted log line. Both
+// feeds are thread-local appends into a fixed-size ring: no locks, no
+// allocation, safe inside OpenMP regions.
+//
+// Usage (the sweep engine's pattern):
+//   obs::FlightRecorder::set_enabled(true);       // engine construction
+//   obs::FlightRecorder::clear();                 // worker, query start
+//   ... run the query ...
+//   if (failed) result.flight = obs::FlightRecorder::snapshot();
+//
+// snapshot()/clear() act on the *calling thread's* ring only — the worker
+// that ran the query snapshots its own recent history, which is exactly the
+// context that produced the failure.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ms::obs {
+
+/// One flight-recorder entry, oldest-first in a snapshot. `ts_us` is
+/// microseconds since the process trace epoch (the SpanEvent time base).
+struct FlightRecord {
+  double ts_us = 0.0;
+  double dur_us = 0.0;     ///< span duration; 0 for log lines
+  bool is_log = false;     ///< log line vs completed span
+  std::string text;        ///< span name, or the formatted log line
+};
+
+class FlightRecorder {
+ public:
+  /// Ring capacity per thread; older entries are overwritten.
+  static constexpr std::size_t kCapacity = 64;
+  /// Log lines are truncated to this many bytes in the ring (no allocation
+  /// on the record path).
+  static constexpr std::size_t kMaxText = 160;
+
+  /// Process-wide toggle. Disabled probes cost one relaxed atomic load.
+  static void set_enabled(bool enabled);
+  [[nodiscard]] static bool enabled();
+
+  /// Append a completed span / a formatted log line to the calling thread's
+  /// ring. No-ops when disabled. Called by obs::detail::span_end and
+  /// util::log_message — not meant for general use.
+  static void note_span(const char* name, double begin_us, double end_us);
+  static void note_log(const char* line);
+
+  /// The calling thread's recent entries, oldest first.
+  [[nodiscard]] static std::vector<FlightRecord> snapshot();
+
+  /// Drop the calling thread's entries (a query boundary: each snapshot then
+  /// covers one query's history only).
+  static void clear();
+};
+
+/// Render a snapshot as human-readable lines ("+12.345ms span rom.global.solve
+/// (3.2ms)" / "+12.400ms log [WARN ...] ...") for error JSON and reports.
+[[nodiscard]] std::vector<std::string> format_flight_records(
+    const std::vector<FlightRecord>& records);
+
+}  // namespace ms::obs

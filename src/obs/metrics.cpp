@@ -44,6 +44,48 @@ int Histogram::bin_of(double value) {
   return bin;
 }
 
+double Histogram::bin_lower(int bin) {
+  return bin <= 0 ? 0.0 : std::ldexp(1.0, bin - 20);
+}
+
+double Histogram::bin_upper(int bin) { return std::ldexp(1.0, bin - 19); }
+
+double Histogram::percentile(double q) const {
+  // Take one pass over the bins (racy under concurrent recording — each load
+  // is atomic but the set is not a consistent cut; see the header note).
+  std::int64_t counts[kNumBins];
+  std::int64_t total = 0;
+  for (int b = 0; b < kNumBins; ++b) {
+    counts[b] = bin_count(b);
+    total += counts[b];
+  }
+  if (total <= 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th value (1-based, nearest-rank), then interpolate linearly
+  // between the bin's edges by the rank's position inside the bin.
+  const double rank = q * static_cast<double>(total);
+  std::int64_t seen = 0;
+  for (int b = 0; b < kNumBins; ++b) {
+    if (counts[b] == 0) continue;
+    if (static_cast<double>(seen + counts[b]) >= rank) {
+      const double within =
+          counts[b] > 0 ? (rank - static_cast<double>(seen)) / static_cast<double>(counts[b])
+                        : 0.0;
+      double estimate = bin_lower(b) + within * (bin_upper(b) - bin_lower(b));
+      // The true extremes are tracked exactly; use them to clamp the bin
+      // interpolation (and to pin the open-ended first/last bins).
+      const double lo = min();
+      const double hi = max();
+      if (estimate < lo) estimate = lo;
+      if (estimate > hi) estimate = hi;
+      return estimate;
+    }
+    seen += counts[b];
+  }
+  return max();
+}
+
 void Histogram::record(double value) {
   count_.fetch_add(1, std::memory_order_relaxed);
   atomic_add(sum_, value);
@@ -125,6 +167,9 @@ std::vector<MetricSample> MetricRegistry::snapshot() const {
         s.value = e.histogram.sum();
         s.min = e.histogram.min();
         s.max = e.histogram.max();
+        s.p50 = e.histogram.percentile(0.50);
+        s.p95 = e.histogram.percentile(0.95);
+        s.p99 = e.histogram.percentile(0.99);
         break;
     }
     out.push_back(std::move(s));
@@ -155,6 +200,11 @@ std::int64_t MetricRegistry::counter_value(const std::string& name) const {
 double MetricRegistry::gauge_value(const std::string& name) const {
   const Entry* e = find(name);
   return e != nullptr && e->kind == MetricSample::Kind::kGauge ? e->gauge.value() : 0.0;
+}
+
+const Histogram* MetricRegistry::find_histogram(const std::string& name) const {
+  const Entry* e = find(name);
+  return e != nullptr && e->kind == MetricSample::Kind::kHistogram ? &e->histogram : nullptr;
 }
 
 ScopedDuration::ScopedDuration(Histogram& histogram)

@@ -71,6 +71,16 @@ class Histogram {
   /// (b = 0 additionally catches everything below 1 us, the top bin
   /// everything above).
   static int bin_of(double value);
+  /// Lower edge of bin b in seconds (0 for bin 0, whose range is open below).
+  static double bin_lower(int bin);
+  /// Upper edge of bin b in seconds.
+  static double bin_upper(int bin);
+  /// Quantile estimate (q in [0, 1]) interpolated linearly within the log2
+  /// bin holding the q-th recorded value, clamped to the exact [min, max].
+  /// Approximate by construction (bin resolution is 2x), and taken from a
+  /// racy snapshot of the bins under concurrent recording — good for
+  /// reporting, not for assertions tighter than a bin. 0 when empty.
+  [[nodiscard]] double percentile(double q) const;
   void reset();
 
  private:
@@ -90,7 +100,8 @@ struct MetricSample {
   Kind kind = Kind::kCounter;
   std::int64_t count = 0;  ///< counter value / histogram count
   double value = 0.0;      ///< gauge value / histogram sum
-  double min = 0.0, max = 0.0;  ///< histogram only
+  double min = 0.0, max = 0.0;             ///< histogram only
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;  ///< histogram only (interpolated)
 };
 
 class MetricRegistry {
@@ -118,6 +129,10 @@ class MetricRegistry {
   [[nodiscard]] double histogram_sum(const std::string& name) const;
   [[nodiscard]] std::int64_t counter_value(const std::string& name) const;
   [[nodiscard]] double gauge_value(const std::string& name) const;
+
+  /// The histogram registered under `name`, or nullptr (absent / not a
+  /// histogram). For percentile readers that must not create the metric.
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
 
  private:
   struct Entry {

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "obs/event_log.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
@@ -11,12 +12,17 @@ namespace ms::obs {
 void add_cli_flags(util::CliParser& cli) {
   cli.add_string("trace-json", "", "write a Chrome trace-event JSON of all spans (empty: off)");
   cli.add_string("report-json", "", "write the metric-registry RunReport JSON (empty: off)");
+  cli.add_string("events-jsonl", "",
+                 "stream structured lifecycle events (scenario enqueued/started/completed/"
+                 "failed...) as JSON lines to this file (empty: off)");
 }
 
 void apply_cli_flags(const util::CliParser& cli) {
   (void)init_tracing_from_env();
   util::apply_env_log_level();
   if (!cli.get_string("trace-json").empty()) set_tracing_enabled(true);
+  const std::string& events_path = cli.get_string("events-jsonl");
+  if (!events_path.empty()) EventLog::open(events_path);
 }
 
 void write_cli_outputs(const util::CliParser& cli) {
@@ -29,6 +35,12 @@ void write_cli_outputs(const util::CliParser& cli) {
   if (!report_path.empty()) {
     RunReport::capture().write_json(report_path);
     std::printf("wrote report: %s\n", report_path.c_str());
+  }
+  const std::string& events_path = cli.get_string("events-jsonl");
+  if (!events_path.empty()) {
+    std::printf("wrote events: %s (%lld lines)\n", events_path.c_str(),
+                static_cast<long long>(EventLog::lines_written()));
+    EventLog::close();
   }
 }
 

@@ -1,0 +1,28 @@
+#include "obs/query_scope.hpp"
+
+namespace ms::obs {
+namespace {
+
+thread_local QueryTelemetry* t_active_sink = nullptr;
+
+}  // namespace
+
+QueryScope::QueryScope(QueryTelemetry& sink) : previous_(t_active_sink) {
+  t_active_sink = &sink;
+}
+
+QueryScope::~QueryScope() { t_active_sink = previous_; }
+
+bool QueryScope::active() { return t_active_sink != nullptr; }
+
+void QueryScope::count(const char* name, std::int64_t delta) {
+  if (t_active_sink == nullptr) return;
+  t_active_sink->counts[name] += delta;
+}
+
+void QueryScope::observe_seconds(const char* name, double seconds) {
+  if (t_active_sink == nullptr) return;
+  t_active_sink->seconds[name] += seconds;
+}
+
+}  // namespace ms::obs

@@ -1,0 +1,70 @@
+#pragma once
+// Query-scoped attribution sink. Process-wide MetricRegistry deltas say what
+// a whole batch did; QueryScope says which scenario did it. A sweep worker
+// installs a QueryScope for the duration of one query, and instrumentation
+// sites (caches, solvers, stage timers) attribute into the active scope *in
+// addition to* the global registry:
+//
+//   obs::QueryTelemetry telemetry;
+//   {
+//     obs::QueryScope scope(telemetry);
+//     run_query();                       // sites call QueryScope::count/...
+//   }
+//   result.telemetry = std::move(telemetry);
+//
+// The sink is a plain thread-local pointer: installing it is two stores, and
+// a site with no active scope pays one TLS load and a branch. This works
+// because every attribution site runs on the query's own worker thread — the
+// solver's OpenMP inner loops never touch the sink, and cross-thread handoff
+// is explicit by design (see DESIGN.md "Query-scoped telemetry": no TLS
+// inheritance across pool threads, the engine re-installs the scope on the
+// worker).
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ms::obs {
+
+/// Per-query attributed telemetry: monotonic counts (cache hits, RHS columns,
+/// factorizations) and accumulated durations (stage seconds, queue wait,
+/// single-flight wait), keyed by dotted metric-style names. std::map keeps
+/// rendering deterministic.
+struct QueryTelemetry {
+  std::map<std::string, std::int64_t> counts;
+  std::map<std::string, double> seconds;
+
+  [[nodiscard]] std::int64_t count(const std::string& name) const {
+    const auto it = counts.find(name);
+    return it == counts.end() ? 0 : it->second;
+  }
+  [[nodiscard]] double secs(const std::string& name) const {
+    const auto it = seconds.find(name);
+    return it == seconds.end() ? 0.0 : it->second;
+  }
+  [[nodiscard]] bool empty() const { return counts.empty() && seconds.empty(); }
+};
+
+/// RAII installer: routes QueryScope::count/observe_seconds on *this thread*
+/// into `sink` until destruction. Nesting restores the outer scope on exit.
+/// Not copyable/movable — the registration is positional.
+class QueryScope {
+ public:
+  explicit QueryScope(QueryTelemetry& sink);
+  ~QueryScope();
+  QueryScope(const QueryScope&) = delete;
+  QueryScope& operator=(const QueryScope&) = delete;
+
+  /// True when the calling thread has an active scope.
+  [[nodiscard]] static bool active();
+
+  /// Attribute into the calling thread's active scope; no-ops without one.
+  /// `name` keys the telemetry map directly (e.g. "factor_cache.hits").
+  static void count(const char* name, std::int64_t delta = 1);
+  static void observe_seconds(const char* name, double seconds);
+
+ private:
+  QueryTelemetry* previous_;
+};
+
+}  // namespace ms::obs

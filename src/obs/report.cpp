@@ -72,6 +72,9 @@ std::string RunReport::render_json() const {
           std::snprintf(buf, sizeof(buf), ", \"min\": %.12g, \"max\": %.12g, \"mean\": %.12g",
                         s.min, s.max, s.value / static_cast<double>(s.count));
           out += buf;
+          std::snprintf(buf, sizeof(buf), ", \"p50\": %.12g, \"p95\": %.12g, \"p99\": %.12g",
+                        s.p50, s.p95, s.p99);
+          out += buf;
         }
         break;
     }

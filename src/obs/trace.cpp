@@ -9,7 +9,9 @@
 #include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <unordered_map>
 
+#include "obs/flight_recorder.hpp"
 #include "util/json.hpp"
 
 namespace ms::obs {
@@ -17,14 +19,22 @@ namespace {
 
 using clock_t = std::chrono::steady_clock;
 
-std::atomic<bool> g_enabled{false};
+std::atomic<SpanId> g_next_span_id{1};
+
+/// One open (begun, not yet ended) span on a thread.
+struct OpenSpan {
+  SpanId id = 0;
+  SpanId parent = 0;
+  bool remote_parent = false;
+  bool traced = false;  ///< tracing was on at begin — record into the buffer
+};
 
 /// Per-thread event store. Owned (appended to) exclusively by its thread;
 /// readers must only run while the owning threads are quiescent.
 struct ThreadBuffer {
   std::vector<SpanEvent> events;
+  std::vector<OpenSpan> open;  ///< innermost last
   std::int32_t tid = 0;
-  std::int32_t depth = 0;  ///< currently open spans on this thread
 };
 
 /// Registry of every thread buffer ever created. Buffers outlive their
@@ -79,9 +89,34 @@ void write_env_trace_at_exit() {
 
 }  // namespace
 
-void set_tracing_enabled(bool enabled) { g_enabled.store(enabled, std::memory_order_relaxed); }
+namespace detail {
 
-bool tracing_enabled() { return g_enabled.load(std::memory_order_relaxed); }
+std::atomic<int> g_capture_mask{0};
+
+void set_capture_bit(int bit, bool on) {
+  int mask = g_capture_mask.load(std::memory_order_relaxed);
+  while (!g_capture_mask.compare_exchange_weak(
+      mask, on ? (mask | bit) : (mask & ~bit), std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+void set_tracing_enabled(bool enabled) {
+  detail::set_capture_bit(detail::kCaptureTrace, enabled);
+}
+
+bool tracing_enabled() {
+  return (detail::g_capture_mask.load(std::memory_order_relaxed) & detail::kCaptureTrace) != 0;
+}
+
+double trace_now_us() { return now_us(); }
+
+SpanId current_span_id() {
+  if (!detail::span_capture_enabled()) return 0;
+  const ThreadBuffer& b = local_buffer();
+  return b.open.empty() ? 0 : b.open.back().id;
+}
 
 std::string init_tracing_from_env() {
   static std::once_flag once;
@@ -104,22 +139,44 @@ std::string init_tracing_from_env() {
 
 namespace detail {
 
-double span_begin() {
+double span_begin(SpanId remote_parent) {
   ThreadBuffer& b = local_buffer();
-  ++b.depth;
+  OpenSpan span;
+  span.id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  if (remote_parent != 0) {
+    span.parent = remote_parent;
+    span.remote_parent = true;
+  } else if (!b.open.empty()) {
+    span.parent = b.open.back().id;
+  }
+  span.traced = tracing_enabled();
+  b.open.push_back(span);
   return now_us();
 }
 
 void span_end(const char* name, double begin_us) {
   ThreadBuffer& b = local_buffer();
-  --b.depth;
-  SpanEvent e;
-  e.name = name;
-  e.begin_us = begin_us;
-  e.end_us = now_us();
-  e.depth = b.depth;
-  e.tid = b.tid;
-  b.events.push_back(e);
+  // Balanced by construction (ScopedSpan is LIFO per thread), but guard the
+  // underflow anyway so a misuse cannot corrupt the buffer.
+  if (b.open.empty()) return;
+  const OpenSpan open = b.open.back();
+  b.open.pop_back();
+  const double end_us = now_us();
+  if (open.traced) {
+    SpanEvent e;
+    e.name = name;
+    e.begin_us = begin_us;
+    e.end_us = end_us;
+    e.depth = static_cast<std::int32_t>(b.open.size());
+    e.tid = b.tid;
+    e.id = open.id;
+    e.parent = open.parent;
+    e.remote_parent = open.remote_parent;
+    b.events.push_back(e);
+  }
+  if ((g_capture_mask.load(std::memory_order_relaxed) & kCaptureFlight) != 0) {
+    FlightRecorder::note_span(name, begin_us, end_us);
+  }
 }
 
 }  // namespace detail
@@ -146,7 +203,7 @@ std::size_t open_span_count() {
   TraceRegistry& r = registry();
   std::lock_guard<std::mutex> lock(r.mutex);
   std::size_t open = 0;
-  for (const auto& b : r.buffers) open += static_cast<std::size_t>(b->depth);
+  for (const auto& b : r.buffers) open += b->open.size();
   return open;
 }
 
@@ -164,22 +221,53 @@ std::string render_chrome_trace() {
   const std::vector<SpanEvent> events = collect_events();
   set_tracing_enabled(was_enabled);
 
+  // Remote-parent edges render as flow arrows; the "s" end binds to the
+  // parent slice, so index the snapshot by span id first.
+  std::unordered_map<SpanId, const SpanEvent*> by_id;
+  by_id.reserve(events.size());
+  for (const SpanEvent& e : events) by_id.emplace(e.id, &e);
+
   std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
-  char buf[64];
-  for (std::size_t i = 0; i < events.size(); ++i) {
-    const SpanEvent& e = events[i];
-    out += "  {\"name\": \"" + util::json_escape(e.name) + "\", \"cat\": \"ms\", \"ph\": \"X\"";
+  char buf[96];
+  bool first = true;
+  const auto append_event = [&out, &first](const std::string& line) {
+    if (!first) out += ",\n";
+    first = false;
+    out += line;
+  };
+  for (const SpanEvent& e : events) {
+    std::string line = "  {\"name\": \"" + util::json_escape(e.name) +
+                       "\", \"cat\": \"ms\", \"ph\": \"X\"";
     std::snprintf(buf, sizeof(buf), ", \"ts\": %.3f", e.begin_us);
-    out += buf;
+    line += buf;
     std::snprintf(buf, sizeof(buf), ", \"dur\": %.3f", e.end_us - e.begin_us);
-    out += buf;
+    line += buf;
     std::snprintf(buf, sizeof(buf), ", \"pid\": 1, \"tid\": %d", e.tid);
-    out += buf;
-    std::snprintf(buf, sizeof(buf), ", \"args\": {\"depth\": %d}}", e.depth);
-    out += buf;
-    out += (i + 1 < events.size()) ? ",\n" : "\n";
+    line += buf;
+    std::snprintf(buf, sizeof(buf),
+                  ", \"args\": {\"depth\": %d, \"span_id\": %llu, \"parent_id\": %llu}}",
+                  e.depth, static_cast<unsigned long long>(e.id),
+                  static_cast<unsigned long long>(e.parent));
+    line += buf;
+    append_event(line);
+    if (!e.remote_parent || e.parent == 0) continue;
+    const auto parent_it = by_id.find(e.parent);
+    if (parent_it == by_id.end()) continue;  // parent still open or cleared
+    const SpanEvent& p = *parent_it->second;
+    // One arrow per remote edge, flow-id = the child span id (unique). The
+    // "s" end sits inside the parent slice, the "f" end at the child begin.
+    std::snprintf(buf, sizeof(buf),
+                  ", \"id\": %llu, \"ts\": %.3f, \"pid\": 1, \"tid\": %d}",
+                  static_cast<unsigned long long>(e.id), p.begin_us, p.tid);
+    append_event(std::string("  {\"name\": \"") + util::json_escape(e.name) +
+                 "\", \"cat\": \"ms.flow\", \"ph\": \"s\"" + buf);
+    std::snprintf(buf, sizeof(buf),
+                  ", \"bp\": \"e\", \"id\": %llu, \"ts\": %.3f, \"pid\": 1, \"tid\": %d}",
+                  static_cast<unsigned long long>(e.id), e.begin_us, e.tid);
+    append_event(std::string("  {\"name\": \"") + util::json_escape(e.name) +
+                 "\", \"cat\": \"ms.flow\", \"ph\": \"f\"" + buf);
   }
-  out += "]}\n";
+  out += first ? "]}\n" : "\n]}\n";
   return out;
 }
 

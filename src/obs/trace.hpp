@@ -9,24 +9,41 @@
 //     ...
 //   }
 //
-// Cost model: when tracing is disabled (the default) a scope is one relaxed
-// atomic load and a branch — cheap enough to leave in hot-ish paths (a
-// per-factorization or per-panel call, not a per-element loop). When enabled,
-// a scope appends one 32-byte event to a thread-local vector: no locks, no
-// allocation beyond amortized vector growth, safe inside OpenMP regions
-// (every OpenMP thread owns its own buffer). Span names must be string
-// literals (or otherwise outlive the trace) — the buffer stores the pointer.
+// Every span carries a process-unique id and its parent's id. Parenting is
+// implicit within a thread (the innermost open span) and *explicit* across
+// threads: thread-local state never leaks across a pool handoff, so the
+// producer captures current_span_id() and the consumer opens its root span
+// with that id as `remote_parent` (see DESIGN.md "Query-scoped telemetry").
+// The Chrome exporter turns each remote edge into a flow-event arrow, so one
+// trace shows a whole sweep batch fanning out across worker threads.
+//
+// Cost model: when span capture is disabled (the default) a scope is one
+// relaxed atomic load and a branch — cheap enough to leave in hot-ish paths
+// (a per-factorization or per-panel call, not a per-element loop). When
+// enabled, a scope appends one small event to a thread-local vector: no
+// locks, no allocation beyond amortized vector growth, safe inside OpenMP
+// regions (every OpenMP thread owns its own buffer). Span names must be
+// string literals (or otherwise outlive the trace) — the buffer stores the
+// pointer. Spans are additionally mirrored into the bounded per-thread
+// flight recorder when that is enabled (obs/flight_recorder.hpp), even with
+// full tracing off.
 //
 // Collection (write_chrome_trace / collect_events / clear_trace) must run
 // from quiescent code — outside parallel regions, which OpenMP's fork-join
 // model guarantees between regions. Export briefly disables tracing so the
 // snapshot is consistent.
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 namespace ms::obs {
+
+/// Process-unique span identity (0 = none). Ids are assigned at span begin
+/// from one atomic counter, so they are unique across threads; *values* are
+/// schedule-dependent, but parent/child *edges* are deterministic.
+using SpanId = std::uint64_t;
 
 /// One completed span. Times are microseconds since the process trace epoch.
 struct SpanEvent {
@@ -35,6 +52,9 @@ struct SpanEvent {
   double end_us = 0.0;
   std::int32_t depth = 0;  ///< nesting depth on its thread (0 = outermost)
   std::int32_t tid = 0;    ///< small sequential per-thread id
+  SpanId id = 0;           ///< this span's process-unique id
+  SpanId parent = 0;       ///< parent span id (0 = root)
+  bool remote_parent = false;  ///< parent lives on another thread (flow edge)
 };
 
 /// Enable / disable span recording process-wide. Disabled scopes cost one
@@ -47,6 +67,16 @@ void set_tracing_enabled(bool enabled);
 /// it AND registers an atexit writer that dumps the Chrome trace to that
 /// path. Returns the output path ("" if none). Idempotent.
 std::string init_tracing_from_env();
+
+/// Microseconds since the process trace epoch — the time base of every
+/// SpanEvent, flight-recorder entry, and event-log line, so the artifacts
+/// correlate.
+[[nodiscard]] double trace_now_us();
+
+/// Innermost open span on the calling thread (0 when none, or when span
+/// capture is off). Capture this *before* handing work to another thread and
+/// pass it as ScopedSpan's remote_parent — TLS does not cross pool threads.
+[[nodiscard]] SpanId current_span_id();
 
 /// Snapshot all completed spans of every thread, in per-thread record order.
 /// Quiescent-only (see file comment).
@@ -63,7 +93,8 @@ std::string init_tracing_from_env();
 void clear_trace();
 
 /// Write every completed span as Chrome trace-event JSON ("ph":"X" complete
-/// events, ts/dur in microseconds) loadable in chrome://tracing or Perfetto.
+/// events, ts/dur in microseconds; remote-parent edges additionally emit
+/// "ph":"s"/"f" flow arrows) loadable in chrome://tracing or Perfetto.
 /// Throws std::runtime_error when the file cannot be written. Quiescent-only.
 void write_chrome_trace(const std::string& path);
 
@@ -72,9 +103,21 @@ void write_chrome_trace(const std::string& path);
 
 namespace detail {
 
+/// Bitmask of span consumers: full tracing and/or the flight recorder. One
+/// relaxed load of this mask is the whole cost of a disabled scope.
+inline constexpr int kCaptureTrace = 1;
+inline constexpr int kCaptureFlight = 2;
+extern std::atomic<int> g_capture_mask;
+void set_capture_bit(int bit, bool on);
+
+inline bool span_capture_enabled() {
+  return g_capture_mask.load(std::memory_order_relaxed) != 0;
+}
+
 /// Begin a span now; returns the begin timestamp. Registers the calling
-/// thread's buffer on first use.
-double span_begin();
+/// thread's buffer on first use. `remote_parent` (when nonzero) overrides
+/// the implicit same-thread parent and marks the edge as a flow arrow.
+double span_begin(SpanId remote_parent);
 
 /// Complete the span begun at `begin_us` (LIFO per thread).
 void span_end(const char* name, double begin_us);
@@ -82,11 +125,14 @@ void span_end(const char* name, double begin_us);
 }  // namespace detail
 
 /// RAII span. Prefer the MS_TRACE_SCOPE macro; instantiate directly (with
-/// end()) only when a phase boundary does not line up with a C++ scope.
+/// end(), or with an explicit remote parent captured on the producing
+/// thread) when a phase boundary does not line up with a C++ scope or when
+/// the parent lives on another thread.
 class ScopedSpan {
  public:
-  explicit ScopedSpan(const char* name) : name_(name), active_(tracing_enabled()) {
-    if (active_) begin_us_ = detail::span_begin();
+  explicit ScopedSpan(const char* name, SpanId remote_parent = 0)
+      : name_(name), active_(detail::span_capture_enabled()) {
+    if (active_) begin_us_ = detail::span_begin(remote_parent);
   }
   ~ScopedSpan() { end(); }
   ScopedSpan(const ScopedSpan&) = delete;

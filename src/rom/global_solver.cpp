@@ -13,6 +13,7 @@
 #include "la/gmres.hpp"
 #include "la/shift_retry.hpp"
 #include "obs/metrics.hpp"
+#include "obs/query_scope.hpp"
 #include "obs/trace.hpp"
 #include "util/fault_injector.hpp"
 #include "util/log.hpp"
@@ -42,6 +43,16 @@ void publish_global_stats(const GlobalSolveStats& s) {
   reg.gauge("rom.global.num_supernodes").set(static_cast<double>(s.num_supernodes));
   reg.gauge("rom.global.degraded").set(s.degraded ? 1.0 : 0.0);
   reg.gauge("rom.global.diagonal_shift").set(s.diagonal_shift);
+  // Query attribution: publish runs on the worker thread that executed the
+  // solve, so the active QueryScope (if any) is the owning scenario's. The
+  // per-query counts mirror the registry counters above 1:1 — that identity
+  // is what the reconciliation test in tests/sweep locks.
+  obs::QueryScope::count("global.solves");
+  obs::QueryScope::count("rhs", s.num_rhs);
+  obs::QueryScope::count("factorizations", s.num_factorizations);
+  obs::QueryScope::observe_seconds("global.solve_seconds", s.solve_seconds);
+  obs::QueryScope::observe_seconds("global.factor_seconds", s.factor_seconds);
+  obs::QueryScope::observe_seconds("global.triangular_seconds", s.triangular_seconds);
 }
 
 }  // namespace

@@ -1,8 +1,10 @@
 #include "rom/model_cache.hpp"
 
 #include <atomic>
+#include <chrono>
 
 #include "obs/metrics.hpp"
+#include "obs/query_scope.hpp"
 
 namespace ms::rom {
 
@@ -14,14 +16,25 @@ ModelCache::ModelPtr ModelCache::get_or_create(const std::string& key,
     while (true) {
       auto [it, inserted] = slots_.try_emplace(key);
       if (inserted) break;  // we own the build
-      ready_cv_.wait(lock, [&] {
-        auto found = slots_.find(key);
-        return found == slots_.end() || found->second.ready;
-      });
+      if (!it->second.ready) {
+        // Single-flight wait (see la::FactorCache): blocked-on-peer-build
+        // time, recorded and query-attributed apart from the stage timers.
+        const auto wait_begin = std::chrono::steady_clock::now();
+        ready_cv_.wait(lock, [&] {
+          auto found = slots_.find(key);
+          return found == slots_.end() || found->second.ready;
+        });
+        const double waited =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - wait_begin)
+                .count();
+        registry.histogram("rom.model_cache.wait_seconds").record(waited);
+        obs::QueryScope::observe_seconds("model_cache.wait_seconds", waited);
+      }
       auto found = slots_.find(key);
-      if (found != slots_.end()) {
+      if (found != slots_.end() && found->second.ready) {
         hits_.fetch_add(1, std::memory_order_relaxed);
         registry.counter("rom.model_cache.hits").add(1);
+        obs::QueryScope::count("model_cache.hits");
         return found->second.model;
       }
     }
@@ -29,6 +42,7 @@ ModelCache::ModelPtr ModelCache::get_or_create(const std::string& key,
 
   misses_.fetch_add(1, std::memory_order_relaxed);
   registry.counter("rom.model_cache.misses").add(1);
+  obs::QueryScope::count("model_cache.misses");
   ModelPtr model;
   try {
     model = build();

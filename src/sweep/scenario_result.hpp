@@ -9,9 +9,12 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "core/results.hpp"
 #include "core/sim_error.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/query_scope.hpp"
 #include "sweep/scenario_spec.hpp"
 
 namespace ms::sweep {
@@ -63,6 +66,16 @@ struct ScenarioResult {
   double diagonal_shift = 0.0;    ///< largest shift any solve in the query took
 
   [[nodiscard]] bool failed() const { return status == ScenarioStatus::kFailed; }
+
+  // --- attributed observability ----------------------------------------------
+  /// This query's own telemetry (cache hits/misses, factorizations, RHS
+  /// count, stage durations, queue wait), filled by SweepEngine via the
+  /// worker's obs::QueryScope. Empty when the query ran outside an engine.
+  obs::QueryTelemetry telemetry;
+  /// Flight-recorder snapshot of the worker's recent spans and log lines;
+  /// captured only when status is degraded/failed and the engine's recorder
+  /// is on — the post-mortem context for this row.
+  std::vector<obs::FlightRecord> flight;
 
   // --- full payload (exactly one set) ---------------------------------------
   std::shared_ptr<core::ArrayResult> array;

@@ -7,14 +7,29 @@
 #include "core/sim_error.hpp"
 #include "core/simulator.hpp"
 #include "la/errors.hpp"
+#include "obs/event_log.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/query_scope.hpp"
 #include "util/fault_injector.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
 namespace ms::sweep {
+namespace {
+
+void emit_scenario_event(const char* type, const ScenarioSpec& spec) {
+  obs::EventLog::emit(type, [&spec](util::JsonObject& e) {
+    e.set("scenario", spec.name)
+        .set("kind", to_string(spec.kind))
+        .set("analysis", to_string(spec.analysis));
+  });
+}
+
+}  // namespace
 
 SweepEngine::SweepEngine(SweepOptions options) : options_(std::move(options)) {
+  if (options_.flight_recorder) obs::FlightRecorder::set_enabled(true);
   int threads = options_.num_threads;
   if (threads <= 0) threads = static_cast<int>(std::thread::hardware_concurrency());
   if (threads < 1) threads = 1;
@@ -63,7 +78,31 @@ std::shared_ptr<const chiplet::PackageModel> SweepEngine::shared_package(int pad
   return package;
 }
 
-ScenarioResult SweepEngine::query(ScenarioSpec spec, core::CancelToken cancel) {
+SweepEngine::QueryContext SweepEngine::capture_context() {
+  QueryContext context;
+  context.parent_span = obs::current_span_id();
+  context.enqueued = std::chrono::steady_clock::now();
+  return context;
+}
+
+ScenarioResult SweepEngine::query(ScenarioSpec spec, core::CancelToken cancel,
+                                  const QueryContext& context,
+                                  obs::QueryTelemetry& telemetry) {
+  // Instrumentation envelope, all on the worker thread: charge the queue
+  // wait, open the query's root span under the *enqueuer's* span (the remote
+  // parent renders as a flow arrow), install the attribution sink, and start
+  // this query's flight-recorder window. Everything simulate() records below
+  // lands in `telemetry` — which the caller still owns if we throw.
+  const double queue_wait =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - context.enqueued)
+          .count();
+  obs::MetricRegistry::global().histogram("sweep.queue_wait_seconds").record(queue_wait);
+  obs::ScopedSpan span("sweep.query", context.parent_span);
+  obs::QueryScope scope(telemetry);
+  obs::QueryScope::observe_seconds("queue_wait_seconds", queue_wait);
+  if (obs::FlightRecorder::enabled()) obs::FlightRecorder::clear();
+  emit_scenario_event("scenario.started", spec);
+
   cancel.check("sweep.query");
   if (util::FaultInjector::enabled()) util::FaultInjector::global().fire("sweep.worker");
   // Fresh simulator per scenario — only the caches are shared, so every
@@ -80,19 +119,50 @@ ScenarioResult SweepEngine::query(ScenarioSpec spec, core::CancelToken cancel) {
     const int padded = std::max(spec.blocks_x, spec.blocks_y) + 2 * spec.dummy_rings;
     spec.package = shared_package(padded);
   }
-  return simulator.simulate(spec);
+  ScenarioResult result = simulator.simulate(spec);
+
+  result.telemetry = telemetry;  // the sink has everything simulate recorded
+  if (result.status == ScenarioStatus::kDegraded && obs::FlightRecorder::enabled()) {
+    result.flight = obs::FlightRecorder::snapshot();
+  }
+  if (obs::EventLog::enabled()) {
+    const std::int64_t cache_hits =
+        telemetry.count("factor_cache.hits") + telemetry.count("model_cache.hits");
+    if (cache_hits > 0) {
+      obs::EventLog::emit("scenario.cache_hit", [&](util::JsonObject& e) {
+        e.set("scenario", spec.name)
+            .set("factor_cache_hits", telemetry.count("factor_cache.hits"))
+            .set("model_cache_hits", telemetry.count("model_cache.hits"));
+      });
+    }
+    if (result.status == ScenarioStatus::kDegraded) {
+      obs::EventLog::emit("scenario.degraded", [&](util::JsonObject& e) {
+        e.set("scenario", spec.name).set("diagonal_shift", result.diagonal_shift);
+      });
+    }
+    obs::EventLog::emit("scenario.completed", [&](util::JsonObject& e) {
+      e.set("scenario", spec.name)
+          .set("status", to_string(result.status))
+          .set("simulate_seconds", result.simulate_seconds)
+          .set("queue_wait_seconds", queue_wait)
+          .set("peak_von_mises", result.peak_von_mises);
+    });
+  }
+  return result;
 }
 
 ScenarioResult SweepEngine::guarded_query(ScenarioSpec spec,
-                                          const std::shared_ptr<BatchControl>& control) {
+                                          const std::shared_ptr<BatchControl>& control,
+                                          const QueryContext& context) {
   // Failures are isolated per row; the catch chain classifies each error
   // into the taxonomy of core/sim_error.hpp so callers can act on the code
   // without string-matching what().
+  obs::QueryTelemetry telemetry;
   ScenarioError error;
   try {
     // The child token inherits the batch's cancel flag and adds this query's
     // own deadline, so a slow scenario times out without killing the batch.
-    return query(spec, control->cancel.child(options_.deadline_seconds));
+    return query(spec, control->cancel.child(options_.deadline_seconds), context, telemetry);
   } catch (const core::SimError& e) {
     error.code = e.code();
     error.stage = e.stage();
@@ -125,6 +195,17 @@ ScenarioResult SweepEngine::guarded_query(ScenarioSpec spec,
   MS_LOG_WARN("sweep: scenario '%s' failed [%s] at %s: %s", failed.name.c_str(),
               core::to_string(failed.error.code), failed.error.stage.c_str(),
               failed.error.message.c_str());
+  // Whatever the query attributed before it threw, plus the worker's recent
+  // span/log history: the post-mortem that ships with the row. Snapshot
+  // *after* the warn above so the failure's own log line is in the ring.
+  failed.telemetry = std::move(telemetry);
+  if (obs::FlightRecorder::enabled()) failed.flight = obs::FlightRecorder::snapshot();
+  obs::EventLog::emit("scenario.failed", [&failed](util::JsonObject& e) {
+    e.set("scenario", failed.name)
+        .set("code", core::to_string(failed.error.code))
+        .set("stage", failed.error.stage)
+        .set("message", failed.error.message);
+  });
 
   // Trip the batch once the failure budget is spent; in-flight and queued
   // scenarios then fail fast with kCancelled at their next check point.
@@ -152,9 +233,12 @@ std::future<ScenarioResult> SweepEngine::enqueue(ScenarioSpec spec) {
   core::CancelToken cancel = options_.deadline_seconds > 0.0
                                  ? core::CancelToken::with_deadline(options_.deadline_seconds)
                                  : core::CancelToken();
+  const QueryContext context = capture_context();
+  emit_scenario_event("scenario.enqueued", spec);
   std::packaged_task<ScenarioResult()> task(
-      [this, spec = std::move(spec), cancel = std::move(cancel)]() mutable {
-        return query(std::move(spec), std::move(cancel));
+      [this, spec = std::move(spec), cancel = std::move(cancel), context]() mutable {
+        obs::QueryTelemetry telemetry;
+        return query(std::move(spec), std::move(cancel), context, telemetry);
       });
   return enqueue_task(std::move(task));
 }
@@ -213,8 +297,10 @@ std::vector<ScenarioResult> SweepEngine::run(const std::vector<ScenarioSpec>& sp
   std::vector<std::future<ScenarioResult>> futures;
   futures.reserve(specs.size());
   for (const ScenarioSpec& spec : specs) {
+    const QueryContext context = capture_context();
+    emit_scenario_event("scenario.enqueued", spec);
     std::packaged_task<ScenarioResult()> task(
-        [this, spec, control] { return guarded_query(spec, control); });
+        [this, spec, control, context] { return guarded_query(spec, control, context); });
     futures.push_back(enqueue_task(std::move(task)));
   }
 

@@ -18,6 +18,7 @@
 // input order and marks the (peak stress ↓, lifetime ↑) Pareto frontier.
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -31,6 +32,7 @@
 #include "core/cancel.hpp"
 #include "core/config.hpp"
 #include "la/factor_cache.hpp"
+#include "obs/trace.hpp"
 #include "rom/model_cache.hpp"
 #include "sweep/scenario_result.hpp"
 #include "sweep/scenario_spec.hpp"
@@ -55,6 +57,12 @@ struct SweepOptions {
   /// run() only: after more than this many scenario failures the whole batch
   /// is cancelled (remaining rows fail with kCancelled). -1 = unlimited.
   int max_failures = -1;
+  /// Keep the bounded per-worker flight recorder running so degraded/failed
+  /// rows carry a snapshot of the worker's recent spans and log lines.
+  /// Process-wide toggle (obs::FlightRecorder) — the engine turns it ON at
+  /// construction when set, and never turns it off (another engine or the
+  /// CLI may still want it).
+  bool flight_recorder = true;
 };
 
 /// Cost/cache telemetry of one run() call.
@@ -106,11 +114,25 @@ class SweepEngine {
     std::atomic<int> failures{0};
   };
 
-  ScenarioResult query(ScenarioSpec spec, core::CancelToken cancel);
+  /// Trace/queue context captured on the *enqueuing* thread. TLS never
+  /// crosses a pool handoff (DESIGN.md "Query-scoped telemetry"), so the
+  /// caller's innermost span id and the enqueue timestamp ride along with
+  /// the task; the worker opens its root span with that remote parent and
+  /// charges the queue wait to the query.
+  struct QueryContext {
+    obs::SpanId parent_span = 0;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+  static QueryContext capture_context();
+
+  ScenarioResult query(ScenarioSpec spec, core::CancelToken cancel, const QueryContext& context,
+                       obs::QueryTelemetry& telemetry);
   /// query() with run()'s failure isolation: catches, classifies, and folds
-  /// any error into a kFailed row instead of letting it escape.
+  /// any error into a kFailed row instead of letting it escape. The failed
+  /// row keeps the partial telemetry and a flight-recorder snapshot.
   ScenarioResult guarded_query(ScenarioSpec spec,
-                               const std::shared_ptr<BatchControl>& control);
+                               const std::shared_ptr<BatchControl>& control,
+                               const QueryContext& context);
   std::future<ScenarioResult> enqueue_task(std::packaged_task<ScenarioResult()> task);
   /// Demo package shared across sub-model scenarios of one padded size.
   std::shared_ptr<const chiplet::PackageModel> shared_package(int padded_blocks);

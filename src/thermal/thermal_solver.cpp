@@ -13,6 +13,7 @@
 #include "la/precond.hpp"
 #include "la/shift_retry.hpp"
 #include "obs/metrics.hpp"
+#include "obs/query_scope.hpp"
 #include "obs/trace.hpp"
 #include "thermal/conduction_assembler.hpp"
 #include "util/fault_injector.hpp"
@@ -34,6 +35,11 @@ void publish_steady_stats(const ThermalSolveStats& s) {
   reg.gauge("thermal.steady.converged").set(s.converged ? 1.0 : 0.0);
   reg.gauge("thermal.steady.factor_nnz").set(static_cast<double>(s.factor_nnz));
   reg.gauge("thermal.steady.fill_ratio").set(s.fill_ratio);
+  // Worker-thread publish → the active QueryScope is the owning scenario's.
+  obs::QueryScope::count("thermal.steady.solves");
+  obs::QueryScope::observe_seconds("thermal.steady.assemble_seconds", s.assemble_seconds);
+  obs::QueryScope::observe_seconds("thermal.steady.solve_seconds", s.solve_seconds);
+  obs::QueryScope::observe_seconds("thermal.steady.factor_seconds", s.factor_seconds);
 }
 
 void publish_transient_stats(const TransientSolveStats& s) {
@@ -46,6 +52,11 @@ void publish_transient_stats(const TransientSolveStats& s) {
   reg.gauge("thermal.transient.num_dofs").set(static_cast<double>(s.num_dofs));
   reg.gauge("thermal.transient.factor_nnz").set(static_cast<double>(s.factor_nnz));
   reg.gauge("thermal.transient.fill_ratio").set(s.fill_ratio);
+  obs::QueryScope::count("thermal.transient.solves");
+  obs::QueryScope::count("thermal.transient.steps", s.num_steps);
+  obs::QueryScope::observe_seconds("thermal.transient.assemble_seconds", s.assemble_seconds);
+  obs::QueryScope::observe_seconds("thermal.transient.factor_seconds", s.factor_seconds);
+  obs::QueryScope::observe_seconds("thermal.transient.step_seconds", s.step_seconds);
 }
 
 }  // namespace

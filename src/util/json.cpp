@@ -59,6 +59,21 @@ JsonObject& JsonObject::set(const std::string& key, bool value) {
   return set_raw(key, value ? "true" : "false");
 }
 
+JsonObject& JsonObject::set_object(const std::string& key, const JsonObject& value) {
+  return set_raw(key, value.render());
+}
+
+JsonObject& JsonObject::set_strings(const std::string& key,
+                                    const std::vector<std::string>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "\"" + json_escape(values[i]) + "\"";
+  }
+  out += "]";
+  return set_raw(key, std::move(out));
+}
+
 std::string JsonObject::render() const {
   std::string out = "{";
   for (std::size_t i = 0; i < fields_.size(); ++i) {

@@ -30,8 +30,12 @@ class JsonObject {
     return set(key, static_cast<std::int64_t>(value));
   }
   JsonObject& set(const std::string& key, bool value);
+  /// Nest another object / a string array under `key` (rendered inline).
+  JsonObject& set_object(const std::string& key, const JsonObject& value);
+  JsonObject& set_strings(const std::string& key, const std::vector<std::string>& values);
 
   [[nodiscard]] std::string render() const;
+  [[nodiscard]] bool empty() const { return fields_.empty(); }
 
  private:
   JsonObject& set_raw(const std::string& key, std::string rendered_value);

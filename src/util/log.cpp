@@ -3,11 +3,23 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+
+#include "obs/flight_recorder.hpp"
 
 namespace ms::util {
 namespace {
 
 LogLevel g_level = LogLevel::Info;
+
+// Serializes concurrent MS_LOG_* writers: each message is formatted into a
+// local buffer and written with ONE fwrite, so multi-threaded sweep logs
+// never interleave mid-line. (fprintf-per-fragment, the previous scheme, let
+// the prefix of one thread land inside the body of another.)
+std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -34,12 +46,31 @@ LogLevel log_level() { return g_level; }
 
 void log_message(LogLevel level, const char* file, int line, const char* fmt, ...) {
   if (static_cast<int>(level) < static_cast<int>(g_level)) return;
-  std::fprintf(stderr, "[%s %s:%d] ", level_tag(level), basename_of(file), line);
+  // Format the whole line locally, then write it atomically. Oversized
+  // messages are truncated with a marker rather than split across writes.
+  char buf[1024];
+  int prefix = std::snprintf(buf, sizeof(buf), "[%s %s:%d] ", level_tag(level),
+                             basename_of(file), line);
+  if (prefix < 0) return;
+  if (prefix > static_cast<int>(sizeof(buf)) - 2) prefix = static_cast<int>(sizeof(buf)) - 2;
   std::va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  int body = std::vsnprintf(buf + prefix, sizeof(buf) - static_cast<std::size_t>(prefix) - 1,
+                            fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  if (body < 0) body = 0;
+  std::size_t len = static_cast<std::size_t>(prefix) + static_cast<std::size_t>(body);
+  if (len > sizeof(buf) - 2) {
+    len = sizeof(buf) - 2;
+    std::memcpy(buf + len - 3, "...", 3);
+  }
+  // Mirror into the flight recorder before the trailing newline goes on —
+  // ring entries are single lines by construction.
+  buf[len] = '\0';
+  obs::FlightRecorder::note_log(buf);
+  buf[len] = '\n';
+  std::lock_guard<std::mutex> lock(log_mutex());
+  std::fwrite(buf, 1, len + 1, stderr);
 }
 
 LogLevel parse_log_level(const std::string& name, bool* ok) {

@@ -1,0 +1,115 @@
+#include "obs/event_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace ms::obs {
+namespace {
+
+class EventLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { EventLog::close(); }
+  void TearDown() override {
+    EventLog::close();
+    if (!path_.empty()) std::remove(path_.c_str());
+  }
+
+  std::string open_temp(const char* name) {
+    path_ = ::testing::TempDir() + name;
+    EventLog::open(path_);
+    return path_;
+  }
+
+  std::vector<util::JsonValue> read_lines() const {
+    std::ifstream in(path_);
+    std::vector<util::JsonValue> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) lines.push_back(util::parse_json(line));
+    }
+    return lines;
+  }
+
+  std::string path_;
+};
+
+TEST_F(EventLogTest, DisabledEmitIsANoOpAndSkipsTheCallback) {
+  ASSERT_FALSE(EventLog::enabled());
+  bool ran = false;
+  EventLog::emit("never", [&ran](util::JsonObject&) { ran = true; });
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(EventLog::lines_written(), 0);
+}
+
+TEST_F(EventLogTest, EmitsOneValidJsonObjectPerLine) {
+  open_temp("ms_event_log_basic.jsonl");
+  EventLog::emit("scenario.started",
+                 [](util::JsonObject& e) { e.set("scenario", "s1").set("index", 0); });
+  EventLog::emit("scenario.completed", [](util::JsonObject& e) {
+    e.set("scenario", "s1").set("status", "ok").set("seconds", 0.25);
+  });
+  EXPECT_EQ(EventLog::lines_written(), 2);
+  EventLog::close();
+
+  const std::vector<util::JsonValue> lines = read_lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].find("event")->string, "scenario.started");
+  EXPECT_EQ(lines[0].find("scenario")->string, "s1");
+  EXPECT_EQ(lines[1].find("event")->string, "scenario.completed");
+  EXPECT_EQ(lines[1].find("status")->string, "ok");
+  // Common envelope on every line: trace-epoch timestamp + sequence number.
+  EXPECT_EQ(lines[0].find("seq")->number, 0.0);
+  EXPECT_EQ(lines[1].find("seq")->number, 1.0);
+  EXPECT_GE(lines[1].find("ts_us")->number, lines[0].find("ts_us")->number);
+}
+
+TEST_F(EventLogTest, ConcurrentEmittersNeverInterleaveAndSeqIsGapFree) {
+  open_temp("ms_event_log_mt.jsonl");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        EventLog::emit("tick", [t, i](util::JsonObject& e) {
+          e.set("thread", t).set("iteration", i);
+        });
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(EventLog::lines_written(), kThreads * kPerThread);
+  EventLog::close();
+
+  const std::vector<util::JsonValue> lines = read_lines();  // parse_json throws on garble
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(lines[i].find("seq")->number, static_cast<double>(i));  // file order == seq
+  }
+}
+
+TEST_F(EventLogTest, CloseStopsAcceptingEvents) {
+  open_temp("ms_event_log_close.jsonl");
+  EventLog::emit("one", nullptr);
+  EventLog::close();
+  EXPECT_FALSE(EventLog::enabled());
+  EventLog::emit("two", nullptr);
+  EXPECT_EQ(read_lines().size(), 1u);
+}
+
+TEST_F(EventLogTest, OpenOnUnwritablePathThrows) {
+  EXPECT_THROW(EventLog::open("/nonexistent-dir/events.jsonl"), std::runtime_error);
+  EXPECT_FALSE(EventLog::enabled());
+}
+
+}  // namespace
+}  // namespace ms::obs

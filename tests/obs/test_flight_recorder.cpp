@@ -1,0 +1,157 @@
+#include "obs/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "util/log.hpp"
+
+namespace ms::obs {
+namespace {
+
+/// The recorder is process-wide (one capture bit) but per-thread (rings);
+/// every test starts disabled with this thread's ring empty.
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FlightRecorder::set_enabled(false);
+    FlightRecorder::clear();
+  }
+  void TearDown() override {
+    FlightRecorder::set_enabled(false);
+    FlightRecorder::clear();
+    set_tracing_enabled(false);
+    clear_trace();
+  }
+};
+
+TEST_F(FlightRecorderTest, DisabledNotesRecordNothing) {
+  FlightRecorder::note_span("ignored", 0.0, 1.0);
+  FlightRecorder::note_log("ignored line");
+  EXPECT_TRUE(FlightRecorder::snapshot().empty());
+}
+
+TEST_F(FlightRecorderTest, CapturesSpansAndLogLinesInOrder) {
+  FlightRecorder::set_enabled(true);
+  FlightRecorder::note_span("rom.global.solve", 100.0, 350.0);
+  FlightRecorder::note_log("[WARN] diagonal shift applied");
+  FlightRecorder::note_span("sweep.query", 90.0, 400.0);
+  const std::vector<FlightRecord> records = FlightRecorder::snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_FALSE(records[0].is_log);
+  EXPECT_EQ(records[0].text, "rom.global.solve");
+  EXPECT_DOUBLE_EQ(records[0].ts_us, 100.0);
+  EXPECT_DOUBLE_EQ(records[0].dur_us, 250.0);
+  EXPECT_TRUE(records[1].is_log);
+  EXPECT_EQ(records[1].text, "[WARN] diagonal shift applied");
+  EXPECT_DOUBLE_EQ(records[1].dur_us, 0.0);
+  EXPECT_EQ(records[2].text, "sweep.query");
+}
+
+TEST_F(FlightRecorderTest, RingWrapKeepsTheNewestEntriesOldestFirst) {
+  FlightRecorder::set_enabled(true);
+  constexpr int kTotal = static_cast<int>(FlightRecorder::kCapacity) + 17;
+  for (int i = 0; i < kTotal; ++i) {
+    FlightRecorder::note_span(("span" + std::to_string(i)).c_str(),
+                              static_cast<double>(i), static_cast<double>(i) + 1.0);
+  }
+  const std::vector<FlightRecord> records = FlightRecorder::snapshot();
+  ASSERT_EQ(records.size(), FlightRecorder::kCapacity);
+  // The survivors are the last kCapacity notes, oldest first.
+  for (std::size_t k = 0; k < records.size(); ++k) {
+    const int i = kTotal - static_cast<int>(FlightRecorder::kCapacity) + static_cast<int>(k);
+    EXPECT_EQ(records[k].text, "span" + std::to_string(i));
+    EXPECT_DOUBLE_EQ(records[k].ts_us, static_cast<double>(i));
+  }
+}
+
+TEST_F(FlightRecorderTest, ClearBoundsTheWindowToOneQuery) {
+  FlightRecorder::set_enabled(true);
+  FlightRecorder::note_log("previous query");
+  FlightRecorder::clear();
+  FlightRecorder::note_log("this query");
+  const std::vector<FlightRecord> records = FlightRecorder::snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].text, "this query");
+}
+
+TEST_F(FlightRecorderTest, LongLogLinesAreTruncatedNotOverflowed) {
+  FlightRecorder::set_enabled(true);
+  const std::string line(4 * FlightRecorder::kMaxText, 'x');
+  FlightRecorder::note_log(line.c_str());
+  const std::vector<FlightRecord> records = FlightRecorder::snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].text.size(), FlightRecorder::kMaxText - 1);
+  EXPECT_EQ(records[0].text, line.substr(0, FlightRecorder::kMaxText - 1));
+}
+
+TEST_F(FlightRecorderTest, RingsAreThreadLocal) {
+  FlightRecorder::set_enabled(true);
+  FlightRecorder::note_log("main thread");
+  std::vector<FlightRecord> worker_records;
+  std::thread worker([&worker_records] {
+    FlightRecorder::note_log("worker thread");
+    worker_records = FlightRecorder::snapshot();
+  });
+  worker.join();
+  ASSERT_EQ(worker_records.size(), 1u);
+  EXPECT_EQ(worker_records[0].text, "worker thread");
+  const std::vector<FlightRecord> main_records = FlightRecorder::snapshot();
+  ASSERT_EQ(main_records.size(), 1u);
+  EXPECT_EQ(main_records[0].text, "main thread");
+}
+
+TEST_F(FlightRecorderTest, ScopedSpansFeedTheRingWithoutFullTracing) {
+  // The recorder captures spans even when the unbounded trace buffer is off:
+  // the capture mask keeps the two bits independent.
+  ASSERT_FALSE(tracing_enabled());
+  FlightRecorder::set_enabled(true);
+  { MS_TRACE_SCOPE("bounded.only"); }
+  EXPECT_EQ(span_count(), 0u);  // nothing in the trace buffer...
+  const std::vector<FlightRecord> records = FlightRecorder::snapshot();
+  ASSERT_EQ(records.size(), 1u);  // ...but the ring saw the span
+  EXPECT_FALSE(records[0].is_log);
+  EXPECT_EQ(records[0].text, "bounded.only");
+  EXPECT_GE(records[0].dur_us, 0.0);
+}
+
+TEST_F(FlightRecorderTest, LogMacrosFeedTheRing) {
+  const util::LogLevel saved = util::log_level();
+  util::set_log_level(util::LogLevel::Off);  // keep test stderr clean...
+  FlightRecorder::set_enabled(true);
+  MS_LOG_ERROR("factor failed: pivot %d", 42);
+  util::set_log_level(saved);
+  const std::vector<FlightRecord> records = FlightRecorder::snapshot();
+  // ...which also documents that suppressed-level messages never reach the
+  // ring; re-check with an enabled level.
+  EXPECT_TRUE(records.empty());
+
+  util::set_log_level(util::LogLevel::Error);
+  MS_LOG_ERROR("factor failed: pivot %d", 42);
+  util::set_log_level(saved);
+  const std::vector<FlightRecord> after = FlightRecorder::snapshot();
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_TRUE(after[0].is_log);
+  EXPECT_NE(after[0].text.find("factor failed: pivot 42"), std::string::npos);
+  EXPECT_NE(after[0].text.find("ERROR"), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, FormatRendersSpansAndLogsDistinctly) {
+  std::vector<FlightRecord> records(2);
+  records[0].ts_us = 12345.0;
+  records[0].dur_us = 3200.0;
+  records[0].text = "rom.global.solve";
+  records[1].ts_us = 12400.0;
+  records[1].is_log = true;
+  records[1].text = "[WARN] shifted";
+  const std::vector<std::string> lines = format_flight_records(records);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "+12.345ms span rom.global.solve (3.200ms)");
+  EXPECT_EQ(lines[1], "+12.400ms log [WARN] shifted");
+}
+
+}  // namespace
+}  // namespace ms::obs

@@ -61,6 +61,67 @@ TEST(Histogram, BinOfIsMonotoneAndClamped) {
   EXPECT_EQ(h.bin_count(Histogram::bin_of(3e-6)), 1);
 }
 
+TEST(Histogram, BinEdgesBracketTheirValues) {
+  for (double v = 2e-6; v < 1e3; v *= 3.7) {
+    const int bin = Histogram::bin_of(v);
+    EXPECT_LE(Histogram::bin_lower(bin), v);
+    if (bin < Histogram::kNumBins - 1) EXPECT_LT(v, Histogram::bin_upper(bin));
+  }
+  EXPECT_DOUBLE_EQ(Histogram::bin_lower(0), 0.0);  // bin 0 is open below
+}
+
+TEST(Histogram, PercentilesAreEmptySafeAndClampedToExactExtremes) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);  // empty
+  h.record(0.125);
+  // One sample: every quantile is that sample, pinned by the min/max clamp
+  // (the raw bin interpolation alone could only say "somewhere in the bin").
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.125);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.125);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 0.125);
+}
+
+TEST(Histogram, PercentilesOrderAndBracketAWideDistribution) {
+  Histogram h;
+  // 100 samples spanning many bins: 1 ms .. 100 ms.
+  for (int i = 1; i <= 100; ++i) h.record(1e-3 * i);
+  const double p50 = h.percentile(0.50);
+  const double p95 = h.percentile(0.95);
+  const double p99 = h.percentile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, h.max());
+  EXPECT_GE(p50, h.min());
+  // Bin resolution is 2x, so the estimate lands within the true value's bin:
+  // the true medians/tails are 50/95/99 ms.
+  EXPECT_GE(p50, 0.032);
+  EXPECT_LE(p50, 0.064);
+  EXPECT_GE(p95, 0.064);
+  EXPECT_GE(p99, 0.064);
+}
+
+TEST(MetricRegistry, SnapshotCarriesHistogramPercentiles) {
+  MetricRegistry registry;
+  Histogram& h = registry.histogram("stage_seconds");
+  for (int i = 1; i <= 8; ++i) h.record(1e-3 * i);
+  const std::vector<MetricSample> samples = registry.snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].kind, MetricSample::Kind::kHistogram);
+  EXPECT_GT(samples[0].p50, 0.0);
+  EXPECT_LE(samples[0].p50, samples[0].p95);
+  EXPECT_LE(samples[0].p95, samples[0].p99);
+  EXPECT_LE(samples[0].p99, samples[0].max);
+}
+
+TEST(MetricRegistry, FindHistogramLooksUpWithoutCreating) {
+  MetricRegistry registry;
+  EXPECT_EQ(registry.find_histogram("absent"), nullptr);
+  registry.counter("a_counter").add(1);
+  EXPECT_EQ(registry.find_histogram("a_counter"), nullptr);  // wrong kind
+  Histogram& h = registry.histogram("present");
+  EXPECT_EQ(registry.find_histogram("present"), &h);
+}
+
 TEST(MetricRegistry, HandlesAreStableAndFindOrCreate) {
   MetricRegistry reg;
   Counter& a = reg.counter("x.count");

@@ -57,6 +57,11 @@ TEST(RunReport, RenderJsonParsesBackNameSorted) {
   EXPECT_EQ(it->first, "z.seconds");
   EXPECT_DOUBLE_EQ(it->second.find("sum")->number, 0.5);
   EXPECT_DOUBLE_EQ(it->second.find("count")->number, 1.0);
+  // Non-empty histograms render their interpolated percentiles; a single
+  // sample pins all three to the exact recorded value.
+  EXPECT_DOUBLE_EQ(it->second.find("p50")->number, 0.5);
+  EXPECT_DOUBLE_EQ(it->second.find("p95")->number, 0.5);
+  EXPECT_DOUBLE_EQ(it->second.find("p99")->number, 0.5);
 }
 
 TEST(RunReport, IdenticalRegistriesRenderIdenticalJson) {

@@ -7,6 +7,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #ifdef _OPENMP
@@ -148,6 +149,138 @@ TEST_F(TraceTest, WriteChromeTraceProducesLoadableFile) {
   ASSERT_TRUE(doc.is_object());
   EXPECT_EQ(doc.find("traceEvents")->array.size(), 1u);
   std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, SpanIdsAreUniqueAndParentEdgesFollowNesting) {
+  set_tracing_enabled(true);
+  {
+    MS_TRACE_SCOPE("outer");
+    { MS_TRACE_SCOPE("inner"); }
+    { MS_TRACE_SCOPE("inner2"); }
+  }
+  const std::vector<SpanEvent> events = collect_events();
+  ASSERT_EQ(events.size(), 3u);
+  std::set<SpanId> ids;
+  for (const SpanEvent& e : events) ids.insert(e.id);
+  EXPECT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids.count(0), 0u);  // 0 is the "no span" sentinel
+  const SpanEvent& outer = events[2];
+  EXPECT_STREQ(outer.name, "outer");
+  EXPECT_EQ(outer.parent, SpanId{0});
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(events[i].parent, outer.id);
+    EXPECT_FALSE(events[i].remote_parent);
+  }
+}
+
+TEST_F(TraceTest, CurrentSpanIdTracksInnermostOpenSpan) {
+  EXPECT_EQ(current_span_id(), SpanId{0});  // capture off
+  set_tracing_enabled(true);
+  EXPECT_EQ(current_span_id(), SpanId{0});  // no open span
+  {
+    MS_TRACE_SCOPE("outer");
+    const SpanId outer_id = current_span_id();
+    EXPECT_NE(outer_id, SpanId{0});
+    {
+      MS_TRACE_SCOPE("inner");
+      EXPECT_NE(current_span_id(), outer_id);
+    }
+    EXPECT_EQ(current_span_id(), outer_id);
+  }
+  EXPECT_EQ(current_span_id(), SpanId{0});
+}
+
+TEST_F(TraceTest, RemoteParentCrossesThreadsDeterministically) {
+  // The producer/consumer handoff pattern under an 8-thread pool: the
+  // producer captures its span id, every worker opens its root span with
+  // that id as remote parent. Parent edges must be exact on every worker
+  // regardless of scheduling.
+  set_tracing_enabled(true);
+  constexpr int kWorkers = 8;
+  SpanId producer_id = 0;
+  {
+    ScopedSpan producer("producer.batch");
+    producer_id = current_span_id();
+    ASSERT_NE(producer_id, SpanId{0});
+    std::vector<std::thread> pool;
+    pool.reserve(kWorkers);
+    for (int w = 0; w < kWorkers; ++w) {
+      pool.emplace_back([producer_id] {
+        ScopedSpan root("worker.query", producer_id);
+        { MS_TRACE_SCOPE("worker.inner"); }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+  set_tracing_enabled(false);
+
+  const std::vector<SpanEvent> events = collect_events();
+  int roots = 0;
+  std::set<SpanId> root_ids;
+  for (const SpanEvent& e : events) {
+    if (std::string(e.name) == "worker.query") {
+      ++roots;
+      root_ids.insert(e.id);
+      EXPECT_EQ(e.parent, producer_id);
+      EXPECT_TRUE(e.remote_parent);
+      EXPECT_EQ(e.depth, 0);
+    } else if (std::string(e.name) == "worker.inner") {
+      EXPECT_FALSE(e.remote_parent);  // same-thread edge under the root
+    }
+  }
+  EXPECT_EQ(roots, kWorkers);
+  // Every inner span's parent is one of the worker roots.
+  for (const SpanEvent& e : events) {
+    if (std::string(e.name) == "worker.inner") {
+      EXPECT_EQ(root_ids.count(e.parent), 1u);
+    }
+  }
+}
+
+TEST_F(TraceTest, ChromeExportEmitsFlowEventsForRemoteEdges) {
+  set_tracing_enabled(true);
+  SpanId producer_id = 0;
+  {
+    ScopedSpan producer("enqueue");
+    producer_id = current_span_id();
+    std::thread worker([producer_id] { ScopedSpan root("query", producer_id); });
+    worker.join();
+  }
+  set_tracing_enabled(false);
+
+  const util::JsonValue doc = util::parse_json(render_chrome_trace());
+  const util::JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  int flow_starts = 0;
+  int flow_finishes = 0;
+  double flow_id = -1.0;
+  double query_span_id = -1.0;
+  for (const util::JsonValue& event : events->array) {
+    const std::string ph = event.find("ph")->string;
+    if (ph == "X") {
+      const util::JsonValue* args = event.find("args");
+      ASSERT_NE(args, nullptr);
+      ASSERT_NE(args->find("span_id"), nullptr);
+      ASSERT_NE(args->find("parent_id"), nullptr);
+      if (event.find("name")->string == "query") {
+        query_span_id = args->find("span_id")->number;
+        EXPECT_EQ(args->find("parent_id")->number,
+                  static_cast<double>(producer_id));
+      }
+    } else if (ph == "s") {
+      ++flow_starts;
+      flow_id = event.find("id")->number;
+      EXPECT_EQ(event.find("cat")->string, "ms.flow");
+    } else if (ph == "f") {
+      ++flow_finishes;
+      EXPECT_EQ(event.find("bp")->string, "e");
+      EXPECT_EQ(event.find("id")->number, flow_id);
+    }
+  }
+  EXPECT_EQ(flow_starts, 1);
+  EXPECT_EQ(flow_finishes, 1);
+  // The flow arrow is keyed by the child (query) span id — unique per edge.
+  EXPECT_EQ(flow_id, query_span_id);
 }
 
 TEST_F(TraceTest, ExportPreservesEventsAndCollectIsRepeatable) {

@@ -109,6 +109,10 @@ def main():
     parser.add_argument("--max-trace-overhead", type=float, default=1.05,
                         help="largest instrumented/disabled wall-time ratio tolerated on "
                              "cases that report trace_overhead_ratio")
+    parser.add_argument("--max-telemetry-overhead", type=float, default=1.05,
+                        help="largest fully-enabled/disabled wall-time ratio tolerated on "
+                             "cases that report telemetry_overhead_ratio (tracing + "
+                             "flight recorder + per-query attribution all on)")
     args = parser.parse_args()
 
     baseline = load_cases(args.baseline)
@@ -208,6 +212,23 @@ def main():
                 f"{key} trace_overhead_ratio {ratio:.3f} exceeds "
                 f"--max-trace-overhead {args.max_trace_overhead:.2f} "
                 f"({excess:.3f}s of instrumented excess)")
+
+    # Telemetry-overhead gate: same shape as the trace gate, for cases that
+    # run with the full query-scoped telemetry stack enabled (span tracing,
+    # flight recorder, attribution sinks, event log).
+    for key, case in sorted(current.items(), key=str):
+        ratio = case.get("telemetry_overhead_ratio")
+        if not isinstance(ratio, (int, float)):
+            continue
+        excess = (float(case.get("telemetry_enabled_seconds", 0.0)) -
+                  float(case.get("telemetry_disabled_seconds", 0.0)))
+        print(f"  {key} telemetry overhead: ratio {ratio:.3f} "
+              f"(excess {excess:.3f}s, limit {args.max_telemetry_overhead:.2f})")
+        if ratio > args.max_telemetry_overhead and excess > args.abs_floor:
+            failures.append(
+                f"{key} telemetry_overhead_ratio {ratio:.3f} exceeds "
+                f"--max-telemetry-overhead {args.max_telemetry_overhead:.2f} "
+                f"({excess:.3f}s of fully-enabled excess)")
 
     if failures:
         print("\nbench gate FAILED:")

@@ -16,11 +16,36 @@
 #include <vector>
 
 #include "core/sim_error.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
 #include "obs/obs_cli.hpp"
+#include "obs/query_scope.hpp"
+#include "obs/trace.hpp"
 #include "sweep/scenario_spec.hpp"
 #include "sweep/sweep_engine.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
+
+namespace {
+
+/// One flat JSON object from a row's attributed telemetry. Counts and
+/// durations share the namespace (keys are disjoint by construction).
+ms::util::JsonObject telemetry_json(const ms::obs::QueryTelemetry& telemetry) {
+  ms::util::JsonObject o;
+  for (const auto& [key, value] : telemetry.counts) o.set(key, value);
+  for (const auto& [key, value] : telemetry.seconds) o.set(key, value);
+  return o;
+}
+
+void print_percentile_footer(const char* label, const char* metric) {
+  const ms::obs::Histogram* h = ms::obs::MetricRegistry::global().find_histogram(metric);
+  if (h == nullptr || h->count() <= 0) return;
+  std::printf("%s p50/p95/p99: %.3f / %.3f / %.3f s (max %.3f s over %lld samples)\n", label,
+              h->percentile(0.50), h->percentile(0.95), h->percentile(0.99), h->max(),
+              static_cast<long long>(h->count()));
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   ms::util::CliParser cli("sweep", "Scenario sweep: declarative specs -> Pareto table");
@@ -64,6 +89,9 @@ int main(int argc, char** argv) {
   ms::sweep::SweepStats stats;
   std::vector<ms::sweep::ScenarioResult> results;
   try {
+    // The batch span parents every worker's sweep.query span (captured at
+    // enqueue time), so a traced run renders flow arrows from this slice.
+    ms::obs::ScopedSpan batch("sweep.batch");
     results = engine.run(specs, &stats);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "sweep: %s\n", e.what());
@@ -99,6 +127,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.factor_cache_misses),
               static_cast<unsigned long long>(stats.model_cache_hits),
               static_cast<unsigned long long>(stats.model_cache_misses));
+  print_percentile_footer("scenario latency", "sweep.scenario_seconds");
+  print_percentile_footer("queue wait", "sweep.queue_wait_seconds");
 
   const std::string out_path = cli.get_string("out");
   if (!out_path.empty()) {
@@ -131,6 +161,10 @@ int main(int argc, char** argv) {
         record.set("error_code", ms::core::to_string(r.error.code))
             .set("error_stage", r.error.stage)
             .set("error_message", r.error.message);
+        if (!r.telemetry.empty()) record.set_object("telemetry", telemetry_json(r.telemetry));
+        if (!r.flight.empty()) {
+          record.set_strings("flight_recorder", ms::obs::format_flight_records(r.flight));
+        }
         out << "    " << record.render() << (i + 1 < results.size() ? ",\n" : "\n");
         continue;
       }
@@ -142,6 +176,10 @@ int main(int argc, char** argv) {
       }
       if (r.diagonal_shift != 0.0) record.set("diagonal_shift", r.diagonal_shift);
       record.set("simulate_seconds", r.simulate_seconds).set("pareto_optimal", r.pareto_optimal);
+      if (!r.telemetry.empty()) record.set_object("telemetry", telemetry_json(r.telemetry));
+      if (!r.flight.empty()) {
+        record.set_strings("flight_recorder", ms::obs::format_flight_records(r.flight));
+      }
       out << "    " << record.render() << (i + 1 < results.size() ? ",\n" : "\n");
     }
     out << "  ]\n}\n";
